@@ -1,0 +1,341 @@
+//! The paper's core inconsistency methodology (§3.1).
+//!
+//! For each snapshot `C_i`, let `α(C_i)` be the first time `C_i` appears in
+//! anyone's polls (a good proxy for its publish time, given many servers).
+//! For a server `s`, let `β_s(C_i)` be the last time `s` served `C_i`. The
+//! inconsistency length of that stale episode is `β_s(C_i) − α(C_next)`
+//! where `C_next` is the next snapshot observed globally after `C_i`: the
+//! time `s` kept serving expired content.
+//!
+//! All timestamps are the *corrected* server GMT times (skew removed via
+//! the crawler's RTT/2 estimate), exactly as §3.1 prescribes.
+
+use cdnc_simcore::SimTime;
+use cdnc_trace::{DayTrace, ServerMeta, SnapshotId};
+use std::collections::HashMap;
+
+/// First global appearance time of each snapshot in a set of polls.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FirstAppearances {
+    alpha: HashMap<SnapshotId, SimTime>,
+    /// Observed snapshot ids, ascending.
+    observed: Vec<SnapshotId>,
+}
+
+impl FirstAppearances {
+    /// Builds the α table from `(snapshot, corrected time)` pairs.
+    pub fn from_observations<I>(observations: I) -> Self
+    where
+        I: IntoIterator<Item = (SnapshotId, SimTime)>,
+    {
+        let mut alpha: HashMap<SnapshotId, SimTime> = HashMap::new();
+        for (snap, t) in observations {
+            alpha
+                .entry(snap)
+                .and_modify(|cur| {
+                    if t < *cur {
+                        *cur = t;
+                    }
+                })
+                .or_insert(t);
+        }
+        let mut observed: Vec<SnapshotId> = alpha.keys().copied().collect();
+        observed.sort_unstable();
+        Self { alpha, observed }
+    }
+
+    /// α of one snapshot, if it ever appeared.
+    pub fn alpha(&self, snap: SnapshotId) -> Option<SimTime> {
+        self.alpha.get(&snap).copied()
+    }
+
+    /// The first snapshot observed after `snap` (by id) and its α.
+    pub fn successor(&self, snap: SnapshotId) -> Option<(SnapshotId, SimTime)> {
+        let idx = self.observed.partition_point(|&s| s <= snap);
+        self.observed.get(idx).map(|&s| (s, self.alpha[&s]))
+    }
+
+    /// Number of distinct snapshots observed.
+    pub fn len(&self) -> usize {
+        self.observed.len()
+    }
+
+    /// `true` when nothing was observed.
+    pub fn is_empty(&self) -> bool {
+        self.observed.is_empty()
+    }
+
+    /// Snapshot ids observed, ascending.
+    pub fn observed(&self) -> &[SnapshotId] {
+        &self.observed
+    }
+}
+
+/// One stale episode on one server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Episode {
+    /// The server.
+    pub server: u32,
+    /// The snapshot served while stale.
+    pub snapshot: SnapshotId,
+    /// `β_s(C_i) − α(C_next)`, seconds (> 0 by construction).
+    pub length_s: f64,
+    /// When the episode ended (β), corrected time.
+    pub end: SimTime,
+    /// Number of polls observed inside the stale window.
+    pub stale_polls: u32,
+}
+
+/// A server's polls with corrected timestamps, time-ordered.
+pub type CorrectedPolls = Vec<(SimTime, SnapshotId)>;
+
+/// Extracts each server's corrected, time-ordered poll sequence for one day.
+pub fn corrected_polls_by_server(
+    day: &DayTrace,
+    servers: &[ServerMeta],
+) -> HashMap<u32, CorrectedPolls> {
+    let mut map: HashMap<u32, CorrectedPolls> = HashMap::new();
+    for p in &day.server_polls {
+        let meta = &servers[p.server as usize];
+        map.entry(p.server).or_default().push((p.corrected_time(meta), p.snapshot));
+    }
+    for polls in map.values_mut() {
+        polls.sort_by_key(|&(t, _)| t);
+    }
+    map
+}
+
+/// Builds the α table over a subset of servers' corrected polls (or all
+/// servers when `subset` is `None`).
+pub fn first_appearances_for(
+    polls_by_server: &HashMap<u32, CorrectedPolls>,
+    subset: Option<&[u32]>,
+) -> FirstAppearances {
+    let iter: Box<dyn Iterator<Item = (SnapshotId, SimTime)> + '_> = match subset {
+        Some(ids) => Box::new(
+            ids.iter()
+                .filter_map(|id| polls_by_server.get(id))
+                .flatten()
+                .map(|&(t, s)| (s, t)),
+        ),
+        None => Box::new(polls_by_server.values().flatten().map(|&(t, s)| (s, t))),
+    };
+    FirstAppearances::from_observations(iter)
+}
+
+/// Finds every stale episode of one server against a given α table.
+pub fn episodes_of_server(
+    server: u32,
+    polls: &CorrectedPolls,
+    alpha: &FirstAppearances,
+) -> Vec<Episode> {
+    let mut episodes = Vec::new();
+    let mut run_start = 0usize;
+    for i in 0..polls.len() {
+        let is_run_end = i + 1 == polls.len() || polls[i + 1].1 != polls[i].1;
+        if !is_run_end {
+            continue;
+        }
+        let (beta, snap) = polls[i];
+        if let Some((_, alpha_next)) = alpha.successor(snap) {
+            if beta > alpha_next {
+                let length_s = beta.since(alpha_next).as_secs_f64();
+                let stale_polls = polls[run_start..=i]
+                    .iter()
+                    .filter(|&&(t, _)| t >= alpha_next)
+                    .count() as u32;
+                episodes.push(Episode { server, snapshot: snap, length_s, end: beta, stale_polls });
+            }
+        }
+        run_start = i + 1;
+    }
+    episodes
+}
+
+/// All stale episodes for one day across a server subset (or all servers).
+pub fn day_episodes(
+    day: &DayTrace,
+    servers: &[ServerMeta],
+    subset: Option<&[u32]>,
+) -> Vec<Episode> {
+    let polls = corrected_polls_by_server(day, servers);
+    let alpha = first_appearances_for(&polls, subset);
+    let mut ids: Vec<u32> = match subset {
+        Some(ids) => ids.to_vec(),
+        None => polls.keys().copied().collect(),
+    };
+    ids.sort_unstable();
+    ids.iter()
+        .filter_map(|id| polls.get(id).map(|p| episodes_of_server(*id, p, &alpha)))
+        .flatten()
+        .collect()
+}
+
+/// The consistency ratio of a server over a session:
+/// `1 − Σ inconsistency lengths / session length` (paper §3.4.3).
+pub fn consistency_ratio(episodes: &[Episode], session_s: f64) -> f64 {
+    assert!(session_s > 0.0, "session length must be positive");
+    let total: f64 = episodes.iter().map(|e| e.length_s).sum();
+    (1.0 - total / session_s).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn c(i: u32) -> SnapshotId {
+        SnapshotId(i)
+    }
+
+    #[test]
+    fn alpha_is_earliest_observation() {
+        let fa = FirstAppearances::from_observations(vec![
+            (c(1), t(30)),
+            (c(0), t(0)),
+            (c(1), t(20)),
+            (c(2), t(50)),
+        ]);
+        assert_eq!(fa.alpha(c(1)), Some(t(20)));
+        assert_eq!(fa.alpha(c(3)), None);
+        assert_eq!(fa.len(), 3);
+        assert_eq!(fa.successor(c(0)), Some((c(1), t(20))));
+        assert_eq!(fa.successor(c(2)), None);
+    }
+
+    #[test]
+    fn successor_skips_unobserved_ids() {
+        // C1 was never observed anywhere: C0's successor is C2.
+        let fa = FirstAppearances::from_observations(vec![(c(0), t(0)), (c(2), t(40))]);
+        assert_eq!(fa.successor(c(0)), Some((c(2), t(40))));
+    }
+
+    #[test]
+    fn episode_extraction() {
+        // Server keeps serving C0 until t=45 while C1 first appeared (on
+        // some other server) at t=20: episode length 25.
+        let alpha =
+            FirstAppearances::from_observations(vec![(c(0), t(0)), (c(1), t(20))]);
+        let polls: CorrectedPolls = vec![
+            (t(5), c(0)),
+            (t(15), c(0)),
+            (t(25), c(0)),
+            (t(35), c(0)),
+            (t(45), c(0)),
+            (t(55), c(1)),
+        ];
+        let eps = episodes_of_server(7, &polls, &alpha);
+        assert_eq!(eps.len(), 1);
+        let e = eps[0];
+        assert_eq!(e.server, 7);
+        assert_eq!(e.snapshot, c(0));
+        assert!((e.length_s - 25.0).abs() < 1e-9);
+        assert_eq!(e.end, t(45));
+        assert_eq!(e.stale_polls, 3); // polls at 25, 35, 45
+    }
+
+    #[test]
+    fn fresh_server_has_no_episodes() {
+        let alpha =
+            FirstAppearances::from_observations(vec![(c(0), t(0)), (c(1), t(20))]);
+        // Server adopts C1 before any poll after α.
+        let polls: CorrectedPolls = vec![(t(5), c(0)), (t(15), c(0)), (t(25), c(1))];
+        assert!(episodes_of_server(0, &polls, &alpha).is_empty());
+    }
+
+    #[test]
+    fn skipped_versions_form_one_episode() {
+        // Server jumps C0 -> C3; α(C1)=20 bounds the staleness of the C0 run.
+        let alpha = FirstAppearances::from_observations(vec![
+            (c(0), t(0)),
+            (c(1), t(20)),
+            (c(2), t(30)),
+            (c(3), t(40)),
+        ]);
+        let polls: CorrectedPolls = vec![(t(10), c(0)), (t(50), c(0)), (t(60), c(3))];
+        let eps = episodes_of_server(0, &polls, &alpha);
+        assert_eq!(eps.len(), 1);
+        assert!((eps[0].length_s - 30.0).abs() < 1e-9); // 50 − α(C1)=20
+    }
+
+    #[test]
+    fn consistency_ratio_bounds() {
+        let eps = vec![
+            Episode { server: 0, snapshot: c(0), length_s: 30.0, end: t(100), stale_polls: 3 },
+            Episode { server: 0, snapshot: c(1), length_s: 20.0, end: t(200), stale_polls: 2 },
+        ];
+        assert!((consistency_ratio(&eps, 1_000.0) - 0.95).abs() < 1e-12);
+        assert_eq!(consistency_ratio(&[], 1_000.0), 1.0);
+        // Pathological overflow clamps at zero.
+        assert_eq!(consistency_ratio(&eps, 10.0), 0.0);
+    }
+
+    #[test]
+    fn empty_appearances() {
+        let fa = FirstAppearances::default();
+        assert!(fa.is_empty());
+        assert_eq!(fa.successor(c(0)), None);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// A random monotone poll sequence: times increase, snapshots are
+        /// non-decreasing (a server never serves older content than it just
+        /// served).
+        fn arb_polls() -> impl Strategy<Value = CorrectedPolls> {
+            proptest::collection::vec((1u64..30, 0u32..3), 0..80).prop_map(|steps| {
+                let mut t = 0u64;
+                let mut snap = 0u32;
+                let mut polls = Vec::with_capacity(steps.len());
+                for (dt, ds) in steps {
+                    t += dt;
+                    snap += ds;
+                    polls.push((SimTime::from_secs(t), SnapshotId(snap)));
+                }
+                polls
+            })
+        }
+
+        proptest! {
+            /// Episode invariants: positive lengths, time-ordered ends,
+            /// snapshots strictly increasing across episodes, and every
+            /// episode's β is actually after its successor's α.
+            #[test]
+            fn prop_episode_invariants(polls in arb_polls(),
+                                       other in arb_polls()) {
+                let alpha = FirstAppearances::from_observations(
+                    polls.iter().chain(&other).map(|&(t, s)| (s, t)),
+                );
+                let eps = episodes_of_server(0, &polls, &alpha);
+                for w in eps.windows(2) {
+                    prop_assert!(w[0].end <= w[1].end);
+                    prop_assert!(w[0].snapshot < w[1].snapshot);
+                }
+                for e in &eps {
+                    prop_assert!(e.length_s > 0.0);
+                    prop_assert!(e.stale_polls >= 1);
+                    let (_, a) = alpha.successor(e.snapshot).expect("successor exists");
+                    prop_assert!(e.end > a);
+                    prop_assert!((e.end.since(a).as_secs_f64() - e.length_s).abs() < 1e-9);
+                }
+            }
+
+            /// Consistency ratio stays in [0, 1] for any session at least
+            /// as long as the observed staleness.
+            #[test]
+            fn prop_ratio_bounded(polls in arb_polls()) {
+                let alpha = FirstAppearances::from_observations(
+                    polls.iter().map(|&(t, s)| (s, t)),
+                );
+                let eps = episodes_of_server(0, &polls, &alpha);
+                let ratio = consistency_ratio(&eps, 1e7);
+                prop_assert!((0.0..=1.0).contains(&ratio));
+            }
+        }
+    }
+}

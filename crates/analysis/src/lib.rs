@@ -1,0 +1,43 @@
+//! # cdnc-analysis
+//!
+//! The paper's §3 measurement-analysis pipeline, operating on crawl traces
+//! from [`cdnc_trace`]:
+//!
+//! * [`inconsistency`] — the α/β stale-episode methodology and consistency
+//!   ratios (Figs. 3, 5);
+//! * [`ttl_inference`] — recursive TTL refinement and the uniform-theory
+//!   RMSE validation (Fig. 6);
+//! * [`user_view`] — redirect fractions, self-inconsistency, continuous
+//!   (in)consistency times (Fig. 4);
+//! * [`causes`] — provider inconsistency, distance correlation, intra/inter
+//!   ISP breakdown, provider response times, absence effects (Figs. 7–10);
+//! * [`tree_test`] — static/dynamic multicast-tree existence tests
+//!   (Figs. 11–12);
+//! * [`verdict`] — the whole pipeline fused into the paper's §3.6
+//!   conclusion: which method/infrastructure the measured CDN runs.
+//!
+//! Every analysis consumes only what a real crawler could record
+//! (poll records and skew *estimates*), so the pipeline would run unchanged
+//! on a real trace.
+//!
+//! # Examples
+//!
+//! ```
+//! use cdnc_analysis::inconsistency::day_episodes;
+//! use cdnc_trace::{crawl, CrawlConfig};
+//!
+//! let trace = crawl(&CrawlConfig { servers: 20, users: 5, days: 1, ..CrawlConfig::tiny() });
+//! let episodes = day_episodes(&trace.days[0], &trace.servers, None);
+//! assert!(!episodes.is_empty(), "a TTL-60 CDN shows stale episodes");
+//! ```
+
+pub mod causes;
+pub mod inconsistency;
+pub mod tree_test;
+pub mod ttl_inference;
+pub mod verdict;
+pub mod user_view;
+
+pub use inconsistency::{day_episodes, Episode, FirstAppearances};
+pub use ttl_inference::{deviation_curve, infer_ttl, refine_ttl, theory_rmse};
+pub use verdict::{analyze, CdnVerdict};

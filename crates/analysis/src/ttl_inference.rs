@@ -1,0 +1,173 @@
+//! TTL inference by recursive refinement (paper §3.4.1, Figs. 5–6).
+//!
+//! Under pure TTL polling, a server's staleness for an update is uniform on
+//! `[0, TTL]`, so `E[I] = TTL/2`. The paper inverts this: starting from the
+//! observed mean inconsistency, it repeatedly computes `TTL' = 2·E'[I]`
+//! restricted to lengths ≤ the previous candidate, and picks the candidate
+//! with the smallest deviation. It then validates the winner by comparing
+//! the empirical CDF of lengths ≤ TTL against the uniform-theory CDF via
+//! RMSE (0.0462 at the true 60 s vs 0.0955 at 80 s in the paper).
+
+use cdnc_simcore::stats::{rmse, Cdf};
+
+/// The deviation statistic for one candidate TTL: how far the candidate is
+/// from twice the mean of the lengths it would explain,
+/// `|2·mean(lengths ≤ T) − T| / T`.
+///
+/// Returns `None` when no lengths fall at or below `candidate`.
+pub fn ttl_deviation(lengths_s: &[f64], candidate_s: f64) -> Option<f64> {
+    assert!(candidate_s > 0.0, "candidate TTL must be positive");
+    let below: Vec<f64> =
+        lengths_s.iter().copied().filter(|&l| l <= candidate_s).collect();
+    if below.is_empty() {
+        return None;
+    }
+    let mean = below.iter().sum::<f64>() / below.len() as f64;
+    Some((2.0 * mean - candidate_s).abs() / candidate_s)
+}
+
+/// Evaluates [`ttl_deviation`] across a candidate grid — the Fig. 6(a)
+/// curve. Candidates with no explicable lengths are omitted.
+pub fn deviation_curve(lengths_s: &[f64], candidates_s: &[f64]) -> Vec<(f64, f64)> {
+    candidates_s
+        .iter()
+        .filter_map(|&c| ttl_deviation(lengths_s, c).map(|d| (c, d)))
+        .collect()
+}
+
+/// Infers the TTL as the candidate with the smallest deviation.
+///
+/// Returns `None` when no candidate explains any data.
+pub fn infer_ttl(lengths_s: &[f64], candidates_s: &[f64]) -> Option<f64> {
+    deviation_curve(lengths_s, candidates_s)
+        .into_iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite deviations"))
+        .map(|(c, _)| c)
+}
+
+/// The paper's §3.4.1 recursive refinement, starting from `TTL' = 2·E'[I]`
+/// and iterating `TTL'' = 2·E[I | I ≤ TTL']` until the relative change drops
+/// below `tol` (or `max_iters` is hit). Returns the fixed point.
+///
+/// Returns `None` when `lengths_s` is empty.
+pub fn refine_ttl(lengths_s: &[f64], tol: f64, max_iters: usize) -> Option<f64> {
+    if lengths_s.is_empty() {
+        return None;
+    }
+    let mut candidate = 2.0 * lengths_s.iter().sum::<f64>() / lengths_s.len() as f64;
+    for _ in 0..max_iters {
+        let below: Vec<f64> =
+            lengths_s.iter().copied().filter(|&l| l <= candidate).collect();
+        if below.is_empty() {
+            return Some(candidate);
+        }
+        let next = 2.0 * below.iter().sum::<f64>() / below.len() as f64;
+        let deviation = (next - candidate).abs() / candidate;
+        candidate = next;
+        if deviation < tol {
+            break;
+        }
+    }
+    Some(candidate)
+}
+
+/// RMSE between the empirical CDF of lengths ≤ `ttl_s` and the uniform
+/// `[0, TTL]` theory CDF, evaluated on `points` evenly spaced x values —
+/// the Fig. 6(b) validation statistic.
+///
+/// Returns `None` when no lengths fall at or below `ttl_s`.
+pub fn theory_rmse(lengths_s: &[f64], ttl_s: f64, points: usize) -> Option<f64> {
+    assert!(ttl_s > 0.0 && points >= 2, "bad theory_rmse inputs");
+    let below: Vec<f64> = lengths_s.iter().copied().filter(|&l| l <= ttl_s).collect();
+    if below.is_empty() {
+        return None;
+    }
+    let cdf = Cdf::from_samples(below);
+    let mut empirical = Vec::with_capacity(points);
+    let mut theory = Vec::with_capacity(points);
+    for i in 0..points {
+        let x = ttl_s * i as f64 / (points - 1) as f64;
+        empirical.push(cdf.fraction_at_most(x));
+        theory.push(x / ttl_s);
+    }
+    Some(rmse(&empirical, &theory))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdnc_simcore::SimRng;
+
+    /// Synthetic staleness sample: U[0, ttl] plus occasional extra delay.
+    fn synthetic_lengths(ttl: f64, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = SimRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let base = rng.uniform_range(0.0, ttl);
+                if rng.chance(0.15) {
+                    base + rng.exponential(1.0 / 20.0) // non-TTL causes
+                } else {
+                    base
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn deviation_minimised_near_true_ttl() {
+        let lengths = synthetic_lengths(60.0, 50_000, 1);
+        let candidates: Vec<f64> = (40..=80).map(|c| c as f64).collect();
+        let inferred = infer_ttl(&lengths, &candidates).unwrap();
+        assert!(
+            (55.0..=66.0).contains(&inferred),
+            "inferred TTL {inferred} should be near 60"
+        );
+    }
+
+    #[test]
+    fn refinement_converges_near_truth() {
+        let lengths = synthetic_lengths(60.0, 50_000, 2);
+        let ttl = refine_ttl(&lengths, 1e-4, 100).unwrap();
+        assert!((50.0..=70.0).contains(&ttl), "refined TTL {ttl}");
+    }
+
+    #[test]
+    fn true_ttl_has_lower_rmse_than_wrong_ttl() {
+        let lengths = synthetic_lengths(60.0, 50_000, 3);
+        let at_60 = theory_rmse(&lengths, 60.0, 61).unwrap();
+        let at_80 = theory_rmse(&lengths, 80.0, 81).unwrap();
+        assert!(
+            at_60 < at_80,
+            "RMSE at the true TTL ({at_60}) must beat the wrong one ({at_80})"
+        );
+        assert!(at_60 < 0.08, "true-TTL RMSE should be small, got {at_60}");
+    }
+
+    #[test]
+    fn pure_uniform_is_nearly_exact() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let lengths: Vec<f64> = (0..100_000).map(|_| rng.uniform_range(0.0, 60.0)).collect();
+        let dev = ttl_deviation(&lengths, 60.0).unwrap();
+        assert!(dev < 0.01, "uniform sample deviation {dev}");
+        let r = theory_rmse(&lengths, 60.0, 61).unwrap();
+        assert!(r < 0.01, "uniform sample rmse {r}");
+    }
+
+    #[test]
+    fn empty_and_unexplainable_inputs() {
+        assert_eq!(refine_ttl(&[], 1e-3, 10), None);
+        assert_eq!(ttl_deviation(&[100.0], 50.0), None);
+        assert_eq!(theory_rmse(&[100.0], 50.0, 10), None);
+        assert_eq!(infer_ttl(&[100.0], &[50.0]), None);
+    }
+
+    #[test]
+    fn deviation_curve_matches_pointwise() {
+        let lengths = synthetic_lengths(60.0, 1_000, 5);
+        let curve = deviation_curve(&lengths, &[50.0, 60.0, 70.0]);
+        assert_eq!(curve.len(), 3);
+        for (c, d) in curve {
+            assert_eq!(Some(d), ttl_deviation(&lengths, c));
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! User-perspective consistency (paper §3.3, Fig. 4).
+//!
+//! A user observes *self-inconsistency* when a poll returns content older
+//! than the newest content that user has already seen (e.g. a score going
+//! backwards) — caused by DNS redirecting the user to a server that lags.
+
+use cdnc_simcore::stats::Cdf;
+use cdnc_simcore::SimTime;
+use cdnc_trace::{DayTrace, SnapshotId, Trace, UserPoll};
+
+/// Per-user summary over one or more days.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct UserSummary {
+    /// Fraction of this user's polls served by a different server than the
+    /// previous poll (Fig. 4(a)).
+    pub redirect_fraction: f64,
+    /// Fraction of polls that observed self-inconsistency.
+    pub inconsistent_fraction: f64,
+    /// Total polls.
+    pub polls: u64,
+}
+
+/// Per-poll self-inconsistency flags of one user, time-ordered.
+fn inconsistency_flags(polls: &[&UserPoll]) -> Vec<(SimTime, bool)> {
+    let mut max_seen = SnapshotId(0);
+    polls
+        .iter()
+        .map(|p| {
+            let inconsistent = p.snapshot < max_seen;
+            if p.snapshot > max_seen {
+                max_seen = p.snapshot;
+            }
+            (p.time, inconsistent)
+        })
+        .collect()
+}
+
+/// Summarises one user's polls across the given days.
+pub fn user_summary(trace: &Trace, user: u32, days: &[u16]) -> UserSummary {
+    let mut redirected = 0u64;
+    let mut inconsistent = 0u64;
+    let mut transitions = 0u64;
+    let mut polls = 0u64;
+    for &d in days {
+        let day = &trace.days[d as usize];
+        let day_polls: Vec<&UserPoll> = day.polls_of_user(user).collect();
+        for w in day_polls.windows(2) {
+            transitions += 1;
+            if w[0].server != w[1].server {
+                redirected += 1;
+            }
+        }
+        for (_, inc) in inconsistency_flags(&day_polls) {
+            polls += 1;
+            if inc {
+                inconsistent += 1;
+            }
+        }
+    }
+    UserSummary {
+        redirect_fraction: if transitions == 0 {
+            0.0
+        } else {
+            redirected as f64 / transitions as f64
+        },
+        inconsistent_fraction: if polls == 0 {
+            0.0
+        } else {
+            inconsistent as f64 / polls as f64
+        },
+        polls,
+    }
+}
+
+/// The CDF of per-user redirect fractions across all users and days
+/// (Fig. 4(a)).
+pub fn redirect_fraction_cdf(trace: &Trace) -> Cdf {
+    let days: Vec<u16> = (0..trace.days.len() as u16).collect();
+    Cdf::from_samples(
+        (0..trace.users.len() as u32)
+            .map(|u| user_summary(trace, u, &days).redirect_fraction),
+    )
+}
+
+/// Continuous consistency and inconsistency times of one user on one day
+/// (Fig. 4(c)/(d)): lengths of maximal runs of consistent / inconsistent
+/// observations, in seconds.
+///
+/// `stride` subsamples the polls (1 = every poll; 2 = every 2nd poll ≙ a
+/// 20 s visit frequency, and so on — the Fig. 4(e) sweep).
+///
+/// # Panics
+///
+/// Panics if `stride == 0`.
+pub fn continuous_times(day: &DayTrace, user: u32, stride: usize) -> (Vec<f64>, Vec<f64>) {
+    assert!(stride > 0, "stride must be positive");
+    let polls: Vec<&UserPoll> = day.polls_of_user(user).step_by(stride).collect();
+    let flags = inconsistency_flags(&polls);
+    let mut consistent_runs = Vec::new();
+    let mut inconsistent_runs = Vec::new();
+    let mut run_start: Option<(SimTime, bool)> = None;
+    for &(t, inc) in &flags {
+        match run_start {
+            None => run_start = Some((t, inc)),
+            Some((start, state)) if state != inc => {
+                let len = t.since(start).as_secs_f64();
+                if state {
+                    inconsistent_runs.push(len);
+                } else {
+                    consistent_runs.push(len);
+                }
+                run_start = Some((t, inc));
+            }
+            Some(_) => {}
+        }
+    }
+    if let (Some((start, state)), Some(&(last, _))) = (run_start, flags.last()) {
+        let len = last.since(start).as_secs_f64();
+        if len > 0.0 {
+            if state {
+                inconsistent_runs.push(len);
+            } else {
+                consistent_runs.push(len);
+            }
+        }
+    }
+    (consistent_runs, inconsistent_runs)
+}
+
+/// All continuous (consistency, inconsistency) times across users and days.
+pub fn all_continuous_times(trace: &Trace, stride: usize) -> (Cdf, Cdf) {
+    let mut cons = Vec::new();
+    let mut incons = Vec::new();
+    for day in &trace.days {
+        for u in 0..trace.users.len() as u32 {
+            let (c, i) = continuous_times(day, u, stride);
+            cons.extend(c);
+            incons.extend(i);
+        }
+    }
+    (Cdf::from_samples(cons), Cdf::from_samples(incons))
+}
+
+/// Average fraction of servers serving stale content at each poll instant
+/// of one day (Fig. 4(b)): a server is stale at `t` when some snapshot
+/// newer than the one it serves has already appeared globally.
+pub fn stale_server_fraction(day: &DayTrace, servers: &[cdnc_trace::ServerMeta]) -> f64 {
+    use crate::inconsistency::{corrected_polls_by_server, first_appearances_for};
+    let polls = corrected_polls_by_server(day, servers);
+    let alpha = first_appearances_for(&polls, None);
+    let mut stale = 0u64;
+    let mut total = 0u64;
+    for server_polls in polls.values() {
+        for &(t, snap) in server_polls {
+            total += 1;
+            if let Some((_, a)) = alpha.successor(snap) {
+                if t > a {
+                    stale += 1;
+                }
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        stale as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdnc_trace::{crawl, CrawlConfig, UpdateSequence};
+
+    fn mini_trace() -> Trace {
+        crawl(&CrawlConfig { servers: 30, users: 15, days: 2, ..CrawlConfig::tiny() })
+    }
+
+    #[test]
+    fn redirects_exist_and_are_moderate() {
+        let trace = mini_trace();
+        let cdf = redirect_fraction_cdf(&trace);
+        let median = cdf.median();
+        assert!(
+            (0.05..0.30).contains(&median),
+            "median redirect fraction {median} out of plausible range"
+        );
+    }
+
+    #[test]
+    fn users_observe_some_inconsistency() {
+        let trace = mini_trace();
+        let days: Vec<u16> = (0..trace.days.len() as u16).collect();
+        let any = (0..trace.users.len() as u32)
+            .map(|u| user_summary(&trace, u, &days))
+            .any(|s| s.inconsistent_fraction > 0.0);
+        assert!(any, "with redirection over a TTL-60 CDN someone must see a regression");
+    }
+
+    #[test]
+    fn continuous_runs_partition_the_session() {
+        let trace = mini_trace();
+        let day = &trace.days[0];
+        let (cons, incons) = continuous_times(day, 0, 1);
+        // Total run time ≈ session length (within one poll interval per run
+        // boundary truncation).
+        let total: f64 = cons.iter().chain(incons.iter()).sum();
+        let session = trace.session.as_secs_f64();
+        assert!(total <= session + 1.0);
+        assert!(total >= session * 0.5, "runs should cover most of the session");
+    }
+
+    #[test]
+    fn inconsistency_runs_are_short() {
+        // Paper Fig. 4(d): continuous inconsistency is dominated by one or
+        // two visits (≤ 20 s for 10 s polls).
+        let trace = mini_trace();
+        let (_, incons) = all_continuous_times(&trace, 1);
+        if !incons.is_empty() {
+            assert!(
+                incons.fraction_at_most(30.0) > 0.8,
+                "most inconsistency runs must be short; P(≤30s) = {}",
+                incons.fraction_at_most(30.0)
+            );
+        }
+    }
+
+    #[test]
+    fn stride_scales_inconsistency_durations() {
+        // Coarser visit frequency → longer continuous inconsistency times
+        // (paper Fig. 4(e) grows with the visit period). Subsampling also
+        // *drops* short runs entirely, so allow slack on small samples.
+        let trace = mini_trace();
+        let (_, fine) = all_continuous_times(&trace, 1);
+        let (_, coarse) = all_continuous_times(&trace, 3);
+        if fine.len() >= 20 && coarse.len() >= 20 {
+            assert!(
+                coarse.percentile(95.0) >= fine.percentile(95.0) * 0.7,
+                "coarse p95 {} implausibly below fine p95 {}",
+                coarse.percentile(95.0),
+                fine.percentile(95.0)
+            );
+        }
+    }
+
+    #[test]
+    fn stale_fraction_is_nontrivial_mid_game() {
+        let trace = mini_trace();
+        let f = stale_server_fraction(&trace.days[0], &trace.servers);
+        assert!(
+            (0.01..0.6).contains(&f),
+            "stale-server fraction {f} should be visible but not dominant"
+        );
+    }
+
+    #[test]
+    fn silent_day_has_no_inconsistency() {
+        // Build a degenerate trace day by hand: all users see one snapshot.
+        let trace = mini_trace();
+        let mut day = trace.days[0].clone();
+        for p in &mut day.user_polls {
+            p.snapshot = cdnc_trace::SnapshotId(0);
+        }
+        day.updates = UpdateSequence::silent();
+        let (cons, incons) = continuous_times(&day, 0, 1);
+        assert!(incons.is_empty());
+        assert_eq!(cons.len(), 1, "one long consistent run");
+    }
+}

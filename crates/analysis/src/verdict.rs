@@ -1,0 +1,215 @@
+//! The automated §3.6 verdict: given a crawl trace, reproduce the paper's
+//! conclusions about the measured CDN — which update method and
+//! infrastructure it runs, and how the inconsistency splits across causes
+//! (the §3.4.6 summary and the Fig. 13 architecture deduction).
+
+use crate::causes::{detect_absences, provider_inconsistency_lengths, provider_response_times};
+use crate::inconsistency::day_episodes;
+use crate::tree_test::{
+    daily_ranks, fraction_below_ttl, group_daily_mean_inconsistency, rank_churn,
+};
+use crate::ttl_inference::{infer_ttl, refine_ttl, theory_rmse};
+use cdnc_geo::cluster_by_location;
+use cdnc_trace::Trace;
+use std::fmt;
+
+/// Everything the §3 pipeline concludes about a crawled CDN.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CdnVerdict {
+    /// The inferred content TTL, seconds (paper: 60 s).
+    pub inferred_ttl_s: Option<f64>,
+    /// RMSE of the uniform-staleness theory at the inferred TTL.
+    pub theory_fit_rmse: Option<f64>,
+    /// Mean inconsistency length across all requests, seconds.
+    pub mean_inconsistency_s: f64,
+    /// Estimated fraction of the inconsistency explained by the TTL alone
+    /// (paper: ≈ 75 %).
+    pub ttl_contribution: f64,
+    /// Mean origin-replica inconsistency, seconds (paper: negligible).
+    pub origin_inconsistency_s: f64,
+    /// Provider response-time range, seconds (paper: [0.5, 2.1] — no
+    /// congestion).
+    pub provider_response_range_s: (f64, f64),
+    /// Detected server absences across the trace.
+    pub absences: usize,
+    /// Day-to-day rank churn of geographic clusters (0 would indicate a
+    /// static multicast tree).
+    pub cluster_rank_churn: f64,
+    /// Fraction of absence-free servers whose daily max inconsistency stays
+    /// below the inferred TTL + delay slack (large ⇒ no multicast layering).
+    pub max_inconsistency_bounded_fraction: f64,
+    /// The architecture deduction (the paper's Fig. 13 conclusion).
+    pub uses_unicast_ttl: bool,
+}
+
+impl fmt::Display for CdnVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "CDN measurement verdict (paper §3.6):")?;
+        match self.inferred_ttl_s {
+            Some(ttl) => writeln!(
+                f,
+                "  content TTL ≈ {ttl:.0}s (theory fit RMSE {:.3})",
+                self.theory_fit_rmse.unwrap_or(f64::NAN)
+            )?,
+            None => writeln!(f, "  content TTL could not be inferred")?,
+        }
+        writeln!(
+            f,
+            "  mean inconsistency {:.1}s — ≈{:.0}% attributable to the TTL",
+            self.mean_inconsistency_s,
+            100.0 * self.ttl_contribution
+        )?;
+        writeln!(
+            f,
+            "  origin: {:.1}s mean inconsistency; responses within [{:.2}, {:.2}]s",
+            self.origin_inconsistency_s,
+            self.provider_response_range_s.0,
+            self.provider_response_range_s.1
+        )?;
+        writeln!(
+            f,
+            "  {} absences detected; cluster rank churn {:.2}; {:.0}% of maxima TTL-bounded",
+            self.absences,
+            self.cluster_rank_churn,
+            100.0 * self.max_inconsistency_bounded_fraction
+        )?;
+        write!(
+            f,
+            "  architecture: {}",
+            if self.uses_unicast_ttl {
+                "servers poll the provider directly (unicast + TTL)"
+            } else {
+                "evidence of an update-distribution layer (NOT plain unicast TTL)"
+            }
+        )
+    }
+}
+
+/// Runs the full §3 pipeline over a trace and renders its conclusions.
+///
+/// # Panics
+///
+/// Panics if the trace has no days.
+pub fn analyze(trace: &Trace) -> CdnVerdict {
+    assert!(!trace.days.is_empty(), "empty trace");
+    // Inconsistency lengths and TTL inference (Figs. 3, 6).
+    let lengths: Vec<f64> = trace
+        .days
+        .iter()
+        .flat_map(|day| day_episodes(day, &trace.servers, None))
+        .map(|e| e.length_s)
+        .collect();
+    let mean_inconsistency_s = if lengths.is_empty() {
+        0.0
+    } else {
+        lengths.iter().sum::<f64>() / lengths.len() as f64
+    };
+    // The paper anchors the candidate window with the recursive refinement
+    // (TTL' = 2·E'[I]) and then grid-searches around it; a fully open grid
+    // has spurious minima at small candidates (any small-T sub-sample looks
+    // locally uniform).
+    let inferred_ttl_s = refine_ttl(&lengths, 1e-4, 200).and_then(|anchor| {
+        let lo = (anchor * 0.7).max(4.0) as u64;
+        let hi = (anchor * 1.3) as u64;
+        let candidates: Vec<f64> = (lo..=hi.max(lo + 2)).step_by(2).map(|c| c as f64).collect();
+        infer_ttl(&lengths, &candidates)
+    });
+    let theory_fit_rmse = inferred_ttl_s.and_then(|ttl| theory_rmse(&lengths, ttl, 61));
+    // The paper's §3.4.6 attribution: a pure-TTL CDN would average TTL/2;
+    // everything above that is the other causes.
+    let ttl_contribution = match inferred_ttl_s {
+        Some(ttl) if mean_inconsistency_s > 0.0 => {
+            ((ttl / 2.0) / mean_inconsistency_s).min(1.0)
+        }
+        _ => 0.0,
+    };
+    // Origin health (Figs. 7, 10(a)).
+    let origin: Vec<f64> =
+        trace.days.iter().flat_map(provider_inconsistency_lengths).collect();
+    let origin_inconsistency_s = if origin.is_empty() {
+        0.0
+    } else {
+        origin.iter().sum::<f64>() / origin.len() as f64
+    };
+    let rt = provider_response_times(&trace.days[0]);
+    let provider_response_range_s = (rt.min().unwrap_or(0.0), rt.max().unwrap_or(0.0));
+    // Absences (Fig. 10(b)).
+    let absences: usize = trace
+        .days
+        .iter()
+        .map(|d| detect_absences(d, trace.poll_interval).len())
+        .sum();
+    // Tree-existence tests (Figs. 11–12).
+    let points: Vec<_> = trace.servers.iter().map(|s| s.location).collect();
+    let groups: Vec<Vec<u32>> = cluster_by_location(&points, 0)
+        .into_iter()
+        .filter(|c| c.len() >= 2)
+        .map(|c| c.members.into_iter().map(|m| m as u32).collect())
+        .collect();
+    let cluster_rank_churn = if groups.len() >= 3 && trace.days.len() >= 2 {
+        let means = group_daily_mean_inconsistency(trace, &groups);
+        rank_churn(&daily_ranks(&means))
+    } else {
+        0.0
+    };
+    let slack_ttl = inferred_ttl_s.unwrap_or(60.0) * 1.5;
+    let max_inconsistency_bounded_fraction = fraction_below_ttl(trace, 0, slack_ttl);
+    // The deduction: a CDN is "unicast + TTL" when the theory fits, maxima
+    // are TTL-bounded for most servers, and no stable layering shows up.
+    let theory_fits = theory_fit_rmse.is_some_and(|r| r < 0.25);
+    let churn_is_high = trace.days.len() < 2 || groups.len() < 3 || cluster_rank_churn > 0.05;
+    let uses_unicast_ttl =
+        theory_fits && max_inconsistency_bounded_fraction > 0.5 && churn_is_high;
+    CdnVerdict {
+        inferred_ttl_s,
+        theory_fit_rmse,
+        mean_inconsistency_s,
+        ttl_contribution,
+        origin_inconsistency_s,
+        provider_response_range_s,
+        absences,
+        cluster_rank_churn,
+        max_inconsistency_bounded_fraction,
+        uses_unicast_ttl,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdnc_trace::{crawl, CrawlConfig};
+
+    fn trace() -> Trace {
+        crawl(&CrawlConfig { servers: 60, users: 25, days: 2, seed: 3, ..CrawlConfig::tiny() })
+    }
+
+    #[test]
+    fn verdict_matches_ground_truth() {
+        let v = analyze(&trace());
+        let ttl = v.inferred_ttl_s.expect("TTL inferable");
+        assert!((50.0..=76.0).contains(&ttl), "inferred {ttl}");
+        assert!(v.uses_unicast_ttl, "the ground truth IS unicast + TTL: {v}");
+        assert!((0.4..1.0).contains(&v.ttl_contribution), "TTL share {}", v.ttl_contribution);
+        assert!(v.origin_inconsistency_s < v.mean_inconsistency_s / 2.0);
+        assert!(v.provider_response_range_s.0 >= 0.5);
+        assert!(v.provider_response_range_s.1 <= 2.1 + 1e-9);
+        assert!(v.absences > 0);
+    }
+
+    #[test]
+    fn verdict_renders_readably() {
+        let v = analyze(&trace());
+        let text = v.to_string();
+        assert!(text.contains("content TTL"));
+        assert!(text.contains("unicast + TTL"));
+        assert!(text.contains('%'));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_trace_rejected() {
+        let mut t = trace();
+        t.days.clear();
+        analyze(&t);
+    }
+}

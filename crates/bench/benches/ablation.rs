@@ -1,0 +1,95 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! multicast-tree arity, HAT cluster count, and Hilbert vs naive
+//! longitude-band clustering.
+
+use cdnc_bench::{bench_section5_config, bench_sim_config};
+use cdnc_core::{run, MethodKind, Scheme};
+use cdnc_geo::{cluster_by_hilbert, GeoPoint, WorldBuilder};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_tree_arity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_tree_arity");
+    group.sample_size(10);
+    for arity in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(arity), &arity, |b, &a| {
+            b.iter(|| {
+                run(&bench_sim_config(
+                    Scheme::Multicast { method: MethodKind::Push, arity: a },
+                    60,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_hat_cluster_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_hat_clusters");
+    group.sample_size(10);
+    for clusters in [5usize, 20, 40] {
+        group.bench_with_input(BenchmarkId::from_parameter(clusters), &clusters, |b, &k| {
+            b.iter(|| {
+                run(&bench_section5_config(
+                    Scheme::Hybrid {
+                        clusters: k,
+                        tree_arity: 4,
+                        member_method: MethodKind::SelfAdaptive,
+                    },
+                    80,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Naive comparison baseline: chunk points by longitude instead of Hilbert
+/// number (loses the latitude locality the curve preserves).
+fn cluster_by_longitude(points: &[GeoPoint], k: usize) -> Vec<Vec<usize>> {
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&a, &b| {
+        points[a].lon_deg().partial_cmp(&points[b].lon_deg()).expect("finite").then(a.cmp(&b))
+    });
+    order.chunks(points.len().div_ceil(k).max(1)).map(<[usize]>::to_vec).collect()
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let world = WorldBuilder::new(850).seed(5).build();
+    let points: Vec<GeoPoint> = world.nodes().iter().map(|n| n.location).collect();
+    let mut group = c.benchmark_group("ablation_clustering");
+    group.bench_function("hilbert_20", |b| b.iter(|| cluster_by_hilbert(&points, 20)));
+    group.bench_function("longitude_20", |b| b.iter(|| cluster_by_longitude(&points, 20)));
+    group.finish();
+}
+
+fn bench_failure_rate(c: &mut Criterion) {
+    use cdnc_core::FailureConfig;
+    let mut group = c.benchmark_group("ablation_failure_rate");
+    group.sample_size(10);
+    for gap_s in [2_000.0f64, 400.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("gap{gap_s:.0}s")),
+            &gap_s,
+            |b, &gap| {
+                b.iter(|| {
+                    let mut cfg = bench_sim_config(
+                        Scheme::Multicast { method: MethodKind::Push, arity: 2 },
+                        60,
+                    );
+                    cfg.failures = Some(FailureConfig::with_mean_gap_s(gap));
+                    run(&cfg)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    ablation,
+    bench_tree_arity,
+    bench_hat_cluster_count,
+    bench_clustering,
+    bench_failure_rate
+);
+criterion_main!(ablation);

@@ -1,0 +1,107 @@
+//! Benchmarks of the §4 evaluation workloads: one group per figure
+//! (Figs. 14–20), each timing the simulation(s) that regenerate it.
+
+use cdnc_bench::bench_sim_config;
+use cdnc_core::{run, MethodKind, Scheme};
+use cdnc_simcore::SimDuration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const N: usize = 40;
+
+fn bench_fig14_fig15(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14_fig15_methods");
+    group.sample_size(10);
+    for method in [MethodKind::Push, MethodKind::Invalidation, MethodKind::Ttl] {
+        group.bench_with_input(
+            BenchmarkId::new("unicast", format!("{method}")),
+            &method,
+            |b, &m| b.iter(|| run(&bench_sim_config(Scheme::Unicast(m), N))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("multicast", format!("{method}")),
+            &method,
+            |b, &m| {
+                b.iter(|| run(&bench_sim_config(Scheme::Multicast { method: m, arity: 2 }, N)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fig16_fig17(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig16_fig17_traffic");
+    group.sample_size(10);
+    for ttl in [10u64, 60] {
+        group.bench_with_input(BenchmarkId::new("ttl_sweep", ttl), &ttl, |b, &ttl| {
+            b.iter(|| {
+                let mut cfg = bench_sim_config(Scheme::Unicast(MethodKind::Ttl), N);
+                cfg.server_ttl = SimDuration::from_secs(ttl);
+                run(&cfg)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig18(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig18_user_ttl");
+    group.sample_size(10);
+    for uttl in [10u64, 120] {
+        group.bench_with_input(BenchmarkId::new("invalidation", uttl), &uttl, |b, &uttl| {
+            b.iter(|| {
+                let mut cfg = bench_sim_config(Scheme::Unicast(MethodKind::Invalidation), N);
+                cfg.user_ttl = SimDuration::from_secs(uttl);
+                run(&cfg)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig19(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig19_packet_size");
+    group.sample_size(10);
+    for kb in [1.0f64, 500.0] {
+        group.bench_with_input(
+            BenchmarkId::new("push_unicast", format!("{kb}KB")),
+            &kb,
+            |b, &kb| {
+                b.iter(|| {
+                    let mut cfg = bench_sim_config(Scheme::Unicast(MethodKind::Push), N);
+                    cfg.update_packet_kb = kb;
+                    run(&cfg)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fig20(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig20_network_size");
+    group.sample_size(10);
+    for n in [40usize, 120] {
+        group.bench_with_input(BenchmarkId::new("push_unicast", n), &n, |b, &n| {
+            b.iter(|| run(&bench_sim_config(Scheme::Unicast(MethodKind::Push), n)))
+        });
+        group.bench_with_input(BenchmarkId::new("ttl_multicast", n), &n, |b, &n| {
+            b.iter(|| {
+                run(&bench_sim_config(
+                    Scheme::Multicast { method: MethodKind::Ttl, arity: 2 },
+                    n,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    evaluation_figures,
+    bench_fig14_fig15,
+    bench_fig16_fig17,
+    bench_fig18,
+    bench_fig19,
+    bench_fig20
+);
+criterion_main!(evaluation_figures);

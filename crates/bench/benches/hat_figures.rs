@@ -1,0 +1,42 @@
+//! Benchmarks of the §5 HAT comparison workloads (Figs. 22–24).
+
+use cdnc_bench::bench_section5_config;
+use cdnc_core::{run, Scheme};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const N: usize = 60;
+
+fn bench_fig22_fig23_lineup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig22_fig23_lineup");
+    group.sample_size(10);
+    for scheme in Scheme::section5_lineup() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &scheme,
+            |b, &s| b.iter(|| run(&bench_section5_config(s, N))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_fig24_roaming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig24_roaming");
+    group.sample_size(10);
+    for scheme in [Scheme::hat(), Scheme::hybrid()] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &scheme,
+            |b, &s| {
+                b.iter(|| {
+                    let mut cfg = bench_section5_config(s, N);
+                    cfg.users_roam = true;
+                    run(&cfg)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(hat_figures, bench_fig22_fig23_lineup, bench_fig24_roaming);
+criterion_main!(hat_figures);

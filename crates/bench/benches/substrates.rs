@@ -1,0 +1,81 @@
+//! Micro-benchmarks of the hot substrate operations.
+
+use cdnc_core::DistributionTree;
+use cdnc_geo::{hilbert_index, GeoPoint, WorldBuilder};
+use cdnc_net::NodeId;
+use cdnc_simcore::stats::{Cdf, OnlineStats};
+use cdnc_simcore::{EventQueue, SimRng, SimTime};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    for n in [1_000usize, 100_000] {
+        group.bench_with_input(BenchmarkId::new("push_pop", n), &n, |b, &n| {
+            let mut rng = SimRng::seed_from_u64(1);
+            let times: Vec<u64> = (0..n).map(|_| rng.int_range(0, 1_000_000)).collect();
+            b.iter(|| {
+                let mut q = EventQueue::with_capacity(n);
+                for (i, &t) in times.iter().enumerate() {
+                    q.push(SimTime::from_micros(t), i);
+                }
+                let mut acc = 0usize;
+                while let Some((_, e)) = q.pop() {
+                    acc = acc.wrapping_add(e);
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_geo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("geo");
+    let a = GeoPoint::new(33.749, -84.388).unwrap();
+    let b = GeoPoint::new(35.690, 139.692).unwrap();
+    group.bench_function("haversine", |bch| bch.iter(|| black_box(a).distance_km(black_box(&b))));
+    group.bench_function("hilbert_index", |bch| bch.iter(|| hilbert_index(black_box(&b))));
+    group.finish();
+}
+
+fn bench_tree_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_build");
+    for n in [170usize, 850] {
+        let world = WorldBuilder::new(n).seed(3).build();
+        let mut locations: Vec<GeoPoint> = vec![world.provider_location()];
+        locations.extend(world.nodes().iter().map(|w| w.location));
+        let members: Vec<NodeId> = (1..=n as u32).map(NodeId).collect();
+        group.bench_with_input(BenchmarkId::new("proximity_binary", n), &n, |bch, _| {
+            bch.iter(|| {
+                DistributionTree::build_proximity(NodeId(0), &members, 2, |id| {
+                    locations[id.index()]
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stats");
+    let mut rng = SimRng::seed_from_u64(2);
+    let samples: Vec<f64> = (0..100_000).map(|_| rng.uniform_range(0.0, 100.0)).collect();
+    group.bench_function("cdf_build_100k", |b| {
+        b.iter(|| Cdf::from_samples(samples.iter().copied()))
+    });
+    let cdf = Cdf::from_samples(samples.iter().copied());
+    group.bench_function("cdf_percentile", |b| b.iter(|| cdf.percentile(black_box(95.0))));
+    group.bench_function("online_stats_100k", |b| {
+        b.iter(|| {
+            let mut s = OnlineStats::new();
+            for &x in &samples {
+                s.push(x);
+            }
+            black_box(s.std_dev())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(substrates, bench_event_queue, bench_geo, bench_tree_build, bench_stats);
+criterion_main!(substrates);

@@ -1,0 +1,118 @@
+//! Benchmarks of the §3 measurement pipeline: one group per paper figure
+//! (Figs. 3–12), each timing the analysis that regenerates it over a shared
+//! crawl trace.
+
+use cdnc_analysis::causes::{
+    detect_absences, distance_vs_consistency, inconsistency_by_absence_length,
+    isp_inconsistency, provider_inconsistency_lengths, provider_response_times,
+};
+use cdnc_analysis::inconsistency::day_episodes;
+use cdnc_analysis::tree_test::{
+    daily_ranks, group_daily_mean_inconsistency, max_inconsistency_cdf, rank_churn,
+};
+use cdnc_analysis::ttl_inference::{infer_ttl, theory_rmse};
+use cdnc_analysis::user_view::{all_continuous_times, redirect_fraction_cdf};
+use cdnc_bench::bench_trace;
+use cdnc_geo::cluster_by_location;
+use cdnc_trace::{crawl, CrawlConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_crawl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crawl");
+    group.sample_size(10);
+    group.bench_function("synthesize_trace_day", |b| {
+        b.iter(|| {
+            crawl(&CrawlConfig { servers: 30, users: 10, days: 1, ..CrawlConfig::tiny() })
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let trace = bench_trace();
+    c.bench_function("fig3_episode_extraction", |b| {
+        b.iter(|| day_episodes(&trace.days[0], &trace.servers, None))
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut group = c.benchmark_group("fig4_user_view");
+    group.sample_size(20);
+    group.bench_function("redirect_cdf", |b| b.iter(|| redirect_fraction_cdf(&trace)));
+    group.bench_function("continuous_times", |b| b.iter(|| all_continuous_times(&trace, 1)));
+    group.finish();
+}
+
+fn bench_fig5_fig6(c: &mut Criterion) {
+    let trace = bench_trace();
+    let lengths: Vec<f64> = trace
+        .days
+        .iter()
+        .flat_map(|day| day_episodes(day, &trace.servers, None))
+        .map(|e| e.length_s)
+        .collect();
+    let mut group = c.benchmark_group("fig5_fig6_ttl_inference");
+    let points: Vec<_> = trace.servers.iter().map(|s| s.location).collect();
+    group.bench_function("fig5_location_clustering", |b| {
+        b.iter(|| cluster_by_location(black_box(&points), 0))
+    });
+    let candidates: Vec<f64> = (40..=80).step_by(2).map(f64::from).collect();
+    group.bench_function("fig6_infer_ttl", |b| b.iter(|| infer_ttl(&lengths, &candidates)));
+    group.bench_function("fig6_theory_rmse", |b| b.iter(|| theory_rmse(&lengths, 60.0, 61)));
+    group.finish();
+}
+
+fn bench_fig7_to_fig10(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut group = c.benchmark_group("fig7_to_fig10_causes");
+    group.bench_function("fig7_provider_inconsistency", |b| {
+        b.iter(|| provider_inconsistency_lengths(&trace.days[0]))
+    });
+    group.bench_function("fig8_distance_correlation", |b| {
+        b.iter(|| distance_vs_consistency(&trace, 0, 2_000.0))
+    });
+    group.bench_function("fig9_isp_breakdown", |b| b.iter(|| isp_inconsistency(&trace, 0)));
+    group.bench_function("fig10a_response_times", |b| {
+        b.iter(|| provider_response_times(&trace.days[0]))
+    });
+    group.bench_function("fig10b_absence_detection", |b| {
+        b.iter(|| detect_absences(&trace.days[0], trace.poll_interval))
+    });
+    group.bench_function("fig10c_absence_binning", |b| {
+        b.iter(|| inconsistency_by_absence_length(&trace, 0))
+    });
+    group.finish();
+}
+
+fn bench_fig11_fig12(c: &mut Criterion) {
+    let trace = bench_trace();
+    let points: Vec<_> = trace.servers.iter().map(|s| s.location).collect();
+    let groups: Vec<Vec<u32>> = cluster_by_location(&points, 0)
+        .into_iter()
+        .map(|cl| cl.members.into_iter().map(|m| m as u32).collect())
+        .collect();
+    let mut group = c.benchmark_group("fig11_fig12_tree_tests");
+    group.sample_size(20);
+    group.bench_function("fig11_rank_churn", |b| {
+        b.iter(|| {
+            let means = group_daily_mean_inconsistency(&trace, &groups);
+            rank_churn(&daily_ranks(&means))
+        })
+    });
+    group.bench_function("fig12_max_inconsistency_cdf", |b| {
+        b.iter(|| max_inconsistency_cdf(&trace, 0))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    trace_figures,
+    bench_crawl,
+    bench_fig3,
+    bench_fig4,
+    bench_fig5_fig6,
+    bench_fig7_to_fig10,
+    bench_fig11_fig12
+);
+criterion_main!(trace_figures);

@@ -1,0 +1,53 @@
+//! # cdnc-bench
+//!
+//! Shared fixtures for the Criterion benchmark harness. Each bench target
+//! regenerates a paper figure's workload at a reduced-but-faithful scale:
+//!
+//! * `substrates` — micro-benches of the hot substrate operations;
+//! * `trace_figures` — the §3 measurement pipeline (Figs. 3–12);
+//! * `evaluation_figures` — the §4 evaluation sims (Figs. 14–20);
+//! * `hat_figures` — the §5 HAT comparison (Figs. 22–24);
+//! * `ablation` — the design-choice ablations called out in DESIGN.md.
+
+use cdnc_core::{Scheme, SimConfig};
+use cdnc_simcore::SimRng;
+use cdnc_trace::{crawl, CrawlConfig, Trace, UpdateSequence};
+
+/// The update workload every evaluation bench replays.
+pub fn bench_updates() -> UpdateSequence {
+    UpdateSequence::live_game(&mut SimRng::seed_from_u64(42))
+}
+
+/// A §4-style configuration small enough to benchmark repeatedly.
+pub fn bench_sim_config(scheme: Scheme, servers: usize) -> SimConfig {
+    let mut cfg = SimConfig::section4(scheme, bench_updates());
+    cfg.servers = servers;
+    cfg
+}
+
+/// A §5-style configuration small enough to benchmark repeatedly.
+pub fn bench_section5_config(scheme: Scheme, servers: usize) -> SimConfig {
+    let mut cfg = SimConfig::section5(scheme, bench_updates());
+    cfg.servers = servers;
+    cfg
+}
+
+/// A small crawl trace shared by the §3 pipeline benches.
+pub fn bench_trace() -> Trace {
+    crawl(&CrawlConfig { servers: 50, users: 20, days: 1, seed: 7, ..CrawlConfig::tiny() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_usable() {
+        assert!(bench_updates().len() > 100);
+        let trace = bench_trace();
+        assert_eq!(trace.servers.len(), 50);
+        let cfg = bench_sim_config(Scheme::hat(), 40);
+        assert_eq!(cfg.servers, 40);
+        assert_eq!(bench_section5_config(Scheme::hat(), 60).server_ttl.as_secs(), 60);
+    }
+}

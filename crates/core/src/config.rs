@@ -1,0 +1,277 @@
+//! Simulation configuration: schemes (method × infrastructure) and the
+//! experimental parameters of paper §4 and §5.
+
+use crate::method::MethodKind;
+use cdnc_net::{AbsenceConfig, NetworkConfig};
+use cdnc_simcore::{SimDuration, SimTime};
+use cdnc_trace::UpdateSequence;
+use std::fmt;
+
+/// A deployment scheme: an update method married to an update
+/// infrastructure.
+///
+/// The six §5.3 comparison systems map onto this as:
+///
+/// | Paper name   | Scheme                                                    |
+/// |--------------|-----------------------------------------------------------|
+/// | Push         | `Unicast(Push)`                                           |
+/// | Invalidation | `Unicast(Invalidation)`                                   |
+/// | TTL          | `Unicast(Ttl)`                                            |
+/// | Self         | `Unicast(SelfAdaptive)`                                   |
+/// | Hybrid       | `Hybrid { member_method: Ttl, .. }`                       |
+/// | HAT          | `Hybrid { member_method: SelfAdaptive, .. }`              |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// The provider talks to every server directly.
+    Unicast(MethodKind),
+    /// Servers form a proximity-aware d-ary tree rooted at the provider.
+    Multicast {
+        /// Update method run on every tree edge.
+        method: MethodKind,
+        /// Maximum children per tree node (paper §4 uses 2).
+        arity: usize,
+    },
+    /// HAT's infrastructure (§5.2): servers are clustered by Hilbert number;
+    /// each cluster elects a supernode; supernodes receive updates by Push
+    /// over a proximity-aware tree; cluster members run `member_method`
+    /// against their supernode.
+    Hybrid {
+        /// Number of proximity clusters (paper §5.3 uses 20).
+        clusters: usize,
+        /// Supernode tree arity (paper §5.3 uses 4).
+        tree_arity: usize,
+        /// Method run by intra-cluster members: `Ttl` gives the paper's
+        /// "Hybrid" baseline, `SelfAdaptive` gives HAT.
+        member_method: MethodKind,
+    },
+}
+
+impl Scheme {
+    /// The paper's §5 "Hybrid" system (supernode tree + TTL members).
+    pub fn hybrid() -> Self {
+        Scheme::Hybrid { clusters: 20, tree_arity: 4, member_method: MethodKind::Ttl }
+    }
+
+    /// The paper's proposed HAT (supernode tree + self-adaptive members).
+    pub fn hat() -> Self {
+        Scheme::Hybrid { clusters: 20, tree_arity: 4, member_method: MethodKind::SelfAdaptive }
+    }
+
+    /// The six §5.3 comparison systems in the paper's order:
+    /// Push, Invalidation, TTL, Self, Hybrid, HAT.
+    pub fn section5_lineup() -> [Scheme; 6] {
+        [
+            Scheme::Unicast(MethodKind::Push),
+            Scheme::Unicast(MethodKind::Invalidation),
+            Scheme::Unicast(MethodKind::Ttl),
+            Scheme::Unicast(MethodKind::SelfAdaptive),
+            Scheme::hybrid(),
+            Scheme::hat(),
+        ]
+    }
+
+    /// The short label the paper uses for this scheme in §5 figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scheme::Unicast(MethodKind::Push) => "Push",
+            Scheme::Unicast(MethodKind::Invalidation) => "Invalidation",
+            Scheme::Unicast(MethodKind::Ttl) => "TTL",
+            Scheme::Unicast(MethodKind::SelfAdaptive) => "Self",
+            Scheme::Unicast(MethodKind::AdaptiveTtl) => "AdaptiveTTL",
+            Scheme::Multicast { method: MethodKind::Push, .. } => "Push/Multicast",
+            Scheme::Multicast { method: MethodKind::Invalidation, .. } => {
+                "Invalidation/Multicast"
+            }
+            Scheme::Multicast { method: MethodKind::Ttl, .. } => "TTL/Multicast",
+            Scheme::Multicast { method: MethodKind::SelfAdaptive, .. } => "Self/Multicast",
+            Scheme::Multicast { method: MethodKind::AdaptiveTtl, .. } => {
+                "AdaptiveTTL/Multicast"
+            }
+            Scheme::Hybrid { member_method: MethodKind::SelfAdaptive, .. } => "HAT",
+            Scheme::Hybrid { .. } => "Hybrid",
+        }
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Server-failure injection for the evaluation simulator.
+///
+/// The paper motivates the infrastructure comparison with exactly this
+/// threat: "node failures break the structure connectivity and lead to
+/// unsuccessful update propagation ... the structure maintenance will incur
+/// high overhead" (§1). With failures enabled, servers go absent per the
+/// schedule: messages to/from them are lost, multicast trees repair
+/// themselves (orphans re-attach, charging structure-maintenance messages),
+/// and recovered nodes re-join and re-synchronise with a conditional poll.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailureConfig {
+    /// The failure/overload process (same model as the measured §3.4.5
+    /// absences).
+    pub absence: AbsenceConfig,
+    /// How long a replica waits for an on-demand fetch response before
+    /// giving up (the upstream may have died mid-request).
+    pub fetch_timeout: SimDuration,
+}
+
+impl Default for FailureConfig {
+    fn default() -> Self {
+        FailureConfig {
+            absence: AbsenceConfig::default(),
+            fetch_timeout: SimDuration::from_secs(15),
+        }
+    }
+}
+
+impl FailureConfig {
+    /// A failure process with the given mean gap between one server's
+    /// failures, seconds.
+    pub fn with_mean_gap_s(mean_gap_s: f64) -> Self {
+        FailureConfig {
+            absence: AbsenceConfig { mean_gap_s, ..AbsenceConfig::default() },
+            ..FailureConfig::default()
+        }
+    }
+}
+
+/// Full configuration of one CDN-consistency simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of content servers (paper §4: 170; §5: 850).
+    pub servers: usize,
+    /// Simulated end-users per server (paper: 5).
+    pub users_per_server: usize,
+    /// Deployment scheme under test.
+    pub scheme: Scheme,
+    /// Content-server TTL for polling methods (paper §4 behaviour implies
+    /// ~10 s; §5 sets 60 s).
+    pub server_ttl: SimDuration,
+    /// End-user poll interval ("end-user TTL", paper: 10 s).
+    pub user_ttl: SimDuration,
+    /// Size of a content-update packet, KB (paper §4: 1 KB; Fig. 19 sweeps
+    /// to 500 KB).
+    pub update_packet_kb: f64,
+    /// The update sequence to replay (relative times; shifted by
+    /// `update_start`).
+    pub updates: UpdateSequence,
+    /// When the provider starts updating (paper: t = 60 s).
+    pub update_start: SimDuration,
+    /// End-users start at a uniformly random time in `[0, user_start_window]`
+    /// (paper: [0, 50] s).
+    pub user_start_window: SimDuration,
+    /// Extra simulated time after the last update, letting in-flight
+    /// adoptions finish.
+    pub drain: SimDuration,
+    /// When `true`, every successive visit of a user goes to a different
+    /// random server (the paper's Fig. 24 scenario); when `false`, users
+    /// stick to their home server.
+    pub users_roam: bool,
+    /// Optional server-failure injection (extension of the paper's §4
+    /// evaluation; `None` reproduces the paper's failure-free runs).
+    pub failures: Option<FailureConfig>,
+    /// Heterogeneity of end-user visit frequencies (§6's "varying visit
+    /// frequencies" factor): each user's visit interval is `user_ttl`
+    /// scaled by a log-uniform factor in `[1/(1+s), 1+s]`. 0 reproduces the
+    /// paper's homogeneous users.
+    pub visit_spread: f64,
+    /// Network model parameters.
+    pub network: NetworkConfig,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// Paper §4 defaults: 170 servers mainly in US/EU/Asia, provider in
+    /// Atlanta, 5 users per server, 1 KB packets, updates from t = 60 s,
+    /// users from U[0, 50] s, server TTL 10 s.
+    pub fn section4(scheme: Scheme, updates: UpdateSequence) -> Self {
+        SimConfig {
+            servers: 170,
+            users_per_server: 5,
+            scheme,
+            server_ttl: SimDuration::from_secs(10),
+            user_ttl: SimDuration::from_secs(10),
+            update_packet_kb: 1.0,
+            updates,
+            update_start: SimDuration::from_secs(60),
+            user_start_window: SimDuration::from_secs(50),
+            drain: SimDuration::from_secs(240),
+            users_roam: false,
+            failures: None,
+            visit_spread: 0.0,
+            network: NetworkConfig::default(),
+            seed: 0,
+        }
+    }
+
+    /// Paper §5.3 defaults: 850 servers (each of 170 sites simulates 5),
+    /// 5 observers per server, server TTL 60 s, observer TTL 10 s.
+    pub fn section5(scheme: Scheme, updates: UpdateSequence) -> Self {
+        SimConfig {
+            servers: 850,
+            server_ttl: SimDuration::from_secs(60),
+            drain: SimDuration::from_secs(360),
+            ..SimConfig::section4(scheme, updates)
+        }
+    }
+
+    /// Total end-user count.
+    pub fn users(&self) -> usize {
+        self.servers * self.users_per_server
+    }
+
+    /// The simulation horizon: update start + last update + drain.
+    pub fn horizon(&self) -> SimTime {
+        SimTime::ZERO + self.update_start + self.updates.last_update().since(SimTime::ZERO)
+            + self.drain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn section5_lineup_labels() {
+        let labels: Vec<&str> =
+            Scheme::section5_lineup().iter().map(|s| s.label()).collect();
+        assert_eq!(labels, ["Push", "Invalidation", "TTL", "Self", "Hybrid", "HAT"]);
+    }
+
+    #[test]
+    fn multicast_labels() {
+        assert_eq!(
+            Scheme::Multicast { method: MethodKind::Ttl, arity: 2 }.label(),
+            "TTL/Multicast"
+        );
+        assert_eq!(Scheme::hat().to_string(), "HAT");
+    }
+
+    #[test]
+    fn horizon_accounts_for_start_and_drain() {
+        let updates = UpdateSequence::periodic(
+            SimDuration::from_secs(10),
+            SimTime::from_secs(100),
+        );
+        let cfg = SimConfig::section4(Scheme::Unicast(MethodKind::Push), updates);
+        assert_eq!(
+            cfg.horizon(),
+            SimTime::from_secs(60 + 100 + 240),
+            "horizon = start + last update + drain"
+        );
+        assert_eq!(cfg.users(), 850);
+    }
+
+    #[test]
+    fn section5_scales_up() {
+        let updates = UpdateSequence::silent();
+        let cfg = SimConfig::section5(Scheme::hat(), updates);
+        assert_eq!(cfg.servers, 850);
+        assert_eq!(cfg.users(), 4_250);
+        assert_eq!(cfg.server_ttl, SimDuration::from_secs(60));
+    }
+}

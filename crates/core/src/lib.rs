@@ -1,0 +1,41 @@
+//! # cdnc-core
+//!
+//! The paper's primary contribution as a reusable library: a CDN
+//! consistency-maintenance framework with pluggable **update methods**
+//! (TTL, Push, Invalidation, and the §5.1 self-adaptive method) and
+//! **update infrastructures** (unicast, proximity-aware d-ary multicast
+//! trees, and the §5.2 hybrid supernode-cluster infrastructure), plus the
+//! event-driven simulator used to evaluate every §4/§5 figure.
+//!
+//! The paper's six §5.3 comparison systems are one-liners:
+//!
+//! ```
+//! use cdnc_core::{run, Scheme, SimConfig};
+//! use cdnc_simcore::SimRng;
+//! use cdnc_trace::UpdateSequence;
+//!
+//! let mut rng = SimRng::seed_from_u64(1);
+//! let updates = UpdateSequence::live_game(&mut rng);
+//! for scheme in Scheme::section5_lineup() {
+//!     let mut cfg = SimConfig::section5(scheme, updates.clone());
+//!     cfg.servers = 40; // scale down for the doc test
+//!     let report = run(&cfg);
+//!     assert!(report.total_observations > 0);
+//! }
+//! ```
+
+pub mod config;
+pub mod method;
+pub mod metrics;
+pub mod policy;
+pub mod sim;
+pub mod topology;
+pub mod tree;
+
+pub use config::{FailureConfig, Scheme, SimConfig};
+pub use method::{AdaptiveMode, MethodKind};
+pub use metrics::SimReport;
+pub use policy::{recommend, CostObjective, Recommendation, Requirement, WorkloadProfile};
+pub use sim::run;
+pub use topology::Topology;
+pub use tree::DistributionTree;

@@ -1,0 +1,127 @@
+//! Update methods (paper §1, §4).
+//!
+//! Three basic methods plus the paper's §5.1 self-adaptive combination:
+//!
+//! * **TTL** — replicas unconditionally re-fetch the content every TTL.
+//!   Scalable (load is spread over the TTL window) and aggregates bursts of
+//!   updates, but guarantees only weak consistency (staleness up to one TTL
+//!   per tree layer) and wastes full-content transfers when nothing changed.
+//! * **Push** — the provider transmits every update to every replica
+//!   immediately. Strongest consistency, but the provider's uplink serialises
+//!   N copies per update (congestion at scale) and uninterested replicas
+//!   still receive content.
+//! * **Invalidation** — the provider sends a light invalidation notice; a
+//!   replica fetches the content only when a user actually asks for it.
+//!   Saves traffic when visits are rarer than updates and aggregates updates
+//!   between visits.
+//! * **Self-adaptive** (paper Algorithm 1) — run TTL while updates keep
+//!   arriving; after a poll that finds *no* update, switch to Invalidation;
+//!   switch back to TTL after the first post-invalidation fetch. The
+//!   staggered first visits after a silence also spread the re-polling load
+//!   (avoiding the Incast problem §5.1 describes).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The update method a replica (or a whole deployment) runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MethodKind {
+    /// Unconditional periodic re-fetch.
+    Ttl,
+    /// Immediate provider-driven update transmission.
+    Push,
+    /// Invalidate-then-fetch-on-demand.
+    Invalidation,
+    /// Algorithm 1: TTL while updates flow, Invalidation through silences.
+    SelfAdaptive,
+    /// The related-work baseline (\[6\], \[22\], \[24\] in the paper): conditional
+    /// polling whose interval tracks a prediction of the update gap —
+    /// halving towards fast content, backing off through silences. The
+    /// paper's §5.1 critique: when updates are irregular the prediction is
+    /// wrong in both directions, wasting polls after a burst ends and
+    /// missing the restart after a silence.
+    AdaptiveTtl,
+}
+
+impl MethodKind {
+    /// All methods, with the paper's four first and the related-work
+    /// baseline last.
+    pub const ALL: [MethodKind; 5] = [
+        MethodKind::Push,
+        MethodKind::Invalidation,
+        MethodKind::Ttl,
+        MethodKind::SelfAdaptive,
+        MethodKind::AdaptiveTtl,
+    ];
+
+    /// `true` for methods that run a periodic poll timer.
+    pub fn polls(self) -> bool {
+        matches!(self, MethodKind::Ttl | MethodKind::SelfAdaptive | MethodKind::AdaptiveTtl)
+    }
+
+    /// `true` for methods in which the provider must track replicas and
+    /// actively send them something on update.
+    pub fn provider_driven(self) -> bool {
+        matches!(self, MethodKind::Push | MethodKind::Invalidation | MethodKind::SelfAdaptive)
+    }
+}
+
+impl fmt::Display for MethodKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MethodKind::Ttl => "TTL",
+            MethodKind::Push => "Push",
+            MethodKind::Invalidation => "Invalidation",
+            MethodKind::SelfAdaptive => "Self-adaptive",
+            MethodKind::AdaptiveTtl => "Adaptive-TTL",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The mode a self-adaptive replica is currently in (Algorithm 1 state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum AdaptiveMode {
+    /// Polling every TTL (Algorithm 1 `TTL_based_update`).
+    #[default]
+    Ttl,
+    /// Waiting for an invalidation followed by a visit (Algorithm 1
+    /// `Invalidation_based_update`).
+    Invalidation,
+}
+
+impl fmt::Display for AdaptiveMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdaptiveMode::Ttl => f.write_str("ttl"),
+            AdaptiveMode::Invalidation => f.write_str("invalidation"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert!(MethodKind::Ttl.polls());
+        assert!(MethodKind::SelfAdaptive.polls());
+        assert!(MethodKind::AdaptiveTtl.polls());
+        assert!(!MethodKind::Push.polls());
+        assert!(!MethodKind::Invalidation.polls());
+        assert!(!MethodKind::AdaptiveTtl.provider_driven());
+
+        assert!(MethodKind::Push.provider_driven());
+        assert!(MethodKind::Invalidation.provider_driven());
+        assert!(MethodKind::SelfAdaptive.provider_driven());
+        assert!(!MethodKind::Ttl.provider_driven());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(MethodKind::Ttl.to_string(), "TTL");
+        assert_eq!(MethodKind::SelfAdaptive.to_string(), "Self-adaptive");
+        assert_eq!(AdaptiveMode::default(), AdaptiveMode::Ttl);
+    }
+}

@@ -1,0 +1,123 @@
+//! Simulation output metrics.
+//!
+//! The paper reports, per run: the average inconsistency of each content
+//! server and each end-user (Figs. 14–15, 18–20), the traffic cost in km·KB
+//! (Figs. 16–17), update-message counts overall and from the provider
+//! (Fig. 22), network load in km split by message class (Fig. 23), and the
+//! fraction of user observations that were inconsistent (Fig. 24).
+//! [`SimReport`] carries all of them.
+
+use cdnc_net::TrafficStats;
+use cdnc_simcore::stats::Cdf;
+
+/// The result of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// The scheme's §5 label ("Push", "HAT", …).
+    pub scheme_label: String,
+    /// Per-server mean inconsistency (adoption lag behind the provider),
+    /// seconds; index = server order.
+    pub server_mean_lag_s: Vec<f64>,
+    /// Per-user mean inconsistency (lag between a publish and the user first
+    /// seeing content at least that new), seconds.
+    pub user_mean_lag_s: Vec<f64>,
+    /// All consistency-maintenance traffic.
+    pub traffic: TrafficStats,
+    /// Content-update messages sent by the provider (paper Fig. 22(b)).
+    pub provider_update_messages: u64,
+    /// Content-update messages delivered to content servers (paper
+    /// Fig. 22(a)).
+    pub server_update_messages: u64,
+    /// User observations that saw content older than previously seen
+    /// (paper Fig. 24 numerator).
+    pub inconsistent_observations: u64,
+    /// Total user observations (paper Fig. 24 denominator).
+    pub total_observations: u64,
+    /// Publishes still unadopted somewhere when the run ended (should be ~0
+    /// with an adequate drain; reported for honesty).
+    pub unresolved_lags: u64,
+    /// Total simulation events processed.
+    pub events: u64,
+}
+
+impl SimReport {
+    /// Mean of the per-server mean inconsistencies, seconds.
+    pub fn mean_server_lag_s(&self) -> f64 {
+        mean(&self.server_mean_lag_s)
+    }
+
+    /// Mean of the per-user mean inconsistencies, seconds.
+    pub fn mean_user_lag_s(&self) -> f64 {
+        mean(&self.user_mean_lag_s)
+    }
+
+    /// Percentile of the per-server means (the paper's 5th/median/95th in
+    /// Fig. 18(a)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no servers or `p` is outside `[0, 100]`.
+    pub fn server_lag_percentile(&self, p: f64) -> f64 {
+        Cdf::from_samples(self.server_mean_lag_s.iter().copied()).percentile(p)
+    }
+
+    /// Fraction of user observations that were inconsistent (Fig. 24).
+    pub fn inconsistency_observation_rate(&self) -> f64 {
+        if self.total_observations == 0 {
+            0.0
+        } else {
+            self.inconsistent_observations as f64 / self.total_observations as f64
+        }
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        SimReport {
+            scheme_label: "TTL".to_owned(),
+            server_mean_lag_s: vec![1.0, 2.0, 3.0, 4.0],
+            user_mean_lag_s: vec![2.0, 4.0],
+            traffic: TrafficStats::new(),
+            provider_update_messages: 10,
+            server_update_messages: 20,
+            inconsistent_observations: 5,
+            total_observations: 100,
+            unresolved_lags: 0,
+            events: 1_000,
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let r = report();
+        assert_eq!(r.mean_server_lag_s(), 2.5);
+        assert_eq!(r.mean_user_lag_s(), 3.0);
+        assert_eq!(r.server_lag_percentile(50.0), 2.5);
+        assert_eq!(r.inconsistency_observation_rate(), 0.05);
+    }
+
+    #[test]
+    fn empty_safe() {
+        let r = SimReport {
+            server_mean_lag_s: vec![],
+            user_mean_lag_s: vec![],
+            total_observations: 0,
+            inconsistent_observations: 0,
+            ..report()
+        };
+        assert_eq!(r.mean_server_lag_s(), 0.0);
+        assert_eq!(r.mean_user_lag_s(), 0.0);
+        assert_eq!(r.inconsistency_observation_rate(), 0.0);
+    }
+}

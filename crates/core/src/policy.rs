@@ -1,0 +1,372 @@
+//! Scheme selection from workload factors — the paper's §6 future work.
+//!
+//! §4.6 ends with guidance ("applications that require high consistency …
+//! can use Push and unicast-tree … applications that can tolerate small
+//! periods of inconsistency … can use Invalidation or TTL-based methods …
+//! for further network traffic reduction, the proximity-aware multicast
+//! tree … a self-adapting strategy could switch between update methods and
+//! infrastructures"), and §6 proposes generalising HAT "by considering more
+//! factors, such as varying visit frequencies and consistency requirements
+//! from customers". This module encodes that guidance as an executable
+//! advisor:
+//!
+//! * [`WorkloadProfile`] — the probe-able factors: update rate, visit rate,
+//!   burstiness, deployment size, content size;
+//! * [`Requirement`] — the customer's consistency bound and cost objective;
+//! * [`recommend`] — the §4.6 decision rules, returning a [`Scheme`] plus
+//!   the TTL to run it with and a human-readable rationale.
+
+use crate::config::Scheme;
+use crate::method::MethodKind;
+use cdnc_simcore::{SimDuration, SimTime};
+use cdnc_trace::UpdateSequence;
+use std::fmt;
+
+/// Observable workload factors (the "new APIs to probe visit and update
+/// frequency" §4.6 calls for).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadProfile {
+    /// Mean content updates per second.
+    pub update_rate_per_s: f64,
+    /// Mean end-user visits per server per second.
+    pub visit_rate_per_server_per_s: f64,
+    /// Coefficient of variation of the inter-update gaps: ≈1 for Poisson,
+    /// ≫1 for bursts-and-silences content like live games.
+    pub update_gap_cv: f64,
+    /// Number of replica servers.
+    pub servers: usize,
+    /// Update payload size, KB.
+    pub update_packet_kb: f64,
+}
+
+impl WorkloadProfile {
+    /// Profiles an update sequence plus deployment facts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers == 0` or rates are not finite/non-negative.
+    pub fn from_updates(
+        updates: &UpdateSequence,
+        visit_rate_per_server_per_s: f64,
+        servers: usize,
+        update_packet_kb: f64,
+    ) -> Self {
+        assert!(servers > 0, "need at least one server");
+        assert!(
+            visit_rate_per_server_per_s.is_finite() && visit_rate_per_server_per_s >= 0.0,
+            "bad visit rate"
+        );
+        let times = updates.times();
+        let span = updates.last_update().since(SimTime::ZERO).as_secs_f64().max(1.0);
+        let update_rate = (times.len().saturating_sub(1)) as f64 / span;
+        let gaps: Vec<f64> = times
+            .windows(2)
+            .map(|w| w[1].since(w[0]).as_secs_f64())
+            .collect();
+        let cv = if gaps.len() < 2 {
+            0.0
+        } else {
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var =
+                gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+            if mean > 0.0 {
+                var.sqrt() / mean
+            } else {
+                0.0
+            }
+        };
+        WorkloadProfile {
+            update_rate_per_s: update_rate,
+            visit_rate_per_server_per_s,
+            update_gap_cv: cv,
+            servers,
+            update_packet_kb,
+        }
+    }
+
+    /// Mean gap between updates, seconds (∞ for static content).
+    pub fn mean_update_gap_s(&self) -> f64 {
+        if self.update_rate_per_s <= 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / self.update_rate_per_s
+        }
+    }
+
+    /// `true` when the content shows bursts-and-silences dynamics.
+    pub fn is_bursty(&self) -> bool {
+        self.update_gap_cv > 1.2
+    }
+}
+
+/// What the customer wants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Requirement {
+    /// Largest tolerable staleness, seconds; `None` = best effort.
+    pub max_staleness_s: Option<f64>,
+    /// What to minimise subject to the staleness bound.
+    pub objective: CostObjective,
+}
+
+impl Requirement {
+    /// A strong-consistency requirement (sub-`bound` staleness).
+    pub fn strong(bound_s: f64) -> Self {
+        Requirement { max_staleness_s: Some(bound_s), objective: CostObjective::Traffic }
+    }
+
+    /// Best-effort freshness, minimum cost.
+    pub fn best_effort() -> Self {
+        Requirement { max_staleness_s: None, objective: CostObjective::Traffic }
+    }
+}
+
+/// Cost dimension to optimise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostObjective {
+    /// Total network traffic (the km·KB / network-load figures).
+    Traffic,
+    /// The content provider's fan-out (the Fig. 22(b) axis).
+    ProviderLoad,
+}
+
+/// The advisor's verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recommendation {
+    /// The scheme to deploy.
+    pub scheme: Scheme,
+    /// Content-server TTL to run polling methods with (`None` for pure
+    /// push/invalidation schemes).
+    pub server_ttl: Option<SimDuration>,
+    /// Why.
+    pub rationale: String,
+}
+
+impl fmt::Display for Recommendation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.scheme.label())?;
+        if let Some(ttl) = self.server_ttl {
+            write!(f, " (TTL {ttl})")?;
+        }
+        write!(f, " — {}", self.rationale)
+    }
+}
+
+/// Deployment-size threshold beyond which the provider's unicast fan-out
+/// becomes the bottleneck (paper Figs. 19–20 territory).
+const LARGE_DEPLOYMENT: usize = 200;
+/// Payload threshold beyond which unicast push congests the provider uplink.
+const LARGE_PACKET_KB: f64 = 64.0;
+
+/// Applies the paper's §4.6/§5 guidance to a workload and requirement.
+pub fn recommend(profile: &WorkloadProfile, req: &Requirement) -> Recommendation {
+    let big = profile.servers > LARGE_DEPLOYMENT || profile.update_packet_kb > LARGE_PACKET_KB;
+    match req.max_staleness_s {
+        // --- consistency-critical: push, infrastructure per scale ---------
+        Some(bound) if bound < 3.0 => {
+            if big {
+                Recommendation {
+                    scheme: Scheme::Multicast { method: MethodKind::Push, arity: 4 },
+                    server_ttl: None,
+                    rationale: format!(
+                        "sub-{bound:.0}s staleness needs push; {} servers / {:.0} KB updates \
+                         would congest the provider uplink, so distribute over a proximity tree",
+                        profile.servers, profile.update_packet_kb
+                    ),
+                }
+            } else {
+                Recommendation {
+                    scheme: Scheme::Unicast(MethodKind::Push),
+                    server_ttl: None,
+                    rationale: format!(
+                        "sub-{bound:.0}s staleness needs push; the deployment is small enough \
+                         for direct unicast"
+                    ),
+                }
+            }
+        }
+        // --- bounded staleness ---------------------------------------------
+        Some(bound) => {
+            // Rarely-visited, hot-updating content: invalidation aggregates
+            // all updates between visits and still serves fresh on demand.
+            if profile.visit_rate_per_server_per_s < profile.update_rate_per_s {
+                return Recommendation {
+                    scheme: Scheme::Unicast(MethodKind::Invalidation),
+                    server_ttl: None,
+                    rationale: format!(
+                        "visits ({:.3}/s per server) are rarer than updates ({:.3}/s): \
+                         invalidation skips unconsumed updates and serves fresh on demand",
+                        profile.visit_rate_per_server_per_s, profile.update_rate_per_s
+                    ),
+                };
+            }
+            // Polling with TTL ≈ 80 % of the bound keeps worst staleness
+            // under the bound including fetch delays.
+            let ttl = SimDuration::from_secs_f64((bound * 0.8).max(2.0));
+            if profile.is_bursty() {
+                let scheme = if big || req.objective == CostObjective::ProviderLoad {
+                    Scheme::hat()
+                } else {
+                    Scheme::Unicast(MethodKind::SelfAdaptive)
+                };
+                Recommendation {
+                    scheme,
+                    server_ttl: Some(ttl),
+                    rationale: format!(
+                        "bursty updates (gap CV {:.2}): the self-adaptive method polls \
+                         through bursts and goes quiet through silences{}",
+                        profile.update_gap_cv,
+                        if matches!(scheme, Scheme::Hybrid { .. }) {
+                            "; supernode clusters offload the provider"
+                        } else {
+                            ""
+                        }
+                    ),
+                }
+            } else if profile.update_gap_cv < 0.5 {
+                Recommendation {
+                    scheme: Scheme::Unicast(MethodKind::AdaptiveTtl),
+                    server_ttl: Some(ttl),
+                    rationale: format!(
+                        "regular updates (gap CV {:.2}) are predictable: adaptive TTL \
+                         tracks the update gap and beats a fixed TTL",
+                        profile.update_gap_cv
+                    ),
+                }
+            } else {
+                Recommendation {
+                    scheme: Scheme::Unicast(MethodKind::Ttl),
+                    server_ttl: Some(ttl),
+                    rationale: format!(
+                        "a fixed TTL of {:.0}s keeps staleness within the {bound:.0}s bound \
+                         at the lowest provider complexity",
+                        ttl.as_secs_f64()
+                    ),
+                }
+            }
+        }
+        // --- best effort: minimise the objective --------------------------
+        None => {
+            if profile.servers > LARGE_DEPLOYMENT / 2 {
+                Recommendation {
+                    scheme: if profile.is_bursty() { Scheme::hat() } else { Scheme::hybrid() },
+                    server_ttl: Some(SimDuration::from_secs(60)),
+                    rationale: "no staleness bound: the hybrid supernode infrastructure \
+                                minimises network load and provider fan-out at scale"
+                        .to_owned(),
+                }
+            } else {
+                Recommendation {
+                    scheme: Scheme::Unicast(MethodKind::Ttl),
+                    server_ttl: Some(SimDuration::from_secs(60)),
+                    rationale: "no staleness bound and a small deployment: plain TTL is the \
+                                simplest adequate choice"
+                        .to_owned(),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdnc_simcore::SimRng;
+
+    fn live_game_profile(servers: usize, visit_rate: f64) -> WorkloadProfile {
+        let updates = UpdateSequence::live_game(&mut SimRng::seed_from_u64(1));
+        WorkloadProfile::from_updates(&updates, visit_rate, servers, 1.0)
+    }
+
+    #[test]
+    fn profiling_live_game_detects_burstiness() {
+        let p = live_game_profile(170, 0.5);
+        assert!(p.is_bursty(), "live game gap CV {} should exceed 1.2", p.update_gap_cv);
+        // ≈306 updates over 8760 s.
+        assert!((0.02..0.06).contains(&p.update_rate_per_s), "rate {}", p.update_rate_per_s);
+        assert!(p.mean_update_gap_s() > 15.0);
+    }
+
+    #[test]
+    fn profiling_periodic_is_regular() {
+        let updates = UpdateSequence::periodic(
+            SimDuration::from_secs(30),
+            SimTime::from_secs(3_000),
+        );
+        let p = WorkloadProfile::from_updates(&updates, 0.5, 100, 1.0);
+        assert!(p.update_gap_cv < 0.1, "periodic CV {}", p.update_gap_cv);
+        assert!((p.update_rate_per_s - 1.0 / 30.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn strict_bound_small_deployment_gets_unicast_push() {
+        let p = live_game_profile(60, 0.5);
+        let r = recommend(&p, &Requirement::strong(1.0));
+        assert_eq!(r.scheme, Scheme::Unicast(MethodKind::Push));
+        assert!(r.server_ttl.is_none());
+    }
+
+    #[test]
+    fn strict_bound_large_deployment_gets_multicast_push() {
+        let p = live_game_profile(850, 0.5);
+        let r = recommend(&p, &Requirement::strong(1.0));
+        assert!(matches!(r.scheme, Scheme::Multicast { method: MethodKind::Push, .. }));
+    }
+
+    #[test]
+    fn big_payloads_push_through_the_tree() {
+        let mut p = live_game_profile(60, 0.5);
+        p.update_packet_kb = 500.0;
+        let r = recommend(&p, &Requirement::strong(1.0));
+        assert!(matches!(r.scheme, Scheme::Multicast { .. }));
+    }
+
+    #[test]
+    fn rare_visits_get_invalidation() {
+        let p = live_game_profile(60, 0.001); // visits far rarer than updates
+        let r = recommend(&p, &Requirement::strong(30.0));
+        assert_eq!(r.scheme, Scheme::Unicast(MethodKind::Invalidation));
+    }
+
+    #[test]
+    fn bursty_bounded_gets_self_adaptive_or_hat() {
+        let small = recommend(&live_game_profile(60, 0.5), &Requirement::strong(60.0));
+        assert_eq!(small.scheme, Scheme::Unicast(MethodKind::SelfAdaptive));
+        let large = recommend(&live_game_profile(850, 0.5), &Requirement::strong(60.0));
+        assert_eq!(large.scheme, Scheme::hat());
+        // Provider-load objective prefers the supernode tree even when small.
+        let req = Requirement {
+            max_staleness_s: Some(60.0),
+            objective: CostObjective::ProviderLoad,
+        };
+        assert_eq!(recommend(&live_game_profile(60, 0.5), &req).scheme, Scheme::hat());
+    }
+
+    #[test]
+    fn regular_bounded_gets_adaptive_ttl() {
+        let updates = UpdateSequence::periodic(
+            SimDuration::from_secs(30),
+            SimTime::from_secs(3_000),
+        );
+        let p = WorkloadProfile::from_updates(&updates, 0.5, 100, 1.0);
+        let r = recommend(&p, &Requirement::strong(45.0));
+        assert_eq!(r.scheme, Scheme::Unicast(MethodKind::AdaptiveTtl));
+        let ttl = r.server_ttl.unwrap().as_secs_f64();
+        assert!((30.0..=40.0).contains(&ttl), "TTL {ttl} ≈ 80% of the 45 s bound");
+    }
+
+    #[test]
+    fn best_effort_prefers_hybrid_at_scale() {
+        let r = recommend(&live_game_profile(850, 0.5), &Requirement::best_effort());
+        assert!(matches!(r.scheme, Scheme::Hybrid { .. }));
+        let r2 = recommend(&live_game_profile(40, 0.5), &Requirement::best_effort());
+        assert_eq!(r2.scheme, Scheme::Unicast(MethodKind::Ttl));
+    }
+
+    #[test]
+    fn recommendation_displays_with_rationale() {
+        let r = recommend(&live_game_profile(60, 0.5), &Requirement::strong(60.0));
+        let text = r.to_string();
+        assert!(text.contains("Self"));
+        assert!(text.contains("bursty"), "rationale should explain itself: {text}");
+    }
+}

@@ -1,0 +1,1308 @@
+//! The event-driven CDN consistency simulator.
+//!
+//! Replays an update sequence through a deployment [`Scheme`](crate::Scheme) and measures
+//! the paper's §4/§5 quantities: per-server and per-user inconsistency,
+//! traffic cost, message counts, and user-observed inconsistency.
+//!
+//! ## Protocol semantics (matching the paper)
+//!
+//! * **TTL** polls are *unconditional* GETs: the upstream always returns the
+//!   full content, even when unchanged — this is exactly why the paper finds
+//!   TTL "wastes traffic in probing unchanged content" (§4.3).
+//! * **Self-adaptive** polls are *conditional* (version-carrying): an
+//!   unchanged response is a light message and triggers the Algorithm 1
+//!   switch to Invalidation.
+//! * **Push** forwards content down the distribution topology immediately.
+//! * **Invalidation** notices propagate down immediately; a stale replica
+//!   fetches on the next user visit, chaining polls up through stale
+//!   ancestors (the user's response waits for the fetch, which is why
+//!   Invalidation matches Push from the user's perspective, Fig. 14(b)).
+
+use crate::config::SimConfig;
+use crate::method::{AdaptiveMode, MethodKind};
+use crate::metrics::SimReport;
+use crate::topology::Topology;
+use cdnc_geo::{IspId, WorldBuilder};
+use cdnc_net::{Network, NodeId, Packet, PacketKind};
+use cdnc_simcore::stats::OnlineStats;
+use cdnc_simcore::{Scheduler, SimDuration, SimRng, SimTime};
+use cdnc_trace::SnapshotId;
+use std::collections::VecDeque;
+
+/// Runs one simulation and returns its report.
+///
+/// Deterministic in the configuration (including its seed).
+///
+/// # Panics
+///
+/// Panics if `config.servers == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use cdnc_core::{run, MethodKind, Scheme, SimConfig};
+/// use cdnc_simcore::{SimDuration, SimTime};
+/// use cdnc_trace::UpdateSequence;
+///
+/// let updates = UpdateSequence::periodic(
+///     SimDuration::from_secs(30),
+///     SimTime::from_secs(300),
+/// );
+/// let mut cfg = SimConfig::section4(Scheme::Unicast(MethodKind::Push), updates);
+/// cfg.servers = 20;
+/// let report = run(&cfg);
+/// assert!(report.mean_server_lag_s() < 1.0, "push keeps servers fresh");
+/// ```
+pub fn run(config: &SimConfig) -> SimReport {
+    CdnSimulation::new(config).run()
+}
+
+#[derive(Debug, Clone)]
+enum Event {
+    /// The provider publishes update `idx` of the sequence.
+    Publish(u32),
+    /// A polling server's TTL timer fires (with its generation).
+    PollTimer(NodeId, u64),
+    /// A message is delivered to a node.
+    Arrive(NodeId, Msg),
+    /// An end-user visits a server.
+    UserVisit(u32),
+    /// A server fails / becomes overloaded (failure injection).
+    Fail(NodeId),
+    /// A failed server recovers.
+    Recover(NodeId),
+    /// An on-demand fetch has waited too long for a response.
+    FetchTimeout(NodeId, u64),
+    /// Under failure injection: an invalidation-mode node periodically
+    /// re-registers with its upstream in case the switch notice was lost.
+    Heartbeat(NodeId, u64),
+}
+
+#[derive(Debug, Clone)]
+enum Msg {
+    /// Content (push, or poll/fetch response). `modified_at` is the
+    /// provider-side publish instant of the carried snapshot (the HTTP
+    /// Last-Modified analogue adaptive TTL keys off).
+    Update { snap: SnapshotId, modified_at: SimTime },
+    /// Invalidation notice for version `.0`.
+    Invalidate(SnapshotId),
+    /// A downstream node asks for content. `conditional` polls get a light
+    /// `Unchanged` when nothing is new; unconditional polls always get the
+    /// full content back.
+    Poll { from: NodeId, have: SnapshotId, conditional: bool },
+    /// Light "nothing new" reply to a conditional poll.
+    Unchanged,
+    /// Algorithm 1 mode notification: the sender is now in invalidation
+    /// mode (`true`) or back to TTL (`false`).
+    SwitchMode { from: NodeId, to_invalidation: bool },
+    /// Structure maintenance: the sender attaches below the receiver after
+    /// a failure repair or re-join, declaring whether it currently expects
+    /// invalidations.
+    TreeJoin { from: NodeId, invalidation_mode: bool },
+}
+
+#[derive(Debug)]
+struct NodeState {
+    content: SnapshotId,
+    /// Highest version this node has been told is newer than its content.
+    known_stale: Option<SnapshotId>,
+    /// Algorithm 1 state (self-adaptive nodes only).
+    mode: AdaptiveMode,
+    /// An on-demand fetch to the upstream is in flight.
+    fetch_pending: bool,
+    /// Poll-timer generation; stale timer events are ignored.
+    timer_gen: u64,
+    /// On-demand fetch identifier; stale fetch timeouts are ignored.
+    fetch_token: u64,
+    /// Whether the node is currently failed/overloaded.
+    absent: bool,
+    /// Provider-side publish instant of the current content (carried on
+    /// update messages — the Last-Modified analogue).
+    content_modified_at: SimTime,
+    /// Adaptive-TTL state: the current poll interval estimate, seconds.
+    adaptive_interval_s: f64,
+    /// Downstream nodes whose on-demand polls wait on our fetch.
+    waiting_children: Vec<NodeId>,
+    /// Users whose visits wait on our fetch.
+    waiting_users: Vec<u32>,
+    /// Downstream self-adaptive nodes currently in invalidation mode.
+    inval_registry: Vec<NodeId>,
+    /// Highest version we already invalidated our children for.
+    last_invalidated: SnapshotId,
+    /// Publishes not yet adopted, for lag accounting.
+    pending_pubs: VecDeque<(SnapshotId, SimTime)>,
+    lag: OnlineStats,
+}
+
+impl NodeState {
+    fn new() -> Self {
+        NodeState {
+            content: SnapshotId(0),
+            known_stale: None,
+            mode: AdaptiveMode::Ttl,
+            fetch_pending: false,
+            timer_gen: 0,
+            fetch_token: 0,
+            absent: false,
+            content_modified_at: SimTime::ZERO,
+            adaptive_interval_s: 0.0,
+            waiting_children: Vec::new(),
+            waiting_users: Vec::new(),
+            inval_registry: Vec::new(),
+            last_invalidated: SnapshotId(0),
+            pending_pubs: VecDeque::new(),
+            lag: OnlineStats::new(),
+        }
+    }
+
+    fn is_stale(&self) -> bool {
+        self.known_stale.is_some_and(|s| s > self.content)
+    }
+}
+
+#[derive(Debug)]
+struct UserState {
+    home: NodeId,
+    last_server: NodeId,
+    /// This user's visit interval (heterogeneous when
+    /// `SimConfig::visit_spread > 0`).
+    visit_interval: SimDuration,
+    seen_max: SnapshotId,
+    pending_pubs: VecDeque<(SnapshotId, SimTime)>,
+    lag: OnlineStats,
+    inconsistent_obs: u64,
+    total_obs: u64,
+}
+
+struct CdnSimulation<'a> {
+    config: &'a SimConfig,
+    net: Network,
+    topo: Topology,
+    /// The distribution tree for tree-based schemes, kept live so it can be
+    /// repaired when members fail.
+    tree: Option<crate::tree::DistributionTree>,
+    sched: Scheduler<Event>,
+    nodes: Vec<NodeState>,
+    users: Vec<UserState>,
+    rng: SimRng,
+    provider_update_messages: u64,
+    server_update_messages: u64,
+}
+
+impl<'a> CdnSimulation<'a> {
+    fn new(config: &'a SimConfig) -> Self {
+        assert!(config.servers > 0, "need at least one content server");
+        let world = WorldBuilder::new(config.servers).seed(config.seed ^ 0x51).build();
+        let mut net = Network::new(config.network, config.seed ^ 0x52);
+        // Node 0 is the provider; its ISP is shared with the nearest server's
+        // ISP so the Atlanta metro is intra-ISP, like the measured CDN.
+        let provider_isp = world
+            .nodes()
+            .iter()
+            .min_by(|a, b| {
+                a.location
+                    .distance_km(&world.provider_location())
+                    .partial_cmp(&b.location.distance_km(&world.provider_location()))
+                    .expect("finite")
+            })
+            .map(|n| n.isp)
+            .unwrap_or(IspId(0));
+        net.add_node(world.provider_location(), provider_isp);
+        for n in world.nodes() {
+            net.add_node(n.location, n.isp);
+        }
+        let mut rng = SimRng::seed_from_u64(config.seed ^ 0x53);
+        let (topo, tree) = Topology::build_with_tree(&config.scheme, &net, &mut rng.fork());
+
+        let nodes: Vec<NodeState> = (0..net.len()).map(|_| NodeState::new()).collect();
+        let mut user_rng = rng.fork();
+        let users: Vec<UserState> = (0..config.users())
+            .map(|u| {
+                let home = topo.servers[u / config.users_per_server.max(1)];
+                let visit_interval = if config.visit_spread > 0.0 {
+                    let hi = 1.0 + config.visit_spread;
+                    // Log-uniform factor in [1/hi, hi].
+                    let factor = hi.powf(user_rng.uniform_range(-1.0, 1.0));
+                    config.user_ttl.mul_f64(factor)
+                } else {
+                    config.user_ttl
+                };
+                UserState {
+                    home,
+                    last_server: home,
+                    visit_interval,
+                    seen_max: SnapshotId(0),
+                    pending_pubs: VecDeque::new(),
+                    lag: OnlineStats::new(),
+                    inconsistent_obs: 0,
+                    total_obs: 0,
+                }
+            })
+            .collect();
+
+        let mut sched = Scheduler::with_horizon(config.horizon());
+        // Publishes: snapshot 0 pre-exists everywhere; 1.. are events.
+        for (id, t) in config.updates.iter().skip(1) {
+            sched.schedule_at(
+                SimTime::ZERO + config.update_start + t.since(SimTime::ZERO),
+                Event::Publish(id.0),
+            );
+        }
+        // Poll timers for polling servers, at random phases.
+        for &s in &topo.servers {
+            if topo.method_of(s).is_some_and(MethodKind::polls) {
+                let phase = SimDuration::from_secs_f64(
+                    rng.uniform_range(0.0, config.server_ttl.as_secs_f64().max(1e-6)),
+                );
+                sched.schedule_at(SimTime::ZERO + phase, Event::PollTimer(s, 0));
+            }
+        }
+        // User visit starts.
+        for u in 0..users.len() as u32 {
+            let start = SimDuration::from_secs_f64(
+                rng.uniform_range(0.0, config.user_start_window.as_secs_f64().max(1e-6)),
+            );
+            sched.schedule_at(SimTime::ZERO + start, Event::UserVisit(u));
+        }
+        // Failure injection: pre-schedule fail/recover pairs per server.
+        // Failures stop early enough that every server recovers and
+        // re-synchronises before the horizon — otherwise "still failed at
+        // the end" would masquerade as undelivered updates.
+        if let Some(failures) = &config.failures {
+            let settle =
+                SimDuration::from_secs_f64(failures.absence.max_len_s) + SimDuration::from_secs(60);
+            let failure_horizon = SimTime::from_micros(
+                config.horizon().as_micros().saturating_sub(settle.as_micros()),
+            );
+            let schedule = cdnc_net::AbsenceSchedule::generate(
+                topo.servers.len(),
+                failure_horizon,
+                &failures.absence,
+                &mut rng.fork(),
+            );
+            for (i, &s) in topo.servers.iter().enumerate() {
+                for &(start, end) in schedule.intervals(i) {
+                    sched.schedule_at(start, Event::Fail(s));
+                    sched.schedule_at(end, Event::Recover(s));
+                }
+            }
+        }
+
+        CdnSimulation {
+            config,
+            net,
+            topo,
+            tree,
+            sched,
+            nodes,
+            users,
+            rng,
+            provider_update_messages: 0,
+            server_update_messages: 0,
+        }
+    }
+
+    fn run(mut self) -> SimReport {
+        while let Some((now, ev)) = self.sched.next() {
+            match ev {
+                Event::Publish(idx) => self.on_publish(now, SnapshotId(idx)),
+                Event::PollTimer(node, gen) => self.on_poll_timer(now, node, gen),
+                Event::UserVisit(u) => self.on_user_visit(now, u),
+                Event::Arrive(node, msg) => {
+                    // Messages to a failed node are lost.
+                    if !self.nodes[node.index()].absent {
+                        self.on_arrive(now, node, msg);
+                    }
+                }
+                Event::Fail(node) => self.on_fail(now, node),
+                Event::Recover(node) => self.on_recover(now, node),
+                Event::FetchTimeout(node, token) => {
+                    let state = &mut self.nodes[node.index()];
+                    if state.fetch_pending && state.fetch_token == token {
+                        // The upstream died mid-request; give up so the next
+                        // visit or poll can retry.
+                        state.fetch_pending = false;
+                    }
+                }
+                Event::Heartbeat(node, gen) => self.on_heartbeat(now, node, gen),
+            }
+        }
+        self.into_report()
+    }
+
+    // --- message transport -------------------------------------------------
+
+    fn send(&mut self, now: SimTime, src: NodeId, dst: NodeId, msg: Msg) {
+        // A failed node sends nothing.
+        if self.nodes[src.index()].absent {
+            return;
+        }
+        let (kind, size) = match &msg {
+            Msg::Update { .. } => (PacketKind::Update, self.config.update_packet_kb),
+            Msg::Invalidate(_) => (PacketKind::Invalidation, 1.0),
+            Msg::Poll { .. } => (PacketKind::Poll, 1.0),
+            Msg::Unchanged => (PacketKind::PollUnchanged, 1.0),
+            Msg::SwitchMode { .. } => (PacketKind::MethodSwitch, 1.0),
+            Msg::TreeJoin { .. } => (PacketKind::TreeMaintenance, 1.0),
+        };
+        if kind == PacketKind::Update {
+            self.server_update_messages += 1;
+            if src == self.topo.provider {
+                self.provider_update_messages += 1;
+            }
+        }
+        let packet = Packet::new(kind, size, src, dst);
+        let arrival = self.net.send(now, &packet);
+        self.sched.schedule_at(arrival, Event::Arrive(dst, msg));
+    }
+
+    // --- event handlers ----------------------------------------------------
+
+    fn on_publish(&mut self, now: SimTime, snap: SnapshotId) {
+        let provider = self.topo.provider;
+        self.nodes[provider.index()].content = snap;
+        self.nodes[provider.index()].content_modified_at = now;
+        // Lag accounting starts for every server and user.
+        for &s in &self.topo.servers {
+            self.nodes[s.index()].pending_pubs.push_back((snap, now));
+        }
+        for u in &mut self.users {
+            u.pending_pubs.push_back((snap, now));
+        }
+        self.notify_downstream(now, provider);
+    }
+
+    /// After `node`'s content changed (publish or adoption): push to push
+    /// children, invalidate invalidation-expecting children.
+    fn notify_downstream(&mut self, now: SimTime, node: NodeId) {
+        let content = self.nodes[node.index()].content;
+        let children: Vec<NodeId> = self.topo.downstream_of(node).to_vec();
+        let mut invalidated_any = false;
+        for child in children {
+            match self.topo.method_of(child) {
+                Some(MethodKind::Push) => {
+                    let modified_at = self.nodes[node.index()].content_modified_at;
+                    self.send(now, node, child, Msg::Update { snap: content, modified_at });
+                }
+                Some(MethodKind::Invalidation) => {
+                    if content > self.nodes[node.index()].last_invalidated {
+                        self.send(now, node, child, Msg::Invalidate(content));
+                        invalidated_any = true;
+                    }
+                }
+                Some(MethodKind::SelfAdaptive) => {
+                    if content > self.nodes[node.index()].last_invalidated
+                        && self.nodes[node.index()].inval_registry.contains(&child)
+                    {
+                        self.send(now, node, child, Msg::Invalidate(content));
+                        invalidated_any = true;
+                    }
+                }
+                Some(MethodKind::Ttl | MethodKind::AdaptiveTtl) | None => {}
+            }
+        }
+        if invalidated_any {
+            self.nodes[node.index()].last_invalidated = content;
+        }
+    }
+
+    fn on_poll_timer(&mut self, now: SimTime, node: NodeId, gen: u64) {
+        let method = self.topo.method_of(node);
+        let state = &self.nodes[node.index()];
+        if gen != state.timer_gen {
+            return; // a stale chain
+        }
+        if method == Some(MethodKind::SelfAdaptive) && state.mode == AdaptiveMode::Invalidation
+        {
+            return; // Algorithm 1: no polling in invalidation mode
+        }
+        if state.absent {
+            // Overloaded/failed: skip this poll but keep the chain alive.
+            self.sched
+                .schedule_at(now + self.config.server_ttl, Event::PollTimer(node, gen));
+            return;
+        }
+        let Some(up) = self.topo.upstream_of(node) else {
+            // Detached by a failure upstream; retry after a TTL (repair or
+            // recovery will re-wire us).
+            self.sched
+                .schedule_at(now + self.config.server_ttl, Event::PollTimer(node, gen));
+            return;
+        };
+        let have = state.content;
+        let conditional =
+            matches!(method, Some(MethodKind::SelfAdaptive | MethodKind::AdaptiveTtl));
+        self.send(now, node, up, Msg::Poll { from: node, have, conditional });
+        let next = if method == Some(MethodKind::AdaptiveTtl) {
+            SimDuration::from_secs_f64(self.adaptive_interval_s(node))
+        } else {
+            self.config.server_ttl
+        };
+        self.sched.schedule_at(now + next, Event::PollTimer(node, gen));
+    }
+
+    /// The adaptive-TTL poll interval of `node`: half the predicted update
+    /// gap, clamped to `[2 s, 8 × server_ttl]`; the configured TTL until a
+    /// first prediction exists.
+    fn adaptive_interval_s(&self, node: NodeId) -> f64 {
+        let state = &self.nodes[node.index()];
+        if state.adaptive_interval_s <= 0.0 {
+            self.config.server_ttl.as_secs_f64()
+        } else {
+            state.adaptive_interval_s
+        }
+    }
+
+
+    fn on_user_visit(&mut self, now: SimTime, u: u32) {
+        let target = if self.config.users_roam {
+            // Fig. 24 scenario: every successive visit goes to a different
+            // random server.
+            let last = self.users[u as usize].last_server;
+            let mut pick = self.topo.servers[self.rng.index(self.topo.servers.len())];
+            if pick == last && self.topo.servers.len() > 1 {
+                let idx = self.topo.servers.iter().position(|&s| s == pick).expect("present");
+                pick = self.topo.servers[(idx + 1) % self.topo.servers.len()];
+            }
+            pick
+        } else {
+            self.users[u as usize].home
+        };
+        self.users[u as usize].last_server = target;
+
+        if self.nodes[target.index()].absent {
+            // Failed servers still answer from cache, slowly (paper §3.4.5:
+            // users acquire cached IPs of failed servers and observe
+            // inconsistent content); they cannot fetch on demand.
+            let snap = self.nodes[target.index()].content;
+            self.observe(u, snap, now);
+            let interval = self.users[u as usize].visit_interval;
+            self.sched.schedule_at(now + interval, Event::UserVisit(u));
+            return;
+        }
+
+        let method = self.topo.method_of(target);
+        let fetch_on_demand = matches!(method, Some(MethodKind::Invalidation))
+            || (method == Some(MethodKind::SelfAdaptive)
+                && self.nodes[target.index()].mode == AdaptiveMode::Invalidation);
+        if fetch_on_demand && self.nodes[target.index()].is_stale() {
+            // Algorithm 1 lines 10–12 / plain invalidation: the visit
+            // triggers the fetch; the user's response waits for it.
+            self.nodes[target.index()].waiting_users.push(u);
+            self.trigger_fetch(now, target);
+        } else {
+            let snap = self.nodes[target.index()].content;
+            self.observe(u, snap, now);
+        }
+        let interval = self.users[u as usize].visit_interval;
+        self.sched.schedule_at(now + interval, Event::UserVisit(u));
+    }
+
+    /// Starts an on-demand fetch from `node` to its upstream, unless one is
+    /// already in flight.
+    fn trigger_fetch(&mut self, now: SimTime, node: NodeId) {
+        if self.nodes[node.index()].fetch_pending {
+            return;
+        }
+        let Some(up) = self.topo.upstream_of(node) else { return };
+        self.nodes[node.index()].fetch_pending = true;
+        let have = self.nodes[node.index()].content;
+        self.send(now, node, up, Msg::Poll { from: node, have, conditional: true });
+        // Under failure injection the upstream may never answer.
+        if let Some(failures) = &self.config.failures {
+            self.nodes[node.index()].fetch_token += 1;
+            let token = self.nodes[node.index()].fetch_token;
+            self.sched
+                .schedule_at(now + failures.fetch_timeout, Event::FetchTimeout(node, token));
+        }
+    }
+
+    fn on_arrive(&mut self, now: SimTime, node: NodeId, msg: Msg) {
+        match msg {
+            Msg::Update { snap, modified_at } => self.on_update(now, node, snap, modified_at),
+            Msg::Invalidate(snap) => self.on_invalidate(now, node, snap),
+            Msg::Poll { from, have, conditional } => {
+                self.on_poll(now, node, from, have, conditional)
+            }
+            Msg::Unchanged => self.on_unchanged(now, node),
+            Msg::SwitchMode { from, to_invalidation }
+            | Msg::TreeJoin { from, invalidation_mode: to_invalidation } => {
+                let reg = &mut self.nodes[node.index()].inval_registry;
+                if to_invalidation {
+                    if !reg.contains(&from) {
+                        reg.push(from);
+                    }
+                } else {
+                    reg.retain(|&c| c != from);
+                }
+            }
+        }
+    }
+
+    fn on_update(&mut self, now: SimTime, node: NodeId, snap: SnapshotId, modified_at: SimTime) {
+        let was_fetching = std::mem::take(&mut self.nodes[node.index()].fetch_pending);
+        let adopted = snap > self.nodes[node.index()].content;
+        if adopted {
+            let state = &mut self.nodes[node.index()];
+            state.content = snap;
+            state.content_modified_at = modified_at;
+            if state.known_stale.is_some_and(|s| s <= snap) {
+                state.known_stale = None;
+            }
+            while let Some(&(p, t)) = state.pending_pubs.front() {
+                if p > snap {
+                    break;
+                }
+                state.lag.push(now.since(t).as_secs_f64());
+                state.pending_pubs.pop_front();
+            }
+            // Adaptive TTL (Alex protocol): the next poll interval is a
+            // fraction of the content's observed age — young content is
+            // polled quickly, old content slowly.
+            if self.topo.method_of(node) == Some(MethodKind::AdaptiveTtl) {
+                let max_s = 8.0 * self.config.server_ttl.as_secs_f64();
+                let age_s = now.saturating_since(modified_at).as_secs_f64();
+                self.nodes[node.index()].adaptive_interval_s =
+                    (0.3 * age_s).clamp(2.0, max_s);
+            }
+            self.notify_downstream(now, node);
+        }
+        // Serve anyone who was waiting on our fetch.
+        let waiting_children =
+            std::mem::take(&mut self.nodes[node.index()].waiting_children);
+        let content = self.nodes[node.index()].content;
+        let modified_at = self.nodes[node.index()].content_modified_at;
+        for child in waiting_children {
+            self.send(now, node, child, Msg::Update { snap: content, modified_at });
+        }
+        let waiting_users = std::mem::take(&mut self.nodes[node.index()].waiting_users);
+        for u in waiting_users {
+            self.observe(u, content, now);
+        }
+        // Algorithm 1 line 12–13: the first fetched update after an
+        // invalidation switches the node back to TTL.
+        if self.topo.method_of(node) == Some(MethodKind::SelfAdaptive)
+            && self.nodes[node.index()].mode == AdaptiveMode::Invalidation
+            && was_fetching
+        {
+            self.nodes[node.index()].mode = AdaptiveMode::Ttl;
+            self.nodes[node.index()].timer_gen += 1;
+            let gen = self.nodes[node.index()].timer_gen;
+            if let Some(up) = self.topo.upstream_of(node) {
+                self.send(now, node, up, Msg::SwitchMode { from: node, to_invalidation: false });
+            }
+            self.sched
+                .schedule_at(now + self.config.server_ttl, Event::PollTimer(node, gen));
+        }
+    }
+
+    fn on_invalidate(&mut self, now: SimTime, node: NodeId, snap: SnapshotId) {
+        {
+            let state = &mut self.nodes[node.index()];
+            if snap > state.content {
+                state.known_stale = Some(state.known_stale.map_or(snap, |s| s.max(snap)));
+            }
+        }
+        // Forward immediately to children that expect invalidations.
+        let children: Vec<NodeId> = self.topo.downstream_of(node).to_vec();
+        let mut forwarded = false;
+        for child in children {
+            let expects = match self.topo.method_of(child) {
+                Some(MethodKind::Invalidation) => true,
+                Some(MethodKind::SelfAdaptive) => {
+                    self.nodes[node.index()].inval_registry.contains(&child)
+                }
+                _ => false,
+            };
+            if expects && snap > self.nodes[node.index()].last_invalidated {
+                self.send(now, node, child, Msg::Invalidate(snap));
+                forwarded = true;
+            }
+        }
+        if forwarded {
+            self.nodes[node.index()].last_invalidated = snap;
+        }
+    }
+
+    fn on_poll(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        from: NodeId,
+        have: SnapshotId,
+        conditional: bool,
+    ) {
+        let content = self.nodes[node.index()].content;
+        let modified_at = self.nodes[node.index()].content_modified_at;
+        if content > have {
+            self.send(now, node, from, Msg::Update { snap: content, modified_at });
+        } else if self.nodes[node.index()].is_stale() {
+            // We know we are stale too: chain the fetch upward and answer
+            // the child when our own fetch completes.
+            self.nodes[node.index()].waiting_children.push(from);
+            self.trigger_fetch(now, node);
+        } else if conditional {
+            self.send(now, node, from, Msg::Unchanged);
+        } else {
+            // Unconditional GET: full content goes back even when unchanged —
+            // the TTL method's wasted traffic.
+            self.send(now, node, from, Msg::Update { snap: content, modified_at });
+        }
+    }
+
+    fn on_unchanged(&mut self, now: SimTime, node: NodeId) {
+        self.nodes[node.index()].fetch_pending = false;
+        // Adaptive TTL: nothing new — back off the poll interval.
+        if self.topo.method_of(node) == Some(MethodKind::AdaptiveTtl) {
+            let max_s = 8.0 * self.config.server_ttl.as_secs_f64();
+            let state = &mut self.nodes[node.index()];
+            let current = if state.adaptive_interval_s <= 0.0 {
+                self.config.server_ttl.as_secs_f64()
+            } else {
+                state.adaptive_interval_s
+            };
+            state.adaptive_interval_s = (current * 1.5).min(max_s);
+        }
+        // Serve waiters with what we have (rare race: our upstream answered
+        // "unchanged" while an invalidation was still in flight to it).
+        let waiting_children =
+            std::mem::take(&mut self.nodes[node.index()].waiting_children);
+        let content = self.nodes[node.index()].content;
+        let modified_at = self.nodes[node.index()].content_modified_at;
+        for child in waiting_children {
+            self.send(now, node, child, Msg::Update { snap: content, modified_at });
+        }
+        let waiting_users = std::mem::take(&mut self.nodes[node.index()].waiting_users);
+        for u in waiting_users {
+            self.observe(u, content, now);
+        }
+        // Algorithm 1 line 7–8: a poll that found no update switches the
+        // node to invalidation mode.
+        if self.topo.method_of(node) == Some(MethodKind::SelfAdaptive)
+            && self.nodes[node.index()].mode == AdaptiveMode::Ttl
+        {
+            self.nodes[node.index()].mode = AdaptiveMode::Invalidation;
+            self.nodes[node.index()].timer_gen += 1; // kill the poll chain
+            if let Some(up) = self.topo.upstream_of(node) {
+                self.send(now, node, up, Msg::SwitchMode { from: node, to_invalidation: true });
+            }
+            // Under failure injection the switch notice can be lost; keep
+            // re-registering until we leave invalidation mode.
+            if self.config.failures.is_some() {
+                let gen = self.nodes[node.index()].timer_gen;
+                self.sched
+                    .schedule_at(now + self.config.server_ttl * 5, Event::Heartbeat(node, gen));
+            }
+        }
+    }
+
+    /// Failure-injection safety net: while in invalidation mode, repeat the
+    /// registration with the (possibly changed, possibly previously failed)
+    /// upstream.
+    fn on_heartbeat(&mut self, now: SimTime, node: NodeId, gen: u64) {
+        let state = &self.nodes[node.index()];
+        if gen != state.timer_gen || state.mode != AdaptiveMode::Invalidation {
+            return;
+        }
+        if !state.absent {
+            if let Some(up) = self.topo.upstream_of(node) {
+                self.send(now, node, up, Msg::SwitchMode { from: node, to_invalidation: true });
+            }
+        }
+        self.sched.schedule_at(now + self.config.server_ttl * 5, Event::Heartbeat(node, gen));
+    }
+
+    /// A server fails: it stops sending/receiving; if it is a distribution-
+    /// tree member, its orphaned children re-attach immediately (the paper's
+    /// §5.2 repair rule), each re-attachment costing one structure-
+    /// maintenance message and a re-synchronising conditional poll.
+    fn on_fail(&mut self, now: SimTime, node: NodeId) {
+        if self.nodes[node.index()].absent {
+            return;
+        }
+        self.nodes[node.index()].absent = true;
+        // Everything queued on this node is lost.
+        self.nodes[node.index()].waiting_children.clear();
+        let orphaned_users = std::mem::take(&mut self.nodes[node.index()].waiting_users);
+        for u in orphaned_users {
+            // The user's request eventually times out against the cached copy.
+            let snap = self.nodes[node.index()].content;
+            self.observe(u, snap, now);
+        }
+        self.nodes[node.index()].fetch_pending = false;
+        let in_tree = self.tree.as_ref().is_some_and(|t| t.contains(node));
+        if in_tree {
+            let locations: Vec<cdnc_geo::GeoPoint> =
+                self.net.nodes().iter().map(|n| n.location()).collect();
+            let moves = self
+                .tree
+                .as_mut()
+                .expect("checked above")
+                .remove_and_reattach(node, |id| locations[id.index()]);
+            self.topo.detach(node);
+            for (orphan, new_parent) in moves {
+                self.topo.rewire(orphan, new_parent);
+                let invalidation_mode = self.expects_invalidations(orphan);
+                self.send(
+                    now,
+                    orphan,
+                    new_parent,
+                    Msg::TreeJoin { from: orphan, invalidation_mode },
+                );
+                self.resync(now, orphan);
+            }
+        }
+    }
+
+    /// A failed server recovers: it re-joins the distribution tree (if any)
+    /// and re-synchronises its content with a conditional poll.
+    fn on_recover(&mut self, now: SimTime, node: NodeId) {
+        if !self.nodes[node.index()].absent {
+            return;
+        }
+        self.nodes[node.index()].absent = false;
+        self.net.reset_uplink(node, now);
+        if let Some(tree) = self.tree.as_mut() {
+            if !tree.contains(node) {
+                let locations: Vec<cdnc_geo::GeoPoint> =
+                    self.net.nodes().iter().map(|n| n.location()).collect();
+                let parent = tree.join(node, |id| locations[id.index()]);
+                self.topo.rewire(node, parent);
+                let invalidation_mode = self.expects_invalidations(node);
+                self.send(now, node, parent, Msg::TreeJoin { from: node, invalidation_mode });
+            }
+        }
+        self.resync(now, node);
+    }
+
+    /// `true` if `node` currently needs invalidation notices from its
+    /// upstream (plain invalidation, or a self-adaptive node in
+    /// invalidation mode).
+    fn expects_invalidations(&self, node: NodeId) -> bool {
+        match self.topo.method_of(node) {
+            Some(MethodKind::Invalidation) => true,
+            Some(MethodKind::SelfAdaptive) => {
+                self.nodes[node.index()].mode == AdaptiveMode::Invalidation
+            }
+            _ => false,
+        }
+    }
+
+    /// Sends a conditional poll to catch any updates missed while detached.
+    fn resync(&mut self, now: SimTime, node: NodeId) {
+        if let Some(up) = self.topo.upstream_of(node) {
+            let have = self.nodes[node.index()].content;
+            self.send(now, node, up, Msg::Poll { from: node, have, conditional: true });
+        }
+    }
+
+    fn observe(&mut self, u: u32, snap: SnapshotId, now: SimTime) {
+        let user = &mut self.users[u as usize];
+        while let Some(&(p, t)) = user.pending_pubs.front() {
+            if p > snap {
+                break;
+            }
+            user.lag.push(now.since(t).as_secs_f64());
+            user.pending_pubs.pop_front();
+        }
+        user.total_obs += 1;
+        if snap < user.seen_max {
+            user.inconsistent_obs += 1;
+        } else {
+            user.seen_max = snap;
+        }
+    }
+
+    fn into_report(self) -> SimReport {
+        let unresolved: u64 = self
+            .topo
+            .servers
+            .iter()
+            .map(|&s| self.nodes[s.index()].pending_pubs.len() as u64)
+            .sum::<u64>()
+            + self.users.iter().map(|u| u.pending_pubs.len() as u64).sum::<u64>();
+        SimReport {
+            scheme_label: self.config.scheme.label().to_owned(),
+            server_mean_lag_s: self
+                .topo
+                .servers
+                .iter()
+                .map(|&s| self.nodes[s.index()].lag.mean())
+                .collect(),
+            user_mean_lag_s: self.users.iter().map(|u| u.lag.mean()).collect(),
+            traffic: self.net.traffic().clone(),
+            provider_update_messages: self.provider_update_messages,
+            server_update_messages: self.server_update_messages,
+            inconsistent_observations: self.users.iter().map(|u| u.inconsistent_obs).sum(),
+            total_observations: self.users.iter().map(|u| u.total_obs).sum(),
+            unresolved_lags: unresolved,
+            events: self.sched.processed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Scheme;
+    use cdnc_trace::UpdateSequence;
+
+    fn updates(every_s: u64, until_s: u64) -> UpdateSequence {
+        UpdateSequence::periodic(SimDuration::from_secs(every_s), SimTime::from_secs(until_s))
+    }
+
+    fn small(scheme: Scheme) -> SimConfig {
+        let mut cfg = SimConfig::section4(scheme, updates(30, 600));
+        cfg.servers = 24;
+        cfg.users_per_server = 2;
+        cfg
+    }
+
+    #[test]
+    fn push_beats_invalidation_beats_ttl_on_servers() {
+        let push = run(&small(Scheme::Unicast(MethodKind::Push)));
+        let inval = run(&small(Scheme::Unicast(MethodKind::Invalidation)));
+        let ttl = run(&small(Scheme::Unicast(MethodKind::Ttl)));
+        assert!(
+            push.mean_server_lag_s() < inval.mean_server_lag_s(),
+            "Push {} < Invalidation {}",
+            push.mean_server_lag_s(),
+            inval.mean_server_lag_s()
+        );
+        assert!(
+            inval.mean_server_lag_s() < ttl.mean_server_lag_s(),
+            "Invalidation {} < TTL {}",
+            inval.mean_server_lag_s(),
+            ttl.mean_server_lag_s()
+        );
+        // TTL mean inconsistency ≈ TTL/2 (paper Fig. 14(a): 5.7 s at 10 s).
+        assert!(
+            (3.0..9.0).contains(&ttl.mean_server_lag_s()),
+            "TTL lag {} should be ≈ TTL/2",
+            ttl.mean_server_lag_s()
+        );
+    }
+
+    #[test]
+    fn push_and_invalidation_match_for_users() {
+        let push = run(&small(Scheme::Unicast(MethodKind::Push)));
+        let inval = run(&small(Scheme::Unicast(MethodKind::Invalidation)));
+        let ttl = run(&small(Scheme::Unicast(MethodKind::Ttl)));
+        // Fig. 14(b): Push ≈ Invalidation < TTL for end-users.
+        let diff = (push.mean_user_lag_s() - inval.mean_user_lag_s()).abs();
+        assert!(diff < 2.0, "Push {} vs Invalidation {}", push.mean_user_lag_s(),
+            inval.mean_user_lag_s());
+        assert!(ttl.mean_user_lag_s() > push.mean_user_lag_s() + 2.0);
+    }
+
+    #[test]
+    fn no_unresolved_lags_with_adequate_drain() {
+        for scheme in [
+            Scheme::Unicast(MethodKind::Push),
+            Scheme::Unicast(MethodKind::Ttl),
+            Scheme::Unicast(MethodKind::Invalidation),
+        ] {
+            let r = run(&small(scheme));
+            assert_eq!(r.unresolved_lags, 0, "{scheme} left unresolved lags");
+        }
+    }
+
+    #[test]
+    fn multicast_ttl_amplifies_inconsistency_with_depth() {
+        let uni = run(&small(Scheme::Unicast(MethodKind::Ttl)));
+        let multi = run(&small(Scheme::Multicast { method: MethodKind::Ttl, arity: 2 }));
+        assert!(
+            multi.mean_server_lag_s() > uni.mean_server_lag_s() * 1.3,
+            "multicast TTL {} must exceed unicast TTL {}",
+            multi.mean_server_lag_s(),
+            uni.mean_server_lag_s()
+        );
+    }
+
+    #[test]
+    fn multicast_saves_traffic_cost() {
+        let uni = run(&small(Scheme::Unicast(MethodKind::Push)));
+        let multi = run(&small(Scheme::Multicast { method: MethodKind::Push, arity: 2 }));
+        assert!(
+            multi.traffic.km_kb() < uni.traffic.km_kb(),
+            "multicast push {} km·KB must beat unicast {}",
+            multi.traffic.km_kb(),
+            uni.traffic.km_kb()
+        );
+    }
+
+    #[test]
+    fn ttl_wastes_update_messages_on_silence() {
+        // A long silent tail: plain TTL keeps fetching full content, the
+        // self-adaptive method switches to invalidation and stops.
+        let silent_updates = UpdateSequence::periodic(
+            SimDuration::from_secs(20),
+            SimTime::from_secs(120),
+        );
+        let mut ttl_cfg = SimConfig::section4(
+            Scheme::Unicast(MethodKind::Ttl),
+            silent_updates.clone(),
+        );
+        ttl_cfg.servers = 16;
+        ttl_cfg.users_per_server = 2;
+        ttl_cfg.drain = SimDuration::from_secs(1_200); // long silence
+        let mut self_cfg = ttl_cfg.clone();
+        self_cfg.scheme = Scheme::Unicast(MethodKind::SelfAdaptive);
+        let ttl = run(&ttl_cfg);
+        let sa = run(&self_cfg);
+        assert!(
+            sa.server_update_messages * 2 < ttl.server_update_messages,
+            "self-adaptive {} should send far fewer update messages than TTL {}",
+            sa.server_update_messages,
+            ttl.server_update_messages
+        );
+    }
+
+    #[test]
+    fn self_adaptive_still_converges() {
+        let r = run(&small(Scheme::Unicast(MethodKind::SelfAdaptive)));
+        assert_eq!(r.unresolved_lags, 0, "self-adaptive must deliver every update");
+        // Its consistency sits between Push and TTL.
+        let ttl = run(&small(Scheme::Unicast(MethodKind::Ttl)));
+        assert!(r.mean_server_lag_s() <= ttl.mean_server_lag_s() * 1.5);
+    }
+
+    #[test]
+    fn hat_reduces_provider_load() {
+        let mut hat_cfg = small(Scheme::hat());
+        hat_cfg.servers = 60;
+        let mut uni_cfg = small(Scheme::Unicast(MethodKind::Ttl));
+        uni_cfg.servers = 60;
+        let hat = run(&hat_cfg);
+        let uni = run(&uni_cfg);
+        assert!(
+            hat.provider_update_messages < uni.provider_update_messages / 4,
+            "HAT provider messages {} must be far below unicast TTL {}",
+            hat.provider_update_messages,
+            uni.provider_update_messages
+        );
+        assert_eq!(hat.unresolved_lags, 0);
+    }
+
+    #[test]
+    fn roaming_users_observe_inconsistency_under_ttl_but_not_push() {
+        // §5 regime: server TTL 60 s ≫ 10 s visits, so roaming users land on
+        // servers at very different staleness and see scores go backwards.
+        let mut ttl_cfg = small(Scheme::Unicast(MethodKind::Ttl));
+        ttl_cfg.users_roam = true;
+        ttl_cfg.server_ttl = SimDuration::from_secs(60);
+        ttl_cfg.drain = SimDuration::from_secs(400);
+        let mut push_cfg = small(Scheme::Unicast(MethodKind::Push));
+        push_cfg.users_roam = true;
+        let ttl = run(&ttl_cfg);
+        let push = run(&push_cfg);
+        assert!(
+            ttl.inconsistency_observation_rate() > 0.01,
+            "roaming TTL users must see inconsistency, rate {}",
+            ttl.inconsistency_observation_rate()
+        );
+        assert!(
+            push.inconsistency_observation_rate() < ttl.inconsistency_observation_rate() / 4.0,
+            "push {} must be far below ttl {}",
+            push.inconsistency_observation_rate(),
+            ttl.inconsistency_observation_rate()
+        );
+    }
+
+    #[test]
+    fn heterogeneous_visit_frequencies_are_supported() {
+        // §6's "varying visit frequencies": the run completes, remains
+        // deterministic, and the slow-visitor tail shows up as higher user
+        // inconsistency spread than the homogeneous baseline.
+        let uniform = small(Scheme::Unicast(MethodKind::Ttl));
+        let mut spread = uniform.clone();
+        spread.visit_spread = 3.0;
+        let a = run(&uniform);
+        let b = run(&spread);
+        assert_eq!(b, run(&spread), "heterogeneous runs stay deterministic");
+        assert_eq!(b.unresolved_lags, 0);
+        let spread_of = |r: &SimReport| {
+            let cdf = cdnc_simcore::stats::Cdf::from_samples(r.user_mean_lag_s.iter().copied());
+            cdf.percentile(95.0) - cdf.percentile(5.0)
+        };
+        assert!(
+            spread_of(&b) > spread_of(&a),
+            "visit heterogeneity must widen the user-lag spread: {} vs {}",
+            spread_of(&b),
+            spread_of(&a)
+        );
+    }
+
+    mod adaptive_ttl {
+        use super::*;
+        use cdnc_net::PacketKind;
+        use cdnc_simcore::SimRng;
+
+        /// A bursty-then-silent day, §5.1's problem case for adaptive TTL.
+        fn bursty() -> UpdateSequence {
+            UpdateSequence::live_game(&mut SimRng::seed_from_u64(3))
+        }
+
+        fn cfg(method: MethodKind) -> SimConfig {
+            let mut cfg = SimConfig::section5(Scheme::Unicast(method), bursty());
+            cfg.servers = 24;
+            cfg.users_per_server = 2;
+            cfg
+        }
+
+        #[test]
+        fn beats_fixed_ttl_on_regular_content() {
+            // Steady updates: the age-based prediction works and adaptive
+            // TTL polls tightly right after each change.
+            let steady = UpdateSequence::periodic(
+                SimDuration::from_secs(30),
+                SimTime::from_secs(2_000),
+            );
+            let mut a_cfg =
+                SimConfig::section5(Scheme::Unicast(MethodKind::AdaptiveTtl), steady);
+            a_cfg.servers = 24;
+            a_cfg.users_per_server = 2;
+            let mut t_cfg = a_cfg.clone();
+            t_cfg.scheme = Scheme::Unicast(MethodKind::Ttl);
+            let adaptive = run(&a_cfg);
+            let plain = run(&t_cfg);
+            assert!(
+                adaptive.mean_server_lag_s() < plain.mean_server_lag_s() * 0.6,
+                "adaptive {} should clearly beat fixed TTL {} on regular content",
+                adaptive.mean_server_lag_s(),
+                plain.mean_server_lag_s()
+            );
+            assert_eq!(adaptive.unresolved_lags, 0);
+        }
+
+        #[test]
+        fn loses_its_edge_on_bursty_content() {
+            // The §5.1 critique: with bursts and silences the prediction is
+            // wrong in both directions — adaptive TTL polls far more than
+            // the fixed TTL yet fails to convert that into a matching
+            // consistency win (the post-silence restart is missed by up to
+            // the backed-off interval).
+            let adaptive = run(&cfg(MethodKind::AdaptiveTtl));
+            let plain = run(&cfg(MethodKind::Ttl));
+            assert!(
+                adaptive.traffic.count_of(PacketKind::Poll)
+                    > plain.traffic.count_of(PacketKind::Poll),
+                "adaptive {} polls vs plain {}",
+                adaptive.traffic.count_of(PacketKind::Poll),
+                plain.traffic.count_of(PacketKind::Poll)
+            );
+            assert!(
+                adaptive.mean_server_lag_s() > plain.mean_server_lag_s() * 0.5,
+                "the poll investment must NOT pay off proportionally: adaptive {} vs plain {}",
+                adaptive.mean_server_lag_s(),
+                plain.mean_server_lag_s()
+            );
+            assert_eq!(adaptive.unresolved_lags, 0);
+        }
+
+        #[test]
+        fn wastes_polls_compared_to_self_adaptive() {
+            // The paper's §5.1 critique: prediction-based polling keeps
+            // probing irregular content; Algorithm 1 simply goes quiet.
+            let adaptive = run(&cfg(MethodKind::AdaptiveTtl));
+            let selfa = run(&cfg(MethodKind::SelfAdaptive));
+            assert!(
+                selfa.traffic.count_of(PacketKind::Poll) * 2
+                    < adaptive.traffic.count_of(PacketKind::Poll),
+                "self-adaptive {} polls should be far below adaptive TTL {}",
+                selfa.traffic.count_of(PacketKind::Poll),
+                adaptive.traffic.count_of(PacketKind::Poll)
+            );
+        }
+
+        #[test]
+        fn conditional_polls_do_not_waste_content_transfers() {
+            // Adaptive TTL's unchanged probes are light; its update messages
+            // stay at or below the plain TTL's unconditional refetches.
+            let adaptive = run(&cfg(MethodKind::AdaptiveTtl));
+            let plain = run(&cfg(MethodKind::Ttl));
+            assert!(adaptive.server_update_messages <= plain.server_update_messages * 2);
+            assert!(adaptive.traffic.count_of(PacketKind::PollUnchanged) > 0);
+        }
+    }
+
+    mod failures {
+        use super::*;
+        use crate::config::FailureConfig;
+        use cdnc_net::PacketKind;
+
+        fn failing(scheme: Scheme, mean_gap_s: f64) -> SimConfig {
+            let mut cfg = small(scheme);
+            cfg.servers = 48;
+            cfg.failures = Some(FailureConfig::with_mean_gap_s(mean_gap_s));
+            cfg
+        }
+
+        #[test]
+        fn polling_methods_self_heal() {
+            // TTL keeps polling; every update is eventually delivered even
+            // with frequent failures.
+            let r = run(&failing(Scheme::Unicast(MethodKind::Ttl), 400.0));
+            assert_eq!(r.unresolved_lags, 0, "TTL must self-heal after failures");
+        }
+
+        #[test]
+        fn push_recovers_via_resync() {
+            // Pushed updates to failed servers are lost; the recovery
+            // resync poll must recover them.
+            let r = run(&failing(Scheme::Unicast(MethodKind::Push), 400.0));
+            assert_eq!(r.unresolved_lags, 0, "push + resync must deliver everything");
+        }
+
+        #[test]
+        fn multicast_repair_charges_maintenance_messages() {
+            let no_fail = run(&small(Scheme::Multicast { method: MethodKind::Push, arity: 2 }));
+            assert_eq!(no_fail.traffic.count_of(PacketKind::TreeMaintenance), 0);
+            let r = run(&failing(
+                Scheme::Multicast { method: MethodKind::Push, arity: 2 },
+                300.0,
+            ));
+            assert!(
+                r.traffic.count_of(PacketKind::TreeMaintenance) > 0,
+                "tree repair must cost maintenance messages"
+            );
+        }
+
+        #[test]
+        fn failures_degrade_push_consistency() {
+            let clean = run(&{
+                let mut c = small(Scheme::Multicast { method: MethodKind::Push, arity: 2 });
+                c.servers = 48;
+                c
+            });
+            let faulty = run(&failing(
+                Scheme::Multicast { method: MethodKind::Push, arity: 2 },
+                300.0,
+            ));
+            assert!(
+                faulty.mean_server_lag_s() > clean.mean_server_lag_s(),
+                "failures must hurt: {} vs clean {}",
+                faulty.mean_server_lag_s(),
+                clean.mean_server_lag_s()
+            );
+        }
+
+        #[test]
+        fn heavier_failures_cost_more_maintenance() {
+            let light = run(&failing(
+                Scheme::Multicast { method: MethodKind::Ttl, arity: 2 },
+                2_000.0,
+            ));
+            let heavy = run(&failing(
+                Scheme::Multicast { method: MethodKind::Ttl, arity: 2 },
+                200.0,
+            ));
+            assert!(
+                heavy.traffic.count_of(PacketKind::TreeMaintenance)
+                    > light.traffic.count_of(PacketKind::TreeMaintenance),
+                "more failures must mean more repair traffic"
+            );
+        }
+
+        #[test]
+        fn hat_survives_supernode_failures() {
+            let r = run(&failing(Scheme::hat(), 400.0));
+            // Self-adaptive members may wait out a supernode failure, but
+            // no update may be lost forever.
+            assert_eq!(r.unresolved_lags, 0, "HAT must deliver everything after recoveries");
+        }
+
+        #[test]
+        fn failure_runs_are_deterministic() {
+            let cfg = failing(Scheme::Multicast { method: MethodKind::Push, arity: 2 }, 300.0);
+            assert_eq!(run(&cfg), run(&cfg));
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_scheme() -> impl Strategy<Value = Scheme> {
+            prop_oneof![
+                Just(Scheme::Unicast(MethodKind::Push)),
+                Just(Scheme::Unicast(MethodKind::Invalidation)),
+                Just(Scheme::Unicast(MethodKind::Ttl)),
+                Just(Scheme::Unicast(MethodKind::SelfAdaptive)),
+                Just(Scheme::Unicast(MethodKind::AdaptiveTtl)),
+                Just(Scheme::Multicast { method: MethodKind::Push, arity: 2 }),
+                Just(Scheme::Multicast { method: MethodKind::Invalidation, arity: 3 }),
+                Just(Scheme::Multicast { method: MethodKind::Ttl, arity: 2 }),
+                Just(Scheme::hat()),
+                Just(Scheme::hybrid()),
+            ]
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+            /// Whatever the scheme, update pattern, and seed: every update
+            /// is delivered, observations happen, and lags are sane.
+            #[test]
+            fn prop_every_scheme_delivers(
+                scheme in arb_scheme(),
+                gaps in proptest::collection::vec(5u64..120, 1..12),
+                seed in 0u64..1_000,
+            ) {
+                let mut t = SimTime::ZERO;
+                let mut times = vec![t];
+                for g in gaps {
+                    t += SimDuration::from_secs(g);
+                    times.push(t);
+                }
+                let updates = UpdateSequence::from_times(times).unwrap();
+                let mut cfg = SimConfig::section4(scheme, updates);
+                cfg.servers = 10;
+                cfg.users_per_server = 1;
+                cfg.seed = seed;
+                let report = run(&cfg);
+                prop_assert_eq!(report.unresolved_lags, 0, "{} lost updates", scheme);
+                prop_assert!(report.total_observations > 0);
+                prop_assert!(report.mean_server_lag_s() >= 0.0);
+                prop_assert!(report.mean_user_lag_s() >= report.mean_server_lag_s() * 0.0);
+                // Every lag is finite.
+                for lag in report.server_mean_lag_s.iter().chain(&report.user_mean_lag_s) {
+                    prop_assert!(lag.is_finite() && *lag >= 0.0);
+                }
+                // Update-message accounting is consistent with traffic.
+                prop_assert_eq!(
+                    report.server_update_messages,
+                    report.traffic.count_of(cdnc_net::PacketKind::Update)
+                );
+                prop_assert!(report.provider_update_messages <= report.server_update_messages);
+            }
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let a = run(&small(Scheme::hat()));
+        let b = run(&small(Scheme::hat()));
+        assert_eq!(a, b);
+        let mut cfg = small(Scheme::hat());
+        cfg.seed = 99;
+        let c = run(&cfg);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn larger_packets_slow_push_adoption() {
+        let mut small_pkt = small(Scheme::Unicast(MethodKind::Push));
+        small_pkt.servers = 120;
+        let mut big_pkt = small_pkt.clone();
+        big_pkt.update_packet_kb = 500.0;
+        let fast = run(&small_pkt);
+        let slow = run(&big_pkt);
+        assert!(
+            slow.mean_server_lag_s() > fast.mean_server_lag_s() * 2.0,
+            "500 KB push lag {} must far exceed 1 KB lag {}",
+            slow.mean_server_lag_s(),
+            fast.mean_server_lag_s()
+        );
+    }
+}

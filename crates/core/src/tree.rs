@@ -1,0 +1,421 @@
+//! Proximity-aware d-ary distribution trees.
+//!
+//! Paper §4 builds a binary multicast tree of "geographically close nodes
+//! (measured by inter-ping latency)"; §5.2 builds a 4-ary supernode tree
+//! where "newly-joined supernodes or supernodes having lost parents choose
+//! the nearest supernode that has fewer than k children as its parent".
+//! [`DistributionTree::build_proximity`] implements exactly that greedy
+//! join rule; [`DistributionTree::remove_and_reattach`] implements the
+//! failure-repair rule and reports the maintenance traffic it would cost.
+
+use cdnc_geo::GeoPoint;
+use cdnc_net::NodeId;
+use std::collections::HashMap;
+
+/// A rooted d-ary tree over a subset of network nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistributionTree {
+    root: NodeId,
+    arity: usize,
+    parent: HashMap<NodeId, NodeId>,
+    children: HashMap<NodeId, Vec<NodeId>>,
+}
+
+impl DistributionTree {
+    /// Builds a proximity-aware tree: members join in ascending distance
+    /// from the root, each attaching to the nearest already-joined node
+    /// (including the root) that still has fewer than `arity` children.
+    ///
+    /// `location` must yield the position of the root and every member.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity == 0` or `members` contains the root or duplicates.
+    pub fn build_proximity<F>(
+        root: NodeId,
+        members: &[NodeId],
+        arity: usize,
+        location: F,
+    ) -> Self
+    where
+        F: Fn(NodeId) -> GeoPoint,
+    {
+        assert!(arity > 0, "tree arity must be positive");
+        let mut tree = DistributionTree {
+            root,
+            arity,
+            parent: HashMap::new(),
+            children: HashMap::new(),
+        };
+        let root_loc = location(root);
+        // Closest-to-root first: near nodes occupy high layers, matching the
+        // proximity-aware intent.
+        let mut order: Vec<NodeId> = members.to_vec();
+        order.sort_by(|&a, &b| {
+            let da = location(a).distance_km(&root_loc);
+            let db = location(b).distance_km(&root_loc);
+            da.partial_cmp(&db).expect("finite distance").then(a.cmp(&b))
+        });
+        for node in order {
+            assert!(node != root, "root cannot be a member");
+            assert!(!tree.parent.contains_key(&node), "duplicate member {node}");
+            tree.attach(node, &location);
+        }
+        tree
+    }
+
+    /// Attaches `node` to the nearest in-tree node with spare capacity.
+    fn attach<F>(&mut self, node: NodeId, location: &F)
+    where
+        F: Fn(NodeId) -> GeoPoint,
+    {
+        self.attach_excluding(node, location, &[]);
+    }
+
+    /// Attaches `node`, never choosing a parent from `excluded` (used during
+    /// repair so an orphan cannot attach inside its own subtree, which would
+    /// create a cycle).
+    fn attach_excluding<F>(&mut self, node: NodeId, location: &F, excluded: &[NodeId])
+    where
+        F: Fn(NodeId) -> GeoPoint,
+    {
+        let loc = location(node);
+        let candidates = std::iter::once(self.root).chain(self.parent.keys().copied());
+        let parent = candidates
+            .filter(|&c| c != node && !excluded.contains(&c) && self.children_of(c).len() < self.arity)
+            .min_by(|&a, &b| {
+                let da = location(a).distance_km(&loc);
+                let db = location(b).distance_km(&loc);
+                da.partial_cmp(&db).expect("finite distance").then(a.cmp(&b))
+            })
+            .expect("the root always has finite capacity or a descendant does");
+        self.parent.insert(node, parent);
+        self.children.entry(parent).or_default().push(node);
+    }
+
+    /// The tree's root.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The configured maximum children per node.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of member nodes (root excluded).
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` when the tree has no members besides the root.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// The parent of `node`, or `None` for the root / non-members.
+    pub fn parent_of(&self, node: NodeId) -> Option<NodeId> {
+        self.parent.get(&node).copied()
+    }
+
+    /// The children of `node` (empty for leaves and non-members).
+    pub fn children_of(&self, node: NodeId) -> &[NodeId] {
+        self.children.get(&node).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// `true` if `node` is the root or a member.
+    pub fn contains(&self, node: NodeId) -> bool {
+        node == self.root || self.parent.contains_key(&node)
+    }
+
+    /// Depth of `node` (root = 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not in the tree.
+    pub fn depth(&self, node: NodeId) -> usize {
+        assert!(self.contains(node), "{node} not in tree");
+        let mut d = 0;
+        let mut cur = node;
+        while let Some(p) = self.parent_of(cur) {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// Maximum depth over all members (0 for an empty tree).
+    pub fn max_depth(&self) -> usize {
+        self.parent.keys().map(|&n| self.depth(n)).max().unwrap_or(0)
+    }
+
+    /// All members in breadth-first order from the root (root excluded).
+    pub fn bfs_members(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut frontier = std::collections::VecDeque::from([self.root]);
+        while let Some(n) = frontier.pop_front() {
+            let mut kids = self.children_of(n).to_vec();
+            kids.sort_unstable();
+            for k in &kids {
+                out.push(*k);
+            }
+            frontier.extend(kids);
+        }
+        out
+    }
+
+    /// Removes a failed member and re-attaches each orphaned child to the
+    /// nearest remaining node with spare capacity (paper §5.2's repair rule).
+    /// Returns the `(orphan, new_parent)` re-attachments performed — each
+    /// corresponds to one structure-maintenance message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `failed` is the root or not a member.
+    pub fn remove_and_reattach<F>(&mut self, failed: NodeId, location: F) -> Vec<(NodeId, NodeId)>
+    where
+        F: Fn(NodeId) -> GeoPoint,
+    {
+        assert!(failed != self.root, "cannot remove the root");
+        let old_parent = self
+            .parent
+            .remove(&failed)
+            .unwrap_or_else(|| panic!("{failed} not in tree"));
+        if let Some(siblings) = self.children.get_mut(&old_parent) {
+            siblings.retain(|&c| c != failed);
+        }
+        let orphans = self.children.remove(&failed).unwrap_or_default();
+        let mut moves = Vec::with_capacity(orphans.len());
+        for orphan in orphans {
+            // Detach before re-attach so capacity checks see current truth,
+            // and forbid the orphan's own subtree as a parent (cycle!).
+            self.parent.remove(&orphan);
+            let subtree = self.subtree_of(orphan);
+            self.attach_excluding(orphan, &location, &subtree);
+            let new_parent = self.parent_of(orphan).expect("just attached");
+            moves.push((orphan, new_parent));
+        }
+        moves
+    }
+
+    /// Joins a new member to the tree (the §5.2 "newly-joined" rule): the
+    /// node attaches to the nearest in-tree node with spare capacity.
+    /// Returns its parent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is already in the tree.
+    pub fn join<F>(&mut self, node: NodeId, location: F) -> NodeId
+    where
+        F: Fn(NodeId) -> GeoPoint,
+    {
+        assert!(!self.contains(node), "{node} already in tree");
+        self.attach(node, &location);
+        self.parent_of(node).expect("just attached")
+    }
+
+    /// All nodes in the subtree rooted at `node` (excluding `node` itself).
+    fn subtree_of(&self, node: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = self.children_of(node).to_vec();
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            stack.extend_from_slice(self.children_of(n));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdnc_geo::WorldBuilder;
+    use proptest::prelude::*;
+
+    /// A tree over a generated world; node 0 is the root (provider).
+    fn world_tree(n: usize, arity: usize, seed: u64) -> (DistributionTree, Vec<GeoPoint>) {
+        let world = WorldBuilder::new(n).seed(seed).build();
+        let mut locations: Vec<GeoPoint> = vec![world.provider_location()];
+        locations.extend(world.nodes().iter().map(|w| w.location));
+        let members: Vec<NodeId> = (1..=n as u32).map(NodeId).collect();
+        let locs = locations.clone();
+        let tree = DistributionTree::build_proximity(NodeId(0), &members, arity, move |id| {
+            locs[id.index()]
+        });
+        (tree, locations)
+    }
+
+    #[test]
+    fn every_member_has_a_parent_path_to_root() {
+        let (tree, _) = world_tree(100, 2, 1);
+        assert_eq!(tree.len(), 100);
+        for i in 1..=100u32 {
+            let d = tree.depth(NodeId(i));
+            assert!(d >= 1);
+            assert!(d <= 100);
+        }
+    }
+
+    #[test]
+    fn arity_respected() {
+        for arity in [2usize, 4, 8] {
+            let (tree, _) = world_tree(150, arity, 2);
+            assert!(tree.children_of(NodeId(0)).len() <= arity);
+            for i in 1..=150u32 {
+                assert!(
+                    tree.children_of(NodeId(i)).len() <= arity,
+                    "node {i} exceeds arity {arity}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn depth_shrinks_with_arity() {
+        let (binary, _) = world_tree(170, 2, 3);
+        let (quad, _) = world_tree(170, 4, 3);
+        assert!(
+            quad.max_depth() <= binary.max_depth(),
+            "4-ary depth {} vs binary {}",
+            quad.max_depth(),
+            binary.max_depth()
+        );
+        // A 170-node binary tree needs depth ≥ 7 (2^7 − 1 = 127 < 170).
+        assert!(binary.max_depth() >= 7);
+    }
+
+    #[test]
+    fn bfs_covers_all_members_once() {
+        let (tree, _) = world_tree(60, 3, 4);
+        let mut bfs = tree.bfs_members();
+        assert_eq!(bfs.len(), 60);
+        bfs.sort_unstable();
+        bfs.dedup();
+        assert_eq!(bfs.len(), 60);
+    }
+
+    #[test]
+    fn proximity_matters() {
+        // A member's parent should usually be closer than a random node:
+        // compare mean parent distance against mean all-pairs distance.
+        let (tree, locations) = world_tree(120, 2, 5);
+        let mut parent_sum = 0.0;
+        for i in 1..=120u32 {
+            let p = tree.parent_of(NodeId(i)).unwrap();
+            parent_sum += locations[i as usize].distance_km(&locations[p.index()]);
+        }
+        let parent_mean = parent_sum / 120.0;
+        let mut all_sum = 0.0;
+        let mut pairs = 0u64;
+        for i in 1..=120usize {
+            for j in (i + 1)..=120 {
+                all_sum += locations[i].distance_km(&locations[j]);
+                pairs += 1;
+            }
+        }
+        let all_mean = all_sum / pairs as f64;
+        assert!(
+            parent_mean < all_mean * 0.5,
+            "proximity tree should link nearby nodes: parent mean {parent_mean} vs all {all_mean}"
+        );
+    }
+
+    #[test]
+    fn removal_reattaches_orphans() {
+        let (mut tree, locations) = world_tree(80, 2, 6);
+        // Find an internal node with children.
+        let internal = (1..=80u32)
+            .map(NodeId)
+            .find(|&n| !tree.children_of(n).is_empty())
+            .expect("some internal node exists");
+        let orphans: Vec<NodeId> = tree.children_of(internal).to_vec();
+        let locs = locations.clone();
+        let moves = tree.remove_and_reattach(internal, move |id| locs[id.index()]);
+        assert_eq!(moves.len(), orphans.len());
+        assert!(!tree.contains(internal));
+        assert_eq!(tree.len(), 79);
+        for &(orphan, new_parent) in &moves {
+            assert_eq!(tree.parent_of(orphan), Some(new_parent));
+            assert!(new_parent != internal);
+            // Still a valid path to root.
+            let _ = tree.depth(orphan);
+        }
+        // Arity still respected everywhere.
+        for i in (0..=80u32).filter(|&i| NodeId(i) != internal) {
+            assert!(tree.children_of(NodeId(i)).len() <= 2);
+        }
+    }
+
+    #[test]
+    fn leaf_removal_costs_nothing() {
+        let (mut tree, locations) = world_tree(40, 2, 7);
+        let leaf = (1..=40u32)
+            .map(NodeId)
+            .find(|&n| tree.children_of(n).is_empty())
+            .expect("some leaf exists");
+        let moves = tree.remove_and_reattach(leaf, move |id| locations[id.index()]);
+        assert!(moves.is_empty());
+        assert_eq!(tree.len(), 39);
+    }
+
+    #[test]
+    fn repeated_removals_never_create_cycles() {
+        // Regression: an orphan re-attaching inside its own subtree would
+        // create a cycle and make depth() diverge.
+        let (mut tree, locations) = world_tree(60, 2, 9);
+        let locs = locations.clone();
+        for victim in (1..=40u32).map(NodeId) {
+            if !tree.contains(victim) {
+                continue;
+            }
+            tree.remove_and_reattach(victim, |id| locs[id.index()]);
+            // depth() terminates for every remaining member — no cycles.
+            for i in (1..=60u32).map(NodeId).filter(|&n| tree.contains(n)) {
+                assert!(tree.depth(i) <= 60);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot remove the root")]
+    fn root_removal_rejected() {
+        let (mut tree, locations) = world_tree(5, 2, 8);
+        tree.remove_and_reattach(NodeId(0), move |id| locations[id.index()]);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = DistributionTree::build_proximity(NodeId(0), &[], 2, |_| {
+            GeoPoint::new(0.0, 0.0).unwrap()
+        });
+        assert!(tree.is_empty());
+        assert_eq!(tree.max_depth(), 0);
+        assert!(tree.contains(NodeId(0)));
+        assert!(!tree.contains(NodeId(1)));
+    }
+
+    proptest! {
+        /// The greedy builder always yields a connected tree with respected
+        /// arity, whatever the geometry.
+        #[test]
+        fn prop_tree_invariants(
+            coords in proptest::collection::vec((-80.0f64..80.0, -170.0f64..170.0), 1..60),
+            arity in 1usize..5,
+        ) {
+            let locations: Vec<GeoPoint> = std::iter::once(GeoPoint::new(0.0, 0.0).unwrap())
+                .chain(coords.iter().map(|&(la, lo)| GeoPoint::new(la, lo).unwrap()))
+                .collect();
+            let members: Vec<NodeId> = (1..locations.len() as u32).map(NodeId).collect();
+            let locs = locations.clone();
+            let tree = DistributionTree::build_proximity(
+                NodeId(0), &members, arity, move |id| locs[id.index()],
+            );
+            prop_assert_eq!(tree.len(), members.len());
+            for &m in &members {
+                prop_assert!(tree.depth(m) >= 1); // reachable from root
+                prop_assert!(tree.children_of(m).len() <= arity);
+            }
+            prop_assert!(tree.children_of(NodeId(0)).len() <= arity);
+        }
+    }
+}

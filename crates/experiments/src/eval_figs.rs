@@ -1,0 +1,302 @@
+//! Reproductions of the trace-driven evaluation figures (paper §4,
+//! Figs. 14–20).
+
+use crate::report::FigureReport;
+use crate::scale::Scale;
+use cdnc_core::{run, MethodKind, Scheme, SimConfig, SimReport};
+use cdnc_simcore::{SimDuration, SimRng};
+use cdnc_trace::UpdateSequence;
+
+/// The §4 replayed content: one live-game day, fixed seed.
+pub fn section4_updates() -> UpdateSequence {
+    UpdateSequence::live_game(&mut SimRng::seed_from_u64(42))
+}
+
+/// Runs a batch of simulations in parallel (one thread per configuration,
+/// capped at the available parallelism).
+pub fn run_batch(configs: Vec<SimConfig>) -> Vec<SimReport> {
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let mut reports: Vec<Option<SimReport>> = vec![None; configs.len()];
+    let indexed: Vec<(usize, SimConfig)> = configs.into_iter().enumerate().collect();
+    let chunks: Vec<Vec<(usize, SimConfig)>> = indexed
+        .chunks(indexed.len().div_ceil(workers).max(1))
+        .map(<[(usize, SimConfig)]>::to_vec)
+        .collect();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for chunk in chunks {
+            handles.push(scope.spawn(move |_| {
+                chunk.into_iter().map(|(i, cfg)| (i, run(&cfg))).collect::<Vec<_>>()
+            }));
+        }
+        for h in handles {
+            for (i, report) in h.join().expect("simulation thread panicked") {
+                reports[i] = Some(report);
+            }
+        }
+    })
+    .expect("crossbeam scope");
+    reports.into_iter().map(|r| r.expect("every config ran")).collect()
+}
+
+fn section4_config(scale: Scale, scheme: Scheme) -> SimConfig {
+    let mut cfg = SimConfig::section4(scheme, section4_updates());
+    cfg.servers = scale.section4_servers();
+    cfg
+}
+
+const METHODS: [MethodKind; 3] =
+    [MethodKind::Push, MethodKind::Invalidation, MethodKind::Ttl];
+
+/// Fig. 14: per-server and per-user inconsistency under unicast.
+pub fn fig14(scale: Scale) -> FigureReport {
+    let mut report =
+        FigureReport::new("fig14", "Inconsistency in the unicast infrastructure");
+    let reports = run_batch(
+        METHODS.iter().map(|&m| section4_config(scale, Scheme::Unicast(m))).collect(),
+    );
+    for r in &reports {
+        report.row(format!(
+            "  {:<13} mean server inconsistency = {:>7.3}s   mean user inconsistency = {:>7.3}s",
+            r.scheme_label,
+            r.mean_server_lag_s(),
+            r.mean_user_lag_s()
+        ));
+        report.keyval(format!("{}_server_s", r.scheme_label), r.mean_server_lag_s());
+        report.keyval(format!("{}_user_s", r.scheme_label), r.mean_user_lag_s());
+    }
+    report
+}
+
+/// Fig. 15: the same three methods on the binary multicast tree.
+pub fn fig15(scale: Scale) -> FigureReport {
+    let mut report =
+        FigureReport::new("fig15", "Inconsistency in the multicast-tree infrastructure");
+    let reports = run_batch(
+        METHODS
+            .iter()
+            .map(|&m| section4_config(scale, Scheme::Multicast { method: m, arity: 2 }))
+            .collect(),
+    );
+    for r in &reports {
+        report.row(format!(
+            "  {:<22} mean server = {:>7.3}s   mean user = {:>7.3}s",
+            r.scheme_label,
+            r.mean_server_lag_s(),
+            r.mean_user_lag_s()
+        ));
+        report.keyval(format!("{}_server_s", r.scheme_label), r.mean_server_lag_s());
+        report.keyval(format!("{}_user_s", r.scheme_label), r.mean_user_lag_s());
+    }
+    report
+}
+
+/// Fig. 16: consistency-maintenance traffic cost (km·KB), 3 methods × 2
+/// infrastructures.
+pub fn fig16(scale: Scale) -> FigureReport {
+    let mut report = FigureReport::new("fig16", "Traffic cost (km·KB) per method × infra");
+    let mut configs = Vec::new();
+    for &m in &METHODS {
+        configs.push(section4_config(scale, Scheme::Unicast(m)));
+        configs.push(section4_config(scale, Scheme::Multicast { method: m, arity: 2 }));
+    }
+    let reports = run_batch(configs);
+    for pair in reports.chunks(2) {
+        let (uni, multi) = (&pair[0], &pair[1]);
+        report.row(format!(
+            "  {:<13} unicast = {:>12.3e} km·KB   multicast = {:>12.3e} km·KB",
+            uni.scheme_label,
+            uni.traffic.km_kb(),
+            multi.traffic.km_kb()
+        ));
+        report.keyval(format!("{}_unicast_kmkb", uni.scheme_label), uni.traffic.km_kb());
+        report.keyval(format!("{}_multicast_kmkb", uni.scheme_label), multi.traffic.km_kb());
+    }
+    report
+}
+
+/// Fig. 17: TTL-method traffic cost vs content-server TTL.
+pub fn fig17(scale: Scale) -> FigureReport {
+    let mut report = FigureReport::new("fig17", "Traffic cost vs content-server TTL");
+    let ttls = scale.server_ttl_sweep_s();
+    let mut configs = Vec::new();
+    for &ttl in &ttls {
+        for scheme in
+            [Scheme::Unicast(MethodKind::Ttl), Scheme::Multicast { method: MethodKind::Ttl, arity: 2 }]
+        {
+            let mut cfg = section4_config(scale, scheme);
+            cfg.server_ttl = SimDuration::from_secs(ttl);
+            configs.push(cfg);
+        }
+    }
+    let reports = run_batch(configs);
+    for (i, pair) in reports.chunks(2).enumerate() {
+        let ttl = ttls[i];
+        report.row(format!(
+            "  TTL={ttl:>3}s  unicast = {:>12.3e} km·KB   multicast = {:>12.3e} km·KB",
+            pair[0].traffic.km_kb(),
+            pair[1].traffic.km_kb()
+        ));
+        report.keyval(format!("unicast_kmkb_ttl{ttl}"), pair[0].traffic.km_kb());
+        report.keyval(format!("multicast_kmkb_ttl{ttl}"), pair[1].traffic.km_kb());
+    }
+    report
+}
+
+/// Fig. 18: Invalidation with varying end-user TTL: inconsistency
+/// percentiles and traffic cost.
+pub fn fig18(scale: Scale) -> FigureReport {
+    let mut report =
+        FigureReport::new("fig18", "Invalidation vs end-user TTL (inconsistency + cost)");
+    let user_ttls: Vec<u64> = match scale {
+        Scale::Smoke => vec![10, 60, 120],
+        _ => vec![10, 30, 60, 90, 120],
+    };
+    let mut configs = Vec::new();
+    for &ttl in &user_ttls {
+        for scheme in [
+            Scheme::Unicast(MethodKind::Invalidation),
+            Scheme::Multicast { method: MethodKind::Invalidation, arity: 2 },
+        ] {
+            let mut cfg = section4_config(scale, scheme);
+            cfg.user_ttl = SimDuration::from_secs(ttl);
+            configs.push(cfg);
+        }
+    }
+    let reports = run_batch(configs);
+    for (i, pair) in reports.chunks(2).enumerate() {
+        let ttl = user_ttls[i];
+        let (uni, multi) = (&pair[0], &pair[1]);
+        report.row(format!(
+            "  user TTL={ttl:>3}s  unicast p5/p50/p95 = {:>6.2}/{:>6.2}/{:>6.2}s cost={:.3e} | multicast p50 = {:>6.2}s cost={:.3e}",
+            uni.server_lag_percentile(5.0),
+            uni.server_lag_percentile(50.0),
+            uni.server_lag_percentile(95.0),
+            uni.traffic.km_kb(),
+            multi.server_lag_percentile(50.0),
+            multi.traffic.km_kb()
+        ));
+        report.keyval(format!("unicast_median_s_uttl{ttl}"), uni.server_lag_percentile(50.0));
+        report.keyval(format!("unicast_kmkb_uttl{ttl}"), uni.traffic.km_kb());
+        report.keyval(format!("multicast_kmkb_uttl{ttl}"), multi.traffic.km_kb());
+    }
+    report
+}
+
+/// Fig. 19: scalability vs update packet size.
+pub fn fig19(scale: Scale) -> FigureReport {
+    let mut report =
+        FigureReport::new("fig19", "Server inconsistency vs update packet size");
+    let sizes = scale.fig19_sizes_kb();
+    for (infra_name, make) in [
+        ("unicast", None),
+        ("multicast", Some(2usize)),
+    ] {
+        let mut configs = Vec::new();
+        for &kb in &sizes {
+            for &m in &METHODS {
+                let scheme = match make {
+                    None => Scheme::Unicast(m),
+                    Some(arity) => Scheme::Multicast { method: m, arity },
+                };
+                let mut cfg = section4_config(scale, scheme);
+                cfg.update_packet_kb = kb;
+                configs.push(cfg);
+            }
+        }
+        let reports = run_batch(configs);
+        for (i, chunk) in reports.chunks(METHODS.len()).enumerate() {
+            let kb = sizes[i];
+            report.row(format!(
+                "  [{infra_name}] {kb:>5.0} KB: Push={:>9.3}s Invalidation={:>9.3}s TTL={:>9.3}s",
+                chunk[0].mean_server_lag_s(),
+                chunk[1].mean_server_lag_s(),
+                chunk[2].mean_server_lag_s()
+            ));
+            for r in chunk {
+                report.keyval(
+                    format!("{infra_name}_{}_s_at_{kb:.0}kb", r.scheme_label),
+                    r.mean_server_lag_s(),
+                );
+            }
+        }
+    }
+    report
+}
+
+/// Fig. 20: scalability vs network size.
+pub fn fig20(scale: Scale) -> FigureReport {
+    let mut report = FigureReport::new("fig20", "Server inconsistency vs network size");
+    let sizes = scale.fig20_sizes();
+    for (infra_name, arity) in [("unicast", None), ("multicast", Some(2usize))] {
+        let mut configs = Vec::new();
+        for &n in &sizes {
+            for &m in &METHODS {
+                let scheme = match arity {
+                    None => Scheme::Unicast(m),
+                    Some(a) => Scheme::Multicast { method: m, arity: a },
+                };
+                let mut cfg = section4_config(scale, scheme);
+                cfg.servers = n;
+                configs.push(cfg);
+            }
+        }
+        let reports = run_batch(configs);
+        for (i, chunk) in reports.chunks(METHODS.len()).enumerate() {
+            let n = sizes[i];
+            report.row(format!(
+                "  [{infra_name}] N={n:>4}: Push={:>8.3}s Invalidation={:>8.3}s TTL={:>8.3}s",
+                chunk[0].mean_server_lag_s(),
+                chunk[1].mean_server_lag_s(),
+                chunk[2].mean_server_lag_s()
+            ));
+            for r in chunk {
+                report.keyval(
+                    format!("{infra_name}_{}_s_at_n{n}", r.scheme_label),
+                    r.mean_server_lag_s(),
+                );
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig14_ordering_matches_paper() {
+        let r = fig14(Scale::Smoke);
+        let push = r.value("Push_server_s").unwrap();
+        let inval = r.value("Invalidation_server_s").unwrap();
+        let ttl = r.value("TTL_server_s").unwrap();
+        assert!(push < inval && inval < ttl, "Push {push} < Inval {inval} < TTL {ttl}");
+    }
+
+    #[test]
+    fn fig16_multicast_saves_cost() {
+        let r = fig16(Scale::Smoke);
+        for m in ["Push", "Invalidation", "TTL"] {
+            let uni = r.value(&format!("{m}_unicast_kmkb")).unwrap();
+            let multi = r.value(&format!("{m}_multicast_kmkb")).unwrap();
+            assert!(multi < uni, "{m}: multicast {multi} must beat unicast {uni}");
+        }
+    }
+
+    #[test]
+    fn fig17_cost_decreases_with_ttl() {
+        let r = fig17(Scale::Smoke);
+        let at10 = r.value("unicast_kmkb_ttl10").unwrap();
+        let at60 = r.value("unicast_kmkb_ttl60").unwrap();
+        assert!(at60 < at10, "longer TTL must cost less: {at60} vs {at10}");
+    }
+
+    #[test]
+    fn fig18_cost_decreases_with_user_ttl() {
+        let r = fig18(Scale::Smoke);
+        let at10 = r.value("unicast_kmkb_uttl10").unwrap();
+        let at120 = r.value("unicast_kmkb_uttl120").unwrap();
+        assert!(at120 < at10, "rarer visits must cost less: {at120} vs {at10}");
+    }
+}

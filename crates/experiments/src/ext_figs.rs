@@ -1,0 +1,219 @@
+//! Extension experiments beyond the paper's figures.
+//!
+//! * [`ext_failures`] — the §1 motivation made quantitative: how each
+//!   infrastructure degrades under server failures, and what tree repair
+//!   costs in structure-maintenance messages.
+//! * [`ext_adaptive`] — the §5.1 argument made quantitative: the
+//!   related-work adaptive-TTL baseline vs the paper's self-adaptive method
+//!   on regular and bursty content.
+//! * [`ext_policy`] — the §6 future work: the policy advisor's
+//!   recommendations validated against fixed baselines by simulation.
+
+use crate::eval_figs::{run_batch, section4_updates};
+use crate::report::FigureReport;
+use crate::scale::Scale;
+use cdnc_core::{
+    recommend, FailureConfig, MethodKind, Requirement, Scheme, SimConfig, WorkloadProfile,
+};
+use cdnc_net::PacketKind;
+use cdnc_simcore::{SimDuration, SimTime};
+use cdnc_trace::UpdateSequence;
+
+/// Failure resilience per scheme: inconsistency, repair traffic and
+/// undelivered updates as the failure rate grows.
+pub fn ext_failures(scale: Scale) -> FigureReport {
+    let mut report = FigureReport::new(
+        "ext_failures",
+        "EXT: inconsistency and repair cost under server failures",
+    );
+    let schemes = [
+        Scheme::Unicast(MethodKind::Push),
+        Scheme::Multicast { method: MethodKind::Push, arity: 2 },
+        Scheme::Multicast { method: MethodKind::Ttl, arity: 2 },
+        Scheme::hat(),
+    ];
+    // Mean gap between one server's failures, seconds; smaller = harsher.
+    let regimes: [(&str, Option<f64>); 3] =
+        [("none", None), ("light", Some(2_000.0)), ("heavy", Some(400.0))];
+    let mut configs = Vec::new();
+    for &(_, gap) in &regimes {
+        for scheme in schemes {
+            let mut cfg = SimConfig::section4(scheme, section4_updates());
+            cfg.servers = scale.section4_servers().min(120);
+            cfg.failures = gap.map(FailureConfig::with_mean_gap_s);
+            configs.push(cfg);
+        }
+    }
+    let reports = run_batch(configs);
+    for (chunk, &(regime, _)) in reports.chunks(schemes.len()).zip(&regimes) {
+        for r in chunk {
+            report.row(format!(
+                "  [{regime:>5}] {:<22} lag={:>7.3}s maintenance={:>5} unresolved={:>3}",
+                r.scheme_label,
+                r.mean_server_lag_s(),
+                r.traffic.count_of(PacketKind::TreeMaintenance),
+                r.unresolved_lags
+            ));
+            report.keyval(format!("{}_{regime}_lag_s", r.scheme_label), r.mean_server_lag_s());
+            report.keyval(
+                format!("{}_{regime}_maintenance", r.scheme_label),
+                r.traffic.count_of(PacketKind::TreeMaintenance) as f64,
+            );
+            report
+                .keyval(format!("{}_{regime}_unresolved", r.scheme_label), r.unresolved_lags as f64);
+        }
+    }
+    report
+}
+
+/// The adaptive-TTL baseline vs fixed TTL vs the paper's self-adaptive
+/// method, on regular and on bursty (live-game) content.
+pub fn ext_adaptive(scale: Scale) -> FigureReport {
+    let mut report = FigureReport::new(
+        "ext_adaptive",
+        "EXT: adaptive-TTL baseline vs fixed TTL vs self-adaptive (Algorithm 1)",
+    );
+    let methods = [MethodKind::Ttl, MethodKind::AdaptiveTtl, MethodKind::SelfAdaptive];
+    let workloads: [(&str, UpdateSequence); 2] = [
+        (
+            "steady",
+            UpdateSequence::periodic(SimDuration::from_secs(30), SimTime::from_secs(5_000)),
+        ),
+        ("bursty", section4_updates()),
+    ];
+    for (name, updates) in workloads {
+        let mut configs = Vec::new();
+        for m in methods {
+            let mut cfg = SimConfig::section5(Scheme::Unicast(m), updates.clone());
+            cfg.servers = scale.section4_servers().min(120);
+            configs.push(cfg);
+        }
+        let reports = run_batch(configs);
+        for r in &reports {
+            report.row(format!(
+                "  [{name:>6}] {:<13} lag={:>7.3}s polls={:>6} updates={:>6}",
+                r.scheme_label,
+                r.mean_server_lag_s(),
+                r.traffic.count_of(PacketKind::Poll),
+                r.server_update_messages
+            ));
+            report.keyval(format!("{}_{name}_lag_s", r.scheme_label), r.mean_server_lag_s());
+            report.keyval(
+                format!("{}_{name}_polls", r.scheme_label),
+                r.traffic.count_of(PacketKind::Poll) as f64,
+            );
+        }
+    }
+    report
+}
+
+/// Validates the §6 policy advisor: for each workload × requirement cell,
+/// run the recommended scheme against the plain-TTL and Push baselines and
+/// check the recommendation meets its bound at a competitive cost.
+pub fn ext_policy(scale: Scale) -> FigureReport {
+    let mut report = FigureReport::new(
+        "ext_policy",
+        "EXT: §6 policy advisor — recommendations validated by simulation",
+    );
+    let servers = scale.section4_servers().min(100);
+    let updates = section4_updates();
+    let cases: [(&str, Requirement); 3] = [
+        ("strict_2s", Requirement::strong(2.0)),
+        ("bounded_60s", Requirement::strong(60.0)),
+        ("best_effort", Requirement::best_effort()),
+    ];
+    // Visit rate: 5 users per server polling every 10 s = 0.5 visits/s.
+    let profile = WorkloadProfile::from_updates(&updates, 0.5, servers, 1.0);
+    for (name, req) in cases {
+        let rec = recommend(&profile, &req);
+        report.row(format!("  [{name}] advisor says: {rec}"));
+        // Run the pick and the two fixed baselines.
+        let make = |scheme: Scheme| {
+            let mut cfg = SimConfig::section4(scheme, updates.clone());
+            cfg.servers = servers;
+            if let Some(ttl) = rec.server_ttl {
+                cfg.server_ttl = ttl;
+                cfg.drain = ttl * 5 + SimDuration::from_secs(120);
+            }
+            cfg
+        };
+        let reports = run_batch(vec![
+            make(rec.scheme),
+            make(Scheme::Unicast(MethodKind::Ttl)),
+            make(Scheme::Unicast(MethodKind::Push)),
+        ]);
+        let (pick, ttl_base, push_base) = (&reports[0], &reports[1], &reports[2]);
+        report.row(format!(
+            "    pick {:<13} lag={:>7.3}s traffic={:.3e} | TTL lag={:>7.3}s traffic={:.3e} | Push lag={:>7.3}s traffic={:.3e}",
+            pick.scheme_label,
+            pick.mean_server_lag_s(),
+            pick.traffic.km_kb(),
+            ttl_base.mean_server_lag_s(),
+            ttl_base.traffic.km_kb(),
+            push_base.mean_server_lag_s(),
+            push_base.traffic.km_kb()
+        ));
+        report.keyval(format!("{name}_pick_lag_s"), pick.mean_server_lag_s());
+        report.keyval(format!("{name}_pick_traffic_kmkb"), pick.traffic.km_kb());
+        if let Some(bound) = req.max_staleness_s {
+            report.keyval(format!("{name}_bound_s"), bound);
+        }
+        report.keyval(format!("{name}_ttl_traffic_kmkb"), ttl_base.traffic.km_kb());
+        report.keyval(format!("{name}_push_lag_s"), push_base.mean_server_lag_s());
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failures_extension_shapes() {
+        let r = ext_failures(Scale::Smoke);
+        // No failures → no maintenance anywhere.
+        assert_eq!(r.value("Push/Multicast_none_maintenance"), Some(0.0));
+        // Heavy failures → repair traffic on trees.
+        assert!(r.value("Push/Multicast_heavy_maintenance").unwrap() > 0.0);
+        // Unicast push needs no structure maintenance ever.
+        assert_eq!(r.value("Push_heavy_maintenance"), Some(0.0));
+        // Failures hurt multicast push consistency.
+        assert!(
+            r.value("Push/Multicast_heavy_lag_s").unwrap()
+                > r.value("Push/Multicast_none_lag_s").unwrap()
+        );
+    }
+
+    #[test]
+    fn policy_extension_validates_recommendations() {
+        let r = ext_policy(Scale::Smoke);
+        // The strict pick actually meets its bound.
+        let lag = r.value("strict_2s_pick_lag_s").unwrap();
+        let bound = r.value("strict_2s_bound_s").unwrap();
+        assert!(lag < bound, "strict pick lag {lag} must meet bound {bound}");
+        // The bounded pick meets its bound and undercuts plain TTL traffic.
+        let lag60 = r.value("bounded_60s_pick_lag_s").unwrap();
+        assert!(lag60 < 60.0, "bounded pick lag {lag60}");
+        let pick_traffic = r.value("bounded_60s_pick_traffic_kmkb").unwrap();
+        let ttl_traffic = r.value("bounded_60s_ttl_traffic_kmkb").unwrap();
+        assert!(
+            pick_traffic <= ttl_traffic * 1.1,
+            "pick traffic {pick_traffic} should not exceed plain TTL {ttl_traffic}"
+        );
+    }
+
+    #[test]
+    fn adaptive_extension_shapes() {
+        let r = ext_adaptive(Scale::Smoke);
+        // On steady content the prediction pays off.
+        assert!(
+            r.value("AdaptiveTTL_steady_lag_s").unwrap()
+                < r.value("TTL_steady_lag_s").unwrap()
+        );
+        // On bursty content it burns polls relative to Algorithm 1.
+        assert!(
+            r.value("AdaptiveTTL_bursty_polls").unwrap()
+                > r.value("Self_bursty_polls").unwrap() * 2.0
+        );
+    }
+}

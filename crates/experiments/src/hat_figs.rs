@@ -1,0 +1,178 @@
+//! Reproductions of the HAT evaluation figures (paper §5.3, Figs. 22–24).
+
+use crate::eval_figs::{run_batch, section4_updates};
+use crate::report::FigureReport;
+use crate::scale::Scale;
+use cdnc_core::{Scheme, SimConfig};
+use cdnc_simcore::SimDuration;
+
+fn section5_config(scale: Scale, scheme: Scheme) -> SimConfig {
+    let mut cfg = SimConfig::section5(scheme, section4_updates());
+    cfg.servers = scale.section5_servers();
+    cfg
+}
+
+/// Fig. 22(a): number of update messages to content servers vs end-user TTL,
+/// for the six §5 systems.
+pub fn fig22a(scale: Scale) -> FigureReport {
+    let mut report =
+        FigureReport::new("fig22a", "Update messages to servers vs end-user TTL");
+    let lineup = Scheme::section5_lineup();
+    let user_ttls = scale.user_ttl_sweep_s();
+    let mut configs = Vec::new();
+    for &ttl in &user_ttls {
+        for scheme in lineup {
+            let mut cfg = section5_config(scale, scheme);
+            cfg.user_ttl = SimDuration::from_secs(ttl);
+            configs.push(cfg);
+        }
+    }
+    let reports = run_batch(configs);
+    for (i, chunk) in reports.chunks(lineup.len()).enumerate() {
+        let ttl = user_ttls[i];
+        let cells: Vec<String> = chunk
+            .iter()
+            .map(|r| format!("{}={}", r.scheme_label, r.server_update_messages))
+            .collect();
+        report.row(format!("  user TTL={ttl:>3}s  {}", cells.join("  ")));
+        for r in chunk {
+            report.keyval(
+                format!("{}_updates_uttl{ttl}", r.scheme_label),
+                r.server_update_messages as f64,
+            );
+        }
+    }
+    report
+}
+
+/// Fig. 22(b): number of update messages sent by the content provider vs
+/// content-server TTL.
+pub fn fig22b(scale: Scale) -> FigureReport {
+    let mut report =
+        FigureReport::new("fig22b", "Update messages from the provider vs server TTL");
+    let lineup = Scheme::section5_lineup();
+    let server_ttls = scale.server_ttl_sweep_s();
+    let mut configs = Vec::new();
+    for &ttl in &server_ttls {
+        for scheme in lineup {
+            let mut cfg = section5_config(scale, scheme);
+            cfg.server_ttl = SimDuration::from_secs(ttl);
+            configs.push(cfg);
+        }
+    }
+    let reports = run_batch(configs);
+    for (i, chunk) in reports.chunks(lineup.len()).enumerate() {
+        let ttl = server_ttls[i];
+        let cells: Vec<String> = chunk
+            .iter()
+            .map(|r| format!("{}={}", r.scheme_label, r.provider_update_messages))
+            .collect();
+        report.row(format!("  server TTL={ttl:>3}s  {}", cells.join("  ")));
+        for r in chunk {
+            report.keyval(
+                format!("{}_provider_updates_sttl{ttl}", r.scheme_label),
+                r.provider_update_messages as f64,
+            );
+        }
+    }
+    report
+}
+
+/// Fig. 23: consistency-maintenance network load (km), split into update
+/// and light messages, for the six systems.
+pub fn fig23(scale: Scale) -> FigureReport {
+    let mut report =
+        FigureReport::new("fig23", "Network load (km): update vs light messages");
+    let lineup = Scheme::section5_lineup();
+    let reports = run_batch(lineup.iter().map(|&s| section5_config(scale, s)).collect());
+    for r in &reports {
+        report.row(format!(
+            "  {:<13} update = {:>12.3e} km   light = {:>12.3e} km   total = {:>12.3e} km   inter-ISP share = {:>5.1}%",
+            r.scheme_label,
+            r.traffic.update_km(),
+            r.traffic.light_km(),
+            r.traffic.update_km() + r.traffic.light_km(),
+            100.0 * r.traffic.inter_isp_fraction()
+        ));
+        report.keyval(format!("{}_update_km", r.scheme_label), r.traffic.update_km());
+        report.keyval(format!("{}_light_km", r.scheme_label), r.traffic.light_km());
+        report.keyval(
+            format!("{}_total_km", r.scheme_label),
+            r.traffic.update_km() + r.traffic.light_km(),
+        );
+        report.keyval(
+            format!("{}_inter_isp_fraction", r.scheme_label),
+            r.traffic.inter_isp_fraction(),
+        );
+    }
+    report
+}
+
+/// Fig. 24: percentage of user observations that were inconsistent, vs
+/// end-user TTL, under the roaming-user scenario.
+pub fn fig24(scale: Scale) -> FigureReport {
+    let mut report =
+        FigureReport::new("fig24", "% inconsistency observations vs end-user TTL (roaming)");
+    let lineup = Scheme::section5_lineup();
+    let user_ttls = scale.user_ttl_sweep_s();
+    let mut configs = Vec::new();
+    for &ttl in &user_ttls {
+        for scheme in lineup {
+            let mut cfg = section5_config(scale, scheme);
+            cfg.user_ttl = SimDuration::from_secs(ttl);
+            cfg.users_roam = true;
+            configs.push(cfg);
+        }
+    }
+    let reports = run_batch(configs);
+    for (i, chunk) in reports.chunks(lineup.len()).enumerate() {
+        let ttl = user_ttls[i];
+        let cells: Vec<String> = chunk
+            .iter()
+            .map(|r| {
+                format!("{}={:.4}%", r.scheme_label, 100.0 * r.inconsistency_observation_rate())
+            })
+            .collect();
+        report.row(format!("  user TTL={ttl:>3}s  {}", cells.join("  ")));
+        for r in chunk {
+            report.keyval(
+                format!("{}_obs_rate_uttl{ttl}", r.scheme_label),
+                r.inconsistency_observation_rate(),
+            );
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig22a_ordering_matches_paper() {
+        // Paper: Push > Invalidation > Hybrid ≈ TTL > HAT > Self.
+        let r = fig22a(Scale::Smoke);
+        let at = |name: &str| r.value(&format!("{name}_updates_uttl10")).unwrap();
+        assert!(at("Push") > at("Invalidation"), "Push > Invalidation");
+        assert!(at("Invalidation") > at("TTL"), "Invalidation > TTL");
+        assert!(at("TTL") > at("Self"), "TTL > Self");
+        assert!(at("HAT") >= at("Self"), "HAT ≥ Self (push to supernodes)");
+    }
+
+    #[test]
+    fn fig22b_hybrid_lightens_provider() {
+        let r = fig22b(Scale::Smoke);
+        let at = |name: &str| r.value(&format!("{name}_provider_updates_sttl60")).unwrap();
+        assert!(at("HAT") < at("TTL") / 4.0, "HAT {} ≪ TTL {}", at("HAT"), at("TTL"));
+        assert!(at("Hybrid") < at("Push") / 4.0, "Hybrid ≪ Push");
+    }
+
+    #[test]
+    fn fig24_push_never_shows_regressions() {
+        let r = fig24(Scale::Smoke);
+        let push = r.value("Push_obs_rate_uttl10").unwrap();
+        let ttl = r.value("TTL_obs_rate_uttl10").unwrap();
+        assert!(push <= ttl, "push rate {push} must not exceed ttl {ttl}");
+        assert!(ttl > 0.0, "roaming TTL users must observe regressions");
+    }
+}

@@ -1,0 +1,125 @@
+//! # cdnc-experiments
+//!
+//! One runner per figure of the paper. Each `figN` function regenerates the
+//! corresponding figure's data — the same rows/series the paper plots — at a
+//! configurable [`Scale`], and returns a [`FigureReport`] with the headline
+//! numbers recorded in `EXPERIMENTS.md`.
+//!
+//! Run them via the `experiments` binary:
+//!
+//! ```text
+//! cargo run -p cdnc-experiments --release -- fig6 --scale default
+//! cargo run -p cdnc-experiments --release -- all  --scale smoke
+//! ```
+
+pub mod eval_figs;
+pub mod ext_figs;
+pub mod hat_figs;
+pub mod report;
+pub mod scale;
+pub mod trace_figs;
+
+pub use report::FigureReport;
+pub use scale::Scale;
+
+use cdnc_trace::{crawl, Trace};
+
+/// Figure ids in paper order (§3 measurement).
+pub const TRACE_FIGURES: [&str; 11] = [
+    "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+];
+/// §4 evaluation figure ids.
+pub const EVAL_FIGURES: [&str; 7] =
+    ["fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20"];
+/// §5 HAT figure ids.
+pub const HAT_FIGURES: [&str; 4] = ["fig22a", "fig22b", "fig23", "fig24"];
+/// Extension experiment ids (beyond the paper's figures).
+pub const EXT_FIGURES: [&str; 3] = ["ext_failures", "ext_adaptive", "ext_policy"];
+
+/// Builds the measurement trace for a scale (shared by all §3 figures).
+pub fn build_trace(scale: Scale) -> Trace {
+    crawl(&scale.crawl_config())
+}
+
+/// Runs one figure by id. §3 figures need a trace: pass the output of
+/// [`build_trace`] to share one across figures, or `None` to build it on
+/// demand.
+///
+/// Returns `None` for an unknown id.
+pub fn run_figure(id: &str, scale: Scale, trace: Option<&Trace>) -> Option<FigureReport> {
+    let report = match id {
+        "fig3" | "fig4" | "fig5" | "fig6" | "fig7" | "fig8" | "fig9" | "fig10" | "fig11"
+        | "fig12" | "fig13" => {
+            let owned;
+            let t = match trace {
+                Some(t) => t,
+                None => {
+                    owned = build_trace(scale);
+                    &owned
+                }
+            };
+            match id {
+                "fig3" => trace_figs::fig3(t),
+                "fig4" => trace_figs::fig4(t),
+                "fig5" => trace_figs::fig5(t),
+                "fig6" => trace_figs::fig6(t),
+                "fig7" => trace_figs::fig7(t),
+                "fig8" => trace_figs::fig8(t),
+                "fig9" => trace_figs::fig9(t),
+                "fig10" => trace_figs::fig10(t),
+                "fig11" => trace_figs::fig11(t),
+                "fig12" => trace_figs::fig12(t),
+                _ => trace_figs::fig13(t),
+            }
+        }
+        "fig14" => eval_figs::fig14(scale),
+        "fig15" => eval_figs::fig15(scale),
+        "fig16" => eval_figs::fig16(scale),
+        "fig17" => eval_figs::fig17(scale),
+        "fig18" => eval_figs::fig18(scale),
+        "fig19" => eval_figs::fig19(scale),
+        "fig20" => eval_figs::fig20(scale),
+        "fig22a" => hat_figs::fig22a(scale),
+        "fig22b" => hat_figs::fig22b(scale),
+        "fig23" => hat_figs::fig23(scale),
+        "fig24" => hat_figs::fig24(scale),
+        "ext_failures" => ext_figs::ext_failures(scale),
+        "ext_adaptive" => ext_figs::ext_adaptive(scale),
+        "ext_policy" => ext_figs::ext_policy(scale),
+        _ => return None,
+    };
+    Some(report)
+}
+
+/// Runs every figure at the given scale, in paper order.
+pub fn run_all(scale: Scale) -> Vec<FigureReport> {
+    let trace = build_trace(scale);
+    let mut out = Vec::new();
+    for id in TRACE_FIGURES {
+        out.push(run_figure(id, scale, Some(&trace)).expect("known id"));
+    }
+    for id in EVAL_FIGURES.iter().chain(&HAT_FIGURES).chain(&EXT_FIGURES) {
+        out.push(run_figure(id, scale, None).expect("known id"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_figure_rejected() {
+        assert!(run_figure("fig99", Scale::Smoke, None).is_none());
+    }
+
+    #[test]
+    fn trace_figures_run_from_shared_trace() {
+        let trace = build_trace(Scale::Smoke);
+        for id in ["fig3", "fig7"] {
+            let r = run_figure(id, Scale::Smoke, Some(&trace)).unwrap();
+            assert_eq!(r.id, id);
+            assert!(!r.keyvals.is_empty(), "{id} must produce headline numbers");
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! CLI entry point: regenerate paper figures, persist crawl traces, and
+//! render measurement verdicts.
+//!
+//! ```text
+//! experiments <figure-id | all | list> [--scale smoke|default|paper]
+//! experiments crawl <out.bin>          [--scale …]   # save a crawl trace
+//! experiments verdict <trace.bin>                    # §3.6 verdict on a saved trace
+//! ```
+
+use cdnc_experiments::{
+    build_trace, run_figure, Scale, EVAL_FIGURES, EXT_FIGURES, HAT_FIGURES, TRACE_FIGURES,
+};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: experiments <figure-id | all | list> [--scale smoke|default|paper]");
+    eprintln!("       experiments crawl <out.bin> [--scale …]   write a crawl trace to disk");
+    eprintln!("       experiments verdict <trace.bin>           analyse a saved trace (§3.6)");
+    eprintln!("figure ids:");
+    for id in TRACE_FIGURES
+        .iter()
+        .chain(&EVAL_FIGURES)
+        .chain(&HAT_FIGURES)
+        .chain(&EXT_FIGURES)
+    {
+        eprintln!("  {id}");
+    }
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional: Vec<String> = Vec::new();
+    let mut scale = Scale::Default;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                let Some(value) = args.get(i + 1) else { return usage() };
+                let Some(parsed) = Scale::parse(value) else {
+                    eprintln!("unknown scale: {value}");
+                    return usage();
+                };
+                scale = parsed;
+                i += 2;
+            }
+            other if positional.len() < 2 => {
+                positional.push(other.to_owned());
+                i += 1;
+            }
+            other => {
+                eprintln!("unexpected argument: {other}");
+                return usage();
+            }
+        }
+    }
+    let Some(target) = positional.first().cloned() else { return usage() };
+
+    match target.as_str() {
+        "list" => {
+            for id in TRACE_FIGURES
+                .iter()
+                .chain(&EVAL_FIGURES)
+                .chain(&HAT_FIGURES)
+                .chain(&EXT_FIGURES)
+            {
+                println!("{id}");
+            }
+            ExitCode::SUCCESS
+        }
+        "all" => {
+            let started = std::time::Instant::now();
+            println!("building measurement trace ({scale:?} scale)…");
+            let trace = build_trace(scale);
+            for id in TRACE_FIGURES {
+                print!("{}", run_figure(id, scale, Some(&trace)).expect("known id"));
+            }
+            for id in EVAL_FIGURES.iter().chain(&HAT_FIGURES).chain(&EXT_FIGURES) {
+                print!("{}", run_figure(id, scale, None).expect("known id"));
+            }
+            println!("all figures regenerated in {:.1?}", started.elapsed());
+            ExitCode::SUCCESS
+        }
+        "crawl" => {
+            let Some(path) = positional.get(1) else {
+                eprintln!("crawl needs an output path");
+                return usage();
+            };
+            println!("crawling at {scale:?} scale…");
+            let trace = build_trace(scale);
+            let file = match std::fs::File::create(path) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("cannot create {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(e) =
+                cdnc_trace::write_trace(&trace, std::io::BufWriter::new(file))
+            {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "wrote {path}: {} servers × {} days, {} poll records",
+                trace.servers.len(),
+                trace.days.len(),
+                trace.total_server_polls()
+            );
+            ExitCode::SUCCESS
+        }
+        "verdict" => {
+            let Some(path) = positional.get(1) else {
+                eprintln!("verdict needs a trace path");
+                return usage();
+            };
+            let file = match std::fs::File::open(path) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("cannot open {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match cdnc_trace::read_trace(std::io::BufReader::new(file)) {
+                Ok(trace) => {
+                    println!("{}", cdnc_analysis::analyze(&trace));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        id => match run_figure(id, scale, None) {
+            Some(report) => {
+                print!("{report}");
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("unknown figure id: {id}");
+                usage()
+            }
+        },
+    }
+}

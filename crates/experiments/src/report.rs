@@ -1,0 +1,90 @@
+//! Figure-report plumbing: a uniform shape for every regenerated figure.
+
+use std::fmt;
+
+/// The regenerated data behind one paper figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureReport {
+    /// Figure id, e.g. `"fig6"`.
+    pub id: &'static str,
+    /// The paper's caption, abbreviated.
+    pub title: &'static str,
+    /// Printable data rows (already formatted).
+    pub rows: Vec<String>,
+    /// Headline numbers, for EXPERIMENTS.md and assertions:
+    /// `(name, measured)`.
+    pub keyvals: Vec<(String, f64)>,
+}
+
+impl FigureReport {
+    /// Creates an empty report for a figure.
+    pub fn new(id: &'static str, title: &'static str) -> Self {
+        FigureReport { id, title, rows: Vec::new(), keyvals: Vec::new() }
+    }
+
+    /// Appends a formatted data row.
+    pub fn row(&mut self, row: impl Into<String>) {
+        self.rows.push(row.into());
+    }
+
+    /// Records a headline number.
+    pub fn keyval(&mut self, name: impl Into<String>, value: f64) {
+        self.keyvals.push((name.into(), value));
+    }
+
+    /// Looks up a headline number by name.
+    pub fn value(&self, name: &str) -> Option<f64> {
+        self.keyvals.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+}
+
+impl fmt::Display for FigureReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== {} — {} ===", self.id, self.title)?;
+        for row in &self.rows {
+            writeln!(f, "{row}")?;
+        }
+        if !self.keyvals.is_empty() {
+            writeln!(f, "--- headline numbers ---")?;
+            for (name, value) in &self.keyvals {
+                writeln!(f, "{name}: {value:.4}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Formats a CDF as a fixed set of `x fraction` rows.
+pub fn cdf_rows(cdf: &cdnc_simcore::stats::Cdf, lo: f64, hi: f64, points: usize) -> Vec<String> {
+    cdf.series(lo, hi, points)
+        .into_iter()
+        .map(|(x, frac)| format!("  x={x:>10.2}  cdf={frac:.4}"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdnc_simcore::stats::Cdf;
+
+    #[test]
+    fn report_roundtrip() {
+        let mut r = FigureReport::new("fig0", "test");
+        r.row("  a=1");
+        r.keyval("metric", 2.5);
+        assert_eq!(r.value("metric"), Some(2.5));
+        assert_eq!(r.value("absent"), None);
+        let text = r.to_string();
+        assert!(text.contains("fig0"));
+        assert!(text.contains("a=1"));
+        assert!(text.contains("metric: 2.5000"));
+    }
+
+    #[test]
+    fn cdf_rows_formats_series() {
+        let cdf = Cdf::from_samples([1.0, 2.0, 3.0]);
+        let rows = cdf_rows(&cdf, 0.0, 3.0, 4);
+        assert_eq!(rows.len(), 4);
+        assert!(rows[3].contains("cdf=1.0000"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Experiment scales: how big to run each reproduction.
+//!
+//! The paper's full measurement is 3000 servers × 15 days; its §5
+//! evaluation is 850 servers × 4250 observers. Those run fine in release
+//! mode but are unnecessary for checking result *shapes*, so three scales
+//! are provided. `Paper` uses the paper's exact counts wherever stated.
+
+use cdnc_trace::CrawlConfig;
+
+/// How big to run the experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Scale {
+    /// Minutes-long CI-friendly runs preserving all shapes.
+    #[default]
+    Default,
+    /// Seconds-long runs for integration tests.
+    Smoke,
+    /// The paper's stated sizes (3000-server crawl, 850-server §5 runs).
+    Paper,
+}
+
+impl Scale {
+    /// Parses a `--scale` argument.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "default" => Some(Scale::Default),
+            "smoke" => Some(Scale::Smoke),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// The crawl configuration for the §3 measurement reproduction.
+    pub fn crawl_config(self) -> CrawlConfig {
+        match self {
+            Scale::Smoke => CrawlConfig { servers: 60, users: 30, days: 3, seed: 7, ..CrawlConfig::tiny() },
+            Scale::Default => CrawlConfig { servers: 250, users: 120, days: 6, seed: 7, ..CrawlConfig::default() },
+            Scale::Paper => CrawlConfig { servers: 3_000, users: 200, days: 15, seed: 7, ..CrawlConfig::default() },
+        }
+    }
+
+    /// Content-server count for §4 evaluation runs (paper: 170).
+    pub fn section4_servers(self) -> usize {
+        match self {
+            Scale::Smoke => 40,
+            Scale::Default | Scale::Paper => 170,
+        }
+    }
+
+    /// Content-server count for §5 runs (paper: 850 = 170 sites × 5).
+    pub fn section5_servers(self) -> usize {
+        match self {
+            Scale::Smoke => 60,
+            Scale::Default => 340,
+            Scale::Paper => 850,
+        }
+    }
+
+    /// Network sizes swept in Fig. 20 (paper: 170–850).
+    pub fn fig20_sizes(self) -> Vec<usize> {
+        match self {
+            Scale::Smoke => vec![40, 80],
+            Scale::Default | Scale::Paper => vec![170, 340, 510, 680, 850],
+        }
+    }
+
+    /// Packet sizes (KB) swept in Fig. 19 (paper: 1, 100, 500).
+    pub fn fig19_sizes_kb(self) -> Vec<f64> {
+        vec![1.0, 100.0, 500.0]
+    }
+
+    /// End-user TTLs (s) swept in Figs. 18, 22(a), 24 (paper: 10–120 / 10–60).
+    pub fn user_ttl_sweep_s(self) -> Vec<u64> {
+        match self {
+            Scale::Smoke => vec![10, 30, 60],
+            Scale::Default | Scale::Paper => vec![10, 20, 30, 40, 50, 60],
+        }
+    }
+
+    /// Server TTLs (s) swept in Figs. 17, 22(b) (paper: 10–60).
+    pub fn server_ttl_sweep_s(self) -> Vec<u64> {
+        match self {
+            Scale::Smoke => vec![10, 60],
+            Scale::Default | Scale::Paper => vec![10, 20, 30, 40, 50, 60],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_known_scales() {
+        assert_eq!(Scale::parse("smoke"), Some(Scale::Smoke));
+        assert_eq!(Scale::parse("default"), Some(Scale::Default));
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn paper_scale_matches_paper_counts() {
+        let cfg = Scale::Paper.crawl_config();
+        assert_eq!(cfg.servers, 3_000);
+        assert_eq!(cfg.users, 200);
+        assert_eq!(cfg.days, 15);
+        assert_eq!(Scale::Paper.section4_servers(), 170);
+        assert_eq!(Scale::Paper.section5_servers(), 850);
+        assert_eq!(Scale::Paper.fig20_sizes(), vec![170, 340, 510, 680, 850]);
+    }
+
+    #[test]
+    fn smoke_is_smaller_than_default() {
+        assert!(Scale::Smoke.crawl_config().servers < Scale::Default.crawl_config().servers);
+        assert!(Scale::Smoke.section5_servers() < Scale::Default.section5_servers());
+    }
+}

@@ -1,0 +1,246 @@
+//! Clustering utilities.
+//!
+//! Three clusterings appear in the paper:
+//!
+//! * **collocation clusters** (§3.4.1): servers with the same geolocated
+//!   coordinates are grouped to isolate the TTL effect from propagation
+//!   delay — [`cluster_by_location`];
+//! * **ISP clusters** (§3.4.3): servers grouped by serving ISP to compare
+//!   intra- vs inter-ISP inconsistency — trivially a group-by on
+//!   [`IspId`](crate::IspId), provided here as [`cluster_by_key`];
+//! * **Hilbert clusters** (§5.2): HAT's proximity clusters built by sorting
+//!   servers by Hilbert number and chunking — [`cluster_by_hilbert`].
+
+use crate::hilbert::hilbert_index;
+use crate::point::GeoPoint;
+use std::collections::BTreeMap;
+use std::hash::Hash;
+
+/// A cluster of item indices (indices into whatever slice was clustered).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Cluster {
+    /// Indices of the clustered items, in input order.
+    pub members: Vec<usize>,
+}
+
+impl Cluster {
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` if the cluster has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// Groups points that share a coarse location key (coordinates rounded to
+/// `decimals` places). Returns clusters in ascending key order, so output is
+/// deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use cdnc_geo::{cluster_by_location, GeoPoint};
+///
+/// let points = [
+///     GeoPoint::new(33.7491, -84.3881).unwrap(),
+///     GeoPoint::new(33.7492, -84.3882).unwrap(),
+///     GeoPoint::new(51.5070, -0.1280).unwrap(),
+/// ];
+/// let clusters = cluster_by_location(&points, 2);
+/// assert_eq!(clusters.len(), 2);
+/// ```
+pub fn cluster_by_location(points: &[GeoPoint], decimals: u32) -> Vec<Cluster> {
+    let mut groups: BTreeMap<(i64, i64), Cluster> = BTreeMap::new();
+    for (i, p) in points.iter().enumerate() {
+        groups.entry(p.location_key(decimals)).or_default().members.push(i);
+    }
+    groups.into_values().collect()
+}
+
+/// Groups item indices by an arbitrary key (e.g. ISP id). Returns clusters in
+/// ascending key order.
+pub fn cluster_by_key<T, K: Ord + Hash, F: Fn(&T) -> K>(items: &[T], key: F) -> Vec<Cluster> {
+    let mut groups: BTreeMap<K, Cluster> = BTreeMap::new();
+    for (i, item) in items.iter().enumerate() {
+        groups.entry(key(item)).or_default().members.push(i);
+    }
+    groups.into_values().collect()
+}
+
+/// HAT's proximity clustering (paper §5.2): sorts points by Hilbert number
+/// and splits the order into `k` contiguous, nearly equal chunks. Physically
+/// close points share similar Hilbert numbers, so chunks are geographic
+/// neighbourhoods.
+///
+/// Produces fewer than `k` clusters when there are fewer than `k` points.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn cluster_by_hilbert(points: &[GeoPoint], k: usize) -> Vec<Cluster> {
+    assert!(k > 0, "cannot cluster into zero clusters");
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by_key(|&i| (hilbert_index(&points[i]), i));
+    let k = k.min(points.len());
+    let base = points.len() / k;
+    let extra = points.len() % k;
+    let mut clusters = Vec::with_capacity(k);
+    let mut cursor = 0;
+    for c in 0..k {
+        let size = base + usize::from(c < extra);
+        clusters.push(Cluster { members: order[cursor..cursor + size].to_vec() });
+        cursor += size;
+    }
+    clusters
+}
+
+/// The member of `cluster` closest to the cluster's geographic centroid —
+/// HAT's supernode choice when a deterministic pick is wanted (the paper
+/// picks randomly; both are supported by callers).
+///
+/// Returns `None` for an empty cluster.
+pub fn centroid_member(points: &[GeoPoint], cluster: &Cluster) -> Option<usize> {
+    if cluster.is_empty() {
+        return None;
+    }
+    let lat = cluster.members.iter().map(|&i| points[i].lat_deg()).sum::<f64>()
+        / cluster.len() as f64;
+    let lon = cluster.members.iter().map(|&i| points[i].lon_deg()).sum::<f64>()
+        / cluster.len() as f64;
+    let centre = GeoPoint::new(lat.clamp(-90.0, 90.0), lon.clamp(-180.0, 180.0)).ok()?;
+    cluster
+        .members
+        .iter()
+        .copied()
+        .min_by(|&a, &b| {
+            points[a]
+                .distance_km(&centre)
+                .partial_cmp(&points[b].distance_km(&centre))
+                .expect("finite distances")
+                .then(a.cmp(&b))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdnc_simcore::SimRng;
+    use proptest::prelude::*;
+
+    fn p(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon).unwrap()
+    }
+
+    #[test]
+    fn location_clustering_groups_collocated() {
+        let points = [
+            p(33.7491, -84.3881),
+            p(33.7492, -84.3882),
+            p(51.5070, -0.1280),
+            p(51.5071, -0.1281),
+            p(35.6900, 139.6920),
+        ];
+        let clusters = cluster_by_location(&points, 2);
+        assert_eq!(clusters.len(), 3);
+        let total: usize = clusters.iter().map(Cluster::len).sum();
+        assert_eq!(total, points.len());
+    }
+
+    #[test]
+    fn key_clustering_by_parity() {
+        let items = [3u32, 1, 4, 1, 5, 9, 2, 6];
+        let clusters = cluster_by_key(&items, |x| x % 2);
+        assert_eq!(clusters.len(), 2);
+        // Even cluster first (key 0).
+        assert_eq!(clusters[0].members, vec![2, 6, 7]);
+        assert_eq!(clusters[1].members, vec![0, 1, 3, 4, 5]);
+    }
+
+    #[test]
+    fn hilbert_clustering_partitions_everything() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let points: Vec<GeoPoint> = (0..137)
+            .map(|_| p(rng.uniform_range(-60.0, 60.0), rng.uniform_range(-170.0, 170.0)))
+            .collect();
+        let clusters = cluster_by_hilbert(&points, 20);
+        assert_eq!(clusters.len(), 20);
+        let mut seen: Vec<usize> = clusters.iter().flat_map(|c| c.members.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..137).collect::<Vec<_>>());
+        // Balanced sizes: differ by at most one.
+        let sizes: Vec<usize> = clusters.iter().map(Cluster::len).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn hilbert_clusters_are_geographically_tight() {
+        // Two distant metros must not share a 2-cluster split.
+        let points = [
+            p(33.75, -84.39),
+            p(33.76, -84.38),
+            p(33.74, -84.40),
+            p(35.69, 139.69),
+            p(35.70, 139.70),
+            p(35.68, 139.68),
+        ];
+        let clusters = cluster_by_hilbert(&points, 2);
+        for c in &clusters {
+            let cities: Vec<bool> = c.members.iter().map(|&i| points[i].lon_deg() > 0.0).collect();
+            assert!(
+                cities.iter().all(|&x| x == cities[0]),
+                "cluster mixes Atlanta and Tokyo: {:?}",
+                c.members
+            );
+        }
+    }
+
+    #[test]
+    fn more_clusters_than_points_collapses() {
+        let points = [p(0.0, 0.0), p(1.0, 1.0)];
+        let clusters = cluster_by_hilbert(&points, 10);
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(cluster_by_hilbert(&[], 4).is_empty());
+        assert!(cluster_by_location(&[], 2).is_empty());
+        assert_eq!(centroid_member(&[], &Cluster::default()), None);
+    }
+
+    #[test]
+    fn centroid_member_picks_central_point() {
+        let points = [p(0.0, 0.0), p(0.0, 10.0), p(0.0, 5.0)];
+        let cluster = Cluster { members: vec![0, 1, 2] };
+        assert_eq!(centroid_member(&points, &cluster), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero clusters")]
+    fn zero_k_rejected() {
+        cluster_by_hilbert(&[p(0.0, 0.0)], 0);
+    }
+
+    proptest! {
+        /// Hilbert clustering is a partition: every index appears exactly once.
+        #[test]
+        fn prop_hilbert_partition(
+            coords in proptest::collection::vec((-89.0f64..89.0, -179.0f64..179.0), 1..200),
+            k in 1usize..30,
+        ) {
+            let points: Vec<GeoPoint> =
+                coords.iter().map(|&(la, lo)| p(la, lo)).collect();
+            let clusters = cluster_by_hilbert(&points, k);
+            let mut seen: Vec<usize> =
+                clusters.iter().flat_map(|c| c.members.iter().copied()).collect();
+            seen.sort_unstable();
+            prop_assert_eq!(seen, (0..points.len()).collect::<Vec<_>>());
+        }
+    }
+}

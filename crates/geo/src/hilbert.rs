@@ -1,0 +1,196 @@
+//! Hilbert space-filling-curve linearisation.
+//!
+//! HAT (paper §5.2, following reference \[39\] which uses the Hilbert curve of
+//! \[44\]) converts the two geographic dimensions (longitude, latitude) into a
+//! single *Hilbert number*; physically close nodes receive similar numbers,
+//! so sorting by Hilbert number and chunking yields proximity-aware clusters.
+
+use crate::point::GeoPoint;
+
+/// Default curve order used for geographic clustering (2^16 × 2^16 grid —
+/// ≈ 600 m of longitude resolution at the equator).
+pub const DEFAULT_ORDER: u32 = 16;
+
+/// Maps grid cell `(x, y)` on a `2^order × 2^order` grid to its distance
+/// along the Hilbert curve.
+///
+/// # Panics
+///
+/// Panics if `order` is 0 or greater than 31, or if `x`/`y` fall outside the
+/// grid.
+///
+/// # Examples
+///
+/// ```
+/// use cdnc_geo::hilbert::xy_to_hilbert;
+///
+/// // First-order curve visits (0,0) -> (0,1) -> (1,1) -> (1,0).
+/// assert_eq!(xy_to_hilbert(1, 0, 0), 0);
+/// assert_eq!(xy_to_hilbert(1, 0, 1), 1);
+/// assert_eq!(xy_to_hilbert(1, 1, 1), 2);
+/// assert_eq!(xy_to_hilbert(1, 1, 0), 3);
+/// ```
+pub fn xy_to_hilbert(order: u32, mut x: u64, mut y: u64) -> u64 {
+    assert!((1..=31).contains(&order), "order out of range: {order}");
+    let n: u64 = 1 << order;
+    assert!(x < n && y < n, "({x}, {y}) outside 2^{order} grid");
+    let mut rx;
+    let mut ry;
+    let mut d: u64 = 0;
+    let mut s = n / 2;
+    while s > 0 {
+        rx = u64::from((x & s) > 0);
+        ry = u64::from((y & s) > 0);
+        d += s * s * ((3 * rx) ^ ry);
+        // Rotate quadrant (reflection is across the full grid here; the
+        // inverse transform reflects across the sub-quadrant instead).
+        if ry == 0 {
+            if rx == 1 {
+                x = n - 1 - x;
+                y = n - 1 - y;
+            }
+            std::mem::swap(&mut x, &mut y);
+        }
+        s /= 2;
+    }
+    d
+}
+
+/// Inverse of [`xy_to_hilbert`]: maps a distance along the curve back to the
+/// grid cell it occupies.
+///
+/// # Panics
+///
+/// Panics if `order` is out of range or `d >= 4^order`.
+pub fn hilbert_to_xy(order: u32, d: u64) -> (u64, u64) {
+    assert!((1..=31).contains(&order), "order out of range: {order}");
+    let n: u64 = 1 << order;
+    assert!(d < n * n, "distance {d} beyond curve of order {order}");
+    let (mut x, mut y) = (0u64, 0u64);
+    let mut t = d;
+    let mut s = 1u64;
+    while s < n {
+        let rx = (t / 2) & 1;
+        let ry = (t ^ rx) & 1;
+        if ry == 0 {
+            if rx == 1 {
+                x = s - 1 - x;
+                y = s - 1 - y;
+            }
+            std::mem::swap(&mut x, &mut y);
+        }
+        x += s * rx;
+        y += s * ry;
+        t /= 4;
+        s *= 2;
+    }
+    (x, y)
+}
+
+/// The Hilbert number of a geographic point on the default-order curve.
+///
+/// Longitude maps to the x axis and latitude to the y axis, matching the
+/// "two dimensions (longitude and latitude) to real numbers" construction in
+/// the paper's reference \[39\].
+pub fn hilbert_index(point: &GeoPoint) -> u64 {
+    hilbert_index_with_order(point, DEFAULT_ORDER)
+}
+
+/// The Hilbert number of a geographic point on a curve of the given order.
+///
+/// # Panics
+///
+/// Panics if `order` is 0 or greater than 31.
+pub fn hilbert_index_with_order(point: &GeoPoint, order: u32) -> u64 {
+    let n = (1u64 << order) as f64;
+    let x = ((point.lon_deg() + 180.0) / 360.0 * n).min(n - 1.0).max(0.0) as u64;
+    let y = ((point.lat_deg() + 90.0) / 180.0 * n).min(n - 1.0).max(0.0) as u64;
+    xy_to_hilbert(order, x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn first_order_curve_shape() {
+        assert_eq!(hilbert_to_xy(1, 0), (0, 0));
+        assert_eq!(hilbert_to_xy(1, 1), (0, 1));
+        assert_eq!(hilbert_to_xy(1, 2), (1, 1));
+        assert_eq!(hilbert_to_xy(1, 3), (1, 0));
+    }
+
+    #[test]
+    fn roundtrip_small_orders() {
+        for order in 1..=6 {
+            let n: u64 = 1 << order;
+            for d in 0..n * n {
+                let (x, y) = hilbert_to_xy(order, d);
+                assert_eq!(xy_to_hilbert(order, x, y), d, "order {order}, d {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn curve_is_continuous() {
+        // Consecutive curve positions are adjacent grid cells (Manhattan
+        // distance exactly 1) — the defining locality property.
+        let order = 5;
+        let n: u64 = 1 << order;
+        for d in 0..n * n - 1 {
+            let (x1, y1) = hilbert_to_xy(order, d);
+            let (x2, y2) = hilbert_to_xy(order, d + 1);
+            let dist = x1.abs_diff(x2) + y1.abs_diff(y2);
+            assert_eq!(dist, 1, "jump between d={d} and d={}", d + 1);
+        }
+    }
+
+    #[test]
+    fn nearby_points_have_nearby_indices() {
+        let a = GeoPoint::new(33.75, -84.39).unwrap();
+        let b = GeoPoint::new(33.76, -84.38).unwrap(); // ~1.4 km away
+        let far = GeoPoint::new(35.68, 139.69).unwrap(); // Tokyo
+        let da = hilbert_index(&a);
+        let db = hilbert_index(&b);
+        let df = hilbert_index(&far);
+        assert!(da.abs_diff(db) < da.abs_diff(df));
+    }
+
+    #[test]
+    fn extreme_coordinates_stay_on_grid() {
+        for (lat, lon) in [(90.0, 180.0), (-90.0, -180.0), (0.0, 0.0), (90.0, -180.0)] {
+            let p = GeoPoint::new(lat, lon).unwrap();
+            let _ = hilbert_index(&p); // must not panic
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "order out of range")]
+    fn order_zero_rejected() {
+        xy_to_hilbert(0, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn off_grid_rejected() {
+        xy_to_hilbert(2, 4, 0);
+    }
+
+    proptest! {
+        /// xy -> d -> xy round-trips at the default geographic order.
+        #[test]
+        fn prop_roundtrip_default_order(x in 0u64..(1 << DEFAULT_ORDER), y in 0u64..(1 << DEFAULT_ORDER)) {
+            let d = xy_to_hilbert(DEFAULT_ORDER, x, y);
+            prop_assert_eq!(hilbert_to_xy(DEFAULT_ORDER, d), (x, y));
+        }
+
+        /// The index is within the curve length.
+        #[test]
+        fn prop_index_bounded(lat in -90.0f64..=90.0, lon in -180.0f64..=180.0) {
+            let p = GeoPoint::new(lat, lon).unwrap();
+            let d = hilbert_index(&p);
+            prop_assert!(d < (1u64 << DEFAULT_ORDER) * (1u64 << DEFAULT_ORDER));
+        }
+    }
+}

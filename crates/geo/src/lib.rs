@@ -1,0 +1,39 @@
+//! # cdnc-geo
+//!
+//! Geography substrate for the CDN consistency study.
+//!
+//! The paper's measurement and evaluation both lean on geography:
+//!
+//! * content-server placement across continents drives propagation delay
+//!   (paper Fig. 8) and traffic cost in km·KB (Figs. 16–17, 23);
+//! * geographically collocated servers are clustered to isolate the TTL
+//!   effect (Fig. 5) and to test for proximity-aware multicast trees
+//!   (Fig. 11);
+//! * HAT (paper §5.2) groups servers into clusters by **Hilbert number** —
+//!   a space-filling-curve linearisation of (longitude, latitude) — and
+//!   builds its supernode tree proximity-aware.
+//!
+//! This crate provides those pieces: [`GeoPoint`] with great-circle
+//! distances, [`hilbert`] encoding, a [`world`] generator that places nodes
+//! in real cities with realistic ISP assignment, and [`cluster`] utilities.
+//!
+//! # Examples
+//!
+//! ```
+//! use cdnc_geo::GeoPoint;
+//!
+//! let atlanta = GeoPoint::new(33.749, -84.388).unwrap();
+//! let london = GeoPoint::new(51.507, -0.128).unwrap();
+//! let km = atlanta.distance_km(&london);
+//! assert!((6_700.0..6_900.0).contains(&km));
+//! ```
+
+pub mod cluster;
+pub mod hilbert;
+pub mod point;
+pub mod world;
+
+pub use cluster::{cluster_by_hilbert, cluster_by_location, Cluster};
+pub use hilbert::hilbert_index;
+pub use point::GeoPoint;
+pub use world::{IspId, Region, World, WorldBuilder, WorldNode};

@@ -1,0 +1,352 @@
+//! World generation: placing CDN nodes in real metro areas.
+//!
+//! The paper's evaluation (§4) selects "170 PlanetLab nodes ... mainly in the
+//! U.S., Europe, and Asia" with the content provider in Atlanta, and the
+//! measurement (§3) crawls ~3000 servers distributed worldwide. This module
+//! generates such placements deterministically: nodes are assigned to a city
+//! from a fixed catalog (weighted by region mix), jittered inside the metro
+//! area, and given an ISP from the city's serving set.
+
+use crate::point::GeoPoint;
+use cdnc_simcore::SimRng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an ISP (autonomous system) in the generated world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct IspId(pub u16);
+
+impl fmt::Display for IspId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "isp{}", self.0)
+    }
+}
+
+/// Continental region of a node — the paper's node mix is specified at this
+/// granularity ("mainly in the U.S., Europe, and Asia").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Region {
+    /// United States and Canada.
+    NorthAmerica,
+    /// Europe.
+    Europe,
+    /// East and South Asia.
+    Asia,
+    /// South America.
+    SouthAmerica,
+    /// Australia / New Zealand.
+    Oceania,
+}
+
+impl Region {
+    /// All regions in catalog order.
+    pub const ALL: [Region; 5] =
+        [Region::NorthAmerica, Region::Europe, Region::Asia, Region::SouthAmerica, Region::Oceania];
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Region::NorthAmerica => "north-america",
+            Region::Europe => "europe",
+            Region::Asia => "asia",
+            Region::SouthAmerica => "south-america",
+            Region::Oceania => "oceania",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A metro area in the catalog.
+#[derive(Debug, Clone, Copy)]
+struct City {
+    name: &'static str,
+    lat: f64,
+    lon: f64,
+    region: Region,
+}
+
+/// Catalog of metro areas used for placement. Coordinates are city centres.
+const CITIES: &[City] = &[
+    // North America
+    City { name: "Atlanta", lat: 33.749, lon: -84.388, region: Region::NorthAmerica },
+    City { name: "New York", lat: 40.713, lon: -74.006, region: Region::NorthAmerica },
+    City { name: "Chicago", lat: 41.878, lon: -87.630, region: Region::NorthAmerica },
+    City { name: "Dallas", lat: 32.777, lon: -96.797, region: Region::NorthAmerica },
+    City { name: "Los Angeles", lat: 34.052, lon: -118.244, region: Region::NorthAmerica },
+    City { name: "San Jose", lat: 37.338, lon: -121.886, region: Region::NorthAmerica },
+    City { name: "Seattle", lat: 47.606, lon: -122.332, region: Region::NorthAmerica },
+    City { name: "Miami", lat: 25.762, lon: -80.192, region: Region::NorthAmerica },
+    City { name: "Denver", lat: 39.739, lon: -104.990, region: Region::NorthAmerica },
+    City { name: "Detroit", lat: 42.331, lon: -83.046, region: Region::NorthAmerica },
+    City { name: "Toronto", lat: 43.651, lon: -79.347, region: Region::NorthAmerica },
+    City { name: "Washington DC", lat: 38.907, lon: -77.037, region: Region::NorthAmerica },
+    // Europe
+    City { name: "London", lat: 51.507, lon: -0.128, region: Region::Europe },
+    City { name: "Paris", lat: 48.857, lon: 2.352, region: Region::Europe },
+    City { name: "Frankfurt", lat: 50.110, lon: 8.682, region: Region::Europe },
+    City { name: "Amsterdam", lat: 52.368, lon: 4.904, region: Region::Europe },
+    City { name: "Madrid", lat: 40.417, lon: -3.704, region: Region::Europe },
+    City { name: "Milan", lat: 45.464, lon: 9.190, region: Region::Europe },
+    City { name: "Stockholm", lat: 59.329, lon: 18.069, region: Region::Europe },
+    City { name: "Warsaw", lat: 52.230, lon: 21.012, region: Region::Europe },
+    City { name: "Zurich", lat: 47.377, lon: 8.541, region: Region::Europe },
+    City { name: "Dublin", lat: 53.349, lon: -6.260, region: Region::Europe },
+    // Asia
+    City { name: "Tokyo", lat: 35.690, lon: 139.692, region: Region::Asia },
+    City { name: "Osaka", lat: 34.694, lon: 135.502, region: Region::Asia },
+    City { name: "Seoul", lat: 37.566, lon: 126.978, region: Region::Asia },
+    City { name: "Hong Kong", lat: 22.319, lon: 114.169, region: Region::Asia },
+    City { name: "Singapore", lat: 1.352, lon: 103.820, region: Region::Asia },
+    City { name: "Taipei", lat: 25.033, lon: 121.565, region: Region::Asia },
+    City { name: "Mumbai", lat: 19.076, lon: 72.878, region: Region::Asia },
+    City { name: "Beijing", lat: 39.904, lon: 116.407, region: Region::Asia },
+    City { name: "Shanghai", lat: 31.230, lon: 121.474, region: Region::Asia },
+    // South America
+    City { name: "Sao Paulo", lat: -23.551, lon: -46.633, region: Region::SouthAmerica },
+    City { name: "Buenos Aires", lat: -34.604, lon: -58.382, region: Region::SouthAmerica },
+    City { name: "Santiago", lat: -33.449, lon: -70.669, region: Region::SouthAmerica },
+    // Oceania
+    City { name: "Sydney", lat: -33.869, lon: 151.209, region: Region::Oceania },
+    City { name: "Auckland", lat: -36.848, lon: 174.763, region: Region::Oceania },
+];
+
+/// Number of distinct ISPs assigned per region.
+const ISPS_PER_REGION: u16 = 12;
+/// Number of ISPs serving each city.
+const ISPS_PER_CITY: usize = 3;
+
+/// A generated node placement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorldNode {
+    /// Position (jittered inside the metro area).
+    pub location: GeoPoint,
+    /// Metro area name from the catalog.
+    pub city: String,
+    /// Continental region.
+    pub region: Region,
+    /// Serving ISP.
+    pub isp: IspId,
+}
+
+/// A deterministic placement of CDN nodes across the city catalog.
+///
+/// # Examples
+///
+/// ```
+/// use cdnc_geo::WorldBuilder;
+///
+/// let world = WorldBuilder::new(170).seed(42).build();
+/// assert_eq!(world.nodes().len(), 170);
+/// // Same seed, same world.
+/// assert_eq!(world, WorldBuilder::new(170).seed(42).build());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct World {
+    nodes: Vec<WorldNode>,
+    provider: GeoPoint,
+}
+
+impl World {
+    /// The generated nodes.
+    pub fn nodes(&self) -> &[WorldNode] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the world has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Where the content provider sits (paper §4: one node in Atlanta).
+    pub fn provider_location(&self) -> GeoPoint {
+        self.provider
+    }
+
+    /// Distinct ISPs present among the nodes, sorted.
+    pub fn isps(&self) -> Vec<IspId> {
+        let mut isps: Vec<IspId> = self.nodes.iter().map(|n| n.isp).collect();
+        isps.sort_unstable();
+        isps.dedup();
+        isps
+    }
+}
+
+/// Builder for [`World`].
+#[derive(Debug, Clone)]
+pub struct WorldBuilder {
+    count: usize,
+    seed: u64,
+    region_weights: [f64; 5],
+    metro_jitter_km: f64,
+}
+
+impl WorldBuilder {
+    /// Starts a builder for a world of `count` nodes with the paper's §4
+    /// region mix (mainly US, Europe and Asia).
+    pub fn new(count: usize) -> Self {
+        WorldBuilder {
+            count,
+            seed: 0,
+            // US : EU : Asia : SA : Oceania — "mainly in the U.S., Europe, and Asia".
+            region_weights: [0.45, 0.27, 0.22, 0.03, 0.03],
+            metro_jitter_km: 25.0,
+        }
+    }
+
+    /// Sets the random seed (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the relative weight of each region, in [`Region::ALL`]
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight is negative or all are zero (checked at build).
+    pub fn region_weights(mut self, weights: [f64; 5]) -> Self {
+        self.region_weights = weights;
+        self
+    }
+
+    /// Sets how far nodes may be jittered from the city centre (km).
+    pub fn metro_jitter_km(mut self, km: f64) -> Self {
+        self.metro_jitter_km = km;
+        self
+    }
+
+    /// Generates the world.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region weights are invalid (negative or all-zero).
+    pub fn build(&self) -> World {
+        let mut rng = SimRng::seed_from_u64(self.seed ^ 0x57_4f_52_4c_44); // "WORLD"
+        let mut nodes = Vec::with_capacity(self.count);
+        for _ in 0..self.count {
+            let region = Region::ALL[rng.weighted_index(&self.region_weights)];
+            let cities: Vec<&City> = CITIES.iter().filter(|c| c.region == region).collect();
+            let city = *rng.choose(&cities);
+            let centre = GeoPoint::new(city.lat, city.lon).expect("catalog coordinates valid");
+            let j = self.metro_jitter_km;
+            let location =
+                centre.displaced_km(rng.uniform_range(-j, j), rng.uniform_range(-j, j));
+            let isp = city_isp(city, rng.index(ISPS_PER_CITY));
+            nodes.push(WorldNode { location, city: city.name.to_owned(), region, isp });
+        }
+        let provider = GeoPoint::new(33.749, -84.388).expect("Atlanta coordinates valid");
+        World { nodes, provider }
+    }
+}
+
+/// Deterministically picks the `k`-th ISP serving `city` from its region's
+/// pool.
+fn city_isp(city: &City, k: usize) -> IspId {
+    let region_base = Region::ALL.iter().position(|r| *r == city.region).expect("region in ALL")
+        as u16
+        * ISPS_PER_REGION;
+    // Stable per-city offset derived from the name.
+    let h: u32 = city.name.bytes().fold(2166136261u32, |acc, b| {
+        (acc ^ b as u32).wrapping_mul(16777619)
+    });
+    let offset = (h as u16).wrapping_add(k as u16 * 7) % ISPS_PER_REGION;
+    IspId(region_base + offset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = WorldBuilder::new(300).seed(7).build();
+        let b = WorldBuilder::new(300).seed(7).build();
+        assert_eq!(a, b);
+        let c = WorldBuilder::new(300).seed(8).build();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn region_mix_roughly_matches_weights() {
+        let world = WorldBuilder::new(5_000).seed(1).build();
+        let us = world.nodes().iter().filter(|n| n.region == Region::NorthAmerica).count();
+        let eu = world.nodes().iter().filter(|n| n.region == Region::Europe).count();
+        let asia = world.nodes().iter().filter(|n| n.region == Region::Asia).count();
+        assert!((0.40..0.50).contains(&(us as f64 / 5_000.0)), "US share {us}");
+        assert!((0.22..0.32).contains(&(eu as f64 / 5_000.0)), "EU share {eu}");
+        assert!((0.17..0.27).contains(&(asia as f64 / 5_000.0)), "Asia share {asia}");
+    }
+
+    #[test]
+    fn nodes_stay_near_their_city() {
+        let world = WorldBuilder::new(500).seed(3).build();
+        for node in world.nodes() {
+            let city = CITIES.iter().find(|c| c.name == node.city).expect("city in catalog");
+            let centre = GeoPoint::new(city.lat, city.lon).unwrap();
+            let d = node.location.distance_km(&centre);
+            assert!(d <= 40.0, "{} is {d} km from {}", node.location, node.city);
+        }
+    }
+
+    #[test]
+    fn isps_are_region_scoped() {
+        let world = WorldBuilder::new(2_000).seed(5).build();
+        for node in world.nodes() {
+            let region_index =
+                Region::ALL.iter().position(|r| *r == node.region).unwrap() as u16;
+            let base = region_index * ISPS_PER_REGION;
+            assert!(
+                (base..base + ISPS_PER_REGION).contains(&node.isp.0),
+                "{:?} has out-of-region ISP {}",
+                node.region,
+                node.isp
+            );
+        }
+    }
+
+    #[test]
+    fn multiple_isps_exist() {
+        let world = WorldBuilder::new(1_000).seed(2).build();
+        assert!(world.isps().len() >= 10, "expected a diverse ISP set");
+    }
+
+    #[test]
+    fn provider_is_in_atlanta() {
+        let world = WorldBuilder::new(10).seed(0).build();
+        let atlanta = GeoPoint::new(33.749, -84.388).unwrap();
+        assert!(world.provider_location().distance_km(&atlanta) < 1.0);
+    }
+
+    #[test]
+    fn city_isp_is_stable() {
+        let city = &CITIES[0];
+        let a = city_isp(city, 1);
+        let b = city_isp(city, 1);
+        assert_eq!(a, b);
+        let ks: HashSet<IspId> = (0..ISPS_PER_CITY).map(|k| city_isp(city, k)).collect();
+        assert!(ks.len() >= 2, "a city should be served by multiple ISPs");
+    }
+
+    #[test]
+    fn custom_region_weights() {
+        let world =
+            WorldBuilder::new(200).seed(9).region_weights([0.0, 1.0, 0.0, 0.0, 0.0]).build();
+        assert!(world.nodes().iter().all(|n| n.region == Region::Europe));
+    }
+
+    #[test]
+    fn empty_world() {
+        let world = WorldBuilder::new(0).build();
+        assert!(world.is_empty());
+        assert_eq!(world.len(), 0);
+        assert!(world.isps().is_empty());
+    }
+}

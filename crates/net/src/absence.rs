@@ -1,0 +1,252 @@
+//! Node absence (overload / failure / reboot) schedules.
+//!
+//! Paper §3.4.5 measures server "absences" — gaps in poll responses — and
+//! finds lengths in [1, 500] s with 30.4 % under 10 s and 93.1 % under 50 s;
+//! short absences are overloads and long ones failures/reboots. This module
+//! generates per-node absence intervals matching that distribution: a
+//! shifted exponential body plus a small uniform heavy tail, truncated at
+//! the observed maximum.
+
+use cdnc_simcore::{SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the absence process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AbsenceConfig {
+    /// Mean gap between successive absences of one node, seconds.
+    pub mean_gap_s: f64,
+    /// Minimum absence length, seconds (the shift of the exponential body).
+    pub min_len_s: f64,
+    /// Mean of the exponential body *above* the shift, seconds.
+    pub body_mean_s: f64,
+    /// Probability that an absence is drawn from the heavy (failure/reboot)
+    /// tail instead of the body.
+    pub tail_prob: f64,
+    /// Heavy-tail range, seconds (uniform).
+    pub tail_range_s: (f64, f64),
+    /// Hard cap on absence length, seconds (paper observes max 500 s).
+    pub max_len_s: f64,
+}
+
+impl Default for AbsenceConfig {
+    fn default() -> Self {
+        AbsenceConfig {
+            // ~0.3 absences per server per 2.4 h session: most servers are
+            // absence-free on a given day (the paper's Fig. 12 filter keeps
+            // a large population), while 3000 servers × 15 days still yield
+            // thousands of absence samples for Fig. 10(b).
+            mean_gap_s: 30_000.0,
+            min_len_s: 3.7,
+            body_mean_s: 15.5,
+            tail_prob: 0.04,
+            tail_range_s: (50.0, 500.0),
+            max_len_s: 500.0,
+        }
+    }
+}
+
+impl AbsenceConfig {
+    /// A configuration with no absences at all.
+    pub fn disabled() -> Self {
+        AbsenceConfig { mean_gap_s: f64::INFINITY, ..AbsenceConfig::default() }
+    }
+
+    /// Draws one absence length.
+    pub fn draw_length(&self, rng: &mut SimRng) -> SimDuration {
+        let secs = if rng.chance(self.tail_prob) {
+            rng.uniform_range(self.tail_range_s.0, self.tail_range_s.1)
+        } else {
+            self.min_len_s + rng.exponential(1.0 / self.body_mean_s)
+        };
+        SimDuration::from_secs_f64(secs.min(self.max_len_s))
+    }
+}
+
+/// Precomputed absence intervals for a set of nodes over a horizon.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct AbsenceSchedule {
+    /// `intervals[node]` is a sorted, non-overlapping list of
+    /// `(start, end)` absence windows.
+    intervals: Vec<Vec<(SimTime, SimTime)>>,
+}
+
+impl AbsenceSchedule {
+    /// A schedule in which no node is ever absent.
+    pub fn always_present(nodes: usize) -> Self {
+        AbsenceSchedule { intervals: vec![Vec::new(); nodes] }
+    }
+
+    /// Generates a schedule for `nodes` nodes over `[0, horizon]`.
+    pub fn generate(
+        nodes: usize,
+        horizon: SimTime,
+        config: &AbsenceConfig,
+        rng: &mut SimRng,
+    ) -> Self {
+        let mut intervals = Vec::with_capacity(nodes);
+        for _ in 0..nodes {
+            let mut node_ints = Vec::new();
+            if config.mean_gap_s.is_finite() {
+                let mut t = SimTime::ZERO;
+                loop {
+                    let gap = SimDuration::from_secs_f64(
+                        rng.exponential(1.0 / config.mean_gap_s),
+                    );
+                    let Some(start) = t.checked_add(gap) else { break };
+                    if start > horizon {
+                        break;
+                    }
+                    let len = config.draw_length(rng);
+                    let end = start + len;
+                    node_ints.push((start, end));
+                    t = end;
+                }
+            }
+            intervals.push(node_ints);
+        }
+        AbsenceSchedule { intervals }
+    }
+
+    /// Number of nodes covered.
+    pub fn nodes(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// `true` if `node` is absent at `t`. Interval ends are exclusive: the
+    /// node is back at exactly `end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn is_absent(&self, node: usize, t: SimTime) -> bool {
+        let ints = &self.intervals[node];
+        let idx = ints.partition_point(|&(start, _)| start <= t);
+        idx > 0 && t < ints[idx - 1].1
+    }
+
+    /// If `node` is absent at `t`, the instant it returns; otherwise `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn return_time(&self, node: usize, t: SimTime) -> Option<SimTime> {
+        self.interval_at(node, t).map(|(_, end)| end)
+    }
+
+    /// The absence interval containing `t`, if `node` is absent then.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn interval_at(&self, node: usize, t: SimTime) -> Option<(SimTime, SimTime)> {
+        let ints = &self.intervals[node];
+        let idx = ints.partition_point(|&(start, _)| start <= t);
+        (idx > 0 && t < ints[idx - 1].1).then(|| ints[idx - 1])
+    }
+
+    /// The absence intervals of one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn intervals(&self, node: usize) -> &[(SimTime, SimTime)] {
+        &self.intervals[node]
+    }
+
+    /// All absence lengths across all nodes, seconds.
+    pub fn all_lengths_s(&self) -> Vec<f64> {
+        self.intervals
+            .iter()
+            .flatten()
+            .map(|&(s, e)| e.since(s).as_secs_f64())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdnc_simcore::stats::Cdf;
+
+    fn generate(nodes: usize, horizon_s: u64, seed: u64) -> AbsenceSchedule {
+        let mut rng = SimRng::seed_from_u64(seed);
+        AbsenceSchedule::generate(
+            nodes,
+            SimTime::from_secs(horizon_s),
+            &AbsenceConfig::default(),
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn intervals_sorted_and_disjoint() {
+        let sched = generate(50, 100_000, 1);
+        for node in 0..sched.nodes() {
+            let ints = sched.intervals(node);
+            for w in ints.windows(2) {
+                assert!(w[0].1 <= w[1].0, "overlapping absences");
+            }
+            for &(s, e) in ints {
+                assert!(s < e, "empty absence interval");
+            }
+        }
+    }
+
+    #[test]
+    fn membership_queries() {
+        let sched = AbsenceSchedule {
+            intervals: vec![vec![
+                (SimTime::from_secs(10), SimTime::from_secs(20)),
+                (SimTime::from_secs(50), SimTime::from_secs(55)),
+            ]],
+        };
+        assert!(!sched.is_absent(0, SimTime::from_secs(9)));
+        assert!(sched.is_absent(0, SimTime::from_secs(10)));
+        assert!(sched.is_absent(0, SimTime::from_secs(19)));
+        assert!(!sched.is_absent(0, SimTime::from_secs(20)), "end is exclusive");
+        assert!(sched.is_absent(0, SimTime::from_secs(52)));
+        assert_eq!(sched.return_time(0, SimTime::from_secs(52)), Some(SimTime::from_secs(55)));
+        assert_eq!(sched.return_time(0, SimTime::from_secs(30)), None);
+    }
+
+    #[test]
+    fn length_distribution_matches_paper_shape() {
+        // Paper Fig. 10(b): lengths in [1, 500] s, ~30.4% < 10 s, ~93.1% < 50 s.
+        let sched = generate(2_000, 200_000, 2);
+        let lengths = sched.all_lengths_s();
+        assert!(lengths.len() > 5_000, "need a large sample, got {}", lengths.len());
+        let cdf = Cdf::from_samples(lengths);
+        let under10 = cdf.fraction_at_most(10.0);
+        let under50 = cdf.fraction_at_most(50.0);
+        assert!((0.20..0.42).contains(&under10), "P(<10s) = {under10}");
+        assert!((0.85..0.97).contains(&under50), "P(<50s) = {under50}");
+        assert!(cdf.max().unwrap() <= 500.0 + 1e-6);
+        assert!(cdf.min().unwrap() >= 1.0, "min length {}", cdf.min().unwrap());
+    }
+
+    #[test]
+    fn disabled_config_generates_nothing() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let sched = AbsenceSchedule::generate(
+            20,
+            SimTime::from_secs(1_000_000),
+            &AbsenceConfig::disabled(),
+            &mut rng,
+        );
+        assert!(sched.all_lengths_s().is_empty());
+        assert!(!sched.is_absent(5, SimTime::from_secs(500)));
+    }
+
+    #[test]
+    fn always_present_helper() {
+        let sched = AbsenceSchedule::always_present(3);
+        assert_eq!(sched.nodes(), 3);
+        assert!(!sched.is_absent(2, SimTime::from_secs(1)));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(generate(10, 50_000, 7), generate(10, 50_000, 7));
+        assert_ne!(generate(10, 50_000, 7), generate(10, 50_000, 8));
+    }
+}

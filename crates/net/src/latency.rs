@@ -1,0 +1,135 @@
+//! One-way latency model.
+//!
+//! Latency between two nodes is:
+//!
+//! ```text
+//! base + distance_km / fibre_speed + inter_isp_penalty (if ISPs differ) + jitter
+//! ```
+//!
+//! * fibre speed defaults to 200 000 km/s (≈ 2/3 c — refraction in glass);
+//! * the inter-ISP penalty models the "traffic transmitting between ISPs is
+//!   more costly ... competes for the limited transmission capacity" effect
+//!   the paper measures in §3.4.3 (it found inter-ISP paths add seconds of
+//!   inconsistency under load; the *delay* penalty here is milliseconds —
+//!   the seconds come from TTL interaction, which the simulator reproduces);
+//! * jitter is a clamped normal around the deterministic part.
+
+use crate::node::NetNode;
+use cdnc_simcore::{SimDuration, SimRng};
+use serde::{Deserialize, Serialize};
+
+/// Configurable latency model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Fixed per-message overhead (endpoint stacks, last-mile), seconds.
+    pub base_s: f64,
+    /// Signal speed in fibre, km/s.
+    pub fibre_km_per_s: f64,
+    /// Extra one-way delay when src and dst are in different ISPs, seconds.
+    pub inter_isp_penalty_s: f64,
+    /// Standard deviation of the jitter as a fraction of the deterministic
+    /// delay.
+    pub jitter_frac: f64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            base_s: 0.010,
+            fibre_km_per_s: 200_000.0,
+            inter_isp_penalty_s: 0.030,
+            jitter_frac: 0.10,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// The deterministic one-way delay between two nodes (no jitter).
+    pub fn deterministic_delay(&self, src: &NetNode, dst: &NetNode) -> SimDuration {
+        let mut secs = self.base_s + src.distance_km(dst) / self.fibre_km_per_s;
+        if src.isp() != dst.isp() {
+            secs += self.inter_isp_penalty_s;
+        }
+        SimDuration::from_secs_f64(secs)
+    }
+
+    /// A jittered one-way delay draw between two nodes.
+    ///
+    /// Jitter is a normal with σ = `jitter_frac × deterministic`, clamped to
+    /// ±3σ and to a floor of half the deterministic delay, so a draw is never
+    /// implausibly fast.
+    pub fn delay(&self, src: &NetNode, dst: &NetNode, rng: &mut SimRng) -> SimDuration {
+        let det = self.deterministic_delay(src, dst).as_secs_f64();
+        if self.jitter_frac == 0.0 {
+            return SimDuration::from_secs_f64(det);
+        }
+        let sigma = det * self.jitter_frac;
+        let drawn = rng.normal_clamped(det, sigma, det - 3.0 * sigma, det + 3.0 * sigma);
+        SimDuration::from_secs_f64(drawn.max(det * 0.5))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeId;
+    use cdnc_geo::{GeoPoint, IspId};
+
+    fn node(id: u32, lat: f64, lon: f64, isp: u16) -> NetNode {
+        NetNode::new(NodeId(id), GeoPoint::new(lat, lon).unwrap(), IspId(isp))
+    }
+
+    #[test]
+    fn delay_grows_with_distance() {
+        let m = LatencyModel::default();
+        let a = node(0, 33.7, -84.4, 0);
+        let near = node(1, 33.8, -84.3, 0);
+        let far = node(2, 35.7, 139.7, 0);
+        assert!(m.deterministic_delay(&a, &far) > m.deterministic_delay(&a, &near));
+    }
+
+    #[test]
+    fn atlanta_tokyo_delay_plausible() {
+        let m = LatencyModel { jitter_frac: 0.0, ..LatencyModel::default() };
+        let a = node(0, 33.749, -84.388, 0);
+        let t = node(1, 35.690, 139.692, 0);
+        let d = m.deterministic_delay(&a, &t).as_secs_f64();
+        // ~11,000 km / 200,000 km/s + 10 ms base ≈ 65 ms one-way.
+        assert!((0.05..0.09).contains(&d), "one-way ATL-TYO {d}s");
+    }
+
+    #[test]
+    fn inter_isp_penalty_applied() {
+        let m = LatencyModel::default();
+        let a = node(0, 10.0, 10.0, 1);
+        let same = node(1, 11.0, 10.0, 1);
+        let cross = node(2, 11.0, 10.0, 2);
+        let d_same = m.deterministic_delay(&a, &same).as_secs_f64();
+        let d_cross = m.deterministic_delay(&a, &cross).as_secs_f64();
+        assert!((d_cross - d_same - m.inter_isp_penalty_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_positive() {
+        let m = LatencyModel::default();
+        let a = node(0, 33.7, -84.4, 0);
+        let b = node(1, 51.5, -0.1, 3);
+        let det = m.deterministic_delay(&a, &b).as_secs_f64();
+        let mut rng = SimRng::seed_from_u64(1);
+        for _ in 0..1_000 {
+            let d = m.delay(&a, &b, &mut rng).as_secs_f64();
+            // 1 µs slack: SimDuration rounds to microseconds.
+            assert!(d >= det * 0.5 - 1e-6);
+            assert!(d <= det * (1.0 + 3.0 * m.jitter_frac) + 1e-6);
+        }
+    }
+
+    #[test]
+    fn zero_jitter_is_deterministic() {
+        let m = LatencyModel { jitter_frac: 0.0, ..LatencyModel::default() };
+        let a = node(0, 0.0, 0.0, 0);
+        let b = node(1, 10.0, 10.0, 0);
+        let mut rng = SimRng::seed_from_u64(2);
+        assert_eq!(m.delay(&a, &b, &mut rng), m.deterministic_delay(&a, &b));
+    }
+}

@@ -1,0 +1,281 @@
+//! The network facade: nodes + uplinks + latency + traffic accounting.
+
+use crate::latency::LatencyModel;
+use crate::node::{NetNode, NodeId};
+use crate::packet::Packet;
+use crate::traffic::TrafficStats;
+use crate::uplink::Uplink;
+use cdnc_geo::{GeoPoint, IspId, World};
+use cdnc_simcore::{SimDuration, SimRng, SimTime};
+
+/// Static configuration of a [`Network`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkConfig {
+    /// One-way latency model.
+    pub latency: LatencyModel,
+    /// Uplink bandwidth of every node, KB/s. Default 12 500 KB/s (~100 Mb/s),
+    /// a typical well-connected host.
+    pub uplink_kb_per_s: f64,
+    /// Per-packet sender processing time. This is the constant that makes a
+    /// provider serving N unicast destinations take Θ(N) to drain its queue
+    /// (paper Figs. 19–20).
+    pub processing: SimDuration,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            latency: LatencyModel::default(),
+            uplink_kb_per_s: 12_500.0,
+            processing: SimDuration::from_millis(2),
+        }
+    }
+}
+
+/// A simulated network: delivers packets with queueing + propagation delay
+/// and accounts traffic.
+///
+/// # Examples
+///
+/// ```
+/// use cdnc_geo::{GeoPoint, IspId};
+/// use cdnc_net::{Network, NetworkConfig, Packet};
+/// use cdnc_simcore::SimTime;
+///
+/// let mut net = Network::new(NetworkConfig::default(), 1);
+/// let a = net.add_node(GeoPoint::new(33.7, -84.4).unwrap(), IspId(0));
+/// let b = net.add_node(GeoPoint::new(51.5, -0.1).unwrap(), IspId(1));
+/// let arrival = net.send(SimTime::ZERO, &Packet::update(a, b, 1.0));
+/// assert!(arrival.as_secs_f64() > 0.03, "transatlantic hop takes real time");
+/// assert_eq!(net.traffic().update_messages(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Network {
+    nodes: Vec<NetNode>,
+    uplinks: Vec<Uplink>,
+    config: NetworkConfig,
+    traffic: TrafficStats,
+    rng: SimRng,
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new(config: NetworkConfig, seed: u64) -> Self {
+        Network {
+            nodes: Vec::new(),
+            uplinks: Vec::new(),
+            config,
+            traffic: TrafficStats::new(),
+            rng: SimRng::seed_from_u64(seed ^ 0x4e45_5457), // "NETW"
+        }
+    }
+
+    /// Creates a network with one node per [`World`] node, in world order.
+    pub fn from_world(world: &World, config: NetworkConfig, seed: u64) -> Self {
+        let mut net = Network::new(config, seed);
+        for node in world.nodes() {
+            net.add_node(node.location, node.isp);
+        }
+        net
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self, location: GeoPoint, isp: IspId) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NetNode::new(id, location, isp));
+        self.uplinks.push(Uplink::new(self.config.uplink_kb_per_s, self.config.processing));
+        id
+    }
+
+    /// Overrides one node's uplink bandwidth (e.g. a beefier provider).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or `kb_per_s` invalid.
+    pub fn set_uplink(&mut self, node: NodeId, kb_per_s: f64) {
+        self.uplinks[node.index()] = Uplink::new(kb_per_s, self.config.processing);
+    }
+
+    /// The node record for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &NetNode {
+        &self.nodes[id.index()]
+    }
+
+    /// All nodes in id order.
+    pub fn nodes(&self) -> &[NetNode] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Great-circle distance between two nodes, km.
+    pub fn distance_km(&self, a: NodeId, b: NodeId) -> f64 {
+        self.node(a).distance_km(self.node(b))
+    }
+
+    /// Sends `packet` at `now`; returns its delivery instant.
+    ///
+    /// The packet first drains through the sender's FIFO uplink
+    /// (processing + serialisation behind any backlog) and then experiences
+    /// a jittered one-way propagation delay. Traffic is recorded at send.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn send(&mut self, now: SimTime, packet: &Packet) -> SimTime {
+        let distance = self.distance_km(packet.src, packet.dst);
+        let crosses_isp =
+            self.node(packet.src).isp() != self.node(packet.dst).isp();
+        self.traffic.record_with_isp(packet, distance, crosses_isp);
+        let departed = self.uplinks[packet.src.index()].transmit(now, packet.size_kb);
+        let (src, dst) = (&self.nodes[packet.src.index()], &self.nodes[packet.dst.index()]);
+        departed + self.config.latency.delay(src, dst, &mut self.rng)
+    }
+
+    /// Deterministic round-trip estimate between two nodes (no jitter, no
+    /// queueing) — the `RTT` used by the trace crawler's clock-skew
+    /// correction (paper §3.1).
+    pub fn rtt_estimate(&self, a: NodeId, b: NodeId) -> SimDuration {
+        let one_way = self.config.latency.deterministic_delay(self.node(a), self.node(b));
+        one_way * 2
+    }
+
+    /// Accumulated traffic statistics.
+    pub fn traffic(&self) -> &TrafficStats {
+        &self.traffic
+    }
+
+    /// Clears traffic statistics (e.g. to exclude warm-up).
+    pub fn reset_traffic(&mut self) {
+        self.traffic = TrafficStats::new();
+    }
+
+    /// Clears one node's uplink backlog (recovery after absence).
+    pub fn reset_uplink(&mut self, node: NodeId, now: SimTime) {
+        self.uplinks[node.index()].reset(now);
+    }
+
+    /// The sender-side backlog a packet from `node` would face at `now`.
+    pub fn backlog(&self, node: NodeId, now: SimTime) -> SimDuration {
+        self.uplinks[node.index()].queueing_delay(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdnc_geo::WorldBuilder;
+
+    fn two_node_net() -> (Network, NodeId, NodeId) {
+        let mut net = Network::new(NetworkConfig::default(), 9);
+        let a = net.add_node(GeoPoint::new(33.7, -84.4).unwrap(), IspId(0));
+        let b = net.add_node(GeoPoint::new(34.0, -118.2).unwrap(), IspId(1));
+        (net, a, b)
+    }
+
+    #[test]
+    fn from_world_preserves_order_and_attrs() {
+        let world = WorldBuilder::new(25).seed(4).build();
+        let net = Network::from_world(&world, NetworkConfig::default(), 0);
+        assert_eq!(net.len(), 25);
+        for (i, wn) in world.nodes().iter().enumerate() {
+            let n = net.node(NodeId(i as u32));
+            assert_eq!(n.location(), wn.location);
+            assert_eq!(n.isp(), wn.isp);
+        }
+    }
+
+    #[test]
+    fn send_delivers_later_than_now() {
+        let (mut net, a, b) = two_node_net();
+        let t = SimTime::from_secs(5);
+        let arrival = net.send(t, &Packet::update(a, b, 1.0));
+        assert!(arrival > t);
+        // Cross-country: at least the ~15 ms propagation plus base.
+        assert!(arrival.since(t).as_secs_f64() > 0.02);
+    }
+
+    #[test]
+    fn burst_queues_at_sender() {
+        let (mut net, a, b) = two_node_net();
+        let t = SimTime::ZERO;
+        let first = net.send(t, &Packet::update(a, b, 100.0));
+        let mut last = first;
+        for _ in 0..49 {
+            last = net.send(t, &Packet::update(a, b, 100.0));
+        }
+        // 50 × (2 ms + 8 ms tx) of serialisation — the 50th packet is ≥ 400 ms
+        // behind the 1st even before jitter.
+        assert!(
+            last.since(t).as_secs_f64() - first.since(t).as_secs_f64() > 0.3,
+            "queueing must spread a burst: first {first}, last {last}"
+        );
+    }
+
+    #[test]
+    fn traffic_recorded_per_send() {
+        let (mut net, a, b) = two_node_net();
+        net.send(SimTime::ZERO, &Packet::update(a, b, 2.0));
+        net.send(SimTime::ZERO, &Packet::poll(b, a));
+        assert_eq!(net.traffic().update_messages(), 1);
+        assert_eq!(net.traffic().light_messages(), 1);
+        let d = net.distance_km(a, b);
+        assert!((net.traffic().km_kb() - (2.0 * d + 1.0 * d)).abs() < 1e-6);
+        net.reset_traffic();
+        assert_eq!(net.traffic().total_messages(), 0);
+    }
+
+    #[test]
+    fn rtt_estimate_symmetric() {
+        let (net, a, b) = two_node_net();
+        assert_eq!(net.rtt_estimate(a, b), net.rtt_estimate(b, a));
+        assert!(net.rtt_estimate(a, b) > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn provider_uplink_override() {
+        let (mut net, a, b) = two_node_net();
+        net.set_uplink(a, 1.0); // 1 KB/s: a 10 KB packet takes 10 s
+        let arrival = net.send(SimTime::ZERO, &Packet::update(a, b, 10.0));
+        assert!(arrival.as_secs_f64() > 9.0);
+    }
+
+    #[test]
+    fn reset_uplink_clears_backlog() {
+        let (mut net, a, b) = two_node_net();
+        net.set_uplink(a, 1.0);
+        net.send(SimTime::ZERO, &Packet::update(a, b, 100.0)); // 100 s backlog
+        assert!(net.backlog(a, SimTime::from_secs(1)).as_secs() > 90);
+        net.reset_uplink(a, SimTime::from_secs(1));
+        assert_eq!(net.backlog(a, SimTime::from_secs(1)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = |seed: u64| {
+            let (mut net, a, b) = {
+                let mut net = Network::new(NetworkConfig::default(), seed);
+                let a = net.add_node(GeoPoint::new(33.7, -84.4).unwrap(), IspId(0));
+                let b = net.add_node(GeoPoint::new(51.5, -0.1).unwrap(), IspId(1));
+                (net, a, b)
+            };
+            (0..20)
+                .map(|i| net.send(SimTime::from_secs(i), &Packet::update(a, b, 1.0)).as_micros())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+}

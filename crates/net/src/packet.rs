@@ -1,0 +1,150 @@
+//! Packets and message classification.
+//!
+//! The paper's §5.3 accounting splits traffic into **update messages**
+//! (carrying content — "the size of an update message is usually much larger
+//! than the size of other messages") and **light messages** (update polls,
+//! invalidation notices, structure maintenance). [`PacketKind`] encodes both
+//! the protocol role and that classification.
+
+use crate::node::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Protocol role of a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PacketKind {
+    /// Content update pushed or returned to a replica (carries the content).
+    Update,
+    /// A replica's poll asking whether newer content exists.
+    Poll,
+    /// Poll response indicating the content is unchanged (no payload).
+    PollUnchanged,
+    /// Invalidation notice marking cached content stale.
+    Invalidation,
+    /// Control message notifying a method switch (self-adaptive method,
+    /// paper Algorithm 1 lines 8/12).
+    MethodSwitch,
+    /// Multicast-tree structure maintenance (join, re-parent).
+    TreeMaintenance,
+    /// End-user content request to a server.
+    UserRequest,
+    /// Server's content response to an end-user.
+    UserResponse,
+}
+
+impl PacketKind {
+    /// `true` for messages that carry content (the paper's "update
+    /// messages"); `false` for light messages.
+    pub fn is_update(self) -> bool {
+        matches!(self, PacketKind::Update | PacketKind::UserResponse)
+    }
+
+    /// `true` for control-plane messages (the paper's "light messages").
+    pub fn is_light(self) -> bool {
+        !self.is_update()
+    }
+}
+
+impl fmt::Display for PacketKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PacketKind::Update => "update",
+            PacketKind::Poll => "poll",
+            PacketKind::PollUnchanged => "poll-unchanged",
+            PacketKind::Invalidation => "invalidation",
+            PacketKind::MethodSwitch => "method-switch",
+            PacketKind::TreeMaintenance => "tree-maintenance",
+            PacketKind::UserRequest => "user-request",
+            PacketKind::UserResponse => "user-response",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Default size of light (control) messages, KB. The paper sets "the size of
+/// all consistency maintenance related packages and content request packages"
+/// to 1 KB in §4.
+pub const LIGHT_PACKET_KB: f64 = 1.0;
+
+/// A packet in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Protocol role.
+    pub kind: PacketKind,
+    /// Payload size in KB.
+    pub size_kb: f64,
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+}
+
+impl Packet {
+    /// Creates a packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size_kb` is negative or non-finite.
+    pub fn new(kind: PacketKind, size_kb: f64, src: NodeId, dst: NodeId) -> Self {
+        assert!(size_kb.is_finite() && size_kb >= 0.0, "bad packet size: {size_kb}");
+        Packet { kind, size_kb, src, dst }
+    }
+
+    /// An update packet of `size_kb` from `src` to `dst`.
+    pub fn update(src: NodeId, dst: NodeId, size_kb: f64) -> Self {
+        Packet::new(PacketKind::Update, size_kb, src, dst)
+    }
+
+    /// A 1 KB poll from `src` to `dst`.
+    pub fn poll(src: NodeId, dst: NodeId) -> Self {
+        Packet::new(PacketKind::Poll, LIGHT_PACKET_KB, src, dst)
+    }
+
+    /// A 1 KB "unchanged" poll response.
+    pub fn poll_unchanged(src: NodeId, dst: NodeId) -> Self {
+        Packet::new(PacketKind::PollUnchanged, LIGHT_PACKET_KB, src, dst)
+    }
+
+    /// A 1 KB invalidation notice.
+    pub fn invalidation(src: NodeId, dst: NodeId) -> Self {
+        Packet::new(PacketKind::Invalidation, LIGHT_PACKET_KB, src, dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matches_paper() {
+        assert!(PacketKind::Update.is_update());
+        assert!(PacketKind::UserResponse.is_update());
+        for light in [
+            PacketKind::Poll,
+            PacketKind::PollUnchanged,
+            PacketKind::Invalidation,
+            PacketKind::MethodSwitch,
+            PacketKind::TreeMaintenance,
+            PacketKind::UserRequest,
+        ] {
+            assert!(light.is_light(), "{light} should be light");
+            assert!(!light.is_update());
+        }
+    }
+
+    #[test]
+    fn constructors_set_sizes() {
+        let a = NodeId(1);
+        let b = NodeId(2);
+        assert_eq!(Packet::poll(a, b).size_kb, LIGHT_PACKET_KB);
+        assert_eq!(Packet::invalidation(a, b).size_kb, LIGHT_PACKET_KB);
+        assert_eq!(Packet::update(a, b, 500.0).size_kb, 500.0);
+        assert_eq!(Packet::update(a, b, 500.0).kind, PacketKind::Update);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad packet size")]
+    fn negative_size_rejected() {
+        Packet::new(PacketKind::Update, -1.0, NodeId(0), NodeId(1));
+    }
+}

@@ -1,0 +1,284 @@
+//! Seeded randomness for simulations.
+//!
+//! [`SimRng`] wraps a [`rand::rngs::StdRng`] seeded from a `u64` and adds the
+//! distribution helpers the paper's workloads need. Independent deterministic
+//! sub-streams are derived with [`SimRng::fork`], so adding a random draw to
+//! one component never perturbs another component's sequence.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A deterministic random source for simulation components.
+///
+/// # Examples
+///
+/// ```
+/// use cdnc_simcore::SimRng;
+///
+/// let mut a = SimRng::seed_from_u64(7);
+/// let mut b = SimRng::seed_from_u64(7);
+/// assert_eq!(a.uniform_f64(), b.uniform_f64());
+/// ```
+#[derive(Debug)]
+pub struct SimRng {
+    inner: StdRng,
+    seed: u64,
+    forks: u64,
+}
+
+/// SplitMix64 step — used to derive statistically independent fork seeds.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng { inner: StdRng::seed_from_u64(seed), seed, forks: 0 }
+    }
+
+    /// The seed this generator was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent deterministic sub-stream.
+    ///
+    /// The n-th fork of a generator seeded with `s` always yields the same
+    /// stream, regardless of how many draws were taken from the parent.
+    pub fn fork(&mut self) -> SimRng {
+        self.forks += 1;
+        SimRng::seed_from_u64(splitmix64(self.seed ^ splitmix64(self.forks)))
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn uniform_f64(&mut self) -> f64 {
+        self.inner.random_range(0.0..1.0)
+    }
+
+    /// Uniform draw in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or either bound is not finite.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad range [{lo}, {hi})");
+        self.inner.random_range(lo..hi)
+    }
+
+    /// Uniform integer draw in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index() over an empty range");
+        self.inner.random_range(0..n)
+    }
+
+    /// Uniform integer draw in `[lo, hi]` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn int_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "bad integer range [{lo}, {hi}]");
+        self.inner.random_range(lo..=hi)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.inner.random_bool(p)
+    }
+
+    /// Exponential draw with the given rate (events per unit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate <= 0`.
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0 && rate.is_finite(), "bad rate: {rate}");
+        let u: f64 = self.inner.random_range(f64::MIN_POSITIVE..1.0);
+        -u.ln() / rate
+    }
+
+    /// Normal draw via Box–Muller.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev >= 0.0 && std_dev.is_finite(), "bad std dev: {std_dev}");
+        let u1: f64 = self.inner.random_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.inner.random_range(0.0..1.0);
+        mean + std_dev * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal draw clamped to `[lo, hi]` — used for bounded latency jitter.
+    pub fn normal_clamped(&mut self, mean: f64, std_dev: f64, lo: f64, hi: f64) -> f64 {
+        self.normal(mean, std_dev).clamp(lo, hi)
+    }
+
+    /// Pareto draw with scale `x_min` and shape `alpha` — heavy-tailed
+    /// absence/overload durations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x_min <= 0` or `alpha <= 0`.
+    pub fn pareto(&mut self, x_min: f64, alpha: f64) -> f64 {
+        assert!(x_min > 0.0 && alpha > 0.0, "bad pareto params ({x_min}, {alpha})");
+        let u: f64 = self.inner.random_range(f64::MIN_POSITIVE..1.0);
+        x_min / u.powf(1.0 / alpha)
+    }
+
+    /// Picks a uniformly random element of `items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.index(items.len())]
+    }
+
+    /// Picks an index according to the given non-negative weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative value, or sums to 0.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        assert!(!weights.is_empty(), "weighted_index over empty weights");
+        let total: f64 = weights
+            .iter()
+            .inspect(|w| assert!(**w >= 0.0, "negative weight"))
+            .sum();
+        assert!(total > 0.0, "weights sum to zero");
+        let mut x = self.uniform_range(0.0, total);
+        for (i, w) in weights.iter().enumerate() {
+            if x < *w {
+                return i;
+            }
+            x -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(42);
+        let mut b = SimRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.uniform_f64().to_bits(), b.uniform_f64().to_bits());
+        }
+    }
+
+    #[test]
+    fn forks_are_independent_of_parent_consumption() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(1);
+        // Consume from `a` before forking; fork streams must still match.
+        for _ in 0..17 {
+            a.uniform_f64();
+        }
+        let mut fa = a.fork();
+        let mut fb = b.fork();
+        for _ in 0..50 {
+            assert_eq!(fa.uniform_f64().to_bits(), fb.uniform_f64().to_bits());
+        }
+    }
+
+    #[test]
+    fn successive_forks_differ() {
+        let mut r = SimRng::seed_from_u64(9);
+        let mut f1 = r.fork();
+        let mut f2 = r.fork();
+        let s1: Vec<u64> = (0..8).map(|_| f1.uniform_f64().to_bits()).collect();
+        let s2: Vec<u64> = (0..8).map(|_| f2.uniform_f64().to_bits()).collect();
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn exponential_mean_is_inverse_rate() {
+        let mut r = SimRng::seed_from_u64(5);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.exponential(0.5)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean} far from 2.0");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = SimRng::seed_from_u64(6);
+        let n = 20_000;
+        let draws: Vec<f64> = (0..n).map(|_| r.normal(10.0, 3.0)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.15);
+        assert!((var.sqrt() - 3.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::seed_from_u64(3);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut r = SimRng::seed_from_u64(11);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[r.weighted_index(&[1.0, 0.0, 3.0])] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SimRng::seed_from_u64(2);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pareto_lower_bound() {
+        let mut r = SimRng::seed_from_u64(8);
+        for _ in 0..1_000 {
+            assert!(r.pareto(1.5, 1.2) >= 1.5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn chance_rejects_bad_probability() {
+        SimRng::seed_from_u64(0).chance(1.5);
+    }
+}

@@ -1,0 +1,175 @@
+//! An event queue fused with a simulation clock.
+//!
+//! [`Scheduler`] is the main driver used by every simulator in the workspace:
+//! the crawl simulator that synthesises the measurement trace and the CDN
+//! evaluation simulator that replays it under alternative update methods.
+
+use crate::queue::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// Drives a simulation: owns the clock and the pending-event queue.
+///
+/// Handlers pull events with [`Scheduler::next`], which advances the clock to
+/// the event's timestamp. Scheduling into the past is a logic error and
+/// panics, which catches causality bugs at their source.
+///
+/// # Examples
+///
+/// ```
+/// use cdnc_simcore::{Scheduler, SimDuration};
+///
+/// #[derive(Debug, PartialEq)]
+/// enum Ev { Tick(u32) }
+///
+/// let mut sched = Scheduler::new();
+/// sched.schedule_in(SimDuration::from_secs(1), Ev::Tick(1));
+/// let mut ticks = 0;
+/// while let Some((now, Ev::Tick(n))) = sched.next() {
+///     ticks = n;
+///     if n < 3 {
+///         sched.schedule_at(now + SimDuration::from_secs(1), Ev::Tick(n + 1));
+///     }
+/// }
+/// assert_eq!(ticks, 3);
+/// ```
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    horizon: Option<SimTime>,
+    processed: u64,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Creates a scheduler with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Scheduler { queue: EventQueue::new(), now: SimTime::ZERO, horizon: None, processed: 0 }
+    }
+
+    /// Creates a scheduler that silently stops yielding events past `horizon`
+    /// (events scheduled later stay in the queue but [`Scheduler::next`]
+    /// returns `None`).
+    pub fn with_horizon(horizon: SimTime) -> Self {
+        Scheduler { horizon: Some(horizon), ..Self::new() }
+    }
+
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events handed out so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The configured horizon, if any.
+    pub fn horizon(&self) -> Option<SimTime> {
+        self.horizon
+    }
+
+    /// Schedules `event` at the absolute instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current clock — causality violation.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.now, "scheduled into the past: {} < {}", at, self.now);
+        self.queue.push(at, event);
+    }
+
+    /// Schedules `event` after the relative delay `delay`.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.queue.push(self.now + delay, event);
+    }
+
+    /// Pops the earliest event and advances the clock to its timestamp.
+    ///
+    /// Returns `None` when the queue is empty or the next event lies beyond
+    /// the horizon.
+    pub fn next(&mut self) -> Option<(SimTime, E)> {
+        if let (Some(h), Some(t)) = (self.horizon, self.queue.peek_time()) {
+            if t > h {
+                return None;
+            }
+        }
+        let (t, e) = self.queue.pop()?;
+        debug_assert!(t >= self.now, "event queue yielded a past event");
+        self.now = t;
+        self.processed += 1;
+        Some((t, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Ev {
+        A,
+        B,
+    }
+
+    #[test]
+    fn clock_advances_with_events() {
+        let mut s = Scheduler::new();
+        s.schedule_in(SimDuration::from_secs(3), Ev::A);
+        s.schedule_in(SimDuration::from_secs(1), Ev::B);
+        assert_eq!(s.now(), SimTime::ZERO);
+        let (t1, e1) = s.next().unwrap();
+        assert_eq!((t1, e1), (SimTime::from_secs(1), Ev::B));
+        assert_eq!(s.now(), SimTime::from_secs(1));
+        let (t2, e2) = s.next().unwrap();
+        assert_eq!((t2, e2), (SimTime::from_secs(3), Ev::A));
+        assert!(s.next().is_none());
+        assert_eq!(s.processed(), 2);
+    }
+
+    #[test]
+    fn horizon_stops_delivery() {
+        let mut s = Scheduler::with_horizon(SimTime::from_secs(10));
+        s.schedule_in(SimDuration::from_secs(5), Ev::A);
+        s.schedule_in(SimDuration::from_secs(15), Ev::B);
+        assert!(s.next().is_some());
+        assert!(s.next().is_none(), "event beyond horizon must not be delivered");
+        assert_eq!(s.pending(), 1, "the late event stays queued");
+    }
+
+    #[test]
+    fn horizon_is_inclusive() {
+        let mut s = Scheduler::with_horizon(SimTime::from_secs(10));
+        s.schedule_at(SimTime::from_secs(10), Ev::A);
+        assert!(s.next().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled into the past")]
+    fn past_scheduling_panics() {
+        let mut s = Scheduler::new();
+        s.schedule_in(SimDuration::from_secs(5), Ev::A);
+        s.next();
+        s.schedule_at(SimTime::from_secs(1), Ev::B);
+    }
+
+    #[test]
+    fn relative_scheduling_is_from_current_clock() {
+        let mut s = Scheduler::new();
+        s.schedule_in(SimDuration::from_secs(2), Ev::A);
+        let (now, _) = s.next().unwrap();
+        s.schedule_in(SimDuration::from_secs(2), Ev::B);
+        let (t, _) = s.next().unwrap();
+        assert_eq!(t, now + SimDuration::from_secs(2));
+    }
+}

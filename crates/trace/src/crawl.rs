@@ -1,0 +1,453 @@
+//! The crawl simulator: produces a measurement trace of the ground-truth CDN.
+//!
+//! This reproduces the paper's §3.1 methodology end-to-end:
+//!
+//! 1. a ground-truth CDN of N servers runs **TTL-60 polling over unicast**
+//!    (what §3.6 deduces the real CDN does), perturbed by every §3.4 cause:
+//!    origin staleness, fetch delays, inter-ISP congestion, absences;
+//! 2. measurement observers poll each server's live-game page every 10 s for
+//!    a daily session, recording the served snapshot and the server's own
+//!    (skewed) GMT timestamp;
+//! 3. a chosen observer estimates each server's clock skew via RTT/2;
+//! 4. 200 simulated end-users fetch the page through DNS with cache expiry
+//!    and load-balanced reassignment (§3.3);
+//! 5. the provider's origin replicas are crawled the same way (§3.4.2).
+//!
+//! The output [`Trace`] is exactly what `cdnc-analysis` consumes; because the
+//! ground truth is known, every analysis can be validated against it (e.g.
+//! TTL inference must recover 60 s).
+
+use crate::dns::{assignment_timeline, DnsConfig};
+use crate::records::{
+    DayTrace, ProviderPoll, ServerMeta, ServerPoll, Trace, UserMeta, UserPoll,
+};
+use crate::skew::SkewConfig;
+use crate::snapshot::{GameConfig, UpdateSequence};
+use crate::timeline::{build_server_timeline, GroundTruthConfig, ServerProfile, ServerTimeline};
+use cdnc_geo::{GeoPoint, WorldBuilder};
+use cdnc_net::{AbsenceConfig, AbsenceSchedule};
+use cdnc_simcore::{SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Full configuration of a crawl.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrawlConfig {
+    /// Number of content servers to crawl (paper: 3000; scale to taste).
+    pub servers: usize,
+    /// Number of simulated end-users / observers (paper: 200).
+    pub users: usize,
+    /// Number of provider origin replicas (paper found 10 provider IPs,
+    /// collocated; 4 is enough to exercise the methodology).
+    pub provider_replicas: u32,
+    /// Number of crawl days (paper: 15).
+    pub days: u16,
+    /// Poll interval (paper: 10 s).
+    pub poll_interval: SimDuration,
+    /// Master seed.
+    pub seed: u64,
+    /// Ground-truth CDN behaviour.
+    pub ground_truth: GroundTruthConfig,
+    /// Server absence process.
+    pub absence: AbsenceConfig,
+    /// End-user DNS behaviour.
+    pub dns: DnsConfig,
+    /// Clock-skew process.
+    pub skew: SkewConfig,
+    /// Daily game structure.
+    pub game: GameConfig,
+}
+
+impl Default for CrawlConfig {
+    fn default() -> Self {
+        CrawlConfig {
+            servers: 300,
+            users: 200,
+            provider_replicas: 4,
+            days: 15,
+            poll_interval: SimDuration::from_secs(10),
+            seed: 0,
+            ground_truth: GroundTruthConfig::default(),
+            absence: AbsenceConfig::default(),
+            dns: DnsConfig::default(),
+            skew: SkewConfig::default(),
+            game: GameConfig::default(),
+        }
+    }
+}
+
+impl CrawlConfig {
+    /// A small configuration for unit/integration tests: 2 days, 40 servers,
+    /// 25 users.
+    pub fn tiny() -> Self {
+        CrawlConfig { servers: 40, users: 25, days: 2, ..CrawlConfig::default() }
+    }
+
+    /// The daily session length (the game day's total length).
+    pub fn session(&self) -> SimDuration {
+        self.game.total_length()
+    }
+}
+
+/// Runs the crawl and returns the trace.
+///
+/// Deterministic in `config` (including the seed).
+///
+/// # Panics
+///
+/// Panics if `config.servers`, `config.users`, `config.days` or
+/// `config.provider_replicas` is zero.
+pub fn crawl(config: &CrawlConfig) -> Trace {
+    assert!(config.servers > 0, "need at least one server");
+    assert!(config.users > 0, "need at least one user");
+    assert!(config.days > 0, "need at least one day");
+    assert!(config.provider_replicas > 0, "need at least one provider replica");
+    let mut master = SimRng::seed_from_u64(config.seed ^ 0x4352_4157_4c21); // "CRAWL!"
+    let session = config.session();
+    let horizon = SimTime::ZERO + session;
+
+    // --- Static world -----------------------------------------------------
+    let server_world = WorldBuilder::new(config.servers).seed(config.seed ^ 0xA1).build();
+    let user_world = WorldBuilder::new(config.users).seed(config.seed ^ 0xB2).build();
+    let provider_location = server_world.provider_location();
+
+    // The provider's ISP: the ISP of the server closest to it (the origin
+    // sits in an Atlanta ISP some servers share).
+    let provider_isp = server_world
+        .nodes()
+        .iter()
+        .min_by(|a, b| {
+            a.location
+                .distance_km(&provider_location)
+                .partial_cmp(&b.location.distance_km(&provider_location))
+                .expect("finite")
+        })
+        .expect("at least one server")
+        .isp;
+
+    let users: Vec<UserMeta> = user_world
+        .nodes()
+        .iter()
+        .enumerate()
+        .map(|(i, n)| UserMeta { id: i as u32, location: n.location })
+        .collect();
+
+    // Skew measurement observer (paper: "we randomly chose a PlanetLab node
+    // n_i").
+    let observer = users[0].location;
+    let mut skew_rng = master.fork();
+    let servers: Vec<ServerMeta> = server_world
+        .nodes()
+        .iter()
+        .enumerate()
+        .map(|(i, n)| {
+            let true_skew_us = config.skew.draw_true_skew_us(&mut skew_rng);
+            let rtt = SimDuration::from_secs_f64(
+                2.0 * (0.010 + n.location.distance_km(&observer) / 200_000.0),
+            );
+            let measured_skew_us =
+                config.skew.measure_skew_us(true_skew_us, rtt, &mut skew_rng);
+            ServerMeta {
+                id: i as u32,
+                location: n.location,
+                isp: n.isp,
+                distance_to_provider_km: n.location.distance_km(&provider_location),
+                true_skew_us,
+                measured_skew_us,
+            }
+        })
+        .collect();
+
+    // --- Per-day crawl ----------------------------------------------------
+    let mut days = Vec::with_capacity(config.days as usize);
+    for day in 0..config.days {
+        let mut day_rng = master.fork();
+        let updates = UpdateSequence::live_game_with(&config.game, &mut day_rng);
+        // The origin pipeline: every update becomes available at the origin
+        // a few seconds after the real-world event, shared by all fetchers.
+        let origin = updates
+            .delayed(config.ground_truth.provider_staleness_mean_s, &mut day_rng.fork());
+        let absences = AbsenceSchedule::generate(
+            config.servers,
+            horizon,
+            &config.absence,
+            &mut day_rng.fork(),
+        );
+
+        // Ground-truth timelines.
+        let timelines: Vec<ServerTimeline> = servers
+            .iter()
+            .map(|meta| {
+                let profile = ServerProfile {
+                    index: meta.id as usize,
+                    distance_to_provider_km: meta.distance_to_provider_km,
+                    crosses_isp: meta.isp != provider_isp,
+                };
+                build_server_timeline(
+                    &profile,
+                    &origin,
+                    &absences,
+                    &config.ground_truth,
+                    horizon,
+                    &mut day_rng.fork(),
+                )
+            })
+            .collect();
+
+        // Server polls.
+        let mut server_polls = Vec::new();
+        for meta in &servers {
+            let mut poll_rng = day_rng.fork();
+            // Each server is polled by its nearest observer (paper §3.1).
+            let obs = nearest_user(&users, &meta.location);
+            let rtt_base = 2.0 * (0.010 + meta.location.distance_km(&obs) / 200_000.0);
+            let mut t = SimTime::ZERO;
+            while t <= horizon {
+                if !absences.is_absent(meta.id as usize, t) {
+                    let response_time = SimDuration::from_secs_f64(
+                        rtt_base + 0.04 + poll_rng.exponential(1.0 / 0.05),
+                    );
+                    // The server stamps its GMT clock upon receiving the
+                    // query (about half the response time after t).
+                    let stamped = t + SimDuration::from_secs_f64(rtt_base / 2.0);
+                    let reported_gmt_us = stamped.as_micros() as i64 + meta.true_skew_us;
+                    server_polls.push(ServerPoll {
+                        server: meta.id,
+                        time: t,
+                        reported_gmt_us,
+                        snapshot: timelines[meta.id as usize].snapshot_at(t),
+                        response_time,
+                    });
+                }
+                t += config.poll_interval;
+            }
+        }
+
+        // Provider origin polls (paper §3.4.2 and Fig. 10(a)). Each replica
+        // of the origin runs its own copy of the availability pipeline, so
+        // replicas disagree by a few seconds — the Fig. 7 inconsistency.
+        let mut provider_polls = Vec::new();
+        for replica in 0..config.provider_replicas {
+            let mut prov_rng = day_rng.fork();
+            let replica_origin = updates
+                .delayed(config.ground_truth.provider_staleness_mean_s, &mut prov_rng);
+            let mut t = SimTime::ZERO;
+            while t <= horizon {
+                let response_time = SimDuration::from_secs_f64(
+                    (0.5 + prov_rng.exponential(1.0 / 0.35)).min(2.1),
+                );
+                provider_polls.push(ProviderPoll {
+                    replica,
+                    time: t,
+                    snapshot: replica_origin.snapshot_at(t),
+                    response_time,
+                });
+                t += config.poll_interval;
+            }
+        }
+
+        // End-user polls through DNS (paper §3.3).
+        let mut user_polls = Vec::new();
+        for user in &users {
+            let mut user_rng = day_rng.fork();
+            let assignment = assignment_timeline(
+                &user.location,
+                &servers,
+                horizon,
+                &config.dns,
+                &mut user_rng,
+            );
+            let mut t = SimTime::ZERO;
+            while t <= horizon {
+                let server = assignment.server_at(t);
+                user_polls.push(UserPoll {
+                    user: user.id,
+                    time: t,
+                    server,
+                    snapshot: timelines[server as usize].snapshot_at(t),
+                });
+                t += config.poll_interval;
+            }
+        }
+
+        days.push(DayTrace { day, updates, server_polls, provider_polls, user_polls });
+    }
+
+    Trace {
+        servers,
+        users,
+        provider_isp,
+        provider_location,
+        poll_interval: config.poll_interval,
+        session,
+        days,
+    }
+}
+
+/// Location of the user closest to `location`.
+fn nearest_user(users: &[UserMeta], location: &GeoPoint) -> GeoPoint {
+    users
+        .iter()
+        .min_by(|a, b| {
+            a.location
+                .distance_km(location)
+                .partial_cmp(&b.location.distance_km(location))
+                .expect("finite")
+        })
+        .expect("at least one user")
+        .location
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::SnapshotId;
+
+    fn tiny_trace() -> Trace {
+        crawl(&CrawlConfig::tiny())
+    }
+
+    #[test]
+    fn trace_dimensions_match_config() {
+        let cfg = CrawlConfig::tiny();
+        let trace = crawl(&cfg);
+        assert_eq!(trace.servers.len(), cfg.servers);
+        assert_eq!(trace.users.len(), cfg.users);
+        assert_eq!(trace.days.len(), cfg.days as usize);
+        let polls_per_session = cfg.session().as_secs() / cfg.poll_interval.as_secs() + 1;
+        for day in &trace.days {
+            // Absences remove some polls, but never more than a few percent.
+            let expected = cfg.servers as u64 * polls_per_session;
+            assert!(day.server_polls.len() as u64 <= expected);
+            assert!(day.server_polls.len() as u64 > expected * 9 / 10);
+            assert_eq!(day.user_polls.len() as u64, cfg.users as u64 * polls_per_session);
+            assert_eq!(
+                day.provider_polls.len() as u64,
+                u64::from(cfg.provider_replicas) * polls_per_session
+            );
+        }
+    }
+
+    #[test]
+    fn crawl_is_deterministic() {
+        let a = tiny_trace();
+        let b = tiny_trace();
+        assert_eq!(a, b);
+        let c = crawl(&CrawlConfig { seed: 1, ..CrawlConfig::tiny() });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn server_polls_sorted_per_server() {
+        let trace = tiny_trace();
+        for day in &trace.days {
+            for w in day.server_polls.windows(2) {
+                assert!(
+                    (w[0].server, w[0].time) < (w[1].server, w[1].time),
+                    "polls must be (server, time)-sorted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn served_snapshots_never_exceed_published() {
+        let trace = tiny_trace();
+        for day in &trace.days {
+            let latest = SnapshotId((day.updates.len() - 1) as u32);
+            for p in &day.server_polls {
+                assert!(p.snapshot <= latest);
+                // A server can never serve content newer than published at
+                // poll time.
+                assert!(p.snapshot <= day.updates.snapshot_at(p.time));
+            }
+        }
+    }
+
+    #[test]
+    fn servers_do_lag_behind_the_provider() {
+        // The whole point of the measurement: a TTL-60 CDN shows stale
+        // content. A healthy fraction of mid-game polls must lag.
+        let trace = tiny_trace();
+        let day = &trace.days[0];
+        let mut stale = 0u64;
+        let mut total = 0u64;
+        for p in &day.server_polls {
+            // Mid-game only (first half: 300 s – 3000 s).
+            if (300..3_000).contains(&p.time.as_secs()) {
+                total += 1;
+                if p.snapshot < day.updates.snapshot_at(p.time) {
+                    stale += 1;
+                }
+            }
+        }
+        let frac = stale as f64 / total as f64;
+        assert!(
+            (0.3..0.99).contains(&frac),
+            "expected substantial staleness under 18 s update gaps with TTL 60, got {frac}"
+        );
+    }
+
+    #[test]
+    fn reported_gmt_carries_skew() {
+        let trace = tiny_trace();
+        let day = &trace.days[0];
+        for p in day.server_polls.iter().take(500) {
+            let meta = trace.server(p.server);
+            let raw = p.reported_gmt_us - p.time.as_micros() as i64;
+            // Raw offset ≈ true skew (+ up to ~0.3 s of stamping delay).
+            assert!(
+                (raw - meta.true_skew_us).abs() < 400_000,
+                "raw offset {raw} vs skew {}",
+                meta.true_skew_us
+            );
+            // Corrected time ≈ true poll time (within skew-estimate error).
+            let corrected = p.corrected_time(meta);
+            let err = corrected.as_micros() as i64 - p.time.as_micros() as i64;
+            assert!(err.abs() < 3_000_000, "corrected-time residual {err} µs");
+        }
+    }
+
+    #[test]
+    fn provider_polls_are_fresh() {
+        let trace = tiny_trace();
+        let day = &trace.days[0];
+        let mut lag_sum = 0.0;
+        let mut n = 0u64;
+        for p in &day.provider_polls {
+            let fresh = day.updates.snapshot_at(p.time);
+            assert!(p.snapshot <= fresh);
+            if p.snapshot < fresh {
+                let published_next = day.updates.published_at(SnapshotId(p.snapshot.0 + 1));
+                lag_sum += p.time.since(published_next).as_secs_f64();
+                n += 1;
+            }
+            assert!(p.response_time.as_secs_f64() <= 2.1 + 1e-9);
+            assert!(p.response_time.as_secs_f64() >= 0.5);
+        }
+        if n > 0 {
+            let mean_lag = lag_sum / n as f64;
+            assert!(mean_lag < 15.0, "origin staleness should be small, got {mean_lag}");
+        }
+    }
+
+    #[test]
+    fn user_polls_follow_assignments() {
+        let trace = tiny_trace();
+        let day = &trace.days[0];
+        // Users must be redirected sometimes, and servers must be valid ids.
+        let mut redirects = 0u64;
+        for user in 0..trace.users.len() as u32 {
+            let polls: Vec<&UserPoll> = day.polls_of_user(user).collect();
+            assert!(!polls.is_empty());
+            for w in polls.windows(2) {
+                if w[0].server != w[1].server {
+                    redirects += 1;
+                }
+            }
+            for p in &polls {
+                assert!((p.server as usize) < trace.servers.len());
+            }
+        }
+        assert!(redirects > 0, "DNS must redirect users occasionally");
+    }
+}

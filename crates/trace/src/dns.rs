@@ -1,0 +1,224 @@
+//! DNS-driven server assignment for end-users.
+//!
+//! Paper §3.3: the local DNS server caches a content-server IP for a short
+//! time; on expiry, the CDN's authoritative DNS re-assigns a (possibly
+//! different) nearby server for load balancing. A user polling every 10 s is
+//! therefore redirected to another server on 13–17 % of visits, and lands on
+//! stale content when the new server lags the old one.
+
+use crate::records::ServerMeta;
+use cdnc_geo::GeoPoint;
+use cdnc_simcore::{SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the DNS assignment process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DnsConfig {
+    /// Range of the local DNS cache TTL, seconds (drawn per expiry).
+    pub cache_ttl_range_s: (f64, f64),
+    /// Size of the nearby-server candidate set the authoritative DNS load
+    /// balances across.
+    pub candidates: usize,
+}
+
+impl Default for DnsConfig {
+    fn default() -> Self {
+        // Mean cache TTL 65 s with 10 s polls and 7 candidates gives an
+        // expected redirect fraction ≈ (10/65) × (6/7) ≈ 13–17 % per user —
+        // the paper's Fig. 4(a) range.
+        DnsConfig { cache_ttl_range_s: (45.0, 85.0), candidates: 7 }
+    }
+}
+
+/// A user's server-assignment history: `(since, server)` entries, strictly
+/// increasing in `since`, first entry at time zero.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AssignmentTimeline {
+    entries: Vec<(SimTime, u32)>,
+}
+
+impl AssignmentTimeline {
+    /// The server assigned at instant `t`.
+    pub fn server_at(&self, t: SimTime) -> u32 {
+        let idx = self.entries.partition_point(|&(tt, _)| tt <= t);
+        self.entries[idx - 1].1
+    }
+
+    /// The raw assignment entries.
+    pub fn entries(&self) -> &[(SimTime, u32)] {
+        &self.entries
+    }
+}
+
+/// Generates a user's DNS assignment history over `[0, horizon]`.
+///
+/// The candidate set is the `config.candidates` servers closest to
+/// `user_location`; each cache expiry draws a fresh uniform choice among
+/// them (the authoritative DNS's load balancing).
+///
+/// # Panics
+///
+/// Panics if `servers` is empty or `config.candidates` is zero.
+pub fn assignment_timeline(
+    user_location: &GeoPoint,
+    servers: &[ServerMeta],
+    horizon: SimTime,
+    config: &DnsConfig,
+    rng: &mut SimRng,
+) -> AssignmentTimeline {
+    assert!(!servers.is_empty(), "no servers to assign");
+    assert!(config.candidates > 0, "empty candidate set");
+    let candidates = nearest_servers(user_location, servers, config.candidates);
+    let mut entries = Vec::new();
+    let mut t = SimTime::ZERO;
+    let mut current = candidates[rng.index(candidates.len())];
+    entries.push((t, current));
+    loop {
+        let ttl = SimDuration::from_secs_f64(
+            rng.uniform_range(config.cache_ttl_range_s.0, config.cache_ttl_range_s.1),
+        );
+        t += ttl;
+        if t > horizon {
+            break;
+        }
+        let next = candidates[rng.index(candidates.len())];
+        if next != current {
+            entries.push((t, next));
+            current = next;
+        }
+    }
+    AssignmentTimeline { entries }
+}
+
+/// Indices of the `k` servers closest to `location` (ties broken by id).
+pub fn nearest_servers(location: &GeoPoint, servers: &[ServerMeta], k: usize) -> Vec<u32> {
+    let mut order: Vec<u32> = (0..servers.len() as u32).collect();
+    order.sort_by(|&a, &b| {
+        let da = servers[a as usize].location.distance_km(location);
+        let db = servers[b as usize].location.distance_km(location);
+        da.partial_cmp(&db).expect("finite distances").then(a.cmp(&b))
+    });
+    order.truncate(k.min(servers.len()));
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdnc_geo::IspId;
+
+    fn meta(id: u32, lat: f64, lon: f64) -> ServerMeta {
+        ServerMeta {
+            id,
+            location: GeoPoint::new(lat, lon).unwrap(),
+            isp: IspId(0),
+            distance_to_provider_km: 0.0,
+            true_skew_us: 0,
+            measured_skew_us: 0,
+        }
+    }
+
+    fn grid_servers(n: usize) -> Vec<ServerMeta> {
+        (0..n).map(|i| meta(i as u32, (i as f64) * 0.5, (i as f64) * 0.5)).collect()
+    }
+
+    #[test]
+    fn nearest_orders_by_distance() {
+        let servers = grid_servers(10);
+        let user = GeoPoint::new(0.0, 0.0).unwrap();
+        let near = nearest_servers(&user, &servers, 3);
+        assert_eq!(near, vec![0, 1, 2]);
+        let user2 = GeoPoint::new(4.5, 4.5).unwrap();
+        let near2 = nearest_servers(&user2, &servers, 1);
+        assert_eq!(near2, vec![9]);
+    }
+
+    #[test]
+    fn assignments_stay_in_candidate_set() {
+        let servers = grid_servers(30);
+        let user = GeoPoint::new(1.0, 1.0).unwrap();
+        let mut rng = SimRng::seed_from_u64(1);
+        let cfg = DnsConfig::default();
+        let tl = assignment_timeline(&user, &servers, SimTime::from_secs(9_000), &cfg, &mut rng);
+        let candidates = nearest_servers(&user, &servers, cfg.candidates);
+        for &(_, s) in tl.entries() {
+            assert!(candidates.contains(&s), "assigned server {s} not a candidate");
+        }
+    }
+
+    #[test]
+    fn redirect_fraction_in_paper_range() {
+        // Measure the fraction of 10 s polls that see a different server
+        // than the previous poll, across many users: Fig. 4(a) reports most
+        // users in 13–17 %.
+        let servers = grid_servers(50);
+        let mut rng = SimRng::seed_from_u64(2);
+        let cfg = DnsConfig::default();
+        let horizon = SimTime::from_secs(8_760);
+        let mut redirected = 0u64;
+        let mut total = 0u64;
+        for u in 0..100 {
+            let user = GeoPoint::new(0.2 * (u % 10) as f64, 0.2 * (u / 10) as f64).unwrap();
+            let tl = assignment_timeline(&user, &servers, horizon, &cfg, &mut rng);
+            let mut prev = None;
+            let mut t = SimTime::ZERO;
+            while t <= horizon {
+                let s = tl.server_at(t);
+                if let Some(p) = prev {
+                    total += 1;
+                    if p != s {
+                        redirected += 1;
+                    }
+                }
+                prev = Some(s);
+                t += SimDuration::from_secs(10);
+            }
+        }
+        let frac = redirected as f64 / total as f64;
+        assert!((0.11..0.19).contains(&frac), "redirect fraction {frac}");
+    }
+
+    #[test]
+    fn timeline_is_deterministic() {
+        let servers = grid_servers(20);
+        let user = GeoPoint::new(1.0, 1.0).unwrap();
+        let cfg = DnsConfig::default();
+        let run = |seed| {
+            let mut rng = SimRng::seed_from_u64(seed);
+            assignment_timeline(&user, &servers, SimTime::from_secs(5_000), &cfg, &mut rng)
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn entries_strictly_increase_and_change_server() {
+        let servers = grid_servers(20);
+        let user = GeoPoint::new(1.0, 1.0).unwrap();
+        let mut rng = SimRng::seed_from_u64(5);
+        let tl = assignment_timeline(
+            &user,
+            &servers,
+            SimTime::from_secs(50_000),
+            &DnsConfig::default(),
+            &mut rng,
+        );
+        for w in tl.entries().windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert_ne!(w[0].1, w[1].1, "no-op reassignments should be collapsed");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no servers")]
+    fn empty_server_set_rejected() {
+        let mut rng = SimRng::seed_from_u64(0);
+        assignment_timeline(
+            &GeoPoint::new(0.0, 0.0).unwrap(),
+            &[],
+            SimTime::from_secs(10),
+            &DnsConfig::default(),
+            &mut rng,
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! # cdnc-trace
+//!
+//! The measurement substrate: everything needed to reconstruct the paper's
+//! 15-day crawl of live sports-game pages on a major CDN (§3.1) — as a
+//! simulation with known ground truth.
+//!
+//! The paper's original artifact is a proprietary trace. We substitute a
+//! *synthetic crawl*: a ground-truth CDN that behaves exactly as the paper
+//! deduces the real one does (TTL-60 polling over unicast, §3.6), perturbed
+//! by each measured inconsistency cause (§3.4), crawled by observers exactly
+//! as §3.1 describes. Because the pipeline only consumes poll records, every
+//! downstream analysis runs unchanged — and can be validated against the
+//! known ground truth.
+//!
+//! Modules:
+//!
+//! * [`snapshot`] — content update sequences (the live-game day: 306
+//!   snapshots over 2 h 26 min, bursts + breaks);
+//! * [`timeline`] — ground-truth per-server content histories under TTL
+//!   polling with fetch delays, origin staleness, inter-ISP congestion and
+//!   absences;
+//! * [`skew`] — server clock skew and the crawler's RTT/2 correction;
+//! * [`dns`] — end-user server assignment with cache expiry and
+//!   load-balanced reassignment;
+//! * [`crawl`](crate::crawl()) — the orchestrator producing a [`Trace`];
+//! * [`records`] — the trace record types the analysis consumes.
+//!
+//! # Examples
+//!
+//! ```
+//! use cdnc_trace::{crawl, CrawlConfig};
+//!
+//! let trace = crawl(&CrawlConfig { servers: 10, users: 5, days: 1, ..CrawlConfig::tiny() });
+//! assert_eq!(trace.days.len(), 1);
+//! assert!(trace.total_server_polls() > 0);
+//! ```
+
+pub mod codec;
+pub mod crawl;
+pub mod dns;
+pub mod records;
+pub mod skew;
+pub mod snapshot;
+pub mod timeline;
+
+pub use codec::{read_trace, write_trace};
+pub use crawl::{crawl, CrawlConfig};
+pub use dns::DnsConfig;
+pub use records::{DayTrace, ProviderPoll, ServerMeta, ServerPoll, Trace, UserMeta, UserPoll};
+pub use skew::SkewConfig;
+pub use snapshot::{GameConfig, GamePhase, SnapshotId, UpdateSequence};
+pub use timeline::{build_server_timeline, GroundTruthConfig, ServerProfile, ServerTimeline};

@@ -1,0 +1,245 @@
+//! Trace record types — what the measurement crawl produces.
+//!
+//! These mirror the data the paper's crawl gathered (§3.1): for every poll,
+//! the snapshot of the statistics page plus the server's own GMT timestamp
+//! (used to cancel network delay), and per-server metadata (geolocation, ISP,
+//! clock-skew estimate). The analysis crate consumes exactly these records.
+
+use crate::snapshot::{SnapshotId, UpdateSequence};
+use cdnc_geo::{GeoPoint, IspId};
+use cdnc_simcore::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Static metadata of one crawled content server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerMeta {
+    /// Server index (dense, 0-based).
+    pub id: u32,
+    /// Geolocated position (paper: IPLOCATION lookup).
+    pub location: GeoPoint,
+    /// Serving ISP (paper: IPLOCATION + traceroute validation).
+    pub isp: IspId,
+    /// Great-circle distance to the content provider, km.
+    pub distance_to_provider_km: f64,
+    /// Ground-truth clock offset of the server's GMT clock, microseconds
+    /// (positive = server clock runs ahead). Hidden from honest analyses —
+    /// they must use [`ServerMeta::measured_skew_us`].
+    pub true_skew_us: i64,
+    /// The crawler's RTT/2-based estimate of the skew (paper §3.1:
+    /// `ε = tG_sj − tG_ni − RTT/2`), microseconds.
+    pub measured_skew_us: i64,
+}
+
+/// One poll of a content server by a measurement observer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerPoll {
+    /// Which server was polled.
+    pub server: u32,
+    /// The observer's clock when the poll was issued (true simulation time).
+    pub time: SimTime,
+    /// The server's GMT clock at response time, microseconds — includes the
+    /// server's skew; must be corrected with the measured skew before
+    /// cross-server comparison.
+    pub reported_gmt_us: i64,
+    /// The snapshot served.
+    pub snapshot: SnapshotId,
+    /// Observer-measured response time of the poll.
+    pub response_time: SimDuration,
+}
+
+impl ServerPoll {
+    /// The poll's server-side timestamp corrected by the crawler's skew
+    /// estimate — the timestamp all §3 analyses operate on.
+    pub fn corrected_time(&self, meta: &ServerMeta) -> SimTime {
+        debug_assert_eq!(meta.id, self.server, "meta/poll mismatch");
+        SimTime::from_micros((self.reported_gmt_us - meta.measured_skew_us).max(0) as u64)
+    }
+}
+
+/// One poll of a content-provider origin replica.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProviderPoll {
+    /// Origin replica index (the paper found 10 provider IPs, collocated).
+    pub replica: u32,
+    /// Poll time.
+    pub time: SimTime,
+    /// The snapshot served by the origin.
+    pub snapshot: SnapshotId,
+    /// Observer-measured response time.
+    pub response_time: SimDuration,
+}
+
+/// One poll by a simulated end-user through DNS (paper §3.3 methodology).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UserPoll {
+    /// Which user.
+    pub user: u32,
+    /// Poll time.
+    pub time: SimTime,
+    /// The server DNS directed the user to.
+    pub server: u32,
+    /// The snapshot that server returned.
+    pub snapshot: SnapshotId,
+}
+
+/// Static metadata of one simulated end-user (PlanetLab observer).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserMeta {
+    /// User index.
+    pub id: u32,
+    /// Observer position.
+    pub location: GeoPoint,
+}
+
+/// Everything crawled on one trace day.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DayTrace {
+    /// Day index (0-based).
+    pub day: u16,
+    /// Ground-truth update sequence of that day's game (the paper infers
+    /// this from first appearances; we keep it for validation).
+    pub updates: UpdateSequence,
+    /// Server polls, ordered by (server, time).
+    pub server_polls: Vec<ServerPoll>,
+    /// Provider-origin polls, ordered by (replica, time).
+    pub provider_polls: Vec<ProviderPoll>,
+    /// End-user polls, ordered by (user, time).
+    pub user_polls: Vec<UserPoll>,
+}
+
+impl DayTrace {
+    /// Iterator over one server's polls for this day (they are stored
+    /// contiguously, ordered by time).
+    pub fn polls_of_server(&self, server: u32) -> impl Iterator<Item = &ServerPoll> + '_ {
+        let start = self.server_polls.partition_point(|p| p.server < server);
+        self.server_polls[start..]
+            .iter()
+            .take_while(move |p| p.server == server)
+    }
+
+    /// Iterator over one user's polls for this day.
+    pub fn polls_of_user(&self, user: u32) -> impl Iterator<Item = &UserPoll> + '_ {
+        let start = self.user_polls.partition_point(|p| p.user < user);
+        self.user_polls[start..].iter().take_while(move |p| p.user == user)
+    }
+}
+
+/// A complete multi-day crawl trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Crawled servers.
+    pub servers: Vec<ServerMeta>,
+    /// Measurement users.
+    pub users: Vec<UserMeta>,
+    /// The provider's ISP (for intra/inter-ISP splits).
+    pub provider_isp: IspId,
+    /// The provider's location.
+    pub provider_location: GeoPoint,
+    /// Poll interval used by the crawl.
+    pub poll_interval: SimDuration,
+    /// Length of each daily crawl session.
+    pub session: SimDuration,
+    /// Per-day records.
+    pub days: Vec<DayTrace>,
+}
+
+impl Trace {
+    /// Total number of server poll records across all days.
+    pub fn total_server_polls(&self) -> usize {
+        self.days.iter().map(|d| d.server_polls.len()).sum()
+    }
+
+    /// Metadata of one server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range.
+    pub fn server(&self, server: u32) -> &ServerMeta {
+        &self.servers[server as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn poll(server: u32, secs: u64, snap: u32) -> ServerPoll {
+        ServerPoll {
+            server,
+            time: SimTime::from_secs(secs),
+            reported_gmt_us: SimTime::from_secs(secs).as_micros() as i64,
+            snapshot: SnapshotId(snap),
+            response_time: SimDuration::from_millis(100),
+        }
+    }
+
+    #[test]
+    fn corrected_time_subtracts_measured_skew() {
+        let meta = ServerMeta {
+            id: 0,
+            location: GeoPoint::new(0.0, 0.0).unwrap(),
+            isp: IspId(0),
+            distance_to_provider_km: 0.0,
+            true_skew_us: 5_000_000,
+            measured_skew_us: 4_900_000,
+        };
+        let p = ServerPoll {
+            reported_gmt_us: 105_000_000, // true 100 s + 5 s skew
+            ..poll(0, 0, 0)
+        };
+        let corrected = p.corrected_time(&meta);
+        // 105 s − 4.9 s = 100.1 s: residual error is the skew-estimate error.
+        assert_eq!(corrected, SimTime::from_micros(100_100_000));
+    }
+
+    #[test]
+    fn corrected_time_clamps_at_zero() {
+        let meta = ServerMeta {
+            id: 0,
+            location: GeoPoint::new(0.0, 0.0).unwrap(),
+            isp: IspId(0),
+            distance_to_provider_km: 0.0,
+            true_skew_us: 0,
+            measured_skew_us: 10_000_000,
+        };
+        let p = poll(0, 1, 0);
+        assert_eq!(p.corrected_time(&meta), SimTime::ZERO);
+    }
+
+    #[test]
+    fn day_trace_per_server_iteration() {
+        let day = DayTrace {
+            day: 0,
+            updates: UpdateSequence::silent(),
+            server_polls: vec![poll(0, 0, 0), poll(0, 10, 0), poll(1, 0, 1), poll(2, 5, 2)],
+            provider_polls: vec![],
+            user_polls: vec![],
+        };
+        assert_eq!(day.polls_of_server(0).count(), 2);
+        assert_eq!(day.polls_of_server(1).count(), 1);
+        assert_eq!(day.polls_of_server(3).count(), 0);
+        assert_eq!(day.polls_of_server(2).next().unwrap().snapshot, SnapshotId(2));
+    }
+
+    #[test]
+    fn day_trace_per_user_iteration() {
+        let day = DayTrace {
+            day: 0,
+            updates: UpdateSequence::silent(),
+            server_polls: vec![],
+            provider_polls: vec![],
+            user_polls: vec![
+                UserPoll { user: 0, time: SimTime::ZERO, server: 1, snapshot: SnapshotId(0) },
+                UserPoll {
+                    user: 2,
+                    time: SimTime::from_secs(10),
+                    server: 1,
+                    snapshot: SnapshotId(0),
+                },
+            ],
+        };
+        assert_eq!(day.polls_of_user(0).count(), 1);
+        assert_eq!(day.polls_of_user(1).count(), 0);
+        assert_eq!(day.polls_of_user(2).count(), 1);
+    }
+}

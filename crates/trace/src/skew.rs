@@ -1,0 +1,95 @@
+//! Server clock skew and the crawler's RTT/2 correction.
+//!
+//! Paper §3.1: "the GMT time may not be synchronized among all content
+//! servers"; the crawler picks one observer `n_i`, polls each server `s_j`,
+//! and estimates the skew `ε_{ni,sj} = tG_sj − tG_ni − RTT/2`. The estimate
+//! is imperfect (path asymmetry, queueing on one direction), so corrected
+//! timestamps carry a small residual error — we model that residual
+//! explicitly.
+
+use cdnc_simcore::{SimDuration, SimRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the clock-skew process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SkewConfig {
+    /// Maximum absolute true clock offset, seconds. Real CDN servers run NTP
+    /// but drift; tens of seconds of offset were plausible in 2012-era
+    /// edge fleets.
+    pub max_abs_s: f64,
+    /// Standard deviation of the RTT/2 estimation residual, seconds.
+    pub measurement_noise_s: f64,
+}
+
+impl Default for SkewConfig {
+    fn default() -> Self {
+        SkewConfig { max_abs_s: 20.0, measurement_noise_s: 0.25 }
+    }
+}
+
+impl SkewConfig {
+    /// Draws a server's true clock offset, microseconds.
+    pub fn draw_true_skew_us(&self, rng: &mut SimRng) -> i64 {
+        (rng.uniform_range(-self.max_abs_s, self.max_abs_s) * 1e6) as i64
+    }
+
+    /// The crawler's estimate of `true_skew_us` via the RTT/2 method: the
+    /// truth plus a clamped-normal residual whose scale grows slightly with
+    /// the RTT (longer paths are more asymmetric).
+    pub fn measure_skew_us(
+        &self,
+        true_skew_us: i64,
+        rtt: SimDuration,
+        rng: &mut SimRng,
+    ) -> i64 {
+        let sigma = self.measurement_noise_s + 0.1 * rtt.as_secs_f64();
+        let noise = rng.normal_clamped(0.0, sigma, -4.0 * sigma, 4.0 * sigma);
+        true_skew_us + (noise * 1e6) as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn true_skew_bounded() {
+        let cfg = SkewConfig::default();
+        let mut rng = SimRng::seed_from_u64(1);
+        for _ in 0..1_000 {
+            let s = cfg.draw_true_skew_us(&mut rng);
+            assert!(s.abs() <= (cfg.max_abs_s * 1e6) as i64);
+        }
+    }
+
+    #[test]
+    fn measurement_close_to_truth() {
+        let cfg = SkewConfig::default();
+        let mut rng = SimRng::seed_from_u64(2);
+        let truth = 7_500_000i64; // +7.5 s
+        let rtt = SimDuration::from_millis(120);
+        let mut worst = 0i64;
+        for _ in 0..1_000 {
+            let est = cfg.measure_skew_us(truth, rtt, &mut rng);
+            worst = worst.max((est - truth).abs());
+        }
+        // Residual bounded by 4σ ≈ 4 × (0.25 + 0.012) s.
+        assert!(worst <= 1_100_000, "worst residual {worst} µs");
+        assert!(worst > 10_000, "noise should actually perturb the estimate");
+    }
+
+    #[test]
+    fn longer_rtt_means_noisier_estimate() {
+        let cfg = SkewConfig::default();
+        let spread = |rtt_ms: u64, seed: u64| {
+            let mut rng = SimRng::seed_from_u64(seed);
+            let rtt = SimDuration::from_millis(rtt_ms);
+            let draws: Vec<f64> = (0..3_000)
+                .map(|_| cfg.measure_skew_us(0, rtt, &mut rng) as f64)
+                .collect();
+            let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+            (draws.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / draws.len() as f64).sqrt()
+        };
+        assert!(spread(2_000, 3) > spread(10, 3));
+    }
+}

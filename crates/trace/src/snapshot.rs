@@ -1,0 +1,512 @@
+//! Content snapshot sequences.
+//!
+//! A live webpage is a sequence of *snapshots* `C_0, C_1, …` published by the
+//! content provider; `C_0` is the initial page. The paper's trace content is
+//! live sports-game statistics: one selected day contains **306 distinct
+//! snapshots over 2 h 26 min** (§4), with bursts of frequent updates during
+//! play and long silences during breaks (§5 — the pattern HAT exploits).
+
+use cdnc_simcore::{SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a content snapshot: `SnapshotId(i)` is the i-th version.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SnapshotId(pub u32);
+
+impl SnapshotId {
+    /// The snapshot that replaces this one.
+    pub fn next(self) -> SnapshotId {
+        SnapshotId(self.0 + 1)
+    }
+}
+
+impl fmt::Display for SnapshotId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// Publication times of a snapshot sequence at the content provider.
+///
+/// `times()[i]` is when `SnapshotId(i)` was published; `times()[0]` is always
+/// [`SimTime::ZERO`] (the initial content exists from the start).
+///
+/// # Examples
+///
+/// ```
+/// use cdnc_simcore::SimTime;
+/// use cdnc_trace::snapshot::{SnapshotId, UpdateSequence};
+///
+/// let seq = UpdateSequence::from_times(vec![
+///     SimTime::ZERO,
+///     SimTime::from_secs(60),
+///     SimTime::from_secs(90),
+/// ]).unwrap();
+/// assert_eq!(seq.snapshot_at(SimTime::from_secs(75)), SnapshotId(1));
+/// assert_eq!(seq.published_at(SnapshotId(2)), SimTime::from_secs(90));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UpdateSequence {
+    times: Vec<SimTime>,
+}
+
+/// Error constructing an [`UpdateSequence`] from a malformed time list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidSequence;
+
+impl fmt::Display for InvalidSequence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("update times must start at zero and strictly increase")
+    }
+}
+
+impl std::error::Error for InvalidSequence {}
+
+impl UpdateSequence {
+    /// Builds a sequence from explicit publication times.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidSequence`] unless `times` is non-empty, starts at
+    /// [`SimTime::ZERO`] and strictly increases.
+    pub fn from_times(times: Vec<SimTime>) -> Result<Self, InvalidSequence> {
+        if times.first() != Some(&SimTime::ZERO) {
+            return Err(InvalidSequence);
+        }
+        if times.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(InvalidSequence);
+        }
+        Ok(UpdateSequence { times })
+    }
+
+    /// A sequence with a single initial snapshot and no updates.
+    pub fn silent() -> Self {
+        UpdateSequence { times: vec![SimTime::ZERO] }
+    }
+
+    /// Updates at a fixed `interval` until `horizon` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn periodic(interval: SimDuration, horizon: SimTime) -> Self {
+        assert!(!interval.is_zero(), "zero update interval");
+        let mut times = vec![SimTime::ZERO];
+        let mut t = SimTime::ZERO + interval;
+        while t <= horizon {
+            times.push(t);
+            t += interval;
+        }
+        UpdateSequence { times }
+    }
+
+    /// Poisson updates at `rate_per_s` until `horizon`.
+    pub fn poisson(rate_per_s: f64, horizon: SimTime, rng: &mut SimRng) -> Self {
+        let mut times = vec![SimTime::ZERO];
+        let mut t = SimTime::ZERO;
+        loop {
+            t += SimDuration::from_secs_f64(rng.exponential(rate_per_s));
+            if t > horizon {
+                break;
+            }
+            times.push(t);
+        }
+        UpdateSequence { times }
+    }
+
+    /// The paper's live-game day: bursts of updates during two halves of
+    /// play separated by a silent break, preceded by a quiet warm-up and
+    /// followed by a sparse tail — ≈ 306 snapshots over 2 h 26 min.
+    pub fn live_game(rng: &mut SimRng) -> Self {
+        Self::live_game_with(&GameConfig::default(), rng)
+    }
+
+    /// An e-commerce catalogue page (paper §1's second live-content class):
+    /// price/stock updates arrive all day at a modest Poisson rate with a
+    /// few flash-sale bursts.
+    pub fn ecommerce(horizon: SimTime, rng: &mut SimRng) -> Self {
+        let mut times = vec![SimTime::ZERO];
+        let mut t = SimTime::ZERO;
+        // Background updates: mean gap 10 minutes.
+        loop {
+            t += SimDuration::from_secs_f64(rng.exponential(1.0 / 600.0));
+            if t > horizon {
+                break;
+            }
+            times.push(t);
+        }
+        // 2–4 flash sales: a minute of frantic updates each.
+        for _ in 0..rng.int_range(2, 4) {
+            let start = SimTime::from_secs_f64(
+                rng.uniform_range(0.0, horizon.as_secs_f64().max(1.0)),
+            );
+            let mut ft = start;
+            let end = start + SimDuration::from_secs(60);
+            while ft < end && ft <= horizon {
+                ft += SimDuration::from_secs_f64(rng.exponential(1.0 / 4.0).max(0.5));
+                times.push(ft);
+            }
+        }
+        times.sort_unstable();
+        times.dedup();
+        // Re-impose strict monotonicity after the merge.
+        let mut prev = SimTime::ZERO;
+        let times = times
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| {
+                if i == 0 {
+                    return SimTime::ZERO;
+                }
+                let t = t.max(prev + SimDuration::from_micros(1));
+                prev = t;
+                t
+            })
+            .collect();
+        UpdateSequence { times }
+    }
+
+    /// An online auction (paper §1's third live-content class): sparse
+    /// early bids accelerating towards the closing time — most updates land
+    /// in the final minutes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `close` is the epoch.
+    pub fn auction(close: SimTime, rng: &mut SimRng) -> Self {
+        assert!(close > SimTime::ZERO, "auction must run for some time");
+        let total = close.since(SimTime::ZERO).as_secs_f64();
+        let mut times = vec![SimTime::ZERO];
+        let mut t = 0.0;
+        while t < total {
+            // Bid rate grows as the close approaches: from one bid per
+            // ~10 min early to one every ~2 s in the last moments.
+            let remaining = (total - t).max(1.0);
+            let rate = (1.0 / 600.0) + 3.0 / remaining.max(5.0);
+            t += rng.exponential(rate).max(0.5);
+            if t < total {
+                times.push(SimTime::from_secs_f64(t));
+            }
+        }
+        let mut prev = SimTime::ZERO;
+        for time in times.iter_mut().skip(1) {
+            *time = (*time).max(prev + SimDuration::from_micros(1));
+            prev = *time;
+        }
+        UpdateSequence { times }
+    }
+
+    /// A live-game day with explicit phase structure.
+    pub fn live_game_with(config: &GameConfig, rng: &mut SimRng) -> Self {
+        let mut times = vec![SimTime::ZERO];
+        let mut t = SimTime::ZERO;
+        for phase in &config.phases {
+            let end = t + phase.length;
+            if let Some(gap_mean) = phase.mean_update_gap {
+                let mut next = t;
+                loop {
+                    next += SimDuration::from_secs_f64(
+                        rng.exponential(1.0 / gap_mean.as_secs_f64())
+                            .max(config.min_gap.as_secs_f64()),
+                    );
+                    if next >= end {
+                        break;
+                    }
+                    times.push(next);
+                }
+            }
+            t = end;
+        }
+        UpdateSequence { times }
+    }
+
+    /// Publication times, in order. `times()[0]` is always zero.
+    pub fn times(&self) -> &[SimTime] {
+        &self.times
+    }
+
+    /// Number of snapshots (including the initial one).
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// `false` — a sequence always contains the initial snapshot. Provided
+    /// for API symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The last instant anything was published.
+    pub fn last_update(&self) -> SimTime {
+        *self.times.last().expect("sequence is never empty")
+    }
+
+    /// The snapshot current at the provider at instant `t`.
+    pub fn snapshot_at(&self, t: SimTime) -> SnapshotId {
+        let idx = self.times.partition_point(|&pt| pt <= t);
+        SnapshotId((idx - 1) as u32)
+    }
+
+    /// When snapshot `id` was published.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is beyond the sequence.
+    pub fn published_at(&self, id: SnapshotId) -> SimTime {
+        self.times[id.0 as usize]
+    }
+
+    /// When snapshot `id` was superseded, or `None` if it is the latest.
+    pub fn superseded_at(&self, id: SnapshotId) -> Option<SimTime> {
+        self.times.get(id.0 as usize + 1).copied()
+    }
+
+    /// Iterator over `(id, published_at)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SnapshotId, SimTime)> + '_ {
+        self.times.iter().enumerate().map(|(i, &t)| (SnapshotId(i as u32), t))
+    }
+
+    /// A copy of this sequence with every update delayed by an independent
+    /// exponential lag of mean `mean_lag_s` seconds (kept strictly
+    /// increasing). Models a downstream availability pipeline — e.g. the
+    /// content provider's origin, which serves each update a few seconds
+    /// after the real-world event (paper §3.4.2 measures ≈ 3.43 s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_lag_s` is not positive and finite.
+    pub fn delayed(&self, mean_lag_s: f64, rng: &mut SimRng) -> UpdateSequence {
+        assert!(mean_lag_s > 0.0 && mean_lag_s.is_finite(), "bad lag: {mean_lag_s}");
+        let mut times = Vec::with_capacity(self.times.len());
+        times.push(SimTime::ZERO);
+        let mut prev = SimTime::ZERO;
+        for &t in &self.times[1..] {
+            let lag = SimDuration::from_secs_f64(rng.exponential(1.0 / mean_lag_s));
+            let shifted = (t + lag).max(prev + SimDuration::from_micros(1));
+            times.push(shifted);
+            prev = shifted;
+        }
+        UpdateSequence { times }
+    }
+}
+
+/// One phase of a live game (warm-up, half, break, …).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GamePhase {
+    /// Phase length.
+    pub length: SimDuration,
+    /// Mean gap between updates during the phase; `None` = silent phase.
+    pub mean_update_gap: Option<SimDuration>,
+}
+
+impl GamePhase {
+    /// A phase with Poisson updates at the given mean gap.
+    pub fn active(length: SimDuration, mean_update_gap: SimDuration) -> Self {
+        GamePhase { length, mean_update_gap: Some(mean_update_gap) }
+    }
+
+    /// A phase with no updates.
+    pub fn silent(length: SimDuration) -> Self {
+        GamePhase { length, mean_update_gap: None }
+    }
+}
+
+/// Structure of a live-game day.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GameConfig {
+    /// Phases in order.
+    pub phases: Vec<GamePhase>,
+    /// Smallest possible gap between consecutive updates.
+    pub min_gap: SimDuration,
+}
+
+impl Default for GameConfig {
+    fn default() -> Self {
+        // 2 h 26 min = 8760 s total: 5 min warm-up, two 45-min halves with
+        // ~18 s mean update gaps (~150 updates each), a 15-min silent break,
+        // and a 31-min sparse tail — ≈ 306 snapshots, matching §4's
+        // "306 different snapshots lasting 2 hours and 26 minutes".
+        GameConfig {
+            phases: vec![
+                GamePhase::silent(SimDuration::from_secs(300)),
+                GamePhase::active(SimDuration::from_secs(2_700), SimDuration::from_secs(18)),
+                GamePhase::silent(SimDuration::from_secs(900)),
+                GamePhase::active(SimDuration::from_secs(2_700), SimDuration::from_secs(18)),
+                GamePhase::active(SimDuration::from_secs(2_160), SimDuration::from_secs(400)),
+            ],
+            min_gap: SimDuration::from_secs(2),
+        }
+    }
+}
+
+impl GameConfig {
+    /// Total length of the game day.
+    pub fn total_length(&self) -> SimDuration {
+        self.phases.iter().map(|p| p.length).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn from_times_validation() {
+        assert!(UpdateSequence::from_times(vec![]).is_err());
+        assert!(UpdateSequence::from_times(vec![SimTime::from_secs(1)]).is_err());
+        assert!(UpdateSequence::from_times(vec![SimTime::ZERO, SimTime::ZERO]).is_err());
+        assert!(
+            UpdateSequence::from_times(vec![SimTime::ZERO, SimTime::from_secs(1)]).is_ok()
+        );
+    }
+
+    #[test]
+    fn snapshot_lookup() {
+        let seq = UpdateSequence::from_times(vec![
+            SimTime::ZERO,
+            SimTime::from_secs(10),
+            SimTime::from_secs(20),
+        ])
+        .unwrap();
+        assert_eq!(seq.snapshot_at(SimTime::ZERO), SnapshotId(0));
+        assert_eq!(seq.snapshot_at(SimTime::from_secs(9)), SnapshotId(0));
+        assert_eq!(seq.snapshot_at(SimTime::from_secs(10)), SnapshotId(1));
+        assert_eq!(seq.snapshot_at(SimTime::from_secs(1_000)), SnapshotId(2));
+        assert_eq!(seq.superseded_at(SnapshotId(0)), Some(SimTime::from_secs(10)));
+        assert_eq!(seq.superseded_at(SnapshotId(2)), None);
+    }
+
+    #[test]
+    fn periodic_counts() {
+        let seq = UpdateSequence::periodic(SimDuration::from_secs(10), SimTime::from_secs(60));
+        assert_eq!(seq.len(), 7); // t = 0, 10, ..., 60
+        assert_eq!(seq.last_update(), SimTime::from_secs(60));
+    }
+
+    #[test]
+    fn poisson_respects_horizon_and_rate() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let horizon = SimTime::from_secs(100_000);
+        let seq = UpdateSequence::poisson(0.01, horizon, &mut rng);
+        assert!(seq.last_update() <= horizon);
+        // ~1000 expected updates.
+        assert!((800..1_200).contains(&seq.len()), "len {}", seq.len());
+    }
+
+    #[test]
+    fn live_game_matches_paper_scale() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let seq = UpdateSequence::live_game(&mut rng);
+        let total = GameConfig::default().total_length();
+        assert_eq!(total, SimDuration::from_secs(8_760), "2 h 26 min");
+        assert!(seq.last_update() <= SimTime::ZERO + total);
+        assert!(
+            (250..370).contains(&seq.len()),
+            "expected ≈306 snapshots, got {}",
+            seq.len()
+        );
+    }
+
+    #[test]
+    fn live_game_has_silent_break() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let seq = UpdateSequence::live_game(&mut rng);
+        // No updates inside the half-time break (3000 s – 3900 s).
+        let in_break = seq
+            .times()
+            .iter()
+            .filter(|t| (3_000..3_900).contains(&t.as_secs()))
+            .count();
+        assert_eq!(in_break, 0, "break must be silent");
+        // Plenty of updates during the first half.
+        let in_half = seq
+            .times()
+            .iter()
+            .filter(|t| (300..3_000).contains(&t.as_secs()))
+            .count();
+        assert!(in_half > 80, "first half had only {in_half} updates");
+    }
+
+    #[test]
+    fn silent_sequence() {
+        let seq = UpdateSequence::silent();
+        assert_eq!(seq.len(), 1);
+        assert_eq!(seq.snapshot_at(SimTime::from_secs(1_000_000)), SnapshotId(0));
+    }
+
+    #[test]
+    fn ecommerce_mixes_background_and_flash_sales() {
+        let mut rng = SimRng::seed_from_u64(6);
+        let horizon = SimTime::from_secs(86_400);
+        let seq = UpdateSequence::ecommerce(horizon, &mut rng);
+        // ~144 background updates + a few bursts of ~40 each.
+        assert!((150..500).contains(&seq.len()), "len {}", seq.len());
+        assert!(seq.times().windows(2).all(|w| w[0] < w[1]));
+        assert!(seq.last_update() <= horizon + SimDuration::from_secs(61));
+        // Burstiness: the minimum gap is far below the mean gap.
+        let gaps: Vec<f64> = seq
+            .times()
+            .windows(2)
+            .map(|w| w[1].since(w[0]).as_secs_f64())
+            .collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let min = gaps.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(min < mean / 20.0, "flash sales should compress gaps: min {min} mean {mean}");
+    }
+
+    #[test]
+    fn auction_accelerates_towards_the_close() {
+        let mut rng = SimRng::seed_from_u64(7);
+        let close = SimTime::from_secs(3_600);
+        let seq = UpdateSequence::auction(close, &mut rng);
+        assert!(seq.len() > 10, "auction with only {} bids", seq.len());
+        assert!(seq.times().windows(2).all(|w| w[0] < w[1]));
+        assert!(seq.last_update() <= close);
+        // More bids in the last 10 minutes than in the first 40.
+        let early = seq.times().iter().filter(|t| t.as_secs() < 2_400).count();
+        let late = seq.times().iter().filter(|t| t.as_secs() >= 3_000).count();
+        assert!(late > early, "late {late} should exceed early {early}");
+    }
+
+    #[test]
+    fn delayed_preserves_structure() {
+        let mut rng = SimRng::seed_from_u64(9);
+        let seq = UpdateSequence::periodic(SimDuration::from_secs(20), SimTime::from_secs(2_000));
+        let origin = seq.delayed(3.43, &mut rng);
+        assert_eq!(origin.len(), seq.len());
+        assert_eq!(origin.times()[0], SimTime::ZERO);
+        let mut total_lag = 0.0;
+        for (a, b) in seq.times()[1..].iter().zip(&origin.times()[1..]) {
+            assert!(b >= a, "delays never go backwards in time");
+            total_lag += b.since(*a).as_secs_f64();
+        }
+        let mean_lag = total_lag / (seq.len() - 1) as f64;
+        assert!((1.5..7.0).contains(&mean_lag), "mean lag {mean_lag} ≈ 3.43");
+        // Strictly increasing is preserved.
+        assert!(origin.times().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    proptest! {
+        /// snapshot_at is consistent with published_at/superseded_at.
+        #[test]
+        fn prop_lookup_consistent(gaps in proptest::collection::vec(1u64..1000, 1..50), q in 0u64..100_000) {
+            let mut t = SimTime::ZERO;
+            let mut times = vec![t];
+            for g in gaps {
+                t += SimDuration::from_secs(g);
+                times.push(t);
+            }
+            let seq = UpdateSequence::from_times(times).unwrap();
+            let q = SimTime::from_secs(q);
+            let id = seq.snapshot_at(q);
+            prop_assert!(seq.published_at(id) <= q);
+            if let Some(sup) = seq.superseded_at(id) {
+                prop_assert!(q < sup);
+            }
+        }
+    }
+}

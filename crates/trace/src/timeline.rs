@@ -1,0 +1,377 @@
+//! Ground-truth content timelines of CDN servers.
+//!
+//! The trace analysis (paper §3.6) concludes the measured CDN runs **TTL
+//! polling over unicast**: each server independently re-fetches the content
+//! from the provider every TTL (60 s), and every inconsistency cause the
+//! paper breaks down perturbs that schedule:
+//!
+//! * fetches are delayed by provider-server propagation and provider
+//!   processing (§3.4.3–3.4.4);
+//! * fetches crossing ISP boundaries suffer extra congestion delay
+//!   (§3.4.3);
+//! * the provider's origin itself serves slightly stale content (§3.4.2);
+//! * overloaded servers keep refreshing but sluggishly, in proportion to
+//!   the episode length — including just before the overload (§3.4.5).
+//!
+//! [`build_server_timeline`] plays that process forward and yields the
+//! server's content history — the hidden truth the crawl then samples.
+
+use crate::snapshot::{SnapshotId, UpdateSequence};
+use cdnc_net::AbsenceSchedule;
+use cdnc_simcore::{SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Ground-truth behaviour of the measured CDN.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GroundTruthConfig {
+    /// The CDN's content TTL (the paper infers 60 s).
+    pub ttl: SimDuration,
+    /// Mean staleness of the provider origin's own pipeline, seconds
+    /// (paper §3.4.2 measures ≈ 3.43 s average origin inconsistency). This
+    /// lag is *shared*: every server fetching at the same instant sees the
+    /// same origin content, which is why it barely affects cross-server
+    /// inconsistency (the α baseline shifts along with it).
+    pub provider_staleness_mean_s: f64,
+    /// Fixed fetch overhead: provider processing + transfer, seconds.
+    pub fetch_base_s: f64,
+    /// Signal speed for the provider-server hop, km/s.
+    pub fibre_km_per_s: f64,
+    /// Mean extra per-fetch delay when server and provider are in different
+    /// ISPs, seconds (exponential; models inter-ISP congestion, §3.4.3).
+    /// Kept sub-second: the paper's multi-second inter-ISP *increments*
+    /// emerge from the α methodology (intra-cluster α is the min over few
+    /// servers), not from per-fetch delay.
+    pub inter_isp_mean_s: f64,
+    /// Fetches issued within this window before an absence starts are lost
+    /// to the overload and retried at recovery (§3.4.5's "about to be
+    /// overloaded" effect).
+    pub pre_absence_window_s: f64,
+    /// Extra mean fetch delay while (or just before) a server is
+    /// overloaded, per second of the episode's length (§3.4.5: an
+    /// overloaded or just-recovered server "has a lower probability of
+    /// sending or receiving update requests"; longer absences mean higher
+    /// post-return inconsistency — Fig. 10(c)'s 38.1 s → 43.9 s trend over
+    /// 0–400 s absences).
+    pub recovery_slowdown_per_s: f64,
+}
+
+impl Default for GroundTruthConfig {
+    fn default() -> Self {
+        GroundTruthConfig {
+            ttl: SimDuration::from_secs(60),
+            provider_staleness_mean_s: 3.43,
+            fetch_base_s: 0.6,
+            fibre_km_per_s: 200_000.0,
+            inter_isp_mean_s: 0.5,
+            pre_absence_window_s: 10.0,
+            recovery_slowdown_per_s: 0.05,
+        }
+    }
+}
+
+/// A server's content history: which snapshot it serves at any instant.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerTimeline {
+    /// `(t, snapshot)` transitions, strictly increasing in `t`, starting at
+    /// `(SimTime::ZERO, C0)`.
+    transitions: Vec<(SimTime, SnapshotId)>,
+}
+
+impl ServerTimeline {
+    /// Builds a timeline directly from transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `transitions` is empty, does not start at time zero, or is
+    /// not strictly increasing in time.
+    pub fn from_transitions(transitions: Vec<(SimTime, SnapshotId)>) -> Self {
+        assert!(
+            transitions.first().map(|&(t, _)| t) == Some(SimTime::ZERO),
+            "timeline must start at time zero"
+        );
+        assert!(
+            transitions.windows(2).all(|w| w[0].0 < w[1].0),
+            "transitions must strictly increase in time"
+        );
+        ServerTimeline { transitions }
+    }
+
+    /// The snapshot the server serves at `t`.
+    pub fn snapshot_at(&self, t: SimTime) -> SnapshotId {
+        let idx = self.transitions.partition_point(|&(tt, _)| tt <= t);
+        self.transitions[idx - 1].1
+    }
+
+    /// The transitions.
+    pub fn transitions(&self) -> &[(SimTime, SnapshotId)] {
+        &self.transitions
+    }
+}
+
+/// Inputs describing one server for timeline construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerProfile {
+    /// Dense server index (must match the absence schedule's node index).
+    pub index: usize,
+    /// Distance to the provider, km.
+    pub distance_to_provider_km: f64,
+    /// Whether the server's ISP differs from the provider's.
+    pub crosses_isp: bool,
+}
+
+/// Plays forward the ground-truth TTL process for one server over
+/// `[0, horizon]`.
+///
+/// `origin` is the provider origin's availability sequence — normally the
+/// publish sequence shifted by the shared origin pipeline lag
+/// ([`UpdateSequence::delayed`]); a fetch at time `t` obtains
+/// `origin.snapshot_at(t)`.
+///
+/// The returned timeline starts with `C0` at time zero (the pre-game page is
+/// cached everywhere before the session starts) and switches snapshots at
+/// each fetch completion.
+pub fn build_server_timeline(
+    profile: &ServerProfile,
+    origin: &UpdateSequence,
+    absences: &AbsenceSchedule,
+    config: &GroundTruthConfig,
+    horizon: SimTime,
+    rng: &mut SimRng,
+) -> ServerTimeline {
+    let mut transitions = vec![(SimTime::ZERO, SnapshotId(0))];
+    let mut current = SnapshotId(0);
+    // Servers start their TTL grids at independent random phases: each
+    // server began caching when its first request happened to arrive.
+    let mut next_fetch =
+        SimTime::ZERO + SimDuration::from_secs_f64(rng.uniform_range(0.0, config.ttl.as_secs_f64()));
+    while next_fetch <= horizon {
+        let fetch_at = next_fetch;
+        // An "absent" server is unreachable to *pollers* (overloaded, or its
+        // front-end is down) but its internal refresh loop keeps running —
+        // just sluggishly, in proportion to how bad the episode is. This is
+        // why the paper measures only a modest inconsistency increase even
+        // after 400 s absences (Fig. 10(c): 38.1 s → 43.9 s).
+        let mut overload_penalty_s = 0.0;
+        if let Some((start, end)) = absences.interval_at(profile.index, fetch_at) {
+            overload_penalty_s =
+                end.since(start).as_secs_f64() * config.recovery_slowdown_per_s;
+        } else if let Some((start, end)) =
+            upcoming_absence(absences, profile.index, fetch_at, config.pre_absence_window_s)
+        {
+            // Sliding into the overload: already degraded.
+            debug_assert!(start >= fetch_at);
+            overload_penalty_s =
+                end.since(start).as_secs_f64() * config.recovery_slowdown_per_s;
+        }
+        // Fetch latency: processing + propagation (+ inter-ISP congestion).
+        let mut delay_s = config.fetch_base_s
+            + profile.distance_to_provider_km / config.fibre_km_per_s
+            + rng.exponential(1.0 / 0.3); // response-time jitter, mean 0.3 s
+        if profile.crosses_isp {
+            delay_s += rng.exponential(1.0 / config.inter_isp_mean_s);
+        }
+        if overload_penalty_s > 0.0 {
+            delay_s += rng.exponential(1.0 / overload_penalty_s.max(0.1));
+        }
+        let completed = fetch_at + SimDuration::from_secs_f64(delay_s);
+        let fetched = origin.snapshot_at(fetch_at);
+        if fetched > current && completed <= horizon {
+            // Strictly-increasing guard: completions can reorder only if a
+            // later fetch finished first, which the TTL grid prevents; the
+            // max() keeps the invariant under extreme jitter anyway.
+            let at = transitions.last().map(|&(t, _)| t).expect("non-empty");
+            let t = completed.max(at + SimDuration::from_micros(1));
+            transitions.push((t, fetched));
+            current = fetched;
+        }
+        next_fetch = fetch_at + config.ttl;
+    }
+    ServerTimeline::from_transitions(transitions)
+}
+
+/// If an absence of `node` starts within `window_s` seconds after `t`,
+/// returns that absence interval.
+fn upcoming_absence(
+    absences: &AbsenceSchedule,
+    node: usize,
+    t: SimTime,
+    window_s: f64,
+) -> Option<(SimTime, SimTime)> {
+    let window_end = t + SimDuration::from_secs_f64(window_s);
+    let ints = absences.intervals(node);
+    let idx = ints.partition_point(|&(start, _)| start <= t);
+    ints.get(idx).copied().filter(|&(start, _)| start <= window_end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdnc_net::AbsenceConfig;
+    use cdnc_simcore::SimRng;
+
+    fn profile() -> ServerProfile {
+        ServerProfile { index: 0, distance_to_provider_km: 1_000.0, crosses_isp: false }
+    }
+
+    fn updates_every_30s() -> UpdateSequence {
+        UpdateSequence::periodic(SimDuration::from_secs(30), SimTime::from_secs(3_000))
+    }
+
+    #[test]
+    fn timeline_monotone_in_time_and_version() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let tl = build_server_timeline(
+            &profile(),
+            &updates_every_30s(),
+            &AbsenceSchedule::always_present(1),
+            &GroundTruthConfig::default(),
+            SimTime::from_secs(3_600),
+            &mut rng,
+        );
+        for w in tl.transitions().windows(2) {
+            assert!(w[0].0 < w[1].0, "time must strictly increase");
+            assert!(w[0].1 < w[1].1, "snapshot must strictly increase");
+        }
+    }
+
+    #[test]
+    fn staleness_bounded_by_ttl_plus_slack() {
+        // Without absences or ISP crossing, a server's staleness at any
+        // instant is ≲ TTL + fetch delay + origin lag.
+        let mut rng = SimRng::seed_from_u64(2);
+        let updates = updates_every_30s();
+        let tl = build_server_timeline(
+            &profile(),
+            &updates,
+            &AbsenceSchedule::always_present(1),
+            &GroundTruthConfig::default(),
+            SimTime::from_secs(3_000),
+            &mut rng,
+        );
+        // Sample every second in the steady state.
+        for s in 200..2_800 {
+            let t = SimTime::from_secs(s);
+            let served = tl.snapshot_at(t);
+            let fresh = updates.snapshot_at(t);
+            let staleness = t.since(updates.published_at(served.next().min(fresh)));
+            if fresh > served {
+                assert!(
+                    staleness.as_secs() <= 60 + 45,
+                    "staleness {staleness} at t={s}s exceeds TTL + slack"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overloaded_servers_refresh_sluggishly() {
+        // An absent server keeps refreshing (it is only unreachable to
+        // pollers) but with a delay that grows with the episode length, so
+        // content adopted around long absences lags more.
+        let cfg = AbsenceConfig {
+            mean_gap_s: 900.0,
+            min_len_s: 250.0,
+            body_mean_s: 100.0,
+            tail_prob: 0.0,
+            max_len_s: 400.0,
+            ..AbsenceConfig::default()
+        };
+        let updates =
+            UpdateSequence::periodic(SimDuration::from_secs(30), SimTime::from_secs(60_000));
+        let mut lag_in = (0.0, 0u32);
+        let mut lag_out = (0.0, 0u32);
+        for seed in 0..12 {
+            let mut rng = SimRng::seed_from_u64(seed);
+            let sched =
+                AbsenceSchedule::generate(1, SimTime::from_secs(60_000), &cfg, &mut rng);
+            assert!(!sched.intervals(0).is_empty(), "expected absences");
+            let tl = build_server_timeline(
+                &profile(),
+                &updates,
+                &sched,
+                &GroundTruthConfig::default(),
+                SimTime::from_secs(60_000),
+                &mut rng,
+            );
+            for &(t, snap) in tl.transitions().iter().skip(1) {
+                let lag = t.since(updates.published_at(snap)).as_secs_f64();
+                if sched.is_absent(0, t) {
+                    lag_in.0 += lag;
+                    lag_in.1 += 1;
+                } else {
+                    lag_out.0 += lag;
+                    lag_out.1 += 1;
+                }
+            }
+        }
+        assert!(lag_in.1 > 0, "some adoptions must happen during absences");
+        let mean_in = lag_in.0 / lag_in.1 as f64;
+        let mean_out = lag_out.0 / lag_out.1 as f64;
+        assert!(
+            mean_in > mean_out + 1.0,
+            "overload must slow refreshes: in {mean_in} vs out {mean_out}"
+        );
+    }
+
+    #[test]
+    fn inter_isp_fetches_are_slower_on_average() {
+        let updates = UpdateSequence::periodic(
+            SimDuration::from_secs(30),
+            SimTime::from_secs(30_000),
+        );
+        let avg_staleness = |crosses: bool, seed: u64| {
+            let mut rng = SimRng::seed_from_u64(seed);
+            let prof = ServerProfile {
+                index: 0,
+                distance_to_provider_km: 1_000.0,
+                crosses_isp: crosses,
+            };
+            let tl = build_server_timeline(
+                &prof,
+                &updates,
+                &AbsenceSchedule::always_present(1),
+                &GroundTruthConfig::default(),
+                SimTime::from_secs(30_000),
+                &mut rng,
+            );
+            // Mean lag between publish and adoption of each adopted snapshot.
+            let mut total = 0.0;
+            let mut n = 0;
+            for &(t, snap) in tl.transitions().iter().skip(1) {
+                total += t.since(updates.published_at(snap)).as_secs_f64();
+                n += 1;
+            }
+            total / n as f64
+        };
+        let mut intra_sum = 0.0;
+        let mut inter_sum = 0.0;
+        for seed in 0..16 {
+            intra_sum += avg_staleness(false, seed);
+            inter_sum += avg_staleness(true, seed);
+        }
+        assert!(
+            inter_sum > intra_sum + 2.0,
+            "inter-ISP adoption lag {inter_sum} should exceed intra {intra_sum} by ~0.5s×16"
+        );
+    }
+
+    #[test]
+    fn snapshot_at_before_first_fetch_is_initial() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let tl = build_server_timeline(
+            &profile(),
+            &updates_every_30s(),
+            &AbsenceSchedule::always_present(1),
+            &GroundTruthConfig::default(),
+            SimTime::from_secs(600),
+            &mut rng,
+        );
+        assert_eq!(tl.snapshot_at(SimTime::ZERO), SnapshotId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "start at time zero")]
+    fn from_transitions_validates_start() {
+        ServerTimeline::from_transitions(vec![(SimTime::from_secs(1), SnapshotId(0))]);
+    }
+}

@@ -1,0 +1,44 @@
+//! Deploying HAT: the paper's §5 hybrid self-adaptive system against the
+//! five baselines, on the live-game workload it was designed for.
+//!
+//! ```text
+//! cargo run -p cdnc-experiments --release --example hat_deployment
+//! ```
+
+use cdnc_core::{run, Scheme, SimConfig};
+use cdnc_simcore::SimRng;
+use cdnc_trace::UpdateSequence;
+
+fn main() {
+    let updates = UpdateSequence::live_game(&mut SimRng::seed_from_u64(42));
+    println!(
+        "workload: {} snapshots, bursts during play + a silent break\n",
+        updates.len()
+    );
+    println!(
+        "{:<14} {:>10} {:>12} {:>14} {:>14} {:>12}",
+        "system", "updates", "from provider", "load (km)", "user incons.", "unresolved"
+    );
+    for scheme in Scheme::section5_lineup() {
+        let mut cfg = SimConfig::section5(scheme, updates.clone());
+        cfg.servers = 200; // scaled from the paper's 850 for example speed
+        let r = run(&cfg);
+        println!(
+            "{:<14} {:>10} {:>13} {:>13.3e} {:>13.2}s {:>12}",
+            r.scheme_label,
+            r.server_update_messages,
+            r.provider_update_messages,
+            r.traffic.update_km() + r.traffic.light_km(),
+            r.mean_user_lag_s(),
+            r.unresolved_lags
+        );
+    }
+    println!(
+        "\nHAT's two tricks, visible above:\n\
+         1. the 4-ary supernode tree collapses the provider's fan-out to a\n\
+            handful of update messages per publish;\n\
+         2. the self-adaptive members poll only while updates flow, going\n\
+            quiet through the half-time break — fewer update messages than\n\
+            plain TTL at similar consistency."
+    );
+}

@@ -1,0 +1,64 @@
+//! A parameter-space shootout: which update scheme wins as you vary the
+//! update packet size and the network size? Reproduces the crossover logic
+//! behind the paper's Figs. 19–20 and its §4.6 selection guidance.
+//!
+//! ```text
+//! cargo run -p cdnc-experiments --release --example method_shootout
+//! ```
+
+use cdnc_core::{run, MethodKind, Scheme, SimConfig};
+use cdnc_simcore::SimRng;
+use cdnc_trace::UpdateSequence;
+
+fn scenario(servers: usize, packet_kb: f64, scheme: Scheme) -> f64 {
+    let updates = UpdateSequence::live_game(&mut SimRng::seed_from_u64(42));
+    let mut cfg = SimConfig::section4(scheme, updates);
+    cfg.servers = servers;
+    cfg.update_packet_kb = packet_kb;
+    run(&cfg).mean_server_lag_s()
+}
+
+fn main() {
+    println!("server inconsistency (s) as load grows — who wins where?\n");
+    println!(
+        "{:<28} {:>12} {:>12} {:>12}",
+        "scenario", "Push", "Invalidation", "TTL"
+    );
+    for (label, servers, kb) in [
+        ("small network, 1 KB", 60usize, 1.0),
+        ("small network, 500 KB", 60, 500.0),
+        ("large network, 1 KB", 240, 1.0),
+        ("large network, 500 KB", 240, 500.0),
+    ] {
+        let push = scenario(servers, kb, Scheme::Unicast(MethodKind::Push));
+        let inval = scenario(servers, kb, Scheme::Unicast(MethodKind::Invalidation));
+        let ttl = scenario(servers, kb, Scheme::Unicast(MethodKind::Ttl));
+        let winner = if push <= inval && push <= ttl {
+            "Push"
+        } else if inval <= ttl {
+            "Invalidation"
+        } else {
+            "TTL"
+        };
+        println!("{label:<28} {push:>11.2}s {inval:>11.2}s {ttl:>11.2}s   ← {winner}");
+    }
+
+    println!("\nsame sweep on the binary multicast tree:");
+    println!("{:<28} {:>12} {:>12} {:>12}", "scenario", "Push", "Invalidation", "TTL");
+    for (label, servers, kb) in
+        [("large network, 1 KB", 240usize, 1.0), ("large network, 500 KB", 240, 500.0)]
+    {
+        let mk = |m| Scheme::Multicast { method: m, arity: 2 };
+        let push = scenario(servers, kb, mk(MethodKind::Push));
+        let inval = scenario(servers, kb, mk(MethodKind::Invalidation));
+        let ttl = scenario(servers, kb, mk(MethodKind::Ttl));
+        println!("{label:<28} {push:>11.2}s {inval:>11.2}s {ttl:>11.2}s");
+    }
+
+    println!(
+        "\npaper §4.6, observed live: Push degrades fastest under load (the\n\
+         provider uplink serialises N copies), TTL is load-insensitive in\n\
+         unicast but amplifies with tree depth in multicast, and the\n\
+         multicast tree absorbs large packets far better than unicast."
+    );
+}

@@ -1,0 +1,61 @@
+//! The §6 policy advisor in action: probe a workload, state a requirement,
+//! get a deployment recommendation with its rationale — then verify it by
+//! simulation.
+//!
+//! ```text
+//! cargo run -p cdnc-experiments --release --example policy_advisor
+//! ```
+
+use cdnc_core::{
+    recommend, run, CostObjective, Requirement, SimConfig, WorkloadProfile,
+};
+use cdnc_simcore::{SimDuration, SimRng, SimTime};
+use cdnc_trace::UpdateSequence;
+
+fn main() {
+    let live_game = UpdateSequence::live_game(&mut SimRng::seed_from_u64(7));
+    let stock_feed =
+        UpdateSequence::periodic(SimDuration::from_secs(15), SimTime::from_secs(8_000));
+
+    let cases = [
+        ("live game page, 850 edges, must track the score", &live_game, 850usize, Requirement::strong(2.0)),
+        ("live game page, 850 edges, a minute is fine", &live_game, 850, Requirement::strong(60.0)),
+        ("live game page, 40 edges, best effort", &live_game, 40, Requirement::best_effort()),
+        ("steady stock feed, 120 edges, 30 s bound", &stock_feed, 120, Requirement::strong(30.0)),
+        (
+            "live game page, 120 edges, protect the origin",
+            &live_game,
+            120,
+            Requirement { max_staleness_s: Some(60.0), objective: CostObjective::ProviderLoad },
+        ),
+    ];
+
+    for (desc, updates, servers, req) in cases {
+        let profile = WorkloadProfile::from_updates(updates, 0.5, servers, 1.0);
+        let rec = recommend(&profile, &req);
+        println!("{desc}");
+        println!(
+            "  workload: {:.3} updates/s (gap CV {:.2}), {servers} servers",
+            profile.update_rate_per_s, profile.update_gap_cv
+        );
+        println!("  advisor:  {rec}");
+        // Verify the pick by simulation at a reduced size.
+        let mut cfg = SimConfig::section4(rec.scheme, (*updates).clone());
+        cfg.servers = servers.min(80);
+        if let Some(ttl) = rec.server_ttl {
+            cfg.server_ttl = ttl;
+            cfg.drain = ttl * 5 + SimDuration::from_secs(120);
+        }
+        let report = run(&cfg);
+        let verdict = match req.max_staleness_s {
+            Some(bound) if report.mean_server_lag_s() <= bound => "meets the bound",
+            Some(_) => "MISSES the bound",
+            None => "best effort",
+        };
+        println!(
+            "  measured: mean staleness {:.2}s, traffic {:.2e} km·KB — {verdict}\n",
+            report.mean_server_lag_s(),
+            report.traffic.km_kb()
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Trace forensics: start from raw poll records (as a real measurement
+//! study would) and break down the *causes* of inconsistency — the paper's
+//! §3.4 detective work: origin staleness, distance, ISP boundaries,
+//! absences, clock skew.
+//!
+//! ```text
+//! cargo run -p cdnc-experiments --release --example trace_forensics
+//! ```
+
+use cdnc_analysis::causes::{
+    detect_absences, distance_vs_consistency, isp_inconsistency,
+    provider_inconsistency_lengths, provider_response_times,
+};
+use cdnc_simcore::stats::Cdf;
+use cdnc_trace::{crawl, CrawlConfig};
+
+fn main() {
+    let config = CrawlConfig { servers: 150, users: 60, days: 2, ..CrawlConfig::default() };
+    let trace = crawl(&config);
+    println!(
+        "trace: {} servers, {} days, {} poll records\n",
+        trace.servers.len(),
+        trace.days.len(),
+        trace.total_server_polls()
+    );
+
+    // Suspect 1: the provider's own origin.
+    let origin: Vec<f64> =
+        trace.days.iter().flat_map(provider_inconsistency_lengths).collect();
+    if origin.is_empty() {
+        println!("origin: no stale episodes at all — exonerated");
+    } else {
+        let cdf = Cdf::from_samples(origin);
+        println!(
+            "origin: mean staleness {:.1}s, {:.0}% under 10 s — minor contributor",
+            cdf.mean(),
+            100.0 * cdf.fraction_at_most(10.0)
+        );
+    }
+
+    // Suspect 2: propagation distance.
+    let (_, _, r) = distance_vs_consistency(&trace, 0, 2_000.0);
+    println!("distance: correlation with consistency ratio r = {r:.3} — negligible");
+
+    // Suspect 3: ISP boundaries.
+    let clusters = isp_inconsistency(&trace, 0);
+    let mut inc = Vec::new();
+    for c in &clusters {
+        if !c.intra.is_empty() && !c.inter.is_empty() {
+            let intra = c.intra.iter().sum::<f64>() / c.intra.len() as f64;
+            let inter = c.inter.iter().sum::<f64>() / c.inter.len() as f64;
+            inc.push(inter - intra);
+        }
+    }
+    if !inc.is_empty() {
+        let lo = inc.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = inc.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        println!("ISP boundaries: inter-ISP adds between {lo:.1}s and {hi:.1}s — real but secondary");
+    }
+
+    // Suspect 4: server absences (overload / failure / reboot).
+    let absences = detect_absences(&trace.days[0], trace.poll_interval);
+    if !absences.is_empty() {
+        let cdf = Cdf::from_samples(absences.iter().map(|a| a.length_s));
+        println!(
+            "absences: {} detected on day 0, median {:.0}s, max {:.0}s — occasional spikes",
+            absences.len(),
+            cdf.median(),
+            cdf.max().unwrap_or(0.0)
+        );
+    }
+
+    // Suspect 5: the provider's bandwidth.
+    let rt = provider_response_times(&trace.days[0]);
+    println!(
+        "provider bandwidth: responses within [{:.2}, {:.2}]s — no congestion",
+        rt.min().unwrap_or(0.0),
+        rt.max().unwrap_or(0.0)
+    );
+
+    println!(
+        "\nthe culprit, by elimination: the TTL itself — servers serve cached\n\
+         content for up to 60 s by design. The paper attributes ~75% of all\n\
+         inconsistency to it (§3.4.6)."
+    );
+}

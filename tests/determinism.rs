@@ -1,0 +1,54 @@
+//! Integration: cross-crate determinism. Every stochastic component of the
+//! workspace must be a pure function of its seed — the property that makes
+//! experiments reproducible and regressions bisectable.
+
+use cdnc_core::{run, Scheme, SimConfig};
+use cdnc_experiments::{run_figure, Scale};
+use cdnc_geo::WorldBuilder;
+use cdnc_simcore::SimRng;
+use cdnc_trace::{crawl, CrawlConfig, UpdateSequence};
+
+#[test]
+fn worlds_are_seed_deterministic() {
+    assert_eq!(WorldBuilder::new(500).seed(3).build(), WorldBuilder::new(500).seed(3).build());
+    assert_ne!(WorldBuilder::new(500).seed(3).build(), WorldBuilder::new(500).seed(4).build());
+}
+
+#[test]
+fn update_sequences_are_seed_deterministic() {
+    let a = UpdateSequence::live_game(&mut SimRng::seed_from_u64(1));
+    let b = UpdateSequence::live_game(&mut SimRng::seed_from_u64(1));
+    let c = UpdateSequence::live_game(&mut SimRng::seed_from_u64(2));
+    assert_eq!(a, b);
+    assert_ne!(a, c);
+}
+
+#[test]
+fn traces_are_seed_deterministic() {
+    let cfg = CrawlConfig { servers: 30, users: 10, days: 1, ..CrawlConfig::tiny() };
+    assert_eq!(crawl(&cfg), crawl(&cfg));
+    let other = CrawlConfig { seed: 9, ..cfg };
+    assert_ne!(crawl(&other), crawl(&CrawlConfig { servers: 30, users: 10, days: 1, ..CrawlConfig::tiny() }));
+}
+
+#[test]
+fn simulations_are_seed_deterministic_across_all_schemes() {
+    let updates = UpdateSequence::live_game(&mut SimRng::seed_from_u64(5));
+    for scheme in Scheme::section5_lineup() {
+        let mut cfg = SimConfig::section4(scheme, updates.clone());
+        cfg.servers = 30;
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a, b, "{scheme} diverged across identical runs");
+        cfg.seed = 1234;
+        let c = run(&cfg);
+        assert_ne!(a, c, "{scheme} ignored the seed");
+    }
+}
+
+#[test]
+fn figure_reports_are_reproducible() {
+    let a = run_figure("fig14", Scale::Smoke, None).unwrap();
+    let b = run_figure("fig14", Scale::Smoke, None).unwrap();
+    assert_eq!(a, b, "figure regeneration must be deterministic");
+}

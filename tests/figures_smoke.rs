@@ -1,0 +1,74 @@
+//! Integration: every figure runner produces sane output at smoke scale.
+//!
+//! This is the "can we regenerate the whole paper" test: each figure must
+//! run, emit rows, and report headline numbers with the right signs/orders.
+
+use cdnc_experiments::{build_trace, run_figure, Scale, EVAL_FIGURES, HAT_FIGURES, TRACE_FIGURES};
+
+#[test]
+fn every_trace_figure_runs_and_reports() {
+    let trace = build_trace(Scale::Smoke);
+    for id in TRACE_FIGURES {
+        let r = run_figure(id, Scale::Smoke, Some(&trace))
+            .unwrap_or_else(|| panic!("{id} unknown"));
+        assert_eq!(r.id, id);
+        assert!(!r.rows.is_empty(), "{id} produced no rows");
+        assert!(!r.keyvals.is_empty(), "{id} produced no headline numbers");
+        for (name, value) in &r.keyvals {
+            assert!(value.is_finite(), "{id}.{name} is not finite");
+        }
+    }
+}
+
+#[test]
+fn every_eval_figure_runs_and_reports() {
+    for id in EVAL_FIGURES {
+        let r = run_figure(id, Scale::Smoke, None).unwrap_or_else(|| panic!("{id} unknown"));
+        assert!(!r.keyvals.is_empty(), "{id} produced no headline numbers");
+        for (name, value) in &r.keyvals {
+            assert!(value.is_finite() && *value >= 0.0, "{id}.{name} = {value}");
+        }
+    }
+}
+
+#[test]
+fn every_hat_figure_runs_and_reports() {
+    for id in HAT_FIGURES {
+        let r = run_figure(id, Scale::Smoke, None).unwrap_or_else(|| panic!("{id} unknown"));
+        assert!(!r.keyvals.is_empty(), "{id} produced no headline numbers");
+    }
+}
+
+#[test]
+fn fig16_and_fig23_traffic_orderings() {
+    // Multicast saves traffic for every method (Fig. 16) and HAT carries
+    // the lightest total load (Fig. 23).
+    let fig16 = run_figure("fig16", Scale::Smoke, None).unwrap();
+    for m in ["Push", "Invalidation", "TTL"] {
+        let uni = fig16.value(&format!("{m}_unicast_kmkb")).unwrap();
+        let multi = fig16.value(&format!("{m}_multicast_kmkb")).unwrap();
+        assert!(multi < uni, "{m}: multicast {multi} >= unicast {uni}");
+    }
+    let fig23 = run_figure("fig23", Scale::Smoke, None).unwrap();
+    let hat = fig23.value("HAT_total_km").unwrap();
+    for name in ["Push", "Invalidation", "TTL", "Self"] {
+        let other = fig23.value(&format!("{name}_total_km")).unwrap();
+        assert!(hat < other, "HAT {hat} must be lighter than {name} {other}");
+    }
+}
+
+#[test]
+fn fig20_scalability_shapes() {
+    let r = run_figure("fig20", Scale::Smoke, None).unwrap();
+    // Unicast TTL stays flat as the network grows; multicast TTL grows with
+    // the deeper tree.
+    let uni_small = r.value("unicast_TTL_s_at_n40").unwrap();
+    let uni_big = r.value("unicast_TTL_s_at_n80").unwrap();
+    assert!((uni_big - uni_small).abs() < 2.0, "unicast TTL should be size-insensitive");
+    let multi_small = r.value("multicast_TTL/Multicast_s_at_n40").unwrap();
+    let multi_big = r.value("multicast_TTL/Multicast_s_at_n80").unwrap();
+    assert!(
+        multi_big > multi_small * 1.3,
+        "multicast TTL must grow with depth: {multi_small} -> {multi_big}"
+    );
+}

@@ -1,0 +1,132 @@
+//! Integration: the §5 claims about HAT hold end-to-end.
+
+use cdnc_core::{run, MethodKind, Scheme, SimConfig, SimReport};
+use cdnc_simcore::SimRng;
+use cdnc_trace::UpdateSequence;
+
+fn game() -> UpdateSequence {
+    UpdateSequence::live_game(&mut SimRng::seed_from_u64(42))
+}
+
+fn section5(scheme: Scheme, servers: usize) -> SimReport {
+    let mut cfg = SimConfig::section5(scheme, game());
+    cfg.servers = servers;
+    run(&cfg)
+}
+
+#[test]
+fn hat_minimises_network_load() {
+    // Paper Fig. 23: "HAT still generates the lightest network load".
+    let lineup = Scheme::section5_lineup();
+    let reports: Vec<SimReport> = lineup.iter().map(|&s| section5(s, 100)).collect();
+    let total_km =
+        |r: &SimReport| r.traffic.update_km() + r.traffic.light_km();
+    let hat = reports.iter().find(|r| r.scheme_label == "HAT").unwrap();
+    for r in &reports {
+        if r.scheme_label != "HAT" && r.scheme_label != "Hybrid" {
+            assert!(
+                total_km(hat) < total_km(r),
+                "HAT load {} must beat {} at {}",
+                total_km(hat),
+                r.scheme_label,
+                total_km(r)
+            );
+        }
+    }
+}
+
+#[test]
+fn update_message_ordering_matches_fig22a() {
+    // Paper Fig. 22(a): Push > Invalidation > TTL-family > Self.
+    let push = section5(Scheme::Unicast(MethodKind::Push), 100);
+    let inval = section5(Scheme::Unicast(MethodKind::Invalidation), 100);
+    let ttl = section5(Scheme::Unicast(MethodKind::Ttl), 100);
+    let selfa = section5(Scheme::Unicast(MethodKind::SelfAdaptive), 100);
+    assert!(push.server_update_messages > inval.server_update_messages);
+    assert!(inval.server_update_messages > ttl.server_update_messages);
+    assert!(ttl.server_update_messages > selfa.server_update_messages);
+}
+
+#[test]
+fn provider_fanout_collapses_under_the_supernode_tree() {
+    // Paper Fig. 22(b): only the tree roots hear from the provider.
+    let hat = section5(Scheme::hat(), 100);
+    let hybrid = section5(Scheme::hybrid(), 100);
+    let push = section5(Scheme::Unicast(MethodKind::Push), 100);
+    assert!(hat.provider_update_messages <= hybrid.provider_update_messages * 2);
+    assert!(
+        hat.provider_update_messages * 10 < push.provider_update_messages,
+        "HAT provider messages {} must be an order below unicast push {}",
+        hat.provider_update_messages,
+        push.provider_update_messages
+    );
+}
+
+#[test]
+fn self_adaptive_goes_quiet_through_the_break() {
+    // The live-game day has a 15-minute silent break; Algorithm 1 must stop
+    // polling during it, so Self sends fewer update messages than TTL.
+    let ttl = section5(Scheme::Unicast(MethodKind::Ttl), 100);
+    let selfa = section5(Scheme::Unicast(MethodKind::SelfAdaptive), 100);
+    assert!(
+        (selfa.server_update_messages as f64) < ttl.server_update_messages as f64 * 0.9,
+        "Self {} must save update messages vs TTL {}",
+        selfa.server_update_messages,
+        ttl.server_update_messages
+    );
+    // And not at a catastrophic consistency price.
+    assert!(selfa.mean_user_lag_s() < ttl.mean_user_lag_s() * 2.0 + 10.0);
+}
+
+#[test]
+fn roaming_observation_ordering_matches_fig24() {
+    let rate = |scheme| {
+        let mut cfg = SimConfig::section5(scheme, game());
+        cfg.servers = 100;
+        cfg.users_roam = true;
+        run(&cfg).inconsistency_observation_rate()
+    };
+    let push = rate(Scheme::Unicast(MethodKind::Push));
+    let inval = rate(Scheme::Unicast(MethodKind::Invalidation));
+    let ttl = rate(Scheme::Unicast(MethodKind::Ttl));
+    let selfa = rate(Scheme::Unicast(MethodKind::SelfAdaptive));
+    // Push ≈ Invalidation ≈ 0 ≪ TTL; Self below TTL.
+    assert!(push < 0.005, "push rate {push}");
+    assert!(inval < 0.01, "invalidation rate {inval}");
+    assert!(ttl > 0.02, "ttl rate {ttl}");
+    assert!(selfa < ttl, "self-adaptive {selfa} must beat plain TTL {ttl}");
+}
+
+#[test]
+fn hat_keeps_more_traffic_inside_isps() {
+    // HAT's proximity clusters exist to avoid costly inter-ISP transit
+    // (the paper's reference [38] pricing concern): its inter-ISP traffic
+    // share must undercut unicast TTL, where every poll crosses to Atlanta.
+    let hat = section5(Scheme::hat(), 120);
+    let ttl = section5(Scheme::Unicast(MethodKind::Ttl), 120);
+    assert!(
+        hat.traffic.inter_isp_fraction() < ttl.traffic.inter_isp_fraction(),
+        "HAT inter-ISP share {} must undercut unicast TTL {}",
+        hat.traffic.inter_isp_fraction(),
+        ttl.traffic.inter_isp_fraction()
+    );
+}
+
+#[test]
+fn hat_cluster_count_ablation() {
+    // More clusters → more supernodes → heavier tree, lighter clusters.
+    let few = section5(
+        Scheme::Hybrid { clusters: 5, tree_arity: 4, member_method: MethodKind::SelfAdaptive },
+        100,
+    );
+    let many = section5(
+        Scheme::Hybrid { clusters: 40, tree_arity: 4, member_method: MethodKind::SelfAdaptive },
+        100,
+    );
+    assert!(
+        many.provider_update_messages >= few.provider_update_messages,
+        "more supernode roots cannot shrink provider fan-out"
+    );
+    assert_eq!(few.unresolved_lags, 0);
+    assert_eq!(many.unresolved_lags, 0);
+}

@@ -1,0 +1,138 @@
+//! Integration: every §4 qualitative claim holds end-to-end in the
+//! evaluation simulator, across methods and infrastructures.
+
+use cdnc_core::{run, MethodKind, Scheme, SimConfig, SimReport};
+use cdnc_simcore::{SimDuration, SimRng, SimTime};
+use cdnc_trace::UpdateSequence;
+
+fn game() -> UpdateSequence {
+    UpdateSequence::live_game(&mut SimRng::seed_from_u64(42))
+}
+
+fn run_scheme(scheme: Scheme, servers: usize) -> SimReport {
+    let mut cfg = SimConfig::section4(scheme, game());
+    cfg.servers = servers;
+    run(&cfg)
+}
+
+#[test]
+fn consistency_ordering_holds_on_both_infrastructures() {
+    for make in [
+        |m| Scheme::Unicast(m),
+        |m| Scheme::Multicast { method: m, arity: 2 },
+    ] {
+        let push = run_scheme(make(MethodKind::Push), 60);
+        let inval = run_scheme(make(MethodKind::Invalidation), 60);
+        let ttl = run_scheme(make(MethodKind::Ttl), 60);
+        assert!(
+            push.mean_server_lag_s() < inval.mean_server_lag_s(),
+            "{}: push {} < inval {}",
+            push.scheme_label,
+            push.mean_server_lag_s(),
+            inval.mean_server_lag_s()
+        );
+        assert!(
+            inval.mean_server_lag_s() < ttl.mean_server_lag_s(),
+            "{}: inval {} < ttl {}",
+            inval.scheme_label,
+            inval.mean_server_lag_s(),
+            ttl.mean_server_lag_s()
+        );
+    }
+}
+
+#[test]
+fn ttl_mean_inconsistency_is_about_half_the_ttl() {
+    // Paper Fig. 14(a): "TTL generates the largest inconsistency, the
+    // average of which equals 5.7 s, around TTL/2" at a 10 s TTL.
+    let r = run_scheme(Scheme::Unicast(MethodKind::Ttl), 80);
+    let lag = r.mean_server_lag_s();
+    assert!((3.5..7.5).contains(&lag), "TTL lag {lag} should be ≈ 5 s for a 10 s TTL");
+}
+
+#[test]
+fn ttl_inconsistency_scales_with_the_ttl_value() {
+    let mut short = SimConfig::section4(Scheme::Unicast(MethodKind::Ttl), game());
+    short.servers = 60;
+    let mut long = short.clone();
+    long.server_ttl = SimDuration::from_secs(60);
+    long.drain = SimDuration::from_secs(400);
+    let short_lag = run(&short).mean_server_lag_s();
+    let long_lag = run(&long).mean_server_lag_s();
+    assert!(
+        long_lag > short_lag * 3.0,
+        "60 s TTL lag {long_lag} must far exceed 10 s TTL lag {short_lag}"
+    );
+}
+
+#[test]
+fn multicast_is_cheaper_but_staler_for_ttl() {
+    let uni = run_scheme(Scheme::Unicast(MethodKind::Ttl), 120);
+    let multi = run_scheme(Scheme::Multicast { method: MethodKind::Ttl, arity: 2 }, 120);
+    assert!(multi.traffic.km_kb() < uni.traffic.km_kb(), "tree saves traffic");
+    assert!(
+        multi.mean_server_lag_s() > uni.mean_server_lag_s(),
+        "tree layers amplify TTL staleness"
+    );
+}
+
+#[test]
+fn wider_trees_are_fresher_than_binary_for_ttl() {
+    // Ablation of the d parameter: a shallower 8-ary tree cuts the
+    // depth × TTL amplification relative to the paper's binary tree.
+    let binary = run_scheme(Scheme::Multicast { method: MethodKind::Ttl, arity: 2 }, 120);
+    let wide = run_scheme(Scheme::Multicast { method: MethodKind::Ttl, arity: 8 }, 120);
+    assert!(
+        wide.mean_server_lag_s() < binary.mean_server_lag_s(),
+        "8-ary {} should beat binary {}",
+        wide.mean_server_lag_s(),
+        binary.mean_server_lag_s()
+    );
+}
+
+#[test]
+fn push_collapses_with_big_packets_in_unicast_only() {
+    let big = |scheme| {
+        let mut cfg = SimConfig::section4(scheme, game());
+        cfg.servers = 120;
+        cfg.update_packet_kb = 500.0;
+        run(&cfg)
+    };
+    let uni = big(Scheme::Unicast(MethodKind::Push));
+    let multi = big(Scheme::Multicast { method: MethodKind::Push, arity: 2 });
+    assert!(
+        uni.mean_server_lag_s() > multi.mean_server_lag_s(),
+        "unicast push {} must suffer more than multicast {} at 500 KB",
+        uni.mean_server_lag_s(),
+        multi.mean_server_lag_s()
+    );
+}
+
+#[test]
+fn every_scheme_delivers_every_update_eventually() {
+    for scheme in [
+        Scheme::Unicast(MethodKind::Push),
+        Scheme::Unicast(MethodKind::Invalidation),
+        Scheme::Unicast(MethodKind::Ttl),
+        Scheme::Unicast(MethodKind::SelfAdaptive),
+        Scheme::Multicast { method: MethodKind::Push, arity: 2 },
+        Scheme::Multicast { method: MethodKind::Invalidation, arity: 2 },
+        Scheme::Multicast { method: MethodKind::Ttl, arity: 2 },
+        Scheme::hybrid(),
+        Scheme::hat(),
+    ] {
+        let r = run_scheme(scheme, 48);
+        assert_eq!(r.unresolved_lags, 0, "{scheme} left updates undelivered");
+        assert!(r.total_observations > 0, "{scheme} produced no user observations");
+    }
+}
+
+#[test]
+fn simulations_replay_identically() {
+    let updates = UpdateSequence::periodic(SimDuration::from_secs(20), SimTime::from_secs(400));
+    let mut cfg = SimConfig::section4(Scheme::hat(), updates);
+    cfg.servers = 40;
+    let a = run(&cfg);
+    let b = run(&cfg);
+    assert_eq!(a, b);
+}
