@@ -21,9 +21,8 @@ pub fn provider_inconsistency_lengths(day: &DayTrace) -> Vec<f64> {
     for polls in by_replica.values_mut() {
         polls.sort_by_key(|&(t, _)| t);
     }
-    let alpha = FirstAppearances::from_observations(
-        by_replica.values().flatten().map(|&(t, s)| (s, t)),
-    );
+    let alpha =
+        FirstAppearances::from_observations(by_replica.values().flatten().map(|&(t, s)| (s, t)));
     let mut replicas: Vec<u32> = by_replica.keys().copied().collect();
     replicas.sort_unstable();
     replicas
@@ -109,26 +108,18 @@ pub fn isp_inconsistency(trace: &Trace, day_index: usize) -> Vec<IspClusterIncon
     for isp in isps {
         let members = &groups[&isp];
         let intra_alpha = first_appearances_for(&polls, Some(members));
-        let others: Vec<u32> = trace
-            .servers
-            .iter()
-            .map(|m| m.id)
-            .filter(|id| !members.contains(id))
-            .collect();
+        let others: Vec<u32> =
+            trace.servers.iter().map(|m| m.id).filter(|id| !members.contains(id)).collect();
         let inter_alpha = first_appearances_for(&polls, Some(&others));
         let mut intra = Vec::new();
         let mut inter = Vec::new();
         for &m in members {
             if let Some(server_polls) = polls.get(&m) {
                 intra.extend(
-                    episodes_of_server(m, server_polls, &intra_alpha)
-                        .iter()
-                        .map(|e| e.length_s),
+                    episodes_of_server(m, server_polls, &intra_alpha).iter().map(|e| e.length_s),
                 );
                 inter.extend(
-                    episodes_of_server(m, server_polls, &inter_alpha)
-                        .iter()
-                        .map(|e| e.length_s),
+                    episodes_of_server(m, server_polls, &inter_alpha).iter().map(|e| e.length_s),
                 );
             }
         }
@@ -193,10 +184,7 @@ pub fn detect_absences(day: &DayTrace, poll_interval: SimDuration) -> Vec<Detect
 ///
 /// Returns `(bin_upper_bounds_s, mean_inconsistency_s)`; bins are
 /// `[0,0]`, `(0,50]`, `(50,100]`, … `(350,400]` as in the paper.
-pub fn inconsistency_by_absence_length(
-    trace: &Trace,
-    day_index: usize,
-) -> (Vec<f64>, Vec<f64>) {
+pub fn inconsistency_by_absence_length(trace: &Trace, day_index: usize) -> (Vec<f64>, Vec<f64>) {
     inconsistency_by_absence_length_days(trace, &[day_index as u16])
 }
 
@@ -216,10 +204,8 @@ fn inconsistency_by_absence_length_days(
         accumulate_absence_bins(trace, d as usize, &mut bins);
     }
     let bounds: Vec<f64> = (0..9).map(|i| i as f64 * 50.0).collect();
-    let means: Vec<f64> = bins
-        .iter()
-        .map(|&(sum, n)| if n == 0 { 0.0 } else { sum / n as f64 })
-        .collect();
+    let means: Vec<f64> =
+        bins.iter().map(|&(sum, n)| if n == 0 { 0.0 } else { sum / n as f64 }).collect();
     (bounds, means)
 }
 
@@ -245,9 +231,8 @@ fn accumulate_absence_bins(trace: &Trace, day_index: usize, bins: &mut [(f64, u6
         let idx = server_polls.partition_point(|&(t, _)| t < a.returned);
         let Some(&(poll_t, snap)) = server_polls.get(idx) else { continue };
         // That content's own stale episode, if it ever became stale.
-        if let Some(e) = eps_by_server[&a.server]
-            .iter()
-            .find(|e| e.snapshot == snap && e.end >= poll_t)
+        if let Some(e) =
+            eps_by_server[&a.server].iter().find(|e| e.snapshot == snap && e.end >= poll_t)
         {
             bins[bin].0 += e.length_s;
             bins[bin].1 += 1;

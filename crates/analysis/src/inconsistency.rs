@@ -113,10 +113,7 @@ pub fn first_appearances_for(
 ) -> FirstAppearances {
     let iter: Box<dyn Iterator<Item = (SnapshotId, SimTime)> + '_> = match subset {
         Some(ids) => Box::new(
-            ids.iter()
-                .filter_map(|id| polls_by_server.get(id))
-                .flatten()
-                .map(|&(t, s)| (s, t)),
+            ids.iter().filter_map(|id| polls_by_server.get(id)).flatten().map(|&(t, s)| (s, t)),
         ),
         None => Box::new(polls_by_server.values().flatten().map(|&(t, s)| (s, t))),
     };
@@ -140,10 +137,8 @@ pub fn episodes_of_server(
         if let Some((_, alpha_next)) = alpha.successor(snap) {
             if beta > alpha_next {
                 let length_s = beta.since(alpha_next).as_secs_f64();
-                let stale_polls = polls[run_start..=i]
-                    .iter()
-                    .filter(|&&(t, _)| t >= alpha_next)
-                    .count() as u32;
+                let stale_polls =
+                    polls[run_start..=i].iter().filter(|&&(t, _)| t >= alpha_next).count() as u32;
                 episodes.push(Episode { server, snapshot: snap, length_s, end: beta, stale_polls });
             }
         }
@@ -217,8 +212,7 @@ mod tests {
     fn episode_extraction() {
         // Server keeps serving C0 until t=45 while C1 first appeared (on
         // some other server) at t=20: episode length 25.
-        let alpha =
-            FirstAppearances::from_observations(vec![(c(0), t(0)), (c(1), t(20))]);
+        let alpha = FirstAppearances::from_observations(vec![(c(0), t(0)), (c(1), t(20))]);
         let polls: CorrectedPolls = vec![
             (t(5), c(0)),
             (t(15), c(0)),
@@ -239,8 +233,7 @@ mod tests {
 
     #[test]
     fn fresh_server_has_no_episodes() {
-        let alpha =
-            FirstAppearances::from_observations(vec![(c(0), t(0)), (c(1), t(20))]);
+        let alpha = FirstAppearances::from_observations(vec![(c(0), t(0)), (c(1), t(20))]);
         // Server adopts C1 before any poll after α.
         let polls: CorrectedPolls = vec![(t(5), c(0)), (t(15), c(0)), (t(25), c(1))];
         assert!(episodes_of_server(0, &polls, &alpha).is_empty());

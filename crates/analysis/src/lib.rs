@@ -35,8 +35,8 @@ pub mod causes;
 pub mod inconsistency;
 pub mod tree_test;
 pub mod ttl_inference;
-pub mod verdict;
 pub mod user_view;
+pub mod verdict;
 
 pub use inconsistency::{day_episodes, Episode, FirstAppearances};
 pub use ttl_inference::{deviation_curve, infer_ttl, refine_ttl, theory_rmse};

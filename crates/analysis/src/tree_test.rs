@@ -9,9 +9,7 @@
 //!   layer would show daily *maximum* inconsistency above one TTL. Most
 //!   servers stay below the TTL → servers poll the provider directly.
 
-use crate::inconsistency::{
-    corrected_polls_by_server, episodes_of_server, first_appearances_for,
-};
+use crate::inconsistency::{corrected_polls_by_server, episodes_of_server, first_appearances_for};
 use cdnc_simcore::stats::Cdf;
 use cdnc_trace::Trace;
 use std::collections::HashMap;
@@ -20,10 +18,7 @@ use std::collections::HashMap;
 ///
 /// `groups[g]` lists the server ids of group `g` (e.g. a geographic
 /// cluster, or a single server). Returns `means[g][d]`.
-pub fn group_daily_mean_inconsistency(
-    trace: &Trace,
-    groups: &[Vec<u32>],
-) -> Vec<Vec<f64>> {
+pub fn group_daily_mean_inconsistency(trace: &Trace, groups: &[Vec<u32>]) -> Vec<Vec<f64>> {
     let mut means = vec![vec![0.0; trace.days.len()]; groups.len()];
     for (d, day) in trace.days.iter().enumerate() {
         let polls = corrected_polls_by_server(day, &trace.servers);
@@ -165,10 +160,7 @@ mod tests {
         let minmax = min_max_daily_means(&means);
         // At least half the clusters show meaningful day-to-day variation —
         // the Fig. 11(a) signature of a tree-free CDN.
-        let varying = minmax
-            .iter()
-            .filter(|&&(mn, mx)| mx > mn * 1.05 && mx > 0.0)
-            .count();
+        let varying = minmax.iter().filter(|&&(mn, mx)| mx > mn * 1.05 && mx > 0.0).count();
         assert!(
             varying * 2 >= minmax.len(),
             "expected most clusters to vary: {varying}/{}",

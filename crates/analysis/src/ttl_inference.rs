@@ -17,8 +17,7 @@ use cdnc_simcore::stats::{rmse, Cdf};
 /// Returns `None` when no lengths fall at or below `candidate`.
 pub fn ttl_deviation(lengths_s: &[f64], candidate_s: f64) -> Option<f64> {
     assert!(candidate_s > 0.0, "candidate TTL must be positive");
-    let below: Vec<f64> =
-        lengths_s.iter().copied().filter(|&l| l <= candidate_s).collect();
+    let below: Vec<f64> = lengths_s.iter().copied().filter(|&l| l <= candidate_s).collect();
     if below.is_empty() {
         return None;
     }
@@ -29,10 +28,7 @@ pub fn ttl_deviation(lengths_s: &[f64], candidate_s: f64) -> Option<f64> {
 /// Evaluates [`ttl_deviation`] across a candidate grid — the Fig. 6(a)
 /// curve. Candidates with no explicable lengths are omitted.
 pub fn deviation_curve(lengths_s: &[f64], candidates_s: &[f64]) -> Vec<(f64, f64)> {
-    candidates_s
-        .iter()
-        .filter_map(|&c| ttl_deviation(lengths_s, c).map(|d| (c, d)))
-        .collect()
+    candidates_s.iter().filter_map(|&c| ttl_deviation(lengths_s, c).map(|d| (c, d))).collect()
 }
 
 /// Infers the TTL as the candidate with the smallest deviation.
@@ -56,8 +52,7 @@ pub fn refine_ttl(lengths_s: &[f64], tol: f64, max_iters: usize) -> Option<f64> 
     }
     let mut candidate = 2.0 * lengths_s.iter().sum::<f64>() / lengths_s.len() as f64;
     for _ in 0..max_iters {
-        let below: Vec<f64> =
-            lengths_s.iter().copied().filter(|&l| l <= candidate).collect();
+        let below: Vec<f64> = lengths_s.iter().copied().filter(|&l| l <= candidate).collect();
         if below.is_empty() {
             return Some(candidate);
         }
@@ -118,10 +113,7 @@ mod tests {
         let lengths = synthetic_lengths(60.0, 50_000, 1);
         let candidates: Vec<f64> = (40..=80).map(|c| c as f64).collect();
         let inferred = infer_ttl(&lengths, &candidates).unwrap();
-        assert!(
-            (55.0..=66.0).contains(&inferred),
-            "inferred TTL {inferred} should be near 60"
-        );
+        assert!((55.0..=66.0).contains(&inferred), "inferred TTL {inferred} should be near 60");
     }
 
     #[test]
@@ -136,10 +128,7 @@ mod tests {
         let lengths = synthetic_lengths(60.0, 50_000, 3);
         let at_60 = theory_rmse(&lengths, 60.0, 61).unwrap();
         let at_80 = theory_rmse(&lengths, 80.0, 81).unwrap();
-        assert!(
-            at_60 < at_80,
-            "RMSE at the true TTL ({at_60}) must beat the wrong one ({at_80})"
-        );
+        assert!(at_60 < at_80, "RMSE at the true TTL ({at_60}) must beat the wrong one ({at_80})");
         assert!(at_60 < 0.08, "true-TTL RMSE should be small, got {at_60}");
     }
 

@@ -63,11 +63,7 @@ pub fn user_summary(trace: &Trace, user: u32, days: &[u16]) -> UserSummary {
         } else {
             redirected as f64 / transitions as f64
         },
-        inconsistent_fraction: if polls == 0 {
-            0.0
-        } else {
-            inconsistent as f64 / polls as f64
-        },
+        inconsistent_fraction: if polls == 0 { 0.0 } else { inconsistent as f64 / polls as f64 },
         polls,
     }
 }
@@ -77,8 +73,7 @@ pub fn user_summary(trace: &Trace, user: u32, days: &[u16]) -> UserSummary {
 pub fn redirect_fraction_cdf(trace: &Trace) -> Cdf {
     let days: Vec<u16> = (0..trace.days.len() as u16).collect();
     Cdf::from_samples(
-        (0..trace.users.len() as u32)
-            .map(|u| user_summary(trace, u, &days).redirect_fraction),
+        (0..trace.users.len() as u32).map(|u| user_summary(trace, u, &days).redirect_fraction),
     )
 }
 
@@ -180,7 +175,7 @@ mod tests {
     fn redirects_exist_and_are_moderate() {
         let trace = mini_trace();
         let cdf = redirect_fraction_cdf(&trace);
-        let median = cdf.median();
+        let median = cdf.median().expect("mini trace has users");
         assert!(
             (0.05..0.30).contains(&median),
             "median redirect fraction {median} out of plausible range"
@@ -235,8 +230,8 @@ mod tests {
         let (_, coarse) = all_continuous_times(&trace, 3);
         if fine.len() >= 20 && coarse.len() >= 20 {
             assert!(
-                coarse.percentile(95.0) >= fine.percentile(95.0) * 0.7,
-                "coarse p95 {} implausibly below fine p95 {}",
+                coarse.percentile(95.0).unwrap() >= fine.percentile(95.0).unwrap() * 0.7,
+                "coarse p95 {:?} implausibly below fine p95 {:?}",
                 coarse.percentile(95.0),
                 fine.percentile(95.0)
             );

@@ -99,11 +99,8 @@ pub fn analyze(trace: &Trace) -> CdnVerdict {
         .flat_map(|day| day_episodes(day, &trace.servers, None))
         .map(|e| e.length_s)
         .collect();
-    let mean_inconsistency_s = if lengths.is_empty() {
-        0.0
-    } else {
-        lengths.iter().sum::<f64>() / lengths.len() as f64
-    };
+    let mean_inconsistency_s =
+        if lengths.is_empty() { 0.0 } else { lengths.iter().sum::<f64>() / lengths.len() as f64 };
     // The paper anchors the candidate window with the recursive refinement
     // (TTL' = 2·E'[I]) and then grid-searches around it; a fully open grid
     // has spurious minima at small candidates (any small-T sub-sample looks
@@ -118,27 +115,18 @@ pub fn analyze(trace: &Trace) -> CdnVerdict {
     // The paper's §3.4.6 attribution: a pure-TTL CDN would average TTL/2;
     // everything above that is the other causes.
     let ttl_contribution = match inferred_ttl_s {
-        Some(ttl) if mean_inconsistency_s > 0.0 => {
-            ((ttl / 2.0) / mean_inconsistency_s).min(1.0)
-        }
+        Some(ttl) if mean_inconsistency_s > 0.0 => ((ttl / 2.0) / mean_inconsistency_s).min(1.0),
         _ => 0.0,
     };
     // Origin health (Figs. 7, 10(a)).
-    let origin: Vec<f64> =
-        trace.days.iter().flat_map(provider_inconsistency_lengths).collect();
-    let origin_inconsistency_s = if origin.is_empty() {
-        0.0
-    } else {
-        origin.iter().sum::<f64>() / origin.len() as f64
-    };
+    let origin: Vec<f64> = trace.days.iter().flat_map(provider_inconsistency_lengths).collect();
+    let origin_inconsistency_s =
+        if origin.is_empty() { 0.0 } else { origin.iter().sum::<f64>() / origin.len() as f64 };
     let rt = provider_response_times(&trace.days[0]);
     let provider_response_range_s = (rt.min().unwrap_or(0.0), rt.max().unwrap_or(0.0));
     // Absences (Fig. 10(b)).
-    let absences: usize = trace
-        .days
-        .iter()
-        .map(|d| detect_absences(d, trace.poll_interval).len())
-        .sum();
+    let absences: usize =
+        trace.days.iter().map(|d| detect_absences(d, trace.poll_interval).len()).sum();
     // Tree-existence tests (Figs. 11–12).
     let points: Vec<_> = trace.servers.iter().map(|s| s.location).collect();
     let groups: Vec<Vec<u32>> = cluster_by_location(&points, 0)
@@ -158,8 +146,7 @@ pub fn analyze(trace: &Trace) -> CdnVerdict {
     // are TTL-bounded for most servers, and no stable layering shows up.
     let theory_fits = theory_fit_rmse.is_some_and(|r| r < 0.25);
     let churn_is_high = trace.days.len() < 2 || groups.len() < 3 || cluster_rank_churn > 0.05;
-    let uses_unicast_ttl =
-        theory_fits && max_inconsistency_bounded_fraction > 0.5 && churn_is_high;
+    let uses_unicast_ttl = theory_fits && max_inconsistency_bounded_fraction > 0.5 && churn_is_high;
     CdnVerdict {
         inferred_ttl_s,
         theory_fit_rmse,

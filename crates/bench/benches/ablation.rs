@@ -13,10 +13,7 @@ fn bench_tree_arity(c: &mut Criterion) {
     for arity in [2usize, 4, 8] {
         group.bench_with_input(BenchmarkId::from_parameter(arity), &arity, |b, &a| {
             b.iter(|| {
-                run(&bench_sim_config(
-                    Scheme::Multicast { method: MethodKind::Push, arity: a },
-                    60,
-                ))
+                run(&bench_sim_config(Scheme::Multicast { method: MethodKind::Push, arity: a }, 60))
             })
         });
     }

@@ -20,9 +20,7 @@ fn bench_fig14_fig15(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("multicast", format!("{method}")),
             &method,
-            |b, &m| {
-                b.iter(|| run(&bench_sim_config(Scheme::Multicast { method: m, arity: 2 }, N)))
-            },
+            |b, &m| b.iter(|| run(&bench_sim_config(Scheme::Multicast { method: m, arity: 2 }, N))),
         );
     }
     group.finish();
@@ -86,10 +84,7 @@ fn bench_fig20(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("ttl_multicast", n), &n, |b, &n| {
             b.iter(|| {
-                run(&bench_sim_config(
-                    Scheme::Multicast { method: MethodKind::Ttl, arity: 2 },
-                    n,
-                ))
+                run(&bench_sim_config(Scheme::Multicast { method: MethodKind::Ttl, arity: 2 }, n))
             })
         });
     }

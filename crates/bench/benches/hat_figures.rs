@@ -10,11 +10,9 @@ fn bench_fig22_fig23_lineup(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig22_fig23_lineup");
     group.sample_size(10);
     for scheme in Scheme::section5_lineup() {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(scheme.label()),
-            &scheme,
-            |b, &s| b.iter(|| run(&bench_section5_config(s, N))),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(scheme.label()), &scheme, |b, &s| {
+            b.iter(|| run(&bench_section5_config(s, N)))
+        });
     }
     group.finish();
 }
@@ -23,17 +21,13 @@ fn bench_fig24_roaming(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig24_roaming");
     group.sample_size(10);
     for scheme in [Scheme::hat(), Scheme::hybrid()] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(scheme.label()),
-            &scheme,
-            |b, &s| {
-                b.iter(|| {
-                    let mut cfg = bench_section5_config(s, N);
-                    cfg.users_roam = true;
-                    run(&cfg)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(scheme.label()), &scheme, |b, &s| {
+            b.iter(|| {
+                let mut cfg = bench_section5_config(s, N);
+                cfg.users_roam = true;
+                run(&cfg)
+            })
+        });
     }
     group.finish();
 }

@@ -3,8 +3,8 @@
 //! crawl trace.
 
 use cdnc_analysis::causes::{
-    detect_absences, distance_vs_consistency, inconsistency_by_absence_length,
-    isp_inconsistency, provider_inconsistency_lengths, provider_response_times,
+    detect_absences, distance_vs_consistency, inconsistency_by_absence_length, isp_inconsistency,
+    provider_inconsistency_lengths, provider_response_times,
 };
 use cdnc_analysis::inconsistency::day_episodes;
 use cdnc_analysis::tree_test::{
@@ -21,9 +21,7 @@ fn bench_crawl(c: &mut Criterion) {
     let mut group = c.benchmark_group("crawl");
     group.sample_size(10);
     group.bench_function("synthesize_trace_day", |b| {
-        b.iter(|| {
-            crawl(&CrawlConfig { servers: 30, users: 10, days: 1, ..CrawlConfig::tiny() })
-        })
+        b.iter(|| crawl(&CrawlConfig { servers: 30, users: 10, days: 1, ..CrawlConfig::tiny() }))
     });
     group.finish();
 }

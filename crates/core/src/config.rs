@@ -79,14 +79,10 @@ impl Scheme {
             Scheme::Unicast(MethodKind::SelfAdaptive) => "Self",
             Scheme::Unicast(MethodKind::AdaptiveTtl) => "AdaptiveTTL",
             Scheme::Multicast { method: MethodKind::Push, .. } => "Push/Multicast",
-            Scheme::Multicast { method: MethodKind::Invalidation, .. } => {
-                "Invalidation/Multicast"
-            }
+            Scheme::Multicast { method: MethodKind::Invalidation, .. } => "Invalidation/Multicast",
             Scheme::Multicast { method: MethodKind::Ttl, .. } => "TTL/Multicast",
             Scheme::Multicast { method: MethodKind::SelfAdaptive, .. } => "Self/Multicast",
-            Scheme::Multicast { method: MethodKind::AdaptiveTtl, .. } => {
-                "AdaptiveTTL/Multicast"
-            }
+            Scheme::Multicast { method: MethodKind::AdaptiveTtl, .. } => "AdaptiveTTL/Multicast",
             Scheme::Hybrid { member_method: MethodKind::SelfAdaptive, .. } => "HAT",
             Scheme::Hybrid { .. } => "Hybrid",
         }
@@ -226,7 +222,9 @@ impl SimConfig {
 
     /// The simulation horizon: update start + last update + drain.
     pub fn horizon(&self) -> SimTime {
-        SimTime::ZERO + self.update_start + self.updates.last_update().since(SimTime::ZERO)
+        SimTime::ZERO
+            + self.update_start
+            + self.updates.last_update().since(SimTime::ZERO)
             + self.drain
     }
 }
@@ -237,8 +235,7 @@ mod tests {
 
     #[test]
     fn section5_lineup_labels() {
-        let labels: Vec<&str> =
-            Scheme::section5_lineup().iter().map(|s| s.label()).collect();
+        let labels: Vec<&str> = Scheme::section5_lineup().iter().map(|s| s.label()).collect();
         assert_eq!(labels, ["Push", "Invalidation", "TTL", "Self", "Hybrid", "HAT"]);
     }
 
@@ -253,10 +250,7 @@ mod tests {
 
     #[test]
     fn horizon_accounts_for_start_and_drain() {
-        let updates = UpdateSequence::periodic(
-            SimDuration::from_secs(10),
-            SimTime::from_secs(100),
-        );
+        let updates = UpdateSequence::periodic(SimDuration::from_secs(10), SimTime::from_secs(100));
         let cfg = SimConfig::section4(Scheme::Unicast(MethodKind::Push), updates);
         assert_eq!(
             cfg.horizon(),

@@ -36,6 +36,6 @@ pub use config::{FailureConfig, Scheme, SimConfig};
 pub use method::{AdaptiveMode, MethodKind};
 pub use metrics::SimReport;
 pub use policy::{recommend, CostObjective, Recommendation, Requirement, WorkloadProfile};
-pub use sim::run;
+pub use sim::{run, run_with_obs};
 pub use topology::Topology;
 pub use tree::DistributionTree;

@@ -52,12 +52,9 @@ impl SimReport {
     }
 
     /// Percentile of the per-server means (the paper's 5th/median/95th in
-    /// Fig. 18(a)).
-    ///
-    /// # Panics
-    ///
-    /// Panics if there are no servers or `p` is outside `[0, 100]`.
-    pub fn server_lag_percentile(&self, p: f64) -> f64 {
+    /// Fig. 18(a)). `p` is clamped into `[0, 100]`; `None` when the run had
+    /// no servers.
+    pub fn server_lag_percentile(&self, p: f64) -> Option<f64> {
         Cdf::from_samples(self.server_mean_lag_s.iter().copied()).percentile(p)
     }
 
@@ -103,7 +100,7 @@ mod tests {
         let r = report();
         assert_eq!(r.mean_server_lag_s(), 2.5);
         assert_eq!(r.mean_user_lag_s(), 3.0);
-        assert_eq!(r.server_lag_percentile(50.0), 2.5);
+        assert_eq!(r.server_lag_percentile(50.0), Some(2.5));
         assert_eq!(r.inconsistency_observation_rate(), 0.05);
     }
 
@@ -118,6 +115,7 @@ mod tests {
         };
         assert_eq!(r.mean_server_lag_s(), 0.0);
         assert_eq!(r.mean_user_lag_s(), 0.0);
+        assert_eq!(r.server_lag_percentile(50.0), None);
         assert_eq!(r.inconsistency_observation_rate(), 0.0);
     }
 }

@@ -59,16 +59,12 @@ impl WorkloadProfile {
         let times = updates.times();
         let span = updates.last_update().since(SimTime::ZERO).as_secs_f64().max(1.0);
         let update_rate = (times.len().saturating_sub(1)) as f64 / span;
-        let gaps: Vec<f64> = times
-            .windows(2)
-            .map(|w| w[1].since(w[0]).as_secs_f64())
-            .collect();
+        let gaps: Vec<f64> = times.windows(2).map(|w| w[1].since(w[0]).as_secs_f64()).collect();
         let cv = if gaps.len() < 2 {
             0.0
         } else {
             let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
-            let var =
-                gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
             if mean > 0.0 {
                 var.sqrt() / mean
             } else {
@@ -288,10 +284,8 @@ mod tests {
 
     #[test]
     fn profiling_periodic_is_regular() {
-        let updates = UpdateSequence::periodic(
-            SimDuration::from_secs(30),
-            SimTime::from_secs(3_000),
-        );
+        let updates =
+            UpdateSequence::periodic(SimDuration::from_secs(30), SimTime::from_secs(3_000));
         let p = WorkloadProfile::from_updates(&updates, 0.5, 100, 1.0);
         assert!(p.update_gap_cv < 0.1, "periodic CV {}", p.update_gap_cv);
         assert!((p.update_rate_per_s - 1.0 / 30.0).abs() < 1e-6);
@@ -334,19 +328,15 @@ mod tests {
         let large = recommend(&live_game_profile(850, 0.5), &Requirement::strong(60.0));
         assert_eq!(large.scheme, Scheme::hat());
         // Provider-load objective prefers the supernode tree even when small.
-        let req = Requirement {
-            max_staleness_s: Some(60.0),
-            objective: CostObjective::ProviderLoad,
-        };
+        let req =
+            Requirement { max_staleness_s: Some(60.0), objective: CostObjective::ProviderLoad };
         assert_eq!(recommend(&live_game_profile(60, 0.5), &req).scheme, Scheme::hat());
     }
 
     #[test]
     fn regular_bounded_gets_adaptive_ttl() {
-        let updates = UpdateSequence::periodic(
-            SimDuration::from_secs(30),
-            SimTime::from_secs(3_000),
-        );
+        let updates =
+            UpdateSequence::periodic(SimDuration::from_secs(30), SimTime::from_secs(3_000));
         let p = WorkloadProfile::from_updates(&updates, 0.5, 100, 1.0);
         let r = recommend(&p, &Requirement::strong(45.0));
         assert_eq!(r.scheme, Scheme::Unicast(MethodKind::AdaptiveTtl));

@@ -24,6 +24,7 @@ use crate::metrics::SimReport;
 use crate::topology::Topology;
 use cdnc_geo::{IspId, WorldBuilder};
 use cdnc_net::{Network, NodeId, Packet, PacketKind};
+use cdnc_obs::{Counter, Histogram, Level, Registry};
 use cdnc_simcore::stats::OnlineStats;
 use cdnc_simcore::{Scheduler, SimDuration, SimRng, SimTime};
 use cdnc_trace::SnapshotId;
@@ -54,7 +55,22 @@ use std::collections::VecDeque;
 /// assert!(report.mean_server_lag_s() < 1.0, "push keeps servers fresh");
 /// ```
 pub fn run(config: &SimConfig) -> SimReport {
-    CdnSimulation::new(config).run()
+    run_with_obs(config, &Registry::disabled())
+}
+
+/// Runs one simulation with instrumentation recording into `obs`.
+///
+/// Instrumentation is observation-only: for a fixed configuration the
+/// returned [`SimReport`] is bit-identical whether `obs` is enabled or
+/// disabled (the paired-run test in `cdnc-experiments` enforces this).
+/// With [`Registry::disabled`] every hook costs one branch.
+pub fn run_with_obs(config: &SimConfig, obs: &Registry) -> SimReport {
+    let sim = {
+        let _build = obs.span("sim_build");
+        CdnSimulation::new(config, obs)
+    };
+    let _run = obs.span("sim_events");
+    sim.run()
 }
 
 #[derive(Debug, Clone)]
@@ -174,6 +190,90 @@ struct UserState {
     total_obs: u64,
 }
 
+/// Pre-grabbed instrumentation handles for the simulator's hot paths.
+///
+/// Handles are resolved once at construction so the per-event cost with a
+/// disabled registry is a single branch, and label lookup never happens
+/// inside the event loop. Everything here is observation-only: no handler
+/// ever reads a metric back.
+struct SimObs {
+    registry: Registry,
+    /// Messages sent, by class — indexed by `PacketKind as usize`.
+    msgs: [Counter; 8],
+    /// Event-loop dispatches, by event kind.
+    ev_publish: Counter,
+    ev_poll_timer: Counter,
+    ev_arrive: Counter,
+    ev_user_visit: Counter,
+    ev_fail: Counter,
+    ev_recover: Counter,
+    ev_fetch_timeout: Counter,
+    ev_heartbeat: Counter,
+    /// Algorithm 1 transitions (paper lines 7–8 and 12–13).
+    switch_to_invalidation: Counter,
+    switch_to_ttl: Counter,
+    /// §5.2 failure repair: orphans re-parented after a member failed, and
+    /// recovered members re-joining the tree.
+    orphan_reattach: Counter,
+    tree_rejoin: Counter,
+    /// Publish→adopt latency per update method, indexed like
+    /// [`MethodKind::ALL`]; the last slot catches method-less nodes.
+    adopt_lag: [Histogram; 6],
+}
+
+impl SimObs {
+    fn new(registry: &Registry) -> Self {
+        let msg_names = [
+            "sim_msgs_update",
+            "sim_msgs_poll",
+            "sim_msgs_poll_unchanged",
+            "sim_msgs_invalidation",
+            "sim_msgs_method_switch",
+            "sim_msgs_tree_maintenance",
+            "sim_msgs_user_request",
+            "sim_msgs_user_response",
+        ];
+        let adopt_names = [
+            "sim_adopt_lag_s_push",
+            "sim_adopt_lag_s_invalidation",
+            "sim_adopt_lag_s_ttl",
+            "sim_adopt_lag_s_self_adaptive",
+            "sim_adopt_lag_s_adaptive_ttl",
+            "sim_adopt_lag_s_other",
+        ];
+        SimObs {
+            registry: registry.clone(),
+            msgs: msg_names.map(|n| registry.counter(n)),
+            ev_publish: registry.counter("sim_ev_publish"),
+            ev_poll_timer: registry.counter("sim_ev_poll_timer"),
+            ev_arrive: registry.counter("sim_ev_arrive"),
+            ev_user_visit: registry.counter("sim_ev_user_visit"),
+            ev_fail: registry.counter("sim_ev_fail"),
+            ev_recover: registry.counter("sim_ev_recover"),
+            ev_fetch_timeout: registry.counter("sim_ev_fetch_timeout"),
+            ev_heartbeat: registry.counter("sim_ev_heartbeat"),
+            switch_to_invalidation: registry.counter("sim_switch_to_invalidation"),
+            switch_to_ttl: registry.counter("sim_switch_to_ttl"),
+            orphan_reattach: registry.counter("sim_orphan_reattach"),
+            tree_rejoin: registry.counter("sim_tree_rejoin"),
+            adopt_lag: adopt_names.map(|n| registry.histogram(n)),
+        }
+    }
+
+    fn msg(&self, kind: PacketKind) -> &Counter {
+        &self.msgs[kind as usize]
+    }
+
+    /// The publish→adopt histogram for a node running `method`.
+    fn adopt_lag(&self, method: Option<MethodKind>) -> &Histogram {
+        let slot = match method {
+            Some(m) => MethodKind::ALL.iter().position(|&k| k == m).unwrap_or(5),
+            None => 5,
+        };
+        &self.adopt_lag[slot]
+    }
+}
+
 struct CdnSimulation<'a> {
     config: &'a SimConfig,
     net: Network,
@@ -187,13 +287,15 @@ struct CdnSimulation<'a> {
     rng: SimRng,
     provider_update_messages: u64,
     server_update_messages: u64,
+    obs: SimObs,
 }
 
 impl<'a> CdnSimulation<'a> {
-    fn new(config: &'a SimConfig) -> Self {
+    fn new(config: &'a SimConfig, registry: &Registry) -> Self {
         assert!(config.servers > 0, "need at least one content server");
         let world = WorldBuilder::new(config.servers).seed(config.seed ^ 0x51).build();
         let mut net = Network::new(config.network, config.seed ^ 0x52);
+        net.set_obs(registry);
         // Node 0 is the provider; its ISP is shared with the nearest server's
         // ISP so the Atlanta metro is intra-ISP, like the measured CDN.
         let provider_isp = world
@@ -241,6 +343,7 @@ impl<'a> CdnSimulation<'a> {
             .collect();
 
         let mut sched = Scheduler::with_horizon(config.horizon());
+        sched.set_obs(registry);
         // Publishes: snapshot 0 pre-exists everywhere; 1.. are events.
         for (id, t) in config.updates.iter().skip(1) {
             sched.schedule_at(
@@ -299,24 +402,42 @@ impl<'a> CdnSimulation<'a> {
             rng,
             provider_update_messages: 0,
             server_update_messages: 0,
+            obs: SimObs::new(registry),
         }
     }
 
     fn run(mut self) -> SimReport {
         while let Some((now, ev)) = self.sched.next() {
             match ev {
-                Event::Publish(idx) => self.on_publish(now, SnapshotId(idx)),
-                Event::PollTimer(node, gen) => self.on_poll_timer(now, node, gen),
-                Event::UserVisit(u) => self.on_user_visit(now, u),
+                Event::Publish(idx) => {
+                    self.obs.ev_publish.inc();
+                    self.on_publish(now, SnapshotId(idx));
+                }
+                Event::PollTimer(node, gen) => {
+                    self.obs.ev_poll_timer.inc();
+                    self.on_poll_timer(now, node, gen);
+                }
+                Event::UserVisit(u) => {
+                    self.obs.ev_user_visit.inc();
+                    self.on_user_visit(now, u);
+                }
                 Event::Arrive(node, msg) => {
+                    self.obs.ev_arrive.inc();
                     // Messages to a failed node are lost.
                     if !self.nodes[node.index()].absent {
                         self.on_arrive(now, node, msg);
                     }
                 }
-                Event::Fail(node) => self.on_fail(now, node),
-                Event::Recover(node) => self.on_recover(now, node),
+                Event::Fail(node) => {
+                    self.obs.ev_fail.inc();
+                    self.on_fail(now, node);
+                }
+                Event::Recover(node) => {
+                    self.obs.ev_recover.inc();
+                    self.on_recover(now, node);
+                }
                 Event::FetchTimeout(node, token) => {
+                    self.obs.ev_fetch_timeout.inc();
                     let state = &mut self.nodes[node.index()];
                     if state.fetch_pending && state.fetch_token == token {
                         // The upstream died mid-request; give up so the next
@@ -324,7 +445,10 @@ impl<'a> CdnSimulation<'a> {
                         state.fetch_pending = false;
                     }
                 }
-                Event::Heartbeat(node, gen) => self.on_heartbeat(now, node, gen),
+                Event::Heartbeat(node, gen) => {
+                    self.obs.ev_heartbeat.inc();
+                    self.on_heartbeat(now, node, gen);
+                }
             }
         }
         self.into_report()
@@ -351,6 +475,7 @@ impl<'a> CdnSimulation<'a> {
                 self.provider_update_messages += 1;
             }
         }
+        self.obs.msg(kind).inc();
         let packet = Packet::new(kind, size, src, dst);
         let arrival = self.net.send(now, &packet);
         self.sched.schedule_at(arrival, Event::Arrive(dst, msg));
@@ -412,21 +537,18 @@ impl<'a> CdnSimulation<'a> {
         if gen != state.timer_gen {
             return; // a stale chain
         }
-        if method == Some(MethodKind::SelfAdaptive) && state.mode == AdaptiveMode::Invalidation
-        {
+        if method == Some(MethodKind::SelfAdaptive) && state.mode == AdaptiveMode::Invalidation {
             return; // Algorithm 1: no polling in invalidation mode
         }
         if state.absent {
             // Overloaded/failed: skip this poll but keep the chain alive.
-            self.sched
-                .schedule_at(now + self.config.server_ttl, Event::PollTimer(node, gen));
+            self.sched.schedule_at(now + self.config.server_ttl, Event::PollTimer(node, gen));
             return;
         }
         let Some(up) = self.topo.upstream_of(node) else {
             // Detached by a failure upstream; retry after a TTL (repair or
             // recovery will re-wire us).
-            self.sched
-                .schedule_at(now + self.config.server_ttl, Event::PollTimer(node, gen));
+            self.sched.schedule_at(now + self.config.server_ttl, Event::PollTimer(node, gen));
             return;
         };
         let have = state.content;
@@ -452,7 +574,6 @@ impl<'a> CdnSimulation<'a> {
             state.adaptive_interval_s
         }
     }
-
 
     fn on_user_visit(&mut self, now: SimTime, u: u32) {
         let target = if self.config.users_roam {
@@ -512,8 +633,7 @@ impl<'a> CdnSimulation<'a> {
         if let Some(failures) = &self.config.failures {
             self.nodes[node.index()].fetch_token += 1;
             let token = self.nodes[node.index()].fetch_token;
-            self.sched
-                .schedule_at(now + failures.fetch_timeout, Event::FetchTimeout(node, token));
+            self.sched.schedule_at(now + failures.fetch_timeout, Event::FetchTimeout(node, token));
         }
     }
 
@@ -543,6 +663,7 @@ impl<'a> CdnSimulation<'a> {
         let was_fetching = std::mem::take(&mut self.nodes[node.index()].fetch_pending);
         let adopted = snap > self.nodes[node.index()].content;
         if adopted {
+            let adopt_lag = self.obs.adopt_lag(self.topo.method_of(node));
             let state = &mut self.nodes[node.index()];
             state.content = snap;
             state.content_modified_at = modified_at;
@@ -553,7 +674,9 @@ impl<'a> CdnSimulation<'a> {
                 if p > snap {
                     break;
                 }
-                state.lag.push(now.since(t).as_secs_f64());
+                let lag_s = now.since(t).as_secs_f64();
+                state.lag.push(lag_s);
+                adopt_lag.record(lag_s);
                 state.pending_pubs.pop_front();
             }
             // Adaptive TTL (Alex protocol): the next poll interval is a
@@ -562,14 +685,12 @@ impl<'a> CdnSimulation<'a> {
             if self.topo.method_of(node) == Some(MethodKind::AdaptiveTtl) {
                 let max_s = 8.0 * self.config.server_ttl.as_secs_f64();
                 let age_s = now.saturating_since(modified_at).as_secs_f64();
-                self.nodes[node.index()].adaptive_interval_s =
-                    (0.3 * age_s).clamp(2.0, max_s);
+                self.nodes[node.index()].adaptive_interval_s = (0.3 * age_s).clamp(2.0, max_s);
             }
             self.notify_downstream(now, node);
         }
         // Serve anyone who was waiting on our fetch.
-        let waiting_children =
-            std::mem::take(&mut self.nodes[node.index()].waiting_children);
+        let waiting_children = std::mem::take(&mut self.nodes[node.index()].waiting_children);
         let content = self.nodes[node.index()].content;
         let modified_at = self.nodes[node.index()].content_modified_at;
         for child in waiting_children {
@@ -585,14 +706,20 @@ impl<'a> CdnSimulation<'a> {
             && self.nodes[node.index()].mode == AdaptiveMode::Invalidation
             && was_fetching
         {
+            self.obs.switch_to_ttl.inc();
+            self.obs.registry.event(Level::Info, "algo1_switch", || {
+                cdnc_obs::Json::obj()
+                    .field("node", node.index())
+                    .field("to", "ttl")
+                    .field("t_s", now.since(SimTime::ZERO).as_secs_f64())
+            });
             self.nodes[node.index()].mode = AdaptiveMode::Ttl;
             self.nodes[node.index()].timer_gen += 1;
             let gen = self.nodes[node.index()].timer_gen;
             if let Some(up) = self.topo.upstream_of(node) {
                 self.send(now, node, up, Msg::SwitchMode { from: node, to_invalidation: false });
             }
-            self.sched
-                .schedule_at(now + self.config.server_ttl, Event::PollTimer(node, gen));
+            self.sched.schedule_at(now + self.config.server_ttl, Event::PollTimer(node, gen));
         }
     }
 
@@ -665,8 +792,7 @@ impl<'a> CdnSimulation<'a> {
         }
         // Serve waiters with what we have (rare race: our upstream answered
         // "unchanged" while an invalidation was still in flight to it).
-        let waiting_children =
-            std::mem::take(&mut self.nodes[node.index()].waiting_children);
+        let waiting_children = std::mem::take(&mut self.nodes[node.index()].waiting_children);
         let content = self.nodes[node.index()].content;
         let modified_at = self.nodes[node.index()].content_modified_at;
         for child in waiting_children {
@@ -681,6 +807,13 @@ impl<'a> CdnSimulation<'a> {
         if self.topo.method_of(node) == Some(MethodKind::SelfAdaptive)
             && self.nodes[node.index()].mode == AdaptiveMode::Ttl
         {
+            self.obs.switch_to_invalidation.inc();
+            self.obs.registry.event(Level::Info, "algo1_switch", || {
+                cdnc_obs::Json::obj()
+                    .field("node", node.index())
+                    .field("to", "invalidation")
+                    .field("t_s", now.since(SimTime::ZERO).as_secs_f64())
+            });
             self.nodes[node.index()].mode = AdaptiveMode::Invalidation;
             self.nodes[node.index()].timer_gen += 1; // kill the poll chain
             if let Some(up) = self.topo.upstream_of(node) {
@@ -740,7 +873,14 @@ impl<'a> CdnSimulation<'a> {
                 .expect("checked above")
                 .remove_and_reattach(node, |id| locations[id.index()]);
             self.topo.detach(node);
+            self.obs.registry.event(Level::Warn, "tree_repair", || {
+                cdnc_obs::Json::obj()
+                    .field("failed", node.index())
+                    .field("orphans", moves.len())
+                    .field("t_s", now.since(SimTime::ZERO).as_secs_f64())
+            });
             for (orphan, new_parent) in moves {
+                self.obs.orphan_reattach.inc();
                 self.topo.rewire(orphan, new_parent);
                 let invalidation_mode = self.expects_invalidations(orphan);
                 self.send(
@@ -767,6 +907,7 @@ impl<'a> CdnSimulation<'a> {
                 let locations: Vec<cdnc_geo::GeoPoint> =
                     self.net.nodes().iter().map(|n| n.location()).collect();
                 let parent = tree.join(node, |id| locations[id.index()]);
+                self.obs.tree_rejoin.inc();
                 self.topo.rewire(node, parent);
                 let invalidation_mode = self.expects_invalidations(node);
                 self.send(now, node, parent, Msg::TreeJoin { from: node, invalidation_mode });
@@ -890,8 +1031,12 @@ mod tests {
         let ttl = run(&small(Scheme::Unicast(MethodKind::Ttl)));
         // Fig. 14(b): Push ≈ Invalidation < TTL for end-users.
         let diff = (push.mean_user_lag_s() - inval.mean_user_lag_s()).abs();
-        assert!(diff < 2.0, "Push {} vs Invalidation {}", push.mean_user_lag_s(),
-            inval.mean_user_lag_s());
+        assert!(
+            diff < 2.0,
+            "Push {} vs Invalidation {}",
+            push.mean_user_lag_s(),
+            inval.mean_user_lag_s()
+        );
         assert!(ttl.mean_user_lag_s() > push.mean_user_lag_s() + 2.0);
     }
 
@@ -935,14 +1080,10 @@ mod tests {
     fn ttl_wastes_update_messages_on_silence() {
         // A long silent tail: plain TTL keeps fetching full content, the
         // self-adaptive method switches to invalidation and stops.
-        let silent_updates = UpdateSequence::periodic(
-            SimDuration::from_secs(20),
-            SimTime::from_secs(120),
-        );
-        let mut ttl_cfg = SimConfig::section4(
-            Scheme::Unicast(MethodKind::Ttl),
-            silent_updates.clone(),
-        );
+        let silent_updates =
+            UpdateSequence::periodic(SimDuration::from_secs(20), SimTime::from_secs(120));
+        let mut ttl_cfg =
+            SimConfig::section4(Scheme::Unicast(MethodKind::Ttl), silent_updates.clone());
         ttl_cfg.servers = 16;
         ttl_cfg.users_per_server = 2;
         ttl_cfg.drain = SimDuration::from_secs(1_200); // long silence
@@ -1023,7 +1164,7 @@ mod tests {
         assert_eq!(b.unresolved_lags, 0);
         let spread_of = |r: &SimReport| {
             let cdf = cdnc_simcore::stats::Cdf::from_samples(r.user_mean_lag_s.iter().copied());
-            cdf.percentile(95.0) - cdf.percentile(5.0)
+            cdf.percentile(95.0).unwrap() - cdf.percentile(5.0).unwrap()
         };
         assert!(
             spread_of(&b) > spread_of(&a),
@@ -1054,12 +1195,9 @@ mod tests {
         fn beats_fixed_ttl_on_regular_content() {
             // Steady updates: the age-based prediction works and adaptive
             // TTL polls tightly right after each change.
-            let steady = UpdateSequence::periodic(
-                SimDuration::from_secs(30),
-                SimTime::from_secs(2_000),
-            );
-            let mut a_cfg =
-                SimConfig::section5(Scheme::Unicast(MethodKind::AdaptiveTtl), steady);
+            let steady =
+                UpdateSequence::periodic(SimDuration::from_secs(30), SimTime::from_secs(2_000));
+            let mut a_cfg = SimConfig::section5(Scheme::Unicast(MethodKind::AdaptiveTtl), steady);
             a_cfg.servers = 24;
             a_cfg.users_per_server = 2;
             let mut t_cfg = a_cfg.clone();
@@ -1158,10 +1296,7 @@ mod tests {
         fn multicast_repair_charges_maintenance_messages() {
             let no_fail = run(&small(Scheme::Multicast { method: MethodKind::Push, arity: 2 }));
             assert_eq!(no_fail.traffic.count_of(PacketKind::TreeMaintenance), 0);
-            let r = run(&failing(
-                Scheme::Multicast { method: MethodKind::Push, arity: 2 },
-                300.0,
-            ));
+            let r = run(&failing(Scheme::Multicast { method: MethodKind::Push, arity: 2 }, 300.0));
             assert!(
                 r.traffic.count_of(PacketKind::TreeMaintenance) > 0,
                 "tree repair must cost maintenance messages"
@@ -1175,10 +1310,8 @@ mod tests {
                 c.servers = 48;
                 c
             });
-            let faulty = run(&failing(
-                Scheme::Multicast { method: MethodKind::Push, arity: 2 },
-                300.0,
-            ));
+            let faulty =
+                run(&failing(Scheme::Multicast { method: MethodKind::Push, arity: 2 }, 300.0));
             assert!(
                 faulty.mean_server_lag_s() > clean.mean_server_lag_s(),
                 "failures must hurt: {} vs clean {}",
@@ -1189,14 +1322,10 @@ mod tests {
 
         #[test]
         fn heavier_failures_cost_more_maintenance() {
-            let light = run(&failing(
-                Scheme::Multicast { method: MethodKind::Ttl, arity: 2 },
-                2_000.0,
-            ));
-            let heavy = run(&failing(
-                Scheme::Multicast { method: MethodKind::Ttl, arity: 2 },
-                200.0,
-            ));
+            let light =
+                run(&failing(Scheme::Multicast { method: MethodKind::Ttl, arity: 2 }, 2_000.0));
+            let heavy =
+                run(&failing(Scheme::Multicast { method: MethodKind::Ttl, arity: 2 }, 200.0));
             assert!(
                 heavy.traffic.count_of(PacketKind::TreeMaintenance)
                     > light.traffic.count_of(PacketKind::TreeMaintenance),
@@ -1239,7 +1368,7 @@ mod tests {
         }
 
         proptest! {
-            #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+            #![proptest_config(ProptestConfig { cases: 12 })]
 
             /// Whatever the scheme, update pattern, and seed: every update
             /// is delivered, observations happen, and lags are sane.
@@ -1288,6 +1417,66 @@ mod tests {
         cfg.seed = 99;
         let c = run(&cfg);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn instrumentation_is_observation_only() {
+        // Bit-identical report with obs on and off — the core contract that
+        // lets every experiment run instrumented without changing results.
+        let cfg = small(Scheme::hat());
+        let plain = run(&cfg);
+        let reg = Registry::enabled();
+        reg.enable_events(Level::Debug, 4096);
+        let observed = run_with_obs(&cfg, &reg);
+        assert_eq!(plain, observed);
+    }
+
+    #[test]
+    fn metrics_cover_the_simulation() {
+        let cfg = small(Scheme::Unicast(MethodKind::SelfAdaptive));
+        let reg = Registry::enabled();
+        let report = run_with_obs(&cfg, &reg);
+        let snap = reg.snapshot();
+        // The scheduler's event counter agrees with the report.
+        assert_eq!(snap.counter("sched_events_processed"), report.events);
+        // Every dispatched event was classified into exactly one kind.
+        let by_kind: u64 = [
+            "sim_ev_publish",
+            "sim_ev_poll_timer",
+            "sim_ev_arrive",
+            "sim_ev_user_visit",
+            "sim_ev_fail",
+            "sim_ev_recover",
+            "sim_ev_fetch_timeout",
+            "sim_ev_heartbeat",
+        ]
+        .iter()
+        .map(|n| snap.counter(n))
+        .sum();
+        assert_eq!(by_kind, report.events);
+        // Self-adaptive nodes hit both Algorithm 1 transitions on a
+        // periodic-then-silent sequence with polling enabled.
+        assert!(snap.counter("sim_switch_to_invalidation") > 0);
+        // The update-message counter matches the report's accounting.
+        assert_eq!(snap.counter("sim_msgs_update"), report.server_update_messages);
+        // Publish→adopt latency landed in the self-adaptive histogram.
+        let hist = snap.histogram("sim_adopt_lag_s_self_adaptive").expect("histogram exists");
+        assert!(hist.count > 0);
+        assert!(hist.min >= 0.0 && hist.max.is_finite());
+    }
+
+    #[test]
+    fn failure_repair_metrics_fire() {
+        let mut cfg = small(Scheme::Multicast { method: MethodKind::Push, arity: 2 });
+        cfg.failures = Some(crate::config::FailureConfig::with_mean_gap_s(120.0));
+        let reg = Registry::enabled();
+        let _ = run_with_obs(&cfg, &reg);
+        let snap = reg.snapshot();
+        assert!(snap.counter("sim_ev_fail") > 0, "failure injection scheduled no failures");
+        assert!(
+            snap.counter("sim_orphan_reattach") + snap.counter("sim_tree_rejoin") > 0,
+            "tree repair never ran"
+        );
     }
 
     #[test]

@@ -86,16 +86,35 @@ impl Topology {
                     servers.iter().map(|&s| net.node(s).location()).collect();
                 let groups = cluster_by_hilbert(&locations, clusters);
                 for group in &groups {
-                    // The paper picks the supernode randomly from the cluster.
-                    let pick = group.members[rng.index(group.members.len())];
+                    // Pick the supernode from the cluster's plurality ISP so
+                    // the member links it serves stay inside that ISP — the
+                    // point of proximity clusters is cheap intra-ISP delivery
+                    // (the paper's transit-pricing concern). Ties, and the
+                    // choice within the plurality ISP, are broken randomly.
+                    let mut counts: Vec<(cdnc_geo::IspId, usize)> = Vec::new();
+                    for &m in &group.members {
+                        let isp = net.node(servers[m]).isp();
+                        match counts.iter_mut().find(|(i, _)| *i == isp) {
+                            Some((_, c)) => *c += 1,
+                            None => counts.push((isp, 1)),
+                        }
+                    }
+                    let best = counts.iter().map(|&(_, c)| c).max().expect("non-empty cluster");
+                    let plurality =
+                        counts[counts.iter().position(|&(_, c)| c == best).expect("max exists")].0;
+                    let candidates: Vec<usize> = group
+                        .members
+                        .iter()
+                        .copied()
+                        .filter(|&m| net.node(servers[m]).isp() == plurality)
+                        .collect();
+                    let pick = candidates[rng.index(candidates.len())];
                     supernodes.push(servers[pick]);
                 }
-                let tree = DistributionTree::build_proximity(
-                    provider,
-                    &supernodes,
-                    tree_arity,
-                    |id| net.node(id).location(),
-                );
+                let tree =
+                    DistributionTree::build_proximity(provider, &supernodes, tree_arity, |id| {
+                        net.node(id).location()
+                    });
                 for &sn in &supernodes {
                     let p = tree.parent_of(sn).expect("supernode has a parent");
                     upstream[sn.index()] = Some(p);
@@ -117,10 +136,7 @@ impl Topology {
             }
         }
 
-        (
-            Topology { provider, servers, upstream, downstream, method, supernodes },
-            dist_tree,
-        )
+        (Topology { provider, servers, upstream, downstream, method, supernodes }, dist_tree)
     }
 
     /// Moves `child` under `new_parent`, keeping upstream/downstream

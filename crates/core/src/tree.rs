@@ -31,22 +31,13 @@ impl DistributionTree {
     /// # Panics
     ///
     /// Panics if `arity == 0` or `members` contains the root or duplicates.
-    pub fn build_proximity<F>(
-        root: NodeId,
-        members: &[NodeId],
-        arity: usize,
-        location: F,
-    ) -> Self
+    pub fn build_proximity<F>(root: NodeId, members: &[NodeId], arity: usize, location: F) -> Self
     where
         F: Fn(NodeId) -> GeoPoint,
     {
         assert!(arity > 0, "tree arity must be positive");
-        let mut tree = DistributionTree {
-            root,
-            arity,
-            parent: HashMap::new(),
-            children: HashMap::new(),
-        };
+        let mut tree =
+            DistributionTree { root, arity, parent: HashMap::new(), children: HashMap::new() };
         let root_loc = location(root);
         // Closest-to-root first: near nodes occupy high layers, matching the
         // proximity-aware intent.
@@ -82,7 +73,9 @@ impl DistributionTree {
         let loc = location(node);
         let candidates = std::iter::once(self.root).chain(self.parent.keys().copied());
         let parent = candidates
-            .filter(|&c| c != node && !excluded.contains(&c) && self.children_of(c).len() < self.arity)
+            .filter(|&c| {
+                c != node && !excluded.contains(&c) && self.children_of(c).len() < self.arity
+            })
             .min_by(|&a, &b| {
                 let da = location(a).distance_km(&loc);
                 let db = location(b).distance_km(&loc);
@@ -177,10 +170,8 @@ impl DistributionTree {
         F: Fn(NodeId) -> GeoPoint,
     {
         assert!(failed != self.root, "cannot remove the root");
-        let old_parent = self
-            .parent
-            .remove(&failed)
-            .unwrap_or_else(|| panic!("{failed} not in tree"));
+        let old_parent =
+            self.parent.remove(&failed).unwrap_or_else(|| panic!("{failed} not in tree"));
         if let Some(siblings) = self.children.get_mut(&old_parent) {
             siblings.retain(|&c| c != failed);
         }

@@ -3,7 +3,8 @@
 
 use crate::report::FigureReport;
 use crate::scale::Scale;
-use cdnc_core::{run, MethodKind, Scheme, SimConfig, SimReport};
+use cdnc_core::{run_with_obs, MethodKind, Scheme, SimConfig, SimReport};
+use cdnc_obs::Registry;
 use cdnc_simcore::{SimDuration, SimRng};
 use cdnc_trace::UpdateSequence;
 
@@ -13,8 +14,10 @@ pub fn section4_updates() -> UpdateSequence {
 }
 
 /// Runs a batch of simulations in parallel (one thread per configuration,
-/// capped at the available parallelism).
-pub fn run_batch(configs: Vec<SimConfig>) -> Vec<SimReport> {
+/// capped at the available parallelism). Metrics from every run accumulate
+/// into the shared `obs` registry (the registry is thread-safe; pass
+/// [`Registry::disabled`] for uninstrumented runs).
+pub fn run_batch(configs: Vec<SimConfig>, obs: &Registry) -> Vec<SimReport> {
     let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
     let mut reports: Vec<Option<SimReport>> = vec![None; configs.len()];
     let indexed: Vec<(usize, SimConfig)> = configs.into_iter().enumerate().collect();
@@ -22,11 +25,12 @@ pub fn run_batch(configs: Vec<SimConfig>) -> Vec<SimReport> {
         .chunks(indexed.len().div_ceil(workers).max(1))
         .map(<[(usize, SimConfig)]>::to_vec)
         .collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for chunk in chunks {
-            handles.push(scope.spawn(move |_| {
-                chunk.into_iter().map(|(i, cfg)| (i, run(&cfg))).collect::<Vec<_>>()
+            let obs = obs.clone();
+            handles.push(scope.spawn(move || {
+                chunk.into_iter().map(|(i, cfg)| (i, run_with_obs(&cfg, &obs))).collect::<Vec<_>>()
             }));
         }
         for h in handles {
@@ -34,8 +38,7 @@ pub fn run_batch(configs: Vec<SimConfig>) -> Vec<SimReport> {
                 reports[i] = Some(report);
             }
         }
-    })
-    .expect("crossbeam scope");
+    });
     reports.into_iter().map(|r| r.expect("every config ran")).collect()
 }
 
@@ -45,15 +48,14 @@ fn section4_config(scale: Scale, scheme: Scheme) -> SimConfig {
     cfg
 }
 
-const METHODS: [MethodKind; 3] =
-    [MethodKind::Push, MethodKind::Invalidation, MethodKind::Ttl];
+const METHODS: [MethodKind; 3] = [MethodKind::Push, MethodKind::Invalidation, MethodKind::Ttl];
 
 /// Fig. 14: per-server and per-user inconsistency under unicast.
-pub fn fig14(scale: Scale) -> FigureReport {
-    let mut report =
-        FigureReport::new("fig14", "Inconsistency in the unicast infrastructure");
+pub fn fig14(scale: Scale, obs: &Registry) -> FigureReport {
+    let mut report = FigureReport::new("fig14", "Inconsistency in the unicast infrastructure");
     let reports = run_batch(
         METHODS.iter().map(|&m| section4_config(scale, Scheme::Unicast(m))).collect(),
+        obs,
     );
     for r in &reports {
         report.row(format!(
@@ -69,7 +71,7 @@ pub fn fig14(scale: Scale) -> FigureReport {
 }
 
 /// Fig. 15: the same three methods on the binary multicast tree.
-pub fn fig15(scale: Scale) -> FigureReport {
+pub fn fig15(scale: Scale, obs: &Registry) -> FigureReport {
     let mut report =
         FigureReport::new("fig15", "Inconsistency in the multicast-tree infrastructure");
     let reports = run_batch(
@@ -77,6 +79,7 @@ pub fn fig15(scale: Scale) -> FigureReport {
             .iter()
             .map(|&m| section4_config(scale, Scheme::Multicast { method: m, arity: 2 }))
             .collect(),
+        obs,
     );
     for r in &reports {
         report.row(format!(
@@ -93,14 +96,14 @@ pub fn fig15(scale: Scale) -> FigureReport {
 
 /// Fig. 16: consistency-maintenance traffic cost (km·KB), 3 methods × 2
 /// infrastructures.
-pub fn fig16(scale: Scale) -> FigureReport {
+pub fn fig16(scale: Scale, obs: &Registry) -> FigureReport {
     let mut report = FigureReport::new("fig16", "Traffic cost (km·KB) per method × infra");
     let mut configs = Vec::new();
     for &m in &METHODS {
         configs.push(section4_config(scale, Scheme::Unicast(m)));
         configs.push(section4_config(scale, Scheme::Multicast { method: m, arity: 2 }));
     }
-    let reports = run_batch(configs);
+    let reports = run_batch(configs, obs);
     for pair in reports.chunks(2) {
         let (uni, multi) = (&pair[0], &pair[1]);
         report.row(format!(
@@ -116,20 +119,21 @@ pub fn fig16(scale: Scale) -> FigureReport {
 }
 
 /// Fig. 17: TTL-method traffic cost vs content-server TTL.
-pub fn fig17(scale: Scale) -> FigureReport {
+pub fn fig17(scale: Scale, obs: &Registry) -> FigureReport {
     let mut report = FigureReport::new("fig17", "Traffic cost vs content-server TTL");
     let ttls = scale.server_ttl_sweep_s();
     let mut configs = Vec::new();
     for &ttl in &ttls {
-        for scheme in
-            [Scheme::Unicast(MethodKind::Ttl), Scheme::Multicast { method: MethodKind::Ttl, arity: 2 }]
-        {
+        for scheme in [
+            Scheme::Unicast(MethodKind::Ttl),
+            Scheme::Multicast { method: MethodKind::Ttl, arity: 2 },
+        ] {
             let mut cfg = section4_config(scale, scheme);
             cfg.server_ttl = SimDuration::from_secs(ttl);
             configs.push(cfg);
         }
     }
-    let reports = run_batch(configs);
+    let reports = run_batch(configs, obs);
     for (i, pair) in reports.chunks(2).enumerate() {
         let ttl = ttls[i];
         report.row(format!(
@@ -145,7 +149,7 @@ pub fn fig17(scale: Scale) -> FigureReport {
 
 /// Fig. 18: Invalidation with varying end-user TTL: inconsistency
 /// percentiles and traffic cost.
-pub fn fig18(scale: Scale) -> FigureReport {
+pub fn fig18(scale: Scale, obs: &Registry) -> FigureReport {
     let mut report =
         FigureReport::new("fig18", "Invalidation vs end-user TTL (inconsistency + cost)");
     let user_ttls: Vec<u64> = match scale {
@@ -163,20 +167,23 @@ pub fn fig18(scale: Scale) -> FigureReport {
             configs.push(cfg);
         }
     }
-    let reports = run_batch(configs);
+    let reports = run_batch(configs, obs);
     for (i, pair) in reports.chunks(2).enumerate() {
         let ttl = user_ttls[i];
         let (uni, multi) = (&pair[0], &pair[1]);
         report.row(format!(
             "  user TTL={ttl:>3}s  unicast p5/p50/p95 = {:>6.2}/{:>6.2}/{:>6.2}s cost={:.3e} | multicast p50 = {:>6.2}s cost={:.3e}",
-            uni.server_lag_percentile(5.0),
-            uni.server_lag_percentile(50.0),
-            uni.server_lag_percentile(95.0),
+            uni.server_lag_percentile(5.0).unwrap_or(f64::NAN),
+            uni.server_lag_percentile(50.0).unwrap_or(f64::NAN),
+            uni.server_lag_percentile(95.0).unwrap_or(f64::NAN),
             uni.traffic.km_kb(),
-            multi.server_lag_percentile(50.0),
+            multi.server_lag_percentile(50.0).unwrap_or(f64::NAN),
             multi.traffic.km_kb()
         ));
-        report.keyval(format!("unicast_median_s_uttl{ttl}"), uni.server_lag_percentile(50.0));
+        report.keyval(
+            format!("unicast_median_s_uttl{ttl}"),
+            uni.server_lag_percentile(50.0).unwrap_or(f64::NAN),
+        );
         report.keyval(format!("unicast_kmkb_uttl{ttl}"), uni.traffic.km_kb());
         report.keyval(format!("multicast_kmkb_uttl{ttl}"), multi.traffic.km_kb());
     }
@@ -184,14 +191,10 @@ pub fn fig18(scale: Scale) -> FigureReport {
 }
 
 /// Fig. 19: scalability vs update packet size.
-pub fn fig19(scale: Scale) -> FigureReport {
-    let mut report =
-        FigureReport::new("fig19", "Server inconsistency vs update packet size");
+pub fn fig19(scale: Scale, obs: &Registry) -> FigureReport {
+    let mut report = FigureReport::new("fig19", "Server inconsistency vs update packet size");
     let sizes = scale.fig19_sizes_kb();
-    for (infra_name, make) in [
-        ("unicast", None),
-        ("multicast", Some(2usize)),
-    ] {
+    for (infra_name, make) in [("unicast", None), ("multicast", Some(2usize))] {
         let mut configs = Vec::new();
         for &kb in &sizes {
             for &m in &METHODS {
@@ -204,7 +207,7 @@ pub fn fig19(scale: Scale) -> FigureReport {
                 configs.push(cfg);
             }
         }
-        let reports = run_batch(configs);
+        let reports = run_batch(configs, obs);
         for (i, chunk) in reports.chunks(METHODS.len()).enumerate() {
             let kb = sizes[i];
             report.row(format!(
@@ -225,7 +228,7 @@ pub fn fig19(scale: Scale) -> FigureReport {
 }
 
 /// Fig. 20: scalability vs network size.
-pub fn fig20(scale: Scale) -> FigureReport {
+pub fn fig20(scale: Scale, obs: &Registry) -> FigureReport {
     let mut report = FigureReport::new("fig20", "Server inconsistency vs network size");
     let sizes = scale.fig20_sizes();
     for (infra_name, arity) in [("unicast", None), ("multicast", Some(2usize))] {
@@ -241,7 +244,7 @@ pub fn fig20(scale: Scale) -> FigureReport {
                 configs.push(cfg);
             }
         }
-        let reports = run_batch(configs);
+        let reports = run_batch(configs, obs);
         for (i, chunk) in reports.chunks(METHODS.len()).enumerate() {
             let n = sizes[i];
             report.row(format!(
@@ -267,7 +270,7 @@ mod tests {
 
     #[test]
     fn fig14_ordering_matches_paper() {
-        let r = fig14(Scale::Smoke);
+        let r = fig14(Scale::Smoke, &Registry::disabled());
         let push = r.value("Push_server_s").unwrap();
         let inval = r.value("Invalidation_server_s").unwrap();
         let ttl = r.value("TTL_server_s").unwrap();
@@ -276,7 +279,7 @@ mod tests {
 
     #[test]
     fn fig16_multicast_saves_cost() {
-        let r = fig16(Scale::Smoke);
+        let r = fig16(Scale::Smoke, &Registry::disabled());
         for m in ["Push", "Invalidation", "TTL"] {
             let uni = r.value(&format!("{m}_unicast_kmkb")).unwrap();
             let multi = r.value(&format!("{m}_multicast_kmkb")).unwrap();
@@ -286,7 +289,7 @@ mod tests {
 
     #[test]
     fn fig17_cost_decreases_with_ttl() {
-        let r = fig17(Scale::Smoke);
+        let r = fig17(Scale::Smoke, &Registry::disabled());
         let at10 = r.value("unicast_kmkb_ttl10").unwrap();
         let at60 = r.value("unicast_kmkb_ttl60").unwrap();
         assert!(at60 < at10, "longer TTL must cost less: {at60} vs {at10}");
@@ -294,7 +297,7 @@ mod tests {
 
     #[test]
     fn fig18_cost_decreases_with_user_ttl() {
-        let r = fig18(Scale::Smoke);
+        let r = fig18(Scale::Smoke, &Registry::disabled());
         let at10 = r.value("unicast_kmkb_uttl10").unwrap();
         let at120 = r.value("unicast_kmkb_uttl120").unwrap();
         assert!(at120 < at10, "rarer visits must cost less: {at120} vs {at10}");

@@ -16,12 +16,13 @@ use cdnc_core::{
     recommend, FailureConfig, MethodKind, Requirement, Scheme, SimConfig, WorkloadProfile,
 };
 use cdnc_net::PacketKind;
+use cdnc_obs::Registry;
 use cdnc_simcore::{SimDuration, SimTime};
 use cdnc_trace::UpdateSequence;
 
 /// Failure resilience per scheme: inconsistency, repair traffic and
 /// undelivered updates as the failure rate grows.
-pub fn ext_failures(scale: Scale) -> FigureReport {
+pub fn ext_failures(scale: Scale, obs: &Registry) -> FigureReport {
     let mut report = FigureReport::new(
         "ext_failures",
         "EXT: inconsistency and repair cost under server failures",
@@ -44,7 +45,7 @@ pub fn ext_failures(scale: Scale) -> FigureReport {
             configs.push(cfg);
         }
     }
-    let reports = run_batch(configs);
+    let reports = run_batch(configs, obs);
     for (chunk, &(regime, _)) in reports.chunks(schemes.len()).zip(&regimes) {
         for r in chunk {
             report.row(format!(
@@ -59,8 +60,10 @@ pub fn ext_failures(scale: Scale) -> FigureReport {
                 format!("{}_{regime}_maintenance", r.scheme_label),
                 r.traffic.count_of(PacketKind::TreeMaintenance) as f64,
             );
-            report
-                .keyval(format!("{}_{regime}_unresolved", r.scheme_label), r.unresolved_lags as f64);
+            report.keyval(
+                format!("{}_{regime}_unresolved", r.scheme_label),
+                r.unresolved_lags as f64,
+            );
         }
     }
     report
@@ -68,17 +71,14 @@ pub fn ext_failures(scale: Scale) -> FigureReport {
 
 /// The adaptive-TTL baseline vs fixed TTL vs the paper's self-adaptive
 /// method, on regular and on bursty (live-game) content.
-pub fn ext_adaptive(scale: Scale) -> FigureReport {
+pub fn ext_adaptive(scale: Scale, obs: &Registry) -> FigureReport {
     let mut report = FigureReport::new(
         "ext_adaptive",
         "EXT: adaptive-TTL baseline vs fixed TTL vs self-adaptive (Algorithm 1)",
     );
     let methods = [MethodKind::Ttl, MethodKind::AdaptiveTtl, MethodKind::SelfAdaptive];
     let workloads: [(&str, UpdateSequence); 2] = [
-        (
-            "steady",
-            UpdateSequence::periodic(SimDuration::from_secs(30), SimTime::from_secs(5_000)),
-        ),
+        ("steady", UpdateSequence::periodic(SimDuration::from_secs(30), SimTime::from_secs(5_000))),
         ("bursty", section4_updates()),
     ];
     for (name, updates) in workloads {
@@ -88,7 +88,7 @@ pub fn ext_adaptive(scale: Scale) -> FigureReport {
             cfg.servers = scale.section4_servers().min(120);
             configs.push(cfg);
         }
-        let reports = run_batch(configs);
+        let reports = run_batch(configs, obs);
         for r in &reports {
             report.row(format!(
                 "  [{name:>6}] {:<13} lag={:>7.3}s polls={:>6} updates={:>6}",
@@ -110,7 +110,7 @@ pub fn ext_adaptive(scale: Scale) -> FigureReport {
 /// Validates the §6 policy advisor: for each workload × requirement cell,
 /// run the recommended scheme against the plain-TTL and Push baselines and
 /// check the recommendation meets its bound at a competitive cost.
-pub fn ext_policy(scale: Scale) -> FigureReport {
+pub fn ext_policy(scale: Scale, obs: &Registry) -> FigureReport {
     let mut report = FigureReport::new(
         "ext_policy",
         "EXT: §6 policy advisor — recommendations validated by simulation",
@@ -137,11 +137,14 @@ pub fn ext_policy(scale: Scale) -> FigureReport {
             }
             cfg
         };
-        let reports = run_batch(vec![
-            make(rec.scheme),
-            make(Scheme::Unicast(MethodKind::Ttl)),
-            make(Scheme::Unicast(MethodKind::Push)),
-        ]);
+        let reports = run_batch(
+            vec![
+                make(rec.scheme),
+                make(Scheme::Unicast(MethodKind::Ttl)),
+                make(Scheme::Unicast(MethodKind::Push)),
+            ],
+            obs,
+        );
         let (pick, ttl_base, push_base) = (&reports[0], &reports[1], &reports[2]);
         report.row(format!(
             "    pick {:<13} lag={:>7.3}s traffic={:.3e} | TTL lag={:>7.3}s traffic={:.3e} | Push lag={:>7.3}s traffic={:.3e}",
@@ -170,7 +173,7 @@ mod tests {
 
     #[test]
     fn failures_extension_shapes() {
-        let r = ext_failures(Scale::Smoke);
+        let r = ext_failures(Scale::Smoke, &Registry::disabled());
         // No failures → no maintenance anywhere.
         assert_eq!(r.value("Push/Multicast_none_maintenance"), Some(0.0));
         // Heavy failures → repair traffic on trees.
@@ -186,7 +189,7 @@ mod tests {
 
     #[test]
     fn policy_extension_validates_recommendations() {
-        let r = ext_policy(Scale::Smoke);
+        let r = ext_policy(Scale::Smoke, &Registry::disabled());
         // The strict pick actually meets its bound.
         let lag = r.value("strict_2s_pick_lag_s").unwrap();
         let bound = r.value("strict_2s_bound_s").unwrap();
@@ -204,11 +207,10 @@ mod tests {
 
     #[test]
     fn adaptive_extension_shapes() {
-        let r = ext_adaptive(Scale::Smoke);
+        let r = ext_adaptive(Scale::Smoke, &Registry::disabled());
         // On steady content the prediction pays off.
         assert!(
-            r.value("AdaptiveTTL_steady_lag_s").unwrap()
-                < r.value("TTL_steady_lag_s").unwrap()
+            r.value("AdaptiveTTL_steady_lag_s").unwrap() < r.value("TTL_steady_lag_s").unwrap()
         );
         // On bursty content it burns polls relative to Algorithm 1.
         assert!(

@@ -4,6 +4,7 @@ use crate::eval_figs::{run_batch, section4_updates};
 use crate::report::FigureReport;
 use crate::scale::Scale;
 use cdnc_core::{Scheme, SimConfig};
+use cdnc_obs::Registry;
 use cdnc_simcore::SimDuration;
 
 fn section5_config(scale: Scale, scheme: Scheme) -> SimConfig {
@@ -14,9 +15,8 @@ fn section5_config(scale: Scale, scheme: Scheme) -> SimConfig {
 
 /// Fig. 22(a): number of update messages to content servers vs end-user TTL,
 /// for the six §5 systems.
-pub fn fig22a(scale: Scale) -> FigureReport {
-    let mut report =
-        FigureReport::new("fig22a", "Update messages to servers vs end-user TTL");
+pub fn fig22a(scale: Scale, obs: &Registry) -> FigureReport {
+    let mut report = FigureReport::new("fig22a", "Update messages to servers vs end-user TTL");
     let lineup = Scheme::section5_lineup();
     let user_ttls = scale.user_ttl_sweep_s();
     let mut configs = Vec::new();
@@ -27,7 +27,7 @@ pub fn fig22a(scale: Scale) -> FigureReport {
             configs.push(cfg);
         }
     }
-    let reports = run_batch(configs);
+    let reports = run_batch(configs, obs);
     for (i, chunk) in reports.chunks(lineup.len()).enumerate() {
         let ttl = user_ttls[i];
         let cells: Vec<String> = chunk
@@ -47,9 +47,8 @@ pub fn fig22a(scale: Scale) -> FigureReport {
 
 /// Fig. 22(b): number of update messages sent by the content provider vs
 /// content-server TTL.
-pub fn fig22b(scale: Scale) -> FigureReport {
-    let mut report =
-        FigureReport::new("fig22b", "Update messages from the provider vs server TTL");
+pub fn fig22b(scale: Scale, obs: &Registry) -> FigureReport {
+    let mut report = FigureReport::new("fig22b", "Update messages from the provider vs server TTL");
     let lineup = Scheme::section5_lineup();
     let server_ttls = scale.server_ttl_sweep_s();
     let mut configs = Vec::new();
@@ -60,7 +59,7 @@ pub fn fig22b(scale: Scale) -> FigureReport {
             configs.push(cfg);
         }
     }
-    let reports = run_batch(configs);
+    let reports = run_batch(configs, obs);
     for (i, chunk) in reports.chunks(lineup.len()).enumerate() {
         let ttl = server_ttls[i];
         let cells: Vec<String> = chunk
@@ -80,11 +79,10 @@ pub fn fig22b(scale: Scale) -> FigureReport {
 
 /// Fig. 23: consistency-maintenance network load (km), split into update
 /// and light messages, for the six systems.
-pub fn fig23(scale: Scale) -> FigureReport {
-    let mut report =
-        FigureReport::new("fig23", "Network load (km): update vs light messages");
+pub fn fig23(scale: Scale, obs: &Registry) -> FigureReport {
+    let mut report = FigureReport::new("fig23", "Network load (km): update vs light messages");
     let lineup = Scheme::section5_lineup();
-    let reports = run_batch(lineup.iter().map(|&s| section5_config(scale, s)).collect());
+    let reports = run_batch(lineup.iter().map(|&s| section5_config(scale, s)).collect(), obs);
     for r in &reports {
         report.row(format!(
             "  {:<13} update = {:>12.3e} km   light = {:>12.3e} km   total = {:>12.3e} km   inter-ISP share = {:>5.1}%",
@@ -110,7 +108,7 @@ pub fn fig23(scale: Scale) -> FigureReport {
 
 /// Fig. 24: percentage of user observations that were inconsistent, vs
 /// end-user TTL, under the roaming-user scenario.
-pub fn fig24(scale: Scale) -> FigureReport {
+pub fn fig24(scale: Scale, obs: &Registry) -> FigureReport {
     let mut report =
         FigureReport::new("fig24", "% inconsistency observations vs end-user TTL (roaming)");
     let lineup = Scheme::section5_lineup();
@@ -124,7 +122,7 @@ pub fn fig24(scale: Scale) -> FigureReport {
             configs.push(cfg);
         }
     }
-    let reports = run_batch(configs);
+    let reports = run_batch(configs, obs);
     for (i, chunk) in reports.chunks(lineup.len()).enumerate() {
         let ttl = user_ttls[i];
         let cells: Vec<String> = chunk
@@ -151,7 +149,7 @@ mod tests {
     #[test]
     fn fig22a_ordering_matches_paper() {
         // Paper: Push > Invalidation > Hybrid ≈ TTL > HAT > Self.
-        let r = fig22a(Scale::Smoke);
+        let r = fig22a(Scale::Smoke, &Registry::disabled());
         let at = |name: &str| r.value(&format!("{name}_updates_uttl10")).unwrap();
         assert!(at("Push") > at("Invalidation"), "Push > Invalidation");
         assert!(at("Invalidation") > at("TTL"), "Invalidation > TTL");
@@ -161,7 +159,7 @@ mod tests {
 
     #[test]
     fn fig22b_hybrid_lightens_provider() {
-        let r = fig22b(Scale::Smoke);
+        let r = fig22b(Scale::Smoke, &Registry::disabled());
         let at = |name: &str| r.value(&format!("{name}_provider_updates_sttl60")).unwrap();
         assert!(at("HAT") < at("TTL") / 4.0, "HAT {} ≪ TTL {}", at("HAT"), at("TTL"));
         assert!(at("Hybrid") < at("Push") / 4.0, "Hybrid ≪ Push");
@@ -169,7 +167,7 @@ mod tests {
 
     #[test]
     fn fig24_push_never_shows_regressions() {
-        let r = fig24(Scale::Smoke);
+        let r = fig24(Scale::Smoke, &Registry::disabled());
         let push = r.value("Push_obs_rate_uttl10").unwrap();
         let ttl = r.value("TTL_obs_rate_uttl10").unwrap();
         assert!(push <= ttl, "push rate {push} must not exceed ttl {ttl}");

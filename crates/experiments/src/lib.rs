@@ -15,6 +15,7 @@
 pub mod eval_figs;
 pub mod ext_figs;
 pub mod hat_figs;
+pub mod obs_out;
 pub mod report;
 pub mod scale;
 pub mod trace_figs;
@@ -22,15 +23,14 @@ pub mod trace_figs;
 pub use report::FigureReport;
 pub use scale::Scale;
 
-use cdnc_trace::{crawl, Trace};
+use cdnc_obs::Registry;
+use cdnc_trace::{crawl_with_obs, Trace};
 
 /// Figure ids in paper order (§3 measurement).
-pub const TRACE_FIGURES: [&str; 11] = [
-    "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-];
+pub const TRACE_FIGURES: [&str; 11] =
+    ["fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13"];
 /// §4 evaluation figure ids.
-pub const EVAL_FIGURES: [&str; 7] =
-    ["fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20"];
+pub const EVAL_FIGURES: [&str; 7] = ["fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20"];
 /// §5 HAT figure ids.
 pub const HAT_FIGURES: [&str; 4] = ["fig22a", "fig22b", "fig23", "fig24"];
 /// Extension experiment ids (beyond the paper's figures).
@@ -38,7 +38,14 @@ pub const EXT_FIGURES: [&str; 3] = ["ext_failures", "ext_adaptive", "ext_policy"
 
 /// Builds the measurement trace for a scale (shared by all §3 figures).
 pub fn build_trace(scale: Scale) -> Trace {
-    crawl(&scale.crawl_config())
+    build_trace_with_obs(scale, &Registry::disabled())
+}
+
+/// Builds the measurement trace with crawl instrumentation recording into
+/// `obs` (poll counts, absence skips, skew-correction residuals, phase
+/// timings).
+pub fn build_trace_with_obs(scale: Scale, obs: &Registry) -> Trace {
+    crawl_with_obs(&scale.crawl_config(), obs)
 }
 
 /// Runs one figure by id. §3 figures need a trace: pass the output of
@@ -47,6 +54,21 @@ pub fn build_trace(scale: Scale) -> Trace {
 ///
 /// Returns `None` for an unknown id.
 pub fn run_figure(id: &str, scale: Scale, trace: Option<&Trace>) -> Option<FigureReport> {
+    run_figure_with_obs(id, scale, trace, &Registry::disabled())
+}
+
+/// Runs one figure with instrumentation recording into `obs`: the whole
+/// figure runs under a span named after it, every simulation it launches
+/// accumulates metrics into the registry, and an on-demand trace build is
+/// instrumented too. Observation-only — the returned report is identical
+/// to [`run_figure`]'s for the same inputs.
+pub fn run_figure_with_obs(
+    id: &str,
+    scale: Scale,
+    trace: Option<&Trace>,
+    obs: &Registry,
+) -> Option<FigureReport> {
+    let _figure_span = obs.span(id);
     let report = match id {
         "fig3" | "fig4" | "fig5" | "fig6" | "fig7" | "fig8" | "fig9" | "fig10" | "fig11"
         | "fig12" | "fig13" => {
@@ -54,7 +76,7 @@ pub fn run_figure(id: &str, scale: Scale, trace: Option<&Trace>) -> Option<Figur
             let t = match trace {
                 Some(t) => t,
                 None => {
-                    owned = build_trace(scale);
+                    owned = build_trace_with_obs(scale, obs);
                     &owned
                 }
             };
@@ -72,20 +94,20 @@ pub fn run_figure(id: &str, scale: Scale, trace: Option<&Trace>) -> Option<Figur
                 _ => trace_figs::fig13(t),
             }
         }
-        "fig14" => eval_figs::fig14(scale),
-        "fig15" => eval_figs::fig15(scale),
-        "fig16" => eval_figs::fig16(scale),
-        "fig17" => eval_figs::fig17(scale),
-        "fig18" => eval_figs::fig18(scale),
-        "fig19" => eval_figs::fig19(scale),
-        "fig20" => eval_figs::fig20(scale),
-        "fig22a" => hat_figs::fig22a(scale),
-        "fig22b" => hat_figs::fig22b(scale),
-        "fig23" => hat_figs::fig23(scale),
-        "fig24" => hat_figs::fig24(scale),
-        "ext_failures" => ext_figs::ext_failures(scale),
-        "ext_adaptive" => ext_figs::ext_adaptive(scale),
-        "ext_policy" => ext_figs::ext_policy(scale),
+        "fig14" => eval_figs::fig14(scale, obs),
+        "fig15" => eval_figs::fig15(scale, obs),
+        "fig16" => eval_figs::fig16(scale, obs),
+        "fig17" => eval_figs::fig17(scale, obs),
+        "fig18" => eval_figs::fig18(scale, obs),
+        "fig19" => eval_figs::fig19(scale, obs),
+        "fig20" => eval_figs::fig20(scale, obs),
+        "fig22a" => hat_figs::fig22a(scale, obs),
+        "fig22b" => hat_figs::fig22b(scale, obs),
+        "fig23" => hat_figs::fig23(scale, obs),
+        "fig24" => hat_figs::fig24(scale, obs),
+        "ext_failures" => ext_figs::ext_failures(scale, obs),
+        "ext_adaptive" => ext_figs::ext_adaptive(scale, obs),
+        "ext_policy" => ext_figs::ext_policy(scale, obs),
         _ => return None,
     };
     Some(report)

@@ -3,26 +3,35 @@
 //!
 //! ```text
 //! experiments <figure-id | all | list> [--scale smoke|default|paper]
+//!                                      [--obs] [--obs-log <level>] [--obs-dir <dir>]
 //! experiments crawl <out.bin>          [--scale …]   # save a crawl trace
 //! experiments verdict <trace.bin>                    # §3.6 verdict on a saved trace
 //! ```
+//!
+//! With `--obs`, every figure run collects metrics and phase timings into a
+//! run artifact at `<obs-dir>/<figure>.json`, a phase-timing table prints at
+//! the end, and `all` additionally writes a consolidated
+//! `<obs-dir>/summary.json`. `--obs-log debug|info|warn` also streams
+//! structured events into `<obs-dir>/<figure>.jsonl`.
 
-use cdnc_experiments::{
-    build_trace, run_figure, Scale, EVAL_FIGURES, EXT_FIGURES, HAT_FIGURES, TRACE_FIGURES,
+use cdnc_experiments::obs_out::{
+    summary_entry, timing_table, write_figure_artifact, write_summary, ObsSettings,
 };
+use cdnc_experiments::{
+    build_trace_with_obs, run_figure_with_obs, Scale, EVAL_FIGURES, EXT_FIGURES, HAT_FIGURES,
+    TRACE_FIGURES,
+};
+use cdnc_obs::Level;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!("usage: experiments <figure-id | all | list> [--scale smoke|default|paper]");
+    eprintln!("                   [--obs] [--obs-log debug|info|warn] [--obs-dir <dir>]");
     eprintln!("       experiments crawl <out.bin> [--scale …]   write a crawl trace to disk");
     eprintln!("       experiments verdict <trace.bin>           analyse a saved trace (§3.6)");
     eprintln!("figure ids:");
-    for id in TRACE_FIGURES
-        .iter()
-        .chain(&EVAL_FIGURES)
-        .chain(&HAT_FIGURES)
-        .chain(&EXT_FIGURES)
-    {
+    for id in TRACE_FIGURES.iter().chain(&EVAL_FIGURES).chain(&HAT_FIGURES).chain(&EXT_FIGURES) {
         eprintln!("  {id}");
     }
     ExitCode::FAILURE
@@ -32,6 +41,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut positional: Vec<String> = Vec::new();
     let mut scale = Scale::Default;
+    let mut obs = ObsSettings::off();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -42,6 +52,25 @@ fn main() -> ExitCode {
                     return usage();
                 };
                 scale = parsed;
+                i += 2;
+            }
+            "--obs" => {
+                obs.enabled = true;
+                i += 1;
+            }
+            "--obs-log" => {
+                let Some(value) = args.get(i + 1) else { return usage() };
+                let Some(level) = Level::parse(value) else {
+                    eprintln!("unknown event level: {value}");
+                    return usage();
+                };
+                obs.enabled = true;
+                obs.log_level = Some(level);
+                i += 2;
+            }
+            "--obs-dir" => {
+                let Some(value) = args.get(i + 1) else { return usage() };
+                obs.dir = PathBuf::from(value);
                 i += 2;
             }
             other if positional.len() < 2 => {
@@ -58,11 +87,8 @@ fn main() -> ExitCode {
 
     match target.as_str() {
         "list" => {
-            for id in TRACE_FIGURES
-                .iter()
-                .chain(&EVAL_FIGURES)
-                .chain(&HAT_FIGURES)
-                .chain(&EXT_FIGURES)
+            for id in
+                TRACE_FIGURES.iter().chain(&EVAL_FIGURES).chain(&HAT_FIGURES).chain(&EXT_FIGURES)
             {
                 println!("{id}");
             }
@@ -70,13 +96,44 @@ fn main() -> ExitCode {
         }
         "all" => {
             let started = std::time::Instant::now();
+            let mut entries = Vec::new();
             println!("building measurement trace ({scale:?} scale)…");
-            let trace = build_trace(scale);
+            let crawl_reg = obs.registry();
+            let crawl_started = std::time::Instant::now();
+            let trace = build_trace_with_obs(scale, &crawl_reg);
+            if obs.enabled {
+                entries.push(summary_entry(
+                    "crawl",
+                    crawl_started.elapsed().as_secs_f64(),
+                    &crawl_reg,
+                ));
+            }
+            let mut run_one = |id: &str, shared: Option<&cdnc_trace::Trace>| {
+                let reg = obs.registry();
+                let fig_started = std::time::Instant::now();
+                let report = run_figure_with_obs(id, scale, shared, &reg).expect("known id");
+                print!("{report}");
+                let wall_s = fig_started.elapsed().as_secs_f64();
+                if obs.enabled {
+                    entries.push(summary_entry(id, wall_s, &reg));
+                    if let Err(e) =
+                        write_figure_artifact(&obs.dir, id, scale, &report, wall_s, &reg)
+                    {
+                        eprintln!("cannot write artifact for {id}: {e}");
+                    }
+                }
+            };
             for id in TRACE_FIGURES {
-                print!("{}", run_figure(id, scale, Some(&trace)).expect("known id"));
+                run_one(id, Some(&trace));
             }
             for id in EVAL_FIGURES.iter().chain(&HAT_FIGURES).chain(&EXT_FIGURES) {
-                print!("{}", run_figure(id, scale, None).expect("known id"));
+                run_one(id, None);
+            }
+            if obs.enabled {
+                match write_summary(&obs.dir, scale, entries) {
+                    Ok(path) => println!("observability summary: {}", path.display()),
+                    Err(e) => eprintln!("cannot write summary: {e}"),
+                }
             }
             println!("all figures regenerated in {:.1?}", started.elapsed());
             ExitCode::SUCCESS
@@ -87,7 +144,11 @@ fn main() -> ExitCode {
                 return usage();
             };
             println!("crawling at {scale:?} scale…");
-            let trace = build_trace(scale);
+            let reg = obs.registry();
+            let trace = build_trace_with_obs(scale, &reg);
+            if let Some(table) = obs.enabled.then(|| timing_table(&reg)).flatten() {
+                println!("--- phase timings ---\n{table}");
+            }
             let file = match std::fs::File::create(path) {
                 Ok(f) => f,
                 Err(e) => {
@@ -95,9 +156,7 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            if let Err(e) =
-                cdnc_trace::write_trace(&trace, std::io::BufWriter::new(file))
-            {
+            if let Err(e) = cdnc_trace::write_trace(&trace, std::io::BufWriter::new(file)) {
                 eprintln!("cannot write {path}: {e}");
                 return ExitCode::FAILURE;
             }
@@ -132,15 +191,29 @@ fn main() -> ExitCode {
                 }
             }
         }
-        id => match run_figure(id, scale, None) {
-            Some(report) => {
-                print!("{report}");
-                ExitCode::SUCCESS
+        id => {
+            let reg = obs.registry();
+            let started = std::time::Instant::now();
+            match run_figure_with_obs(id, scale, None, &reg) {
+                Some(report) => {
+                    print!("{report}");
+                    if obs.enabled {
+                        let wall_s = started.elapsed().as_secs_f64();
+                        match write_figure_artifact(&obs.dir, id, scale, &report, wall_s, &reg) {
+                            Ok(path) => println!("run artifact: {}", path.display()),
+                            Err(e) => eprintln!("cannot write artifact for {id}: {e}"),
+                        }
+                        if let Some(table) = timing_table(&reg) {
+                            println!("--- phase timings ---\n{table}");
+                        }
+                    }
+                    ExitCode::SUCCESS
+                }
+                None => {
+                    eprintln!("unknown figure id: {id}");
+                    usage()
+                }
             }
-            None => {
-                eprintln!("unknown figure id: {id}");
-                usage()
-            }
-        },
+        }
     }
 }

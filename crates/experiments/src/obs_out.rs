@@ -1,0 +1,168 @@
+//! Run-artifact output for the experiments binary: per-figure JSON
+//! artifacts, optional JSONL event logs, a consolidated summary, and the
+//! end-of-run phase-timing table printed under `--obs`.
+
+use crate::report::FigureReport;
+use crate::scale::Scale;
+use cdnc_obs::{digest_str, write_event_log, Json, Level, Registry, RunArtifact};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Default artifact directory, relative to the working directory.
+pub const DEFAULT_OBS_DIR: &str = "results/obs";
+
+/// `--obs` / `--obs-log` settings parsed from the command line.
+#[derive(Debug, Clone)]
+pub struct ObsSettings {
+    /// `--obs`: collect metrics and write per-figure artifacts.
+    pub enabled: bool,
+    /// `--obs-log <level>`: also collect a structured event log at this
+    /// minimum level and write it next to the artifact as JSONL.
+    pub log_level: Option<Level>,
+    /// Where artifacts go (`results/obs` unless overridden).
+    pub dir: PathBuf,
+}
+
+impl ObsSettings {
+    /// Disabled settings: no registry, no files.
+    pub fn off() -> Self {
+        ObsSettings { enabled: false, log_level: None, dir: PathBuf::from(DEFAULT_OBS_DIR) }
+    }
+
+    /// A fresh registry per these settings: enabled (with the event log
+    /// armed when requested) or the inert disabled registry.
+    pub fn registry(&self) -> Registry {
+        if !self.enabled {
+            return Registry::disabled();
+        }
+        let reg = Registry::enabled();
+        if let Some(level) = self.log_level {
+            reg.enable_events(level, 65_536);
+        }
+        reg
+    }
+}
+
+/// The figure's headline numbers as the artifact's `summary` object.
+pub fn figure_summary(report: &FigureReport, scale: Scale, wall_s: f64) -> Json {
+    let keyvals =
+        report.keyvals.iter().fold(Json::obj(), |obj, (name, value)| obj.field(name, *value));
+    Json::obj()
+        .field("title", report.title)
+        .field("scale", format!("{scale:?}"))
+        .field("wall_s", wall_s)
+        .field("keyvals", keyvals)
+}
+
+/// Writes `<dir>/<figure-id>.json` (and `<figure-id>.jsonl` when the event
+/// log is armed) from one figure's registry. Returns the artifact path.
+pub fn write_figure_artifact(
+    dir: &Path,
+    id: &str,
+    scale: Scale,
+    report: &FigureReport,
+    wall_s: f64,
+    reg: &Registry,
+) -> io::Result<PathBuf> {
+    let seed = scale.crawl_config().seed;
+    let artifact = RunArtifact::new(id, seed, digest_str(&format!("{id}:{scale:?}")))
+        .with_summary(figure_summary(report, scale, wall_s));
+    let path = artifact.write_to_dir(dir, reg)?;
+    write_event_log(dir, id, reg)?;
+    Ok(path)
+}
+
+/// Formats the phase-timing table printed at the end of an `--obs` run.
+/// Returns `None` when no spans were recorded.
+pub fn timing_table(reg: &Registry) -> Option<String> {
+    let snap = reg.snapshot();
+    if snap.spans.is_empty() {
+        return None;
+    }
+    let width = snap.spans.iter().map(|(p, _)| p.len()).max().unwrap_or(5).max(5);
+    let mut out = String::new();
+    out.push_str(&format!("  {:<width$}  {:>7}  {:>10}\n", "phase", "count", "total"));
+    for (path, timing) in &snap.spans {
+        out.push_str(&format!(
+            "  {:<width$}  {:>7}  {:>9.3}s\n",
+            path,
+            timing.count,
+            timing.total_secs()
+        ));
+    }
+    Some(out)
+}
+
+/// One row of the consolidated `summary.json` written by `experiments all`.
+pub fn summary_entry(id: &str, wall_s: f64, reg: &Registry) -> Json {
+    let events = reg.snapshot().counter("sched_events_processed");
+    let events_per_s = if wall_s > 0.0 { events as f64 / wall_s } else { 0.0 };
+    Json::obj()
+        .field("figure", id)
+        .field("wall_s", wall_s)
+        .field("events", events)
+        .field("events_per_s", events_per_s)
+}
+
+/// Writes `<dir>/summary.json` consolidating every figure of an `all` run.
+pub fn write_summary(dir: &Path, scale: Scale, entries: Vec<Json>) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let total_wall: f64 =
+        entries.iter().filter_map(|e| e.get("wall_s").and_then(Json::as_f64)).sum();
+    let total_events: f64 =
+        entries.iter().filter_map(|e| e.get("events").and_then(Json::as_f64)).sum();
+    let doc = Json::obj()
+        .field("scale", format!("{scale:?}"))
+        .field("total_wall_s", total_wall)
+        .field("total_events", total_events)
+        .field("figures", Json::Arr(entries));
+    let path = dir.join("summary.json");
+    std::fs::write(&path, doc.to_pretty())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_settings_yield_inert_registry() {
+        let s = ObsSettings::off();
+        assert!(!s.registry().is_enabled());
+    }
+
+    #[test]
+    fn enabled_settings_arm_event_log() {
+        let s = ObsSettings {
+            enabled: true,
+            log_level: Some(Level::Debug),
+            dir: PathBuf::from(DEFAULT_OBS_DIR),
+        };
+        let reg = s.registry();
+        assert!(reg.is_enabled());
+        reg.event(Level::Debug, "probe", Json::obj);
+        assert_eq!(reg.drain_events().len(), 1);
+    }
+
+    #[test]
+    fn summary_entry_computes_rate() {
+        let reg = Registry::enabled();
+        reg.counter("sched_events_processed").add(500);
+        let e = summary_entry("figX", 2.0, &reg);
+        assert_eq!(e.get("events").and_then(Json::as_f64), Some(500.0));
+        assert_eq!(e.get("events_per_s").and_then(Json::as_f64), Some(250.0));
+    }
+
+    #[test]
+    fn timing_table_lists_phases() {
+        let reg = Registry::enabled();
+        {
+            let _g = reg.span("outer");
+            let _h = reg.span("inner");
+        }
+        let table = timing_table(&reg).expect("spans recorded");
+        assert!(table.contains("outer"));
+        assert!(table.contains("outer/inner"));
+        assert!(timing_table(&Registry::disabled()).is_none());
+    }
+}

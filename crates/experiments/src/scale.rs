@@ -33,9 +33,19 @@ impl Scale {
     /// The crawl configuration for the §3 measurement reproduction.
     pub fn crawl_config(self) -> CrawlConfig {
         match self {
-            Scale::Smoke => CrawlConfig { servers: 60, users: 30, days: 3, seed: 7, ..CrawlConfig::tiny() },
-            Scale::Default => CrawlConfig { servers: 250, users: 120, days: 6, seed: 7, ..CrawlConfig::default() },
-            Scale::Paper => CrawlConfig { servers: 3_000, users: 200, days: 15, seed: 7, ..CrawlConfig::default() },
+            Scale::Smoke => {
+                CrawlConfig { servers: 60, users: 30, days: 3, seed: 7, ..CrawlConfig::tiny() }
+            }
+            Scale::Default => {
+                CrawlConfig { servers: 250, users: 120, days: 6, seed: 7, ..CrawlConfig::default() }
+            }
+            Scale::Paper => CrawlConfig {
+                servers: 3_000,
+                users: 200,
+                days: 15,
+                seed: 7,
+                ..CrawlConfig::default()
+            },
         }
     }
 

@@ -6,8 +6,8 @@
 use crate::report::{cdf_rows, FigureReport};
 use cdnc_analysis::causes::{
     detect_absences, distance_vs_consistency, inconsistency_around_absences,
-    inconsistency_by_absence_length_pooled, isp_inconsistency,
-    provider_inconsistency_lengths, provider_response_times,
+    inconsistency_by_absence_length_pooled, isp_inconsistency, provider_inconsistency_lengths,
+    provider_response_times,
 };
 use cdnc_analysis::inconsistency::{
     corrected_polls_by_server, day_episodes, episodes_of_server, first_appearances_for,
@@ -52,9 +52,7 @@ fn inner_cluster_lengths(trace: &Trace) -> Vec<f64> {
             for &m in &members {
                 if let Some(server_polls) = polls.get(&m) {
                     lengths.extend(
-                        episodes_of_server(m, server_polls, &alpha)
-                            .iter()
-                            .map(|e| e.length_s),
+                        episodes_of_server(m, server_polls, &alpha).iter().map(|e| e.length_s),
                     );
                 }
             }
@@ -86,7 +84,7 @@ pub fn fig4(trace: &Trace) -> FigureReport {
     for row in cdf_rows(&redirects, 0.0, 0.4, 11) {
         report.row(row);
     }
-    report.keyval("redirect_median (paper mode 0.13-0.17)", redirects.median());
+    report.keyval("redirect_median (paper mode 0.13-0.17)", redirects.median().unwrap_or(f64::NAN));
     // (b) percent of inconsistent servers per day.
     report.row("(b) average stale-server fraction per day:");
     let mut fractions = Vec::new();
@@ -103,23 +101,16 @@ pub fn fig4(trace: &Trace) -> FigureReport {
     for row in cdf_rows(&cons, 0.0, 2_000.0, 11) {
         report.row(row);
     }
-    report.keyval("continuous_consistency_median_s (paper ~160)", cons.median());
-    report.keyval(
-        "continuous_consistency_below_400s (paper 0.824)",
-        cons.fraction_at_most(400.0),
-    );
+    report
+        .keyval("continuous_consistency_median_s (paper ~160)", cons.median().unwrap_or(f64::NAN));
+    report.keyval("continuous_consistency_below_400s (paper 0.824)", cons.fraction_at_most(400.0));
     report.row("(d) CDF of continuous inconsistency time:");
     for row in cdf_rows(&incons, 0.0, 60.0, 13) {
         report.row(row);
     }
-    report.keyval(
-        "continuous_inconsistency_below_10s (paper 0.70)",
-        incons.fraction_at_most(10.0),
-    );
-    report.keyval(
-        "continuous_inconsistency_below_20s (paper ~0.99)",
-        incons.fraction_at_most(20.0),
-    );
+    report.keyval("continuous_inconsistency_below_10s (paper 0.70)", incons.fraction_at_most(10.0));
+    report
+        .keyval("continuous_inconsistency_below_20s (paper ~0.99)", incons.fraction_at_most(20.0));
     // (e) inconsistency time vs visit frequency.
     report.row("(e) continuous inconsistency percentiles vs visit frequency:");
     for stride in 1..=6usize {
@@ -130,15 +121,15 @@ pub fn fig4(trace: &Trace) -> FigureReport {
         report.row(format!(
             "  visit every {:>3}s: p5={:>6.1}s median={:>6.1}s p95={:>6.1}s",
             stride as u64 * trace.poll_interval.as_secs(),
-            inc.percentile(5.0),
-            inc.median(),
-            inc.percentile(95.0)
+            inc.percentile(5.0).unwrap(),
+            inc.median().unwrap(),
+            inc.percentile(95.0).unwrap()
         ));
         if stride == 1 {
-            report.keyval("fig4e_p95_at_10s", inc.percentile(95.0));
+            report.keyval("fig4e_p95_at_10s", inc.percentile(95.0).unwrap());
         }
         if stride == 6 {
-            report.keyval("fig4e_p95_at_60s", inc.percentile(95.0));
+            report.keyval("fig4e_p95_at_60s", inc.percentile(95.0).unwrap());
         }
     }
     report
@@ -190,8 +181,7 @@ pub fn fig6(trace: &Trace) -> FigureReport {
 /// Fig. 7: inconsistency of data served by the provider origin.
 pub fn fig7(trace: &Trace) -> FigureReport {
     let mut report = FigureReport::new("fig7", "Provider origin inconsistency CDF");
-    let lengths: Vec<f64> =
-        trace.days.iter().flat_map(provider_inconsistency_lengths).collect();
+    let lengths: Vec<f64> = trace.days.iter().flat_map(provider_inconsistency_lengths).collect();
     if lengths.is_empty() {
         report.row("  origin replicas showed no stale episodes");
         report.keyval("fraction_below_10s (paper 0.902)", 1.0);
@@ -234,10 +224,10 @@ pub fn fig9(trace: &Trace) -> FigureReport {
             "  isp{:>3} ({:>3} servers): intra p50={:>5.1} p95={:>6.1} | inter p50={:>5.1} p95={:>6.1}",
             c.isp,
             c.servers,
-            intra.median(),
-            intra.percentile(95.0),
-            inter.median(),
-            inter.percentile(95.0)
+            intra.median().unwrap(),
+            intra.percentile(95.0).unwrap(),
+            inter.median().unwrap(),
+            inter.percentile(95.0).unwrap()
         ));
         increments.push(inter.mean() - intra.mean());
     }
@@ -254,8 +244,7 @@ pub fn fig9(trace: &Trace) -> FigureReport {
 
 /// Fig. 10: provider bandwidth and server absence effects.
 pub fn fig10(trace: &Trace) -> FigureReport {
-    let mut report =
-        FigureReport::new("fig10", "Provider response times and absence effects");
+    let mut report = FigureReport::new("fig10", "Provider response times and absence effects");
     // (a) provider response times.
     let rt = provider_response_times(&trace.days[0]);
     report.row("(a) provider response time CDF:");
@@ -302,10 +291,7 @@ pub fn fig10(trace: &Trace) -> FigureReport {
     if xs.len() >= 3 {
         let (slope, _) = cdnc_simcore::stats::linear_fit(&xs, &ys);
         report.keyval("absence_slope_s_per_s (paper ~0.0145)", slope);
-        report.keyval(
-            "absence_increase_at_400s (paper ~5.8s)",
-            (slope * 400.0).max(0.0),
-        );
+        report.keyval("absence_increase_at_400s (paper ~5.8s)", (slope * 400.0).max(0.0));
     }
     // (d) inconsistency around absences.
     report.row("(d) mean inconsistency near absences (window 60 s):");
@@ -322,8 +308,7 @@ pub fn fig10(trace: &Trace) -> FigureReport {
 
 /// Fig. 11: static multicast tree non-existence (rank churn).
 pub fn fig11(trace: &Trace) -> FigureReport {
-    let mut report =
-        FigureReport::new("fig11", "Static multicast-tree test: cluster rank churn");
+    let mut report = FigureReport::new("fig11", "Static multicast-tree test: cluster rank churn");
     let points: Vec<_> = trace.servers.iter().map(|s| s.location).collect();
     let groups: Vec<Vec<u32>> = cluster_by_location(&points, 0)
         .into_iter()
@@ -359,23 +344,16 @@ pub fn fig11(trace: &Trace) -> FigureReport {
 /// Fig. 13 (the paper's architecture-deduction diagram): the automated
 /// §3.6 verdict over the whole trace.
 pub fn fig13(trace: &Trace) -> FigureReport {
-    let mut report = FigureReport::new(
-        "fig13",
-        "Architecture deduction: the automated §3.6 verdict",
-    );
+    let mut report =
+        FigureReport::new("fig13", "Architecture deduction: the automated §3.6 verdict");
     let verdict = cdnc_analysis::analyze(trace);
     for line in verdict.to_string().lines() {
         report.row(format!("  {line}"));
     }
-    report.keyval(
-        "inferred_ttl_s (ground truth 60)",
-        verdict.inferred_ttl_s.unwrap_or(f64::NAN),
-    );
+    report.keyval("inferred_ttl_s (ground truth 60)", verdict.inferred_ttl_s.unwrap_or(f64::NAN));
     report.keyval("ttl_contribution (paper ~0.75)", verdict.ttl_contribution);
-    report.keyval(
-        "uses_unicast_ttl (ground truth 1)",
-        f64::from(u8::from(verdict.uses_unicast_ttl)),
-    );
+    report
+        .keyval("uses_unicast_ttl (ground truth 1)", f64::from(u8::from(verdict.uses_unicast_ttl)));
     report
 }
 
@@ -395,10 +373,7 @@ pub fn fig12(trace: &Trace) -> FigureReport {
             report.row(row);
         }
         let frac = fraction_below_ttl(trace, day, 60.0);
-        report.keyval(
-            format!("day_{label}_fraction_below_60s (paper 0.767/0.869)"),
-            frac,
-        );
+        report.keyval(format!("day_{label}_fraction_below_60s (paper 0.767/0.869)"), frac);
         // Our ground truth adds explicit fetch/origin delays on top of the
         // TTL wait, so also report the fraction below TTL + delay slack —
         // the unicast-vs-multicast discriminator (multicast would put most

@@ -109,22 +109,18 @@ pub fn centroid_member(points: &[GeoPoint], cluster: &Cluster) -> Option<usize> 
     if cluster.is_empty() {
         return None;
     }
-    let lat = cluster.members.iter().map(|&i| points[i].lat_deg()).sum::<f64>()
-        / cluster.len() as f64;
-    let lon = cluster.members.iter().map(|&i| points[i].lon_deg()).sum::<f64>()
-        / cluster.len() as f64;
+    let lat =
+        cluster.members.iter().map(|&i| points[i].lat_deg()).sum::<f64>() / cluster.len() as f64;
+    let lon =
+        cluster.members.iter().map(|&i| points[i].lon_deg()).sum::<f64>() / cluster.len() as f64;
     let centre = GeoPoint::new(lat.clamp(-90.0, 90.0), lon.clamp(-180.0, 180.0)).ok()?;
-    cluster
-        .members
-        .iter()
-        .copied()
-        .min_by(|&a, &b| {
-            points[a]
-                .distance_km(&centre)
-                .partial_cmp(&points[b].distance_km(&centre))
-                .expect("finite distances")
-                .then(a.cmp(&b))
-        })
+    cluster.members.iter().copied().min_by(|&a, &b| {
+        points[a]
+            .distance_km(&centre)
+            .partial_cmp(&points[b].distance_km(&centre))
+            .expect("finite distances")
+            .then(a.cmp(&b))
+    })
 }
 
 #[cfg(test)]

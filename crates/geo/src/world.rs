@@ -236,8 +236,7 @@ impl WorldBuilder {
             let city = *rng.choose(&cities);
             let centre = GeoPoint::new(city.lat, city.lon).expect("catalog coordinates valid");
             let j = self.metro_jitter_km;
-            let location =
-                centre.displaced_km(rng.uniform_range(-j, j), rng.uniform_range(-j, j));
+            let location = centre.displaced_km(rng.uniform_range(-j, j), rng.uniform_range(-j, j));
             let isp = city_isp(city, rng.index(ISPS_PER_CITY));
             nodes.push(WorldNode { location, city: city.name.to_owned(), region, isp });
         }
@@ -253,9 +252,8 @@ fn city_isp(city: &City, k: usize) -> IspId {
         as u16
         * ISPS_PER_REGION;
     // Stable per-city offset derived from the name.
-    let h: u32 = city.name.bytes().fold(2166136261u32, |acc, b| {
-        (acc ^ b as u32).wrapping_mul(16777619)
-    });
+    let h: u32 =
+        city.name.bytes().fold(2166136261u32, |acc, b| (acc ^ b as u32).wrapping_mul(16777619));
     let offset = (h as u16).wrapping_add(k as u16 * 7) % ISPS_PER_REGION;
     IspId(region_base + offset)
 }
@@ -300,8 +298,7 @@ mod tests {
     fn isps_are_region_scoped() {
         let world = WorldBuilder::new(2_000).seed(5).build();
         for node in world.nodes() {
-            let region_index =
-                Region::ALL.iter().position(|r| *r == node.region).unwrap() as u16;
+            let region_index = Region::ALL.iter().position(|r| *r == node.region).unwrap() as u16;
             let base = region_index * ISPS_PER_REGION;
             assert!(
                 (base..base + ISPS_PER_REGION).contains(&node.isp.0),

@@ -89,9 +89,7 @@ impl AbsenceSchedule {
             if config.mean_gap_s.is_finite() {
                 let mut t = SimTime::ZERO;
                 loop {
-                    let gap = SimDuration::from_secs_f64(
-                        rng.exponential(1.0 / config.mean_gap_s),
-                    );
+                    let gap = SimDuration::from_secs_f64(rng.exponential(1.0 / config.mean_gap_s));
                     let Some(start) = t.checked_add(gap) else { break };
                     if start > horizon {
                         break;
@@ -155,11 +153,7 @@ impl AbsenceSchedule {
 
     /// All absence lengths across all nodes, seconds.
     pub fn all_lengths_s(&self) -> Vec<f64> {
-        self.intervals
-            .iter()
-            .flatten()
-            .map(|&(s, e)| e.since(s).as_secs_f64())
-            .collect()
+        self.intervals.iter().flatten().map(|&(s, e)| e.since(s).as_secs_f64()).collect()
     }
 }
 

@@ -56,6 +56,10 @@ pub struct Network {
     config: NetworkConfig,
     traffic: TrafficStats,
     rng: SimRng,
+    /// Observation-only instrumentation; see [`Network::set_obs`].
+    obs_enqueued: cdnc_obs::Counter,
+    obs_backlog: cdnc_obs::Gauge,
+    obs_queue_delay: cdnc_obs::Histogram,
 }
 
 impl Network {
@@ -67,7 +71,22 @@ impl Network {
             config,
             traffic: TrafficStats::new(),
             rng: SimRng::seed_from_u64(seed ^ 0x4e45_5457), // "NETW"
+            obs_enqueued: cdnc_obs::Counter::default(),
+            obs_backlog: cdnc_obs::Gauge::default(),
+            obs_queue_delay: cdnc_obs::Histogram::default(),
         }
+    }
+
+    /// Attaches metrics: `net_packets_enqueued` (counter),
+    /// `net_uplink_backlog_ms` (gauge whose high-water mark is the deepest
+    /// sender backlog any packet queued behind, in milliseconds), and
+    /// `net_uplink_queue_delay_s` (histogram of the queueing delay each
+    /// packet faced at its sender's uplink, seconds). Observation-only:
+    /// never read back into delivery times.
+    pub fn set_obs(&mut self, registry: &cdnc_obs::Registry) {
+        self.obs_enqueued = registry.counter("net_packets_enqueued");
+        self.obs_backlog = registry.gauge("net_uplink_backlog_ms");
+        self.obs_queue_delay = registry.histogram("net_uplink_queue_delay_s");
     }
 
     /// Creates a network with one node per [`World`] node, in world order.
@@ -136,9 +155,12 @@ impl Network {
     /// Panics if either endpoint is out of range.
     pub fn send(&mut self, now: SimTime, packet: &Packet) -> SimTime {
         let distance = self.distance_km(packet.src, packet.dst);
-        let crosses_isp =
-            self.node(packet.src).isp() != self.node(packet.dst).isp();
+        let crosses_isp = self.node(packet.src).isp() != self.node(packet.dst).isp();
         self.traffic.record_with_isp(packet, distance, crosses_isp);
+        let queue_delay = self.uplinks[packet.src.index()].queueing_delay(now);
+        self.obs_enqueued.inc();
+        self.obs_queue_delay.record(queue_delay.as_secs_f64());
+        self.obs_backlog.set((queue_delay.as_secs_f64() * 1e3) as u64);
         let departed = self.uplinks[packet.src.index()].transmit(now, packet.size_kb);
         let (src, dst) = (&self.nodes[packet.src.index()], &self.nodes[packet.dst.index()]);
         departed + self.config.latency.delay(src, dst, &mut self.rng)
@@ -222,6 +244,36 @@ mod tests {
             last.since(t).as_secs_f64() - first.since(t).as_secs_f64() > 0.3,
             "queueing must spread a burst: first {first}, last {last}"
         );
+    }
+
+    #[test]
+    fn obs_metrics_track_sends_and_backlog() {
+        let reg = cdnc_obs::Registry::enabled();
+        let (mut net, a, b) = two_node_net();
+        net.set_obs(&reg);
+        for _ in 0..10 {
+            net.send(SimTime::ZERO, &Packet::update(a, b, 100.0));
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("net_packets_enqueued"), 10);
+        let delays = snap.histogram("net_uplink_queue_delay_s").unwrap();
+        assert_eq!(delays.count, 10);
+        // The first packet saw an idle uplink; the last queued behind nine.
+        assert_eq!(delays.min, 0.0);
+        assert!(delays.max > 0.05, "burst backlog {}", delays.max);
+        let backlog = snap.gauges.iter().find(|(n, _)| n == "net_uplink_backlog_ms").unwrap().1;
+        assert!(backlog.high_water >= 50, "high water {}", backlog.high_water);
+    }
+
+    #[test]
+    fn obs_does_not_change_delivery() {
+        let (mut plain, a, b) = two_node_net();
+        let (mut wired, _, _) = two_node_net();
+        wired.set_obs(&cdnc_obs::Registry::enabled());
+        for _ in 0..5 {
+            let p = Packet::update(a, b, 10.0);
+            assert_eq!(plain.send(SimTime::ZERO, &p), wired.send(SimTime::ZERO, &p));
+        }
     }
 
     #[test]

@@ -119,11 +119,26 @@ impl TrafficStats {
     }
 
     /// Fraction of the total km·KB that crossed an ISP boundary.
+    ///
+    /// Note this is volume-weighted: a scheme that eliminates cheap
+    /// short-haul traffic can *raise* its fraction while lowering its
+    /// absolute transit cost. Compare [`TrafficStats::inter_isp_km_kb`]
+    /// or [`TrafficStats::inter_isp_message_fraction`] for cost claims.
     pub fn inter_isp_fraction(&self) -> f64 {
         if self.km_kb <= 0.0 {
             0.0
         } else {
             self.inter_isp_km_kb / self.km_kb
+        }
+    }
+
+    /// Fraction of messages that crossed an ISP boundary.
+    pub fn inter_isp_message_fraction(&self) -> f64 {
+        let total = self.total_messages();
+        if total == 0 {
+            0.0
+        } else {
+            self.inter_isp_messages as f64 / total as f64
         }
     }
 

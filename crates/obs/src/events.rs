@@ -1,0 +1,161 @@
+//! Ring-buffered, level-filtered structured event log.
+//!
+//! Events are held in a bounded ring (oldest dropped first) and drained at
+//! end of run into a JSONL file — one JSON object per line. The log is for
+//! forensic "what happened around the anomaly" questions; aggregate
+//! questions belong to the metrics registry.
+
+use crate::json::Json;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Event severity, ordered from chattiest to most important.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// High-volume tracing detail.
+    Debug,
+    /// Notable state changes.
+    Info,
+    /// Unexpected but non-fatal conditions.
+    Warn,
+}
+
+impl Level {
+    /// The lowercase name used in serialized events.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+        }
+    }
+
+    /// Parses `"debug"` / `"info"` / `"warn"` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "debug" => Some(Level::Debug),
+            "info" => Some(Level::Info),
+            "warn" => Some(Level::Warn),
+            _ => None,
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone)]
+pub struct EventRecord {
+    /// Monotone sequence number across the whole run (records dropped from
+    /// the ring leave visible gaps).
+    pub seq: u64,
+    /// Severity.
+    pub level: Level,
+    /// Short event name, e.g. `"switch_to_invalidation"`.
+    pub label: String,
+    /// Free-form structured payload.
+    pub fields: Json,
+}
+
+impl EventRecord {
+    /// The event as one JSON object (one JSONL line, sans newline).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("seq", self.seq)
+            .field("level", self.level.as_str())
+            .field("event", self.label.as_str())
+            .field("fields", self.fields.clone())
+    }
+}
+
+/// The bounded event buffer.
+#[derive(Debug)]
+pub(crate) struct EventLog {
+    min_level: Level,
+    capacity: usize,
+    seq: AtomicU64,
+    ring: Mutex<VecDeque<EventRecord>>,
+    dropped: AtomicU64,
+}
+
+impl EventLog {
+    pub(crate) fn new(min_level: Level, capacity: usize) -> Self {
+        EventLog {
+            min_level,
+            capacity: capacity.max(1),
+            seq: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::new()),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn accepts(&self, level: Level) -> bool {
+        level >= self.min_level
+    }
+
+    pub(crate) fn push(&self, level: Level, label: &str, fields: Json) {
+        if !self.accepts(level) {
+            return;
+        }
+        let seq = self.seq.fetch_add(1, Relaxed);
+        let mut ring = self.ring.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Relaxed);
+        }
+        ring.push_back(EventRecord { seq, level, label: label.to_owned(), fields });
+    }
+
+    /// Removes and returns all buffered events, oldest first.
+    pub(crate) fn drain(&self) -> Vec<EventRecord> {
+        self.ring.lock().drain(..).collect()
+    }
+
+    /// Events evicted by the ring since the start of the run.
+    pub(crate) fn dropped(&self) -> u64 {
+        self.dropped.load(Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_filter_and_order() {
+        let log = EventLog::new(Level::Info, 16);
+        log.push(Level::Debug, "noise", Json::Null);
+        log.push(Level::Info, "a", Json::Null);
+        log.push(Level::Warn, "b", Json::Null);
+        let events = log.drain();
+        let labels: Vec<&str> = events.iter().map(|e| e.label.as_str()).collect();
+        assert_eq!(labels, ["a", "b"]);
+        assert!(events[0].seq < events[1].seq);
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let log = EventLog::new(Level::Debug, 2);
+        for label in ["first", "second", "third"] {
+            log.push(Level::Info, label, Json::Null);
+        }
+        let labels: Vec<String> = log.drain().into_iter().map(|e| e.label).collect();
+        assert_eq!(labels, ["second", "third"]);
+        assert_eq!(log.dropped(), 1);
+    }
+
+    #[test]
+    fn record_serializes_to_jsonl_line() {
+        let log = EventLog::new(Level::Debug, 4);
+        log.push(Level::Warn, "orphaned", Json::obj().field("node", 7u64));
+        let line = log.drain()[0].to_json().to_compact();
+        assert_eq!(line, r#"{"seq":0,"level":"warn","event":"orphaned","fields":{"node":7}}"#);
+    }
+
+    #[test]
+    fn level_parse_round_trips() {
+        for l in [Level::Debug, Level::Info, Level::Warn] {
+            assert_eq!(Level::parse(l.as_str()), Some(l));
+        }
+        assert_eq!(Level::parse("TRACE"), None);
+    }
+}

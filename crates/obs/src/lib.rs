@@ -1,0 +1,47 @@
+//! `cdnc-obs` — the observability layer of the workspace.
+//!
+//! One [`Registry`] handle per run gives instrumented code:
+//!
+//! - **Counters, gauges, histograms** ([`Counter`], [`Gauge`],
+//!   [`Histogram`]): named, interned, updated with relaxed atomics. The
+//!   histogram uses 64 fixed doubling buckets (log scale) plus exact
+//!   count / sum / min / max.
+//! - **Phase timers** ([`Registry::span`]): scoped guards that nest, so
+//!   `build_tree` containing `flush` records `build_tree/flush`.
+//! - **Run artifacts** ([`RunArtifact`]): hand-rolled JSON ([`Json`], no
+//!   serde_json) bundling run identity, metrics, phase timings, and a
+//!   domain summary into `results/obs/<run>.json`.
+//! - **Event log** ([`Registry::enable_events`]): ring-buffered,
+//!   level-filtered structured events drained to a JSONL file.
+//!
+//! # Zero overhead when off
+//!
+//! [`Registry::disabled()`] is the default wiring everywhere. A disabled
+//! registry and its handles are `None` inside; every operation is one
+//! branch and no allocation, so simulation hot paths carry instrumentation
+//! unconditionally.
+//!
+//! # Observation only
+//!
+//! Instrumentation must never feed back into simulated state: nothing read
+//! from a registry (values, wall-clock timings) may influence scheduling,
+//! RNG draws, or results. The experiments suite enforces this with a
+//! paired-run test asserting instrumented and uninstrumented runs produce
+//! bit-identical reports.
+
+pub mod artifact;
+pub mod events;
+pub mod json;
+pub mod metrics;
+pub mod registry;
+pub mod span;
+
+pub use artifact::{digest_str, write_event_log, RunArtifact};
+pub use events::{EventRecord, Level};
+pub use json::{parse, Json};
+pub use metrics::{
+    bucket_floor, bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS,
+    HISTOGRAM_MIN,
+};
+pub use registry::{GaugeSnapshot, MetricsSnapshot, Registry};
+pub use span::{PhaseTiming, SpanGuard};

@@ -1,0 +1,330 @@
+//! The metrics registry: named instruments, phase timers, and the event log
+//! behind one cloneable handle.
+//!
+//! # Disabled mode
+//!
+//! [`Registry::disabled()`] holds no allocation at all. Instruments minted
+//! from it are inert, and every operation on the registry or its handles
+//! costs exactly one branch (`Option` check on an `Arc`). Code under
+//! instrumentation therefore never needs `if obs.enabled()` guards.
+//!
+//! # Interning
+//!
+//! Instruments are interned by name: two `counter("x")` calls return handles
+//! to the same cell, wherever they happen. Callers grab handles once and
+//! update through them on hot paths; name lookup is the cold path.
+
+use crate::events::{EventLog, EventRecord, Level};
+use crate::json::Json;
+use crate::metrics::{Counter, Gauge, GaugeCore, Histogram, HistogramCore, HistogramSnapshot};
+use crate::span::{PhaseTiming, SpanGuard, SpanRecorder};
+use parking_lot::Mutex;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+#[derive(Default)]
+struct Inner {
+    counters: Mutex<Vec<(String, Arc<AtomicU64>)>>,
+    gauges: Mutex<Vec<(String, Arc<GaugeCore>)>>,
+    histograms: Mutex<Vec<(String, Arc<HistogramCore>)>>,
+    spans: Arc<SpanRecorder>,
+    events: Mutex<Option<Arc<EventLog>>>,
+}
+
+fn intern<T: Default>(table: &Mutex<Vec<(String, Arc<T>)>>, name: &str) -> Arc<T> {
+    let mut table = table.lock();
+    match table.iter().find(|(n, _)| n == name) {
+        Some((_, cell)) => Arc::clone(cell),
+        None => {
+            let cell = Arc::new(T::default());
+            table.push((name.to_owned(), Arc::clone(&cell)));
+            cell
+        }
+    }
+}
+
+/// A cloneable handle to one run's metrics. See the module docs.
+#[derive(Clone, Default)]
+pub struct Registry(Option<Arc<Inner>>);
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.is_some() { "Registry(enabled)" } else { "Registry(disabled)" })
+    }
+}
+
+impl Registry {
+    /// A live registry.
+    pub fn enabled() -> Registry {
+        Registry(Some(Arc::new(Inner::default())))
+    }
+
+    /// The inert registry: every operation is a no-op behind one branch.
+    pub fn disabled() -> Registry {
+        Registry(None)
+    }
+
+    /// Whether this registry records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// The counter named `name` (inert handle when disabled).
+    pub fn counter(&self, name: &str) -> Counter {
+        Counter(self.0.as_ref().map(|inner| intern(&inner.counters, name)))
+    }
+
+    /// The gauge named `name` (inert handle when disabled).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        Gauge(self.0.as_ref().map(|inner| intern(&inner.gauges, name)))
+    }
+
+    /// The histogram named `name` (inert handle when disabled).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        Histogram(self.0.as_ref().map(|inner| intern(&inner.histograms, name)))
+    }
+
+    /// Opens a phase timer; the scope it lives for is recorded under `name`,
+    /// nested inside any enclosing span on this thread.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        match &self.0 {
+            None => SpanGuard::disabled(),
+            Some(inner) => SpanGuard::enter(Arc::clone(&inner.spans), name),
+        }
+    }
+
+    /// Attaches a ring-buffered event log accepting `min_level` and above,
+    /// holding at most `capacity` events.
+    pub fn enable_events(&self, min_level: Level, capacity: usize) {
+        if let Some(inner) = &self.0 {
+            *inner.events.lock() = Some(Arc::new(EventLog::new(min_level, capacity)));
+        }
+    }
+
+    /// Records a structured event if an event log is attached and accepts
+    /// `level`. `fields` is only built when the event will be kept.
+    pub fn event(&self, level: Level, label: &str, fields: impl FnOnce() -> Json) {
+        if let Some(inner) = &self.0 {
+            let log = inner.events.lock().clone();
+            if let Some(log) = log {
+                if log.accepts(level) {
+                    log.push(level, label, fields());
+                }
+            }
+        }
+    }
+
+    /// Removes and returns buffered events (empty when disabled or no log).
+    pub fn drain_events(&self) -> Vec<EventRecord> {
+        self.0
+            .as_ref()
+            .and_then(|inner| inner.events.lock().clone())
+            .map(|log| log.drain())
+            .unwrap_or_default()
+    }
+
+    /// Events evicted from the ring so far.
+    pub fn dropped_events(&self) -> u64 {
+        self.0
+            .as_ref()
+            .and_then(|inner| inner.events.lock().clone())
+            .map(|log| log.dropped())
+            .unwrap_or(0)
+    }
+
+    /// A point-in-time copy of every instrument, names sorted.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let Some(inner) = &self.0 else {
+            return MetricsSnapshot::default();
+        };
+        use std::sync::atomic::Ordering::Relaxed;
+        let mut counters: Vec<(String, u64)> =
+            inner.counters.lock().iter().map(|(n, c)| (n.clone(), c.load(Relaxed))).collect();
+        counters.sort();
+        let mut gauges: Vec<(String, GaugeSnapshot)> = inner
+            .gauges
+            .lock()
+            .iter()
+            .map(|(n, g)| {
+                (
+                    n.clone(),
+                    GaugeSnapshot {
+                        value: g.value.load(Relaxed),
+                        high_water: g.high_water.load(Relaxed),
+                    },
+                )
+            })
+            .collect();
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut histograms: Vec<(String, HistogramSnapshot)> = inner
+            .histograms
+            .lock()
+            .iter()
+            .map(|(n, h)| (n.clone(), Histogram(Some(Arc::clone(h))).snapshot()))
+            .collect();
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        MetricsSnapshot { counters, gauges, histograms, spans: inner.spans.snapshot() }
+    }
+}
+
+/// Final value and high-water mark of a gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeSnapshot {
+    /// Level at snapshot time.
+    pub value: u64,
+    /// Highest level observed.
+    pub high_water: u64,
+}
+
+/// Everything a registry recorded, in exportable form.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values, sorted by name.
+    pub gauges: Vec<(String, GaugeSnapshot)>,
+    /// Histogram contents, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Span timings in first-entered order (wall-clock, non-deterministic).
+    pub spans: Vec<(String, PhaseTiming)>,
+}
+
+impl MetricsSnapshot {
+    /// The value of a counter, or 0 if it was never touched.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(n, _)| n == name).map_or(0, |(_, v)| *v)
+    }
+
+    /// A histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// The metrics (not spans) as a JSON object.
+    pub fn metrics_json(&self) -> Json {
+        let counters = self.counters.iter().fold(Json::obj(), |obj, (n, v)| obj.field(n, *v));
+        let gauges = self.gauges.iter().fold(Json::obj(), |obj, (n, g)| {
+            obj.field(n, Json::obj().field("value", g.value).field("high_water", g.high_water))
+        });
+        let histograms = self.histograms.iter().fold(Json::obj(), |obj, (n, h)| {
+            let mut j = Json::obj()
+                .field("count", h.count)
+                .field("sum", h.sum)
+                .field("mean", h.mean())
+                .field("min", h.count.gt(&0).then_some(h.min))
+                .field("max", h.count.gt(&0).then_some(h.max))
+                .field("p50", h.quantile(0.50))
+                .field("p95", h.quantile(0.95))
+                .field("p99", h.quantile(0.99));
+            // Only the occupied tail of the bucket array, as (index, count)
+            // pairs — 64 mostly-zero entries per histogram add noise.
+            let occupied: Vec<Json> = h
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| Json::Arr(vec![Json::from(i), Json::from(c)]))
+                .collect();
+            j = j.field("buckets", Json::Arr(occupied));
+            obj.field(n, j)
+        });
+        Json::obj()
+            .field("counters", counters)
+            .field("gauges", gauges)
+            .field("histograms", histograms)
+    }
+
+    /// The span timings as a JSON array (in first-entered order).
+    pub fn spans_json(&self) -> Json {
+        Json::Arr(
+            self.spans
+                .iter()
+                .map(|(path, t)| {
+                    Json::obj()
+                        .field("phase", path.as_str())
+                        .field("count", t.count)
+                        .field("total_s", t.total_secs())
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_shares_cells() {
+        let reg = Registry::enabled();
+        reg.counter("events").add(2);
+        reg.counter("events").add(3);
+        assert_eq!(reg.counter("events").get(), 5);
+        assert_eq!(reg.snapshot().counter("events"), 5);
+        assert_eq!(reg.snapshot().counter("never"), 0);
+    }
+
+    #[test]
+    fn disabled_registry_is_inert() {
+        let reg = Registry::disabled();
+        reg.counter("x").inc();
+        reg.gauge("g").add(10);
+        reg.histogram("h").record(1.0);
+        let _span = reg.span("phase");
+        reg.enable_events(Level::Debug, 8);
+        reg.event(Level::Warn, "e", || Json::Null);
+        let snap = reg.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+        assert!(reg.drain_events().is_empty());
+    }
+
+    #[test]
+    fn snapshot_sorts_names() {
+        let reg = Registry::enabled();
+        reg.counter("zeta").inc();
+        reg.counter("alpha").inc();
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn event_fields_lazily_built() {
+        let reg = Registry::enabled();
+        // No log attached: closure must not run.
+        reg.event(Level::Warn, "e", || panic!("built without a log"));
+        reg.enable_events(Level::Info, 8);
+        // Below threshold: closure must not run.
+        reg.event(Level::Debug, "e", || panic!("built below threshold"));
+        reg.event(Level::Info, "kept", || Json::obj().field("k", 1u64));
+        assert_eq!(reg.drain_events().len(), 1);
+    }
+
+    #[test]
+    fn spans_aggregate_under_paths() {
+        let reg = Registry::enabled();
+        {
+            let _outer = reg.span("run");
+            let _inner = reg.span("observe");
+        }
+        let spans = reg.snapshot().spans;
+        let paths: Vec<&str> = spans.iter().map(|(p, _)| p.as_str()).collect();
+        assert_eq!(paths, ["run/observe", "run"]);
+    }
+
+    #[test]
+    fn metrics_json_shape() {
+        let reg = Registry::enabled();
+        reg.counter("c").add(2);
+        reg.gauge("g").set(4);
+        reg.histogram("h").record(0.5);
+        let j = reg.snapshot().metrics_json();
+        assert_eq!(j.get("counters").and_then(|c| c.get("c")).and_then(Json::as_f64), Some(2.0));
+        let g = j.get("gauges").and_then(|g| g.get("g")).unwrap();
+        assert_eq!(g.get("high_water").and_then(Json::as_f64), Some(4.0));
+        let h = j.get("histograms").and_then(|h| h.get("h")).unwrap();
+        assert_eq!(h.get("count").and_then(Json::as_f64), Some(1.0));
+    }
+}

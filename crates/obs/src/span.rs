@@ -1,0 +1,151 @@
+//! Scoped phase timers.
+//!
+//! `registry.span("build_tree")` returns a guard; when it drops, the elapsed
+//! wall time is folded into the registry under the span's *path* — nested
+//! spans on the same thread compose their names with `/`, so a `flush`
+//! opened under `build_tree` records as `build_tree/flush`.
+//!
+//! Timing is observation-only (wall clock, never fed back into simulation
+//! state), so instrumented and uninstrumented runs stay bit-identical.
+
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::sync::Arc;
+use std::time::Instant;
+
+thread_local! {
+    /// The stack of open span paths on this thread.
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Accumulated timings per span path.
+#[derive(Debug, Default)]
+pub(crate) struct SpanRecorder {
+    /// `path -> (invocations, total nanoseconds)`.
+    totals: Mutex<Vec<(String, PhaseTiming)>>,
+}
+
+/// Aggregate timing of one span path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseTiming {
+    /// Times the span was entered.
+    pub count: u64,
+    /// Total nanoseconds across all entries.
+    pub total_ns: u128,
+}
+
+impl PhaseTiming {
+    /// Total time in seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.total_ns as f64 / 1e9
+    }
+}
+
+impl SpanRecorder {
+    fn record(&self, path: String, elapsed_ns: u128) {
+        let mut totals = self.totals.lock();
+        match totals.iter_mut().find(|(p, _)| *p == path) {
+            Some((_, t)) => {
+                t.count += 1;
+                t.total_ns += elapsed_ns;
+            }
+            None => totals.push((path, PhaseTiming { count: 1, total_ns: elapsed_ns })),
+        }
+    }
+
+    /// Paths and timings in first-entered order.
+    pub(crate) fn snapshot(&self) -> Vec<(String, PhaseTiming)> {
+        self.totals.lock().clone()
+    }
+}
+
+/// An open phase timer; records on drop.
+#[must_use = "a span measures the scope it is alive for"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    inner: Option<OpenSpan>,
+}
+
+#[derive(Debug)]
+struct OpenSpan {
+    recorder: Arc<SpanRecorder>,
+    path: String,
+    start: Instant,
+}
+
+impl SpanGuard {
+    pub(crate) fn disabled() -> SpanGuard {
+        SpanGuard { inner: None }
+    }
+
+    pub(crate) fn enter(recorder: Arc<SpanRecorder>, name: &str) -> SpanGuard {
+        let path = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = match stack.last() {
+                Some(parent) => format!("{parent}/{name}"),
+                None => name.to_owned(),
+            };
+            stack.push(path.clone());
+            path
+        });
+        SpanGuard { inner: Some(OpenSpan { recorder, path, start: Instant::now() }) }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(open) = self.inner.take() {
+            let elapsed = open.start.elapsed().as_nanos();
+            SPAN_STACK.with(|stack| {
+                let mut stack = stack.borrow_mut();
+                // Drop order can be violated by mem::forget games; recover by
+                // popping to this span's frame rather than panicking.
+                if let Some(pos) = stack.iter().rposition(|p| *p == open.path) {
+                    stack.truncate(pos);
+                }
+            });
+            open.recorder.record(open.path, elapsed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_composes_paths() {
+        let rec = Arc::new(SpanRecorder::default());
+        {
+            let _outer = SpanGuard::enter(Arc::clone(&rec), "outer");
+            for _ in 0..3 {
+                let _inner = SpanGuard::enter(Arc::clone(&rec), "inner");
+            }
+        }
+        let snap = rec.snapshot();
+        let paths: Vec<&str> = snap.iter().map(|(p, _)| p.as_str()).collect();
+        assert_eq!(paths, ["outer/inner", "outer"]);
+        assert_eq!(snap[0].1.count, 3);
+        assert_eq!(snap[1].1.count, 1);
+    }
+
+    #[test]
+    fn sibling_after_nested_is_top_level() {
+        let rec = Arc::new(SpanRecorder::default());
+        {
+            let _a = SpanGuard::enter(Arc::clone(&rec), "a");
+        }
+        {
+            let _b = SpanGuard::enter(Arc::clone(&rec), "b");
+        }
+        let paths: Vec<String> = rec.snapshot().into_iter().map(|(p, _)| p).collect();
+        assert_eq!(paths, ["a", "b"]);
+    }
+
+    #[test]
+    fn disabled_guard_is_inert() {
+        let g = SpanGuard::disabled();
+        drop(g);
+        SPAN_STACK.with(|stack| assert!(stack.borrow().is_empty()));
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests for the observability primitives: histogram merge laws
+//! and the JSON writer/parser round trip.
+
+use cdnc_obs::{
+    bucket_floor, bucket_index, parse, HistogramSnapshot, Json, Registry, HISTOGRAM_BUCKETS,
+};
+use proptest::prelude::*;
+
+/// Records `values` into a fresh enabled histogram and snapshots it.
+fn snap(values: &[f64]) -> HistogramSnapshot {
+    let reg = Registry::enabled();
+    let h = reg.histogram("h");
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+fn merged(a: &HistogramSnapshot, b: &HistogramSnapshot) -> HistogramSnapshot {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+/// Everything except `sum`, which accumulates floating-point error in a
+/// grouping-dependent way and is compared with a tolerance instead.
+fn assert_equal_modulo_sum(
+    a: &HistogramSnapshot,
+    b: &HistogramSnapshot,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(&a.buckets, &b.buckets);
+    prop_assert_eq!(a.count, b.count);
+    prop_assert_eq!(a.min, b.min);
+    prop_assert_eq!(a.max, b.max);
+    let tolerance = 1e-9 * (1.0 + a.sum.abs());
+    prop_assert!(
+        (a.sum - b.sum).abs() <= tolerance,
+        "sums diverge beyond tolerance: {} vs {}",
+        a.sum,
+        b.sum
+    );
+    Ok(())
+}
+
+fn values() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(1e-10f64..1e10, 0..40)
+}
+
+proptest! {
+    /// Merging snapshots is associative (exactly on buckets / count /
+    /// min / max, within float tolerance on the sum).
+    #[test]
+    fn merge_is_associative(a in values(), b in values(), c in values()) {
+        let (sa, sb, sc) = (snap(&a), snap(&b), snap(&c));
+        let left = merged(&merged(&sa, &sb), &sc);
+        let right = merged(&sa, &merged(&sb, &sc));
+        assert_equal_modulo_sum(&left, &right)?;
+    }
+
+    /// Merging two disjoint recordings equals recording the concatenated
+    /// stream, and every observation is conserved in the buckets.
+    #[test]
+    fn merge_conserves_counts(a in values(), b in values()) {
+        let both: Vec<f64> = a.iter().chain(&b).copied().collect();
+        let m = merged(&snap(&a), &snap(&b));
+        assert_equal_modulo_sum(&m, &snap(&both))?;
+        prop_assert_eq!(m.count, (a.len() + b.len()) as u64);
+        prop_assert_eq!(m.buckets.iter().sum::<u64>(), m.count);
+    }
+
+    /// Bucket assignment is monotone in the value, stays in range, and the
+    /// bucket floors themselves are strictly increasing.
+    #[test]
+    fn buckets_are_monotone(x in 0.0f64..1e12, y in 0.0f64..1e12, i in 0usize..63) {
+        let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+        prop_assert!(bucket_index(lo) <= bucket_index(hi));
+        prop_assert!(bucket_index(hi) < HISTOGRAM_BUCKETS);
+        prop_assert!(bucket_floor(i) < bucket_floor(i + 1));
+    }
+
+    /// A recorded value never lands below its bucket's floor.
+    #[test]
+    fn bucket_floor_bounds_value(v in 1e-9f64..1e10) {
+        let i = bucket_index(v);
+        // Slack covers log2 rounding at the exact bucket boundary.
+        prop_assert!(v >= bucket_floor(i) * 0.999_999);
+    }
+}
+
+// --- JSON round trip -------------------------------------------------------
+
+fn json_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(1u32..0xD7FF, 0..12)
+        .prop_map(|codes| codes.into_iter().filter_map(char::from_u32).collect())
+}
+
+fn json_leaf() -> impl Strategy<Value = Json> {
+    prop_oneof![
+        Just(Json::Null),
+        Just(Json::Bool(true)),
+        Just(Json::Bool(false)),
+        (-1e15f64..1e15).prop_map(Json::Num),
+        // Integral values take the `i64` formatting path in the writer.
+        (0u64..9_000_000_000_000_000).prop_map(Json::from),
+        json_string().prop_map(Json::Str),
+    ]
+}
+
+fn json_tree() -> impl Strategy<Value = Json> {
+    (
+        proptest::collection::vec((json_string(), json_leaf()), 0..6),
+        proptest::collection::vec(json_leaf(), 0..6),
+        json_string(),
+        json_leaf(),
+    )
+        .prop_map(|(fields, items, key, nested_leaf)| {
+            let nested = Json::obj().field(&key, nested_leaf);
+            let mut obj = Json::Obj(fields);
+            obj = obj.field("array", Json::Arr(items));
+            obj.field("nested", nested)
+        })
+}
+
+proptest! {
+    /// Whatever the writer emits, the parser reads back identically — in
+    /// both compact and pretty form.
+    #[test]
+    fn json_round_trips(j in json_tree()) {
+        prop_assert_eq!(parse(&j.to_compact()).unwrap(), j.clone());
+        prop_assert_eq!(parse(&j.to_pretty()).unwrap(), j);
+    }
+}

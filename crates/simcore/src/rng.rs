@@ -158,10 +158,7 @@ impl SimRng {
     /// Panics if `weights` is empty, contains a negative value, or sums to 0.
     pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
         assert!(!weights.is_empty(), "weighted_index over empty weights");
-        let total: f64 = weights
-            .iter()
-            .inspect(|w| assert!(**w >= 0.0, "negative weight"))
-            .sum();
+        let total: f64 = weights.iter().inspect(|w| assert!(**w >= 0.0, "negative weight")).sum();
         assert!(total > 0.0, "weights sum to zero");
         let mut x = self.uniform_range(0.0, total);
         for (i, w) in weights.iter().enumerate() {

@@ -6,6 +6,7 @@
 
 use crate::queue::EventQueue;
 use crate::time::{SimDuration, SimTime};
+use cdnc_obs::{Counter, Gauge, Registry};
 
 /// Drives a simulation: owns the clock and the pending-event queue.
 ///
@@ -38,6 +39,9 @@ pub struct Scheduler<E> {
     now: SimTime,
     horizon: Option<SimTime>,
     processed: u64,
+    /// Observation-only instrumentation: never read back into scheduling.
+    obs_processed: Counter,
+    obs_depth: Gauge,
 }
 
 impl<E> Default for Scheduler<E> {
@@ -49,7 +53,24 @@ impl<E> Default for Scheduler<E> {
 impl<E> Scheduler<E> {
     /// Creates a scheduler with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
-        Scheduler { queue: EventQueue::new(), now: SimTime::ZERO, horizon: None, processed: 0 }
+        Scheduler {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            horizon: None,
+            processed: 0,
+            obs_processed: Counter::default(),
+            obs_depth: Gauge::default(),
+        }
+    }
+
+    /// Attaches metrics: `sched_events_processed` (counter) and
+    /// `sched_queue_depth` (gauge whose high-water mark is the largest
+    /// pending-event backlog seen). With a disabled registry the handles
+    /// are inert — the hot-path cost is one branch per operation.
+    pub fn set_obs(&mut self, registry: &Registry) {
+        self.obs_processed = registry.counter("sched_events_processed");
+        self.obs_depth = registry.gauge("sched_queue_depth");
+        self.obs_depth.set(self.queue.len() as u64);
     }
 
     /// Creates a scheduler that silently stops yielding events past `horizon`
@@ -87,17 +108,23 @@ impl<E> Scheduler<E> {
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
         assert!(at >= self.now, "scheduled into the past: {} < {}", at, self.now);
         self.queue.push(at, event);
+        self.obs_depth.set(self.queue.len() as u64);
     }
 
     /// Schedules `event` after the relative delay `delay`.
     pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
         self.queue.push(self.now + delay, event);
+        self.obs_depth.set(self.queue.len() as u64);
     }
 
     /// Pops the earliest event and advances the clock to its timestamp.
     ///
     /// Returns `None` when the queue is empty or the next event lies beyond
     /// the horizon.
+    ///
+    /// Not an `Iterator`: iterating would hold `&mut self`, and handlers
+    /// need the scheduler back to enqueue follow-up events.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<(SimTime, E)> {
         if let (Some(h), Some(t)) = (self.horizon, self.queue.peek_time()) {
             if t > h {
@@ -108,6 +135,8 @@ impl<E> Scheduler<E> {
         debug_assert!(t >= self.now, "event queue yielded a past event");
         self.now = t;
         self.processed += 1;
+        self.obs_processed.inc();
+        self.obs_depth.set(self.queue.len() as u64);
         Some((t, e))
     }
 }
@@ -161,6 +190,32 @@ mod tests {
         s.schedule_in(SimDuration::from_secs(5), Ev::A);
         s.next();
         s.schedule_at(SimTime::from_secs(1), Ev::B);
+    }
+
+    #[test]
+    fn metrics_track_processing_and_backlog() {
+        let reg = cdnc_obs::Registry::enabled();
+        let mut s = Scheduler::new();
+        s.set_obs(&reg);
+        s.schedule_in(SimDuration::from_secs(1), Ev::A);
+        s.schedule_in(SimDuration::from_secs(2), Ev::B);
+        while s.next().is_some() {}
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("sched_events_processed"), 2);
+        let depth = snap.gauges.iter().find(|(n, _)| n == "sched_queue_depth").unwrap().1;
+        assert_eq!(depth.high_water, 2);
+        assert_eq!(depth.value, 0);
+    }
+
+    #[test]
+    fn disabled_obs_changes_nothing() {
+        let mut a = Scheduler::new();
+        let mut b = Scheduler::new();
+        b.set_obs(&cdnc_obs::Registry::disabled());
+        for s in [&mut a, &mut b] {
+            s.schedule_in(SimDuration::from_secs(1), Ev::A);
+        }
+        assert_eq!(a.next().unwrap(), b.next().unwrap());
     }
 
     #[test]

@@ -20,7 +20,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// let cdf = Cdf::from_samples([1.0, 2.0, 3.0, 4.0]);
 /// assert_eq!(cdf.fraction_at_most(2.0), 0.5);
-/// assert_eq!(cdf.percentile(50.0), 2.5);
+/// assert_eq!(cdf.percentile(50.0), Some(2.5));
 /// ```
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct Cdf {
@@ -65,31 +65,26 @@ impl Cdf {
         idx as f64 / self.sorted.len() as f64
     }
 
-    /// The `p`-th percentile (`p` in `[0, 100]`) with linear interpolation.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the CDF is empty or `p` is outside `[0, 100]`.
-    pub fn percentile(&self, p: f64) -> f64 {
-        assert!(!self.sorted.is_empty(), "percentile of empty CDF");
-        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+    /// The `p`-th percentile with linear interpolation. `p` is clamped into
+    /// `[0, 100]` (a NaN `p` clamps to 0); an empty CDF yields `None`.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 100.0) };
         let n = self.sorted.len();
         if n == 1 {
-            return self.sorted[0];
+            return Some(self.sorted[0]);
         }
         let rank = p / 100.0 * (n - 1) as f64;
         let lo = rank.floor() as usize;
         let hi = rank.ceil() as usize;
         let frac = rank - lo as f64;
-        self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+        Some(self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac)
     }
 
-    /// The median (50th percentile).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the CDF is empty.
-    pub fn median(&self) -> f64 {
+    /// The median (50th percentile), or `None` for an empty CDF.
+    pub fn median(&self) -> Option<f64> {
         self.percentile(50.0)
     }
 
@@ -318,17 +313,21 @@ mod tests {
     #[test]
     fn cdf_percentiles_interpolate() {
         let cdf = Cdf::from_samples([0.0, 10.0]);
-        assert_eq!(cdf.percentile(0.0), 0.0);
-        assert_eq!(cdf.percentile(50.0), 5.0);
-        assert_eq!(cdf.percentile(100.0), 10.0);
-        assert_eq!(cdf.median(), 5.0);
+        assert_eq!(cdf.percentile(0.0), Some(0.0));
+        assert_eq!(cdf.percentile(50.0), Some(5.0));
+        assert_eq!(cdf.percentile(100.0), Some(10.0));
+        assert_eq!(cdf.median(), Some(5.0));
+        // Out-of-range ranks clamp; an empty CDF yields None.
+        assert_eq!(cdf.percentile(-5.0), Some(0.0));
+        assert_eq!(cdf.percentile(250.0), Some(10.0));
+        assert_eq!(Cdf::from_samples([]).percentile(50.0), None);
     }
 
     #[test]
     fn cdf_single_sample() {
         let cdf = Cdf::from_samples([7.0]);
-        assert_eq!(cdf.percentile(0.0), 7.0);
-        assert_eq!(cdf.percentile(95.0), 7.0);
+        assert_eq!(cdf.percentile(0.0), Some(7.0));
+        assert_eq!(cdf.percentile(95.0), Some(7.0));
         assert_eq!(cdf.mean(), 7.0);
         assert_eq!(cdf.min(), Some(7.0));
         assert_eq!(cdf.max(), Some(7.0));
@@ -427,9 +426,9 @@ mod tests {
                                   p in 0.0f64..100.0, q in 0.0f64..100.0) {
             let cdf = Cdf::from_samples(xs);
             let (lo, hi) = if p <= q { (p, q) } else { (q, p) };
-            prop_assert!(cdf.percentile(lo) <= cdf.percentile(hi) + 1e-9);
-            prop_assert!(cdf.percentile(0.0) >= cdf.min().unwrap() - 1e-9);
-            prop_assert!(cdf.percentile(100.0) <= cdf.max().unwrap() + 1e-9);
+            prop_assert!(cdf.percentile(lo).unwrap() <= cdf.percentile(hi).unwrap() + 1e-9);
+            prop_assert!(cdf.percentile(0.0).unwrap() >= cdf.min().unwrap() - 1e-9);
+            prop_assert!(cdf.percentile(100.0).unwrap() <= cdf.max().unwrap() + 1e-9);
         }
 
         /// Pearson correlation is always within [-1, 1].

@@ -26,7 +26,9 @@ pub const MICROS_PER_SEC: u64 = 1_000_000;
 /// let later = start + SimDuration::from_secs(60);
 /// assert_eq!(later.as_secs_f64(), 60.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, counted in microseconds.
@@ -39,7 +41,9 @@ pub struct SimTime(u64);
 /// let ttl = SimDuration::from_secs(60);
 /// assert_eq!(ttl / 2, SimDuration::from_secs(30));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -304,7 +308,8 @@ mod tests {
         let d = SimDuration::from_secs(10);
         assert_eq!(d.mul_f64(0.5), SimDuration::from_secs(5));
         assert_eq!(d.mul_f64(1.5), SimDuration::from_secs(15));
-        assert_eq!(SimDuration::from_micros(3).mul_f64(0.5), SimDuration::from_micros(2)); // banker's-free round
+        assert_eq!(SimDuration::from_micros(3).mul_f64(0.5), SimDuration::from_micros(2));
+        // banker's-free round
     }
 
     #[test]
@@ -316,8 +321,7 @@ mod tests {
 
     #[test]
     fn duration_sum() {
-        let total: SimDuration =
-            [1u64, 2, 3].into_iter().map(SimDuration::from_secs).sum();
+        let total: SimDuration = [1u64, 2, 3].into_iter().map(SimDuration::from_secs).sum();
         assert_eq!(total, SimDuration::from_secs(6));
     }
 

@@ -6,9 +6,7 @@
 //! external format crates needed, and gigabyte-scale traces stream through
 //! without intermediate allocation.
 
-use crate::records::{
-    DayTrace, ProviderPoll, ServerMeta, ServerPoll, Trace, UserMeta, UserPoll,
-};
+use crate::records::{DayTrace, ProviderPoll, ServerMeta, ServerPoll, Trace, UserMeta, UserPoll};
 use crate::snapshot::{SnapshotId, UpdateSequence};
 use cdnc_geo::{GeoPoint, IspId};
 use cdnc_simcore::{SimDuration, SimTime};
@@ -162,15 +160,7 @@ pub fn read_trace<R: Read>(mut r: R) -> io::Result<Trace> {
         }
         days.push(DayTrace { day, updates, server_polls, provider_polls, user_polls });
     }
-    Ok(Trace {
-        servers,
-        users,
-        provider_isp,
-        provider_location,
-        poll_interval,
-        session,
-        days,
-    })
+    Ok(Trace { servers, users, provider_isp, provider_location, poll_interval, session, days })
 }
 
 fn bad(msg: impl Into<String>) -> io::Error {

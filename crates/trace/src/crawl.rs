@@ -18,14 +18,13 @@
 //! TTL inference must recover 60 s).
 
 use crate::dns::{assignment_timeline, DnsConfig};
-use crate::records::{
-    DayTrace, ProviderPoll, ServerMeta, ServerPoll, Trace, UserMeta, UserPoll,
-};
+use crate::records::{DayTrace, ProviderPoll, ServerMeta, ServerPoll, Trace, UserMeta, UserPoll};
 use crate::skew::SkewConfig;
 use crate::snapshot::{GameConfig, UpdateSequence};
 use crate::timeline::{build_server_timeline, GroundTruthConfig, ServerProfile, ServerTimeline};
 use cdnc_geo::{GeoPoint, WorldBuilder};
 use cdnc_net::{AbsenceConfig, AbsenceSchedule};
+use cdnc_obs::Registry;
 use cdnc_simcore::{SimDuration, SimRng, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -97,10 +96,26 @@ impl CrawlConfig {
 /// Panics if `config.servers`, `config.users`, `config.days` or
 /// `config.provider_replicas` is zero.
 pub fn crawl(config: &CrawlConfig) -> Trace {
+    crawl_with_obs(config, &Registry::disabled())
+}
+
+/// Runs the crawl with instrumentation recording into `obs`.
+///
+/// Observation-only: the returned [`Trace`] is identical whether `obs` is
+/// enabled or disabled. Records poll counts per poll family, polls skipped
+/// while servers were absent, and the RTT/2 skew-correction residual.
+pub fn crawl_with_obs(config: &CrawlConfig, obs: &Registry) -> Trace {
     assert!(config.servers > 0, "need at least one server");
     assert!(config.users > 0, "need at least one user");
     assert!(config.days > 0, "need at least one day");
     assert!(config.provider_replicas > 0, "need at least one provider replica");
+    let obs_server_polls = obs.counter("crawl_server_polls");
+    let obs_provider_polls = obs.counter("crawl_provider_polls");
+    let obs_user_polls = obs.counter("crawl_user_polls");
+    let obs_absent_skips = obs.counter("crawl_absent_poll_skips");
+    let obs_skew_corrections = obs.counter("crawl_skew_corrections");
+    let obs_skew_residual = obs.histogram("crawl_skew_residual_s");
+    let world_span = obs.span("crawl_world");
     let mut master = SimRng::seed_from_u64(config.seed ^ 0x4352_4157_4c21); // "CRAWL!"
     let session = config.session();
     let horizon = SimTime::ZERO + session;
@@ -144,8 +159,9 @@ pub fn crawl(config: &CrawlConfig) -> Trace {
             let rtt = SimDuration::from_secs_f64(
                 2.0 * (0.010 + n.location.distance_km(&observer) / 200_000.0),
             );
-            let measured_skew_us =
-                config.skew.measure_skew_us(true_skew_us, rtt, &mut skew_rng);
+            let measured_skew_us = config.skew.measure_skew_us(true_skew_us, rtt, &mut skew_rng);
+            obs_skew_corrections.inc();
+            obs_skew_residual.record((measured_skew_us - true_skew_us).abs() as f64 * 1e-6);
             ServerMeta {
                 id: i as u32,
                 location: n.location,
@@ -157,15 +173,18 @@ pub fn crawl(config: &CrawlConfig) -> Trace {
         })
         .collect();
 
+    drop(world_span);
+
     // --- Per-day crawl ----------------------------------------------------
+    let days_span = obs.span("crawl_days");
     let mut days = Vec::with_capacity(config.days as usize);
     for day in 0..config.days {
         let mut day_rng = master.fork();
         let updates = UpdateSequence::live_game_with(&config.game, &mut day_rng);
         // The origin pipeline: every update becomes available at the origin
         // a few seconds after the real-world event, shared by all fetchers.
-        let origin = updates
-            .delayed(config.ground_truth.provider_staleness_mean_s, &mut day_rng.fork());
+        let origin =
+            updates.delayed(config.ground_truth.provider_staleness_mean_s, &mut day_rng.fork());
         let absences = AbsenceSchedule::generate(
             config.servers,
             horizon,
@@ -202,7 +221,10 @@ pub fn crawl(config: &CrawlConfig) -> Trace {
             let rtt_base = 2.0 * (0.010 + meta.location.distance_km(&obs) / 200_000.0);
             let mut t = SimTime::ZERO;
             while t <= horizon {
-                if !absences.is_absent(meta.id as usize, t) {
+                if absences.is_absent(meta.id as usize, t) {
+                    obs_absent_skips.inc();
+                } else {
+                    obs_server_polls.inc();
                     let response_time = SimDuration::from_secs_f64(
                         rtt_base + 0.04 + poll_rng.exponential(1.0 / 0.05),
                     );
@@ -228,13 +250,13 @@ pub fn crawl(config: &CrawlConfig) -> Trace {
         let mut provider_polls = Vec::new();
         for replica in 0..config.provider_replicas {
             let mut prov_rng = day_rng.fork();
-            let replica_origin = updates
-                .delayed(config.ground_truth.provider_staleness_mean_s, &mut prov_rng);
+            let replica_origin =
+                updates.delayed(config.ground_truth.provider_staleness_mean_s, &mut prov_rng);
             let mut t = SimTime::ZERO;
             while t <= horizon {
-                let response_time = SimDuration::from_secs_f64(
-                    (0.5 + prov_rng.exponential(1.0 / 0.35)).min(2.1),
-                );
+                let response_time =
+                    SimDuration::from_secs_f64((0.5 + prov_rng.exponential(1.0 / 0.35)).min(2.1));
+                obs_provider_polls.inc();
                 provider_polls.push(ProviderPoll {
                     replica,
                     time: t,
@@ -249,16 +271,12 @@ pub fn crawl(config: &CrawlConfig) -> Trace {
         let mut user_polls = Vec::new();
         for user in &users {
             let mut user_rng = day_rng.fork();
-            let assignment = assignment_timeline(
-                &user.location,
-                &servers,
-                horizon,
-                &config.dns,
-                &mut user_rng,
-            );
+            let assignment =
+                assignment_timeline(&user.location, &servers, horizon, &config.dns, &mut user_rng);
             let mut t = SimTime::ZERO;
             while t <= horizon {
                 let server = assignment.server_at(t);
+                obs_user_polls.inc();
                 user_polls.push(UserPoll {
                     user: user.id,
                     time: t,
@@ -271,6 +289,7 @@ pub fn crawl(config: &CrawlConfig) -> Trace {
 
         days.push(DayTrace { day, updates, server_polls, provider_polls, user_polls });
     }
+    drop(days_span);
 
     Trace {
         servers,
@@ -449,5 +468,24 @@ mod tests {
             }
         }
         assert!(redirects > 0, "DNS must redirect users occasionally");
+    }
+
+    #[test]
+    fn crawl_instrumentation_is_observation_only() {
+        let cfg = CrawlConfig::tiny();
+        let plain = crawl(&cfg);
+        let reg = Registry::enabled();
+        let observed = crawl_with_obs(&cfg, &reg);
+        assert_eq!(plain, observed);
+
+        let snap = reg.snapshot();
+        let total_server_polls: u64 =
+            observed.days.iter().map(|d| d.server_polls.len() as u64).sum();
+        let total_user_polls: u64 = observed.days.iter().map(|d| d.user_polls.len() as u64).sum();
+        assert_eq!(snap.counter("crawl_server_polls"), total_server_polls);
+        assert_eq!(snap.counter("crawl_user_polls"), total_user_polls);
+        assert_eq!(snap.counter("crawl_skew_corrections"), cfg.servers as u64);
+        let residual = snap.histogram("crawl_skew_residual_s").expect("recorded");
+        assert_eq!(residual.count, cfg.servers as u64);
     }
 }

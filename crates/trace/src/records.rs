@@ -112,9 +112,7 @@ impl DayTrace {
     /// contiguously, ordered by time).
     pub fn polls_of_server(&self, server: u32) -> impl Iterator<Item = &ServerPoll> + '_ {
         let start = self.server_polls.partition_point(|p| p.server < server);
-        self.server_polls[start..]
-            .iter()
-            .take_while(move |p| p.server == server)
+        self.server_polls[start..].iter().take_while(move |p| p.server == server)
     }
 
     /// Iterator over one user's polls for this day.

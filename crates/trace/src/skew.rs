@@ -36,12 +36,7 @@ impl SkewConfig {
     /// The crawler's estimate of `true_skew_us` via the RTT/2 method: the
     /// truth plus a clamped-normal residual whose scale grows slightly with
     /// the RTT (longer paths are more asymmetric).
-    pub fn measure_skew_us(
-        &self,
-        true_skew_us: i64,
-        rtt: SimDuration,
-        rng: &mut SimRng,
-    ) -> i64 {
+    pub fn measure_skew_us(&self, true_skew_us: i64, rtt: SimDuration, rng: &mut SimRng) -> i64 {
         let sigma = self.measurement_noise_s + 0.1 * rtt.as_secs_f64();
         let noise = rng.normal_clamped(0.0, sigma, -4.0 * sigma, 4.0 * sigma);
         true_skew_us + (noise * 1e6) as i64
@@ -84,9 +79,8 @@ mod tests {
         let spread = |rtt_ms: u64, seed: u64| {
             let mut rng = SimRng::seed_from_u64(seed);
             let rtt = SimDuration::from_millis(rtt_ms);
-            let draws: Vec<f64> = (0..3_000)
-                .map(|_| cfg.measure_skew_us(0, rtt, &mut rng) as f64)
-                .collect();
+            let draws: Vec<f64> =
+                (0..3_000).map(|_| cfg.measure_skew_us(0, rtt, &mut rng) as f64).collect();
             let mean = draws.iter().sum::<f64>() / draws.len() as f64;
             (draws.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / draws.len() as f64).sqrt()
         };

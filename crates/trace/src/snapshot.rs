@@ -140,9 +140,8 @@ impl UpdateSequence {
         }
         // 2–4 flash sales: a minute of frantic updates each.
         for _ in 0..rng.int_range(2, 4) {
-            let start = SimTime::from_secs_f64(
-                rng.uniform_range(0.0, horizon.as_secs_f64().max(1.0)),
-            );
+            let start =
+                SimTime::from_secs_f64(rng.uniform_range(0.0, horizon.as_secs_f64().max(1.0)));
             let mut ft = start;
             let end = start + SimDuration::from_secs(60);
             while ft < end && ft <= horizon {
@@ -359,9 +358,7 @@ mod tests {
         assert!(UpdateSequence::from_times(vec![]).is_err());
         assert!(UpdateSequence::from_times(vec![SimTime::from_secs(1)]).is_err());
         assert!(UpdateSequence::from_times(vec![SimTime::ZERO, SimTime::ZERO]).is_err());
-        assert!(
-            UpdateSequence::from_times(vec![SimTime::ZERO, SimTime::from_secs(1)]).is_ok()
-        );
+        assert!(UpdateSequence::from_times(vec![SimTime::ZERO, SimTime::from_secs(1)]).is_ok());
     }
 
     #[test]
@@ -404,11 +401,7 @@ mod tests {
         let total = GameConfig::default().total_length();
         assert_eq!(total, SimDuration::from_secs(8_760), "2 h 26 min");
         assert!(seq.last_update() <= SimTime::ZERO + total);
-        assert!(
-            (250..370).contains(&seq.len()),
-            "expected ≈306 snapshots, got {}",
-            seq.len()
-        );
+        assert!((250..370).contains(&seq.len()), "expected ≈306 snapshots, got {}", seq.len());
     }
 
     #[test]
@@ -416,18 +409,10 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(3);
         let seq = UpdateSequence::live_game(&mut rng);
         // No updates inside the half-time break (3000 s – 3900 s).
-        let in_break = seq
-            .times()
-            .iter()
-            .filter(|t| (3_000..3_900).contains(&t.as_secs()))
-            .count();
+        let in_break = seq.times().iter().filter(|t| (3_000..3_900).contains(&t.as_secs())).count();
         assert_eq!(in_break, 0, "break must be silent");
         // Plenty of updates during the first half.
-        let in_half = seq
-            .times()
-            .iter()
-            .filter(|t| (300..3_000).contains(&t.as_secs()))
-            .count();
+        let in_half = seq.times().iter().filter(|t| (300..3_000).contains(&t.as_secs())).count();
         assert!(in_half > 80, "first half had only {in_half} updates");
     }
 
@@ -448,11 +433,8 @@ mod tests {
         assert!(seq.times().windows(2).all(|w| w[0] < w[1]));
         assert!(seq.last_update() <= horizon + SimDuration::from_secs(61));
         // Burstiness: the minimum gap is far below the mean gap.
-        let gaps: Vec<f64> = seq
-            .times()
-            .windows(2)
-            .map(|w| w[1].since(w[0]).as_secs_f64())
-            .collect();
+        let gaps: Vec<f64> =
+            seq.times().windows(2).map(|w| w[1].since(w[0]).as_secs_f64()).collect();
         let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
         let min = gaps.iter().copied().fold(f64::INFINITY, f64::min);
         assert!(min < mean / 20.0, "flash sales should compress gaps: min {min} mean {mean}");

@@ -142,8 +142,8 @@ pub fn build_server_timeline(
     let mut current = SnapshotId(0);
     // Servers start their TTL grids at independent random phases: each
     // server began caching when its first request happened to arrive.
-    let mut next_fetch =
-        SimTime::ZERO + SimDuration::from_secs_f64(rng.uniform_range(0.0, config.ttl.as_secs_f64()));
+    let mut next_fetch = SimTime::ZERO
+        + SimDuration::from_secs_f64(rng.uniform_range(0.0, config.ttl.as_secs_f64()));
     while next_fetch <= horizon {
         let fetch_at = next_fetch;
         // An "absent" server is unreachable to *pollers* (overloaded, or its
@@ -153,15 +153,13 @@ pub fn build_server_timeline(
         // after 400 s absences (Fig. 10(c): 38.1 s → 43.9 s).
         let mut overload_penalty_s = 0.0;
         if let Some((start, end)) = absences.interval_at(profile.index, fetch_at) {
-            overload_penalty_s =
-                end.since(start).as_secs_f64() * config.recovery_slowdown_per_s;
+            overload_penalty_s = end.since(start).as_secs_f64() * config.recovery_slowdown_per_s;
         } else if let Some((start, end)) =
             upcoming_absence(absences, profile.index, fetch_at, config.pre_absence_window_s)
         {
             // Sliding into the overload: already degraded.
             debug_assert!(start >= fetch_at);
-            overload_penalty_s =
-                end.since(start).as_secs_f64() * config.recovery_slowdown_per_s;
+            overload_penalty_s = end.since(start).as_secs_f64() * config.recovery_slowdown_per_s;
         }
         // Fetch latency: processing + propagation (+ inter-ISP congestion).
         let mut delay_s = config.fetch_base_s
@@ -282,8 +280,7 @@ mod tests {
         let mut lag_out = (0.0, 0u32);
         for seed in 0..12 {
             let mut rng = SimRng::seed_from_u64(seed);
-            let sched =
-                AbsenceSchedule::generate(1, SimTime::from_secs(60_000), &cfg, &mut rng);
+            let sched = AbsenceSchedule::generate(1, SimTime::from_secs(60_000), &cfg, &mut rng);
             assert!(!sched.intervals(0).is_empty(), "expected absences");
             let tl = build_server_timeline(
                 &profile(),
@@ -315,17 +312,12 @@ mod tests {
 
     #[test]
     fn inter_isp_fetches_are_slower_on_average() {
-        let updates = UpdateSequence::periodic(
-            SimDuration::from_secs(30),
-            SimTime::from_secs(30_000),
-        );
+        let updates =
+            UpdateSequence::periodic(SimDuration::from_secs(30), SimTime::from_secs(30_000));
         let avg_staleness = |crosses: bool, seed: u64| {
             let mut rng = SimRng::seed_from_u64(seed);
-            let prof = ServerProfile {
-                index: 0,
-                distance_to_provider_km: 1_000.0,
-                crosses_isp: crosses,
-            };
+            let prof =
+                ServerProfile { index: 0, distance_to_provider_km: 1_000.0, crosses_isp: crosses };
             let tl = build_server_timeline(
                 &prof,
                 &updates,

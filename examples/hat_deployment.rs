@@ -11,10 +11,7 @@ use cdnc_trace::UpdateSequence;
 
 fn main() {
     let updates = UpdateSequence::live_game(&mut SimRng::seed_from_u64(42));
-    println!(
-        "workload: {} snapshots, bursts during play + a silent break\n",
-        updates.len()
-    );
+    println!("workload: {} snapshots, bursts during play + a silent break\n", updates.len());
     println!(
         "{:<14} {:>10} {:>12} {:>14} {:>14} {:>12}",
         "system", "updates", "from provider", "load (km)", "user incons.", "unresolved"

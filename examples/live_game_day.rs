@@ -34,7 +34,11 @@ fn main() {
         .map(|e| e.length_s)
         .collect();
     let cdf = Cdf::from_samples(lengths.clone());
-    println!("\ninconsistency lengths: mean {:.1}s, median {:.1}s", cdf.mean(), cdf.median());
+    println!(
+        "\ninconsistency lengths: mean {:.1}s, median {:.1}s",
+        cdf.mean(),
+        cdf.median().unwrap_or(0.0)
+    );
     println!(
         "  {:.1}% of requests below 10 s, {:.1}% above 50 s",
         100.0 * cdf.fraction_at_most(10.0),

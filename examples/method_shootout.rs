@@ -20,10 +20,7 @@ fn scenario(servers: usize, packet_kb: f64, scheme: Scheme) -> f64 {
 
 fn main() {
     println!("server inconsistency (s) as load grows — who wins where?\n");
-    println!(
-        "{:<28} {:>12} {:>12} {:>12}",
-        "scenario", "Push", "Invalidation", "TTL"
-    );
+    println!("{:<28} {:>12} {:>12} {:>12}", "scenario", "Push", "Invalidation", "TTL");
     for (label, servers, kb) in [
         ("small network, 1 KB", 60usize, 1.0),
         ("small network, 500 KB", 60, 500.0),

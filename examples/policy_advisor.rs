@@ -6,9 +6,7 @@
 //! cargo run -p cdnc-experiments --release --example policy_advisor
 //! ```
 
-use cdnc_core::{
-    recommend, run, CostObjective, Requirement, SimConfig, WorkloadProfile,
-};
+use cdnc_core::{recommend, run, CostObjective, Requirement, SimConfig, WorkloadProfile};
 use cdnc_simcore::{SimDuration, SimRng, SimTime};
 use cdnc_trace::UpdateSequence;
 
@@ -18,7 +16,12 @@ fn main() {
         UpdateSequence::periodic(SimDuration::from_secs(15), SimTime::from_secs(8_000));
 
     let cases = [
-        ("live game page, 850 edges, must track the score", &live_game, 850usize, Requirement::strong(2.0)),
+        (
+            "live game page, 850 edges, must track the score",
+            &live_game,
+            850usize,
+            Requirement::strong(2.0),
+        ),
         ("live game page, 850 edges, a minute is fine", &live_game, 850, Requirement::strong(60.0)),
         ("live game page, 40 edges, best effort", &live_game, 40, Requirement::best_effort()),
         ("steady stock feed, 120 edges, 30 s bound", &stock_feed, 120, Requirement::strong(30.0)),

@@ -8,8 +8,8 @@
 //! ```
 
 use cdnc_analysis::causes::{
-    detect_absences, distance_vs_consistency, isp_inconsistency,
-    provider_inconsistency_lengths, provider_response_times,
+    detect_absences, distance_vs_consistency, isp_inconsistency, provider_inconsistency_lengths,
+    provider_response_times,
 };
 use cdnc_simcore::stats::Cdf;
 use cdnc_trace::{crawl, CrawlConfig};
@@ -25,8 +25,7 @@ fn main() {
     );
 
     // Suspect 1: the provider's own origin.
-    let origin: Vec<f64> =
-        trace.days.iter().flat_map(provider_inconsistency_lengths).collect();
+    let origin: Vec<f64> = trace.days.iter().flat_map(provider_inconsistency_lengths).collect();
     if origin.is_empty() {
         println!("origin: no stale episodes at all — exonerated");
     } else {
@@ -55,7 +54,9 @@ fn main() {
     if !inc.is_empty() {
         let lo = inc.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = inc.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        println!("ISP boundaries: inter-ISP adds between {lo:.1}s and {hi:.1}s — real but secondary");
+        println!(
+            "ISP boundaries: inter-ISP adds between {lo:.1}s and {hi:.1}s — real but secondary"
+        );
     }
 
     // Suspect 4: server absences (overload / failure / reboot).
@@ -65,7 +66,7 @@ fn main() {
         println!(
             "absences: {} detected on day 0, median {:.0}s, max {:.0}s — occasional spikes",
             absences.len(),
-            cdf.median(),
+            cdf.median().unwrap_or(0.0),
             cdf.max().unwrap_or(0.0)
         );
     }

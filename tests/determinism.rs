@@ -28,7 +28,10 @@ fn traces_are_seed_deterministic() {
     let cfg = CrawlConfig { servers: 30, users: 10, days: 1, ..CrawlConfig::tiny() };
     assert_eq!(crawl(&cfg), crawl(&cfg));
     let other = CrawlConfig { seed: 9, ..cfg };
-    assert_ne!(crawl(&other), crawl(&CrawlConfig { servers: 30, users: 10, days: 1, ..CrawlConfig::tiny() }));
+    assert_ne!(
+        crawl(&other),
+        crawl(&CrawlConfig { servers: 30, users: 10, days: 1, ..CrawlConfig::tiny() })
+    );
 }
 
 #[test]

@@ -9,8 +9,8 @@ use cdnc_experiments::{build_trace, run_figure, Scale, EVAL_FIGURES, HAT_FIGURES
 fn every_trace_figure_runs_and_reports() {
     let trace = build_trace(Scale::Smoke);
     for id in TRACE_FIGURES {
-        let r = run_figure(id, Scale::Smoke, Some(&trace))
-            .unwrap_or_else(|| panic!("{id} unknown"));
+        let r =
+            run_figure(id, Scale::Smoke, Some(&trace)).unwrap_or_else(|| panic!("{id} unknown"));
         assert_eq!(r.id, id);
         assert!(!r.rows.is_empty(), "{id} produced no rows");
         assert!(!r.keyvals.is_empty(), "{id} produced no headline numbers");

@@ -19,8 +19,7 @@ fn hat_minimises_network_load() {
     // Paper Fig. 23: "HAT still generates the lightest network load".
     let lineup = Scheme::section5_lineup();
     let reports: Vec<SimReport> = lineup.iter().map(|&s| section5(s, 100)).collect();
-    let total_km =
-        |r: &SimReport| r.traffic.update_km() + r.traffic.light_km();
+    let total_km = |r: &SimReport| r.traffic.update_km() + r.traffic.light_km();
     let hat = reports.iter().find(|r| r.scheme_label == "HAT").unwrap();
     for r in &reports {
         if r.scheme_label != "HAT" && r.scheme_label != "Hybrid" {
@@ -100,15 +99,25 @@ fn roaming_observation_ordering_matches_fig24() {
 #[test]
 fn hat_keeps_more_traffic_inside_isps() {
     // HAT's proximity clusters exist to avoid costly inter-ISP transit
-    // (the paper's reference [38] pricing concern): its inter-ISP traffic
-    // share must undercut unicast TTL, where every poll crosses to Atlanta.
+    // (the paper's reference [38] pricing concern): against unicast TTL,
+    // where every poll crosses to Atlanta, HAT must cut the absolute
+    // transit volume and route a smaller share of its messages across
+    // ISP boundaries. (The km·KB-weighted *fraction* is not compared:
+    // HAT removes cheap short-haul volume from the denominator, which
+    // can raise that ratio even as the transit bill shrinks.)
     let hat = section5(Scheme::hat(), 120);
     let ttl = section5(Scheme::Unicast(MethodKind::Ttl), 120);
     assert!(
-        hat.traffic.inter_isp_fraction() < ttl.traffic.inter_isp_fraction(),
-        "HAT inter-ISP share {} must undercut unicast TTL {}",
-        hat.traffic.inter_isp_fraction(),
-        ttl.traffic.inter_isp_fraction()
+        hat.traffic.inter_isp_km_kb() < ttl.traffic.inter_isp_km_kb() * 0.5,
+        "HAT transit volume {} must undercut unicast TTL {}",
+        hat.traffic.inter_isp_km_kb(),
+        ttl.traffic.inter_isp_km_kb()
+    );
+    assert!(
+        hat.traffic.inter_isp_message_fraction() < ttl.traffic.inter_isp_message_fraction(),
+        "HAT inter-ISP message share {} must undercut unicast TTL {}",
+        hat.traffic.inter_isp_message_fraction(),
+        ttl.traffic.inter_isp_message_fraction()
     );
 }
 

@@ -17,10 +17,7 @@ fn run_scheme(scheme: Scheme, servers: usize) -> SimReport {
 
 #[test]
 fn consistency_ordering_holds_on_both_infrastructures() {
-    for make in [
-        |m| Scheme::Unicast(m),
-        |m| Scheme::Multicast { method: m, arity: 2 },
-    ] {
+    for make in [|m| Scheme::Unicast(m), |m| Scheme::Multicast { method: m, arity: 2 }] {
         let push = run_scheme(make(MethodKind::Push), 60);
         let inval = run_scheme(make(MethodKind::Invalidation), 60);
         let ttl = run_scheme(make(MethodKind::Ttl), 60);

@@ -1,0 +1,63 @@
+//! The observability contract, enforced end-to-end: instrumentation is
+//! observation-only (paired instrumented / uninstrumented runs are
+//! bit-identical), and the artifacts it writes are well-formed JSON.
+
+use cdnc_experiments::obs_out::write_figure_artifact;
+use cdnc_experiments::{build_trace, build_trace_with_obs, run_figure, run_figure_with_obs, Scale};
+use cdnc_obs::{parse, Json, Level, Registry};
+
+/// A fully armed registry: metrics, spans, and the event log all live.
+fn armed() -> Registry {
+    let reg = Registry::enabled();
+    reg.enable_events(Level::Debug, 65_536);
+    reg
+}
+
+#[test]
+fn instrumented_figures_match_uninstrumented() {
+    // One simulation figure per family: §4 evaluation, §5 HAT, and an
+    // extension experiment (the latter exercises failures + tree repair).
+    for id in ["fig20", "fig24", "ext_failures"] {
+        let plain = run_figure(id, Scale::Smoke, None).unwrap();
+        let reg = armed();
+        let observed = run_figure_with_obs(id, Scale::Smoke, None, &reg).unwrap();
+        assert_eq!(plain, observed, "{id}: instrumentation must not change results");
+        assert!(
+            reg.snapshot().counter("sched_events_processed") > 0,
+            "{id}: the registry must actually have observed the run"
+        );
+    }
+}
+
+#[test]
+fn instrumented_crawl_matches_uninstrumented() {
+    let plain = build_trace(Scale::Smoke);
+    let reg = armed();
+    let observed = build_trace_with_obs(Scale::Smoke, &reg);
+    assert_eq!(plain, observed, "crawl instrumentation must not change the trace");
+}
+
+#[test]
+fn written_artifact_is_well_formed_json() {
+    let dir = std::env::temp_dir().join(format!("cdnc-obs-test-{}", std::process::id()));
+    let reg = armed();
+    let report = run_figure_with_obs("fig20", Scale::Smoke, None, &reg).unwrap();
+    let path = write_figure_artifact(&dir, "fig20", Scale::Smoke, &report, 1.25, &reg).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    let doc = parse(&text).expect("artifact must be valid JSON");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(doc.get("run_id").and_then(Json::as_str), Some("fig20"));
+    let summary = doc.get("summary").expect("summary object");
+    assert_eq!(summary.get("wall_s").and_then(Json::as_f64), Some(1.25));
+    let metrics = doc.get("metrics").expect("metrics object");
+    assert!(
+        metrics
+            .get("counters")
+            .and_then(|c| c.get("sched_events_processed"))
+            .and_then(Json::as_f64)
+            .is_some_and(|n| n > 0.0),
+        "metrics must include the scheduler event count"
+    );
+    assert!(doc.get("phases").is_some(), "artifact must include phase timings");
+}

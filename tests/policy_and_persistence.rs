@@ -37,11 +37,12 @@ fn advisor_never_recommends_something_unrunnable() {
     for servers in [10usize, 300] {
         for visit_rate in [0.001, 0.5] {
             for packet in [1.0, 500.0] {
-                let profile =
-                    WorkloadProfile::from_updates(&updates, visit_rate, servers, packet);
-                for req in
-                    [Requirement::strong(1.0), Requirement::strong(60.0), Requirement::best_effort()]
-                {
+                let profile = WorkloadProfile::from_updates(&updates, visit_rate, servers, packet);
+                for req in [
+                    Requirement::strong(1.0),
+                    Requirement::strong(60.0),
+                    Requirement::best_effort(),
+                ] {
                     let rec = recommend(&profile, &req);
                     let mut cfg = SimConfig::section4(rec.scheme, updates.clone());
                     cfg.servers = 24; // scaled run, just prove it executes
@@ -72,11 +73,7 @@ fn persisted_traces_analyse_identically() {
     // The analysis pipeline gives byte-identical answers on the restored
     // trace — the property a re-analysis workflow depends on.
     let lengths = |t: &cdnc_trace::Trace| -> Vec<f64> {
-        t.days
-            .iter()
-            .flat_map(|d| day_episodes(d, &t.servers, None))
-            .map(|e| e.length_s)
-            .collect()
+        t.days.iter().flat_map(|d| day_episodes(d, &t.servers, None)).map(|e| e.length_s).collect()
     };
     let a = lengths(&trace);
     let b = lengths(&restored);
@@ -86,8 +83,10 @@ fn persisted_traces_analyse_identically() {
 
 #[test]
 fn adaptive_ttl_scheme_is_usable_end_to_end() {
-    let updates =
-        UpdateSequence::periodic(SimDuration::from_secs(25), cdnc_simcore::SimTime::from_secs(1_500));
+    let updates = UpdateSequence::periodic(
+        SimDuration::from_secs(25),
+        cdnc_simcore::SimTime::from_secs(1_500),
+    );
     let mut cfg = SimConfig::section5(Scheme::Unicast(MethodKind::AdaptiveTtl), updates);
     cfg.servers = 30;
     let report = run(&cfg);

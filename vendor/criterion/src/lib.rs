@@ -1,0 +1,235 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A small wall-clock benchmark harness exposing the group-based criterion
+//! API this workspace uses. Each benchmark is warmed up once, then timed over
+//! `sample_size` samples; the mean, minimum, and maximum per-iteration times
+//! are printed. There are no plots, no statistics beyond min/mean/max, and no
+//! baseline comparison — the goal is that `cargo bench` runs offline and
+//! reports stable, comparable numbers.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+/// Target measurement budget per benchmark, split across samples.
+const MEASURE_BUDGET: Duration = Duration::from_millis(500);
+
+/// The benchmark harness handle passed to every `criterion_group!` function.
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Creates a harness with default settings.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Criterion { _private: () }
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into(), sample_size: DEFAULT_SAMPLE_SIZE }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_benchmark(id, DEFAULT_SAMPLE_SIZE, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark identified by `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl IdLabel, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.label());
+        run_benchmark(&label, self.sample_size, f);
+        self
+    }
+
+    /// Runs a benchmark that borrows `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IdLabel,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label());
+        run_benchmark(&label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group. (No-op: kept for API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Anything usable as a benchmark identifier: a string or a [`BenchmarkId`].
+pub trait IdLabel {
+    /// The identifier rendered for display.
+    fn label(&self) -> String;
+}
+
+impl IdLabel for &str {
+    fn label(&self) -> String {
+        (*self).to_string()
+    }
+}
+
+impl IdLabel for String {
+    fn label(&self) -> String {
+        self.clone()
+    }
+}
+
+impl IdLabel for BenchmarkId {
+    fn label(&self) -> String {
+        self.0.clone()
+    }
+}
+
+/// A benchmark identifier combining a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id `"{function}/{parameter}"`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function.into(), parameter))
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Passed to benchmark closures; `iter` times the routine.
+pub struct Bencher {
+    /// Total time spent inside `iter` routines this sample.
+    elapsed: Duration,
+    /// Iterations executed this sample.
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, running it enough times to fill this sample's slice
+    /// of the measurement budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        loop {
+            black_box(routine());
+            self.iters += 1;
+            let elapsed = start.elapsed();
+            if elapsed >= self.elapsed || self.iters >= 1_000_000 {
+                self.elapsed = elapsed;
+                return;
+            }
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    // Warm-up: one untimed sample.
+    let mut warm = Bencher { elapsed: Duration::ZERO, iters: 0 };
+    f(&mut warm);
+
+    let per_sample = MEASURE_BUDGET / sample_size as u32;
+    let mut per_iter = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher { elapsed: per_sample, iters: 0 };
+        f(&mut b);
+        if b.iters > 0 {
+            per_iter.push(b.elapsed.as_secs_f64() / b.iters as f64);
+        }
+    }
+    if per_iter.is_empty() {
+        println!("{label:<48} (no iterations)");
+        return;
+    }
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = per_iter.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    println!("{label:<48} time: [{} {} {}]", fmt_time(min), fmt_time(mean), fmt_time(max));
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.4} s")
+    } else if secs >= 1e-3 {
+        format!("{:.4} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.4} µs", secs * 1e6)
+    } else {
+        format!("{:.4} ns", secs * 1e9)
+    }
+}
+
+/// Collects benchmark functions into a runner invoked by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::new();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_to", 50), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(unit_group, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        unit_group();
+    }
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::new("f", 3).label(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(7).label(), "7");
+    }
+}

@@ -1,0 +1,37 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize` / `Deserialize` on its data types to
+//! promise serialisability, but ships no format crate and serialises by hand
+//! (`cdnc-trace::codec`, `cdnc-obs::json`). With crates.io unreachable, this
+//! stub keeps those promises checkable: the traits exist, every type
+//! satisfies them via blanket impls, and the derive macros are accepted and
+//! expand to nothing.
+
+/// Marker for types that can be serialised.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for types that can be deserialised.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+pub mod de {
+    //! Deserialisation traits.
+
+    pub use crate::Deserialize;
+
+    /// Marker for types deserialisable without borrowing from the input.
+    pub trait DeserializeOwned {}
+
+    impl<T> DeserializeOwned for T {}
+}
+
+pub mod ser {
+    //! Serialisation traits.
+
+    pub use crate::Serialize;
+}
+
+pub use serde_derive::{Deserialize, Serialize};

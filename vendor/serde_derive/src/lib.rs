@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The vendored `serde` crate gives `Serialize` / `Deserialize` blanket
+//! impls, so the derives here only need to accept the attribute grammar and
+//! emit nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
