@@ -16,4 +16,18 @@ cargo build --workspace --release
 echo "==> cargo test --workspace"
 cargo test --workspace --quiet
 
+echo "==> traced figure run + Chrome trace round-trip"
+TRACE_DIR="$(mktemp -d)"
+cargo run -q -p cdnc-experiments --release -- fig24 --scale smoke --trace --trace-dir "$TRACE_DIR"
+test -s "$TRACE_DIR/fig24.trace.json"
+# `trace summary` re-parses the emitted Chrome trace through obs::json,
+# so a successful read is the round-trip check.
+cargo run -q -p cdnc-experiments --release -- trace summary "$TRACE_DIR/fig24.trace.json"
+cargo run -q -p cdnc-experiments --release -- trace critical-path "$TRACE_DIR/fig24.trace.json"
+rm -rf "$TRACE_DIR"
+
+echo "==> paired-run determinism with tracing on"
+cargo test -p cdnc-experiments --test obs_determinism --quiet
+cargo test -p cdnc-experiments --test trace_ground_truth --quiet
+
 echo "CI gate passed."

@@ -24,7 +24,7 @@ use crate::metrics::SimReport;
 use crate::topology::Topology;
 use cdnc_geo::{IspId, WorldBuilder};
 use cdnc_net::{Network, NodeId, Packet, PacketKind};
-use cdnc_obs::{Counter, Histogram, Level, Registry};
+use cdnc_obs::{Counter, Histogram, Level, Registry, SpanKind, TraceCtx, Tracer};
 use cdnc_simcore::stats::OnlineStats;
 use cdnc_simcore::{Scheduler, SimDuration, SimRng, SimTime};
 use cdnc_trace::SnapshotId;
@@ -98,10 +98,13 @@ enum Event {
 enum Msg {
     /// Content (push, or poll/fetch response). `modified_at` is the
     /// provider-side publish instant of the carried snapshot (the HTTP
-    /// Last-Modified analogue adaptive TTL keys off).
-    Update { snap: SnapshotId, modified_at: SimTime },
-    /// Invalidation notice for version `.0`.
-    Invalidate(SnapshotId),
+    /// Last-Modified analogue adaptive TTL keys off). `ctx` is the causal
+    /// trace context of the carried content ([`TraceCtx::NONE`] unless
+    /// tracing is on — observation-only, never read by handlers).
+    Update { snap: SnapshotId, modified_at: SimTime, ctx: TraceCtx },
+    /// Invalidation notice for version `.0`, carrying the causal context of
+    /// the update that triggered it.
+    Invalidate(SnapshotId, TraceCtx),
     /// A downstream node asks for content. `conditional` polls get a light
     /// `Unchanged` when nothing is new; unconditional polls always get the
     /// full content back.
@@ -115,6 +118,24 @@ enum Msg {
     /// a failure repair or re-join, declaring whether it currently expects
     /// invalidations.
     TreeJoin { from: NodeId, invalidation_mode: bool },
+}
+
+impl Msg {
+    /// The causal context this message propagates ([`TraceCtx::NONE`] for
+    /// message classes outside any update's journey).
+    fn trace_ctx(&self) -> TraceCtx {
+        match self {
+            Msg::Update { ctx, .. } | Msg::Invalidate(_, ctx) => *ctx,
+            _ => TraceCtx::NONE,
+        }
+    }
+
+    /// Replaces the carried context (with the hop span the network minted).
+    fn set_ctx(&mut self, new: TraceCtx) {
+        if let Msg::Update { ctx, .. } | Msg::Invalidate(_, ctx) = self {
+            *ctx = new;
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -148,6 +169,9 @@ struct NodeState {
     /// Publishes not yet adopted, for lag accounting.
     pending_pubs: VecDeque<(SnapshotId, SimTime)>,
     lag: OnlineStats,
+    /// Causal trace context of the current content (terminal adopt span, or
+    /// the publish root on the provider). Observation-only.
+    content_ctx: TraceCtx,
 }
 
 impl NodeState {
@@ -168,6 +192,7 @@ impl NodeState {
             last_invalidated: SnapshotId(0),
             pending_pubs: VecDeque::new(),
             lag: OnlineStats::new(),
+            content_ctx: TraceCtx::NONE,
         }
     }
 
@@ -219,6 +244,8 @@ struct SimObs {
     /// Publish→adopt latency per update method, indexed like
     /// [`MethodKind::ALL`]; the last slot catches method-less nodes.
     adopt_lag: [Histogram; 6],
+    /// Causal update tracer (inert unless enabled on the registry).
+    tracer: Tracer,
 }
 
 impl SimObs {
@@ -257,6 +284,7 @@ impl SimObs {
             orphan_reattach: registry.counter("sim_orphan_reattach"),
             tree_rejoin: registry.counter("sim_tree_rejoin"),
             adopt_lag: adopt_names.map(|n| registry.histogram(n)),
+            tracer: registry.tracer(),
         }
     }
 
@@ -424,7 +452,9 @@ impl<'a> CdnSimulation<'a> {
                 Event::Arrive(node, msg) => {
                     self.obs.ev_arrive.inc();
                     // Messages to a failed node are lost.
-                    if !self.nodes[node.index()].absent {
+                    if self.nodes[node.index()].absent {
+                        self.obs.tracer.lost(msg.trace_ctx(), node.index() as u32, now.as_micros());
+                    } else {
                         self.on_arrive(now, node, msg);
                     }
                 }
@@ -463,7 +493,7 @@ impl<'a> CdnSimulation<'a> {
         }
         let (kind, size) = match &msg {
             Msg::Update { .. } => (PacketKind::Update, self.config.update_packet_kb),
-            Msg::Invalidate(_) => (PacketKind::Invalidation, 1.0),
+            Msg::Invalidate(..) => (PacketKind::Invalidation, 1.0),
             Msg::Poll { .. } => (PacketKind::Poll, 1.0),
             Msg::Unchanged => (PacketKind::PollUnchanged, 1.0),
             Msg::SwitchMode { .. } => (PacketKind::MethodSwitch, 1.0),
@@ -477,7 +507,11 @@ impl<'a> CdnSimulation<'a> {
         }
         self.obs.msg(kind).inc();
         let packet = Packet::new(kind, size, src, dst);
-        let arrival = self.net.send(now, &packet);
+        // Content-carrying and invalidation messages extend their update's
+        // causal trace with a hop span; the receiver continues from it.
+        let (arrival, hop) = self.net.send_traced(now, &packet, msg.trace_ctx());
+        let mut msg = msg;
+        msg.set_ctx(hop);
         self.sched.schedule_at(arrival, Event::Arrive(dst, msg));
     }
 
@@ -485,8 +519,15 @@ impl<'a> CdnSimulation<'a> {
 
     fn on_publish(&mut self, now: SimTime, snap: SnapshotId) {
         let provider = self.topo.provider;
+        let ctx = self.obs.tracer.publish(
+            snap.0,
+            provider.index() as u32,
+            now.as_micros(),
+            self.config.scheme.label(),
+        );
         self.nodes[provider.index()].content = snap;
         self.nodes[provider.index()].content_modified_at = now;
+        self.nodes[provider.index()].content_ctx = ctx;
         // Lag accounting starts for every server and user.
         for &s in &self.topo.servers {
             self.nodes[s.index()].pending_pubs.push_back((snap, now));
@@ -501,17 +542,18 @@ impl<'a> CdnSimulation<'a> {
     /// children, invalidate invalidation-expecting children.
     fn notify_downstream(&mut self, now: SimTime, node: NodeId) {
         let content = self.nodes[node.index()].content;
+        let ctx = self.nodes[node.index()].content_ctx;
         let children: Vec<NodeId> = self.topo.downstream_of(node).to_vec();
         let mut invalidated_any = false;
         for child in children {
             match self.topo.method_of(child) {
                 Some(MethodKind::Push) => {
                     let modified_at = self.nodes[node.index()].content_modified_at;
-                    self.send(now, node, child, Msg::Update { snap: content, modified_at });
+                    self.send(now, node, child, Msg::Update { snap: content, modified_at, ctx });
                 }
                 Some(MethodKind::Invalidation) => {
                     if content > self.nodes[node.index()].last_invalidated {
-                        self.send(now, node, child, Msg::Invalidate(content));
+                        self.send(now, node, child, Msg::Invalidate(content, ctx));
                         invalidated_any = true;
                     }
                 }
@@ -519,7 +561,7 @@ impl<'a> CdnSimulation<'a> {
                     if content > self.nodes[node.index()].last_invalidated
                         && self.nodes[node.index()].inval_registry.contains(&child)
                     {
-                        self.send(now, node, child, Msg::Invalidate(content));
+                        self.send(now, node, child, Msg::Invalidate(content, ctx));
                         invalidated_any = true;
                     }
                 }
@@ -596,7 +638,7 @@ impl<'a> CdnSimulation<'a> {
             // users acquire cached IPs of failed servers and observe
             // inconsistent content); they cannot fetch on demand.
             let snap = self.nodes[target.index()].content;
-            self.observe(u, snap, now);
+            self.observe(u, target, snap, now);
             let interval = self.users[u as usize].visit_interval;
             self.sched.schedule_at(now + interval, Event::UserVisit(u));
             return;
@@ -613,7 +655,7 @@ impl<'a> CdnSimulation<'a> {
             self.trigger_fetch(now, target);
         } else {
             let snap = self.nodes[target.index()].content;
-            self.observe(u, snap, now);
+            self.observe(u, target, snap, now);
         }
         let interval = self.users[u as usize].visit_interval;
         self.sched.schedule_at(now + interval, Event::UserVisit(u));
@@ -639,8 +681,10 @@ impl<'a> CdnSimulation<'a> {
 
     fn on_arrive(&mut self, now: SimTime, node: NodeId, msg: Msg) {
         match msg {
-            Msg::Update { snap, modified_at } => self.on_update(now, node, snap, modified_at),
-            Msg::Invalidate(snap) => self.on_invalidate(now, node, snap),
+            Msg::Update { snap, modified_at, ctx } => {
+                self.on_update(now, node, snap, modified_at, ctx)
+            }
+            Msg::Invalidate(snap, ctx) => self.on_invalidate(now, node, snap, ctx),
             Msg::Poll { from, have, conditional } => {
                 self.on_poll(now, node, from, have, conditional)
             }
@@ -659,14 +703,23 @@ impl<'a> CdnSimulation<'a> {
         }
     }
 
-    fn on_update(&mut self, now: SimTime, node: NodeId, snap: SnapshotId, modified_at: SimTime) {
+    fn on_update(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        snap: SnapshotId,
+        modified_at: SimTime,
+        ctx: TraceCtx,
+    ) {
         let was_fetching = std::mem::take(&mut self.nodes[node.index()].fetch_pending);
         let adopted = snap > self.nodes[node.index()].content;
         if adopted {
+            let adopt_ctx = self.obs.tracer.adopt(ctx, node.index() as u32, now.as_micros());
             let adopt_lag = self.obs.adopt_lag(self.topo.method_of(node));
             let state = &mut self.nodes[node.index()];
             state.content = snap;
             state.content_modified_at = modified_at;
+            state.content_ctx = adopt_ctx;
             if state.known_stale.is_some_and(|s| s <= snap) {
                 state.known_stale = None;
             }
@@ -688,17 +741,26 @@ impl<'a> CdnSimulation<'a> {
                 self.nodes[node.index()].adaptive_interval_s = (0.3 * age_s).clamp(2.0, max_s);
             }
             self.notify_downstream(now, node);
+        } else {
+            // Superseded or duplicate delivery: terminal, not anomalous.
+            self.obs.tracer.skip(ctx, node.index() as u32, now.as_micros());
         }
         // Serve anyone who was waiting on our fetch.
         let waiting_children = std::mem::take(&mut self.nodes[node.index()].waiting_children);
         let content = self.nodes[node.index()].content;
         let modified_at = self.nodes[node.index()].content_modified_at;
+        let content_ctx = self.nodes[node.index()].content_ctx;
         for child in waiting_children {
-            self.send(now, node, child, Msg::Update { snap: content, modified_at });
+            self.send(
+                now,
+                node,
+                child,
+                Msg::Update { snap: content, modified_at, ctx: content_ctx },
+            );
         }
         let waiting_users = std::mem::take(&mut self.nodes[node.index()].waiting_users);
         for u in waiting_users {
-            self.observe(u, content, now);
+            self.observe(u, node, content, now);
         }
         // Algorithm 1 line 12–13: the first fetched update after an
         // invalidation switches the node back to TTL.
@@ -707,6 +769,12 @@ impl<'a> CdnSimulation<'a> {
             && was_fetching
         {
             self.obs.switch_to_ttl.inc();
+            self.obs.tracer.control(
+                SpanKind::ModeSwitch,
+                node.index() as u32,
+                now.as_micros(),
+                "to_ttl",
+            );
             self.obs.registry.event(Level::Info, "algo1_switch", || {
                 cdnc_obs::Json::obj()
                     .field("node", node.index())
@@ -723,7 +791,17 @@ impl<'a> CdnSimulation<'a> {
         }
     }
 
-    fn on_invalidate(&mut self, now: SimTime, node: NodeId, snap: SnapshotId) {
+    fn on_invalidate(&mut self, now: SimTime, node: NodeId, snap: SnapshotId, ctx: TraceCtx) {
+        let fwd_ctx = {
+            let newly_stale = snap > self.nodes[node.index()].content;
+            if newly_stale {
+                // Terminal for this delivery; forwarded notices chain from it.
+                self.obs.tracer.stale(ctx, node.index() as u32, now.as_micros())
+            } else {
+                self.obs.tracer.skip(ctx, node.index() as u32, now.as_micros());
+                ctx
+            }
+        };
         {
             let state = &mut self.nodes[node.index()];
             if snap > state.content {
@@ -742,7 +820,7 @@ impl<'a> CdnSimulation<'a> {
                 _ => false,
             };
             if expects && snap > self.nodes[node.index()].last_invalidated {
-                self.send(now, node, child, Msg::Invalidate(snap));
+                self.send(now, node, child, Msg::Invalidate(snap, fwd_ctx));
                 forwarded = true;
             }
         }
@@ -761,8 +839,9 @@ impl<'a> CdnSimulation<'a> {
     ) {
         let content = self.nodes[node.index()].content;
         let modified_at = self.nodes[node.index()].content_modified_at;
+        let ctx = self.nodes[node.index()].content_ctx;
         if content > have {
-            self.send(now, node, from, Msg::Update { snap: content, modified_at });
+            self.send(now, node, from, Msg::Update { snap: content, modified_at, ctx });
         } else if self.nodes[node.index()].is_stale() {
             // We know we are stale too: chain the fetch upward and answer
             // the child when our own fetch completes.
@@ -773,7 +852,7 @@ impl<'a> CdnSimulation<'a> {
         } else {
             // Unconditional GET: full content goes back even when unchanged —
             // the TTL method's wasted traffic.
-            self.send(now, node, from, Msg::Update { snap: content, modified_at });
+            self.send(now, node, from, Msg::Update { snap: content, modified_at, ctx });
         }
     }
 
@@ -795,12 +874,18 @@ impl<'a> CdnSimulation<'a> {
         let waiting_children = std::mem::take(&mut self.nodes[node.index()].waiting_children);
         let content = self.nodes[node.index()].content;
         let modified_at = self.nodes[node.index()].content_modified_at;
+        let content_ctx = self.nodes[node.index()].content_ctx;
         for child in waiting_children {
-            self.send(now, node, child, Msg::Update { snap: content, modified_at });
+            self.send(
+                now,
+                node,
+                child,
+                Msg::Update { snap: content, modified_at, ctx: content_ctx },
+            );
         }
         let waiting_users = std::mem::take(&mut self.nodes[node.index()].waiting_users);
         for u in waiting_users {
-            self.observe(u, content, now);
+            self.observe(u, node, content, now);
         }
         // Algorithm 1 line 7–8: a poll that found no update switches the
         // node to invalidation mode.
@@ -808,6 +893,12 @@ impl<'a> CdnSimulation<'a> {
             && self.nodes[node.index()].mode == AdaptiveMode::Ttl
         {
             self.obs.switch_to_invalidation.inc();
+            self.obs.tracer.control(
+                SpanKind::ModeSwitch,
+                node.index() as u32,
+                now.as_micros(),
+                "to_invalidation",
+            );
             self.obs.registry.event(Level::Info, "algo1_switch", || {
                 cdnc_obs::Json::obj()
                     .field("node", node.index())
@@ -860,7 +951,7 @@ impl<'a> CdnSimulation<'a> {
         for u in orphaned_users {
             // The user's request eventually times out against the cached copy.
             let snap = self.nodes[node.index()].content;
-            self.observe(u, snap, now);
+            self.observe(u, node, snap, now);
         }
         self.nodes[node.index()].fetch_pending = false;
         let in_tree = self.tree.as_ref().is_some_and(|t| t.contains(node));
@@ -881,6 +972,12 @@ impl<'a> CdnSimulation<'a> {
             });
             for (orphan, new_parent) in moves {
                 self.obs.orphan_reattach.inc();
+                self.obs.tracer.control(
+                    SpanKind::TreeRepair,
+                    orphan.index() as u32,
+                    now.as_micros(),
+                    "reattach",
+                );
                 self.topo.rewire(orphan, new_parent);
                 let invalidation_mode = self.expects_invalidations(orphan);
                 self.send(
@@ -908,6 +1005,12 @@ impl<'a> CdnSimulation<'a> {
                     self.net.nodes().iter().map(|n| n.location()).collect();
                 let parent = tree.join(node, |id| locations[id.index()]);
                 self.obs.tree_rejoin.inc();
+                self.obs.tracer.control(
+                    SpanKind::TreeRepair,
+                    node.index() as u32,
+                    now.as_micros(),
+                    "rejoin",
+                );
                 self.topo.rewire(node, parent);
                 let invalidation_mode = self.expects_invalidations(node);
                 self.send(now, node, parent, Msg::TreeJoin { from: node, invalidation_mode });
@@ -937,7 +1040,15 @@ impl<'a> CdnSimulation<'a> {
         }
     }
 
-    fn observe(&mut self, u: u32, snap: SnapshotId, now: SimTime) {
+    fn observe(&mut self, u: u32, server: NodeId, snap: SnapshotId, now: SimTime) {
+        // The view descends causally from the served content's provenance
+        // (inert when that content predates tracing or tracing is off).
+        self.obs.tracer.user_view(
+            self.nodes[server.index()].content_ctx,
+            u,
+            server.index() as u32,
+            now.as_micros(),
+        );
         let user = &mut self.users[u as usize];
         while let Some(&(p, t)) = user.pending_pubs.front() {
             if p > snap {
@@ -1427,8 +1538,55 @@ mod tests {
         let plain = run(&cfg);
         let reg = Registry::enabled();
         reg.enable_events(Level::Debug, 4096);
+        reg.enable_tracing();
         let observed = run_with_obs(&cfg, &reg);
         assert_eq!(plain, observed);
+    }
+
+    #[test]
+    fn tracer_records_every_update_journey() {
+        let cfg = small(Scheme::hat());
+        let reg = Registry::enabled();
+        reg.enable_tracing();
+        let _ = run_with_obs(&cfg, &reg);
+        let store = reg.tracer().store();
+        // One trace per published update (snapshot 0 pre-exists everywhere).
+        assert_eq!(store.traces.len(), cfg.updates.len() - 1);
+        assert_eq!(store.scopes(), vec![Scheme::hat().label()]);
+        for meta in &store.traces {
+            assert!(
+                !store.adopt_lags_s(meta.id).is_empty(),
+                "update {} was never adopted",
+                meta.update
+            );
+            let path = store.critical_path(meta.id).expect("critical path");
+            assert!(path.total_us > 0);
+            assert_eq!(path.steps.first().unwrap().kind, SpanKind::Publish);
+            assert!(path.steps.last().unwrap().kind.is_terminal());
+        }
+        let summary = store.summary();
+        assert!(summary.adoptions > 0 && summary.spans > summary.adoptions);
+        assert!(store.horizon_us > 0, "scheduler must drive the trace horizon");
+    }
+
+    #[test]
+    fn tracer_sees_mode_switches_and_user_views() {
+        let cfg = small(Scheme::Unicast(MethodKind::SelfAdaptive));
+        let reg = Registry::enabled();
+        reg.enable_tracing();
+        let _ = run_with_obs(&cfg, &reg);
+        let store = reg.tracer().store();
+        let snap = reg.snapshot();
+        let switches = store.spans.iter().filter(|s| s.kind == SpanKind::ModeSwitch).count() as u64;
+        assert_eq!(
+            switches,
+            snap.counter("sim_switch_to_invalidation") + snap.counter("sim_switch_to_ttl"),
+            "every Algorithm 1 transition must leave a control span"
+        );
+        assert!(
+            store.spans.iter().any(|s| s.kind == SpanKind::UserView),
+            "user visits to traced content must record views"
+        );
     }
 
     #[test]

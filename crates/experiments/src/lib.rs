@@ -19,6 +19,7 @@ pub mod obs_out;
 pub mod report;
 pub mod scale;
 pub mod trace_figs;
+pub mod trace_out;
 
 pub use report::FigureReport;
 pub use scale::Scale;

@@ -4,8 +4,12 @@
 //! ```text
 //! experiments <figure-id | all | list> [--scale smoke|default|paper]
 //!                                      [--obs] [--obs-log <level>] [--obs-dir <dir>]
+//!                                      [--trace] [--trace-dir <dir>] [--trace-threshold <s>]
 //! experiments crawl <out.bin>          [--scale …]   # save a crawl trace
 //! experiments verdict <trace.bin>                    # §3.6 verdict on a saved trace
+//! experiments trace summary <t.json>                 # store-wide tracing statistics
+//! experiments trace critical-path <t.json>           # per-method critical paths
+//! experiments trace inspect <update-id> <t.json>     # one update's propagation tree
 //! ```
 //!
 //! With `--obs`, every figure run collects metrics and phase timings into a
@@ -13,9 +17,20 @@
 //! the end, and `all` additionally writes a consolidated
 //! `<obs-dir>/summary.json`. `--obs-log debug|info|warn` also streams
 //! structured events into `<obs-dir>/<figure>.jsonl`.
+//!
+//! With `--trace`, every simulation records a causal span per update journey
+//! (publish → hops → adoptions → user views); each figure writes
+//! `<trace-dir>/<figure>.trace.json` in Chrome trace-event format (loadable
+//! in ui.perfetto.dev or chrome://tracing), anomalous updates are dumped in
+//! full under `<trace-dir>/flightrec/`, and a per-method critical-path table
+//! prints after the run. The `trace` subcommand re-reads those files.
 
 use cdnc_experiments::obs_out::{
     summary_entry, timing_table, write_figure_artifact, write_summary, ObsSettings,
+};
+use cdnc_experiments::trace_out::{
+    critical_path_table, inspect_text, load_store, summary_text, write_figure_trace,
+    FLIGHTREC_SUBDIR,
 };
 use cdnc_experiments::{
     build_trace_with_obs, run_figure_with_obs, Scale, EVAL_FIGURES, EXT_FIGURES, HAT_FIGURES,
@@ -28,13 +43,39 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!("usage: experiments <figure-id | all | list> [--scale smoke|default|paper]");
     eprintln!("                   [--obs] [--obs-log debug|info|warn] [--obs-dir <dir>]");
+    eprintln!("                   [--trace] [--trace-dir <dir>] [--trace-threshold <seconds>]");
     eprintln!("       experiments crawl <out.bin> [--scale …]   write a crawl trace to disk");
     eprintln!("       experiments verdict <trace.bin>           analyse a saved trace (§3.6)");
+    eprintln!("       experiments trace summary <t.json>        tracing statistics for a run");
+    eprintln!("       experiments trace critical-path <t.json>  per-method critical paths");
+    eprintln!("       experiments trace inspect <update> <t.json>  one update's full tree");
     eprintln!("figure ids:");
     for id in TRACE_FIGURES.iter().chain(&EVAL_FIGURES).chain(&HAT_FIGURES).chain(&EXT_FIGURES) {
         eprintln!("  {id}");
     }
     ExitCode::FAILURE
+}
+
+/// Writes one figure's trace JSON and flight-recorder dumps, then prints
+/// where they went and the per-method critical-path table.
+fn emit_trace(obs: &ObsSettings, id: &str, reg: &cdnc_obs::Registry) {
+    let store = reg.tracer().store();
+    match write_figure_trace(obs, id, &store) {
+        Ok(Some((path, dumps))) => {
+            println!("trace: {}", path.display());
+            if dumps > 0 {
+                println!(
+                    "flight recorder: {dumps} anomalous update(s) dumped under {}",
+                    obs.trace_dir().join(FLIGHTREC_SUBDIR).display()
+                );
+            }
+            if let Some(table) = critical_path_table(&store) {
+                println!("--- critical paths ---\n{table}");
+            }
+        }
+        Ok(None) => {}
+        Err(e) => eprintln!("cannot write trace for {id}: {e}"),
+    }
 }
 
 fn main() -> ExitCode {
@@ -73,7 +114,31 @@ fn main() -> ExitCode {
                 obs.dir = PathBuf::from(value);
                 i += 2;
             }
-            other if positional.len() < 2 => {
+            "--trace" => {
+                obs.trace = true;
+                i += 1;
+            }
+            "--trace-dir" => {
+                let Some(value) = args.get(i + 1) else { return usage() };
+                obs.trace = true;
+                obs.trace_dir = Some(PathBuf::from(value));
+                i += 2;
+            }
+            "--trace-threshold" => {
+                let Some(value) = args.get(i + 1) else { return usage() };
+                let Ok(secs) = value.parse::<f64>() else {
+                    eprintln!("--trace-threshold needs seconds, got: {value}");
+                    return usage();
+                };
+                obs.trace = true;
+                obs.trace_threshold_s = secs;
+                i += 2;
+            }
+            other
+                if positional.len() < 2
+                    || (positional.first().is_some_and(|p| p == "trace")
+                        && positional.len() < 4) =>
+            {
                 positional.push(other.to_owned());
                 i += 1;
             }
@@ -121,6 +186,9 @@ fn main() -> ExitCode {
                     {
                         eprintln!("cannot write artifact for {id}: {e}");
                     }
+                }
+                if obs.trace {
+                    emit_trace(&obs, id, &reg);
                 }
             };
             for id in TRACE_FIGURES {
@@ -191,6 +259,69 @@ fn main() -> ExitCode {
                 }
             }
         }
+        "trace" => {
+            let Some(action) = positional.get(1) else {
+                eprintln!("trace needs an action: summary | critical-path | inspect");
+                return usage();
+            };
+            let path_at =
+                |idx: usize| -> Option<PathBuf> { positional.get(idx).map(PathBuf::from) };
+            match action.as_str() {
+                "summary" | "critical-path" => {
+                    let Some(path) = path_at(2) else {
+                        eprintln!("trace {action} needs a trace JSON path");
+                        return usage();
+                    };
+                    let store = match load_store(&path) {
+                        Ok(s) => s,
+                        Err(e) => {
+                            eprintln!("cannot load trace: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    if action == "summary" {
+                        print!("{}", summary_text(&store));
+                    } else {
+                        match critical_path_table(&store) {
+                            Some(table) => print!("{table}"),
+                            None => println!("no traces recorded"),
+                        }
+                    }
+                    ExitCode::SUCCESS
+                }
+                "inspect" => {
+                    let (Some(update), Some(path)) = (positional.get(2), path_at(3)) else {
+                        eprintln!("trace inspect needs <update-id> <trace.json>");
+                        return usage();
+                    };
+                    let Ok(update) = update.parse::<u32>() else {
+                        eprintln!("update id must be a number, got: {update}");
+                        return usage();
+                    };
+                    let store = match load_store(&path) {
+                        Ok(s) => s,
+                        Err(e) => {
+                            eprintln!("cannot load trace: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    match inspect_text(&store, update) {
+                        Some(text) => {
+                            print!("{text}");
+                            ExitCode::SUCCESS
+                        }
+                        None => {
+                            eprintln!("no trace for update {update} in {}", path.display());
+                            ExitCode::FAILURE
+                        }
+                    }
+                }
+                other => {
+                    eprintln!("unknown trace action: {other}");
+                    usage()
+                }
+            }
+        }
         id => {
             let reg = obs.registry();
             let started = std::time::Instant::now();
@@ -206,6 +337,9 @@ fn main() -> ExitCode {
                         if let Some(table) = timing_table(&reg) {
                             println!("--- phase timings ---\n{table}");
                         }
+                    }
+                    if obs.trace {
+                        emit_trace(&obs, id, &reg);
                     }
                     ExitCode::SUCCESS
                 }

@@ -11,7 +11,11 @@ use std::path::{Path, PathBuf};
 /// Default artifact directory, relative to the working directory.
 pub const DEFAULT_OBS_DIR: &str = "results/obs";
 
-/// `--obs` / `--obs-log` settings parsed from the command line.
+/// Default flight-recorder anomaly threshold: adoption lag above this many
+/// seconds retains the update's full trace.
+pub const DEFAULT_TRACE_THRESHOLD_S: f64 = 60.0;
+
+/// `--obs` / `--obs-log` / `--trace` settings parsed from the command line.
 #[derive(Debug, Clone)]
 pub struct ObsSettings {
     /// `--obs`: collect metrics and write per-figure artifacts.
@@ -21,23 +25,46 @@ pub struct ObsSettings {
     pub log_level: Option<Level>,
     /// Where artifacts go (`results/obs` unless overridden).
     pub dir: PathBuf,
+    /// `--trace`: record causal update-propagation traces and write them as
+    /// Chrome trace-event JSON next to the figure artifacts.
+    pub trace: bool,
+    /// `--trace-dir <dir>`: trace/flight-recorder output directory
+    /// (defaults to the artifact dir).
+    pub trace_dir: Option<PathBuf>,
+    /// `--trace-threshold <s>`: flight-recorder adoption-lag threshold.
+    pub trace_threshold_s: f64,
 }
 
 impl ObsSettings {
     /// Disabled settings: no registry, no files.
     pub fn off() -> Self {
-        ObsSettings { enabled: false, log_level: None, dir: PathBuf::from(DEFAULT_OBS_DIR) }
+        ObsSettings {
+            enabled: false,
+            log_level: None,
+            dir: PathBuf::from(DEFAULT_OBS_DIR),
+            trace: false,
+            trace_dir: None,
+            trace_threshold_s: DEFAULT_TRACE_THRESHOLD_S,
+        }
+    }
+
+    /// Where trace JSON and flight-recorder dumps go.
+    pub fn trace_dir(&self) -> PathBuf {
+        self.trace_dir.clone().unwrap_or_else(|| self.dir.clone())
     }
 
     /// A fresh registry per these settings: enabled (with the event log
-    /// armed when requested) or the inert disabled registry.
+    /// and/or tracer armed when requested) or the inert disabled registry.
     pub fn registry(&self) -> Registry {
-        if !self.enabled {
+        if !self.enabled && !self.trace {
             return Registry::disabled();
         }
         let reg = Registry::enabled();
         if let Some(level) = self.log_level {
             reg.enable_events(level, 65_536);
+        }
+        if self.trace {
+            reg.enable_tracing();
         }
         reg
     }
@@ -133,15 +160,24 @@ mod tests {
 
     #[test]
     fn enabled_settings_arm_event_log() {
-        let s = ObsSettings {
-            enabled: true,
-            log_level: Some(Level::Debug),
-            dir: PathBuf::from(DEFAULT_OBS_DIR),
-        };
+        let s = ObsSettings { enabled: true, log_level: Some(Level::Debug), ..ObsSettings::off() };
         let reg = s.registry();
         assert!(reg.is_enabled());
         reg.event(Level::Debug, "probe", Json::obj);
         assert_eq!(reg.drain_events().len(), 1);
+        assert!(!reg.tracer().is_enabled(), "tracing stays off without --trace");
+    }
+
+    #[test]
+    fn trace_flag_arms_tracer_even_without_obs() {
+        let s = ObsSettings { trace: true, ..ObsSettings::off() };
+        let reg = s.registry();
+        assert!(reg.is_enabled());
+        assert!(reg.tracer().is_enabled());
+        assert_eq!(s.trace_dir(), PathBuf::from(DEFAULT_OBS_DIR));
+        let custom =
+            ObsSettings { trace: true, trace_dir: Some(PathBuf::from("/tmp/x")), ..s.clone() };
+        assert_eq!(custom.trace_dir(), PathBuf::from("/tmp/x"));
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub struct Network {
     obs_enqueued: cdnc_obs::Counter,
     obs_backlog: cdnc_obs::Gauge,
     obs_queue_delay: cdnc_obs::Histogram,
+    obs_tracer: cdnc_obs::Tracer,
 }
 
 impl Network {
@@ -74,6 +75,7 @@ impl Network {
             obs_enqueued: cdnc_obs::Counter::default(),
             obs_backlog: cdnc_obs::Gauge::default(),
             obs_queue_delay: cdnc_obs::Histogram::default(),
+            obs_tracer: cdnc_obs::Tracer::default(),
         }
     }
 
@@ -83,10 +85,13 @@ impl Network {
     /// `net_uplink_queue_delay_s` (histogram of the queueing delay each
     /// packet faced at its sender's uplink, seconds). Observation-only:
     /// never read back into delivery times.
+    /// The causal tracer (if enabled on the registry) rides along too:
+    /// [`Network::send_traced`] records each delivery as a hop span.
     pub fn set_obs(&mut self, registry: &cdnc_obs::Registry) {
         self.obs_enqueued = registry.counter("net_packets_enqueued");
         self.obs_backlog = registry.gauge("net_uplink_backlog_ms");
         self.obs_queue_delay = registry.histogram("net_uplink_queue_delay_s");
+        self.obs_tracer = registry.tracer();
     }
 
     /// Creates a network with one node per [`World`] node, in world order.
@@ -164,6 +169,29 @@ impl Network {
         let departed = self.uplinks[packet.src.index()].transmit(now, packet.size_kb);
         let (src, dst) = (&self.nodes[packet.src.index()], &self.nodes[packet.dst.index()]);
         departed + self.config.latency.delay(src, dst, &mut self.rng)
+    }
+
+    /// Like [`Network::send`], but when `ctx` belongs to a live trace the
+    /// delivery is also recorded as a causal hop span labelled with the
+    /// packet's wire name. Returns the delivery instant and the context the
+    /// receiver should continue the trace from (`ctx` unchanged when the
+    /// tracer is off or the context inactive — observation only).
+    pub fn send_traced(
+        &mut self,
+        now: SimTime,
+        packet: &Packet,
+        ctx: cdnc_obs::TraceCtx,
+    ) -> (SimTime, cdnc_obs::TraceCtx) {
+        let arrival = self.send(now, packet);
+        let hop = self.obs_tracer.hop(
+            ctx,
+            packet.kind.name(),
+            packet.src.0,
+            packet.dst.0,
+            now.as_micros(),
+            arrival.as_micros(),
+        );
+        (arrival, hop)
     }
 
     /// Deterministic round-trip estimate between two nodes (no jitter, no
@@ -274,6 +302,33 @@ mod tests {
             let p = Packet::update(a, b, 10.0);
             assert_eq!(plain.send(SimTime::ZERO, &p), wired.send(SimTime::ZERO, &p));
         }
+    }
+
+    #[test]
+    fn send_traced_records_hops_without_changing_delivery() {
+        use cdnc_obs::{SpanKind, TraceCtx};
+        let (mut plain, a, b) = two_node_net();
+        let (mut wired, _, _) = two_node_net();
+        let reg = cdnc_obs::Registry::enabled();
+        reg.enable_tracing();
+        wired.set_obs(&reg);
+        let t = reg.tracer();
+        let root = t.publish(0, a.0, 0, "net-test");
+        let p = Packet::update(a, b, 10.0);
+        let plain_arrival = plain.send(SimTime::ZERO, &p);
+        let (arrival, hop) = wired.send_traced(SimTime::ZERO, &p, root);
+        assert_eq!(arrival, plain_arrival, "tracing must not change delivery");
+        assert!(hop.is_active() && hop.span != root.span);
+        let store = t.store();
+        let span = store.span(hop.span).unwrap();
+        assert_eq!(span.kind, SpanKind::Hop);
+        assert_eq!(span.label, "update");
+        assert_eq!((span.src, span.node), (Some(a.0), b.0));
+        assert_eq!(span.end_us, arrival.as_micros());
+        // Inactive context: passthrough, no span recorded.
+        let (_, none) = wired.send_traced(SimTime::ZERO, &p, TraceCtx::NONE);
+        assert!(!none.is_active());
+        assert_eq!(t.store().spans.len(), store.spans.len());
     }
 
     #[test]

@@ -43,11 +43,11 @@ impl PacketKind {
     pub fn is_light(self) -> bool {
         !self.is_update()
     }
-}
 
-impl fmt::Display for PacketKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+    /// The stable wire name, `'static` so the tracer can label hop spans
+    /// without allocating (every name is in `cdnc_obs::trace::LABELS`).
+    pub fn name(self) -> &'static str {
+        match self {
             PacketKind::Update => "update",
             PacketKind::Poll => "poll",
             PacketKind::PollUnchanged => "poll-unchanged",
@@ -56,8 +56,13 @@ impl fmt::Display for PacketKind {
             PacketKind::TreeMaintenance => "tree-maintenance",
             PacketKind::UserRequest => "user-request",
             PacketKind::UserResponse => "user-response",
-        };
-        f.write_str(s)
+        }
+    }
+}
+
+impl fmt::Display for PacketKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 

@@ -144,6 +144,44 @@ mod tests {
     }
 
     #[test]
+    fn ring_exactly_at_capacity_keeps_everything() {
+        let log = EventLog::new(Level::Debug, 3);
+        for i in 0..3u64 {
+            log.push(Level::Info, &format!("e{i}"), Json::Null);
+        }
+        let events = log.drain();
+        assert_eq!(events.len(), 3);
+        assert_eq!(log.dropped(), 0, "at capacity nothing is evicted yet");
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, [0, 1, 2], "sequence numbers are contiguous");
+    }
+
+    #[test]
+    fn ring_far_past_capacity_keeps_newest_window() {
+        let log = EventLog::new(Level::Debug, 4);
+        for i in 0..100u64 {
+            log.push(Level::Info, &format!("e{i}"), Json::Null);
+        }
+        let events = log.drain();
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, [96, 97, 98, 99], "only the newest window survives");
+        assert_eq!(log.dropped(), 96);
+        // The sequence keeps counting across a drain, so gaps stay visible.
+        log.push(Level::Info, "after", Json::Null);
+        assert_eq!(log.drain()[0].seq, 100);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let log = EventLog::new(Level::Debug, 0);
+        log.push(Level::Info, "a", Json::Null);
+        log.push(Level::Info, "b", Json::Null);
+        let events = log.drain();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].label, "b");
+    }
+
+    #[test]
     fn record_serializes_to_jsonl_line() {
         let log = EventLog::new(Level::Debug, 4);
         log.push(Level::Warn, "orphaned", Json::obj().field("node", 7u64));

@@ -1,0 +1,269 @@
+//! Anomaly-gated per-update flight recorder.
+//!
+//! A traced run records every update's journey; most journeys are boring.
+//! The flight recorder scans a [`SpanStore`] and retains *full span detail*
+//! only for updates that went wrong:
+//!
+//! - **slow adoption** — some replica's publish→adopt lag exceeded the
+//!   configured threshold (the tracer-side analogue of the paper's long
+//!   inconsistency episodes, §3.4),
+//! - **orphaned hops** — a delivery that produced no terminal span at its
+//!   destination (in flight at the horizon, or swallowed), and
+//! - **lost deliveries** — messages dropped at failed/absent nodes
+//!   (absence-interrupted propagation, §3.4.5).
+//!
+//! The recorder is bounded: at most [`FlightRecorder::max_dumps`] reports
+//! are kept, worst (highest adoption lag) first, so a pathological run
+//! cannot flood the artifact directory.
+
+use crate::json::Json;
+use crate::trace::{PropagationTree, SpanKind, SpanRecord, SpanStore, TraceId};
+
+/// Why an update's trace was retained.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Anomaly {
+    /// Worst publish→adopt lag crossed the threshold.
+    SlowAdoption {
+        /// The worst lag observed, seconds.
+        lag_s: f64,
+        /// The configured threshold it crossed, seconds.
+        threshold_s: f64,
+    },
+    /// Hops with no terminal child at the destination.
+    OrphanedHops {
+        /// How many hops dangled.
+        count: usize,
+    },
+    /// Deliveries dropped at absent nodes.
+    LostDeliveries {
+        /// How many deliveries died.
+        count: usize,
+    },
+}
+
+impl Anomaly {
+    /// Short machine-readable tag.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Anomaly::SlowAdoption { .. } => "slow_adoption",
+            Anomaly::OrphanedHops { .. } => "orphaned_hops",
+            Anomaly::LostDeliveries { .. } => "lost_deliveries",
+        }
+    }
+}
+
+/// One retained update: the anomalies plus the full span detail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightReport {
+    /// The trace retained.
+    pub trace: TraceId,
+    /// The update it carries.
+    pub update: u32,
+    /// The publishing simulation's scope label.
+    pub scope: String,
+    /// What went wrong (at least one entry).
+    pub anomalies: Vec<Anomaly>,
+    /// Worst publish→adopt lag of the update, seconds (0 when nothing
+    /// adopted it).
+    pub max_lag_s: f64,
+    /// Every span of the trace, in record order.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl FlightReport {
+    /// The report as a JSON document (one flight-recorder dump file).
+    pub fn to_json(&self) -> Json {
+        let anomalies = Json::Arr(
+            self.anomalies
+                .iter()
+                .map(|a| {
+                    let j = Json::obj().field("kind", a.tag());
+                    match a {
+                        Anomaly::SlowAdoption { lag_s, threshold_s } => {
+                            j.field("lag_s", *lag_s).field("threshold_s", *threshold_s)
+                        }
+                        Anomaly::OrphanedHops { count } => j.field("count", *count),
+                        Anomaly::LostDeliveries { count } => j.field("count", *count),
+                    }
+                })
+                .collect(),
+        );
+        let spans = Json::Arr(
+            self.spans
+                .iter()
+                .map(|s| {
+                    Json::obj()
+                        .field("span", s.id.0)
+                        .field(
+                            "parent",
+                            if s.parent.is_some() { Json::from(s.parent.0) } else { Json::Null },
+                        )
+                        .field("kind", s.kind.as_str())
+                        .field("label", s.label)
+                        .field("node", s.node)
+                        .field("src", s.src.map_or(Json::Null, Json::from))
+                        .field("begin_us", s.begin_us)
+                        .field("end_us", s.end_us)
+                })
+                .collect(),
+        );
+        Json::obj()
+            .field("update", self.update)
+            .field("trace", self.trace.0)
+            .field("scope", self.scope.as_str())
+            .field("max_adopt_lag_s", self.max_lag_s)
+            .field("anomalies", anomalies)
+            .field("spans", spans)
+    }
+
+    /// Stable dump-file stem, e.g. `update_0007_trace3`.
+    pub fn file_stem(&self) -> String {
+        format!("update_{:04}_trace{}", self.update, self.trace.0)
+    }
+}
+
+/// Scans span stores for anomalous updates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlightRecorder {
+    /// Publish→adopt lag above this is anomalous, seconds.
+    pub lag_threshold_s: f64,
+    /// Retention bound: reports kept per scan, worst first.
+    pub max_dumps: usize,
+}
+
+impl FlightRecorder {
+    /// Default retention bound.
+    pub const DEFAULT_MAX_DUMPS: usize = 64;
+
+    /// A recorder flagging adoption lags above `lag_threshold_s` seconds.
+    pub fn new(lag_threshold_s: f64) -> Self {
+        FlightRecorder { lag_threshold_s, max_dumps: Self::DEFAULT_MAX_DUMPS }
+    }
+
+    /// Scans `store` and returns the retained reports, worst adoption lag
+    /// first, truncated to [`FlightRecorder::max_dumps`]. Healthy updates
+    /// produce nothing.
+    pub fn scan(&self, store: &SpanStore) -> Vec<FlightReport> {
+        let mut reports: Vec<FlightReport> = Vec::new();
+        for (meta, spans) in store.traces.iter().zip(store.spans_by_trace()) {
+            let max_lag_s = spans
+                .iter()
+                .filter(|s| s.kind == SpanKind::Adopt)
+                .map(|s| s.end_us.saturating_sub(meta.published_us) as f64 / 1e6)
+                .fold(0.0, f64::max);
+            let mut anomalies = Vec::new();
+            if max_lag_s > self.lag_threshold_s {
+                anomalies.push(Anomaly::SlowAdoption {
+                    lag_s: max_lag_s,
+                    threshold_s: self.lag_threshold_s,
+                });
+            }
+            let orphans =
+                PropagationTree::build(spans.clone()).map_or(0, |t| t.orphan_hops().len());
+            if orphans > 0 {
+                anomalies.push(Anomaly::OrphanedHops { count: orphans });
+            }
+            let lost = spans.iter().filter(|s| s.kind == SpanKind::Lost).count();
+            if lost > 0 {
+                anomalies.push(Anomaly::LostDeliveries { count: lost });
+            }
+            if anomalies.is_empty() {
+                continue;
+            }
+            reports.push(FlightReport {
+                trace: meta.id,
+                update: meta.update,
+                scope: meta.scope.clone(),
+                anomalies,
+                max_lag_s,
+                spans,
+            });
+        }
+        reports.sort_by(|a, b| {
+            b.max_lag_s.partial_cmp(&a.max_lag_s).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        reports.truncate(self.max_dumps);
+        reports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Tracer, TracerCore};
+    use std::sync::Arc;
+
+    fn tracer() -> Tracer {
+        Tracer(Some(Arc::new(TracerCore::default())))
+    }
+
+    /// One healthy update, one slow, one with a lost delivery, one with an
+    /// orphaned hop.
+    fn mixed_store() -> SpanStore {
+        let t = tracer();
+        let healthy = t.publish(1, 0, 0, "s");
+        let h = t.hop(healthy, "update", 0, 1, 0, 500_000);
+        t.adopt(h, 1, 500_000);
+        let slow = t.publish(2, 0, 1_000_000, "s");
+        let h = t.hop(slow, "update", 0, 1, 1_000_000, 95_000_000);
+        t.adopt(h, 1, 95_000_000); // 94 s lag
+        let lossy = t.publish(3, 0, 2_000_000, "s");
+        let h = t.hop(lossy, "update", 0, 1, 2_000_000, 2_400_000);
+        t.lost(h, 1, 2_400_000);
+        let orphaned = t.publish(4, 0, 3_000_000, "s");
+        t.hop(orphaned, "update", 0, 1, 3_000_000, 3_400_000); // never terminates
+        t.store()
+    }
+
+    #[test]
+    fn healthy_updates_are_not_retained() {
+        let reports = FlightRecorder::new(60.0).scan(&mixed_store());
+        let updates: Vec<u32> = reports.iter().map(|r| r.update).collect();
+        assert!(!updates.contains(&1), "healthy update must not dump");
+        assert_eq!(updates.len(), 3);
+    }
+
+    #[test]
+    fn reports_sort_worst_lag_first_and_classify() {
+        let reports = FlightRecorder::new(60.0).scan(&mixed_store());
+        assert_eq!(reports[0].update, 2, "slowest first");
+        assert!(reports[0].max_lag_s > 90.0);
+        assert_eq!(reports[0].anomalies[0].tag(), "slow_adoption");
+        let by_update =
+            |u: u32| reports.iter().find(|r| r.update == u).expect("retained").anomalies.clone();
+        assert!(by_update(3).iter().any(|a| a.tag() == "lost_deliveries"));
+        assert!(by_update(4).iter().any(|a| a.tag() == "orphaned_hops"));
+    }
+
+    #[test]
+    fn retention_is_bounded() {
+        let mut rec = FlightRecorder::new(60.0);
+        rec.max_dumps = 1;
+        let reports = rec.scan(&mixed_store());
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].update, 2, "the worst one survives the bound");
+    }
+
+    #[test]
+    fn threshold_is_configurable() {
+        // With a sky-high threshold only the structural anomalies remain.
+        let reports = FlightRecorder::new(1e9).scan(&mixed_store());
+        assert!(reports.iter().all(|r| r.anomalies.iter().all(|a| a.tag() != "slow_adoption")));
+        assert_eq!(reports.len(), 2);
+    }
+
+    #[test]
+    fn dump_json_has_full_span_detail() {
+        let reports = FlightRecorder::new(60.0).scan(&mixed_store());
+        let j = reports[0].to_json();
+        assert_eq!(j.get("update").and_then(Json::as_f64), Some(2.0));
+        let spans = match j.get("spans") {
+            Some(Json::Arr(items)) => items,
+            other => panic!("spans missing: {other:?}"),
+        };
+        assert_eq!(spans.len(), 3, "publish + hop + adopt all retained");
+        assert!(reports[0].file_stem().starts_with("update_0002"));
+        // The dump must be valid JSON for the obs parser.
+        assert!(crate::json::parse(&j.to_pretty()).is_ok());
+    }
+}

@@ -514,6 +514,28 @@ mod tests {
     }
 
     #[test]
+    fn escaped_keys_round_trip() {
+        let j = Json::obj()
+            .field("quote\"key", 1u64)
+            .field("tab\tkey", 2u64)
+            .field("uni😀key", 3u64)
+            .field("ctrl\u{2}key", "line\r\nbreak");
+        for text in [j.to_compact(), j.to_pretty()] {
+            assert_eq!(parse(&text).unwrap(), j, "from {text:?}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_round_trips() {
+        let mut j = Json::Num(7.0);
+        for i in 0..200 {
+            j = if i % 2 == 0 { Json::Arr(vec![j]) } else { Json::obj().field("d", j) };
+        }
+        assert_eq!(parse(&j.to_compact()).unwrap(), j);
+        assert_eq!(parse(&j.to_pretty()).unwrap(), j);
+    }
+
+    #[test]
     fn parse_round_trips_writer_output() {
         let j = Json::obj()
             .field("s", "a\"b\\c\nd\u{1}")

@@ -30,14 +30,19 @@
 //! bit-identical reports.
 
 pub mod artifact;
+pub mod chrome;
 pub mod events;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
 pub use artifact::{digest_str, write_event_log, RunArtifact};
+pub use chrome::{from_chrome, parse_chrome, to_chrome};
 pub use events::{EventRecord, Level};
+pub use flight::{Anomaly, FlightRecorder, FlightReport};
 pub use json::{parse, Json};
 pub use metrics::{
     bucket_floor, bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS,
@@ -45,3 +50,7 @@ pub use metrics::{
 };
 pub use registry::{GaugeSnapshot, MetricsSnapshot, Registry};
 pub use span::{PhaseTiming, SpanGuard};
+pub use trace::{
+    CriticalPath, PathStep, PropagationTree, SpanId, SpanKind, SpanRecord, SpanStore, StoreSummary,
+    TraceCtx, TraceId, TraceMeta, Tracer,
+};

@@ -31,11 +31,13 @@ impl Counter {
         self.add(1);
     }
 
-    /// Increments by `n`.
+    /// Increments by `n` (saturating at `u64::MAX`: a pinned counter is a
+    /// visible anomaly, a wrapped one silently reads as near-zero).
     #[inline]
     pub fn add(&self, n: u64) {
         if let Some(cell) = &self.0 {
-            cell.fetch_add(n, Relaxed);
+            // fetch_update never fails with a Relaxed pair and a Some return.
+            let _ = cell.fetch_update(Relaxed, Relaxed, |v| Some(v.saturating_add(n)));
         }
     }
 
@@ -65,11 +67,16 @@ impl Gauge {
         }
     }
 
-    /// Adds `n` to the level.
+    /// Adds `n` to the level (saturating at `u64::MAX`, like
+    /// [`Counter::add`]).
     #[inline]
     pub fn add(&self, n: u64) {
         if let Some(core) = &self.0 {
-            let now = core.value.fetch_add(n, Relaxed) + n;
+            let mut now = 0;
+            let _ = core.value.fetch_update(Relaxed, Relaxed, |v| {
+                now = v.saturating_add(n);
+                Some(now)
+            });
             core.high_water.fetch_max(now, Relaxed);
         }
     }
@@ -278,6 +285,23 @@ mod tests {
         assert_eq!(g.high_water(), 8);
         g.sub(10);
         assert_eq!(g.get(), 0, "sub saturates");
+    }
+
+    #[test]
+    fn counter_and_gauge_saturate_instead_of_wrapping() {
+        let c = Counter(Some(Arc::new(AtomicU64::new(u64::MAX - 1))));
+        c.add(10);
+        assert_eq!(c.get(), u64::MAX, "counter pins at MAX");
+        c.inc();
+        assert_eq!(c.get(), u64::MAX, "and stays there");
+
+        let g = Gauge(Some(Arc::new(GaugeCore::default())));
+        g.set(u64::MAX - 1);
+        g.add(10);
+        assert_eq!(g.get(), u64::MAX, "gauge level pins at MAX");
+        assert_eq!(g.high_water(), u64::MAX, "high-water follows the saturated level");
+        g.sub(5);
+        assert_eq!(g.get(), u64::MAX - 5, "a pinned gauge can still drain");
     }
 
     #[test]

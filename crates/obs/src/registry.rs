@@ -18,6 +18,7 @@ use crate::events::{EventLog, EventRecord, Level};
 use crate::json::Json;
 use crate::metrics::{Counter, Gauge, GaugeCore, Histogram, HistogramCore, HistogramSnapshot};
 use crate::span::{PhaseTiming, SpanGuard, SpanRecorder};
+use crate::trace::{Tracer, TracerCore};
 use parking_lot::Mutex;
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
@@ -29,6 +30,7 @@ struct Inner {
     histograms: Mutex<Vec<(String, Arc<HistogramCore>)>>,
     spans: Arc<SpanRecorder>,
     events: Mutex<Option<Arc<EventLog>>>,
+    tracer: Mutex<Option<Arc<TracerCore>>>,
 }
 
 fn intern<T: Default>(table: &Mutex<Vec<(String, Arc<T>)>>, name: &str) -> Arc<T> {
@@ -112,6 +114,23 @@ impl Registry {
                 }
             }
         }
+    }
+
+    /// Attaches the causal update tracer. Until this is called (and always
+    /// on a disabled registry) [`Registry::tracer`] hands out inert tracers,
+    /// so tracing follows the same opt-in gate as the event log.
+    pub fn enable_tracing(&self) {
+        if let Some(inner) = &self.0 {
+            let mut slot = inner.tracer.lock();
+            if slot.is_none() {
+                *slot = Some(Arc::new(TracerCore::default()));
+            }
+        }
+    }
+
+    /// The attached tracer (inert when disabled or tracing not enabled).
+    pub fn tracer(&self) -> Tracer {
+        Tracer(self.0.as_ref().and_then(|inner| inner.tracer.lock().clone()))
     }
 
     /// Removes and returns buffered events (empty when disabled or no log).
@@ -312,6 +331,21 @@ mod tests {
         let spans = reg.snapshot().spans;
         let paths: Vec<&str> = spans.iter().map(|(p, _)| p.as_str()).collect();
         assert_eq!(paths, ["run/observe", "run"]);
+    }
+
+    #[test]
+    fn tracing_gated_behind_enable() {
+        let reg = Registry::enabled();
+        assert!(!reg.tracer().is_enabled(), "tracing is opt-in even when enabled");
+        reg.enable_tracing();
+        let t = reg.tracer();
+        assert!(t.is_enabled());
+        assert!(t.publish(1, 0, 0, "s").is_active());
+        assert_eq!(reg.tracer().store().traces.len(), 1, "handles share one core");
+        let off = Registry::disabled();
+        off.enable_tracing();
+        assert!(!off.tracer().is_enabled());
+        assert!(!off.tracer().publish(1, 0, 0, "s").is_active());
     }
 
     #[test]

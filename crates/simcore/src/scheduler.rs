@@ -6,7 +6,7 @@
 
 use crate::queue::EventQueue;
 use crate::time::{SimDuration, SimTime};
-use cdnc_obs::{Counter, Gauge, Registry};
+use cdnc_obs::{Counter, Gauge, Registry, Tracer};
 
 /// Drives a simulation: owns the clock and the pending-event queue.
 ///
@@ -42,6 +42,7 @@ pub struct Scheduler<E> {
     /// Observation-only instrumentation: never read back into scheduling.
     obs_processed: Counter,
     obs_depth: Gauge,
+    obs_tracer: Tracer,
 }
 
 impl<E> Default for Scheduler<E> {
@@ -60,6 +61,7 @@ impl<E> Scheduler<E> {
             processed: 0,
             obs_processed: Counter::default(),
             obs_depth: Gauge::default(),
+            obs_tracer: Tracer::default(),
         }
     }
 
@@ -67,10 +69,13 @@ impl<E> Scheduler<E> {
     /// `sched_queue_depth` (gauge whose high-water mark is the largest
     /// pending-event backlog seen). With a disabled registry the handles
     /// are inert — the hot-path cost is one branch per operation.
+    /// The causal tracer (if enabled on the registry) also rides along:
+    /// [`Scheduler::next`] advances its recorded horizon with the clock.
     pub fn set_obs(&mut self, registry: &Registry) {
         self.obs_processed = registry.counter("sched_events_processed");
         self.obs_depth = registry.gauge("sched_queue_depth");
         self.obs_depth.set(self.queue.len() as u64);
+        self.obs_tracer = registry.tracer();
     }
 
     /// Creates a scheduler that silently stops yielding events past `horizon`
@@ -137,6 +142,7 @@ impl<E> Scheduler<E> {
         self.processed += 1;
         self.obs_processed.inc();
         self.obs_depth.set(self.queue.len() as u64);
+        self.obs_tracer.tick(t.as_micros());
         Some((t, e))
     }
 }
@@ -205,6 +211,17 @@ mod tests {
         let depth = snap.gauges.iter().find(|(n, _)| n == "sched_queue_depth").unwrap().1;
         assert_eq!(depth.high_water, 2);
         assert_eq!(depth.value, 0);
+    }
+
+    #[test]
+    fn tracer_horizon_follows_clock() {
+        let reg = cdnc_obs::Registry::enabled();
+        reg.enable_tracing();
+        let mut s = Scheduler::new();
+        s.set_obs(&reg);
+        s.schedule_in(SimDuration::from_secs(5), Ev::A);
+        while s.next().is_some() {}
+        assert_eq!(reg.tracer().store().horizon_us, 5_000_000);
     }
 
     #[test]

@@ -6,10 +6,12 @@ use cdnc_experiments::obs_out::write_figure_artifact;
 use cdnc_experiments::{build_trace, build_trace_with_obs, run_figure, run_figure_with_obs, Scale};
 use cdnc_obs::{parse, Json, Level, Registry};
 
-/// A fully armed registry: metrics, spans, and the event log all live.
+/// A fully armed registry: metrics, spans, the event log, and the causal
+/// tracer all live.
 fn armed() -> Registry {
     let reg = Registry::enabled();
     reg.enable_events(Level::Debug, 65_536);
+    reg.enable_tracing();
     reg
 }
 
@@ -26,7 +28,25 @@ fn instrumented_figures_match_uninstrumented() {
             reg.snapshot().counter("sched_events_processed") > 0,
             "{id}: the registry must actually have observed the run"
         );
+        assert!(
+            !reg.tracer().store().spans.is_empty(),
+            "{id}: the tracer must actually have recorded the run"
+        );
     }
+}
+
+#[test]
+fn tracing_runs_are_deterministic() {
+    // Two traced runs of the same figure produce span-for-span identical
+    // stores, so trace artifacts are reproducible byte-for-byte.
+    let first = armed();
+    let second = armed();
+    let a = run_figure_with_obs("fig24", Scale::Smoke, None, &first).unwrap();
+    let b = run_figure_with_obs("fig24", Scale::Smoke, None, &second).unwrap();
+    assert_eq!(a, b, "paired traced runs must agree on results");
+    let (sa, sb) = (first.tracer().store(), second.tracer().store());
+    assert!(!sa.spans.is_empty(), "the tracer must have recorded spans");
+    assert_eq!(sa, sb, "paired traced runs must agree on every span");
 }
 
 #[test]

@@ -1,0 +1,218 @@
+//! Ground-truth validation of the paper's §3 inference methodology.
+//!
+//! The causal tracer records exactly when every server adopted every update,
+//! so a crawl synthesized from the span store is a measurement trace whose
+//! underlying truth we know. Feeding it through `cdnc-analysis` checks that
+//! the outside-in inferences — TTL by recursive refinement (§3.4) and the
+//! multicast-tree existence tests (§3.5) — recover what the simulator
+//! actually did, on infrastructures where the truth differs.
+
+use cdnc_analysis::inconsistency::day_episodes;
+use cdnc_analysis::tree_test::{
+    daily_ranks, fraction_below_ttl, group_daily_mean_inconsistency, rank_churn,
+};
+use cdnc_analysis::ttl_inference::{infer_ttl, refine_ttl};
+use cdnc_core::{run_with_obs, MethodKind, Scheme, SimConfig};
+use cdnc_geo::{GeoPoint, IspId};
+use cdnc_obs::{Registry, SpanKind, SpanStore};
+use cdnc_simcore::{SimDuration, SimTime};
+use cdnc_trace::{DayTrace, ServerMeta, ServerPoll, SnapshotId, Trace, UpdateSequence};
+
+/// Synthetic-crawl polling interval, seconds. The acceptance bar for TTL
+/// inference is "within one polling interval of the truth".
+const POLL_S: u64 = 2;
+
+fn poll_interval() -> SimDuration {
+    SimDuration::from_secs(POLL_S)
+}
+
+/// A small §4-style run: 40 servers, updates every 60 s for half an hour.
+fn base_cfg(scheme: Scheme, seed: u64) -> SimConfig {
+    let updates = UpdateSequence::periodic(SimDuration::from_secs(60), SimTime::from_secs(1800));
+    let mut cfg = SimConfig::section4(scheme, updates);
+    cfg.servers = 40;
+    cfg.users_per_server = 1;
+    cfg.seed = seed;
+    cfg
+}
+
+/// Runs the simulation with the tracer armed and returns the span store.
+fn traced(cfg: &SimConfig) -> SpanStore {
+    let reg = Registry::enabled();
+    reg.enable_tracing();
+    let _ = run_with_obs(cfg, &reg);
+    reg.tracer().store()
+}
+
+/// The largest adoption lag the tracer recorded across all updates — the
+/// simulator's ground-truth worst staleness.
+fn max_adopt_lag_s(store: &SpanStore) -> f64 {
+    store.traces.iter().flat_map(|m| store.adopt_lags_s(m.id)).fold(0.0f64, f64::max)
+}
+
+/// Synthesizes one crawl day from the tracer's adoption record: every
+/// server is polled on a fixed staggered grid, and each poll reports the
+/// newest snapshot the tracer says the server had adopted by then. Clocks
+/// are skew-free, so the analysis sees an idealised crawler whose only
+/// error is the sampling grid itself.
+fn synth_day(day: u16, cfg: &SimConfig, store: &SpanStore) -> DayTrace {
+    let mut adoptions: Vec<Vec<(u64, u32)>> = vec![Vec::new(); cfg.servers];
+    for span in &store.spans {
+        if span.kind == SpanKind::Adopt {
+            let update = store.meta(span.trace).expect("adopt spans belong to a trace").update;
+            // Node 0 is the provider; servers are nodes 1..=N.
+            adoptions[span.node as usize - 1].push((span.end_us, update));
+        }
+    }
+    for timeline in &mut adoptions {
+        timeline.sort_unstable();
+    }
+    let horizon_us = cfg.horizon().as_micros();
+    let poll_us = poll_interval().as_micros();
+    let mut server_polls = Vec::new();
+    for (s, timeline) in adoptions.iter().enumerate() {
+        // Prime-multiplied stagger so servers don't poll in lockstep.
+        let mut t = (s as u64 * 2_654_435_761) % poll_us;
+        while t <= horizon_us {
+            let adopted = timeline.partition_point(|&(at, _)| at <= t);
+            let snap = if adopted == 0 { 0 } else { timeline[adopted - 1].1 };
+            server_polls.push(ServerPoll {
+                server: s as u32,
+                time: SimTime::from_micros(t),
+                reported_gmt_us: t as i64,
+                snapshot: SnapshotId(snap),
+                response_time: SimDuration::from_millis(100),
+            });
+            t += poll_us;
+        }
+    }
+    DayTrace {
+        day,
+        updates: cfg.updates.clone(),
+        server_polls,
+        provider_polls: Vec::new(),
+        user_polls: Vec::new(),
+    }
+}
+
+/// Wraps synthesized days into a full crawl trace with skew-free metadata.
+fn synth_trace(cfg: &SimConfig, days: Vec<DayTrace>) -> Trace {
+    let servers = (0..cfg.servers as u32)
+        .map(|id| ServerMeta {
+            id,
+            location: GeoPoint::new(0.0, id as f64 * 0.1).expect("valid"),
+            isp: IspId(0),
+            distance_to_provider_km: 0.0,
+            true_skew_us: 0,
+            measured_skew_us: 0,
+        })
+        .collect();
+    Trace {
+        servers,
+        users: Vec::new(),
+        provider_isp: IspId(0),
+        provider_location: GeoPoint::new(0.0, 0.0).expect("valid"),
+        poll_interval: poll_interval(),
+        session: cfg.horizon().since(SimTime::ZERO),
+        days,
+    }
+}
+
+/// §3.4 cross-check: on a unicast TTL CDN the tracer's recorded truth is a
+/// staleness never past one TTL, and both TTL-inference procedures recover
+/// the configured TTL to within one crawl polling interval.
+#[test]
+fn inferred_ttl_matches_tracer_truth_within_one_poll_interval() {
+    let cfg = base_cfg(Scheme::Unicast(MethodKind::Ttl), 7);
+    let store = traced(&cfg);
+    let ttl_s = cfg.server_ttl.as_secs_f64();
+    let max_lag = max_adopt_lag_s(&store);
+    assert!(max_lag <= ttl_s + 1.0, "TTL truth violated: max adopt lag {max_lag}");
+    assert!(max_lag > ttl_s * 0.5, "adoption lags should fill a good part of [0, TTL]");
+
+    let trace = synth_trace(&cfg, vec![synth_day(0, &cfg, &store)]);
+    let lengths: Vec<f64> =
+        day_episodes(&trace.days[0], &trace.servers, None).iter().map(|e| e.length_s).collect();
+    assert!(lengths.len() > 200, "expected plenty of stale episodes, got {}", lengths.len());
+
+    let tolerance = POLL_S as f64;
+    let candidates: Vec<f64> = (1..=60).map(|c| c as f64 * 0.5).collect();
+    let inferred = infer_ttl(&lengths, &candidates).expect("explicable lengths");
+    assert!(
+        (inferred - ttl_s).abs() <= tolerance,
+        "grid-inferred TTL {inferred} vs truth {ttl_s} (tolerance {tolerance})"
+    );
+    let refined = refine_ttl(&lengths, 1e-4, 100).expect("non-empty lengths");
+    assert!(
+        (refined - ttl_s).abs() <= tolerance,
+        "refined TTL {refined} vs truth {ttl_s} (tolerance {tolerance})"
+    );
+}
+
+/// §3.5 cross-check: the dynamic-tree test separates a flat unicast CDN
+/// (most daily maxima below ~TTL) from a real multicast tree (deep layers
+/// accumulate one TTL per hop), and the static-tree test sees unicast ranks
+/// churn day to day.
+#[test]
+fn tree_existence_verdict_matches_simulated_infrastructure() {
+    // Three unicast "days": a fresh seed per day, like fresh game days.
+    let mut days = Vec::new();
+    let mut unicast_cfg = None;
+    for d in 0..3u16 {
+        let cfg = base_cfg(Scheme::Unicast(MethodKind::Ttl), 10 + d as u64);
+        let store = traced(&cfg);
+        days.push(synth_day(d, &cfg, &store));
+        unicast_cfg.get_or_insert(cfg);
+    }
+    let unicast_cfg = unicast_cfg.expect("three days ran");
+    let unicast = synth_trace(&unicast_cfg, days);
+
+    let multi_cfg = base_cfg(Scheme::Multicast { method: MethodKind::Ttl, arity: 2 }, 10);
+    let multi_store = traced(&multi_cfg);
+    let ttl_s = multi_cfg.server_ttl.as_secs_f64();
+    assert!(
+        max_adopt_lag_s(&multi_store) > ttl_s,
+        "tree truth violated: deep layers must lag past one TTL"
+    );
+    let multicast = synth_trace(&multi_cfg, vec![synth_day(0, &multi_cfg, &multi_store)]);
+
+    // Dynamic-tree test (Fig. 12): fraction of servers whose daily maximum
+    // stays below TTL plus slack.
+    let slack = ttl_s * 1.5;
+    let uni_frac = fraction_below_ttl(&unicast, 0, slack);
+    let multi_frac = fraction_below_ttl(&multicast, 0, slack);
+    assert!(uni_frac > 0.7, "unicast must keep most maxima below ~TTL, got {uni_frac}");
+    assert!(multi_frac < 0.5, "a real tree must push most maxima past ~TTL, got {multi_frac}");
+    assert!(multi_frac < uni_frac, "the verdicts must separate: {multi_frac} vs {uni_frac}");
+
+    // Static-tree test (Fig. 11): per-server consistency ranks on the flat
+    // CDN churn across days — no frozen tree layering.
+    let groups: Vec<Vec<u32>> = (0..unicast_cfg.servers as u32).map(|s| vec![s]).collect();
+    let means = group_daily_mean_inconsistency(&unicast, &groups);
+    let churn = rank_churn(&daily_ranks(&means));
+    assert!(churn > 0.02, "unicast ranks must churn day to day, got {churn}");
+}
+
+/// HAT cross-check: whatever the crawl measures on the paper's proposed
+/// system is bounded by the tracer's recorded truth — an inferred stale
+/// episode can never be longer than the worst adoption lag the simulator
+/// actually produced.
+#[test]
+fn hat_measured_inconsistency_is_bounded_by_tracer_truth() {
+    let scheme =
+        Scheme::Hybrid { clusters: 8, tree_arity: 2, member_method: MethodKind::SelfAdaptive };
+    let cfg = base_cfg(scheme, 21);
+    let store = traced(&cfg);
+    assert!(store.summary().adoptions > 0, "HAT must propagate updates");
+
+    let trace = synth_trace(&cfg, vec![synth_day(0, &cfg, &store)]);
+    let max_lag = max_adopt_lag_s(&store);
+    let max_measured = day_episodes(&trace.days[0], &trace.servers, None)
+        .iter()
+        .map(|e| e.length_s)
+        .fold(0.0f64, f64::max);
+    assert!(
+        max_measured <= max_lag + POLL_S as f64,
+        "measurement ({max_measured}) cannot exceed the tracer's truth ({max_lag})"
+    );
+}
