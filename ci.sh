@@ -30,4 +30,18 @@ echo "==> paired-run determinism with tracing on"
 cargo test -p cdnc-experiments --test obs_determinism --quiet
 cargo test -p cdnc-experiments --test trace_ground_truth --quiet
 
+echo "==> serial vs --jobs 2 determinism diff"
+PAR_DIR="$(mktemp -d)"
+cargo run -q -p cdnc-experiments --release -- fig17 --scale smoke --obs --obs-dir "$PAR_DIR/serial" --trace --trace-dir "$PAR_DIR/serial" > "$PAR_DIR/serial.txt"
+cargo run -q -p cdnc-experiments --release -- fig17 --scale smoke --obs --obs-dir "$PAR_DIR/jobs2" --trace --trace-dir "$PAR_DIR/jobs2" --jobs 2 > "$PAR_DIR/jobs2.txt"
+# Stdout must match line-for-line except output paths, wall-clock
+# "[fig: …s on N worker thread(s)]" lines, and phase-timing table rows.
+par_filter() {
+  grep -vF "$PAR_DIR" "$1" | grep -vE 'worker thread\(s\)\]$|^  [A-Za-z0-9_/]+ +[0-9]+ +[0-9.]+s$|^  phase '
+}
+diff <(par_filter "$PAR_DIR/serial.txt") <(par_filter "$PAR_DIR/jobs2.txt")
+# Artifacts must match with wall-clock fields scrubbed.
+cargo run -q -p cdnc-experiments --release -- obs-diff "$PAR_DIR/serial" "$PAR_DIR/jobs2"
+rm -rf "$PAR_DIR"
+
 echo "CI gate passed."

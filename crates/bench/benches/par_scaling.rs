@@ -1,0 +1,42 @@
+//! Scaling benches for the deterministic parallel runtime: the same crawl
+//! and fig20-style sweep at 1, 2 and 4 worker threads. Because results are
+//! bit-identical across thread counts, the only thing these measure is wall
+//! time — the speedup (or, on a single-core box, the overhead) of fanning
+//! out.
+
+use cdnc_experiments::eval_figs::fig20;
+use cdnc_experiments::{RunCtx, Scale};
+use cdnc_obs::Registry;
+use cdnc_par::Pool;
+use cdnc_trace::{crawl_par, CrawlConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const THREADS: [usize; 3] = [1, 2, 4];
+
+fn bench_crawl_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("par_scaling_crawl");
+    group.sample_size(10);
+    let cfg = CrawlConfig { servers: 120, users: 40, days: 2, seed: 7, ..CrawlConfig::tiny() };
+    for jobs in THREADS {
+        group.bench_with_input(BenchmarkId::new("crawl", jobs), &jobs, |b, &jobs| {
+            let pool = Pool::new(jobs);
+            b.iter(|| crawl_par(&cfg, &pool))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig20_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("par_scaling_fig20");
+    group.sample_size(10);
+    for jobs in THREADS {
+        group.bench_with_input(BenchmarkId::new("fig20", jobs), &jobs, |b, &jobs| {
+            let ctx = RunCtx::with_pool(Scale::Smoke, Pool::new(jobs));
+            b.iter(|| fig20(ctx, &Registry::disabled()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(par_scaling, bench_crawl_scaling, bench_fig20_scaling);
+criterion_main!(par_scaling);

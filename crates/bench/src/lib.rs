@@ -7,7 +7,8 @@
 //! * `trace_figures` — the §3 measurement pipeline (Figs. 3–12);
 //! * `evaluation_figures` — the §4 evaluation sims (Figs. 14–20);
 //! * `hat_figures` — the §5 HAT comparison (Figs. 22–24);
-//! * `ablation` — the design-choice ablations called out in DESIGN.md.
+//! * `ablation` — the design-choice ablations called out in DESIGN.md;
+//! * `par_scaling` — crawl + fig20 wall time at 1/2/4 worker threads.
 
 use cdnc_core::{Scheme, SimConfig};
 use cdnc_simcore::SimRng;

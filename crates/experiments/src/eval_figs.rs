@@ -1,10 +1,12 @@
 //! Reproductions of the trace-driven evaluation figures (paper §4,
 //! Figs. 14–20).
 
+use crate::ctx::RunCtx;
 use crate::report::FigureReport;
 use crate::scale::Scale;
 use cdnc_core::{run_with_obs, MethodKind, Scheme, SimConfig, SimReport};
 use cdnc_obs::Registry;
+use cdnc_par::Pool;
 use cdnc_simcore::{SimDuration, SimRng};
 use cdnc_trace::UpdateSequence;
 
@@ -13,49 +15,58 @@ pub fn section4_updates() -> UpdateSequence {
     UpdateSequence::live_game(&mut SimRng::seed_from_u64(42))
 }
 
-/// Runs a batch of simulations in parallel (one thread per configuration,
-/// capped at the available parallelism). Metrics from every run accumulate
-/// into the shared `obs` registry (the registry is thread-safe; pass
-/// [`Registry::disabled`] for uninstrumented runs).
-pub fn run_batch(configs: Vec<SimConfig>, obs: &Registry) -> Vec<SimReport> {
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let mut reports: Vec<Option<SimReport>> = vec![None; configs.len()];
-    let indexed: Vec<(usize, SimConfig)> = configs.into_iter().enumerate().collect();
-    let chunks: Vec<Vec<(usize, SimConfig)>> = indexed
-        .chunks(indexed.len().div_ceil(workers).max(1))
-        .map(<[(usize, SimConfig)]>::to_vec)
-        .collect();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for chunk in chunks {
-            let obs = obs.clone();
-            handles.push(scope.spawn(move || {
-                chunk.into_iter().map(|(i, cfg)| (i, run_with_obs(&cfg, &obs))).collect::<Vec<_>>()
-            }));
-        }
-        for h in handles {
-            for (i, report) in h.join().expect("simulation thread panicked") {
-                reports[i] = Some(report);
-            }
-        }
-    });
-    reports.into_iter().map(|r| r.expect("every config ran")).collect()
+/// The §4 replayed content for one replicate of a run (replicate 0 is the
+/// canonical seed-42 day whose numbers EXPERIMENTS.md records).
+pub fn section4_updates_for(ctx: RunCtx) -> UpdateSequence {
+    UpdateSequence::live_game(&mut SimRng::seed_from_u64(ctx.seed(42)))
 }
 
-fn section4_config(scale: Scale, scheme: Scheme) -> SimConfig {
-    let mut cfg = SimConfig::section4(scheme, section4_updates());
-    cfg.servers = scale.section4_servers();
+/// Runs a batch of simulations serially. Equivalent to
+/// [`run_batch_on`] with a serial pool.
+pub fn run_batch(configs: Vec<SimConfig>, obs: &Registry) -> Vec<SimReport> {
+    run_batch_on(configs, obs, &Pool::serial())
+}
+
+/// Runs a batch of simulations fanned out on `pool`, one task per
+/// configuration. Each task records into its own registry shard and the
+/// shards are absorbed into `obs` in task-index order after the join — even
+/// for a serial pool — so the metrics, events and traces accumulated into
+/// `obs` are bit-identical for every worker count (pass
+/// [`Registry::disabled`] for uninstrumented runs).
+pub fn run_batch_on(configs: Vec<SimConfig>, obs: &Registry, pool: &Pool) -> Vec<SimReport> {
+    let shards = pool.map_slice(&configs, |_, cfg| {
+        // Shard span paths must not inherit the spawning thread's open
+        // spans (inline tasks would nest where worker threads don't).
+        let _detached = cdnc_obs::detach_spans();
+        let shard = obs.shard();
+        let report = run_with_obs(cfg, &shard);
+        (report, shard)
+    });
+    shards
+        .into_iter()
+        .map(|(report, shard)| {
+            obs.absorb(&shard);
+            report
+        })
+        .collect()
+}
+
+fn section4_config(ctx: RunCtx, scheme: Scheme) -> SimConfig {
+    let mut cfg = SimConfig::section4(scheme, section4_updates_for(ctx));
+    cfg.servers = ctx.scale.section4_servers();
+    cfg.seed = ctx.seed(cfg.seed);
     cfg
 }
 
 const METHODS: [MethodKind; 3] = [MethodKind::Push, MethodKind::Invalidation, MethodKind::Ttl];
 
 /// Fig. 14: per-server and per-user inconsistency under unicast.
-pub fn fig14(scale: Scale, obs: &Registry) -> FigureReport {
+pub fn fig14(ctx: RunCtx, obs: &Registry) -> FigureReport {
     let mut report = FigureReport::new("fig14", "Inconsistency in the unicast infrastructure");
-    let reports = run_batch(
-        METHODS.iter().map(|&m| section4_config(scale, Scheme::Unicast(m))).collect(),
+    let reports = run_batch_on(
+        METHODS.iter().map(|&m| section4_config(ctx, Scheme::Unicast(m))).collect(),
         obs,
+        &ctx.pool,
     );
     for r in &reports {
         report.row(format!(
@@ -71,15 +82,16 @@ pub fn fig14(scale: Scale, obs: &Registry) -> FigureReport {
 }
 
 /// Fig. 15: the same three methods on the binary multicast tree.
-pub fn fig15(scale: Scale, obs: &Registry) -> FigureReport {
+pub fn fig15(ctx: RunCtx, obs: &Registry) -> FigureReport {
     let mut report =
         FigureReport::new("fig15", "Inconsistency in the multicast-tree infrastructure");
-    let reports = run_batch(
+    let reports = run_batch_on(
         METHODS
             .iter()
-            .map(|&m| section4_config(scale, Scheme::Multicast { method: m, arity: 2 }))
+            .map(|&m| section4_config(ctx, Scheme::Multicast { method: m, arity: 2 }))
             .collect(),
         obs,
+        &ctx.pool,
     );
     for r in &reports {
         report.row(format!(
@@ -96,14 +108,14 @@ pub fn fig15(scale: Scale, obs: &Registry) -> FigureReport {
 
 /// Fig. 16: consistency-maintenance traffic cost (km·KB), 3 methods × 2
 /// infrastructures.
-pub fn fig16(scale: Scale, obs: &Registry) -> FigureReport {
+pub fn fig16(ctx: RunCtx, obs: &Registry) -> FigureReport {
     let mut report = FigureReport::new("fig16", "Traffic cost (km·KB) per method × infra");
     let mut configs = Vec::new();
     for &m in &METHODS {
-        configs.push(section4_config(scale, Scheme::Unicast(m)));
-        configs.push(section4_config(scale, Scheme::Multicast { method: m, arity: 2 }));
+        configs.push(section4_config(ctx, Scheme::Unicast(m)));
+        configs.push(section4_config(ctx, Scheme::Multicast { method: m, arity: 2 }));
     }
-    let reports = run_batch(configs, obs);
+    let reports = run_batch_on(configs, obs, &ctx.pool);
     for pair in reports.chunks(2) {
         let (uni, multi) = (&pair[0], &pair[1]);
         report.row(format!(
@@ -119,21 +131,21 @@ pub fn fig16(scale: Scale, obs: &Registry) -> FigureReport {
 }
 
 /// Fig. 17: TTL-method traffic cost vs content-server TTL.
-pub fn fig17(scale: Scale, obs: &Registry) -> FigureReport {
+pub fn fig17(ctx: RunCtx, obs: &Registry) -> FigureReport {
     let mut report = FigureReport::new("fig17", "Traffic cost vs content-server TTL");
-    let ttls = scale.server_ttl_sweep_s();
+    let ttls = ctx.scale.server_ttl_sweep_s();
     let mut configs = Vec::new();
     for &ttl in &ttls {
         for scheme in [
             Scheme::Unicast(MethodKind::Ttl),
             Scheme::Multicast { method: MethodKind::Ttl, arity: 2 },
         ] {
-            let mut cfg = section4_config(scale, scheme);
+            let mut cfg = section4_config(ctx, scheme);
             cfg.server_ttl = SimDuration::from_secs(ttl);
             configs.push(cfg);
         }
     }
-    let reports = run_batch(configs, obs);
+    let reports = run_batch_on(configs, obs, &ctx.pool);
     for (i, pair) in reports.chunks(2).enumerate() {
         let ttl = ttls[i];
         report.row(format!(
@@ -149,10 +161,10 @@ pub fn fig17(scale: Scale, obs: &Registry) -> FigureReport {
 
 /// Fig. 18: Invalidation with varying end-user TTL: inconsistency
 /// percentiles and traffic cost.
-pub fn fig18(scale: Scale, obs: &Registry) -> FigureReport {
+pub fn fig18(ctx: RunCtx, obs: &Registry) -> FigureReport {
     let mut report =
         FigureReport::new("fig18", "Invalidation vs end-user TTL (inconsistency + cost)");
-    let user_ttls: Vec<u64> = match scale {
+    let user_ttls: Vec<u64> = match ctx.scale {
         Scale::Smoke => vec![10, 60, 120],
         _ => vec![10, 30, 60, 90, 120],
     };
@@ -162,12 +174,12 @@ pub fn fig18(scale: Scale, obs: &Registry) -> FigureReport {
             Scheme::Unicast(MethodKind::Invalidation),
             Scheme::Multicast { method: MethodKind::Invalidation, arity: 2 },
         ] {
-            let mut cfg = section4_config(scale, scheme);
+            let mut cfg = section4_config(ctx, scheme);
             cfg.user_ttl = SimDuration::from_secs(ttl);
             configs.push(cfg);
         }
     }
-    let reports = run_batch(configs, obs);
+    let reports = run_batch_on(configs, obs, &ctx.pool);
     for (i, pair) in reports.chunks(2).enumerate() {
         let ttl = user_ttls[i];
         let (uni, multi) = (&pair[0], &pair[1]);
@@ -191,9 +203,9 @@ pub fn fig18(scale: Scale, obs: &Registry) -> FigureReport {
 }
 
 /// Fig. 19: scalability vs update packet size.
-pub fn fig19(scale: Scale, obs: &Registry) -> FigureReport {
+pub fn fig19(ctx: RunCtx, obs: &Registry) -> FigureReport {
     let mut report = FigureReport::new("fig19", "Server inconsistency vs update packet size");
-    let sizes = scale.fig19_sizes_kb();
+    let sizes = ctx.scale.fig19_sizes_kb();
     for (infra_name, make) in [("unicast", None), ("multicast", Some(2usize))] {
         let mut configs = Vec::new();
         for &kb in &sizes {
@@ -202,12 +214,12 @@ pub fn fig19(scale: Scale, obs: &Registry) -> FigureReport {
                     None => Scheme::Unicast(m),
                     Some(arity) => Scheme::Multicast { method: m, arity },
                 };
-                let mut cfg = section4_config(scale, scheme);
+                let mut cfg = section4_config(ctx, scheme);
                 cfg.update_packet_kb = kb;
                 configs.push(cfg);
             }
         }
-        let reports = run_batch(configs, obs);
+        let reports = run_batch_on(configs, obs, &ctx.pool);
         for (i, chunk) in reports.chunks(METHODS.len()).enumerate() {
             let kb = sizes[i];
             report.row(format!(
@@ -228,9 +240,9 @@ pub fn fig19(scale: Scale, obs: &Registry) -> FigureReport {
 }
 
 /// Fig. 20: scalability vs network size.
-pub fn fig20(scale: Scale, obs: &Registry) -> FigureReport {
+pub fn fig20(ctx: RunCtx, obs: &Registry) -> FigureReport {
     let mut report = FigureReport::new("fig20", "Server inconsistency vs network size");
-    let sizes = scale.fig20_sizes();
+    let sizes = ctx.scale.fig20_sizes();
     for (infra_name, arity) in [("unicast", None), ("multicast", Some(2usize))] {
         let mut configs = Vec::new();
         for &n in &sizes {
@@ -239,12 +251,12 @@ pub fn fig20(scale: Scale, obs: &Registry) -> FigureReport {
                     None => Scheme::Unicast(m),
                     Some(a) => Scheme::Multicast { method: m, arity: a },
                 };
-                let mut cfg = section4_config(scale, scheme);
+                let mut cfg = section4_config(ctx, scheme);
                 cfg.servers = n;
                 configs.push(cfg);
             }
         }
-        let reports = run_batch(configs, obs);
+        let reports = run_batch_on(configs, obs, &ctx.pool);
         for (i, chunk) in reports.chunks(METHODS.len()).enumerate() {
             let n = sizes[i];
             report.row(format!(
@@ -270,7 +282,7 @@ mod tests {
 
     #[test]
     fn fig14_ordering_matches_paper() {
-        let r = fig14(Scale::Smoke, &Registry::disabled());
+        let r = fig14(RunCtx::new(Scale::Smoke), &Registry::disabled());
         let push = r.value("Push_server_s").unwrap();
         let inval = r.value("Invalidation_server_s").unwrap();
         let ttl = r.value("TTL_server_s").unwrap();
@@ -279,7 +291,7 @@ mod tests {
 
     #[test]
     fn fig16_multicast_saves_cost() {
-        let r = fig16(Scale::Smoke, &Registry::disabled());
+        let r = fig16(RunCtx::new(Scale::Smoke), &Registry::disabled());
         for m in ["Push", "Invalidation", "TTL"] {
             let uni = r.value(&format!("{m}_unicast_kmkb")).unwrap();
             let multi = r.value(&format!("{m}_multicast_kmkb")).unwrap();
@@ -289,7 +301,7 @@ mod tests {
 
     #[test]
     fn fig17_cost_decreases_with_ttl() {
-        let r = fig17(Scale::Smoke, &Registry::disabled());
+        let r = fig17(RunCtx::new(Scale::Smoke), &Registry::disabled());
         let at10 = r.value("unicast_kmkb_ttl10").unwrap();
         let at60 = r.value("unicast_kmkb_ttl60").unwrap();
         assert!(at60 < at10, "longer TTL must cost less: {at60} vs {at10}");
@@ -297,7 +309,7 @@ mod tests {
 
     #[test]
     fn fig18_cost_decreases_with_user_ttl() {
-        let r = fig18(Scale::Smoke, &Registry::disabled());
+        let r = fig18(RunCtx::new(Scale::Smoke), &Registry::disabled());
         let at10 = r.value("unicast_kmkb_uttl10").unwrap();
         let at120 = r.value("unicast_kmkb_uttl120").unwrap();
         assert!(at120 < at10, "rarer visits must cost less: {at120} vs {at10}");

@@ -9,9 +9,9 @@
 //! * [`ext_policy`] — the §6 future work: the policy advisor's
 //!   recommendations validated against fixed baselines by simulation.
 
-use crate::eval_figs::{run_batch, section4_updates};
+use crate::ctx::RunCtx;
+use crate::eval_figs::{run_batch_on, section4_updates_for};
 use crate::report::FigureReport;
-use crate::scale::Scale;
 use cdnc_core::{
     recommend, FailureConfig, MethodKind, Requirement, Scheme, SimConfig, WorkloadProfile,
 };
@@ -22,7 +22,7 @@ use cdnc_trace::UpdateSequence;
 
 /// Failure resilience per scheme: inconsistency, repair traffic and
 /// undelivered updates as the failure rate grows.
-pub fn ext_failures(scale: Scale, obs: &Registry) -> FigureReport {
+pub fn ext_failures(ctx: RunCtx, obs: &Registry) -> FigureReport {
     let mut report = FigureReport::new(
         "ext_failures",
         "EXT: inconsistency and repair cost under server failures",
@@ -39,13 +39,14 @@ pub fn ext_failures(scale: Scale, obs: &Registry) -> FigureReport {
     let mut configs = Vec::new();
     for &(_, gap) in &regimes {
         for scheme in schemes {
-            let mut cfg = SimConfig::section4(scheme, section4_updates());
-            cfg.servers = scale.section4_servers().min(120);
+            let mut cfg = SimConfig::section4(scheme, section4_updates_for(ctx));
+            cfg.servers = ctx.scale.section4_servers().min(120);
+            cfg.seed = ctx.seed(cfg.seed);
             cfg.failures = gap.map(FailureConfig::with_mean_gap_s);
             configs.push(cfg);
         }
     }
-    let reports = run_batch(configs, obs);
+    let reports = run_batch_on(configs, obs, &ctx.pool);
     for (chunk, &(regime, _)) in reports.chunks(schemes.len()).zip(&regimes) {
         for r in chunk {
             report.row(format!(
@@ -71,7 +72,7 @@ pub fn ext_failures(scale: Scale, obs: &Registry) -> FigureReport {
 
 /// The adaptive-TTL baseline vs fixed TTL vs the paper's self-adaptive
 /// method, on regular and on bursty (live-game) content.
-pub fn ext_adaptive(scale: Scale, obs: &Registry) -> FigureReport {
+pub fn ext_adaptive(ctx: RunCtx, obs: &Registry) -> FigureReport {
     let mut report = FigureReport::new(
         "ext_adaptive",
         "EXT: adaptive-TTL baseline vs fixed TTL vs self-adaptive (Algorithm 1)",
@@ -79,16 +80,17 @@ pub fn ext_adaptive(scale: Scale, obs: &Registry) -> FigureReport {
     let methods = [MethodKind::Ttl, MethodKind::AdaptiveTtl, MethodKind::SelfAdaptive];
     let workloads: [(&str, UpdateSequence); 2] = [
         ("steady", UpdateSequence::periodic(SimDuration::from_secs(30), SimTime::from_secs(5_000))),
-        ("bursty", section4_updates()),
+        ("bursty", section4_updates_for(ctx)),
     ];
     for (name, updates) in workloads {
         let mut configs = Vec::new();
         for m in methods {
             let mut cfg = SimConfig::section5(Scheme::Unicast(m), updates.clone());
-            cfg.servers = scale.section4_servers().min(120);
+            cfg.servers = ctx.scale.section4_servers().min(120);
+            cfg.seed = ctx.seed(cfg.seed);
             configs.push(cfg);
         }
-        let reports = run_batch(configs, obs);
+        let reports = run_batch_on(configs, obs, &ctx.pool);
         for r in &reports {
             report.row(format!(
                 "  [{name:>6}] {:<13} lag={:>7.3}s polls={:>6} updates={:>6}",
@@ -110,13 +112,13 @@ pub fn ext_adaptive(scale: Scale, obs: &Registry) -> FigureReport {
 /// Validates the §6 policy advisor: for each workload × requirement cell,
 /// run the recommended scheme against the plain-TTL and Push baselines and
 /// check the recommendation meets its bound at a competitive cost.
-pub fn ext_policy(scale: Scale, obs: &Registry) -> FigureReport {
+pub fn ext_policy(ctx: RunCtx, obs: &Registry) -> FigureReport {
     let mut report = FigureReport::new(
         "ext_policy",
         "EXT: §6 policy advisor — recommendations validated by simulation",
     );
-    let servers = scale.section4_servers().min(100);
-    let updates = section4_updates();
+    let servers = ctx.scale.section4_servers().min(100);
+    let updates = section4_updates_for(ctx);
     let cases: [(&str, Requirement); 3] = [
         ("strict_2s", Requirement::strong(2.0)),
         ("bounded_60s", Requirement::strong(60.0)),
@@ -131,19 +133,21 @@ pub fn ext_policy(scale: Scale, obs: &Registry) -> FigureReport {
         let make = |scheme: Scheme| {
             let mut cfg = SimConfig::section4(scheme, updates.clone());
             cfg.servers = servers;
+            cfg.seed = ctx.seed(cfg.seed);
             if let Some(ttl) = rec.server_ttl {
                 cfg.server_ttl = ttl;
                 cfg.drain = ttl * 5 + SimDuration::from_secs(120);
             }
             cfg
         };
-        let reports = run_batch(
+        let reports = run_batch_on(
             vec![
                 make(rec.scheme),
                 make(Scheme::Unicast(MethodKind::Ttl)),
                 make(Scheme::Unicast(MethodKind::Push)),
             ],
             obs,
+            &ctx.pool,
         );
         let (pick, ttl_base, push_base) = (&reports[0], &reports[1], &reports[2]);
         report.row(format!(
@@ -170,10 +174,11 @@ pub fn ext_policy(scale: Scale, obs: &Registry) -> FigureReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scale::Scale;
 
     #[test]
     fn failures_extension_shapes() {
-        let r = ext_failures(Scale::Smoke, &Registry::disabled());
+        let r = ext_failures(RunCtx::new(Scale::Smoke), &Registry::disabled());
         // No failures → no maintenance anywhere.
         assert_eq!(r.value("Push/Multicast_none_maintenance"), Some(0.0));
         // Heavy failures → repair traffic on trees.
@@ -189,7 +194,7 @@ mod tests {
 
     #[test]
     fn policy_extension_validates_recommendations() {
-        let r = ext_policy(Scale::Smoke, &Registry::disabled());
+        let r = ext_policy(RunCtx::new(Scale::Smoke), &Registry::disabled());
         // The strict pick actually meets its bound.
         let lag = r.value("strict_2s_pick_lag_s").unwrap();
         let bound = r.value("strict_2s_bound_s").unwrap();
@@ -207,7 +212,7 @@ mod tests {
 
     #[test]
     fn adaptive_extension_shapes() {
-        let r = ext_adaptive(Scale::Smoke, &Registry::disabled());
+        let r = ext_adaptive(RunCtx::new(Scale::Smoke), &Registry::disabled());
         // On steady content the prediction pays off.
         assert!(
             r.value("AdaptiveTTL_steady_lag_s").unwrap() < r.value("TTL_steady_lag_s").unwrap()

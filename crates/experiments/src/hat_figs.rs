@@ -1,33 +1,34 @@
 //! Reproductions of the HAT evaluation figures (paper §5.3, Figs. 22–24).
 
-use crate::eval_figs::{run_batch, section4_updates};
+use crate::ctx::RunCtx;
+use crate::eval_figs::{run_batch_on, section4_updates_for};
 use crate::report::FigureReport;
-use crate::scale::Scale;
 use cdnc_core::{Scheme, SimConfig};
 use cdnc_obs::Registry;
 use cdnc_simcore::SimDuration;
 
-fn section5_config(scale: Scale, scheme: Scheme) -> SimConfig {
-    let mut cfg = SimConfig::section5(scheme, section4_updates());
-    cfg.servers = scale.section5_servers();
+fn section5_config(ctx: RunCtx, scheme: Scheme) -> SimConfig {
+    let mut cfg = SimConfig::section5(scheme, section4_updates_for(ctx));
+    cfg.servers = ctx.scale.section5_servers();
+    cfg.seed = ctx.seed(cfg.seed);
     cfg
 }
 
 /// Fig. 22(a): number of update messages to content servers vs end-user TTL,
 /// for the six §5 systems.
-pub fn fig22a(scale: Scale, obs: &Registry) -> FigureReport {
+pub fn fig22a(ctx: RunCtx, obs: &Registry) -> FigureReport {
     let mut report = FigureReport::new("fig22a", "Update messages to servers vs end-user TTL");
     let lineup = Scheme::section5_lineup();
-    let user_ttls = scale.user_ttl_sweep_s();
+    let user_ttls = ctx.scale.user_ttl_sweep_s();
     let mut configs = Vec::new();
     for &ttl in &user_ttls {
         for scheme in lineup {
-            let mut cfg = section5_config(scale, scheme);
+            let mut cfg = section5_config(ctx, scheme);
             cfg.user_ttl = SimDuration::from_secs(ttl);
             configs.push(cfg);
         }
     }
-    let reports = run_batch(configs, obs);
+    let reports = run_batch_on(configs, obs, &ctx.pool);
     for (i, chunk) in reports.chunks(lineup.len()).enumerate() {
         let ttl = user_ttls[i];
         let cells: Vec<String> = chunk
@@ -47,19 +48,19 @@ pub fn fig22a(scale: Scale, obs: &Registry) -> FigureReport {
 
 /// Fig. 22(b): number of update messages sent by the content provider vs
 /// content-server TTL.
-pub fn fig22b(scale: Scale, obs: &Registry) -> FigureReport {
+pub fn fig22b(ctx: RunCtx, obs: &Registry) -> FigureReport {
     let mut report = FigureReport::new("fig22b", "Update messages from the provider vs server TTL");
     let lineup = Scheme::section5_lineup();
-    let server_ttls = scale.server_ttl_sweep_s();
+    let server_ttls = ctx.scale.server_ttl_sweep_s();
     let mut configs = Vec::new();
     for &ttl in &server_ttls {
         for scheme in lineup {
-            let mut cfg = section5_config(scale, scheme);
+            let mut cfg = section5_config(ctx, scheme);
             cfg.server_ttl = SimDuration::from_secs(ttl);
             configs.push(cfg);
         }
     }
-    let reports = run_batch(configs, obs);
+    let reports = run_batch_on(configs, obs, &ctx.pool);
     for (i, chunk) in reports.chunks(lineup.len()).enumerate() {
         let ttl = server_ttls[i];
         let cells: Vec<String> = chunk
@@ -79,10 +80,11 @@ pub fn fig22b(scale: Scale, obs: &Registry) -> FigureReport {
 
 /// Fig. 23: consistency-maintenance network load (km), split into update
 /// and light messages, for the six systems.
-pub fn fig23(scale: Scale, obs: &Registry) -> FigureReport {
+pub fn fig23(ctx: RunCtx, obs: &Registry) -> FigureReport {
     let mut report = FigureReport::new("fig23", "Network load (km): update vs light messages");
     let lineup = Scheme::section5_lineup();
-    let reports = run_batch(lineup.iter().map(|&s| section5_config(scale, s)).collect(), obs);
+    let reports =
+        run_batch_on(lineup.iter().map(|&s| section5_config(ctx, s)).collect(), obs, &ctx.pool);
     for r in &reports {
         report.row(format!(
             "  {:<13} update = {:>12.3e} km   light = {:>12.3e} km   total = {:>12.3e} km   inter-ISP share = {:>5.1}%",
@@ -108,21 +110,21 @@ pub fn fig23(scale: Scale, obs: &Registry) -> FigureReport {
 
 /// Fig. 24: percentage of user observations that were inconsistent, vs
 /// end-user TTL, under the roaming-user scenario.
-pub fn fig24(scale: Scale, obs: &Registry) -> FigureReport {
+pub fn fig24(ctx: RunCtx, obs: &Registry) -> FigureReport {
     let mut report =
         FigureReport::new("fig24", "% inconsistency observations vs end-user TTL (roaming)");
     let lineup = Scheme::section5_lineup();
-    let user_ttls = scale.user_ttl_sweep_s();
+    let user_ttls = ctx.scale.user_ttl_sweep_s();
     let mut configs = Vec::new();
     for &ttl in &user_ttls {
         for scheme in lineup {
-            let mut cfg = section5_config(scale, scheme);
+            let mut cfg = section5_config(ctx, scheme);
             cfg.user_ttl = SimDuration::from_secs(ttl);
             cfg.users_roam = true;
             configs.push(cfg);
         }
     }
-    let reports = run_batch(configs, obs);
+    let reports = run_batch_on(configs, obs, &ctx.pool);
     for (i, chunk) in reports.chunks(lineup.len()).enumerate() {
         let ttl = user_ttls[i];
         let cells: Vec<String> = chunk
@@ -145,11 +147,12 @@ pub fn fig24(scale: Scale, obs: &Registry) -> FigureReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scale::Scale;
 
     #[test]
     fn fig22a_ordering_matches_paper() {
         // Paper: Push > Invalidation > Hybrid ≈ TTL > HAT > Self.
-        let r = fig22a(Scale::Smoke, &Registry::disabled());
+        let r = fig22a(RunCtx::new(Scale::Smoke), &Registry::disabled());
         let at = |name: &str| r.value(&format!("{name}_updates_uttl10")).unwrap();
         assert!(at("Push") > at("Invalidation"), "Push > Invalidation");
         assert!(at("Invalidation") > at("TTL"), "Invalidation > TTL");
@@ -159,7 +162,7 @@ mod tests {
 
     #[test]
     fn fig22b_hybrid_lightens_provider() {
-        let r = fig22b(Scale::Smoke, &Registry::disabled());
+        let r = fig22b(RunCtx::new(Scale::Smoke), &Registry::disabled());
         let at = |name: &str| r.value(&format!("{name}_provider_updates_sttl60")).unwrap();
         assert!(at("HAT") < at("TTL") / 4.0, "HAT {} ≪ TTL {}", at("HAT"), at("TTL"));
         assert!(at("Hybrid") < at("Push") / 4.0, "Hybrid ≪ Push");
@@ -167,7 +170,7 @@ mod tests {
 
     #[test]
     fn fig24_push_never_shows_regressions() {
-        let r = fig24(Scale::Smoke, &Registry::disabled());
+        let r = fig24(RunCtx::new(Scale::Smoke), &Registry::disabled());
         let push = r.value("Push_obs_rate_uttl10").unwrap();
         let ttl = r.value("TTL_obs_rate_uttl10").unwrap();
         assert!(push <= ttl, "push rate {push} must not exceed ttl {ttl}");

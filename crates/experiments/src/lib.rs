@@ -12,6 +12,7 @@
 //! cargo run -p cdnc-experiments --release -- all  --scale smoke
 //! ```
 
+pub mod ctx;
 pub mod eval_figs;
 pub mod ext_figs;
 pub mod hat_figs;
@@ -21,11 +22,12 @@ pub mod scale;
 pub mod trace_figs;
 pub mod trace_out;
 
+pub use ctx::RunCtx;
 pub use report::FigureReport;
 pub use scale::Scale;
 
 use cdnc_obs::Registry;
-use cdnc_trace::{crawl_with_obs, Trace};
+use cdnc_trace::{crawl_with_obs_par, Trace};
 
 /// Figure ids in paper order (§3 measurement).
 pub const TRACE_FIGURES: [&str; 11] =
@@ -46,7 +48,16 @@ pub fn build_trace(scale: Scale) -> Trace {
 /// `obs` (poll counts, absence skips, skew-correction residuals, phase
 /// timings).
 pub fn build_trace_with_obs(scale: Scale, obs: &Registry) -> Trace {
-    crawl_with_obs(&scale.crawl_config(), obs)
+    build_trace_ctx(RunCtx::new(scale), obs)
+}
+
+/// Builds the measurement trace under an execution context: the crawl seed
+/// follows `ctx.replicate` and timeline construction fans out on `ctx.pool`.
+/// The trace is bit-identical for every worker count.
+pub fn build_trace_ctx(ctx: RunCtx, obs: &Registry) -> Trace {
+    let mut cfg = ctx.scale.crawl_config();
+    cfg.seed = ctx.seed(cfg.seed);
+    crawl_with_obs_par(&cfg, obs, &ctx.pool)
 }
 
 /// Runs one figure by id. §3 figures need a trace: pass the output of
@@ -69,6 +80,19 @@ pub fn run_figure_with_obs(
     trace: Option<&Trace>,
     obs: &Registry,
 ) -> Option<FigureReport> {
+    run_figure_ctx(id, RunCtx::new(scale), trace, obs)
+}
+
+/// Runs one figure under an execution context: simulation batches fan out
+/// on `ctx.pool` (metrics absorbed in task order, so the registry contents
+/// are bit-identical for every worker count) and every seed follows
+/// `ctx.replicate`.
+pub fn run_figure_ctx(
+    id: &str,
+    ctx: RunCtx,
+    trace: Option<&Trace>,
+    obs: &Registry,
+) -> Option<FigureReport> {
     let _figure_span = obs.span(id);
     let report = match id {
         "fig3" | "fig4" | "fig5" | "fig6" | "fig7" | "fig8" | "fig9" | "fig10" | "fig11"
@@ -77,7 +101,7 @@ pub fn run_figure_with_obs(
             let t = match trace {
                 Some(t) => t,
                 None => {
-                    owned = build_trace_with_obs(scale, obs);
+                    owned = build_trace_ctx(ctx, obs);
                     &owned
                 }
             };
@@ -95,20 +119,20 @@ pub fn run_figure_with_obs(
                 _ => trace_figs::fig13(t),
             }
         }
-        "fig14" => eval_figs::fig14(scale, obs),
-        "fig15" => eval_figs::fig15(scale, obs),
-        "fig16" => eval_figs::fig16(scale, obs),
-        "fig17" => eval_figs::fig17(scale, obs),
-        "fig18" => eval_figs::fig18(scale, obs),
-        "fig19" => eval_figs::fig19(scale, obs),
-        "fig20" => eval_figs::fig20(scale, obs),
-        "fig22a" => hat_figs::fig22a(scale, obs),
-        "fig22b" => hat_figs::fig22b(scale, obs),
-        "fig23" => hat_figs::fig23(scale, obs),
-        "fig24" => hat_figs::fig24(scale, obs),
-        "ext_failures" => ext_figs::ext_failures(scale, obs),
-        "ext_adaptive" => ext_figs::ext_adaptive(scale, obs),
-        "ext_policy" => ext_figs::ext_policy(scale, obs),
+        "fig14" => eval_figs::fig14(ctx, obs),
+        "fig15" => eval_figs::fig15(ctx, obs),
+        "fig16" => eval_figs::fig16(ctx, obs),
+        "fig17" => eval_figs::fig17(ctx, obs),
+        "fig18" => eval_figs::fig18(ctx, obs),
+        "fig19" => eval_figs::fig19(ctx, obs),
+        "fig20" => eval_figs::fig20(ctx, obs),
+        "fig22a" => hat_figs::fig22a(ctx, obs),
+        "fig22b" => hat_figs::fig22b(ctx, obs),
+        "fig23" => hat_figs::fig23(ctx, obs),
+        "fig24" => hat_figs::fig24(ctx, obs),
+        "ext_failures" => ext_figs::ext_failures(ctx, obs),
+        "ext_adaptive" => ext_figs::ext_adaptive(ctx, obs),
+        "ext_policy" => ext_figs::ext_policy(ctx, obs),
         _ => return None,
     };
     Some(report)
@@ -116,15 +140,52 @@ pub fn run_figure_with_obs(
 
 /// Runs every figure at the given scale, in paper order.
 pub fn run_all(scale: Scale) -> Vec<FigureReport> {
-    let trace = build_trace(scale);
+    run_all_ctx(RunCtx::new(scale), &Registry::disabled())
+}
+
+/// Runs every figure under an execution context, in paper order. The §3
+/// trace is built once per call and shared across the trace figures.
+pub fn run_all_ctx(ctx: RunCtx, obs: &Registry) -> Vec<FigureReport> {
+    let trace = build_trace_ctx(ctx, obs);
     let mut out = Vec::new();
     for id in TRACE_FIGURES {
-        out.push(run_figure(id, scale, Some(&trace)).expect("known id"));
+        out.push(run_figure_ctx(id, ctx, Some(&trace), obs).expect("known id"));
     }
     for id in EVAL_FIGURES.iter().chain(&HAT_FIGURES).chain(&EXT_FIGURES) {
-        out.push(run_figure(id, scale, None).expect("known id"));
+        out.push(run_figure_ctx(id, ctx, None, obs).expect("known id"));
     }
     out
+}
+
+/// Runs one figure `seeds` times — replicate 0 is the canonical run, each
+/// further replicate re-derives every seed through its index — and folds
+/// the runs into one report whose keyvals carry the mean plus a
+/// `<name>__spread` half-range. One replicate returns the plain report.
+pub fn run_figure_replicated(
+    id: &str,
+    ctx: RunCtx,
+    seeds: u64,
+    obs: &Registry,
+) -> Option<FigureReport> {
+    let runs: Vec<FigureReport> = (0..seeds.max(1))
+        .map(|r| run_figure_ctx(id, ctx.replicate(r), None, obs))
+        .collect::<Option<_>>()?;
+    Some(report::aggregate_replicates(&runs))
+}
+
+/// Runs every figure `seeds` times (one shared §3 trace per replicate) and
+/// aggregates each figure across replicates as [`run_figure_replicated`]
+/// does.
+pub fn run_all_replicated(ctx: RunCtx, seeds: u64, obs: &Registry) -> Vec<FigureReport> {
+    let per_replicate: Vec<Vec<FigureReport>> =
+        (0..seeds.max(1)).map(|r| run_all_ctx(ctx.replicate(r), obs)).collect();
+    (0..per_replicate[0].len())
+        .map(|i| {
+            let runs: Vec<FigureReport> =
+                per_replicate.iter().map(|reports| reports[i].clone()).collect();
+            report::aggregate_replicates(&runs)
+        })
+        .collect()
 }
 
 #[cfg(test)]

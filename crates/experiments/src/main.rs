@@ -3,14 +3,22 @@
 //!
 //! ```text
 //! experiments <figure-id | all | list> [--scale smoke|default|paper]
+//!                                      [--jobs <n>] [--seeds <k>]
 //!                                      [--obs] [--obs-log <level>] [--obs-dir <dir>]
 //!                                      [--trace] [--trace-dir <dir>] [--trace-threshold <s>]
-//! experiments crawl <out.bin>          [--scale …]   # save a crawl trace
+//! experiments crawl <out.bin>          [--scale …] [--jobs <n>]   # save a crawl trace
 //! experiments verdict <trace.bin>                    # §3.6 verdict on a saved trace
+//! experiments obs-diff <dirA> <dirB>                 # compare runs, wall-clock ignored
 //! experiments trace summary <t.json>                 # store-wide tracing statistics
 //! experiments trace critical-path <t.json>           # per-method critical paths
 //! experiments trace inspect <update-id> <t.json>     # one update's propagation tree
 //! ```
+//!
+//! `--jobs n` fans simulation batches and crawl timeline construction out on
+//! `n` worker threads (`0` = one per core). Results are bit-identical for
+//! every `n` — parallelism only changes wall time. `--seeds k` runs every
+//! figure `k` times on independently derived seed streams and reports
+//! mean ± half-range per headline number.
 //!
 //! With `--obs`, every figure run collects metrics and phase timings into a
 //! run artifact at `<obs-dir>/<figure>.json`, a phase-timing table prints at
@@ -26,26 +34,32 @@
 //! prints after the run. The `trace` subcommand re-reads those files.
 
 use cdnc_experiments::obs_out::{
-    summary_entry, timing_table, write_figure_artifact, write_summary, ObsSettings,
+    diff_artifact_dirs, summary_entry, timing_table, write_figure_artifact, write_summary,
+    ObsSettings,
 };
+use cdnc_experiments::report::aggregate_replicates;
 use cdnc_experiments::trace_out::{
     critical_path_table, inspect_text, load_store, summary_text, write_figure_trace,
     FLIGHTREC_SUBDIR,
 };
 use cdnc_experiments::{
-    build_trace_with_obs, run_figure_with_obs, Scale, EVAL_FIGURES, EXT_FIGURES, HAT_FIGURES,
-    TRACE_FIGURES,
+    build_trace_ctx, run_figure_ctx, run_figure_replicated, FigureReport, RunCtx, Scale,
+    EVAL_FIGURES, EXT_FIGURES, HAT_FIGURES, TRACE_FIGURES,
 };
 use cdnc_obs::Level;
-use std::path::PathBuf;
+use cdnc_par::Pool;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!("usage: experiments <figure-id | all | list> [--scale smoke|default|paper]");
+    eprintln!("                   [--jobs <n>] [--seeds <k>]");
     eprintln!("                   [--obs] [--obs-log debug|info|warn] [--obs-dir <dir>]");
     eprintln!("                   [--trace] [--trace-dir <dir>] [--trace-threshold <seconds>]");
     eprintln!("       experiments crawl <out.bin> [--scale …]   write a crawl trace to disk");
     eprintln!("       experiments verdict <trace.bin>           analyse a saved trace (§3.6)");
+    eprintln!("       experiments obs-diff <dirA> <dirB>        compare two artifact dirs,");
+    eprintln!("                                                 ignoring wall-clock fields");
     eprintln!("       experiments trace summary <t.json>        tracing statistics for a run");
     eprintln!("       experiments trace critical-path <t.json>  per-method critical paths");
     eprintln!("       experiments trace inspect <update> <t.json>  one update's full tree");
@@ -82,6 +96,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut positional: Vec<String> = Vec::new();
     let mut scale = Scale::Default;
+    let mut jobs = 1usize;
+    let mut seeds = 1u64;
     let mut obs = ObsSettings::off();
     let mut i = 0;
     while i < args.len() {
@@ -93,6 +109,28 @@ fn main() -> ExitCode {
                     return usage();
                 };
                 scale = parsed;
+                i += 2;
+            }
+            "--jobs" => {
+                let Some(value) = args.get(i + 1) else { return usage() };
+                let Ok(n) = value.parse::<usize>() else {
+                    eprintln!("--jobs needs a worker count (0 = one per core), got: {value}");
+                    return usage();
+                };
+                jobs = n;
+                i += 2;
+            }
+            "--seeds" => {
+                let Some(value) = args.get(i + 1) else { return usage() };
+                let Ok(k) = value.parse::<u64>() else {
+                    eprintln!("--seeds needs a replicate count, got: {value}");
+                    return usage();
+                };
+                if k == 0 {
+                    eprintln!("--seeds needs at least one replicate");
+                    return usage();
+                }
+                seeds = k;
                 i += 2;
             }
             "--obs" => {
@@ -137,7 +175,9 @@ fn main() -> ExitCode {
             other
                 if positional.len() < 2
                     || (positional.first().is_some_and(|p| p == "trace")
-                        && positional.len() < 4) =>
+                        && positional.len() < 4)
+                    || (positional.first().is_some_and(|p| p == "obs-diff")
+                        && positional.len() < 3) =>
             {
                 positional.push(other.to_owned());
                 i += 1;
@@ -149,6 +189,7 @@ fn main() -> ExitCode {
         }
     }
     let Some(target) = positional.first().cloned() else { return usage() };
+    let ctx = RunCtx::with_pool(scale, Pool::new(jobs));
 
     match target.as_str() {
         "list" => {
@@ -161,26 +202,35 @@ fn main() -> ExitCode {
         }
         "all" => {
             let started = std::time::Instant::now();
+            let workers = ctx.pool.jobs();
             let mut entries = Vec::new();
-            println!("building measurement trace ({scale:?} scale)…");
+            println!(
+                "building measurement trace ({scale:?} scale, {workers} worker(s), {seeds} seed(s))…"
+            );
             let crawl_reg = obs.registry();
             let crawl_started = std::time::Instant::now();
-            let trace = build_trace_with_obs(scale, &crawl_reg);
+            let traces: Vec<cdnc_trace::Trace> =
+                (0..seeds).map(|r| build_trace_ctx(ctx.replicate(r), &crawl_reg)).collect();
+            let crawl_wall_s = crawl_started.elapsed().as_secs_f64();
+            println!("[crawl: {crawl_wall_s:.2}s on {workers} worker thread(s)]");
             if obs.enabled {
-                entries.push(summary_entry(
-                    "crawl",
-                    crawl_started.elapsed().as_secs_f64(),
-                    &crawl_reg,
-                ));
+                entries.push(summary_entry("crawl", crawl_wall_s, workers, &crawl_reg));
             }
-            let mut run_one = |id: &str, shared: Option<&cdnc_trace::Trace>| {
+            let mut run_one = |id: &str, use_trace: bool| {
                 let reg = obs.registry();
                 let fig_started = std::time::Instant::now();
-                let report = run_figure_with_obs(id, scale, shared, &reg).expect("known id");
+                let runs: Vec<FigureReport> = (0..seeds)
+                    .map(|r| {
+                        let shared = use_trace.then(|| &traces[r as usize]);
+                        run_figure_ctx(id, ctx.replicate(r), shared, &reg).expect("known id")
+                    })
+                    .collect();
+                let report = aggregate_replicates(&runs);
                 print!("{report}");
                 let wall_s = fig_started.elapsed().as_secs_f64();
+                println!("[{id}: {wall_s:.2}s on {workers} worker thread(s)]");
                 if obs.enabled {
-                    entries.push(summary_entry(id, wall_s, &reg));
+                    entries.push(summary_entry(id, wall_s, workers, &reg));
                     if let Err(e) =
                         write_figure_artifact(&obs.dir, id, scale, &report, wall_s, &reg)
                     {
@@ -192,10 +242,10 @@ fn main() -> ExitCode {
                 }
             };
             for id in TRACE_FIGURES {
-                run_one(id, Some(&trace));
+                run_one(id, true);
             }
             for id in EVAL_FIGURES.iter().chain(&HAT_FIGURES).chain(&EXT_FIGURES) {
-                run_one(id, None);
+                run_one(id, false);
             }
             if obs.enabled {
                 match write_summary(&obs.dir, scale, entries) {
@@ -211,9 +261,9 @@ fn main() -> ExitCode {
                 eprintln!("crawl needs an output path");
                 return usage();
             };
-            println!("crawling at {scale:?} scale…");
+            println!("crawling at {scale:?} scale ({} worker(s))…", ctx.pool.jobs());
             let reg = obs.registry();
-            let trace = build_trace_with_obs(scale, &reg);
+            let trace = build_trace_ctx(ctx, &reg);
             if let Some(table) = obs.enabled.then(|| timing_table(&reg)).flatten() {
                 println!("--- phase timings ---\n{table}");
             }
@@ -255,6 +305,29 @@ fn main() -> ExitCode {
                 }
                 Err(e) => {
                     eprintln!("cannot read {path}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "obs-diff" => {
+            let (Some(dir_a), Some(dir_b)) = (positional.get(1), positional.get(2)) else {
+                eprintln!("obs-diff needs two artifact directories");
+                return usage();
+            };
+            match diff_artifact_dirs(Path::new(dir_a), Path::new(dir_b)) {
+                Ok(diffs) if diffs.is_empty() => {
+                    println!("artifacts match: {dir_a} vs {dir_b} (wall-clock fields ignored)");
+                    ExitCode::SUCCESS
+                }
+                Ok(diffs) => {
+                    for diff in &diffs {
+                        eprintln!("{diff}");
+                    }
+                    eprintln!("{} difference(s) between {dir_a} and {dir_b}", diffs.len());
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("cannot diff {dir_a} vs {dir_b}: {e}");
                     ExitCode::FAILURE
                 }
             }
@@ -325,9 +398,14 @@ fn main() -> ExitCode {
         id => {
             let reg = obs.registry();
             let started = std::time::Instant::now();
-            match run_figure_with_obs(id, scale, None, &reg) {
+            match run_figure_replicated(id, ctx, seeds, &reg) {
                 Some(report) => {
                     print!("{report}");
+                    println!(
+                        "[{id}: {:.2}s on {} worker thread(s)]",
+                        started.elapsed().as_secs_f64(),
+                        ctx.pool.jobs()
+                    );
                     if obs.enabled {
                         let wall_s = started.elapsed().as_secs_f64();
                         match write_figure_artifact(&obs.dir, id, scale, &report, wall_s, &reg) {

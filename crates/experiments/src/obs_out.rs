@@ -4,7 +4,8 @@
 
 use crate::report::FigureReport;
 use crate::scale::Scale;
-use cdnc_obs::{digest_str, write_event_log, Json, Level, Registry, RunArtifact};
+use cdnc_obs::{digest_str, json, write_event_log, Json, Level, Registry, RunArtifact};
+use std::collections::BTreeSet;
 use std::io;
 use std::path::{Path, PathBuf};
 
@@ -121,14 +122,82 @@ pub fn timing_table(reg: &Registry) -> Option<String> {
 }
 
 /// One row of the consolidated `summary.json` written by `experiments all`.
-pub fn summary_entry(id: &str, wall_s: f64, reg: &Registry) -> Json {
+pub fn summary_entry(id: &str, wall_s: f64, jobs: usize, reg: &Registry) -> Json {
     let events = reg.snapshot().counter("sched_events_processed");
     let events_per_s = if wall_s > 0.0 { events as f64 / wall_s } else { 0.0 };
     Json::obj()
         .field("figure", id)
         .field("wall_s", wall_s)
+        .field("jobs", jobs as u64)
         .field("events", events)
         .field("events_per_s", events_per_s)
+}
+
+/// Artifact fields that legitimately differ between bit-identical runs:
+/// wall-clock measurements and everything derived from them. Scrubbed
+/// before artifact comparison.
+pub const VOLATILE_KEYS: [&str; 5] = ["wall_s", "phases", "events_per_s", "total_wall_s", "jobs"];
+
+/// Strips the [`VOLATILE_KEYS`] from an artifact document, recursively.
+/// What remains is the run's deterministic content: seeds, digests,
+/// headline numbers, metrics, event counts.
+pub fn scrub_volatile(doc: &Json) -> Json {
+    match doc {
+        Json::Obj(fields) => Json::Obj(
+            fields
+                .iter()
+                .filter(|(key, _)| !VOLATILE_KEYS.contains(&key.as_str()))
+                .map(|(key, value)| (key.clone(), scrub_volatile(value)))
+                .collect(),
+        ),
+        Json::Arr(items) => Json::Arr(items.iter().map(scrub_volatile).collect()),
+        other => other.clone(),
+    }
+}
+
+/// Compares two artifact directories, ignoring wall-clock fields: `.json`
+/// documents are parsed and [`scrub_volatile`]bed before comparison, all
+/// other files (event `.jsonl`, `.trace.json` in simulated time) compared
+/// byte-for-byte. Returns one line per difference — empty means the runs
+/// produced identical observable output, the determinism contract `--jobs`
+/// promises.
+pub fn diff_artifact_dirs(a: &Path, b: &Path) -> io::Result<Vec<String>> {
+    let list = |dir: &Path| -> io::Result<BTreeSet<String>> {
+        let mut names = BTreeSet::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                names.insert(entry.file_name().to_string_lossy().into_owned());
+            }
+        }
+        Ok(names)
+    };
+    let (names_a, names_b) = (list(a)?, list(b)?);
+    let mut diffs = Vec::new();
+    for name in names_a.union(&names_b) {
+        match (names_a.contains(name), names_b.contains(name)) {
+            (true, false) => diffs.push(format!("{name}: only in {}", a.display())),
+            (false, true) => diffs.push(format!("{name}: only in {}", b.display())),
+            _ => {
+                let (body_a, body_b) = (std::fs::read(a.join(name))?, std::fs::read(b.join(name))?);
+                let same = if name.ends_with(".json") && !name.ends_with(".trace.json") {
+                    let parsed = |body: &[u8]| {
+                        json::parse(&String::from_utf8_lossy(body)).map(|doc| scrub_volatile(&doc))
+                    };
+                    match (parsed(&body_a), parsed(&body_b)) {
+                        (Ok(doc_a), Ok(doc_b)) => doc_a == doc_b,
+                        _ => body_a == body_b,
+                    }
+                } else {
+                    body_a == body_b
+                };
+                if !same {
+                    diffs.push(format!("{name}: contents differ"));
+                }
+            }
+        }
+    }
+    Ok(diffs)
 }
 
 /// Writes `<dir>/summary.json` consolidating every figure of an `all` run.
@@ -184,9 +253,48 @@ mod tests {
     fn summary_entry_computes_rate() {
         let reg = Registry::enabled();
         reg.counter("sched_events_processed").add(500);
-        let e = summary_entry("figX", 2.0, &reg);
+        let e = summary_entry("figX", 2.0, 4, &reg);
         assert_eq!(e.get("events").and_then(Json::as_f64), Some(500.0));
         assert_eq!(e.get("events_per_s").and_then(Json::as_f64), Some(250.0));
+        assert_eq!(e.get("jobs").and_then(Json::as_f64), Some(4.0));
+    }
+
+    #[test]
+    fn scrub_drops_wall_clock_fields_recursively() {
+        let doc = Json::obj()
+            .field("seed", 7u64)
+            .field("wall_s", 1.25)
+            .field("phases", Json::obj().field("crawl", 0.5))
+            .field(
+                "figures",
+                Json::Arr(vec![Json::obj().field("figure", "fig3").field("events_per_s", 9.0)]),
+            );
+        let clean = scrub_volatile(&doc);
+        assert_eq!(clean.get("seed").and_then(Json::as_f64), Some(7.0));
+        assert!(clean.get("wall_s").is_none());
+        assert!(clean.get("phases").is_none());
+        let Some(Json::Arr(figs)) = clean.get("figures") else { panic!("figures kept") };
+        assert!(figs[0].get("events_per_s").is_none());
+        assert_eq!(figs[0].get("figure"), Some(&Json::Str("fig3".into())));
+    }
+
+    #[test]
+    fn dir_diff_ignores_volatile_but_catches_real_drift() {
+        let base = std::env::temp_dir().join(format!("cdnc-obs-diff-{}", std::process::id()));
+        let (da, db) = (base.join("a"), base.join("b"));
+        std::fs::create_dir_all(&da).unwrap();
+        std::fs::create_dir_all(&db).unwrap();
+        let doc = |wall: f64, seed: u64| {
+            Json::obj().field("seed", seed).field("wall_s", wall).to_pretty()
+        };
+        std::fs::write(da.join("fig3.json"), doc(1.0, 7)).unwrap();
+        std::fs::write(db.join("fig3.json"), doc(9.0, 7)).unwrap();
+        assert!(diff_artifact_dirs(&da, &db).unwrap().is_empty(), "wall-clock drift ignored");
+        std::fs::write(db.join("fig3.json"), doc(9.0, 8)).unwrap();
+        std::fs::write(db.join("fig4.jsonl"), "x").unwrap();
+        let diffs = diff_artifact_dirs(&da, &db).unwrap();
+        assert_eq!(diffs.len(), 2, "{diffs:?}");
+        std::fs::remove_dir_all(&base).unwrap();
     }
 
     #[test]

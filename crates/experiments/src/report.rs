@@ -38,6 +38,41 @@ impl FigureReport {
     }
 }
 
+/// Folds replicate runs of one figure into a single report.
+///
+/// The result keeps the first run's rows (the canonical replicate-0
+/// numbers, labelled as such) and replaces every keyval with the mean
+/// across replicates, adding a `<name>__spread` companion holding the
+/// half-range `(max − min) / 2`. A single run is returned unchanged.
+///
+/// Panics if `runs` is empty or the runs disagree on id or keyval layout
+/// (replicates of the same figure never do).
+pub fn aggregate_replicates(runs: &[FigureReport]) -> FigureReport {
+    let first = runs.first().expect("at least one replicate");
+    if runs.len() == 1 {
+        return first.clone();
+    }
+    let mut out = FigureReport::new(first.id, first.title);
+    out.row(format!("  [aggregate of {} seed replicates; rows show replicate 0]", runs.len()));
+    out.rows.extend(first.rows.iter().cloned());
+    for (i, (name, _)) in first.keyvals.iter().enumerate() {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for run in runs {
+            assert_eq!(run.id, first.id, "replicates must be runs of one figure");
+            let (n, v) = &run.keyvals[i];
+            assert_eq!(n, name, "replicates must share keyval layout");
+            min = min.min(*v);
+            max = max.max(*v);
+            sum += v;
+        }
+        out.keyval(name.clone(), sum / runs.len() as f64);
+        out.keyval(format!("{name}__spread"), (max - min) / 2.0);
+    }
+    out
+}
+
 impl fmt::Display for FigureReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "=== {} — {} ===", self.id, self.title)?;

@@ -43,7 +43,7 @@ impl Level {
 }
 
 /// One recorded event.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EventRecord {
     /// Monotone sequence number across the whole run (records dropped from
     /// the ring leave visible gaps).
@@ -108,6 +108,33 @@ impl EventLog {
     /// Removes and returns all buffered events, oldest first.
     pub(crate) fn drain(&self) -> Vec<EventRecord> {
         self.ring.lock().drain(..).collect()
+    }
+
+    /// The minimum level this log accepts.
+    pub(crate) fn min_level(&self) -> Level {
+        self.min_level
+    }
+
+    /// The ring capacity.
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends already-accepted records (from a shard's log of the same
+    /// configuration), renumbering them onto this log's sequence so merged
+    /// output looks exactly like one log that recorded everything. The
+    /// shard's eviction count is carried over too.
+    pub(crate) fn absorb(&self, records: Vec<EventRecord>, dropped: u64) {
+        self.dropped.fetch_add(dropped, Relaxed);
+        let mut ring = self.ring.lock();
+        for mut record in records {
+            record.seq = self.seq.fetch_add(1, Relaxed);
+            if ring.len() == self.capacity {
+                ring.pop_front();
+                self.dropped.fetch_add(1, Relaxed);
+            }
+            ring.push_back(record);
+        }
     }
 
     /// Events evicted by the ring since the start of the run.

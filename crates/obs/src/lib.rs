@@ -49,7 +49,7 @@ pub use metrics::{
     HISTOGRAM_MIN,
 };
 pub use registry::{GaugeSnapshot, MetricsSnapshot, Registry};
-pub use span::{PhaseTiming, SpanGuard};
+pub use span::{detach_spans, DetachedSpans, PhaseTiming, SpanGuard};
 pub use trace::{
     CriticalPath, PathStep, PropagationTree, SpanId, SpanKind, SpanRecord, SpanStore, StoreSummary,
     TraceCtx, TraceId, TraceMeta, Tracer,

@@ -184,6 +184,91 @@ impl Registry {
         histograms.sort_by(|a, b| a.0.cmp(&b.0));
         MetricsSnapshot { counters, gauges, histograms, spans: inner.spans.snapshot() }
     }
+
+    /// A fresh registry configured like this one — same enabled state, same
+    /// event-log arming (level and capacity), same tracing arming — but with
+    /// empty instruments. Parallel tasks record into their own shard and the
+    /// runner folds shards back with [`Registry::absorb`] in task order, so
+    /// the merged result is bit-identical to recording everything into one
+    /// registry sequentially. Disabled registries shard to disabled handles,
+    /// preserving zero overhead when observability is off.
+    pub fn shard(&self) -> Registry {
+        let Some(inner) = &self.0 else {
+            return Registry::disabled();
+        };
+        let shard = Registry::enabled();
+        if let Some(log) = inner.events.lock().as_ref() {
+            shard.enable_events(log.min_level(), log.capacity());
+        }
+        if inner.tracer.lock().is_some() {
+            shard.enable_tracing();
+        }
+        shard
+    }
+
+    /// Folds everything `shard` recorded into this registry: counters add,
+    /// gauges take the shard's last level (skipping gauges the shard never
+    /// touched) and raise the high-water mark, histograms merge, phase
+    /// timings accumulate, events renumber onto this log's sequence, and
+    /// traces renumber past everything already recorded. Instruments keep
+    /// shard-side first-use order, so absorbing shards in task order yields
+    /// exactly the state of a single registry that ran the tasks in order.
+    ///
+    /// No-op when either side is disabled or `shard` is this registry.
+    pub fn absorb(&self, shard: &Registry) {
+        use std::sync::atomic::Ordering::Relaxed;
+        let (Some(inner), Some(other)) = (&self.0, &shard.0) else { return };
+        if Arc::ptr_eq(inner, other) {
+            return;
+        }
+        for (name, cell) in other.counters.lock().iter() {
+            self.counter(name).add(cell.load(Relaxed));
+        }
+        for (name, core) in other.gauges.lock().iter() {
+            let (value, high) = (core.value.load(Relaxed), core.high_water.load(Relaxed));
+            if value == 0 && high == 0 {
+                continue; // interned but never moved: don't clobber ours
+            }
+            if let Some(mine) = self.gauge(name).0 {
+                mine.value.store(value, Relaxed);
+                mine.high_water.fetch_max(high, Relaxed);
+            }
+        }
+        for (name, core) in other.histograms.lock().iter() {
+            if let Some(mine) = self.histogram(name).0 {
+                for (m, t) in mine.buckets.iter().zip(core.buckets.iter()) {
+                    m.fetch_add(t.load(Relaxed), Relaxed);
+                }
+                mine.count.fetch_add(core.count.load(Relaxed), Relaxed);
+                let sum = f64::from_bits(core.sum_bits.load(Relaxed));
+                let _ = mine
+                    .sum_bits
+                    .fetch_update(Relaxed, Relaxed, |b| Some((f64::from_bits(b) + sum).to_bits()));
+                let min = f64::from_bits(core.min_bits.load(Relaxed));
+                let _ = mine.min_bits.fetch_update(Relaxed, Relaxed, |b| {
+                    (min < f64::from_bits(b)).then(|| min.to_bits())
+                });
+                let max = f64::from_bits(core.max_bits.load(Relaxed));
+                let _ = mine.max_bits.fetch_update(Relaxed, Relaxed, |b| {
+                    (max > f64::from_bits(b)).then(|| max.to_bits())
+                });
+            }
+        }
+        for (path, timing) in other.spans.snapshot() {
+            inner.spans.absorb(&path, timing);
+        }
+        let shard_log = other.events.lock().clone();
+        if let Some(shard_log) = shard_log {
+            let mine = inner.events.lock().clone();
+            if let Some(mine) = mine {
+                mine.absorb(shard_log.drain(), shard_log.dropped());
+            }
+        }
+        let shard_tracer = Tracer(other.tracer.lock().clone());
+        if shard_tracer.is_enabled() {
+            Tracer(inner.tracer.lock().clone()).absorb(&shard_tracer.store());
+        }
+    }
 }
 
 /// Final value and high-water mark of a gauge.
@@ -346,6 +431,100 @@ mod tests {
         off.enable_tracing();
         assert!(!off.tracer().is_enabled());
         assert!(!off.tracer().publish(1, 0, 0, "s").is_active());
+    }
+
+    /// Drives one "task" worth of recording against `reg`, salted so the
+    /// contributions of different tasks are distinguishable after merging.
+    fn record_task(reg: &Registry, salt: u64) {
+        reg.counter("polls").add(salt);
+        reg.counter("updates").inc();
+        reg.gauge("inflight").set(salt);
+        reg.histogram("lag_s").record(salt as f64 * 0.5);
+        reg.histogram("lag_s").record(salt as f64 * 0.25);
+        {
+            let _g = reg.span("task");
+        }
+        reg.event(Level::Info, "task_done", || Json::obj().field("salt", salt));
+        reg.tracer().publish(salt as u32, 0, salt * 100, "shard");
+    }
+
+    /// The shard/absorb contract: shards absorbed in task order leave the
+    /// parent with exactly the state of one registry driven sequentially
+    /// (wall-clock span durations excepted — their counts and paths match).
+    #[test]
+    fn absorbing_shards_in_order_matches_sequential_recording() {
+        let serial = Registry::enabled();
+        serial.enable_events(Level::Info, 8);
+        serial.enable_tracing();
+        let parallel = serial.shard();
+        for salt in [3u64, 5, 9] {
+            record_task(&serial, salt);
+            let shard = parallel.shard();
+            record_task(&shard, salt);
+            parallel.absorb(&shard);
+        }
+
+        let (a, b) = (serial.snapshot(), parallel.snapshot());
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.gauges, b.gauges);
+        assert_eq!(a.histograms, b.histograms);
+        let phases = |s: &MetricsSnapshot| {
+            s.spans.iter().map(|(p, t)| (p.clone(), t.count)).collect::<Vec<_>>()
+        };
+        assert_eq!(phases(&a), phases(&b));
+
+        let fmt = |e: Vec<EventRecord>| {
+            e.into_iter().map(|r| r.to_json().to_compact()).collect::<Vec<_>>()
+        };
+        assert_eq!(fmt(serial.drain_events()), fmt(parallel.drain_events()));
+        assert_eq!(serial.tracer().store(), parallel.tracer().store());
+    }
+
+    #[test]
+    fn shard_mirrors_arming_and_absorb_carries_event_drops() {
+        let reg = Registry::enabled();
+        reg.enable_events(Level::Warn, 2);
+        let shard = reg.shard();
+        assert!(!shard.tracer().is_enabled(), "tracing was not armed");
+        shard.event(Level::Info, "below", || Json::Null);
+        for i in 0..3u64 {
+            shard.event(Level::Warn, "kept", || Json::obj().field("i", i));
+        }
+        reg.absorb(&shard);
+        assert_eq!(reg.dropped_events(), 1, "shard-side eviction carries over");
+        assert_eq!(reg.drain_events().len(), 2);
+    }
+
+    #[test]
+    fn absorb_keeps_untouched_shard_gauges_from_clobbering() {
+        let reg = Registry::enabled();
+        reg.gauge("level").set(7);
+        let shard = reg.shard();
+        let _ = shard.gauge("level"); // interned but never moved
+        shard.counter("polls").inc();
+        reg.absorb(&shard);
+        assert_eq!(reg.gauge("level").get(), 7);
+        let active = reg.shard();
+        active.gauge("level").set(3);
+        reg.absorb(&active);
+        assert_eq!(reg.gauge("level").get(), 3, "a touched shard gauge wins");
+        assert_eq!(reg.gauge("level").high_water(), 7, "high-water only rises");
+    }
+
+    #[test]
+    fn disabled_registries_shard_and_absorb_inertly() {
+        let off = Registry::disabled();
+        let shard = off.shard();
+        assert!(!shard.is_enabled());
+        shard.counter("x").inc();
+        off.absorb(&shard);
+        assert!(off.snapshot().counters.is_empty());
+
+        let on = Registry::enabled();
+        on.counter("x").inc();
+        on.absorb(&off); // disabled shard: no-op
+        on.absorb(&on); // self-absorb: guarded no-op, not a double count
+        assert_eq!(on.snapshot().counter("x"), 1);
     }
 
     #[test]

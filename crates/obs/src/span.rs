@@ -53,9 +53,45 @@ impl SpanRecorder {
         }
     }
 
+    /// Folds a shard's aggregate for one path into this recorder, adding
+    /// both the entry count and the accumulated time. Absorbing shard
+    /// snapshots in task order keeps first-entered path order deterministic.
+    pub(crate) fn absorb(&self, path: &str, timing: PhaseTiming) {
+        let mut totals = self.totals.lock();
+        match totals.iter_mut().find(|(p, _)| p == path) {
+            Some((_, t)) => {
+                t.count += timing.count;
+                t.total_ns += timing.total_ns;
+            }
+            None => totals.push((path.to_owned(), timing)),
+        }
+    }
+
     /// Paths and timings in first-entered order.
     pub(crate) fn snapshot(&self) -> Vec<(String, PhaseTiming)> {
         self.totals.lock().clone()
+    }
+}
+
+/// A detached span-nesting context; restores the previous one on drop.
+#[derive(Debug)]
+#[must_use = "dropping immediately re-attaches the previous span context"]
+pub struct DetachedSpans {
+    saved: Vec<String>,
+}
+
+/// Detaches the current thread's span-nesting context until the guard
+/// drops: spans entered meanwhile record as top-level paths. Use when
+/// recording into a shard registry that will be absorbed into a parent —
+/// shard paths must not inherit the spawning thread's open spans, or
+/// inline (serial) task execution would nest where worker threads don't.
+pub fn detach_spans() -> DetachedSpans {
+    DetachedSpans { saved: SPAN_STACK.with(|s| std::mem::take(&mut *s.borrow_mut())) }
+}
+
+impl Drop for DetachedSpans {
+    fn drop(&mut self) {
+        SPAN_STACK.with(|s| *s.borrow_mut() = std::mem::take(&mut self.saved));
     }
 }
 
@@ -140,6 +176,21 @@ mod tests {
         }
         let paths: Vec<String> = rec.snapshot().into_iter().map(|(p, _)| p).collect();
         assert_eq!(paths, ["a", "b"]);
+    }
+
+    #[test]
+    fn detaching_makes_spans_top_level_and_restores() {
+        let rec = Arc::new(SpanRecorder::default());
+        {
+            let _outer = SpanGuard::enter(Arc::clone(&rec), "outer");
+            {
+                let _detached = detach_spans();
+                let _task = SpanGuard::enter(Arc::clone(&rec), "task");
+            }
+            let _inner = SpanGuard::enter(Arc::clone(&rec), "inner");
+        }
+        let paths: Vec<String> = rec.snapshot().into_iter().map(|(p, _)| p).collect();
+        assert_eq!(paths, ["task", "outer/inner", "outer"]);
     }
 
     #[test]

@@ -427,6 +427,26 @@ impl Tracer {
         }
     }
 
+    /// Appends a finished shard's records onto this tracer, renumbering
+    /// trace and span ids past everything already recorded (sentinels stay
+    /// sentinels). Absorbing shard stores in task order reproduces exactly
+    /// the ids a single tracer would have assigned running the same tasks
+    /// sequentially — the parallel-determinism contract for tracing.
+    pub fn absorb(&self, other: &SpanStore) {
+        let Some(core) = &self.0 else { return };
+        let mut state = core.state.lock();
+        let trace_off = state.traces.len() as u32;
+        let span_off = state.spans.len() as u32;
+        state.traces.extend(
+            other
+                .traces
+                .iter()
+                .map(|meta| TraceMeta { id: TraceId(meta.id.0 + trace_off), ..meta.clone() }),
+        );
+        state.spans.extend(other.spans.iter().map(|s| offset_record(s, span_off, trace_off)));
+        core.horizon_us.fetch_max(other.horizon_us, Relaxed);
+    }
+
     /// A point-in-time copy of everything recorded.
     pub fn store(&self) -> SpanStore {
         match &self.0 {
@@ -440,6 +460,25 @@ impl Tracer {
                 }
             }
         }
+    }
+}
+
+/// `record` with its ids shifted by the given offsets; the NONE sentinels
+/// are preserved (a control span stays a control span, a root stays a root).
+fn offset_record(record: &SpanRecord, span_off: u32, trace_off: u32) -> SpanRecord {
+    SpanRecord {
+        id: SpanId(record.id.0 + span_off),
+        trace: if record.trace.is_some() {
+            TraceId(record.trace.0 + trace_off)
+        } else {
+            TraceId::NONE
+        },
+        parent: if record.parent.is_some() {
+            SpanId(record.parent.0 + span_off)
+        } else {
+            SpanId::NONE
+        },
+        ..record.clone()
     }
 }
 
@@ -714,6 +753,24 @@ impl SpanStore {
         }
     }
 
+    /// Appends `other`'s traces and spans after this store's, renumbering
+    /// ids exactly like [`Tracer::absorb`]: merging per-shard stores in
+    /// task order yields the store a single sequential tracer would have
+    /// produced. Dense-id invariants are preserved, so every reconstruction
+    /// helper keeps working on the merged store.
+    pub fn merge(&mut self, other: &SpanStore) {
+        let trace_off = self.traces.len() as u32;
+        let span_off = self.spans.len() as u32;
+        self.traces.extend(
+            other
+                .traces
+                .iter()
+                .map(|meta| TraceMeta { id: TraceId(meta.id.0 + trace_off), ..meta.clone() }),
+        );
+        self.spans.extend(other.spans.iter().map(|s| offset_record(s, span_off, trace_off)));
+        self.horizon_us = self.horizon_us.max(other.horizon_us);
+    }
+
     /// The distinct scope labels present, in first-seen order.
     pub fn scopes(&self) -> Vec<&str> {
         let mut out: Vec<&str> = Vec::new();
@@ -870,6 +927,80 @@ mod tests {
         t.publish(2, 0, 0, "hat");
         t.publish(3, 0, 0, "unicast ttl");
         assert_eq!(t.store().scopes(), vec!["unicast ttl", "hat"]);
+    }
+
+    /// Records one trace + one control span into `t`, with all values
+    /// shifted by `salt` so two shards are distinguishable after a merge.
+    fn record_shard(t: &Tracer, salt: u32) {
+        let root = t.publish(salt, salt, u64::from(salt) * 1_000, "shard");
+        let hop = t.hop(root, "update", salt, salt + 1, 0, 10);
+        t.adopt(hop, salt + 1, 10);
+        t.control(SpanKind::ModeSwitch, salt, 50, "to_invalidation");
+        t.tick(u64::from(salt) * 2_000);
+    }
+
+    /// Merging shard stores in task order must reproduce bit-for-bit the
+    /// store one tracer would have produced recording the same tasks
+    /// sequentially — the determinism contract `Pool::map` relies on.
+    #[test]
+    fn merge_in_task_order_equals_sequential_recording() {
+        let serial = enabled();
+        record_shard(&serial, 1);
+        record_shard(&serial, 5);
+        record_shard(&serial, 9);
+
+        let shards: Vec<SpanStore> = [1, 5, 9]
+            .iter()
+            .map(|&salt| {
+                let t = enabled();
+                record_shard(&t, salt);
+                t.store()
+            })
+            .collect();
+        let mut merged = SpanStore::default();
+        for shard in &shards {
+            merged.merge(shard);
+        }
+        assert_eq!(merged, serial.store());
+
+        // Tracer::absorb is the in-place flavor of the same operation.
+        let absorbed = enabled();
+        for shard in &shards {
+            absorbed.absorb(shard);
+        }
+        assert_eq!(absorbed.store(), serial.store());
+    }
+
+    #[test]
+    fn merge_preserves_sentinels_and_dense_ids() {
+        let a = enabled();
+        record_shard(&a, 1);
+        let b = enabled();
+        record_shard(&b, 7);
+        let mut merged = a.store();
+        merged.merge(&b.store());
+        for (i, s) in merged.spans.iter().enumerate() {
+            assert_eq!(s.id.0 as usize, i, "span ids stay dense");
+        }
+        for (i, m) in merged.traces.iter().enumerate() {
+            assert_eq!(m.id.0 as usize, i, "trace ids stay dense");
+        }
+        let control: Vec<_> = merged.trace_spans(TraceId::NONE).collect();
+        assert_eq!(control.len(), 2, "control spans stay outside traces");
+        assert!(control.iter().all(|s| !s.parent.is_some()));
+        // The second shard's trace is fully reconstructible post-merge.
+        let tree = merged.tree(TraceId(1)).expect("rooted");
+        assert_eq!(tree.spans.len(), 3);
+        assert_eq!(merged.meta(TraceId(1)).unwrap().update, 7);
+    }
+
+    #[test]
+    fn absorb_into_disabled_tracer_is_inert() {
+        let src = enabled();
+        record_shard(&src, 1);
+        let dst = Tracer::disabled();
+        dst.absorb(&src.store());
+        assert!(dst.store().spans.is_empty());
     }
 
     #[test]

@@ -25,7 +25,8 @@ use crate::timeline::{build_server_timeline, GroundTruthConfig, ServerProfile, S
 use cdnc_geo::{GeoPoint, WorldBuilder};
 use cdnc_net::{AbsenceConfig, AbsenceSchedule};
 use cdnc_obs::Registry;
-use cdnc_simcore::{SimDuration, SimRng, SimTime};
+use cdnc_par::Pool;
+use cdnc_simcore::{derive_stream, SimDuration, SimRng, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Full configuration of a crawl.
@@ -99,12 +100,28 @@ pub fn crawl(config: &CrawlConfig) -> Trace {
     crawl_with_obs(config, &Registry::disabled())
 }
 
+/// Runs the crawl sharded over `pool`'s workers.
+///
+/// Bit-identical to [`crawl`] for any pool size: each per-server,
+/// per-replica and per-user stream is derived from its index via
+/// [`derive_stream`], and results commit in task-index order.
+pub fn crawl_par(config: &CrawlConfig, pool: &Pool) -> Trace {
+    crawl_with_obs_par(config, &Registry::disabled(), pool)
+}
+
 /// Runs the crawl with instrumentation recording into `obs`.
 ///
 /// Observation-only: the returned [`Trace`] is identical whether `obs` is
 /// enabled or disabled. Records poll counts per poll family, polls skipped
 /// while servers were absent, and the RTT/2 skew-correction residual.
 pub fn crawl_with_obs(config: &CrawlConfig, obs: &Registry) -> Trace {
+    crawl_with_obs_par(config, obs, &Pool::serial())
+}
+
+/// [`crawl_with_obs`] sharded over `pool`'s workers; trace *and* recorded
+/// metrics are bit-identical to the serial run (per-task counts are folded
+/// into `obs` in task-index order after each parallel section).
+pub fn crawl_with_obs_par(config: &CrawlConfig, obs: &Registry, pool: &Pool) -> Trace {
     assert!(config.servers > 0, "need at least one server");
     assert!(config.users > 0, "need at least one user");
     assert!(config.days > 0, "need at least one day");
@@ -192,39 +209,44 @@ pub fn crawl_with_obs(config: &CrawlConfig, obs: &Registry) -> Trace {
             &mut day_rng.fork(),
         );
 
-        // Ground-truth timelines.
-        let timelines: Vec<ServerTimeline> = servers
-            .iter()
-            .map(|meta| {
-                let profile = ServerProfile {
-                    index: meta.id as usize,
-                    distance_to_provider_km: meta.distance_to_provider_km,
-                    crosses_isp: meta.isp != provider_isp,
-                };
-                build_server_timeline(
-                    &profile,
-                    &origin,
-                    &absences,
-                    &config.ground_truth,
-                    horizon,
-                    &mut day_rng.fork(),
-                )
-            })
-            .collect();
+        // Ground-truth timelines, sharded across servers: server `i` draws
+        // from the stream the i-th serial `day_rng.fork()` would have been,
+        // so any pool size reproduces the serial timelines bit-for-bit.
+        let day_seed = day_rng.seed();
+        let base = day_rng.next_fork_index();
+        let timelines: Vec<ServerTimeline> = pool.map_slice(&servers, |i, meta| {
+            let profile = ServerProfile {
+                index: meta.id as usize,
+                distance_to_provider_km: meta.distance_to_provider_km,
+                crosses_isp: meta.isp != provider_isp,
+            };
+            build_server_timeline(
+                &profile,
+                &origin,
+                &absences,
+                &config.ground_truth,
+                horizon,
+                &mut derive_stream(day_seed, base + i as u64),
+            )
+        });
+        day_rng.skip_forks(servers.len() as u64);
 
-        // Server polls.
-        let mut server_polls = Vec::new();
-        for meta in &servers {
-            let mut poll_rng = day_rng.fork();
+        // Server polls, sharded the same way. Workers count locally and the
+        // counts fold into `obs` in task order after the join, keeping the
+        // registry off the hot path and merged metrics equal to serial.
+        let base = day_rng.next_fork_index();
+        let shards = pool.map_slice(&servers, |i, meta| {
+            let mut poll_rng = derive_stream(day_seed, base + i as u64);
             // Each server is polled by its nearest observer (paper §3.1).
-            let obs = nearest_user(&users, &meta.location);
-            let rtt_base = 2.0 * (0.010 + meta.location.distance_km(&obs) / 200_000.0);
+            let observer = nearest_user(&users, &meta.location);
+            let rtt_base = 2.0 * (0.010 + meta.location.distance_km(&observer) / 200_000.0);
+            let mut polls = Vec::new();
+            let mut skipped = 0u64;
             let mut t = SimTime::ZERO;
             while t <= horizon {
                 if absences.is_absent(meta.id as usize, t) {
-                    obs_absent_skips.inc();
+                    skipped += 1;
                 } else {
-                    obs_server_polls.inc();
                     let response_time = SimDuration::from_secs_f64(
                         rtt_base + 0.04 + poll_rng.exponential(1.0 / 0.05),
                     );
@@ -232,7 +254,7 @@ pub fn crawl_with_obs(config: &CrawlConfig, obs: &Registry) -> Trace {
                     // query (about half the response time after t).
                     let stamped = t + SimDuration::from_secs_f64(rtt_base / 2.0);
                     let reported_gmt_us = stamped.as_micros() as i64 + meta.true_skew_us;
-                    server_polls.push(ServerPoll {
+                    polls.push(ServerPoll {
                         server: meta.id,
                         time: t,
                         reported_gmt_us,
@@ -242,42 +264,57 @@ pub fn crawl_with_obs(config: &CrawlConfig, obs: &Registry) -> Trace {
                 }
                 t += config.poll_interval;
             }
+            (polls, skipped)
+        });
+        day_rng.skip_forks(servers.len() as u64);
+        let mut server_polls = Vec::new();
+        for (polls, skipped) in shards {
+            obs_server_polls.add(polls.len() as u64);
+            obs_absent_skips.add(skipped);
+            server_polls.extend(polls);
         }
 
         // Provider origin polls (paper §3.4.2 and Fig. 10(a)). Each replica
         // of the origin runs its own copy of the availability pipeline, so
         // replicas disagree by a few seconds — the Fig. 7 inconsistency.
-        let mut provider_polls = Vec::new();
-        for replica in 0..config.provider_replicas {
-            let mut prov_rng = day_rng.fork();
+        let base = day_rng.next_fork_index();
+        let shards = pool.map(config.provider_replicas as usize, |r| {
+            let mut prov_rng = derive_stream(day_seed, base + r as u64);
             let replica_origin =
                 updates.delayed(config.ground_truth.provider_staleness_mean_s, &mut prov_rng);
+            let mut polls = Vec::new();
             let mut t = SimTime::ZERO;
             while t <= horizon {
                 let response_time =
                     SimDuration::from_secs_f64((0.5 + prov_rng.exponential(1.0 / 0.35)).min(2.1));
-                obs_provider_polls.inc();
-                provider_polls.push(ProviderPoll {
-                    replica,
+                polls.push(ProviderPoll {
+                    replica: r as u32,
                     time: t,
                     snapshot: replica_origin.snapshot_at(t),
                     response_time,
                 });
                 t += config.poll_interval;
             }
+            polls
+        });
+        day_rng.skip_forks(u64::from(config.provider_replicas));
+        let mut provider_polls = Vec::new();
+        for polls in shards {
+            obs_provider_polls.add(polls.len() as u64);
+            provider_polls.extend(polls);
         }
 
         // End-user polls through DNS (paper §3.3).
-        let mut user_polls = Vec::new();
-        for user in &users {
-            let mut user_rng = day_rng.fork();
+        let base = day_rng.next_fork_index();
+        let shards = pool.map_slice(&users, |u, user| {
+            let mut user_rng = derive_stream(day_seed, base + u as u64);
             let assignment =
                 assignment_timeline(&user.location, &servers, horizon, &config.dns, &mut user_rng);
+            let mut polls = Vec::new();
             let mut t = SimTime::ZERO;
             while t <= horizon {
                 let server = assignment.server_at(t);
-                obs_user_polls.inc();
-                user_polls.push(UserPoll {
+                polls.push(UserPoll {
                     user: user.id,
                     time: t,
                     server,
@@ -285,6 +322,13 @@ pub fn crawl_with_obs(config: &CrawlConfig, obs: &Registry) -> Trace {
                 });
                 t += config.poll_interval;
             }
+            polls
+        });
+        day_rng.skip_forks(users.len() as u64);
+        let mut user_polls = Vec::new();
+        for polls in shards {
+            obs_user_polls.add(polls.len() as u64);
+            user_polls.extend(polls);
         }
 
         days.push(DayTrace { day, updates, server_polls, provider_polls, user_polls });
@@ -353,6 +397,24 @@ mod tests {
         assert_eq!(a, b);
         let c = crawl(&CrawlConfig { seed: 1, ..CrawlConfig::tiny() });
         assert_ne!(a, c);
+    }
+
+    /// The tentpole determinism contract: any worker count yields the same
+    /// trace *and* the same recorded metrics as the serial crawl.
+    #[test]
+    fn parallel_crawl_is_bit_identical_to_serial() {
+        let cfg = CrawlConfig::tiny();
+        let serial_reg = Registry::enabled();
+        let serial = crawl_with_obs(&cfg, &serial_reg);
+        for jobs in [2usize, 5] {
+            let reg = Registry::enabled();
+            let trace = crawl_with_obs_par(&cfg, &reg, &Pool::new(jobs));
+            assert_eq!(trace, serial, "jobs={jobs}");
+            let (a, b) = (serial_reg.snapshot(), reg.snapshot());
+            assert_eq!(a.counters, b.counters, "jobs={jobs}");
+            assert_eq!(a.histograms, b.histograms, "jobs={jobs}");
+        }
+        assert_eq!(crawl_par(&cfg, &Pool::new(3)), serial);
     }
 
     #[test]

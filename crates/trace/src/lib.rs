@@ -44,7 +44,7 @@ pub mod snapshot;
 pub mod timeline;
 
 pub use codec::{read_trace, write_trace};
-pub use crawl::{crawl, crawl_with_obs, CrawlConfig};
+pub use crawl::{crawl, crawl_par, crawl_with_obs, crawl_with_obs_par, CrawlConfig};
 pub use dns::DnsConfig;
 pub use records::{DayTrace, ProviderPoll, ServerMeta, ServerPoll, Trace, UserMeta, UserPoll};
 pub use skew::SkewConfig;
