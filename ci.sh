@@ -44,4 +44,20 @@ diff <(par_filter "$PAR_DIR/serial.txt") <(par_filter "$PAR_DIR/jobs2.txt")
 cargo run -q -p cdnc-experiments --release -- obs-diff "$PAR_DIR/serial" "$PAR_DIR/jobs2"
 rm -rf "$PAR_DIR"
 
+echo "==> series emission + HTML report"
+SERIES_DIR="$(mktemp -d)"
+cargo run -q -p cdnc-experiments --release -- fig17 --scale smoke --obs --series --obs-dir "$SERIES_DIR"
+test -s "$SERIES_DIR/fig17.series.json"
+cargo run -q -p cdnc-experiments --release -- report --obs-dir "$SERIES_DIR" --out "$SERIES_DIR/report"
+test -s "$SERIES_DIR/report/index.html"
+test -s "$SERIES_DIR/report/fig17.html"
+rm -rf "$SERIES_DIR"
+
+echo "==> perf regression vs committed baseline"
+BENCH_DIR="$(mktemp -d)"
+cargo run -q -p cdnc-experiments --release -- bench --scale smoke --label ci --out "$BENCH_DIR/BENCH_ci.json"
+# Generous threshold: catch gross regressions, not machine-to-machine noise.
+cargo run -q -p cdnc-experiments --release -- bench-diff BENCH_baseline.json "$BENCH_DIR/BENCH_ci.json" --threshold 4.0
+rm -rf "$BENCH_DIR"
+
 echo "CI gate passed."

@@ -24,7 +24,7 @@ use crate::metrics::SimReport;
 use crate::topology::Topology;
 use cdnc_geo::{IspId, WorldBuilder};
 use cdnc_net::{Network, NodeId, Packet, PacketKind};
-use cdnc_obs::{Counter, Histogram, Level, Registry, SpanKind, TraceCtx, Tracer};
+use cdnc_obs::{Counter, Gauge, Histogram, Level, Registry, SpanKind, TraceCtx, Tracer};
 use cdnc_simcore::stats::OnlineStats;
 use cdnc_simcore::{Scheduler, SimDuration, SimRng, SimTime};
 use cdnc_trace::SnapshotId;
@@ -121,6 +121,19 @@ enum Msg {
 }
 
 impl Msg {
+    /// The wire class this message travels as (must mirror the packet
+    /// construction in [`CdnSimulation::send`]).
+    fn kind(&self) -> PacketKind {
+        match self {
+            Msg::Update { .. } => PacketKind::Update,
+            Msg::Invalidate(..) => PacketKind::Invalidation,
+            Msg::Poll { .. } => PacketKind::Poll,
+            Msg::Unchanged => PacketKind::PollUnchanged,
+            Msg::SwitchMode { .. } => PacketKind::MethodSwitch,
+            Msg::TreeJoin { .. } => PacketKind::TreeMaintenance,
+        }
+    }
+
     /// The causal context this message propagates ([`TraceCtx::NONE`] for
     /// message classes outside any update's journey).
     fn trace_ctx(&self) -> TraceCtx {
@@ -244,6 +257,18 @@ struct SimObs {
     /// Publish→adopt latency per update method, indexed like
     /// [`MethodKind::ALL`]; the last slot catches method-less nodes.
     adopt_lag: [Histogram; 6],
+    /// Messages sent but not yet arrived, by class — indexed like `msgs`.
+    inflight: [Gauge; 8],
+    /// Server replicas currently holding content they know is stale
+    /// (invalidation received, refresh not yet adopted).
+    stale_replicas: Gauge,
+    /// Published-but-unadopted updates across servers, per method —
+    /// indexed like `adopt_lag` — plus one gauge for end users.
+    pending_updates: [Gauge; 6],
+    pending_user_updates: Gauge,
+    /// Self-adaptive nodes currently in invalidation mode (Algorithm 1
+    /// mode occupancy).
+    inval_mode_nodes: Gauge,
     /// Causal update tracer (inert unless enabled on the registry).
     tracer: Tracer,
 }
@@ -268,6 +293,39 @@ impl SimObs {
             "sim_adopt_lag_s_adaptive_ttl",
             "sim_adopt_lag_s_other",
         ];
+        let inflight_names = [
+            "sim_inflight_update",
+            "sim_inflight_poll",
+            "sim_inflight_poll_unchanged",
+            "sim_inflight_invalidation",
+            "sim_inflight_method_switch",
+            "sim_inflight_tree_maintenance",
+            "sim_inflight_user_request",
+            "sim_inflight_user_response",
+        ];
+        let pending_names = [
+            "sim_pending_updates_push",
+            "sim_pending_updates_invalidation",
+            "sim_pending_updates_ttl",
+            "sim_pending_updates_self_adaptive",
+            "sim_pending_updates_adaptive_ttl",
+            "sim_pending_updates_other",
+        ];
+        // Series sources (no-ops unless series sampling is enabled): the
+        // per-class message counters become traffic-rate series; the
+        // consistency gauges are sampled directly.
+        for name in msg_names {
+            registry.series_rate(name);
+        }
+        for name in inflight_names {
+            registry.series_gauge(name);
+        }
+        for name in pending_names {
+            registry.series_gauge(name);
+        }
+        registry.series_gauge("sim_stale_replicas");
+        registry.series_gauge("sim_pending_updates_users");
+        registry.series_gauge("sim_mode_invalidation_nodes");
         SimObs {
             registry: registry.clone(),
             msgs: msg_names.map(|n| registry.counter(n)),
@@ -284,6 +342,11 @@ impl SimObs {
             orphan_reattach: registry.counter("sim_orphan_reattach"),
             tree_rejoin: registry.counter("sim_tree_rejoin"),
             adopt_lag: adopt_names.map(|n| registry.histogram(n)),
+            inflight: inflight_names.map(|n| registry.gauge(n)),
+            stale_replicas: registry.gauge("sim_stale_replicas"),
+            pending_updates: pending_names.map(|n| registry.gauge(n)),
+            pending_user_updates: registry.gauge("sim_pending_updates_users"),
+            inval_mode_nodes: registry.gauge("sim_mode_invalidation_nodes"),
             tracer: registry.tracer(),
         }
     }
@@ -292,13 +355,23 @@ impl SimObs {
         &self.msgs[kind as usize]
     }
 
-    /// The publish→adopt histogram for a node running `method`.
-    fn adopt_lag(&self, method: Option<MethodKind>) -> &Histogram {
-        let slot = match method {
+    /// The instrument slot for `method`: its [`MethodKind::ALL`] position,
+    /// or the catch-all last slot for method-less nodes.
+    fn method_slot(method: Option<MethodKind>) -> usize {
+        match method {
             Some(m) => MethodKind::ALL.iter().position(|&k| k == m).unwrap_or(5),
             None => 5,
-        };
-        &self.adopt_lag[slot]
+        }
+    }
+
+    /// The publish→adopt histogram for a node running `method`.
+    fn adopt_lag(&self, method: Option<MethodKind>) -> &Histogram {
+        &self.adopt_lag[Self::method_slot(method)]
+    }
+
+    /// The pending-update gauge for a node running `method`.
+    fn pending(&self, method: Option<MethodKind>) -> &Gauge {
+        &self.pending_updates[Self::method_slot(method)]
     }
 }
 
@@ -451,6 +524,8 @@ impl<'a> CdnSimulation<'a> {
                 }
                 Event::Arrive(node, msg) => {
                     self.obs.ev_arrive.inc();
+                    // Delivered or lost, the message leaves the wire.
+                    self.obs.inflight[msg.kind() as usize].sub(1);
                     // Messages to a failed node are lost.
                     if self.nodes[node.index()].absent {
                         self.obs.tracer.lost(msg.trace_ctx(), node.index() as u32, now.as_micros());
@@ -491,13 +566,10 @@ impl<'a> CdnSimulation<'a> {
         if self.nodes[src.index()].absent {
             return;
         }
-        let (kind, size) = match &msg {
-            Msg::Update { .. } => (PacketKind::Update, self.config.update_packet_kb),
-            Msg::Invalidate(..) => (PacketKind::Invalidation, 1.0),
-            Msg::Poll { .. } => (PacketKind::Poll, 1.0),
-            Msg::Unchanged => (PacketKind::PollUnchanged, 1.0),
-            Msg::SwitchMode { .. } => (PacketKind::MethodSwitch, 1.0),
-            Msg::TreeJoin { .. } => (PacketKind::TreeMaintenance, 1.0),
+        let kind = msg.kind();
+        let size = match kind {
+            PacketKind::Update => self.config.update_packet_kb,
+            _ => 1.0,
         };
         if kind == PacketKind::Update {
             self.server_update_messages += 1;
@@ -506,6 +578,7 @@ impl<'a> CdnSimulation<'a> {
             }
         }
         self.obs.msg(kind).inc();
+        self.obs.inflight[kind as usize].add(1);
         let packet = Packet::new(kind, size, src, dst);
         // Content-carrying and invalidation messages extend their update's
         // causal trace with a hop span; the receiver continues from it.
@@ -531,10 +604,12 @@ impl<'a> CdnSimulation<'a> {
         // Lag accounting starts for every server and user.
         for &s in &self.topo.servers {
             self.nodes[s.index()].pending_pubs.push_back((snap, now));
+            self.obs.pending(self.topo.method_of(s)).add(1);
         }
         for u in &mut self.users {
             u.pending_pubs.push_back((snap, now));
         }
+        self.obs.pending_user_updates.add(self.users.len() as u64);
         self.notify_downstream(now, provider);
     }
 
@@ -715,13 +790,16 @@ impl<'a> CdnSimulation<'a> {
         let adopted = snap > self.nodes[node.index()].content;
         if adopted {
             let adopt_ctx = self.obs.tracer.adopt(ctx, node.index() as u32, now.as_micros());
-            let adopt_lag = self.obs.adopt_lag(self.topo.method_of(node));
+            let method = self.topo.method_of(node);
+            let adopt_lag = self.obs.adopt_lag(method);
+            let pending = self.obs.pending(method);
             let state = &mut self.nodes[node.index()];
             state.content = snap;
             state.content_modified_at = modified_at;
             state.content_ctx = adopt_ctx;
             if state.known_stale.is_some_and(|s| s <= snap) {
                 state.known_stale = None;
+                self.obs.stale_replicas.sub(1);
             }
             while let Some(&(p, t)) = state.pending_pubs.front() {
                 if p > snap {
@@ -730,6 +808,7 @@ impl<'a> CdnSimulation<'a> {
                 let lag_s = now.since(t).as_secs_f64();
                 state.lag.push(lag_s);
                 adopt_lag.record(lag_s);
+                pending.sub(1);
                 state.pending_pubs.pop_front();
             }
             // Adaptive TTL (Alex protocol): the next poll interval is a
@@ -781,6 +860,7 @@ impl<'a> CdnSimulation<'a> {
                     .field("to", "ttl")
                     .field("t_s", now.since(SimTime::ZERO).as_secs_f64())
             });
+            self.obs.inval_mode_nodes.sub(1);
             self.nodes[node.index()].mode = AdaptiveMode::Ttl;
             self.nodes[node.index()].timer_gen += 1;
             let gen = self.nodes[node.index()].timer_gen;
@@ -805,6 +885,9 @@ impl<'a> CdnSimulation<'a> {
         {
             let state = &mut self.nodes[node.index()];
             if snap > state.content {
+                if state.known_stale.is_none() {
+                    self.obs.stale_replicas.add(1);
+                }
                 state.known_stale = Some(state.known_stale.map_or(snap, |s| s.max(snap)));
             }
         }
@@ -905,6 +988,7 @@ impl<'a> CdnSimulation<'a> {
                     .field("to", "invalidation")
                     .field("t_s", now.since(SimTime::ZERO).as_secs_f64())
             });
+            self.obs.inval_mode_nodes.add(1);
             self.nodes[node.index()].mode = AdaptiveMode::Invalidation;
             self.nodes[node.index()].timer_gen += 1; // kill the poll chain
             if let Some(up) = self.topo.upstream_of(node) {
@@ -1055,6 +1139,7 @@ impl<'a> CdnSimulation<'a> {
                 break;
             }
             user.lag.push(now.since(t).as_secs_f64());
+            self.obs.pending_user_updates.sub(1);
             user.pending_pubs.pop_front();
         }
         user.total_obs += 1;
@@ -1621,6 +1706,48 @@ mod tests {
         let hist = snap.histogram("sim_adopt_lag_s_self_adaptive").expect("histogram exists");
         assert!(hist.count > 0);
         assert!(hist.min >= 0.0 && hist.max.is_finite());
+    }
+
+    #[test]
+    fn series_sampling_covers_the_simulation() {
+        let cfg = small(Scheme::Unicast(MethodKind::SelfAdaptive));
+        let reg = Registry::enabled();
+        reg.enable_series(1_000_000); // 1 s cadence in sim time
+        let _ = run_with_obs(&cfg, &reg);
+        let snap = reg.series_snapshot();
+        for (name, kind) in [
+            ("sched_queue_depth", cdnc_obs::SeriesKind::Gauge),
+            ("sim_stale_replicas", cdnc_obs::SeriesKind::Gauge),
+            ("sim_pending_updates_self_adaptive", cdnc_obs::SeriesKind::Gauge),
+            ("sim_mode_invalidation_nodes", cdnc_obs::SeriesKind::Gauge),
+            ("sim_msgs_poll", cdnc_obs::SeriesKind::Rate),
+            ("sched_events_processed", cdnc_obs::SeriesKind::Rate),
+        ] {
+            let entry = snap.get(name, kind).unwrap_or_else(|| panic!("series {name} missing"));
+            assert!(!entry.points.is_empty(), "series {name} recorded no samples");
+            assert!(entry.points.windows(2).all(|w| w[0].t_us < w[1].t_us));
+        }
+        // Invalidation mode was actually occupied at some sample point
+        // (self-adaptive nodes oscillate under a 30 s publish cadence).
+        let modes = snap.get("sim_mode_invalidation_nodes", cdnc_obs::SeriesKind::Gauge).unwrap();
+        assert!(modes.points.iter().any(|p| p.value > 0.0));
+        // In-flight gauges return to zero: every sent message arrived.
+        let msnap = reg.snapshot();
+        for kind in ["update", "poll", "invalidation", "method_switch"] {
+            let name = format!("sim_inflight_{kind}");
+            let g = msnap.gauges.iter().find(|(n, _)| n == &name).unwrap().1;
+            assert_eq!(g.value, 0, "{name} must drain by the end of the run");
+        }
+    }
+
+    #[test]
+    fn series_sampling_does_not_perturb_results() {
+        let cfg = small(Scheme::Unicast(MethodKind::SelfAdaptive));
+        let plain = run(&cfg);
+        let reg = Registry::enabled();
+        reg.enable_series(250_000);
+        let sampled = run_with_obs(&cfg, &reg);
+        assert_eq!(plain, sampled, "sampling must be observation-only");
     }
 
     #[test]

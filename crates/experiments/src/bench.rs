@@ -1,0 +1,211 @@
+//! Continuous performance-regression harness.
+//!
+//! `experiments bench` runs a fixed workload — the crawl plus a small set
+//! of representative figures — with the full observability stack armed
+//! (metrics, causal tracing, series sampling) and records per-stage wall
+//! time, event/span/sample throughput, and memory footprint into a
+//! `BENCH_<label>.json` document. `experiments bench-diff a b` compares
+//! two such documents and exits non-zero when stage wall time regressed
+//! beyond a configurable noise threshold, so CI can hold the line against
+//! a committed `BENCH_baseline.json`.
+//!
+//! Wall time and memory are machine-dependent: a committed baseline only
+//! gates CI with a generous threshold (the `ci.sh` run uses 4.0 — a 5×
+//! slowdown — to catch pathological regressions, not scheduler noise).
+
+use crate::perf;
+use crate::{build_trace_ctx, run_figure_ctx, RunCtx};
+use cdnc_obs::{Json, Registry};
+
+/// Stages of the bench workload: the shared crawl, one cheap §4 figure,
+/// the §4 figure with the largest simulation fan-out, and a §5 HAT
+/// figure (tree topologies exercise different code paths).
+pub const BENCH_FIGURES: [&str; 3] = ["fig17", "fig20", "fig24"];
+
+/// Default `bench-diff` noise threshold: a stage regresses when its wall
+/// time exceeds the baseline's by more than this fraction.
+pub const DEFAULT_BENCH_THRESHOLD: f64 = 0.3;
+
+/// A registry with every recording subsystem armed, so the bench exercises
+/// (and measures) the full observability overhead.
+fn bench_registry() -> Registry {
+    let reg = Registry::enabled();
+    reg.enable_tracing();
+    reg.enable_series(cdnc_obs::DEFAULT_CADENCE_US);
+    reg
+}
+
+/// One stage's row: identity, wall time, and throughput denominators.
+fn stage_entry(id: &str, wall_s: f64, reg: &Registry) -> Json {
+    let events = reg.snapshot().counter("sched_events_processed");
+    let spans = reg.tracer().store().spans.len() as u64;
+    let samples = reg.series_snapshot().total_points;
+    let per_s = |n: u64| if wall_s > 0.0 { n as f64 / wall_s } else { 0.0 };
+    Json::obj()
+        .field("id", id)
+        .field("wall_s", wall_s)
+        .field("events", events)
+        .field("events_per_s", per_s(events))
+        .field("spans", spans)
+        .field("spans_per_s", per_s(spans))
+        .field("samples", samples)
+        .field("samples_per_s", per_s(samples))
+        .field("peak_rss_kb", perf::peak_rss_kb())
+}
+
+/// Runs the bench workload and returns the `BENCH_<label>.json` document.
+pub fn run_bench(ctx: RunCtx, label: &str) -> Json {
+    let started = std::time::Instant::now();
+    let mut stages = Vec::new();
+
+    let reg = bench_registry();
+    let stage_started = std::time::Instant::now();
+    let _trace = build_trace_ctx(ctx, &reg);
+    stages.push(stage_entry("crawl", stage_started.elapsed().as_secs_f64(), &reg));
+
+    for id in BENCH_FIGURES {
+        let reg = bench_registry();
+        let stage_started = std::time::Instant::now();
+        run_figure_ctx(id, ctx, None, &reg).expect("bench figure ids are known");
+        stages.push(stage_entry(id, stage_started.elapsed().as_secs_f64(), &reg));
+    }
+
+    Json::obj()
+        .field("label", label)
+        .field("scale", format!("{:?}", ctx.scale))
+        .field("jobs", ctx.pool.jobs() as u64)
+        .field("figures", Json::Arr(stages))
+        .field("total_wall_s", started.elapsed().as_secs_f64())
+        .field("peak_rss_kb", perf::peak_rss_kb())
+        .field("alloc_mb_estimate", perf::total_allocated_mb())
+}
+
+fn stage_wall(doc: &Json, id: &str) -> Option<f64> {
+    let Some(Json::Arr(stages)) = doc.get("figures") else { return None };
+    stages
+        .iter()
+        .find(|s| s.get("id").and_then(Json::as_str) == Some(id))
+        .and_then(|s| s.get("wall_s"))
+        .and_then(Json::as_f64)
+}
+
+fn stage_ids(doc: &Json) -> Vec<String> {
+    match doc.get("figures") {
+        Some(Json::Arr(stages)) => stages
+            .iter()
+            .filter_map(|s| s.get("id").and_then(Json::as_str).map(str::to_owned))
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// Compares a candidate bench document against a baseline. Returns one
+/// line per regression — a stage (or the total) whose wall time exceeds
+/// the baseline's by more than `threshold` (a fraction: 0.3 = 30% slower
+/// tolerated) — plus one line per stage missing from the candidate.
+/// Empty means the candidate holds the baseline's performance.
+pub fn bench_diff(baseline: &Json, candidate: &Json, threshold: f64) -> Vec<String> {
+    let mut regressions = Vec::new();
+    let flag = |name: &str, base: f64, cand: f64, out: &mut Vec<String>| {
+        if cand > base * (1.0 + threshold) {
+            out.push(format!(
+                "{name}: {cand:.3}s vs baseline {base:.3}s (+{:.0}% > +{:.0}% allowed)",
+                (cand / base - 1.0) * 100.0,
+                threshold * 100.0
+            ));
+        }
+    };
+    for id in stage_ids(baseline) {
+        match (stage_wall(baseline, &id), stage_wall(candidate, &id)) {
+            (Some(base), Some(cand)) => flag(&id, base, cand, &mut regressions),
+            (Some(_), None) => regressions.push(format!("{id}: missing from candidate")),
+            _ => {}
+        }
+    }
+    if let (Some(base), Some(cand)) = (
+        baseline.get("total_wall_s").and_then(Json::as_f64),
+        candidate.get("total_wall_s").and_then(Json::as_f64),
+    ) {
+        flag("total", base, cand, &mut regressions);
+    }
+    regressions
+}
+
+/// Human-readable table of a bench document's stages.
+pub fn bench_table(doc: &Json) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "  {:<8} {:>8} {:>12} {:>12} {:>10} {:>10}\n",
+        "stage", "wall_s", "events/s", "spans/s", "samples", "rss_kb"
+    ));
+    if let Some(Json::Arr(stages)) = doc.get("figures") {
+        for s in stages {
+            let f = |k: &str| s.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+            let id = s.get("id").and_then(Json::as_str).unwrap_or("?");
+            out.push_str(&format!(
+                "  {:<8} {:>8.3} {:>12.0} {:>12.0} {:>10.0} {:>10.0}\n",
+                id,
+                f("wall_s"),
+                f("events_per_s"),
+                f("spans_per_s"),
+                f("samples"),
+                f("peak_rss_kb"),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+    use cdnc_par::Pool;
+
+    fn doc(walls: &[(&str, f64)], total: f64) -> Json {
+        let stages =
+            walls.iter().map(|(id, w)| Json::obj().field("id", *id).field("wall_s", *w)).collect();
+        Json::obj().field("figures", Json::Arr(stages)).field("total_wall_s", total)
+    }
+
+    #[test]
+    fn diff_flags_only_regressions_beyond_threshold() {
+        let base = doc(&[("fig17", 1.0), ("fig20", 2.0)], 3.0);
+        let ok = doc(&[("fig17", 1.2), ("fig20", 2.1)], 3.3);
+        assert!(bench_diff(&base, &ok, 0.3).is_empty());
+        let slow = doc(&[("fig17", 1.5), ("fig20", 2.0)], 3.5);
+        let regs = bench_diff(&base, &slow, 0.3);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert!(regs[0].starts_with("fig17:"));
+    }
+
+    #[test]
+    fn diff_flags_missing_stages_and_total() {
+        let base = doc(&[("fig17", 1.0)], 1.0);
+        let gone = doc(&[], 5.0);
+        let regs = bench_diff(&base, &gone, 0.3);
+        assert_eq!(regs.len(), 2, "{regs:?}");
+        assert!(regs.iter().any(|r| r.contains("missing")));
+        assert!(regs.iter().any(|r| r.starts_with("total:")));
+    }
+
+    #[test]
+    fn bench_runs_the_smoke_workload() {
+        let out = run_bench(RunCtx::with_pool(Scale::Smoke, Pool::new(1)), "unit");
+        assert_eq!(out.get("label").and_then(Json::as_str), Some("unit"));
+        let ids = stage_ids(&out);
+        assert_eq!(ids[0], "crawl");
+        for id in BENCH_FIGURES {
+            assert!(ids.iter().any(|s| s == id), "{id} missing from bench output");
+            assert!(stage_wall(&out, id).is_some_and(|w| w > 0.0));
+        }
+        // Every simulation stage produced spans and samples: the harness
+        // measures the instrumented hot paths, not idle registries.
+        let Some(Json::Arr(stages)) = out.get("figures") else { panic!("figures") };
+        for s in stages.iter().filter(|s| s.get("id").and_then(Json::as_str) != Some("crawl")) {
+            assert!(s.get("samples").and_then(Json::as_f64).unwrap_or(0.0) > 0.0);
+        }
+        assert!(bench_diff(&out, &out, 0.0).is_empty(), "a doc never regresses against itself");
+        assert!(bench_table(&out).contains("fig20"));
+    }
+}

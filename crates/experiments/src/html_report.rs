@@ -1,0 +1,556 @@
+//! Self-contained HTML run reports.
+//!
+//! `experiments report` turns the artifacts an instrumented run left under
+//! `results/obs/` — per-figure run artifacts, sampled time series, and
+//! flight-recorder dumps — into static HTML: one page per figure plus a
+//! consolidated index. Everything is hand-rolled (inline CSS, inline SVG,
+//! zero external assets or scripts), so a report is a single directory that
+//! renders anywhere, including file:// in a sandboxed browser.
+//!
+//! The pages are derived purely from the on-disk artifacts; generating a
+//! report never re-runs a simulation.
+
+use crate::trace_out::FLIGHTREC_SUBDIR;
+use cdnc_obs::{bucket_floor, json, Json, SeriesEntry, SeriesSnapshot};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Everything the report found for one figure id.
+#[derive(Debug, Default)]
+struct FigureInputs {
+    artifact: Option<Json>,
+    series: Option<SeriesSnapshot>,
+    /// Flight-recorder dumps attributed to this figure, parsed.
+    anomalies: Vec<Json>,
+}
+
+fn html_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+}
+
+/// Natural-ish sort key so `fig3` precedes `fig10`.
+fn figure_sort_key(id: &str) -> (String, u64, String) {
+    let digits_at = id.find(|c: char| c.is_ascii_digit());
+    match digits_at {
+        Some(at) => {
+            let (prefix, rest) = id.split_at(at);
+            let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+            let tail = &rest[digits.len()..];
+            (prefix.to_owned(), digits.parse().unwrap_or(0), tail.to_owned())
+        }
+        None => (id.to_owned(), 0, String::new()),
+    }
+}
+
+/// Scans an artifact directory for per-figure inputs.
+fn collect_inputs(obs_dir: &Path) -> io::Result<BTreeMap<String, FigureInputs>> {
+    let mut inputs: BTreeMap<String, FigureInputs> = BTreeMap::new();
+    let parse_file =
+        |path: &Path| -> Option<Json> { json::parse(&std::fs::read_to_string(path).ok()?).ok() };
+    for entry in std::fs::read_dir(obs_dir)? {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+        if let Some(id) = name.strip_suffix(".series.json") {
+            if let Some(snap) = parse_file(&path).and_then(|d| SeriesSnapshot::from_json(&d)) {
+                inputs.entry(id.to_owned()).or_default().series = Some(snap);
+            }
+        } else if let Some(id) = name.strip_suffix(".json") {
+            if id == "summary" || id.ends_with(".trace") || id.starts_with("BENCH_") {
+                continue;
+            }
+            if let Some(doc) = parse_file(&path) {
+                inputs.entry(id.to_owned()).or_default().artifact = Some(doc);
+            }
+        }
+    }
+    let flight_dir = obs_dir.join(FLIGHTREC_SUBDIR);
+    if flight_dir.is_dir() {
+        let mut dumps: Vec<PathBuf> =
+            std::fs::read_dir(&flight_dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        dumps.sort();
+        for path in dumps {
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+            // Dumps are named `<figure>_<update…>.json`; attribute by the
+            // longest figure id that prefixes the stem.
+            let Some(stem) = name.strip_suffix(".json") else { continue };
+            let owner = inputs
+                .keys()
+                .filter(|id| stem.starts_with(&format!("{id}_")))
+                .max_by_key(|id| id.len())
+                .cloned();
+            if let (Some(id), Some(doc)) = (owner, parse_file(&path)) {
+                inputs.get_mut(&id).expect("owner came from the map").anomalies.push(doc);
+            }
+        }
+    }
+    Ok(inputs)
+}
+
+const CSS: &str = "body{font:14px/1.45 system-ui,sans-serif;margin:2rem auto;max-width:60rem;\
+color:#222;padding:0 1rem}h1,h2{font-weight:600}h2{margin-top:2rem;border-bottom:1px solid #ddd;\
+padding-bottom:.2rem}table{border-collapse:collapse;margin:.5rem 0}td,th{border:1px solid #ddd;\
+padding:.25rem .6rem;text-align:right}th{background:#f6f6f6}td:first-child,th:first-child\
+{text-align:left}svg{display:block;margin:.6rem 0;background:#fcfcfc;border:1px solid #eee}\
+.meta{color:#666}.warn{color:#a40}a{color:#06c}";
+
+const SERIES_COLORS: [&str; 4] = ["#0b62a4", "#c0392b", "#1e8449", "#8e44ad"];
+
+/// One series as an inline SVG line chart. Samples restart their sim-time
+/// clock at segment boundaries (serial multi-simulation figures), so the
+/// polyline splits — and changes colour — wherever the timestamp rewinds.
+fn svg_series(entry: &SeriesEntry) -> String {
+    const W: f64 = 640.0;
+    const H: f64 = 130.0;
+    const L: f64 = 64.0; // left gutter for value labels
+    const B: f64 = 18.0; // bottom gutter for the time axis
+    let pts = &entry.points;
+    if pts.is_empty() {
+        return String::new();
+    }
+    let t_max = pts.iter().map(|p| p.t_us).max().unwrap_or(1).max(1) as f64;
+    let (mut v_min, mut v_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for p in pts {
+        v_min = v_min.min(p.value);
+        v_max = v_max.max(p.value);
+    }
+    if v_max - v_min < 1e-12 {
+        v_max = v_min + 1.0;
+    }
+    let x = |t_us: u64| L + (t_us as f64 / t_max) * (W - L - 4.0);
+    let y = |v: f64| (H - B) - ((v - v_min) / (v_max - v_min)) * (H - B - 6.0);
+    let mut segments: Vec<Vec<String>> = vec![Vec::new()];
+    let mut prev_t = 0u64;
+    for p in pts {
+        if p.t_us <= prev_t && !segments.last().unwrap().is_empty() {
+            segments.push(Vec::new());
+        }
+        segments.last_mut().unwrap().push(format!("{:.1},{:.1}", x(p.t_us), y(p.value)));
+        prev_t = p.t_us;
+    }
+    let mut svg = format!(
+        "<svg viewBox=\"0 0 {W} {H}\" width=\"{W}\" height=\"{H}\" role=\"img\" \
+         aria-label=\"{}\">",
+        html_escape(&entry.name)
+    );
+    let _ = write!(
+        svg,
+        "<text x=\"4\" y=\"12\" font-size=\"11\" fill=\"#666\">{:.3}</text>\
+         <text x=\"4\" y=\"{:.0}\" font-size=\"11\" fill=\"#666\">{:.3}</text>\
+         <text x=\"{:.0}\" y=\"{:.0}\" font-size=\"11\" fill=\"#666\" text-anchor=\"end\">\
+         {:.0} s</text>",
+        v_max,
+        H - B,
+        v_min,
+        W - 6.0,
+        H - 4.0,
+        t_max / 1e6,
+    );
+    for (i, seg) in segments.iter().enumerate() {
+        let color = SERIES_COLORS[i % SERIES_COLORS.len()];
+        let _ = write!(
+            svg,
+            "<polyline fill=\"none\" stroke=\"{color}\" stroke-width=\"1.2\" points=\"{}\"/>",
+            seg.join(" ")
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+/// Horizontal bar rows as inline SVG: one `(label, value)` per bar.
+fn svg_bars(rows: &[(String, f64)], unit: &str) -> String {
+    const W: f64 = 640.0;
+    const ROW: f64 = 20.0;
+    const L: f64 = 230.0;
+    if rows.is_empty() {
+        return String::new();
+    }
+    let max = rows.iter().map(|(_, v)| *v).fold(0.0_f64, f64::max).max(1e-12);
+    let h = ROW * rows.len() as f64 + 6.0;
+    let mut svg = format!("<svg viewBox=\"0 0 {W} {h}\" width=\"{W}\" height=\"{h}\">");
+    for (i, (label, value)) in rows.iter().enumerate() {
+        let y0 = 4.0 + ROW * i as f64;
+        let bw = (value / max) * (W - L - 90.0);
+        let _ = write!(
+            svg,
+            "<text x=\"{:.0}\" y=\"{:.1}\" font-size=\"11\" text-anchor=\"end\">{}</text>\
+             <rect x=\"{L}\" y=\"{:.1}\" width=\"{:.1}\" height=\"{:.1}\" fill=\"#0b62a4\"/>\
+             <text x=\"{:.1}\" y=\"{:.1}\" font-size=\"11\" fill=\"#444\">{:.3}{}</text>",
+            L - 8.0,
+            y0 + ROW - 7.0,
+            html_escape(label),
+            y0,
+            bw.max(0.5),
+            ROW - 6.0,
+            L + bw.max(0.5) + 6.0,
+            y0 + ROW - 7.0,
+            value,
+            unit,
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+/// The adoption-lag histograms of an artifact as `(label, rows)` charts:
+/// one chart per `sim_adopt_lag_s_*` histogram with samples, one bar per
+/// occupied log-scale bucket.
+fn adopt_lag_charts(artifact: &Json) -> Vec<(String, String)> {
+    let Some(Json::Obj(hists)) = artifact.get("metrics").and_then(|m| m.get("histograms")) else {
+        return Vec::new();
+    };
+    let mut charts = Vec::new();
+    for (name, h) in hists {
+        let Some(method) = name.strip_prefix("sim_adopt_lag_s_") else { continue };
+        let Some(Json::Arr(buckets)) = h.get("buckets") else { continue };
+        let rows: Vec<(String, f64)> = buckets
+            .iter()
+            .filter_map(|pair| {
+                let Json::Arr(iv) = pair else { return None };
+                let i = iv.first().and_then(Json::as_f64)? as usize;
+                let count = iv.get(1).and_then(Json::as_f64)?;
+                Some((format!("≥ {:.3e} s", bucket_floor(i)), count))
+            })
+            .collect();
+        if rows.is_empty() {
+            continue;
+        }
+        let p99 = h.get("p99").and_then(Json::as_f64).unwrap_or(0.0);
+        let count = h.get("count").and_then(Json::as_f64).unwrap_or(0.0);
+        let title = format!("{method} — {count:.0} adoptions, p99 {p99:.2} s");
+        charts.push((title, svg_bars(&rows, "")));
+    }
+    charts
+}
+
+/// Phase-timing bars from an artifact's `phases` array.
+fn phase_chart(artifact: &Json) -> String {
+    let Some(Json::Arr(phases)) = artifact.get("phases") else { return String::new() };
+    let rows: Vec<(String, f64)> = phases
+        .iter()
+        .filter_map(|p| {
+            let name = p.get("phase").and_then(Json::as_str)?;
+            let total = p.get("total_s").and_then(Json::as_f64)?;
+            Some((name.to_owned(), total))
+        })
+        .collect();
+    svg_bars(&rows, " s")
+}
+
+fn keyval_table(artifact: &Json) -> String {
+    let Some(Json::Obj(keyvals)) = artifact.get("summary").and_then(|s| s.get("keyvals")) else {
+        return String::new();
+    };
+    let mut out = String::from("<table><tr><th>metric</th><th>value</th></tr>");
+    for (name, value) in keyvals {
+        let _ = write!(
+            out,
+            "<tr><td>{}</td><td>{}</td></tr>",
+            html_escape(name),
+            html_escape(&value.to_compact())
+        );
+    }
+    out.push_str("</table>");
+    out
+}
+
+fn anomaly_list(anomalies: &[Json]) -> String {
+    let mut out = String::from("<ul>");
+    for a in anomalies {
+        let update = a.get("update").and_then(Json::as_f64).unwrap_or(-1.0);
+        let scope = a.get("scope").and_then(Json::as_str).unwrap_or("?");
+        let lag = a.get("max_adopt_lag_s").and_then(Json::as_f64).unwrap_or(0.0);
+        let kinds: Vec<String> = match a.get("anomalies") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .filter_map(|i| i.get("kind").and_then(Json::as_str).map(str::to_owned))
+                .collect(),
+            _ => Vec::new(),
+        };
+        let _ = write!(
+            out,
+            "<li class=\"warn\">update {update:.0} ({}) — max adoption lag {lag:.2} s \
+             [{}]</li>",
+            html_escape(scope),
+            html_escape(&kinds.join(", "))
+        );
+    }
+    out.push_str("</ul>");
+    out
+}
+
+fn page(title: &str, body: &str) -> String {
+    format!(
+        "<!doctype html><html><head><meta charset=\"utf-8\">\
+         <title>{}</title><style>{CSS}</style></head><body>{body}</body></html>",
+        html_escape(title)
+    )
+}
+
+/// Renders one figure's page body.
+fn figure_page(id: &str, inputs: &FigureInputs) -> String {
+    let mut body = String::new();
+    let title = inputs
+        .artifact
+        .as_ref()
+        .and_then(|a| a.get("summary"))
+        .and_then(|s| s.get("title"))
+        .and_then(Json::as_str)
+        .unwrap_or("");
+    let _ = write!(body, "<h1>{} <small>{}</small></h1>", html_escape(id), html_escape(title));
+    if let Some(artifact) = &inputs.artifact {
+        let meta = |k: &str| artifact.get(k).map(|v| v.to_compact()).unwrap_or_default();
+        let _ = write!(
+            body,
+            "<p class=\"meta\">seed {} · config {} · scale {}</p>",
+            html_escape(&meta("seed")),
+            html_escape(&meta("config_digest")),
+            html_escape(
+                &artifact
+                    .get("summary")
+                    .and_then(|s| s.get("scale"))
+                    .map(|v| v.to_compact())
+                    .unwrap_or_default()
+            ),
+        );
+        body.push_str("<h2>Headline numbers</h2>");
+        body.push_str(&keyval_table(artifact));
+    }
+    if let Some(series) = &inputs.series {
+        let _ = write!(
+            body,
+            "<h2>Time series</h2><p class=\"meta\">{} samples, cadence {:.3} s (simulated \
+             time; colour changes mark simulation segments)</p>",
+            series.total_points,
+            series.cadence_us as f64 / 1e6
+        );
+        for entry in &series.series {
+            if entry.points.is_empty() {
+                continue;
+            }
+            let _ = write!(
+                body,
+                "<h3>{} <small class=\"meta\">({})</small></h3>{}",
+                html_escape(&entry.name),
+                entry.kind.name(),
+                svg_series(entry)
+            );
+        }
+    }
+    if let Some(artifact) = &inputs.artifact {
+        let charts = adopt_lag_charts(artifact);
+        if !charts.is_empty() {
+            body.push_str("<h2>Adoption-lag histograms</h2>");
+            for (title, chart) in charts {
+                let _ = write!(body, "<h3>{}</h3>{chart}", html_escape(&title));
+            }
+        }
+        let phases = phase_chart(artifact);
+        if !phases.is_empty() {
+            body.push_str("<h2>Phase timings</h2>");
+            body.push_str(&phases);
+        }
+    }
+    body.push_str("<h2>Flight recorder</h2>");
+    if inputs.anomalies.is_empty() {
+        body.push_str("<p class=\"meta\">no anomalous updates recorded</p>");
+    } else {
+        body.push_str(&anomaly_list(&inputs.anomalies));
+    }
+    body.push_str("<p><a href=\"index.html\">← all figures</a></p>");
+    body
+}
+
+/// Renders the consolidated index page body.
+fn index_page(obs_dir: &Path, ids: &[String], inputs: &BTreeMap<String, FigureInputs>) -> String {
+    let mut body = String::from("<h1>Run report</h1>");
+    let _ = write!(
+        body,
+        "<p class=\"meta\">generated from <code>{}</code></p>",
+        html_escape(&obs_dir.display().to_string())
+    );
+    if let Ok(text) = std::fs::read_to_string(obs_dir.join("summary.json")) {
+        if let Ok(summary) = json::parse(&text) {
+            let f = |k: &str| summary.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+            let _ = write!(
+                body,
+                "<p>consolidated run: {:.1} s wall, {:.0} simulator events</p>",
+                f("total_wall_s"),
+                f("total_events")
+            );
+        }
+    }
+    body.push_str(
+        "<table><tr><th>figure</th><th>title</th><th>series</th><th>samples</th>\
+         <th>anomalies</th></tr>",
+    );
+    for id in ids {
+        let figure = &inputs[id];
+        let title = figure
+            .artifact
+            .as_ref()
+            .and_then(|a| a.get("summary"))
+            .and_then(|s| s.get("title"))
+            .and_then(Json::as_str)
+            .unwrap_or("");
+        let (n_series, n_samples) =
+            figure.series.as_ref().map_or((0, 0), |s| (s.series.len(), s.total_points as usize));
+        let _ = write!(
+            body,
+            "<tr><td><a href=\"{id}.html\">{id}</a></td><td>{}</td><td>{n_series}</td>\
+             <td>{n_samples}</td><td>{}</td></tr>",
+            html_escape(title),
+            figure.anomalies.len()
+        );
+    }
+    body.push_str("</table>");
+    body
+}
+
+/// Generates the report: `<out_dir>/<figure>.html` for every figure that
+/// left artifacts under `obs_dir`, plus `<out_dir>/index.html`. Returns the
+/// written paths, index first. Errors when `obs_dir` holds nothing to
+/// report on.
+pub fn generate_report(obs_dir: &Path, out_dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let inputs = collect_inputs(obs_dir)?;
+    if inputs.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("no run artifacts under {} — run a figure with --obs first", obs_dir.display()),
+        ));
+    }
+    std::fs::create_dir_all(out_dir)?;
+    let mut ids: Vec<String> = inputs.keys().cloned().collect();
+    ids.sort_by_key(|id| figure_sort_key(id));
+    let mut written = Vec::new();
+    let index = out_dir.join("index.html");
+    std::fs::write(
+        &index,
+        page("CDN consistency — run report", &index_page(obs_dir, &ids, &inputs)),
+    )?;
+    written.push(index);
+    for id in &ids {
+        let path = out_dir.join(format!("{id}.html"));
+        std::fs::write(&path, page(id, &figure_page(id, &inputs[id])))?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdnc_obs::{SeriesKind, SeriesPoint};
+
+    fn entry(points: Vec<SeriesPoint>) -> SeriesEntry {
+        SeriesEntry { name: "sched_queue_depth".to_owned(), kind: SeriesKind::Gauge, points }
+    }
+
+    #[test]
+    fn series_chart_splits_segments_on_time_rewind() {
+        let svg = svg_series(&entry(vec![
+            SeriesPoint { t_us: 1, value: 1.0 },
+            SeriesPoint { t_us: 2, value: 2.0 },
+            SeriesPoint { t_us: 1, value: 3.0 }, // clock rewound: new segment
+            SeriesPoint { t_us: 2, value: 4.0 },
+        ]));
+        assert_eq!(svg.matches("<polyline").count(), 2, "rewind must split the polyline");
+        assert!(svg.contains(SERIES_COLORS[0]) && svg.contains(SERIES_COLORS[1]));
+    }
+
+    #[test]
+    fn escaping_covers_markup_characters() {
+        assert_eq!(html_escape("a<b>&\"c\""), "a&lt;b&gt;&amp;&quot;c&quot;");
+    }
+
+    #[test]
+    fn figures_sort_numerically() {
+        let mut ids = vec!["fig10".to_owned(), "fig3".to_owned(), "ext_policy".to_owned()];
+        ids.sort_by_key(|id| figure_sort_key(id));
+        assert_eq!(ids, ["ext_policy", "fig3", "fig10"]);
+    }
+
+    #[test]
+    fn report_generates_from_artifacts_on_disk() {
+        let base = std::env::temp_dir().join(format!("cdnc-report-{}", std::process::id()));
+        let obs = base.join("obs");
+        let out = base.join("report");
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(obs.join(FLIGHTREC_SUBDIR)).unwrap();
+        let artifact = Json::obj()
+            .field("run_id", "fig20")
+            .field("seed", 7u64)
+            .field("config_digest", "abc")
+            .field(
+                "summary",
+                Json::obj()
+                    .field("title", "Fig 20 <demo>")
+                    .field("scale", "Smoke")
+                    .field("keyvals", Json::obj().field("mean_lag_s", 1.5)),
+            )
+            .field(
+                "metrics",
+                Json::obj().field(
+                    "histograms",
+                    Json::obj().field(
+                        "sim_adopt_lag_s_push",
+                        Json::obj().field("count", 4u64).field("p99", 2.0).field(
+                            "buckets",
+                            Json::Arr(vec![Json::Arr(vec![Json::from(30u64), Json::from(4u64)])]),
+                        ),
+                    ),
+                ),
+            )
+            .field(
+                "phases",
+                Json::Arr(vec![Json::obj()
+                    .field("phase", "fig20")
+                    .field("count", 1u64)
+                    .field("total_s", 0.5)]),
+            );
+        std::fs::write(obs.join("fig20.json"), artifact.to_pretty()).unwrap();
+        let series = Json::obj().field("cadence_us", 1000u64).field("total_points", 2u64).field(
+            "series",
+            Json::Arr(vec![Json::obj()
+                .field("name", "sched_queue_depth")
+                .field("kind", "gauge")
+                .field(
+                    "points",
+                    Json::Arr(vec![
+                        Json::Arr(vec![Json::from(1000u64), Json::from(2.0)]),
+                        Json::Arr(vec![Json::from(2000u64), Json::from(1.0)]),
+                    ]),
+                )]),
+        );
+        std::fs::write(obs.join("fig20.series.json"), series.to_pretty()).unwrap();
+        let dump = Json::obj()
+            .field("update", 3u64)
+            .field("scope", "push")
+            .field("max_adopt_lag_s", 99.0)
+            .field("anomalies", Json::Arr(vec![Json::obj().field("kind", "slow_adoption")]));
+        std::fs::write(obs.join(FLIGHTREC_SUBDIR).join("fig20_u3.json"), dump.to_pretty()).unwrap();
+
+        let written = generate_report(&obs, &out).unwrap();
+        assert_eq!(written.len(), 2, "index + one figure page");
+        let index = std::fs::read_to_string(&written[0]).unwrap();
+        assert!(index.contains("fig20.html"));
+        let fig = std::fs::read_to_string(&written[1]).unwrap();
+        assert!(fig.contains("Fig 20 &lt;demo&gt;"), "titles are escaped");
+        assert!(fig.contains("<polyline"), "series chart rendered");
+        assert!(fig.contains("sim_adopt_lag_s_push") || fig.contains("push — 4 adoptions"));
+        assert!(fig.contains("slow_adoption"), "anomaly listed");
+        assert!(!fig.contains("<script"), "report stays script-free");
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn empty_obs_dir_is_an_error() {
+        let base = std::env::temp_dir().join(format!("cdnc-report-empty-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+        assert!(generate_report(&base, &base.join("out")).is_err());
+        let _ = std::fs::remove_dir_all(&base);
+    }
+}

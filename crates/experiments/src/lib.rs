@@ -12,11 +12,14 @@
 //! cargo run -p cdnc-experiments --release -- all  --scale smoke
 //! ```
 
+pub mod bench;
 pub mod ctx;
 pub mod eval_figs;
 pub mod ext_figs;
 pub mod hat_figs;
+pub mod html_report;
 pub mod obs_out;
+pub mod perf;
 pub mod report;
 pub mod scale;
 pub mod trace_figs;

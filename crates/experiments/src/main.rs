@@ -6,9 +6,13 @@
 //!                                      [--jobs <n>] [--seeds <k>]
 //!                                      [--obs] [--obs-log <level>] [--obs-dir <dir>]
 //!                                      [--trace] [--trace-dir <dir>] [--trace-threshold <s>]
+//!                                      [--series] [--series-cadence <s>]
 //! experiments crawl <out.bin>          [--scale …] [--jobs <n>]   # save a crawl trace
 //! experiments verdict <trace.bin>                    # §3.6 verdict on a saved trace
 //! experiments obs-diff <dirA> <dirB>                 # compare runs, wall-clock ignored
+//! experiments report [--obs-dir <d>] [--out <d>]     # render artifacts as static HTML
+//! experiments bench [--out <f>] [--label <name>]     # run the perf workload
+//! experiments bench-diff <base> <cand> [--threshold <f>]  # fail on regressions
 //! experiments trace summary <t.json>                 # store-wide tracing statistics
 //! experiments trace critical-path <t.json>           # per-method critical paths
 //! experiments trace inspect <update-id> <t.json>     # one update's propagation tree
@@ -32,11 +36,23 @@
 //! in ui.perfetto.dev or chrome://tracing), anomalous updates are dumped in
 //! full under `<trace-dir>/flightrec/`, and a per-method critical-path table
 //! prints after the run. The `trace` subcommand re-reads those files.
+//!
+//! With `--series`, a sim-time sampler (cadence `--series-cadence`, default
+//! 0.25 s sim time) additionally records queue depth, in-flight traffic,
+//! staleness, and mode-occupancy trajectories into
+//! `<obs-dir>/<figure>.series.json`. `report` renders every artifact under
+//! an obs dir into a self-contained static HTML report; `bench` runs a
+//! fixed fully-instrumented workload into a `BENCH_<label>.json`, and
+//! `bench-diff` exits non-zero when a stage's wall time regresses past the
+//! threshold (default +30%).
 
+use cdnc_experiments::bench::{bench_diff, bench_table, run_bench, DEFAULT_BENCH_THRESHOLD};
+use cdnc_experiments::html_report::generate_report;
 use cdnc_experiments::obs_out::{
-    diff_artifact_dirs, summary_entry, timing_table, write_figure_artifact, write_summary,
-    ObsSettings,
+    diff_artifact_dirs, summary_entry, timing_table, write_figure_artifact, write_figure_series,
+    write_summary, ObsSettings,
 };
+use cdnc_experiments::perf::CountingAlloc;
 use cdnc_experiments::report::aggregate_replicates;
 use cdnc_experiments::trace_out::{
     critical_path_table, inspect_text, load_store, summary_text, write_figure_trace,
@@ -51,15 +67,28 @@ use cdnc_par::Pool;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+/// Counting allocator behind the total-allocation estimate reported in
+/// `summary.json` and `BENCH_*.json` (one relaxed atomic add per
+/// allocation; see `perf`).
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
 fn usage() -> ExitCode {
     eprintln!("usage: experiments <figure-id | all | list> [--scale smoke|default|paper]");
     eprintln!("                   [--jobs <n>] [--seeds <k>]");
     eprintln!("                   [--obs] [--obs-log debug|info|warn] [--obs-dir <dir>]");
     eprintln!("                   [--trace] [--trace-dir <dir>] [--trace-threshold <seconds>]");
+    eprintln!("                   [--series] [--series-cadence <seconds>]");
     eprintln!("       experiments crawl <out.bin> [--scale …]   write a crawl trace to disk");
     eprintln!("       experiments verdict <trace.bin>           analyse a saved trace (§3.6)");
     eprintln!("       experiments obs-diff <dirA> <dirB>        compare two artifact dirs,");
     eprintln!("                                                 ignoring wall-clock fields");
+    eprintln!("       experiments report [--obs-dir <dir>] [--out <dir>]");
+    eprintln!("                                                 render artifacts as static HTML");
+    eprintln!("       experiments bench [--out <file>] [--label <name>] [--scale …] [--jobs <n>]");
+    eprintln!("                                                 run the performance workload");
+    eprintln!("       experiments bench-diff <baseline.json> <candidate.json> [--threshold <f>]");
+    eprintln!("                                                 fail on wall-time regressions");
     eprintln!("       experiments trace summary <t.json>        tracing statistics for a run");
     eprintln!("       experiments trace critical-path <t.json>  per-method critical paths");
     eprintln!("       experiments trace inspect <update> <t.json>  one update's full tree");
@@ -93,12 +122,16 @@ fn emit_trace(obs: &ObsSettings, id: &str, reg: &cdnc_obs::Registry) {
 }
 
 fn main() -> ExitCode {
+    CountingAlloc::mark_installed();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut positional: Vec<String> = Vec::new();
     let mut scale = Scale::Default;
     let mut jobs = 1usize;
     let mut seeds = 1u64;
     let mut obs = ObsSettings::off();
+    let mut out: Option<PathBuf> = None;
+    let mut label: Option<String> = None;
+    let mut threshold = DEFAULT_BENCH_THRESHOLD;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -172,11 +205,50 @@ fn main() -> ExitCode {
                 obs.trace_threshold_s = secs;
                 i += 2;
             }
+            "--series" => {
+                obs.series = true;
+                i += 1;
+            }
+            "--series-cadence" => {
+                let Some(value) = args.get(i + 1) else { return usage() };
+                let Ok(secs) = value.parse::<f64>() else {
+                    eprintln!("--series-cadence needs seconds of simulated time, got: {value}");
+                    return usage();
+                };
+                if !secs.is_finite() || secs <= 0.0 {
+                    eprintln!("--series-cadence must be positive, got: {value}");
+                    return usage();
+                }
+                obs.series = true;
+                obs.series_cadence_us = (secs * 1e6) as u64;
+                i += 2;
+            }
+            "--out" => {
+                let Some(value) = args.get(i + 1) else { return usage() };
+                out = Some(PathBuf::from(value));
+                i += 2;
+            }
+            "--label" => {
+                let Some(value) = args.get(i + 1) else { return usage() };
+                label = Some(value.clone());
+                i += 2;
+            }
+            "--threshold" => {
+                let Some(value) = args.get(i + 1) else { return usage() };
+                let Ok(f) = value.parse::<f64>() else {
+                    eprintln!("--threshold needs a fraction (0.3 = 30% slower tolerated)");
+                    return usage();
+                };
+                threshold = f;
+                i += 2;
+            }
             other
                 if positional.len() < 2
                     || (positional.first().is_some_and(|p| p == "trace")
                         && positional.len() < 4)
                     || (positional.first().is_some_and(|p| p == "obs-diff")
+                        && positional.len() < 3)
+                    || (positional.first().is_some_and(|p| p == "bench-diff")
                         && positional.len() < 3) =>
             {
                 positional.push(other.to_owned());
@@ -235,6 +307,11 @@ fn main() -> ExitCode {
                         write_figure_artifact(&obs.dir, id, scale, &report, wall_s, &reg)
                     {
                         eprintln!("cannot write artifact for {id}: {e}");
+                    }
+                }
+                if obs.series {
+                    if let Err(e) = write_figure_series(&obs.dir, id, &reg) {
+                        eprintln!("cannot write series for {id}: {e}");
                     }
                 }
                 if obs.trace {
@@ -332,6 +409,80 @@ fn main() -> ExitCode {
                 }
             }
         }
+        "report" => {
+            let out_dir = out.unwrap_or_else(|| obs.dir.join("report"));
+            match generate_report(&obs.dir, &out_dir) {
+                Ok(written) => {
+                    println!("report: {} page(s) under {}", written.len(), out_dir.display());
+                    println!("index: {}", written[0].display());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("cannot generate report: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "bench" => {
+            let label = label.unwrap_or_else(|| "local".to_owned());
+            println!("running bench workload at {scale:?} scale ({} worker(s))…", ctx.pool.jobs());
+            let doc = run_bench(ctx, &label);
+            print!("{}", bench_table(&doc));
+            let path = out.unwrap_or_else(|| PathBuf::from(format!("BENCH_{label}.json")));
+            if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    eprintln!("cannot create {}: {e}", parent.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+            match std::fs::write(&path, doc.to_pretty()) {
+                Ok(()) => {
+                    println!("bench results: {}", path.display());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "bench-diff" => {
+            let (Some(base_path), Some(cand_path)) = (positional.get(1), positional.get(2)) else {
+                eprintln!("bench-diff needs <baseline.json> <candidate.json>");
+                return usage();
+            };
+            let load = |p: &str| -> Result<cdnc_obs::Json, String> {
+                let text =
+                    std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?;
+                cdnc_obs::parse(&text).map_err(|e| format!("cannot parse {p}: {e}"))
+            };
+            match (load(base_path), load(cand_path)) {
+                (Ok(base), Ok(cand)) => {
+                    let regressions = bench_diff(&base, &cand, threshold);
+                    if regressions.is_empty() {
+                        println!(
+                            "bench holds: {cand_path} within +{:.0}% of {base_path}",
+                            threshold * 100.0
+                        );
+                        ExitCode::SUCCESS
+                    } else {
+                        for regression in &regressions {
+                            eprintln!("{regression}");
+                        }
+                        eprintln!(
+                            "{} regression(s) beyond +{:.0}% vs {base_path}",
+                            regressions.len(),
+                            threshold * 100.0
+                        );
+                        ExitCode::FAILURE
+                    }
+                }
+                (Err(e), _) | (_, Err(e)) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         "trace" => {
             let Some(action) = positional.get(1) else {
                 eprintln!("trace needs an action: summary | critical-path | inspect");
@@ -414,6 +565,13 @@ fn main() -> ExitCode {
                         }
                         if let Some(table) = timing_table(&reg) {
                             println!("--- phase timings ---\n{table}");
+                        }
+                    }
+                    if obs.series {
+                        match write_figure_series(&obs.dir, id, &reg) {
+                            Ok(Some(path)) => println!("series: {}", path.display()),
+                            Ok(None) => {}
+                            Err(e) => eprintln!("cannot write series for {id}: {e}"),
                         }
                     }
                     if obs.trace {

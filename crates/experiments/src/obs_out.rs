@@ -16,7 +16,8 @@ pub const DEFAULT_OBS_DIR: &str = "results/obs";
 /// seconds retains the update's full trace.
 pub const DEFAULT_TRACE_THRESHOLD_S: f64 = 60.0;
 
-/// `--obs` / `--obs-log` / `--trace` settings parsed from the command line.
+/// `--obs` / `--obs-log` / `--trace` / `--series` settings parsed from the
+/// command line.
 #[derive(Debug, Clone)]
 pub struct ObsSettings {
     /// `--obs`: collect metrics and write per-figure artifacts.
@@ -34,6 +35,11 @@ pub struct ObsSettings {
     pub trace_dir: Option<PathBuf>,
     /// `--trace-threshold <s>`: flight-recorder adoption-lag threshold.
     pub trace_threshold_s: f64,
+    /// `--series`: sample registered gauges/counters on a sim-time cadence
+    /// and write per-figure `<figure>.series.json` next to the artifacts.
+    pub series: bool,
+    /// `--series-cadence <s>`: sampling cadence in simulated time.
+    pub series_cadence_us: u64,
 }
 
 impl ObsSettings {
@@ -46,6 +52,8 @@ impl ObsSettings {
             trace: false,
             trace_dir: None,
             trace_threshold_s: DEFAULT_TRACE_THRESHOLD_S,
+            series: false,
+            series_cadence_us: cdnc_obs::DEFAULT_CADENCE_US,
         }
     }
 
@@ -54,10 +62,11 @@ impl ObsSettings {
         self.trace_dir.clone().unwrap_or_else(|| self.dir.clone())
     }
 
-    /// A fresh registry per these settings: enabled (with the event log
-    /// and/or tracer armed when requested) or the inert disabled registry.
+    /// A fresh registry per these settings: enabled (with the event log,
+    /// tracer, and/or series sampler armed when requested) or the inert
+    /// disabled registry.
     pub fn registry(&self) -> Registry {
-        if !self.enabled && !self.trace {
+        if !self.enabled && !self.trace && !self.series {
             return Registry::disabled();
         }
         let reg = Registry::enabled();
@@ -67,8 +76,24 @@ impl ObsSettings {
         if self.trace {
             reg.enable_tracing();
         }
+        if self.series {
+            reg.enable_series(self.series_cadence_us);
+        }
         reg
     }
+}
+
+/// Writes `<dir>/<figure-id>.series.json` from one figure's registry:
+/// every sampled series (sim-time timestamps, so deterministic and safe to
+/// diff). Returns `None` when the sampler is not armed.
+pub fn write_figure_series(dir: &Path, id: &str, reg: &Registry) -> io::Result<Option<PathBuf>> {
+    if !reg.sampler().is_enabled() {
+        return Ok(None);
+    }
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{id}.series.json"));
+    std::fs::write(&path, reg.series_snapshot().to_json().to_pretty())?;
+    Ok(Some(path))
 }
 
 /// The figure's headline numbers as the artifact's `summary` object.
@@ -134,9 +159,17 @@ pub fn summary_entry(id: &str, wall_s: f64, jobs: usize, reg: &Registry) -> Json
 }
 
 /// Artifact fields that legitimately differ between bit-identical runs:
-/// wall-clock measurements and everything derived from them. Scrubbed
-/// before artifact comparison.
-pub const VOLATILE_KEYS: [&str; 5] = ["wall_s", "phases", "events_per_s", "total_wall_s", "jobs"];
+/// wall-clock measurements, memory footprints, and everything derived from
+/// them. Scrubbed before artifact comparison.
+pub const VOLATILE_KEYS: [&str; 7] = [
+    "wall_s",
+    "phases",
+    "events_per_s",
+    "total_wall_s",
+    "jobs",
+    "peak_rss_kb",
+    "alloc_mb_estimate",
+];
 
 /// Strips the [`VOLATILE_KEYS`] from an artifact document, recursively.
 /// What remains is the run's deterministic content: seeds, digests,
@@ -155,9 +188,80 @@ pub fn scrub_volatile(doc: &Json) -> Json {
     }
 }
 
+/// Number of leaf fields (scalars) in a JSON document.
+fn leaf_count(doc: &Json) -> usize {
+    match doc {
+        Json::Obj(fields) => fields.iter().map(|(_, v)| leaf_count(v)).sum(),
+        Json::Arr(items) => items.iter().map(leaf_count).sum(),
+        _ => 1,
+    }
+}
+
+/// Number of leaf fields that differ between two documents: recursing into
+/// matching objects/arrays, counting a missing subtree by its size.
+fn count_leaf_diffs(a: &Json, b: &Json) -> usize {
+    match (a, b) {
+        (Json::Obj(fa), Json::Obj(fb)) => {
+            let keys: BTreeSet<&str> = fa.iter().chain(fb).map(|(k, _)| k.as_str()).collect();
+            let find = |fields: &'_ [(String, Json)], key: &str| {
+                fields.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone())
+            };
+            keys.iter()
+                .map(|key| match (find(fa, key), find(fb, key)) {
+                    (Some(x), Some(y)) => count_leaf_diffs(&x, &y),
+                    (Some(x), None) | (None, Some(x)) => leaf_count(&x).max(1),
+                    (None, None) => 0,
+                })
+                .sum()
+        }
+        (Json::Arr(ia), Json::Arr(ib)) => (0..ia.len().max(ib.len()))
+            .map(|i| match (ia.get(i), ib.get(i)) {
+                (Some(x), Some(y)) => count_leaf_diffs(x, y),
+                (Some(x), None) | (None, Some(x)) => leaf_count(x).max(1),
+                (None, None) => 0,
+            })
+            .sum(),
+        _ if a == b => 0,
+        _ => 1,
+    }
+}
+
+/// Per-top-level-key counts of differing leaf fields between two documents
+/// (non-zero entries only, key order). Non-object roots fold under the
+/// pseudo-key `<root>`.
+pub fn diff_field_counts(a: &Json, b: &Json) -> Vec<(String, usize)> {
+    match (a, b) {
+        (Json::Obj(fa), Json::Obj(fb)) => {
+            let keys: BTreeSet<&str> = fa.iter().chain(fb).map(|(k, _)| k.as_str()).collect();
+            let find = |fields: &'_ [(String, Json)], key: &str| {
+                fields.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone())
+            };
+            keys.iter()
+                .filter_map(|key| {
+                    let n = match (find(fa, key), find(fb, key)) {
+                        (Some(x), Some(y)) => count_leaf_diffs(&x, &y),
+                        (Some(x), None) | (None, Some(x)) => leaf_count(&x).max(1),
+                        (None, None) => 0,
+                    };
+                    (n > 0).then(|| ((*key).to_owned(), n))
+                })
+                .collect()
+        }
+        _ => {
+            let n = count_leaf_diffs(a, b);
+            if n > 0 {
+                vec![("<root>".to_owned(), n)]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+}
+
 /// Compares two artifact directories, ignoring wall-clock fields: `.json`
-/// documents are parsed and [`scrub_volatile`]bed before comparison, all
-/// other files (event `.jsonl`, `.trace.json` in simulated time) compared
+/// documents are parsed and [`scrub_volatile`]bed before comparison (a
+/// mismatch reports the per-key count of differing fields), all other
+/// files (event `.jsonl`, `.trace.json` in simulated time) compared
 /// byte-for-byte. Returns one line per difference — empty means the runs
 /// produced identical observable output, the determinism contract `--jobs`
 /// promises.
@@ -180,19 +284,29 @@ pub fn diff_artifact_dirs(a: &Path, b: &Path) -> io::Result<Vec<String>> {
             (false, true) => diffs.push(format!("{name}: only in {}", b.display())),
             _ => {
                 let (body_a, body_b) = (std::fs::read(a.join(name))?, std::fs::read(b.join(name))?);
-                let same = if name.ends_with(".json") && !name.ends_with(".trace.json") {
+                let detail = if name.ends_with(".json") && !name.ends_with(".trace.json") {
                     let parsed = |body: &[u8]| {
                         json::parse(&String::from_utf8_lossy(body)).map(|doc| scrub_volatile(&doc))
                     };
                     match (parsed(&body_a), parsed(&body_b)) {
-                        (Ok(doc_a), Ok(doc_b)) => doc_a == doc_b,
-                        _ => body_a == body_b,
+                        (Ok(doc_a), Ok(doc_b)) => {
+                            let counts = diff_field_counts(&doc_a, &doc_b);
+                            (!counts.is_empty()).then(|| {
+                                let per_key = counts
+                                    .iter()
+                                    .map(|(key, n)| format!("{key}: {n}"))
+                                    .collect::<Vec<_>>()
+                                    .join(", ");
+                                format!("differing fields per key: {per_key}")
+                            })
+                        }
+                        _ => (body_a != body_b).then(|| "unparseable".to_owned()),
                     }
                 } else {
-                    body_a == body_b
+                    (body_a != body_b).then(|| "byte-level".to_owned())
                 };
-                if !same {
-                    diffs.push(format!("{name}: contents differ"));
+                if let Some(detail) = detail {
+                    diffs.push(format!("{name}: contents differ ({detail})"));
                 }
             }
         }
@@ -201,6 +315,10 @@ pub fn diff_artifact_dirs(a: &Path, b: &Path) -> io::Result<Vec<String>> {
 }
 
 /// Writes `<dir>/summary.json` consolidating every figure of an `all` run.
+/// Besides the per-figure rows it records the process's memory footprint:
+/// peak RSS (kernel accounting, Linux only) and the cumulative-allocation
+/// estimate (when the binary installed [`crate::perf::CountingAlloc`]).
+/// Both are volatile — see [`VOLATILE_KEYS`].
 pub fn write_summary(dir: &Path, scale: Scale, entries: Vec<Json>) -> io::Result<PathBuf> {
     std::fs::create_dir_all(dir)?;
     let total_wall: f64 =
@@ -211,6 +329,8 @@ pub fn write_summary(dir: &Path, scale: Scale, entries: Vec<Json>) -> io::Result
         .field("scale", format!("{scale:?}"))
         .field("total_wall_s", total_wall)
         .field("total_events", total_events)
+        .field("peak_rss_kb", crate::perf::peak_rss_kb())
+        .field("alloc_mb_estimate", crate::perf::total_allocated_mb())
         .field("figures", Json::Arr(entries));
     let path = dir.join("summary.json");
     std::fs::write(&path, doc.to_pretty())?;
@@ -295,6 +415,50 @@ mod tests {
         let diffs = diff_artifact_dirs(&da, &db).unwrap();
         assert_eq!(diffs.len(), 2, "{diffs:?}");
         std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn series_flag_arms_sampler_even_without_obs() {
+        let s = ObsSettings { series: true, ..ObsSettings::off() };
+        let reg = s.registry();
+        assert!(reg.is_enabled());
+        assert!(reg.sampler().is_enabled());
+        assert!(!reg.tracer().is_enabled(), "tracing stays off without --trace");
+        assert!(!ObsSettings::off().registry().sampler().is_enabled());
+    }
+
+    #[test]
+    fn series_file_written_only_when_armed() {
+        let dir = std::env::temp_dir().join(format!("cdnc-series-out-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let off = Registry::enabled();
+        assert!(write_figure_series(&dir, "figX", &off).unwrap().is_none());
+        let reg = Registry::enabled();
+        reg.enable_series(1_000);
+        reg.series_gauge("g");
+        reg.sampler().tick(5_000);
+        let path = write_figure_series(&dir, "figX", &reg).unwrap().expect("armed sampler");
+        let body = std::fs::read_to_string(&path).unwrap();
+        let doc = json::parse(&body).unwrap();
+        assert_eq!(doc.get("cadence_us").and_then(Json::as_f64), Some(1_000.0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn diff_counts_fields_per_top_level_key() {
+        let a = Json::obj()
+            .field("seed", 7u64)
+            .field("metrics", Json::obj().field("x", 1u64).field("y", 2u64));
+        let b = Json::obj()
+            .field("seed", 8u64)
+            .field("metrics", Json::obj().field("x", 1u64).field("y", 3u64).field("z", 4u64));
+        let counts = diff_field_counts(&a, &b);
+        assert_eq!(counts, vec![("metrics".to_owned(), 2), ("seed".to_owned(), 1)]);
+        assert!(diff_field_counts(&a, &a).is_empty());
+        // Arrays count element-wise; missing tails count by leaf size.
+        let xa = Json::obj().field("rows", Json::Arr(vec![Json::from(1u64), Json::from(2u64)]));
+        let xb = Json::obj().field("rows", Json::Arr(vec![Json::from(1u64)]));
+        assert_eq!(diff_field_counts(&xa, &xb), vec![("rows".to_owned(), 1)]);
     }
 
     #[test]

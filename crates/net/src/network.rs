@@ -60,6 +60,7 @@ pub struct Network {
     obs_enqueued: cdnc_obs::Counter,
     obs_backlog: cdnc_obs::Gauge,
     obs_queue_delay: cdnc_obs::Histogram,
+    obs_bytes: cdnc_obs::Counter,
     obs_tracer: cdnc_obs::Tracer,
 }
 
@@ -75,6 +76,7 @@ impl Network {
             obs_enqueued: cdnc_obs::Counter::default(),
             obs_backlog: cdnc_obs::Gauge::default(),
             obs_queue_delay: cdnc_obs::Histogram::default(),
+            obs_bytes: cdnc_obs::Counter::default(),
             obs_tracer: cdnc_obs::Tracer::default(),
         }
     }
@@ -83,15 +85,23 @@ impl Network {
     /// `net_uplink_backlog_ms` (gauge whose high-water mark is the deepest
     /// sender backlog any packet queued behind, in milliseconds), and
     /// `net_uplink_queue_delay_s` (histogram of the queueing delay each
-    /// packet faced at its sender's uplink, seconds). Observation-only:
-    /// never read back into delivery times.
+    /// packet faced at its sender's uplink, seconds), and
+    /// `net_uplink_bytes` (counter of bytes offered to uplinks).
+    /// Observation-only: never read back into delivery times.
     /// The causal tracer (if enabled on the registry) rides along too:
     /// [`Network::send_traced`] records each delivery as a hop span.
+    /// If series sampling is enabled, the uplink backlog becomes a sampled
+    /// series and the enqueue/byte counters become per-second rate series
+    /// (packets/s and the uplink traffic rate in bytes/s).
     pub fn set_obs(&mut self, registry: &cdnc_obs::Registry) {
         self.obs_enqueued = registry.counter("net_packets_enqueued");
         self.obs_backlog = registry.gauge("net_uplink_backlog_ms");
         self.obs_queue_delay = registry.histogram("net_uplink_queue_delay_s");
+        self.obs_bytes = registry.counter("net_uplink_bytes");
         self.obs_tracer = registry.tracer();
+        registry.series_gauge("net_uplink_backlog_ms");
+        registry.series_rate("net_packets_enqueued");
+        registry.series_rate("net_uplink_bytes");
     }
 
     /// Creates a network with one node per [`World`] node, in world order.
@@ -164,6 +174,7 @@ impl Network {
         self.traffic.record_with_isp(packet, distance, crosses_isp);
         let queue_delay = self.uplinks[packet.src.index()].queueing_delay(now);
         self.obs_enqueued.inc();
+        self.obs_bytes.add((packet.size_kb * 1024.0) as u64);
         self.obs_queue_delay.record(queue_delay.as_secs_f64());
         self.obs_backlog.set((queue_delay.as_secs_f64() * 1e3) as u64);
         let departed = self.uplinks[packet.src.index()].transmit(now, packet.size_kb);
@@ -291,6 +302,22 @@ mod tests {
         assert!(delays.max > 0.05, "burst backlog {}", delays.max);
         let backlog = snap.gauges.iter().find(|(n, _)| n == "net_uplink_backlog_ms").unwrap().1;
         assert!(backlog.high_water >= 50, "high water {}", backlog.high_water);
+    }
+
+    #[test]
+    fn uplink_bytes_counted_and_series_sources_registered() {
+        let reg = cdnc_obs::Registry::enabled();
+        reg.enable_series(1000);
+        let (mut net, a, b) = two_node_net();
+        net.set_obs(&reg);
+        net.send(SimTime::ZERO, &Packet::update(a, b, 2.0));
+        net.send(SimTime::ZERO, &Packet::poll(b, a));
+        assert_eq!(reg.snapshot().counter("net_uplink_bytes"), 2048 + 1024);
+        reg.sampler().tick(0);
+        let series = reg.series_snapshot();
+        assert!(series.get("net_uplink_bytes", cdnc_obs::SeriesKind::Rate).is_some());
+        assert!(series.get("net_packets_enqueued", cdnc_obs::SeriesKind::Rate).is_some());
+        assert!(series.get("net_uplink_backlog_ms", cdnc_obs::SeriesKind::Gauge).is_some());
     }
 
     #[test]

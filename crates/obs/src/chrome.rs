@@ -269,6 +269,35 @@ mod tests {
     }
 
     #[test]
+    fn empty_store_round_trips_losslessly() {
+        let empty = SpanStore::default();
+        let doc = to_chrome(&empty);
+        // Only the control-plane metadata event is emitted; no spans.
+        let Some(Json::Arr(events)) = doc.get("traceEvents") else { panic!("traceEvents") };
+        assert_eq!(events.len(), 1);
+        let back = parse_chrome(&doc.to_pretty()).expect("empty round-trip");
+        assert_eq!(back, empty);
+        assert!(back.spans.is_empty() && back.traces.is_empty() && back.horizon_us == 0);
+    }
+
+    #[test]
+    fn control_plane_only_store_round_trips_losslessly() {
+        // A store with control spans but no published update: no Publish
+        // span means no trace metadata, which must not break the import.
+        let t = Tracer(Some(Arc::new(TracerCore::default())));
+        t.control(SpanKind::ModeSwitch, 3, 1_000, "to_invalidation");
+        t.control(SpanKind::TreeRepair, 5, 2_000, "reattach");
+        t.tick(9_000);
+        let store = t.store();
+        assert!(store.traces.is_empty() && store.spans.len() == 2);
+        let doc = to_chrome(&store);
+        let back = parse_chrome(&doc.to_pretty()).expect("control-plane round-trip");
+        assert_eq!(back, store);
+        assert!(back.spans.iter().all(|s| !s.trace.is_some()), "all spans stay control-plane");
+        assert_eq!(back.horizon_us, 9_000);
+    }
+
+    #[test]
     fn control_pid_mapping() {
         assert!(is_control_pid(TraceCtx::NONE));
         assert!(!is_control_pid(TraceCtx { trace: TraceId(0), span: SpanId(0) }));

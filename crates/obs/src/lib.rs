@@ -13,6 +13,9 @@
 //!   domain summary into `results/obs/<run>.json`.
 //! - **Event log** ([`Registry::enable_events`]): ring-buffered,
 //!   level-filtered structured events drained to a JSONL file.
+//! - **Time series** ([`Registry::enable_series`]): scheduler-driven
+//!   sim-time sampling of registered gauges/counters (and derived rates)
+//!   into fixed-capacity series with deterministic LTTB downsampling.
 //!
 //! # Zero overhead when off
 //!
@@ -36,6 +39,7 @@ pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod registry;
+pub mod series;
 pub mod span;
 pub mod trace;
 
@@ -49,6 +53,10 @@ pub use metrics::{
     HISTOGRAM_MIN,
 };
 pub use registry::{GaugeSnapshot, MetricsSnapshot, Registry};
+pub use series::{
+    lttb, Sampler, SeriesEntry, SeriesKind, SeriesPoint, SeriesSnapshot, DEFAULT_CADENCE_US,
+    SERIES_CAPACITY,
+};
 pub use span::{detach_spans, DetachedSpans, PhaseTiming, SpanGuard};
 pub use trace::{
     CriticalPath, PathStep, PropagationTree, SpanId, SpanKind, SpanRecord, SpanStore, StoreSummary,

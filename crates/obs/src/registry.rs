@@ -17,6 +17,7 @@
 use crate::events::{EventLog, EventRecord, Level};
 use crate::json::Json;
 use crate::metrics::{Counter, Gauge, GaugeCore, Histogram, HistogramCore, HistogramSnapshot};
+use crate::series::{Sampler, SeriesCore, SeriesKind, SeriesSnapshot, SourceCell};
 use crate::span::{PhaseTiming, SpanGuard, SpanRecorder};
 use crate::trace::{Tracer, TracerCore};
 use parking_lot::Mutex;
@@ -31,6 +32,7 @@ struct Inner {
     spans: Arc<SpanRecorder>,
     events: Mutex<Option<Arc<EventLog>>>,
     tracer: Mutex<Option<Arc<TracerCore>>>,
+    series: Mutex<Option<Arc<SeriesCore>>>,
 }
 
 fn intern<T: Default>(table: &Mutex<Vec<(String, Arc<T>)>>, name: &str) -> Arc<T> {
@@ -133,6 +135,78 @@ impl Registry {
         Tracer(self.0.as_ref().and_then(|inner| inner.tracer.lock().clone()))
     }
 
+    /// Attaches the sim-time series sampler with the given cadence (µs of
+    /// simulated time). Until this is called (and always on a disabled
+    /// registry) [`Registry::sampler`] hands out inert samplers and the
+    /// `series_*` registration methods are no-ops — the same opt-in gate
+    /// the event log and tracer use.
+    pub fn enable_series(&self, cadence_us: u64) {
+        if let Some(inner) = &self.0 {
+            let mut slot = inner.series.lock();
+            if slot.is_none() {
+                *slot = Some(Arc::new(SeriesCore::new(cadence_us)));
+            }
+        }
+    }
+
+    /// The attached sampler (inert when disabled or series not enabled).
+    pub fn sampler(&self) -> Sampler {
+        Sampler(self.0.as_ref().and_then(|inner| inner.series.lock().clone()))
+    }
+
+    /// Registers a series source sampling the gauge `name`'s level on
+    /// every cadence boundary. No-op unless series sampling is enabled.
+    pub fn series_gauge(&self, name: &str) {
+        if let Some((inner, series)) = self.series_core() {
+            series.add_source(
+                name,
+                SeriesKind::Gauge,
+                SourceCell::Gauge(intern(&inner.gauges, name)),
+            );
+        }
+    }
+
+    /// Registers a series source sampling the counter `name`'s cumulative
+    /// value. No-op unless series sampling is enabled.
+    pub fn series_counter(&self, name: &str) {
+        if let Some((inner, series)) = self.series_core() {
+            series.add_source(
+                name,
+                SeriesKind::Counter,
+                SourceCell::Counter(intern(&inner.counters, name)),
+            );
+        }
+    }
+
+    /// Registers a series source deriving a per-second rate from counter
+    /// `name`'s deltas between samples. No-op unless series sampling is
+    /// enabled.
+    pub fn series_rate(&self, name: &str) {
+        if let Some((inner, series)) = self.series_core() {
+            series.add_source(
+                name,
+                SeriesKind::Rate,
+                SourceCell::Counter(intern(&inner.counters, name)),
+            );
+        }
+    }
+
+    /// A point-in-time copy of every recorded series (empty when disabled
+    /// or series not enabled).
+    pub fn series_snapshot(&self) -> SeriesSnapshot {
+        self.0
+            .as_ref()
+            .and_then(|inner| inner.series.lock().clone())
+            .map(|core| core.snapshot())
+            .unwrap_or_default()
+    }
+
+    fn series_core(&self) -> Option<(&Arc<Inner>, Arc<SeriesCore>)> {
+        let inner = self.0.as_ref()?;
+        let series = inner.series.lock().clone()?;
+        Some((inner, series))
+    }
+
     /// Removes and returns buffered events (empty when disabled or no log).
     pub fn drain_events(&self) -> Vec<EventRecord> {
         self.0
@@ -203,6 +277,9 @@ impl Registry {
         if inner.tracer.lock().is_some() {
             shard.enable_tracing();
         }
+        if let Some(series) = inner.series.lock().as_ref() {
+            shard.enable_series(series.cadence_us);
+        }
         shard
     }
 
@@ -267,6 +344,24 @@ impl Registry {
         let shard_tracer = Tracer(other.tracer.lock().clone());
         if shard_tracer.is_enabled() {
             Tracer(inner.tracer.lock().clone()).absorb(&shard_tracer.store());
+        }
+        let shard_series = other.series.lock().clone();
+        if let Some(shard_series) = shard_series {
+            let mine = inner.series.lock().clone();
+            if let Some(mine) = mine {
+                // Shard points replay through the normal push path against
+                // cells interned in *this* registry, so a later absorb or
+                // live sample cannot alias shard storage.
+                for (name, kind, points) in shard_series.export() {
+                    let cell = match kind {
+                        SeriesKind::Gauge => SourceCell::Gauge(intern(&inner.gauges, &name)),
+                        SeriesKind::Counter | SeriesKind::Rate => {
+                            SourceCell::Counter(intern(&inner.counters, &name))
+                        }
+                    };
+                    mine.append(&name, kind, cell, &points);
+                }
+            }
         }
     }
 }

@@ -130,3 +130,43 @@ proptest! {
         prop_assert_eq!(parse(&j.to_pretty()).unwrap(), j);
     }
 }
+
+// --- time-series downsampling ------------------------------------------
+
+use cdnc_obs::{lttb, SeriesPoint};
+
+fn series_points() -> impl Strategy<Value = Vec<SeriesPoint>> {
+    // Strictly increasing timestamps: positive gaps are prefix-summed.
+    proptest::collection::vec((1u64..5_000, -1e6f64..1e6), 1..600).prop_map(|raw| {
+        let mut t = 0u64;
+        raw.into_iter()
+            .map(|(gap, value)| {
+                t += gap;
+                SeriesPoint { t_us: t, value }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// LTTB keeps the endpoints, respects the threshold, and — because it
+    /// selects a subsequence — preserves timestamp monotonicity.
+    #[test]
+    fn lttb_preserves_ends_and_monotonicity(
+        points in series_points(),
+        threshold in 0usize..700,
+    ) {
+        let out = lttb(&points, threshold);
+        prop_assert_eq!(out.len(), threshold.min(points.len()).max(1.min(points.len())));
+        prop_assert_eq!(out[0], points[0], "first point kept");
+        if out.len() >= 2 {
+            prop_assert_eq!(*out.last().unwrap(), *points.last().unwrap(), "last point kept");
+        }
+        prop_assert!(
+            out.windows(2).all(|w| w[0].t_us < w[1].t_us),
+            "timestamps stay strictly increasing"
+        );
+        // Deterministic: a second run picks the identical subsequence.
+        prop_assert_eq!(out, lttb(&points, threshold));
+    }
+}

@@ -6,7 +6,7 @@
 
 use crate::queue::EventQueue;
 use crate::time::{SimDuration, SimTime};
-use cdnc_obs::{Counter, Gauge, Registry, Tracer};
+use cdnc_obs::{Counter, Gauge, Registry, Sampler, Tracer};
 
 /// Drives a simulation: owns the clock and the pending-event queue.
 ///
@@ -43,6 +43,7 @@ pub struct Scheduler<E> {
     obs_processed: Counter,
     obs_depth: Gauge,
     obs_tracer: Tracer,
+    obs_sampler: Sampler,
 }
 
 impl<E> Default for Scheduler<E> {
@@ -62,6 +63,7 @@ impl<E> Scheduler<E> {
             obs_processed: Counter::default(),
             obs_depth: Gauge::default(),
             obs_tracer: Tracer::default(),
+            obs_sampler: Sampler::default(),
         }
     }
 
@@ -71,11 +73,19 @@ impl<E> Scheduler<E> {
     /// are inert — the hot-path cost is one branch per operation.
     /// The causal tracer (if enabled on the registry) also rides along:
     /// [`Scheduler::next`] advances its recorded horizon with the clock.
+    /// If series sampling is enabled, `sched_queue_depth` (gauge) and
+    /// `sched_events_processed` (rate = events/sec) become sampled series
+    /// and the sampler is ticked with the clock; attaching marks a fresh
+    /// sampling segment because this scheduler's clock starts at zero.
     pub fn set_obs(&mut self, registry: &Registry) {
         self.obs_processed = registry.counter("sched_events_processed");
         self.obs_depth = registry.gauge("sched_queue_depth");
         self.obs_depth.set(self.queue.len() as u64);
         self.obs_tracer = registry.tracer();
+        self.obs_sampler = registry.sampler();
+        self.obs_sampler.begin_segment();
+        registry.series_gauge("sched_queue_depth");
+        registry.series_rate("sched_events_processed");
     }
 
     /// Creates a scheduler that silently stops yielding events past `horizon`
@@ -143,6 +153,7 @@ impl<E> Scheduler<E> {
         self.obs_processed.inc();
         self.obs_depth.set(self.queue.len() as u64);
         self.obs_tracer.tick(t.as_micros());
+        self.obs_sampler.tick(t.as_micros());
         Some((t, e))
     }
 }
@@ -222,6 +233,25 @@ mod tests {
         s.schedule_in(SimDuration::from_secs(5), Ev::A);
         while s.next().is_some() {}
         assert_eq!(reg.tracer().store().horizon_us, 5_000_000);
+    }
+
+    #[test]
+    fn sampler_records_queue_depth_and_event_rate_series() {
+        let reg = cdnc_obs::Registry::enabled();
+        reg.enable_series(1_000_000); // sample every simulated second
+        let mut s = Scheduler::new();
+        s.set_obs(&reg);
+        for i in 1..=5 {
+            s.schedule_in(SimDuration::from_secs(i), Ev::A);
+        }
+        while s.next().is_some() {}
+        let snap = reg.series_snapshot();
+        let depth = snap.get("sched_queue_depth", cdnc_obs::SeriesKind::Gauge).unwrap();
+        assert_eq!(depth.points.len(), 5, "one sample per 1 s event");
+        assert_eq!(depth.points[0], cdnc_obs::SeriesPoint { t_us: 1_000_000, value: 4.0 });
+        assert_eq!(depth.points[4].value, 0.0, "queue drains by the last sample");
+        let rate = snap.get("sched_events_processed", cdnc_obs::SeriesKind::Rate).unwrap();
+        assert!(rate.points.iter().skip(1).all(|p| p.value == 1.0), "1 event/s steady state");
     }
 
     #[test]

@@ -3,8 +3,12 @@
 //! bit-identical), and the artifacts it writes are well-formed JSON.
 
 use cdnc_experiments::obs_out::write_figure_artifact;
-use cdnc_experiments::{build_trace, build_trace_with_obs, run_figure, run_figure_with_obs, Scale};
+use cdnc_experiments::{
+    build_trace, build_trace_with_obs, run_figure, run_figure_ctx, run_figure_with_obs, RunCtx,
+    Scale,
+};
 use cdnc_obs::{parse, Json, Level, Registry};
+use cdnc_par::Pool;
 
 /// A fully armed registry: metrics, spans, the event log, and the causal
 /// tracer all live.
@@ -12,6 +16,13 @@ fn armed() -> Registry {
     let reg = Registry::enabled();
     reg.enable_events(Level::Debug, 65_536);
     reg.enable_tracing();
+    reg
+}
+
+/// An armed registry with series sampling on top.
+fn armed_series() -> Registry {
+    let reg = armed();
+    reg.enable_series(cdnc_obs::DEFAULT_CADENCE_US);
     reg
 }
 
@@ -47,6 +58,54 @@ fn tracing_runs_are_deterministic() {
     let (sa, sb) = (first.tracer().store(), second.tracer().store());
     assert!(!sa.spans.is_empty(), "the tracer must have recorded spans");
     assert_eq!(sa, sb, "paired traced runs must agree on every span");
+}
+
+#[test]
+fn series_sampling_is_observation_only() {
+    // Paired runs with the sampler armed and disarmed: bit-identical
+    // results, and the sampled series themselves are reproducible.
+    let plain = run_figure("fig20", Scale::Smoke, None).unwrap();
+    let (first, second) = (armed_series(), armed_series());
+    let a = run_figure_with_obs("fig20", Scale::Smoke, None, &first).unwrap();
+    let b = run_figure_with_obs("fig20", Scale::Smoke, None, &second).unwrap();
+    assert_eq!(plain, a, "series sampling must not change results");
+    assert_eq!(a, b);
+    let (sa, sb) = (first.series_snapshot(), second.series_snapshot());
+    assert!(sa.total_points > 0, "the sampler must actually have recorded the run");
+    assert!(
+        sa.get("sched_queue_depth", cdnc_obs::SeriesKind::Gauge)
+            .is_some_and(|e| !e.points.is_empty()),
+        "queue depth must be sampled"
+    );
+    assert_eq!(
+        sa.to_json().to_compact(),
+        sb.to_json().to_compact(),
+        "paired sampled runs must agree on every series point"
+    );
+}
+
+#[test]
+fn series_identical_across_worker_counts() {
+    // `--jobs n` must not change a single sampled point: shards mirror the
+    // parent's series arming and are absorbed in task order.
+    let serial = armed_series();
+    let base =
+        run_figure_ctx("fig17", RunCtx::with_pool(Scale::Smoke, Pool::new(1)), None, &serial)
+            .unwrap();
+    let reference = serial.series_snapshot().to_json().to_compact();
+    assert!(serial.series_snapshot().total_points > 0);
+    for jobs in [2, 4] {
+        let reg = armed_series();
+        let report =
+            run_figure_ctx("fig17", RunCtx::with_pool(Scale::Smoke, Pool::new(jobs)), None, &reg)
+                .unwrap();
+        assert_eq!(base, report, "--jobs {jobs} must not change results");
+        assert_eq!(
+            reg.series_snapshot().to_json().to_compact(),
+            reference,
+            "--jobs {jobs} must reproduce the serial series sample-for-sample"
+        );
+    }
 }
 
 #[test]
