@@ -44,6 +44,28 @@ diff <(par_filter "$PAR_DIR/serial.txt") <(par_filter "$PAR_DIR/jobs2.txt")
 cargo run -q -p cdnc-experiments --release -- obs-diff "$PAR_DIR/serial" "$PAR_DIR/jobs2"
 rm -rf "$PAR_DIR"
 
+echo "==> chaos smoke: convergence, traced round-trip, serial vs --jobs 4 diff"
+CHAOS_DIR="$(mktemp -d)"
+cargo run -q -p cdnc-experiments --release -- ext_chaos --scale smoke --obs --obs-dir "$CHAOS_DIR/serial" --trace --trace-dir "$CHAOS_DIR/serial" > "$CHAOS_DIR/serial.txt"
+cargo run -q -p cdnc-experiments --release -- ext_chaos --scale smoke --obs --obs-dir "$CHAOS_DIR/jobs4" --trace --trace-dir "$CHAOS_DIR/jobs4" --jobs 4 > "$CHAOS_DIR/jobs4.txt"
+# Every sweep row — calm through storm — must satisfy the convergence
+# invariant (zero present-but-stale replicas at the horizon).
+if grep 'violations=' "$CHAOS_DIR/serial.txt" | grep -qv 'violations= 0'; then
+  echo "ext_chaos: convergence violations detected"; exit 1
+fi
+# The chaos trace (fault drops, retransmits, failovers) survives the
+# Chrome-trace round-trip.
+test -s "$CHAOS_DIR/serial/ext_chaos.trace.json"
+cargo run -q -p cdnc-experiments --release -- trace summary "$CHAOS_DIR/serial/ext_chaos.trace.json"
+# Fault injection, retransmit timers and failovers are bit-identical
+# across worker counts.
+chaos_filter() {
+  grep -vF "$CHAOS_DIR" "$1" | grep -vE 'worker thread\(s\)\]$|^  [A-Za-z0-9_/]+ +[0-9]+ +[0-9.]+s$|^  phase '
+}
+diff <(chaos_filter "$CHAOS_DIR/serial.txt") <(chaos_filter "$CHAOS_DIR/jobs4.txt")
+cargo run -q -p cdnc-experiments --release -- obs-diff "$CHAOS_DIR/serial" "$CHAOS_DIR/jobs4"
+rm -rf "$CHAOS_DIR"
+
 echo "==> series emission + HTML report"
 SERIES_DIR="$(mktemp -d)"
 cargo run -q -p cdnc-experiments --release -- fig17 --scale smoke --obs --series --obs-dir "$SERIES_DIR"

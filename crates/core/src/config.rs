@@ -2,7 +2,7 @@
 //! experimental parameters of paper §4 and §5.
 
 use crate::method::MethodKind;
-use cdnc_net::{AbsenceConfig, NetworkConfig};
+use cdnc_net::{AbsenceConfig, FaultConfig, NetworkConfig};
 use cdnc_simcore::{SimDuration, SimTime};
 use cdnc_trace::UpdateSequence;
 use std::fmt;
@@ -134,6 +134,91 @@ impl FailureConfig {
     }
 }
 
+/// The chaos plan: a deterministic network fault description plus the
+/// protocol knobs that make update delivery survive it.
+///
+/// Attaching a plan (`SimConfig::faults = Some(..)`) switches the
+/// simulator into its survivable-delivery mode even when the fault config
+/// itself is quiet:
+///
+/// * Push and Invalidation control messages are **tracked** — the receiver
+///   acks them, the sender retransmits on timeout with capped exponential
+///   backoff plus deterministic jitter, and gives up (counting an
+///   abandoned delivery) after `max_retransmits` attempts;
+/// * servers whose upstream is another server run a **probe-based failure
+///   detector** (a generalisation of the invalidation-mode heartbeat to
+///   tree parents): a conditional poll every `probe_interval`, with an
+///   unanswered probe older than `probe_timeout` marking the upstream
+///   suspect;
+/// * with `hat_degradation` on, a HAT cluster whose supernode is suspect
+///   **fails over**: the nearest present member is promoted into the
+///   supernode's tree slot and re-registered with its tree parent, the
+///   remaining members rewire to it, and invalidation-mode members fall
+///   back to TTL polling until Algorithm 1 switches them back;
+/// * all faults are fenced `settle` before the horizon, after which a
+///   **convergence invariant** is checked: every present replica must
+///   equal the provider's head version (violations are counted, and
+///   dumped to the flight recorder when tracing).
+///
+/// With `faults: None` (the default) none of this machinery exists and
+/// the simulation is bit-identical to the pre-fault-plane behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// What the network injects (loss, duplication, reordering, latency
+    /// spikes, partitions, brownouts).
+    pub faults: FaultConfig,
+    /// Initial retransmit timeout of a tracked message.
+    pub rto: SimDuration,
+    /// Cap of the exponential backoff.
+    pub rto_max: SimDuration,
+    /// Retransmissions after which a delivery is abandoned (the original
+    /// send is not counted).
+    pub max_retransmits: u32,
+    /// Deterministic jitter applied to each backoff: the wait is scaled by
+    /// a factor drawn uniformly from `[1 - jitter, 1 + jitter]`.
+    pub jitter: f64,
+    /// Probe period of the failure detector.
+    pub probe_interval: SimDuration,
+    /// An unanswered probe older than this marks the upstream suspect.
+    pub probe_timeout: SimDuration,
+    /// Enables HAT graceful degradation (supernode failover + member TTL
+    /// fallback). Only meaningful for `Scheme::Hybrid` runs.
+    pub hat_degradation: bool,
+    /// Quiet tail before the horizon: no fault (probabilistic or
+    /// scheduled) fires within `settle` of the end of the run.
+    pub settle: SimDuration,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            faults: FaultConfig::none(),
+            rto: SimDuration::from_secs(2),
+            rto_max: SimDuration::from_secs(30),
+            max_retransmits: 10,
+            jitter: 0.3,
+            probe_interval: SimDuration::from_secs(15),
+            probe_timeout: SimDuration::from_secs(40),
+            hat_degradation: true,
+            settle: SimDuration::from_secs(120),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan whose fault probabilities scale with `intensity` in
+    /// `[0, 1]`; protocol knobs stay at their defaults. Intensity 0 runs
+    /// the full protocol (acks, probes, convergence check) over a clean
+    /// network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `intensity` is outside `[0, 1]`.
+    pub fn at_intensity(intensity: f64) -> Self {
+        FaultPlan { faults: FaultConfig::at_intensity(intensity), ..FaultPlan::default() }
+    }
+}
+
 /// Full configuration of one CDN-consistency simulation run.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -169,6 +254,11 @@ pub struct SimConfig {
     /// Optional server-failure injection (extension of the paper's §4
     /// evaluation; `None` reproduces the paper's failure-free runs).
     pub failures: Option<FailureConfig>,
+    /// Optional chaos plan: network fault injection plus the reliable
+    /// delivery / failure-detector / HAT-degradation protocol machinery.
+    /// `None` (the default) leaves every send and handler exactly as
+    /// before — zero overhead when off.
+    pub faults: Option<FaultPlan>,
     /// Heterogeneity of end-user visit frequencies (§6's "varying visit
     /// frequencies" factor): each user's visit interval is `user_ttl`
     /// scaled by a log-uniform factor in `[1/(1+s), 1+s]`. 0 reproduces the
@@ -198,6 +288,7 @@ impl SimConfig {
             drain: SimDuration::from_secs(240),
             users_roam: false,
             failures: None,
+            faults: None,
             visit_spread: 0.0,
             network: NetworkConfig::default(),
             seed: 0,

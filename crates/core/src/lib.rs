@@ -32,7 +32,7 @@ pub mod sim;
 pub mod topology;
 pub mod tree;
 
-pub use config::{FailureConfig, Scheme, SimConfig};
+pub use config::{FailureConfig, FaultPlan, Scheme, SimConfig};
 pub use method::{AdaptiveMode, MethodKind};
 pub use metrics::SimReport;
 pub use policy::{recommend, CostObjective, Recommendation, Requirement, WorkloadProfile};

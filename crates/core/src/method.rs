@@ -64,6 +64,15 @@ impl MethodKind {
     pub fn provider_driven(self) -> bool {
         matches!(self, MethodKind::Push | MethodKind::Invalidation | MethodKind::SelfAdaptive)
     }
+
+    /// `true` for methods whose correctness depends on one-shot
+    /// provider-driven notifications (a lost push or invalidation is never
+    /// re-requested by the replica). Under a [`crate::FaultPlan`] these
+    /// messages get ack/retransmit protection; polling methods self-heal
+    /// (a lost poll is simply retried next interval) and need none.
+    pub fn needs_reliable_delivery(self) -> bool {
+        self.provider_driven()
+    }
 }
 
 impl fmt::Display for MethodKind {
@@ -116,6 +125,11 @@ mod tests {
         assert!(MethodKind::Invalidation.provider_driven());
         assert!(MethodKind::SelfAdaptive.provider_driven());
         assert!(!MethodKind::Ttl.provider_driven());
+
+        assert!(MethodKind::Push.needs_reliable_delivery());
+        assert!(MethodKind::Invalidation.needs_reliable_delivery());
+        assert!(!MethodKind::Ttl.needs_reliable_delivery());
+        assert!(!MethodKind::AdaptiveTtl.needs_reliable_delivery());
     }
 
     #[test]

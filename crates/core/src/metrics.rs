@@ -38,6 +38,28 @@ pub struct SimReport {
     pub unresolved_lags: u64,
     /// Total simulation events processed.
     pub events: u64,
+    /// Messages that arrived at a failed/overloaded node and were silently
+    /// dropped (non-zero only under failure injection or a fault plan).
+    pub msgs_lost_to_failed: u64,
+    /// Tracked-message retransmissions sent (fault-plan runs only).
+    pub retransmits: u64,
+    /// Tracked deliveries abandoned after exhausting their retransmit
+    /// budget (fault-plan runs only).
+    pub abandoned_deliveries: u64,
+    /// Duplicate tracked deliveries suppressed by the receiver — network
+    /// duplicates plus retransmissions whose ack was lost (fault-plan runs
+    /// only).
+    pub duplicates_suppressed: u64,
+    /// HAT supernode failovers performed (fault-plan runs with
+    /// `hat_degradation` only).
+    pub failovers: u64,
+    /// Invalidation-mode members degraded to TTL polling by a failover
+    /// (fault-plan runs with `hat_degradation` only).
+    pub ttl_fallbacks: u64,
+    /// Present replicas still behind the provider head at the horizon,
+    /// despite the fault plan's pre-horizon settle fence (fault-plan runs
+    /// only; should be 0 — reported for honesty).
+    pub convergence_violations: u64,
 }
 
 impl SimReport {
@@ -92,6 +114,13 @@ mod tests {
             total_observations: 100,
             unresolved_lags: 0,
             events: 1_000,
+            msgs_lost_to_failed: 0,
+            retransmits: 0,
+            abandoned_deliveries: 0,
+            duplicates_suppressed: 0,
+            failovers: 0,
+            ttl_fallbacks: 0,
+            convergence_violations: 0,
         }
     }
 

@@ -18,17 +18,17 @@
 //!   ancestors (the user's response waits for the fetch, which is why
 //!   Invalidation matches Push from the user's perspective, Fig. 14(b)).
 
-use crate::config::SimConfig;
+use crate::config::{FaultPlan, Scheme, SimConfig};
 use crate::method::{AdaptiveMode, MethodKind};
 use crate::metrics::SimReport;
 use crate::topology::Topology;
 use cdnc_geo::{IspId, WorldBuilder};
-use cdnc_net::{Network, NodeId, Packet, PacketKind};
+use cdnc_net::{FaultPlane, Network, NodeId, Packet, PacketKind};
 use cdnc_obs::{Counter, Gauge, Histogram, Level, Registry, SpanKind, TraceCtx, Tracer};
 use cdnc_simcore::stats::OnlineStats;
-use cdnc_simcore::{Scheduler, SimDuration, SimRng, SimTime};
+use cdnc_simcore::{stream_tag, Scheduler, SimDuration, SimRng, SimTime};
 use cdnc_trace::SnapshotId;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Runs one simulation and returns its report.
 ///
@@ -92,6 +92,13 @@ enum Event {
     /// Under failure injection: an invalidation-mode node periodically
     /// re-registers with its upstream in case the switch notice was lost.
     Heartbeat(NodeId, u64),
+    /// Under a [`FaultPlan`]: a tracked delivery's retransmit timer fires.
+    /// The second field is the attempt count at arming; a mismatch with the
+    /// pending entry means the timer is stale.
+    Retransmit(u64, u32),
+    /// Under a [`FaultPlan`]: the failure detector checks `node`'s upstream
+    /// (with a generation, like poll timers, so re-wiring kills old chains).
+    Probe(NodeId, u64),
 }
 
 #[derive(Debug, Clone)]
@@ -118,6 +125,12 @@ enum Msg {
     /// a failure repair or re-join, declaring whether it currently expects
     /// invalidations.
     TreeJoin { from: NodeId, invalidation_mode: bool },
+    /// Reliable-delivery envelope (only minted under a [`FaultPlan`]): the
+    /// receiver acks `id` back to `from` and suppresses duplicate ids
+    /// before handling `inner`. Travels as `inner`'s wire class.
+    Tracked { id: u64, from: NodeId, inner: Box<Msg> },
+    /// Acknowledgement of a tracked delivery; cancels its retransmit timer.
+    Ack { id: u64 },
 }
 
 impl Msg {
@@ -131,6 +144,8 @@ impl Msg {
             Msg::Unchanged => PacketKind::PollUnchanged,
             Msg::SwitchMode { .. } => PacketKind::MethodSwitch,
             Msg::TreeJoin { .. } => PacketKind::TreeMaintenance,
+            Msg::Tracked { inner, .. } => inner.kind(),
+            Msg::Ack { .. } => PacketKind::Ack,
         }
     }
 
@@ -139,14 +154,17 @@ impl Msg {
     fn trace_ctx(&self) -> TraceCtx {
         match self {
             Msg::Update { ctx, .. } | Msg::Invalidate(_, ctx) => *ctx,
+            Msg::Tracked { inner, .. } => inner.trace_ctx(),
             _ => TraceCtx::NONE,
         }
     }
 
     /// Replaces the carried context (with the hop span the network minted).
     fn set_ctx(&mut self, new: TraceCtx) {
-        if let Msg::Update { ctx, .. } | Msg::Invalidate(_, ctx) = self {
-            *ctx = new;
+        match self {
+            Msg::Update { ctx, .. } | Msg::Invalidate(_, ctx) => *ctx = new,
+            Msg::Tracked { inner, .. } => inner.set_ctx(new),
+            _ => {}
         }
     }
 }
@@ -185,6 +203,11 @@ struct NodeState {
     /// Causal trace context of the current content (terminal adopt span, or
     /// the publish root on the provider). Observation-only.
     content_ctx: TraceCtx,
+    /// When the failure detector's outstanding probe was sent (`None` when
+    /// no probe is in flight). Only used under a [`FaultPlan`].
+    awaiting_probe: Option<SimTime>,
+    /// Probe-chain generation; stale probe events are ignored.
+    probe_gen: u64,
 }
 
 impl NodeState {
@@ -206,6 +229,8 @@ impl NodeState {
             pending_pubs: VecDeque::new(),
             lag: OnlineStats::new(),
             content_ctx: TraceCtx::NONE,
+            awaiting_probe: None,
+            probe_gen: 0,
         }
     }
 
@@ -237,7 +262,7 @@ struct UserState {
 struct SimObs {
     registry: Registry,
     /// Messages sent, by class — indexed by `PacketKind as usize`.
-    msgs: [Counter; 8],
+    msgs: [Counter; 9],
     /// Event-loop dispatches, by event kind.
     ev_publish: Counter,
     ev_poll_timer: Counter,
@@ -247,6 +272,8 @@ struct SimObs {
     ev_recover: Counter,
     ev_fetch_timeout: Counter,
     ev_heartbeat: Counter,
+    ev_retransmit: Counter,
+    ev_probe: Counter,
     /// Algorithm 1 transitions (paper lines 7–8 and 12–13).
     switch_to_invalidation: Counter,
     switch_to_ttl: Counter,
@@ -258,7 +285,7 @@ struct SimObs {
     /// [`MethodKind::ALL`]; the last slot catches method-less nodes.
     adopt_lag: [Histogram; 6],
     /// Messages sent but not yet arrived, by class — indexed like `msgs`.
-    inflight: [Gauge; 8],
+    inflight: [Gauge; 9],
     /// Server replicas currently holding content they know is stale
     /// (invalidation received, refresh not yet adopted).
     stale_replicas: Gauge,
@@ -269,6 +296,19 @@ struct SimObs {
     /// Self-adaptive nodes currently in invalidation mode (Algorithm 1
     /// mode occupancy).
     inval_mode_nodes: Gauge,
+    /// Fault-plane protocol instruments (all zero when no plan is attached,
+    /// except `msgs_lost_to_failed` which also counts under plain failure
+    /// injection).
+    rtx_sent: Counter,
+    rtx_abandoned: Counter,
+    dup_suppressed: Counter,
+    upstream_suspects: Counter,
+    failovers: Counter,
+    ttl_fallbacks: Counter,
+    msgs_lost_to_failed: Counter,
+    convergence_violations: Counter,
+    /// Tracked deliveries currently awaiting an ack.
+    pending_retransmits: Gauge,
     /// Causal update tracer (inert unless enabled on the registry).
     tracer: Tracer,
 }
@@ -284,6 +324,7 @@ impl SimObs {
             "sim_msgs_tree_maintenance",
             "sim_msgs_user_request",
             "sim_msgs_user_response",
+            "sim_msgs_ack",
         ];
         let adopt_names = [
             "sim_adopt_lag_s_push",
@@ -302,6 +343,7 @@ impl SimObs {
             "sim_inflight_tree_maintenance",
             "sim_inflight_user_request",
             "sim_inflight_user_response",
+            "sim_inflight_ack",
         ];
         let pending_names = [
             "sim_pending_updates_push",
@@ -326,6 +368,7 @@ impl SimObs {
         registry.series_gauge("sim_stale_replicas");
         registry.series_gauge("sim_pending_updates_users");
         registry.series_gauge("sim_mode_invalidation_nodes");
+        registry.series_gauge("sim_pending_retransmits");
         SimObs {
             registry: registry.clone(),
             msgs: msg_names.map(|n| registry.counter(n)),
@@ -337,6 +380,8 @@ impl SimObs {
             ev_recover: registry.counter("sim_ev_recover"),
             ev_fetch_timeout: registry.counter("sim_ev_fetch_timeout"),
             ev_heartbeat: registry.counter("sim_ev_heartbeat"),
+            ev_retransmit: registry.counter("sim_ev_retransmit"),
+            ev_probe: registry.counter("sim_ev_probe"),
             switch_to_invalidation: registry.counter("sim_switch_to_invalidation"),
             switch_to_ttl: registry.counter("sim_switch_to_ttl"),
             orphan_reattach: registry.counter("sim_orphan_reattach"),
@@ -347,6 +392,15 @@ impl SimObs {
             pending_updates: pending_names.map(|n| registry.gauge(n)),
             pending_user_updates: registry.gauge("sim_pending_updates_users"),
             inval_mode_nodes: registry.gauge("sim_mode_invalidation_nodes"),
+            rtx_sent: registry.counter("sim_rtx_sent"),
+            rtx_abandoned: registry.counter("sim_rtx_abandoned"),
+            dup_suppressed: registry.counter("sim_dup_suppressed"),
+            upstream_suspects: registry.counter("sim_upstream_suspects"),
+            failovers: registry.counter("sim_failovers"),
+            ttl_fallbacks: registry.counter("sim_ttl_fallbacks"),
+            msgs_lost_to_failed: registry.counter("sim_msgs_lost_to_failed"),
+            convergence_violations: registry.counter("sim_convergence_violations"),
+            pending_retransmits: registry.gauge("sim_pending_retransmits"),
             tracer: registry.tracer(),
         }
     }
@@ -375,6 +429,77 @@ impl SimObs {
     }
 }
 
+/// One tracked delivery awaiting an ack.
+#[derive(Debug, Clone)]
+struct PendingDelivery {
+    src: NodeId,
+    dst: NodeId,
+    /// The unwrapped payload, re-enveloped on each retransmission.
+    msg: Msg,
+    /// Retransmissions sent so far (the original send is attempt 0).
+    attempts: u32,
+    /// Current (backed-off) retransmit timeout.
+    rto: SimDuration,
+}
+
+/// Reliable-delivery state, allocated only when a [`FaultPlan`] is
+/// attached. `BTreeMap`/`BTreeSet` keep every walk deterministic.
+#[derive(Debug)]
+struct ReliableState {
+    plan: FaultPlan,
+    next_id: u64,
+    pending: BTreeMap<u64, PendingDelivery>,
+    /// Per-node set of tracked ids already handled (duplicate suppression).
+    seen: Vec<BTreeSet<u64>>,
+    /// Dedicated stream for backoff jitter (forked only in fault mode, so
+    /// `faults: None` runs keep their pre-existing stream layout).
+    jitter_rng: SimRng,
+}
+
+/// HAT cluster bookkeeping for graceful degradation (hybrid schemes under
+/// a [`FaultPlan`] with `hat_degradation` on).
+#[derive(Debug)]
+struct ClusterState {
+    /// `cluster_of[node.index()]`: the cluster a server belongs to.
+    cluster_of: Vec<Option<usize>>,
+    /// The current supernode of each cluster (updated on failover).
+    supernode: Vec<NodeId>,
+    /// The method demoted supernodes fall back to.
+    member_method: MethodKind,
+}
+
+impl ClusterState {
+    fn from_topology(topo: &Topology, n: usize, member_method: MethodKind) -> Self {
+        let mut cluster_of = vec![None; n];
+        let supernode = topo.supernodes.clone();
+        for (k, &sn) in supernode.iter().enumerate() {
+            cluster_of[sn.index()] = Some(k);
+            // A supernode's downstream mixes its cluster members with its
+            // child supernodes in the distribution tree — only the former
+            // belong to the cluster.
+            for &m in topo.downstream_of(sn) {
+                if !supernode.contains(&m) {
+                    cluster_of[m.index()] = Some(k);
+                }
+            }
+        }
+        ClusterState { cluster_of, supernode, member_method }
+    }
+}
+
+/// Plain counters mirrored into the [`SimReport`] (the obs counters are
+/// observation-only and cannot feed results).
+#[derive(Debug, Default)]
+struct ChaosStats {
+    lost_to_failed: u64,
+    retransmits: u64,
+    abandoned: u64,
+    dup_suppressed: u64,
+    failovers: u64,
+    ttl_fallbacks: u64,
+    convergence_violations: u64,
+}
+
 struct CdnSimulation<'a> {
     config: &'a SimConfig,
     net: Network,
@@ -388,14 +513,20 @@ struct CdnSimulation<'a> {
     rng: SimRng,
     provider_update_messages: u64,
     server_update_messages: u64,
+    /// Ack/retransmit machinery (`Some` iff `config.faults` is).
+    reliable: Option<ReliableState>,
+    /// HAT failover bookkeeping (`Some` only for hybrid runs with
+    /// `hat_degradation`).
+    clusters: Option<ClusterState>,
+    chaos: ChaosStats,
     obs: SimObs,
 }
 
 impl<'a> CdnSimulation<'a> {
     fn new(config: &'a SimConfig, registry: &Registry) -> Self {
         assert!(config.servers > 0, "need at least one content server");
-        let world = WorldBuilder::new(config.servers).seed(config.seed ^ 0x51).build();
-        let mut net = Network::new(config.network, config.seed ^ 0x52);
+        let world = WorldBuilder::new(config.servers).seed(config.seed ^ stream_tag::WORLD).build();
+        let mut net = Network::new(config.network, config.seed ^ stream_tag::NET);
         net.set_obs(registry);
         // Node 0 is the provider; its ISP is shared with the nearest server's
         // ISP so the Atlanta metro is intra-ISP, like the measured CDN.
@@ -414,7 +545,7 @@ impl<'a> CdnSimulation<'a> {
         for n in world.nodes() {
             net.add_node(n.location, n.isp);
         }
-        let mut rng = SimRng::seed_from_u64(config.seed ^ 0x53);
+        let mut rng = SimRng::seed_from_u64(config.seed ^ stream_tag::SIM);
         let (topo, tree) = Topology::build_with_tree(&config.scheme, &net, &mut rng.fork());
 
         let nodes: Vec<NodeState> = (0..net.len()).map(|_| NodeState::new()).collect();
@@ -491,6 +622,43 @@ impl<'a> CdnSimulation<'a> {
                 }
             }
         }
+        // Chaos plan: the forks below extend — never reorder — the stream
+        // layout above, so `faults: None` runs stay bit-identical to the
+        // pre-fault-plane simulator.
+        let mut reliable = None;
+        let mut clusters = None;
+        if let Some(plan) = &config.faults {
+            plan.faults.validate();
+            let mut plane =
+                FaultPlane::new(plan.faults.clone(), config.seed ^ stream_tag::FAULT, net.len());
+            // Fence every fault `settle` before the horizon so the
+            // convergence invariant has a quiet tail to settle in.
+            plane.set_active_until(SimTime::from_micros(
+                config.horizon().as_micros().saturating_sub(plan.settle.as_micros()),
+            ));
+            net.set_fault_plane(plane);
+            let mut fault_rng = rng.fork();
+            // Failure-detector probe chains, one per server, at random
+            // phases (like poll timers) to avoid synchronised probe bursts.
+            for &s in &topo.servers {
+                let phase = SimDuration::from_secs_f64(
+                    fault_rng.uniform_range(0.0, plan.probe_interval.as_secs_f64().max(1e-6)),
+                );
+                sched.schedule_at(SimTime::ZERO + phase, Event::Probe(s, 0));
+            }
+            reliable = Some(ReliableState {
+                plan: plan.clone(),
+                next_id: 0,
+                pending: BTreeMap::new(),
+                seen: vec![BTreeSet::new(); net.len()],
+                jitter_rng: fault_rng.fork(),
+            });
+            if plan.hat_degradation {
+                if let Scheme::Hybrid { member_method, .. } = config.scheme {
+                    clusters = Some(ClusterState::from_topology(&topo, net.len(), member_method));
+                }
+            }
+        }
 
         CdnSimulation {
             config,
@@ -503,6 +671,9 @@ impl<'a> CdnSimulation<'a> {
             rng,
             provider_update_messages: 0,
             server_update_messages: 0,
+            reliable,
+            clusters,
+            chaos: ChaosStats::default(),
             obs: SimObs::new(registry),
         }
     }
@@ -526,8 +697,11 @@ impl<'a> CdnSimulation<'a> {
                     self.obs.ev_arrive.inc();
                     // Delivered or lost, the message leaves the wire.
                     self.obs.inflight[msg.kind() as usize].sub(1);
-                    // Messages to a failed node are lost.
+                    // Messages to a failed node are lost (the silent-loss
+                    // class the fault plane's retransmits exist to cover).
                     if self.nodes[node.index()].absent {
+                        self.chaos.lost_to_failed += 1;
+                        self.obs.msgs_lost_to_failed.inc();
                         self.obs.tracer.lost(msg.trace_ctx(), node.index() as u32, now.as_micros());
                     } else {
                         self.on_arrive(now, node, msg);
@@ -554,9 +728,56 @@ impl<'a> CdnSimulation<'a> {
                     self.obs.ev_heartbeat.inc();
                     self.on_heartbeat(now, node, gen);
                 }
+                Event::Retransmit(id, attempt) => {
+                    self.obs.ev_retransmit.inc();
+                    self.on_retransmit(now, id, attempt);
+                }
+                Event::Probe(node, gen) => {
+                    self.obs.ev_probe.inc();
+                    self.on_probe(now, node, gen);
+                }
             }
         }
+        self.check_convergence();
         self.into_report()
+    }
+
+    /// The convergence invariant, checked once the event queue drains: with
+    /// a fault plan attached (all faults fenced `settle` before the
+    /// horizon), every present replica must have caught up with the
+    /// provider's head version. Violations are counted and, when tracing,
+    /// dumped as `Lost` spans labelled `convergence` so the flight recorder
+    /// classifies them separately from in-flight losses.
+    fn check_convergence(&mut self) {
+        if self.reliable.is_none() {
+            return;
+        }
+        let head = self.nodes[self.topo.provider.index()].content;
+        let head_ctx = self.nodes[self.topo.provider.index()].content_ctx;
+        let horizon_us = self.config.horizon().as_micros();
+        let mut violations = 0u64;
+        for &s in &self.topo.servers {
+            let state = &self.nodes[s.index()];
+            if state.absent || state.content >= head {
+                continue;
+            }
+            violations += 1;
+            self.obs.convergence_violations.inc();
+            self.obs.tracer.child(
+                head_ctx,
+                SpanKind::Lost,
+                s.index() as u32,
+                horizon_us,
+                "convergence",
+            );
+            self.obs.registry.event(Level::Warn, "convergence_violation", || {
+                cdnc_obs::Json::obj()
+                    .field("node", s.index())
+                    .field("have", state.content.0)
+                    .field("head", head.0)
+            });
+        }
+        self.chaos.convergence_violations = violations;
     }
 
     // --- message transport -------------------------------------------------
@@ -578,14 +799,108 @@ impl<'a> CdnSimulation<'a> {
             }
         }
         self.obs.msg(kind).inc();
-        self.obs.inflight[kind as usize].add(1);
         let packet = Packet::new(kind, size, src, dst);
-        // Content-carrying and invalidation messages extend their update's
-        // causal trace with a hop span; the receiver continues from it.
-        let (arrival, hop) = self.net.send_traced(now, &packet, msg.trace_ctx());
-        let mut msg = msg;
-        msg.set_ctx(hop);
-        self.sched.schedule_at(arrival, Event::Arrive(dst, msg));
+        if self.net.fault_plane().is_some() {
+            // Fault mode: the plane may drop, duplicate, delay, or deliver —
+            // one Arrive per surviving copy. Traffic is still charged once
+            // per send (drops waste the wire like real packets do).
+            let deliveries = self.net.send_faulted(now, &packet, msg.trace_ctx());
+            self.obs.inflight[kind as usize].add(deliveries.len() as u64);
+            for (arrival, hop) in deliveries {
+                let mut copy = msg.clone();
+                copy.set_ctx(hop);
+                self.sched.schedule_at(arrival, Event::Arrive(dst, copy));
+            }
+        } else {
+            self.obs.inflight[kind as usize].add(1);
+            // Content-carrying and invalidation messages extend their
+            // update's causal trace with a hop span; the receiver continues
+            // from it.
+            let (arrival, hop) = self.net.send_traced(now, &packet, msg.trace_ctx());
+            let mut msg = msg;
+            msg.set_ctx(hop);
+            self.sched.schedule_at(arrival, Event::Arrive(dst, msg));
+        }
+    }
+
+    /// Sends `msg` under ack/retransmit protection when a fault plan is
+    /// attached (a plain [`CdnSimulation::send`] otherwise): the payload is
+    /// wrapped in a [`Msg::Tracked`] envelope, a pending entry is recorded,
+    /// and a retransmit timer armed with jittered exponential backoff.
+    fn send_reliable(&mut self, now: SimTime, src: NodeId, dst: NodeId, msg: Msg) {
+        if self.reliable.is_none() {
+            self.send(now, src, dst, msg);
+            return;
+        }
+        if self.nodes[src.index()].absent {
+            return; // mirror send(): a failed node sends nothing
+        }
+        let (id, rto) = {
+            let rel = self.reliable.as_mut().expect("checked above");
+            rel.next_id += 1;
+            let id = rel.next_id;
+            let rto = rel.plan.rto;
+            rel.pending
+                .insert(id, PendingDelivery { src, dst, msg: msg.clone(), attempts: 0, rto });
+            (id, rto)
+        };
+        self.obs.pending_retransmits.add(1);
+        self.send(now, src, dst, Msg::Tracked { id, from: src, inner: Box::new(msg) });
+        let wait = self.jittered(rto);
+        self.sched.schedule_at(now + wait, Event::Retransmit(id, 0));
+    }
+
+    /// `base` scaled by a factor drawn uniformly from
+    /// `[1 - jitter, 1 + jitter]` (deterministic: the factor comes from the
+    /// fault plan's dedicated stream).
+    fn jittered(&mut self, base: SimDuration) -> SimDuration {
+        let rel = self.reliable.as_mut().expect("fault mode only");
+        let j = rel.plan.jitter;
+        if j <= 0.0 {
+            return base;
+        }
+        base.mul_f64(rel.jitter_rng.uniform_range(1.0 - j, 1.0 + j).max(0.0))
+    }
+
+    fn on_retransmit(&mut self, now: SimTime, id: u64, attempt: u32) {
+        let Some(rel) = self.reliable.as_mut() else { return };
+        let Some(p) = rel.pending.get_mut(&id) else {
+            return; // acked in the meantime
+        };
+        if p.attempts != attempt {
+            return; // a newer timer owns this delivery
+        }
+        if p.attempts >= rel.plan.max_retransmits {
+            // Give up: the delivery is abandoned (it may still converge
+            // later through polls, probes, or a recovery resync).
+            let p = rel.pending.remove(&id).expect("present");
+            self.obs.pending_retransmits.sub(1);
+            self.chaos.abandoned += 1;
+            self.obs.rtx_abandoned.inc();
+            self.obs.tracer.child(
+                p.msg.trace_ctx(),
+                SpanKind::Lost,
+                p.dst.index() as u32,
+                now.as_micros(),
+                "abandoned",
+            );
+            return;
+        }
+        p.attempts += 1;
+        p.rto = SimDuration::from_micros(p.rto.as_micros().saturating_mul(2)).min(rel.plan.rto_max);
+        let (src, dst, msg, attempts, rto) = (p.src, p.dst, p.msg.clone(), p.attempts, p.rto);
+        if self.nodes[src.index()].absent {
+            // The sender died with the delivery open; its protocol state
+            // dies with it.
+            self.reliable.as_mut().expect("fault mode").pending.remove(&id);
+            self.obs.pending_retransmits.sub(1);
+            return;
+        }
+        self.chaos.retransmits += 1;
+        self.obs.rtx_sent.inc();
+        self.send(now, src, dst, Msg::Tracked { id, from: src, inner: Box::new(msg) });
+        let wait = self.jittered(rto);
+        self.sched.schedule_at(now + wait, Event::Retransmit(id, attempts));
     }
 
     // --- event handlers ----------------------------------------------------
@@ -624,11 +939,16 @@ impl<'a> CdnSimulation<'a> {
             match self.topo.method_of(child) {
                 Some(MethodKind::Push) => {
                     let modified_at = self.nodes[node.index()].content_modified_at;
-                    self.send(now, node, child, Msg::Update { snap: content, modified_at, ctx });
+                    self.send_reliable(
+                        now,
+                        node,
+                        child,
+                        Msg::Update { snap: content, modified_at, ctx },
+                    );
                 }
                 Some(MethodKind::Invalidation) => {
                     if content > self.nodes[node.index()].last_invalidated {
-                        self.send(now, node, child, Msg::Invalidate(content, ctx));
+                        self.send_reliable(now, node, child, Msg::Invalidate(content, ctx));
                         invalidated_any = true;
                     }
                 }
@@ -636,7 +956,7 @@ impl<'a> CdnSimulation<'a> {
                     if content > self.nodes[node.index()].last_invalidated
                         && self.nodes[node.index()].inval_registry.contains(&child)
                     {
-                        self.send(now, node, child, Msg::Invalidate(content, ctx));
+                        self.send_reliable(now, node, child, Msg::Invalidate(content, ctx));
                         invalidated_any = true;
                     }
                 }
@@ -775,6 +1095,28 @@ impl<'a> CdnSimulation<'a> {
                     reg.retain(|&c| c != from);
                 }
             }
+            Msg::Tracked { id, from, inner } => {
+                // Always ack — the ack itself may be lost, in which case the
+                // sender retransmits and we suppress the duplicate here.
+                self.send(now, node, from, Msg::Ack { id });
+                let fresh =
+                    self.reliable.as_mut().is_none_or(|rel| rel.seen[node.index()].insert(id));
+                if fresh {
+                    self.on_arrive(now, node, *inner);
+                } else {
+                    self.chaos.dup_suppressed += 1;
+                    self.obs.dup_suppressed.inc();
+                    // Terminal for this delivery's hop span.
+                    self.obs.tracer.skip(inner.trace_ctx(), node.index() as u32, now.as_micros());
+                }
+            }
+            Msg::Ack { id } => {
+                if let Some(rel) = self.reliable.as_mut() {
+                    if rel.pending.remove(&id).is_some() {
+                        self.obs.pending_retransmits.sub(1);
+                    }
+                }
+            }
         }
     }
 
@@ -787,6 +1129,8 @@ impl<'a> CdnSimulation<'a> {
         ctx: TraceCtx,
     ) {
         let was_fetching = std::mem::take(&mut self.nodes[node.index()].fetch_pending);
+        // Any content response proves the upstream is alive.
+        self.nodes[node.index()].awaiting_probe = None;
         let adopted = snap > self.nodes[node.index()].content;
         if adopted {
             let adopt_ctx = self.obs.tracer.adopt(ctx, node.index() as u32, now.as_micros());
@@ -903,7 +1247,7 @@ impl<'a> CdnSimulation<'a> {
                 _ => false,
             };
             if expects && snap > self.nodes[node.index()].last_invalidated {
-                self.send(now, node, child, Msg::Invalidate(snap, fwd_ctx));
+                self.send_reliable(now, node, child, Msg::Invalidate(snap, fwd_ctx));
                 forwarded = true;
             }
         }
@@ -941,6 +1285,8 @@ impl<'a> CdnSimulation<'a> {
 
     fn on_unchanged(&mut self, now: SimTime, node: NodeId) {
         self.nodes[node.index()].fetch_pending = false;
+        // An unchanged response proves the upstream is alive.
+        self.nodes[node.index()].awaiting_probe = None;
         // Adaptive TTL: nothing new — back off the poll interval.
         if self.topo.method_of(node) == Some(MethodKind::AdaptiveTtl) {
             let max_s = 8.0 * self.config.server_ttl.as_secs_f64();
@@ -994,9 +1340,9 @@ impl<'a> CdnSimulation<'a> {
             if let Some(up) = self.topo.upstream_of(node) {
                 self.send(now, node, up, Msg::SwitchMode { from: node, to_invalidation: true });
             }
-            // Under failure injection the switch notice can be lost; keep
-            // re-registering until we leave invalidation mode.
-            if self.config.failures.is_some() {
+            // Under failure injection or a fault plan the switch notice can
+            // be lost; keep re-registering until we leave invalidation mode.
+            if self.config.failures.is_some() || self.config.faults.is_some() {
                 let gen = self.nodes[node.index()].timer_gen;
                 self.sched
                     .schedule_at(now + self.config.server_ttl * 5, Event::Heartbeat(node, gen));
@@ -1020,6 +1366,207 @@ impl<'a> CdnSimulation<'a> {
         self.sched.schedule_at(now + self.config.server_ttl * 5, Event::Heartbeat(node, gen));
     }
 
+    /// The fault-plane failure detector (a generalisation of the
+    /// invalidation-mode heartbeat to every upstream link): each probe is a
+    /// conditional poll, so a successful probe also delivers any content
+    /// the node missed; an unanswered probe older than `probe_timeout`
+    /// marks the upstream suspect.
+    fn on_probe(&mut self, now: SimTime, node: NodeId, gen: u64) {
+        let Some(rel) = self.reliable.as_ref() else { return };
+        let (interval, timeout) = (rel.plan.probe_interval, rel.plan.probe_timeout);
+        if gen != self.nodes[node.index()].probe_gen {
+            return; // a stale chain (killed by a failover re-wiring)
+        }
+        // Keep the chain alive unconditionally; the checks below only
+        // decide what this tick does.
+        self.sched.schedule_at(now + interval, Event::Probe(node, gen));
+        if self.nodes[node.index()].absent {
+            return;
+        }
+        let Some(up) = self.topo.upstream_of(node) else { return };
+        match self.nodes[node.index()].awaiting_probe {
+            Some(sent) if now.since(sent) >= timeout => {
+                self.nodes[node.index()].awaiting_probe = None;
+                self.obs.upstream_suspects.inc();
+                self.obs.registry.event(Level::Warn, "upstream_suspect", || {
+                    cdnc_obs::Json::obj()
+                        .field("node", node.index())
+                        .field("upstream", up.index())
+                        .field("t_s", now.since(SimTime::ZERO).as_secs_f64())
+                });
+                self.on_upstream_suspect(now, node, up);
+            }
+            Some(_) => {} // still within the timeout; wait
+            None => {
+                self.nodes[node.index()].awaiting_probe = Some(now);
+                let have = self.nodes[node.index()].content;
+                self.send(now, node, up, Msg::Poll { from: node, have, conditional: true });
+            }
+        }
+    }
+
+    /// `node` has declared its upstream `up` suspect. For a HAT cluster
+    /// whose supernode is the suspect this triggers failover; otherwise the
+    /// node simply re-synchronises (the suspect may be transient loss, and
+    /// the probe chain keeps watching).
+    fn on_upstream_suspect(&mut self, now: SimTime, node: NodeId, up: NodeId) {
+        if let Some(cl) = &self.clusters {
+            if let Some(c) = cl.cluster_of[node.index()] {
+                if cl.supernode[c] == up && up != self.topo.provider {
+                    self.failover(now, c);
+                    return;
+                }
+            }
+        }
+        self.resync(now, node);
+    }
+
+    /// HAT graceful degradation: the cluster's supernode is unreachable, so
+    /// the nearest present member is promoted into its distribution-tree
+    /// slot, every other member (including the demoted supernode) re-wires
+    /// to the promotee, and invalidation-mode members fall back to TTL
+    /// polling until Algorithm 1 switches them again.
+    fn failover(&mut self, now: SimTime, cluster: usize) {
+        let (old, member_method) = {
+            let cl = self.clusters.as_ref().expect("failover needs clusters");
+            (cl.supernode[cluster], cl.member_method)
+        };
+        let members: Vec<NodeId> = {
+            let cl = self.clusters.as_ref().expect("checked");
+            self.topo
+                .servers
+                .iter()
+                .copied()
+                .filter(|&s| s != old && cl.cluster_of[s.index()] == Some(cluster))
+                .collect()
+        };
+        // Promote the present member nearest the old supernode (its cluster
+        // was built on proximity, so this preserves locality); ties break
+        // on node id for determinism.
+        let Some(promoted) =
+            members.iter().copied().filter(|&m| !self.nodes[m.index()].absent).min_by(|&a, &b| {
+                self.net
+                    .distance_km(old, a)
+                    .partial_cmp(&self.net.distance_km(old, b))
+                    .expect("finite distances")
+                    .then(a.0.cmp(&b.0))
+            })
+        else {
+            return; // the whole cluster is down; probes will retry
+        };
+        self.chaos.failovers += 1;
+        self.obs.failovers.inc();
+        self.obs.tracer.control(
+            SpanKind::TreeRepair,
+            promoted.index() as u32,
+            now.as_micros(),
+            "failover",
+        );
+        self.obs.registry.event(Level::Warn, "hat_failover", || {
+            cdnc_obs::Json::obj()
+                .field("cluster", cluster)
+                .field("old", old.index())
+                .field("promoted", promoted.index())
+                .field("t_s", now.since(SimTime::ZERO).as_secs_f64())
+        });
+        // Tree surgery: the promotee takes the old supernode's slot, or
+        // joins fresh if a node failure already removed the old one. Child
+        // supernodes under the old one in the tree follow it (when a node
+        // failure removed it, the tree repair already re-homed them).
+        let child_supernodes: Vec<NodeId> = self
+            .topo
+            .downstream_of(old)
+            .iter()
+            .copied()
+            .filter(|c| self.topo.supernodes.contains(c))
+            .collect();
+        let tree = self.tree.as_mut().expect("hybrid schemes have a tree");
+        let parent = if tree.contains(old) {
+            tree.substitute(old, promoted)
+        } else {
+            let locations: Vec<cdnc_geo::GeoPoint> =
+                self.net.nodes().iter().map(|n| n.location()).collect();
+            tree.join(promoted, |id| locations[id.index()])
+        };
+        // Topology re-wiring: promotee under its tree parent as a pusher...
+        self.topo.rewire(promoted, parent);
+        self.topo.method[promoted.index()] = Some(MethodKind::Push);
+        if self.nodes[promoted.index()].mode == AdaptiveMode::Invalidation {
+            self.obs.inval_mode_nodes.sub(1);
+            self.nodes[promoted.index()].mode = AdaptiveMode::Ttl;
+        }
+        self.nodes[promoted.index()].timer_gen += 1; // pushers do not poll
+        self.nodes[promoted.index()].awaiting_probe = None;
+        self.nodes[promoted.index()].probe_gen += 1;
+        let gen = self.nodes[promoted.index()].probe_gen;
+        self.sched.schedule_at(
+            now + self.reliable.as_ref().expect("fault mode").plan.probe_interval,
+            Event::Probe(promoted, gen),
+        );
+        for &c in &child_supernodes {
+            self.topo.rewire(c, promoted);
+        }
+        // ...every other member under the promotee...
+        for &m in &members {
+            if m == promoted {
+                continue;
+            }
+            self.topo.rewire(m, promoted);
+            self.nodes[m.index()].awaiting_probe = None;
+        }
+        // ...and the demoted supernode becomes an ordinary member (it polls
+        // the promotee when it returns).
+        self.topo.rewire(old, promoted);
+        self.topo.method[old.index()] = Some(member_method);
+        self.nodes[old.index()].awaiting_probe = None;
+        self.nodes[old.index()].timer_gen += 1;
+        let old_gen = self.nodes[old.index()].timer_gen;
+        if member_method.polls() {
+            self.sched.schedule_at(now + self.config.server_ttl, Event::PollTimer(old, old_gen));
+        }
+        let pos = self
+            .topo
+            .supernodes
+            .iter()
+            .position(|&s| s == old)
+            .expect("old supernode is registered");
+        self.topo.supernodes[pos] = promoted;
+        self.clusters.as_mut().expect("checked").supernode[cluster] = promoted;
+        // The promotee announces itself upstream and re-synchronises.
+        self.send(
+            now,
+            promoted,
+            parent,
+            Msg::TreeJoin { from: promoted, invalidation_mode: false },
+        );
+        self.resync(now, promoted);
+        // Graceful degradation: members that were waiting for invalidations
+        // from the dead supernode fall back to TTL polling (Algorithm 1
+        // reverts them once the first poll finds silence again).
+        for &m in &members {
+            if m == promoted || self.nodes[m.index()].absent {
+                continue;
+            }
+            if self.topo.method_of(m) == Some(MethodKind::SelfAdaptive)
+                && self.nodes[m.index()].mode == AdaptiveMode::Invalidation
+            {
+                self.chaos.ttl_fallbacks += 1;
+                self.obs.ttl_fallbacks.inc();
+                self.obs.tracer.control(
+                    SpanKind::ModeSwitch,
+                    m.index() as u32,
+                    now.as_micros(),
+                    "degrade",
+                );
+                self.obs.inval_mode_nodes.sub(1);
+                self.nodes[m.index()].mode = AdaptiveMode::Ttl;
+                self.nodes[m.index()].timer_gen += 1;
+                let gen = self.nodes[m.index()].timer_gen;
+                self.sched.schedule_at(now + self.config.server_ttl, Event::PollTimer(m, gen));
+            }
+        }
+    }
+
     /// A server fails: it stops sending/receiving; if it is a distribution-
     /// tree member, its orphaned children re-attach immediately (the paper's
     /// §5.2 repair rule), each re-attachment costing one structure-
@@ -1038,6 +1585,22 @@ impl<'a> CdnSimulation<'a> {
             self.observe(u, node, snap, now);
         }
         self.nodes[node.index()].fetch_pending = false;
+        self.nodes[node.index()].awaiting_probe = None;
+        // Open tracked deliveries FROM the failed node die with its
+        // protocol state (deliveries TO it stay pending: retransmits keep
+        // trying, and may land after it recovers).
+        if let Some(rel) = &mut self.reliable {
+            let mut dropped = 0u64;
+            rel.pending.retain(|_, p| {
+                if p.src == node {
+                    dropped += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+            self.obs.pending_retransmits.sub(dropped);
+        }
         let in_tree = self.tree.as_ref().is_some_and(|t| t.contains(node));
         if in_tree {
             let locations: Vec<cdnc_geo::GeoPoint> =
@@ -1083,6 +1646,31 @@ impl<'a> CdnSimulation<'a> {
         }
         self.nodes[node.index()].absent = false;
         self.net.reset_uplink(node, now);
+        self.nodes[node.index()].awaiting_probe = None;
+        // Under HAT degradation, recovering cluster members (including a
+        // demoted ex-supernode) re-attach to the cluster's *current*
+        // supernode instead of joining the supernode tree — failover may
+        // have moved leadership while they were away.
+        if let Some(cl) = &self.clusters {
+            if let Some(c) = cl.cluster_of[node.index()] {
+                let sn = cl.supernode[c];
+                if sn != node {
+                    if self.topo.upstream_of(node) != Some(sn) {
+                        self.topo.rewire(node, sn);
+                    }
+                    if self.expects_invalidations(node) {
+                        self.send(
+                            now,
+                            node,
+                            sn,
+                            Msg::SwitchMode { from: node, to_invalidation: true },
+                        );
+                    }
+                    self.resync(now, node);
+                    return;
+                }
+            }
+        }
         if let Some(tree) = self.tree.as_mut() {
             if !tree.contains(node) {
                 let locations: Vec<cdnc_geo::GeoPoint> =
@@ -1174,6 +1762,13 @@ impl<'a> CdnSimulation<'a> {
             total_observations: self.users.iter().map(|u| u.total_obs).sum(),
             unresolved_lags: unresolved,
             events: self.sched.processed(),
+            msgs_lost_to_failed: self.chaos.lost_to_failed,
+            retransmits: self.chaos.retransmits,
+            abandoned_deliveries: self.chaos.abandoned,
+            duplicates_suppressed: self.chaos.dup_suppressed,
+            failovers: self.chaos.failovers,
+            ttl_fallbacks: self.chaos.ttl_fallbacks,
+            convergence_violations: self.chaos.convergence_violations,
         }
     }
 }
@@ -1544,6 +2139,146 @@ mod tests {
         }
     }
 
+    mod chaos {
+        use super::*;
+        use crate::config::{FailureConfig, FaultPlan};
+        use cdnc_net::FaultConfig;
+
+        fn chaotic(scheme: Scheme, intensity: f64) -> SimConfig {
+            let mut cfg = small(scheme);
+            cfg.faults = Some(FaultPlan::at_intensity(intensity));
+            cfg
+        }
+
+        #[test]
+        fn intensity_zero_converges_for_every_method() {
+            // The full protocol (acks, probes, convergence check) over a
+            // clean network: nothing is retransmitted, nothing is lost,
+            // and the invariant holds.
+            for scheme in [
+                Scheme::Unicast(MethodKind::Push),
+                Scheme::Unicast(MethodKind::Invalidation),
+                Scheme::Unicast(MethodKind::Ttl),
+                Scheme::Multicast { method: MethodKind::Push, arity: 2 },
+                Scheme::hat(),
+            ] {
+                let r = run(&chaotic(scheme, 0.0));
+                assert_eq!(r.convergence_violations, 0, "{scheme} violated convergence");
+                assert_eq!(r.unresolved_lags, 0, "{scheme} lost updates");
+                assert_eq!(r.retransmits, 0, "{scheme} retransmitted on a clean network");
+                assert_eq!(r.abandoned_deliveries, 0);
+                assert_eq!(r.failovers, 0);
+            }
+        }
+
+        #[test]
+        fn chaos_runs_are_deterministic() {
+            let cfg = chaotic(Scheme::hat(), 0.7);
+            assert_eq!(run(&cfg), run(&cfg));
+            let mut reseeded = chaotic(Scheme::hat(), 0.7);
+            reseeded.seed = 99;
+            assert_ne!(run(&cfg), run(&reseeded));
+        }
+
+        #[test]
+        fn loss_triggers_retransmits_and_the_protocol_still_converges() {
+            let r = run(&chaotic(Scheme::Unicast(MethodKind::Push), 0.7));
+            assert!(r.retransmits > 0, "25%-class loss must trigger retransmissions");
+            assert_eq!(r.convergence_violations, 0, "retransmits + probes must converge");
+        }
+
+        #[test]
+        fn duplicated_deliveries_are_suppressed() {
+            let mut cfg = small(Scheme::Unicast(MethodKind::Push));
+            cfg.faults = Some(FaultPlan {
+                faults: FaultConfig { dup_prob: 0.5, ..FaultConfig::none() },
+                ..FaultPlan::default()
+            });
+            let r = run(&cfg);
+            assert!(r.duplicates_suppressed > 0, "50% duplication must hit the dedup path");
+            assert_eq!(r.convergence_violations, 0);
+            assert_eq!(r.unresolved_lags, 0);
+        }
+
+        #[test]
+        fn supernode_failures_trigger_hat_failover() {
+            // Quiet network faults, but servers fail/recover: the probe
+            // detector must notice dead supernodes and promote members.
+            let mut cfg = chaotic(Scheme::hat(), 0.0);
+            cfg.servers = 48;
+            cfg.failures = Some(FailureConfig::with_mean_gap_s(300.0));
+            let r = run(&cfg);
+            assert!(r.failovers > 0, "supernode failures must trigger failovers");
+            assert_eq!(r.convergence_violations, 0, "failover must preserve convergence");
+        }
+
+        #[test]
+        fn degradation_can_be_disabled() {
+            let mut cfg = chaotic(Scheme::hat(), 0.0);
+            cfg.servers = 48;
+            cfg.failures = Some(FailureConfig::with_mean_gap_s(300.0));
+            cfg.faults.as_mut().expect("set above").hat_degradation = false;
+            let r = run(&cfg);
+            assert_eq!(r.failovers, 0);
+            assert_eq!(r.ttl_fallbacks, 0);
+        }
+
+        #[test]
+        fn chaos_instrumentation_is_observation_only() {
+            let cfg = chaotic(Scheme::hat(), 0.7);
+            let plain = run(&cfg);
+            let reg = Registry::enabled();
+            reg.enable_events(Level::Debug, 4096);
+            reg.enable_tracing();
+            let observed = run_with_obs(&cfg, &reg);
+            assert_eq!(plain, observed);
+        }
+
+        #[test]
+        fn chaos_metrics_mirror_the_report() {
+            let cfg = chaotic(Scheme::Unicast(MethodKind::Push), 0.7);
+            let reg = Registry::enabled();
+            let r = run_with_obs(&cfg, &reg);
+            let snap = reg.snapshot();
+            assert_eq!(snap.counter("sim_rtx_sent"), r.retransmits);
+            assert_eq!(snap.counter("sim_rtx_abandoned"), r.abandoned_deliveries);
+            assert_eq!(snap.counter("sim_dup_suppressed"), r.duplicates_suppressed);
+            assert_eq!(snap.counter("sim_failovers"), r.failovers);
+            assert_eq!(snap.counter("sim_convergence_violations"), r.convergence_violations);
+            assert_eq!(snap.counter("sim_msgs_lost_to_failed"), r.msgs_lost_to_failed);
+            assert!(snap.counter("sim_ev_probe") > 0, "probe chains must run");
+        }
+
+        #[test]
+        fn messages_to_failed_nodes_are_counted() {
+            // Satellite of the fault plane: the silent message loss at
+            // failed nodes is now accounted, with or without a fault plan.
+            // Unicast keeps failed servers wired to the provider, so pushes
+            // into them are the canonical silent-loss case.
+            let mut cfg = small(Scheme::Unicast(MethodKind::Push));
+            cfg.servers = 48;
+            cfg.failures = Some(FailureConfig::with_mean_gap_s(300.0));
+            let r = run(&cfg);
+            assert!(r.msgs_lost_to_failed > 0, "pushes into failed servers must be counted");
+            let clean = run(&small(Scheme::Unicast(MethodKind::Push)));
+            assert_eq!(clean.msgs_lost_to_failed, 0);
+        }
+
+        #[test]
+        fn faults_cost_traffic_but_update_accounting_stays_consistent() {
+            // Dropped sends still charge the wire, and the report's update
+            // counter keeps matching the traffic tally (retransmissions
+            // count as fresh update messages on both sides).
+            let r = run(&chaotic(Scheme::Unicast(MethodKind::Push), 0.7));
+            assert_eq!(
+                r.server_update_messages,
+                r.traffic.count_of(PacketKind::Update),
+                "update accounting must survive drops, dups, and retransmits"
+            );
+            assert!(r.traffic.count_of(PacketKind::Ack) > 0, "tracked messages must be acked");
+        }
+    }
+
     mod properties {
         use super::*;
         use proptest::prelude::*;
@@ -1692,6 +2427,8 @@ mod tests {
             "sim_ev_recover",
             "sim_ev_fetch_timeout",
             "sim_ev_heartbeat",
+            "sim_ev_retransmit",
+            "sim_ev_probe",
         ]
         .iter()
         .map(|n| snap.counter(n))

@@ -205,6 +205,38 @@ impl DistributionTree {
         self.parent_of(node).expect("just attached")
     }
 
+    /// Replaces member `old` with `new` *in place*: `new` takes `old`'s
+    /// parent slot and adopts `old`'s children. This is the supernode
+    /// failover move — a promoted cluster member steps into the failed
+    /// supernode's tree position without any re-attachment churn. Returns
+    /// `new`'s parent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `old` is the root or not a member, or if `new` is already
+    /// in the tree.
+    pub fn substitute(&mut self, old: NodeId, new: NodeId) -> NodeId {
+        assert!(old != self.root, "cannot substitute the root");
+        assert!(!self.contains(new), "{new} already in tree");
+        let parent = self.parent.remove(&old).unwrap_or_else(|| panic!("{old} not in tree"));
+        self.parent.insert(new, parent);
+        if let Some(siblings) = self.children.get_mut(&parent) {
+            for c in siblings.iter_mut() {
+                if *c == old {
+                    *c = new;
+                }
+            }
+        }
+        let kids = self.children.remove(&old).unwrap_or_default();
+        for &k in &kids {
+            self.parent.insert(k, new);
+        }
+        if !kids.is_empty() {
+            self.children.insert(new, kids);
+        }
+        parent
+    }
+
     /// All nodes in the subtree rooted at `node` (excluding `node` itself).
     fn subtree_of(&self, node: NodeId) -> Vec<NodeId> {
         let mut out = Vec::new();
@@ -365,6 +397,47 @@ mod tests {
                 assert!(tree.depth(i) <= 60);
             }
         }
+    }
+
+    #[test]
+    fn substitute_preserves_structure() {
+        let (mut tree, _) = world_tree(80, 2, 11);
+        let internal = (1..=80u32)
+            .map(NodeId)
+            .find(|&n| !tree.children_of(n).is_empty())
+            .expect("some internal node exists");
+        let old_parent = tree.parent_of(internal).unwrap();
+        let old_children: Vec<NodeId> = tree.children_of(internal).to_vec();
+        let old_depth = tree.depth(internal);
+        let promoted = NodeId(999);
+        let parent = tree.substitute(internal, promoted);
+        assert_eq!(parent, old_parent);
+        assert!(!tree.contains(internal));
+        assert!(tree.contains(promoted));
+        assert_eq!(tree.parent_of(promoted), Some(old_parent));
+        assert_eq!(tree.children_of(promoted), &old_children[..]);
+        assert_eq!(tree.depth(promoted), old_depth);
+        for &k in &old_children {
+            assert_eq!(tree.parent_of(k), Some(promoted));
+            let _ = tree.depth(k); // still rooted, no cycles
+        }
+        assert!(tree.children_of(old_parent).contains(&promoted));
+        assert!(!tree.children_of(old_parent).contains(&internal));
+        assert_eq!(tree.len(), 80, "substitution is size-preserving");
+    }
+
+    #[test]
+    #[should_panic(expected = "already in tree")]
+    fn substitute_rejects_existing_member() {
+        let (mut tree, _) = world_tree(10, 2, 12);
+        tree.substitute(NodeId(1), NodeId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot substitute the root")]
+    fn substitute_rejects_root() {
+        let (mut tree, _) = world_tree(10, 2, 13);
+        tree.substitute(NodeId(0), NodeId(99));
     }
 
     #[test]

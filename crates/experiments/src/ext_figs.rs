@@ -8,14 +8,20 @@
 //!   on regular and bursty content.
 //! * [`ext_policy`] — the §6 future work: the policy advisor's
 //!   recommendations validated against fixed baselines by simulation.
+//! * [`ext_chaos`] — the robustness extension: every method × infrastructure
+//!   under the deterministic fault plane (loss, duplication, reordering,
+//!   latency spikes, a scheduled ISP partition, a provider brownout), with
+//!   the reliable-delivery protocol and HAT graceful degradation active.
 
 use crate::ctx::RunCtx;
 use crate::eval_figs::{run_batch_on, section4_updates_for};
 use crate::report::FigureReport;
 use cdnc_core::{
-    recommend, FailureConfig, MethodKind, Requirement, Scheme, SimConfig, WorkloadProfile,
+    recommend, FailureConfig, FaultPlan, MethodKind, Requirement, Scheme, SimConfig,
+    WorkloadProfile,
 };
-use cdnc_net::PacketKind;
+use cdnc_geo::IspId;
+use cdnc_net::{Brownout, IspPartition, NodeId, PacketKind};
 use cdnc_obs::Registry;
 use cdnc_simcore::{SimDuration, SimTime};
 use cdnc_trace::UpdateSequence;
@@ -64,6 +70,88 @@ pub fn ext_failures(ctx: RunCtx, obs: &Registry) -> FigureReport {
             report.keyval(
                 format!("{}_{regime}_unresolved", r.scheme_label),
                 r.unresolved_lags as f64,
+            );
+            report.keyval(
+                format!("{}_{regime}_lost_to_failed", r.scheme_label),
+                r.msgs_lost_to_failed as f64,
+            );
+        }
+    }
+    report
+}
+
+/// Chaos sweep: each method over unicast and tree infrastructures, plus
+/// HAT, against the fault plane at rising intensity. Non-zero intensities
+/// also schedule a 5-minute ISP↔ISP partition and a provider uplink
+/// brownout on top of the probabilistic noise. Reports consistency plus
+/// the reliable-delivery protocol's work: retransmissions, abandoned
+/// deliveries, failovers, and the convergence-invariant verdict.
+pub fn ext_chaos(ctx: RunCtx, obs: &Registry) -> FigureReport {
+    let mut report = FigureReport::new(
+        "ext_chaos",
+        "EXT: consistency and protocol cost under deterministic fault injection",
+    );
+    let schemes = [
+        Scheme::Unicast(MethodKind::Push),
+        Scheme::Unicast(MethodKind::Invalidation),
+        Scheme::Unicast(MethodKind::Ttl),
+        Scheme::Multicast { method: MethodKind::Push, arity: 2 },
+        Scheme::Multicast { method: MethodKind::Invalidation, arity: 2 },
+        Scheme::Multicast { method: MethodKind::Ttl, arity: 2 },
+        Scheme::hat(),
+    ];
+    let intensities: [(&str, f64); 3] = [("calm", 0.0), ("rough", 0.3), ("storm", 0.7)];
+    let mut configs = Vec::new();
+    for &(_, intensity) in &intensities {
+        for scheme in schemes {
+            let mut cfg = SimConfig::section4(scheme, section4_updates_for(ctx));
+            cfg.servers = ctx.scale.section4_servers().min(120);
+            cfg.seed = ctx.seed(cfg.seed);
+            let mut plan = FaultPlan::at_intensity(intensity);
+            if intensity > 0.0 {
+                // Two scheduled incidents on top of the probabilistic noise:
+                // a peering dispute between two US ISPs mid-game, and a
+                // provider uplink brownout shortly after. Both sit well
+                // before the settle fence, so convergence must still hold.
+                plan.faults.isp_partitions.push(IspPartition {
+                    a: IspId(0),
+                    b: IspId(5),
+                    from: SimTime::from_secs(300),
+                    until: SimTime::from_secs(600),
+                });
+                plan.faults.brownouts.push(Brownout {
+                    node: NodeId(0),
+                    from: SimTime::from_secs(700),
+                    until: SimTime::from_secs(1_000),
+                    extra_s_per_kb: 0.5 * intensity,
+                });
+            }
+            cfg.faults = Some(plan);
+            configs.push(cfg);
+        }
+    }
+    let reports = run_batch_on(configs, obs, &ctx.pool);
+    for (chunk, &(regime, _)) in reports.chunks(schemes.len()).zip(&intensities) {
+        for r in chunk {
+            report.row(format!(
+                "  [{regime:>5}] {:<22} lag={:>7.3}s rtx={:>5} abandoned={:>3} failovers={:>2} violations={:>2}",
+                r.scheme_label,
+                r.mean_server_lag_s(),
+                r.retransmits,
+                r.abandoned_deliveries,
+                r.failovers,
+                r.convergence_violations
+            ));
+            report.keyval(format!("{}_{regime}_lag_s", r.scheme_label), r.mean_server_lag_s());
+            report.keyval(format!("{}_{regime}_retransmits", r.scheme_label), r.retransmits as f64);
+            report.keyval(
+                format!("{}_{regime}_abandoned", r.scheme_label),
+                r.abandoned_deliveries as f64,
+            );
+            report.keyval(format!("{}_{regime}_failovers", r.scheme_label), r.failovers as f64);
+            report.keyval(
+                format!("{}_{regime}_violations", r.scheme_label),
+                r.convergence_violations as f64,
             );
         }
     }
@@ -190,6 +278,40 @@ mod tests {
             r.value("Push/Multicast_heavy_lag_s").unwrap()
                 > r.value("Push/Multicast_none_lag_s").unwrap()
         );
+    }
+
+    #[test]
+    fn chaos_extension_shapes() {
+        let r = ext_chaos(RunCtx::new(Scale::Smoke), &Registry::disabled());
+        for scheme in
+            ["Push", "Invalidation", "TTL", "Push/Multicast", "Invalidation/Multicast", "HAT"]
+        {
+            // Intensity 0 runs the full protocol over a clean network: no
+            // retransmissions, and the convergence invariant holds.
+            assert_eq!(r.value(&format!("{scheme}_calm_retransmits")), Some(0.0), "{scheme}");
+            assert_eq!(r.value(&format!("{scheme}_calm_violations")), Some(0.0), "{scheme}");
+            // Convergence must also survive the storm: the settle fence
+            // plus probe-driven resync guarantee it.
+            assert_eq!(r.value(&format!("{scheme}_storm_violations")), Some(0.0), "{scheme}");
+        }
+        // Heavy loss makes the reliable-delivery protocol work for a
+        // provider-driven method.
+        assert!(r.value("Push_storm_retransmits").unwrap() > 0.0);
+        assert!(
+            r.value("Push_storm_retransmits").unwrap() > r.value("Push_rough_retransmits").unwrap()
+        );
+        // Polling methods need no retransmissions — lost polls self-heal.
+        assert_eq!(r.value("TTL_storm_retransmits"), Some(0.0));
+    }
+
+    #[test]
+    fn failures_extension_counts_silent_loss() {
+        let r = ext_failures(RunCtx::new(Scale::Smoke), &Registry::disabled());
+        // No failures → nothing is lost to failed nodes.
+        assert_eq!(r.value("Push_none_lost_to_failed"), Some(0.0));
+        // Heavy failures with unicast push → the provider keeps pushing
+        // into failed servers; the loss is counted, not silent.
+        assert!(r.value("Push_heavy_lost_to_failed").unwrap() > 0.0);
     }
 
     #[test]

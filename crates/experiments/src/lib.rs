@@ -40,7 +40,7 @@ pub const EVAL_FIGURES: [&str; 7] = ["fig14", "fig15", "fig16", "fig17", "fig18"
 /// §5 HAT figure ids.
 pub const HAT_FIGURES: [&str; 4] = ["fig22a", "fig22b", "fig23", "fig24"];
 /// Extension experiment ids (beyond the paper's figures).
-pub const EXT_FIGURES: [&str; 3] = ["ext_failures", "ext_adaptive", "ext_policy"];
+pub const EXT_FIGURES: [&str; 4] = ["ext_failures", "ext_adaptive", "ext_policy", "ext_chaos"];
 
 /// Builds the measurement trace for a scale (shared by all §3 figures).
 pub fn build_trace(scale: Scale) -> Trace {
@@ -136,6 +136,7 @@ pub fn run_figure_ctx(
         "ext_failures" => ext_figs::ext_failures(ctx, obs),
         "ext_adaptive" => ext_figs::ext_adaptive(ctx, obs),
         "ext_policy" => ext_figs::ext_policy(ctx, obs),
+        "ext_chaos" => ext_figs::ext_chaos(ctx, obs),
         _ => return None,
     };
     Some(report)

@@ -148,7 +148,8 @@ pub fn timing_table(reg: &Registry) -> Option<String> {
 
 /// One row of the consolidated `summary.json` written by `experiments all`.
 pub fn summary_entry(id: &str, wall_s: f64, jobs: usize, reg: &Registry) -> Json {
-    let events = reg.snapshot().counter("sched_events_processed");
+    let snap = reg.snapshot();
+    let events = snap.counter("sched_events_processed");
     let events_per_s = if wall_s > 0.0 { events as f64 / wall_s } else { 0.0 };
     Json::obj()
         .field("figure", id)
@@ -156,6 +157,7 @@ pub fn summary_entry(id: &str, wall_s: f64, jobs: usize, reg: &Registry) -> Json
         .field("jobs", jobs as u64)
         .field("events", events)
         .field("events_per_s", events_per_s)
+        .field("msgs_lost_to_failed", snap.counter("sim_msgs_lost_to_failed"))
 }
 
 /// Artifact fields that legitimately differ between bit-identical runs:
@@ -373,10 +375,12 @@ mod tests {
     fn summary_entry_computes_rate() {
         let reg = Registry::enabled();
         reg.counter("sched_events_processed").add(500);
+        reg.counter("sim_msgs_lost_to_failed").add(3);
         let e = summary_entry("figX", 2.0, 4, &reg);
         assert_eq!(e.get("events").and_then(Json::as_f64), Some(500.0));
         assert_eq!(e.get("events_per_s").and_then(Json::as_f64), Some(250.0));
         assert_eq!(e.get("jobs").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(e.get("msgs_lost_to_failed").and_then(Json::as_f64), Some(3.0));
     }
 
     #[test]

@@ -70,10 +70,36 @@ pub struct AbsenceSchedule {
     intervals: Vec<Vec<(SimTime, SimTime)>>,
 }
 
+/// Sorts `ints` by start, drops empty intervals, and merges overlapping or
+/// touching ones. The result satisfies the [`AbsenceSchedule`] field
+/// invariant (sorted, strictly disjoint) for *any* input order.
+fn normalize(mut ints: Vec<(SimTime, SimTime)>) -> Vec<(SimTime, SimTime)> {
+    ints.retain(|&(s, e)| s < e);
+    ints.sort_unstable();
+    let mut out: Vec<(SimTime, SimTime)> = Vec::with_capacity(ints.len());
+    for (s, e) in ints {
+        match out.last_mut() {
+            // Touching intervals merge too: ends are exclusive, so
+            // [a, b) ∪ [b, c) is one absence [a, c).
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
 impl AbsenceSchedule {
     /// A schedule in which no node is ever absent.
     pub fn always_present(nodes: usize) -> Self {
         AbsenceSchedule { intervals: vec![Vec::new(); nodes] }
+    }
+
+    /// Builds a schedule from raw per-node draws. Each node's list is
+    /// normalised — sorted, empty intervals dropped, overlapping or
+    /// touching draws merged — so the query methods' invariants hold no
+    /// matter how the input was constructed.
+    pub fn from_intervals(raw: Vec<Vec<(SimTime, SimTime)>>) -> Self {
+        AbsenceSchedule { intervals: raw.into_iter().map(normalize).collect() }
     }
 
     /// Generates a schedule for `nodes` nodes over `[0, horizon]`.
@@ -100,7 +126,10 @@ impl AbsenceSchedule {
                     t = end;
                 }
             }
-            intervals.push(node_ints);
+            // The loop advances `t` past each interval, so draws *should*
+            // already be disjoint — normalise anyway rather than trusting
+            // construction order.
+            intervals.push(normalize(node_ints));
         }
         AbsenceSchedule { intervals }
     }
@@ -242,5 +271,117 @@ mod tests {
     fn generation_is_deterministic() {
         assert_eq!(generate(10, 50_000, 7), generate(10, 50_000, 7));
         assert_ne!(generate(10, 50_000, 7), generate(10, 50_000, 8));
+    }
+
+    #[test]
+    fn from_intervals_merges_overlapping_and_touching_draws() {
+        let s = |t: u64| SimTime::from_secs(t);
+        let sched = AbsenceSchedule::from_intervals(vec![vec![
+            (s(50), s(60)),
+            (s(10), s(20)),
+            (s(15), s(30)), // overlaps (10, 20)
+            (s(30), s(35)), // touches the merged (10, 30)
+            (s(40), s(40)), // empty: dropped
+        ]]);
+        assert_eq!(sched.intervals(0), &[(s(10), s(35)), (s(50), s(60))]);
+        assert!(sched.is_absent(0, s(29)));
+        assert!(sched.is_absent(0, s(30)), "touching draws form one absence");
+        assert!(!sched.is_absent(0, s(35)));
+        assert_eq!(sched.return_time(0, s(12)), Some(s(35)));
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Arbitrary raw draws: unsorted, possibly overlapping/touching/empty.
+    fn raw_draws() -> impl Strategy<Value = Vec<(u64, u64)>> {
+        proptest::collection::vec((0u64..5_000_000, 0u64..600_000_000), 0..12)
+            .prop_map(|v| v.into_iter().map(|(s_us, len_us)| (s_us, s_us + len_us)).collect())
+    }
+
+    fn to_sim(raw: &[(u64, u64)]) -> Vec<(SimTime, SimTime)> {
+        raw.iter().map(|&(s, e)| (SimTime::from_micros(s), SimTime::from_micros(e))).collect()
+    }
+
+    /// Probe instants around every boundary of both the raw draws and the
+    /// normalised intervals: the boundary itself, one microsecond either
+    /// side, and interval midpoints.
+    fn probes(raw: &[(u64, u64)], sched: &AbsenceSchedule) -> Vec<SimTime> {
+        let mut marks = vec![0u64];
+        for &(s, e) in raw {
+            marks.extend([s, e, (s + e) / 2]);
+        }
+        for &(s, e) in sched.intervals(0) {
+            marks.extend([s.as_micros(), e.as_micros()]);
+        }
+        marks
+            .into_iter()
+            .flat_map(|us| [us.saturating_sub(1), us, us + 1])
+            .map(SimTime::from_micros)
+            .collect()
+    }
+
+    proptest! {
+        #[test]
+        fn normalised_intervals_sorted_and_strictly_disjoint(raw in raw_draws()) {
+            let sched = AbsenceSchedule::from_intervals(vec![to_sim(&raw)]);
+            let ints = sched.intervals(0);
+            for &(s, e) in ints {
+                prop_assert!(s < e, "empty interval survived normalisation");
+            }
+            for w in ints.windows(2) {
+                prop_assert!(w[0].1 < w[1].0, "adjacent intervals must leave a gap: {w:?}");
+            }
+        }
+
+        #[test]
+        fn queries_are_mutually_consistent(raw in raw_draws()) {
+            let sched = AbsenceSchedule::from_intervals(vec![to_sim(&raw)]);
+            for t in probes(&raw, &sched) {
+                let at = sched.interval_at(0, t);
+                prop_assert_eq!(sched.is_absent(0, t), at.is_some(), "at t={}", t);
+                prop_assert_eq!(sched.return_time(0, t), at.map(|(_, end)| end), "at t={}", t);
+                if let Some((s, e)) = at {
+                    prop_assert!(s <= t && t < e, "interval_at({t}) returned ({s}, {e})");
+                    prop_assert!(sched.intervals(0).contains(&(s, e)));
+                }
+            }
+        }
+
+        #[test]
+        fn membership_matches_union_of_raw_draws(raw in raw_draws()) {
+            // Merging must not change semantics: a node is absent exactly
+            // when some raw draw covers the instant.
+            let sched = AbsenceSchedule::from_intervals(vec![to_sim(&raw)]);
+            for t in probes(&raw, &sched) {
+                let us = t.as_micros();
+                let in_raw = raw.iter().any(|&(s, e)| s <= us && us < e);
+                prop_assert_eq!(sched.is_absent(0, t), in_raw, "at t={}", t);
+            }
+        }
+
+        #[test]
+        fn generated_schedules_pass_boundary_queries(seed in 0u64..300) {
+            let mut rng = SimRng::seed_from_u64(seed);
+            let config = AbsenceConfig { mean_gap_s: 400.0, ..AbsenceConfig::default() };
+            let sched =
+                AbsenceSchedule::generate(4, SimTime::from_secs(50_000), &config, &mut rng);
+            for node in 0..sched.nodes() {
+                let ints = sched.intervals(node).to_vec();
+                for w in ints.windows(2) {
+                    prop_assert!(w[0].1 < w[1].0);
+                }
+                for (s, e) in ints {
+                    prop_assert!(s < e);
+                    prop_assert!(sched.is_absent(node, s), "absent at start");
+                    prop_assert!(!sched.is_absent(node, e), "back at end (exclusive)");
+                    prop_assert_eq!(sched.return_time(node, s), Some(e));
+                    prop_assert_eq!(sched.interval_at(node, s), Some((s, e)));
+                }
+            }
+        }
     }
 }

@@ -36,6 +36,7 @@
 //! ```
 
 pub mod absence;
+pub mod fault;
 pub mod latency;
 pub mod network;
 pub mod node;
@@ -44,6 +45,7 @@ pub mod traffic;
 pub mod uplink;
 
 pub use absence::{AbsenceConfig, AbsenceSchedule};
+pub use fault::{Brownout, FaultConfig, FaultDecision, FaultPlane, IspPartition, LinkPartition};
 pub use latency::LatencyModel;
 pub use network::{Network, NetworkConfig};
 pub use node::{NetNode, NodeId};

@@ -1,5 +1,6 @@
 //! The network facade: nodes + uplinks + latency + traffic accounting.
 
+use crate::fault::{FaultDecision, FaultPlane};
 use crate::latency::LatencyModel;
 use crate::node::{NetNode, NodeId};
 use crate::packet::Packet;
@@ -56,12 +57,19 @@ pub struct Network {
     config: NetworkConfig,
     traffic: TrafficStats,
     rng: SimRng,
+    /// Behavioural fault injection; `None` (the default) leaves the send
+    /// path untouched. See [`Network::set_fault_plane`].
+    faults: Option<FaultPlane>,
     /// Observation-only instrumentation; see [`Network::set_obs`].
     obs_enqueued: cdnc_obs::Counter,
     obs_backlog: cdnc_obs::Gauge,
     obs_queue_delay: cdnc_obs::Histogram,
     obs_bytes: cdnc_obs::Counter,
     obs_tracer: cdnc_obs::Tracer,
+    obs_fault_dropped: cdnc_obs::Counter,
+    obs_fault_partitioned: cdnc_obs::Counter,
+    obs_fault_duplicated: cdnc_obs::Counter,
+    obs_fault_delayed: cdnc_obs::Counter,
 }
 
 impl Network {
@@ -72,13 +80,30 @@ impl Network {
             uplinks: Vec::new(),
             config,
             traffic: TrafficStats::new(),
-            rng: SimRng::seed_from_u64(seed ^ 0x4e45_5457), // "NETW"
+            rng: SimRng::seed_from_u64(seed ^ cdnc_simcore::stream_tag::NETWORK),
+            faults: None,
             obs_enqueued: cdnc_obs::Counter::default(),
             obs_backlog: cdnc_obs::Gauge::default(),
             obs_queue_delay: cdnc_obs::Histogram::default(),
             obs_bytes: cdnc_obs::Counter::default(),
             obs_tracer: cdnc_obs::Tracer::default(),
+            obs_fault_dropped: cdnc_obs::Counter::default(),
+            obs_fault_partitioned: cdnc_obs::Counter::default(),
+            obs_fault_duplicated: cdnc_obs::Counter::default(),
+            obs_fault_delayed: cdnc_obs::Counter::default(),
         }
+    }
+
+    /// Attaches a [`FaultPlane`]; subsequent [`Network::send_faulted`] calls
+    /// consult it. Behavioural — only wire this when the run is meant to
+    /// inject faults.
+    pub fn set_fault_plane(&mut self, plane: FaultPlane) {
+        self.faults = Some(plane);
+    }
+
+    /// The attached fault plane, if any.
+    pub fn fault_plane(&self) -> Option<&FaultPlane> {
+        self.faults.as_ref()
     }
 
     /// Attaches metrics: `net_packets_enqueued` (counter),
@@ -99,6 +124,10 @@ impl Network {
         self.obs_queue_delay = registry.histogram("net_uplink_queue_delay_s");
         self.obs_bytes = registry.counter("net_uplink_bytes");
         self.obs_tracer = registry.tracer();
+        self.obs_fault_dropped = registry.counter("net_fault_dropped");
+        self.obs_fault_partitioned = registry.counter("net_fault_partitioned");
+        self.obs_fault_duplicated = registry.counter("net_fault_duplicated");
+        self.obs_fault_delayed = registry.counter("net_fault_delayed");
         registry.series_gauge("net_uplink_backlog_ms");
         registry.series_rate("net_packets_enqueued");
         registry.series_rate("net_uplink_bytes");
@@ -203,6 +232,86 @@ impl Network {
             arrival.as_micros(),
         );
         (arrival, hop)
+    }
+
+    /// Sends `packet` through the attached fault plane. Returns the
+    /// delivery instants paired with the contexts receivers continue their
+    /// traces from: empty when the packet is dropped, one entry for a
+    /// clean or delayed delivery, two when the network duplicates it.
+    /// Without a fault plane this is exactly [`Network::send_traced`].
+    ///
+    /// Traffic and the sender's uplink are charged once per call — a
+    /// dropped packet still left its sender, and a duplicate is copied
+    /// *inside* the network, not resent. Fault outcomes are tagged on the
+    /// trace: a drop records a `Lost` child labelled `fault-drop`, the
+    /// trailing copy of a duplicate rides a hop labelled `fault-dup`.
+    pub fn send_faulted(
+        &mut self,
+        now: SimTime,
+        packet: &Packet,
+        ctx: cdnc_obs::TraceCtx,
+    ) -> Vec<(SimTime, cdnc_obs::TraceCtx)> {
+        if self.faults.is_none() {
+            return vec![self.send_traced(now, packet, ctx)];
+        }
+        let src_isp = self.nodes[packet.src.index()].isp();
+        let dst_isp = self.nodes[packet.dst.index()].isp();
+        let decision = self.faults.as_mut().expect("fault plane present").decide(
+            now,
+            packet.src,
+            packet.dst,
+            src_isp,
+            dst_isp,
+            packet.size_kb,
+        );
+        match decision {
+            FaultDecision::Drop { partitioned } => {
+                // Charge the sender: the packet left and died in transit.
+                let _ = self.send(now, packet);
+                if partitioned {
+                    self.obs_fault_partitioned.inc();
+                } else {
+                    self.obs_fault_dropped.inc();
+                }
+                self.obs_tracer.child(
+                    ctx,
+                    cdnc_obs::SpanKind::Lost,
+                    packet.dst.0,
+                    now.as_micros(),
+                    "fault-drop",
+                );
+                Vec::new()
+            }
+            FaultDecision::Deliver { extra, duplicate_extra } => {
+                let arrival = self.send(now, packet) + extra;
+                if !extra.is_zero() {
+                    self.obs_fault_delayed.inc();
+                }
+                let hop = self.obs_tracer.hop(
+                    ctx,
+                    packet.kind.name(),
+                    packet.src.0,
+                    packet.dst.0,
+                    now.as_micros(),
+                    arrival.as_micros(),
+                );
+                let mut out = vec![(arrival, hop)];
+                if let Some(lag) = duplicate_extra {
+                    self.obs_fault_duplicated.inc();
+                    let dup_arrival = arrival + lag;
+                    let dup_hop = self.obs_tracer.hop(
+                        ctx,
+                        "fault-dup",
+                        packet.src.0,
+                        packet.dst.0,
+                        now.as_micros(),
+                        dup_arrival.as_micros(),
+                    );
+                    out.push((dup_arrival, dup_hop));
+                }
+                out
+            }
+        }
     }
 
     /// Deterministic round-trip estimate between two nodes (no jitter, no
@@ -394,6 +503,102 @@ mod tests {
         assert!(net.backlog(a, SimTime::from_secs(1)).as_secs() > 90);
         net.reset_uplink(a, SimTime::from_secs(1));
         assert_eq!(net.backlog(a, SimTime::from_secs(1)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn send_faulted_without_plane_matches_send_traced() {
+        let (mut plain, a, b) = two_node_net();
+        let (mut faulted, _, _) = two_node_net();
+        for _ in 0..5 {
+            let p = Packet::update(a, b, 10.0);
+            let (arrival, _) = plain.send_traced(SimTime::ZERO, &p, cdnc_obs::TraceCtx::NONE);
+            let out = faulted.send_faulted(SimTime::ZERO, &p, cdnc_obs::TraceCtx::NONE);
+            assert_eq!(out.len(), 1);
+            assert_eq!(out[0].0, arrival, "no plane: identical delivery");
+        }
+    }
+
+    #[test]
+    fn quiet_plane_is_transparent() {
+        let (mut plain, a, b) = two_node_net();
+        let (mut faulted, _, _) = two_node_net();
+        faulted.set_fault_plane(crate::FaultPlane::new(crate::FaultConfig::none(), 1, 2));
+        for _ in 0..5 {
+            let p = Packet::update(a, b, 10.0);
+            let (arrival, _) = plain.send_traced(SimTime::ZERO, &p, cdnc_obs::TraceCtx::NONE);
+            let out = faulted.send_faulted(SimTime::ZERO, &p, cdnc_obs::TraceCtx::NONE);
+            assert_eq!(out.len(), 1);
+            assert_eq!(out[0].0, arrival, "quiet plane: identical delivery");
+        }
+    }
+
+    #[test]
+    fn certain_loss_drops_but_still_charges_traffic() {
+        let reg = cdnc_obs::Registry::enabled();
+        let (mut net, a, b) = two_node_net();
+        net.set_obs(&reg);
+        let cfg = crate::FaultConfig { loss_prob: 1.0, ..crate::FaultConfig::none() };
+        net.set_fault_plane(crate::FaultPlane::new(cfg, 1, 2));
+        for _ in 0..4 {
+            let out = net.send_faulted(
+                SimTime::ZERO,
+                &Packet::update(a, b, 2.0),
+                cdnc_obs::TraceCtx::NONE,
+            );
+            assert!(out.is_empty(), "certain loss delivers nothing");
+        }
+        assert_eq!(net.traffic().update_messages(), 4, "dropped packets still left the sender");
+        assert_eq!(reg.snapshot().counter("net_fault_dropped"), 4);
+        assert_eq!(reg.snapshot().counter("net_fault_partitioned"), 0);
+    }
+
+    #[test]
+    fn certain_duplication_delivers_twice() {
+        let reg = cdnc_obs::Registry::enabled();
+        let (mut net, a, b) = two_node_net();
+        net.set_obs(&reg);
+        let cfg = crate::FaultConfig { dup_prob: 1.0, ..crate::FaultConfig::none() };
+        net.set_fault_plane(crate::FaultPlane::new(cfg, 1, 2));
+        let out =
+            net.send_faulted(SimTime::ZERO, &Packet::update(a, b, 2.0), cdnc_obs::TraceCtx::NONE);
+        assert_eq!(out.len(), 2);
+        assert!(out[1].0 >= out[0].0, "the copy trails the original");
+        assert_eq!(net.traffic().update_messages(), 1, "a duplicate is copied in-network");
+        assert_eq!(reg.snapshot().counter("net_fault_duplicated"), 1);
+    }
+
+    #[test]
+    fn partition_window_drops_and_tags_the_trace() {
+        use cdnc_obs::SpanKind;
+        let reg = cdnc_obs::Registry::enabled();
+        reg.enable_tracing();
+        let (mut net, a, b) = two_node_net();
+        net.set_obs(&reg);
+        let cfg = crate::FaultConfig {
+            link_partitions: vec![crate::LinkPartition {
+                a,
+                b,
+                from: SimTime::ZERO,
+                until: SimTime::from_secs(10),
+            }],
+            ..crate::FaultConfig::none()
+        };
+        net.set_fault_plane(crate::FaultPlane::new(cfg, 1, 2));
+        let t = reg.tracer();
+        let root = t.publish(0, a.0, 0, "net-test");
+        let out = net.send_faulted(SimTime::from_secs(5), &Packet::update(a, b, 2.0), root);
+        assert!(out.is_empty());
+        assert_eq!(reg.snapshot().counter("net_fault_partitioned"), 1);
+        let store = t.store();
+        let drop_span = store
+            .spans
+            .iter()
+            .find(|s| s.kind == SpanKind::Lost && s.label == "fault-drop")
+            .expect("drop recorded on the trace");
+        assert_eq!(drop_span.node, b.0);
+        // After the window the same link delivers.
+        let out = net.send_faulted(SimTime::from_secs(10), &Packet::update(a, b, 2.0), root);
+        assert_eq!(out.len(), 1);
     }
 
     #[test]

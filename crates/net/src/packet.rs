@@ -30,6 +30,8 @@ pub enum PacketKind {
     UserRequest,
     /// Server's content response to an end-user.
     UserResponse,
+    /// Delivery acknowledgement for a tracked (reliable) message.
+    Ack,
 }
 
 impl PacketKind {
@@ -56,6 +58,7 @@ impl PacketKind {
             PacketKind::TreeMaintenance => "tree-maintenance",
             PacketKind::UserRequest => "user-request",
             PacketKind::UserResponse => "user-response",
+            PacketKind::Ack => "ack",
         }
     }
 }
@@ -114,6 +117,11 @@ impl Packet {
     pub fn invalidation(src: NodeId, dst: NodeId) -> Self {
         Packet::new(PacketKind::Invalidation, LIGHT_PACKET_KB, src, dst)
     }
+
+    /// A 1 KB delivery acknowledgement.
+    pub fn ack(src: NodeId, dst: NodeId) -> Self {
+        Packet::new(PacketKind::Ack, LIGHT_PACKET_KB, src, dst)
+    }
 }
 
 #[cfg(test)]
@@ -131,6 +139,7 @@ mod tests {
             PacketKind::MethodSwitch,
             PacketKind::TreeMaintenance,
             PacketKind::UserRequest,
+            PacketKind::Ack,
         ] {
             assert!(light.is_light(), "{light} should be light");
             assert!(!light.is_update());

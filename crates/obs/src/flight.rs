@@ -9,8 +9,12 @@
 //!   inconsistency episodes, §3.4),
 //! - **orphaned hops** — a delivery that produced no terminal span at its
 //!   destination (in flight at the horizon, or swallowed), and
-//! - **lost deliveries** — messages dropped at failed/absent nodes
-//!   (absence-interrupted propagation, §3.4.5).
+//! - **lost deliveries** — messages dropped at failed/absent nodes or by
+//!   the fault plane (absence-interrupted propagation, §3.4.5), and
+//! - **convergence violations** — replicas still stale at the horizon even
+//!   though every injected fault ended a settle window earlier (recorded by
+//!   the simulator's convergence checker as `Lost` spans labelled
+//!   `convergence`).
 //!
 //! The recorder is bounded: at most [`FlightRecorder::max_dumps`] reports
 //! are kept, worst (highest adoption lag) first, so a pathological run
@@ -39,6 +43,12 @@ pub enum Anomaly {
         /// How many deliveries died.
         count: usize,
     },
+    /// Replicas that never converged to this update by the horizon despite
+    /// the settle window.
+    ConvergenceViolations {
+        /// How many replicas were still stale.
+        count: usize,
+    },
 }
 
 impl Anomaly {
@@ -48,6 +58,7 @@ impl Anomaly {
             Anomaly::SlowAdoption { .. } => "slow_adoption",
             Anomaly::OrphanedHops { .. } => "orphaned_hops",
             Anomaly::LostDeliveries { .. } => "lost_deliveries",
+            Anomaly::ConvergenceViolations { .. } => "convergence_violations",
         }
     }
 }
@@ -84,6 +95,7 @@ impl FlightReport {
                         }
                         Anomaly::OrphanedHops { count } => j.field("count", *count),
                         Anomaly::LostDeliveries { count } => j.field("count", *count),
+                        Anomaly::ConvergenceViolations { count } => j.field("count", *count),
                     }
                 })
                 .collect(),
@@ -163,9 +175,16 @@ impl FlightRecorder {
             if orphans > 0 {
                 anomalies.push(Anomaly::OrphanedHops { count: orphans });
             }
-            let lost = spans.iter().filter(|s| s.kind == SpanKind::Lost).count();
+            let convergence = spans
+                .iter()
+                .filter(|s| s.kind == SpanKind::Lost && s.label == "convergence")
+                .count();
+            let lost = spans.iter().filter(|s| s.kind == SpanKind::Lost).count() - convergence;
             if lost > 0 {
                 anomalies.push(Anomaly::LostDeliveries { count: lost });
+            }
+            if convergence > 0 {
+                anomalies.push(Anomaly::ConvergenceViolations { count: convergence });
             }
             if anomalies.is_empty() {
                 continue;
@@ -213,6 +232,29 @@ mod tests {
         let orphaned = t.publish(4, 0, 3_000_000, "s");
         t.hop(orphaned, "update", 0, 1, 3_000_000, 3_400_000); // never terminates
         t.store()
+    }
+
+    #[test]
+    fn convergence_violations_are_classified_separately() {
+        let t = tracer();
+        let stuck = t.publish(9, 0, 0, "s");
+        let h = t.hop(stuck, "update", 0, 1, 0, 400_000);
+        t.adopt(h, 1, 400_000);
+        // Replicas 2 and 3 never reached head by the horizon.
+        t.child(stuck, SpanKind::Lost, 2, 600_000_000, "convergence");
+        t.child(stuck, SpanKind::Lost, 3, 600_000_000, "convergence");
+        let reports = FlightRecorder::new(60.0).scan(&t.store());
+        assert_eq!(reports.len(), 1);
+        let anomalies = &reports[0].anomalies;
+        assert!(
+            anomalies.iter().any(|a| a == &Anomaly::ConvergenceViolations { count: 2 }),
+            "expected a convergence anomaly, got {anomalies:?}"
+        );
+        assert!(
+            anomalies.iter().all(|a| a.tag() != "lost_deliveries"),
+            "convergence spans must not double-count as lost deliveries"
+        );
+        assert!(crate::json::parse(&reports[0].to_json().to_pretty()).is_ok());
     }
 
     #[test]

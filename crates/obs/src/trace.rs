@@ -158,7 +158,7 @@ impl SpanKind {
 /// The closed vocabulary of span labels the workspace records. Labels are
 /// `&'static str` so recording never allocates; the Chrome-trace importer
 /// maps parsed strings back through this table.
-pub const LABELS: [&str; 19] = [
+pub const LABELS: [&str; 26] = [
     "publish",
     "adopt",
     "superseded",
@@ -173,10 +173,17 @@ pub const LABELS: [&str; 19] = [
     "tree-maintenance",
     "user-request",
     "user-response",
+    "ack",
     "to_invalidation",
     "to_ttl",
     "reattach",
     "rejoin",
+    "fault-drop",
+    "fault-dup",
+    "failover",
+    "degrade",
+    "abandoned",
+    "convergence",
     "other",
 ];
 

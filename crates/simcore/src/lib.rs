@@ -39,6 +39,6 @@ pub mod stats;
 pub mod time;
 
 pub use queue::EventQueue;
-pub use rng::{derive_seed, derive_stream, SimRng};
+pub use rng::{derive_seed, derive_stream, stream_tag, SimRng};
 pub use scheduler::Scheduler;
 pub use time::{SimDuration, SimTime};

@@ -26,6 +26,26 @@ pub struct SimRng {
     forks: u64,
 }
 
+/// The registry of top-level rng stream tags.
+///
+/// Each independent subsystem seeds its generator from
+/// `config_seed ^ TAG`, so subsystems never share a stream and a new
+/// subsystem can claim a tag here without perturbing any existing one.
+/// These values are **frozen**: changing one changes every simulation
+/// result downstream of it.
+pub mod stream_tag {
+    /// World/topology construction (`cdnc-core` geography).
+    pub const WORLD: u64 = 0x51;
+    /// The seed handed to the network substrate by the simulator.
+    pub const NET: u64 = 0x52;
+    /// Simulation event randomness (poll phases, user behaviour, failures).
+    pub const SIM: u64 = 0x53;
+    /// `cdnc-net::Network`'s internal latency jitter ("NETW").
+    pub const NETWORK: u64 = 0x4e45_5457;
+    /// The fault plane's per-node decision streams ("FALT").
+    pub const FAULT: u64 = 0x4641_4c54;
+}
+
 /// SplitMix64 step — used to derive statistically independent fork seeds.
 fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
