@@ -75,10 +75,23 @@ test -s "$SERIES_DIR/report/index.html"
 test -s "$SERIES_DIR/report/fig17.html"
 rm -rf "$SERIES_DIR"
 
-echo "==> perf regression vs committed baseline"
+echo "==> memory profile smoke: attribution + probes artifact"
+PROF_DIR="$(mktemp -d)"
+cargo run -q -p cdnc-experiments --release -- profile fig20 --scale smoke --obs-dir "$PROF_DIR" > "$PROF_DIR/profile.txt"
+test -s "$PROF_DIR/fig20.profile.json"
+# The counting allocator is installed in the release binary: the run must
+# attribute the bulk of its bytes to named subsystems, not "other".
+grep -q 'attributed to named subsystems' "$PROF_DIR/profile.txt"
+cargo run -q -p cdnc-experiments --release -- report --obs-dir "$PROF_DIR" --out "$PROF_DIR/report"
+grep -q 'Memory profile' "$PROF_DIR/report/fig20.html"
+rm -rf "$PROF_DIR"
+
+echo "==> perf + memory-curve regression vs committed baseline"
 BENCH_DIR="$(mktemp -d)"
-cargo run -q -p cdnc-experiments --release -- bench --scale smoke --label ci --out "$BENCH_DIR/BENCH_ci.json"
-# Generous threshold: catch gross regressions, not machine-to-machine noise.
+cargo run -q -p cdnc-experiments --release -- bench --scale smoke --scale-sweep --label ci --out "$BENCH_DIR/BENCH_ci.json"
+# Generous per-stage threshold: catch gross regressions, not machine noise.
+# The scale-curve check is threshold-independent: it fails on super-linear
+# rss-per-node growth even when every individual point is under threshold.
 cargo run -q -p cdnc-experiments --release -- bench-diff BENCH_baseline.json "$BENCH_DIR/BENCH_ci.json" --threshold 4.0
 rm -rf "$BENCH_DIR"
 

@@ -24,6 +24,7 @@ use crate::metrics::SimReport;
 use crate::topology::Topology;
 use cdnc_geo::{IspId, WorldBuilder};
 use cdnc_net::{FaultPlane, Network, NodeId, Packet, PacketKind};
+use cdnc_obs::profile::{self, Subsystem};
 use cdnc_obs::{Counter, Gauge, Histogram, Level, Registry, SpanKind, TraceCtx, Tracer};
 use cdnc_simcore::stats::OnlineStats;
 use cdnc_simcore::{stream_tag, Scheduler, SimDuration, SimRng, SimTime};
@@ -65,6 +66,10 @@ pub fn run(config: &SimConfig) -> SimReport {
 /// disabled (the paired-run test in `cdnc-experiments` enforces this).
 /// With [`Registry::disabled`] every hook costs one branch.
 pub fn run_with_obs(config: &SimConfig, obs: &Registry) -> SimReport {
+    // Allocation attribution: everything the simulation allocates that is
+    // not claimed by a nested scope (scheduler, network, tracer, series)
+    // lands in the `sim_core` bucket.
+    let _prof = profile::scope(Subsystem::SimCore);
     let sim = {
         let _build = obs.span("sim_build");
         CdnSimulation::new(config, obs)
@@ -237,6 +242,18 @@ impl NodeState {
     fn is_stale(&self) -> bool {
         self.known_stale.is_some_and(|s| s > self.content)
     }
+
+    /// Estimated resident size of this node's state: the struct itself plus
+    /// the heap blocks behind its collections (capacity, not length — what
+    /// the allocator actually holds).
+    fn estimated_bytes(&self) -> u64 {
+        (std::mem::size_of::<Self>()
+            + self.waiting_children.capacity() * std::mem::size_of::<NodeId>()
+            + self.waiting_users.capacity() * std::mem::size_of::<u32>()
+            + self.inval_registry.capacity() * std::mem::size_of::<NodeId>()
+            + self.pending_pubs.capacity() * std::mem::size_of::<(SnapshotId, SimTime)>())
+            as u64
+    }
 }
 
 #[derive(Debug)]
@@ -251,6 +268,15 @@ struct UserState {
     lag: OnlineStats,
     inconsistent_obs: u64,
     total_obs: u64,
+}
+
+impl UserState {
+    /// Estimated resident size, like [`NodeState::estimated_bytes`].
+    fn estimated_bytes(&self) -> u64 {
+        (std::mem::size_of::<Self>()
+            + self.pending_pubs.capacity() * std::mem::size_of::<(SnapshotId, SimTime)>())
+            as u64
+    }
 }
 
 /// Pre-grabbed instrumentation handles for the simulator's hot paths.
@@ -309,6 +335,11 @@ struct SimObs {
     convergence_violations: Counter,
     /// Tracked deliveries currently awaiting an ack.
     pending_retransmits: Gauge,
+    /// Structural profiling probes, armed only when the registry has
+    /// profiling enabled: per-node / per-user resident state-size estimates,
+    /// one sample each at the end of the run.
+    node_state_bytes: Histogram,
+    user_state_bytes: Histogram,
     /// Causal update tracer (inert unless enabled on the registry).
     tracer: Tracer,
 }
@@ -401,6 +432,16 @@ impl SimObs {
             msgs_lost_to_failed: registry.counter("sim_msgs_lost_to_failed"),
             convergence_violations: registry.counter("sim_convergence_violations"),
             pending_retransmits: registry.gauge("sim_pending_retransmits"),
+            node_state_bytes: if registry.profiling_enabled() {
+                registry.histogram("sim_node_state_bytes")
+            } else {
+                Histogram::default()
+            },
+            user_state_bytes: if registry.profiling_enabled() {
+                registry.histogram("sim_user_state_bytes")
+            } else {
+                Histogram::default()
+            },
             tracer: registry.tracer(),
         }
     }
@@ -697,6 +738,7 @@ impl<'a> CdnSimulation<'a> {
                     self.obs.ev_arrive.inc();
                     // Delivered or lost, the message leaves the wire.
                     self.obs.inflight[msg.kind() as usize].sub(1);
+                    self.net.mark_delivered(msg.kind(), self.packet_kb(msg.kind()));
                     // Messages to a failed node are lost (the silent-loss
                     // class the fault plane's retransmits exist to cover).
                     if self.nodes[node.index()].absent {
@@ -737,6 +779,15 @@ impl<'a> CdnSimulation<'a> {
                     self.on_probe(now, node, gen);
                 }
             }
+        }
+        // Structural profiling probe: per-node / per-user resident state
+        // size at quiesce. The handles are dark unless the registry has
+        // profiling enabled, so this is one branch per node otherwise.
+        for n in &self.nodes {
+            self.obs.node_state_bytes.record(n.estimated_bytes() as f64);
+        }
+        for u in &self.users {
+            self.obs.user_state_bytes.record(u.estimated_bytes() as f64);
         }
         self.check_convergence();
         self.into_report()
@@ -782,16 +833,22 @@ impl<'a> CdnSimulation<'a> {
 
     // --- message transport -------------------------------------------------
 
+    /// Wire size of a packet of `kind`, KB (updates carry content; every
+    /// other message is light).
+    fn packet_kb(&self, kind: PacketKind) -> f64 {
+        match kind {
+            PacketKind::Update => self.config.update_packet_kb,
+            _ => 1.0,
+        }
+    }
+
     fn send(&mut self, now: SimTime, src: NodeId, dst: NodeId, msg: Msg) {
         // A failed node sends nothing.
         if self.nodes[src.index()].absent {
             return;
         }
         let kind = msg.kind();
-        let size = match kind {
-            PacketKind::Update => self.config.update_packet_kb,
-            _ => 1.0,
-        };
+        let size = self.packet_kb(kind);
         if kind == PacketKind::Update {
             self.server_update_messages += 1;
             if src == self.topo.provider {
@@ -2221,6 +2278,35 @@ mod tests {
             let r = run(&cfg);
             assert_eq!(r.failovers, 0);
             assert_eq!(r.ttl_fallbacks, 0);
+        }
+
+        #[test]
+        fn profiling_probes_ride_along_without_changing_results() {
+            let cfg = chaotic(Scheme::hat(), 0.5);
+            let plain = run(&cfg);
+            let reg = Registry::enabled();
+            reg.enable_profiling(cdnc_obs::ProfileConfig::default());
+            let profiled = run_with_obs(&cfg, &reg);
+            assert_eq!(plain, profiled, "profiling probes must be observation-only");
+            let snap = reg.snapshot();
+            // One state-size sample per node (servers + provider) and user.
+            let nodes = snap.histogram("sim_node_state_bytes").expect("node state probe");
+            assert_eq!(nodes.count, cfg.servers as u64 + 1);
+            assert!(nodes.min >= std::mem::size_of::<NodeState>() as f64);
+            let users = snap.histogram("sim_user_state_bytes").expect("user state probe");
+            assert_eq!(users.count, cfg.users() as u64);
+            // The wire drains: every sent packet was retired at its arrival
+            // (or at the drop point), so in-flight levels end at zero while
+            // the high-water marks show the run really put bytes in flight.
+            let inflight =
+                snap.gauges.iter().find(|(n, _)| n == "net_inflight_bytes").expect("armed").1;
+            assert_eq!(inflight.value, 0, "in-flight bytes must drain by quiesce");
+            assert!(inflight.high_water > 0);
+            assert_eq!(
+                snap.counter("net_pkts_update"),
+                snap.counter("sim_msgs_update"),
+                "network-side and sim-side per-kind tallies must agree"
+            );
         }
 
         #[test]

@@ -9,12 +9,26 @@
 //! beyond a configurable noise threshold, so CI can hold the line against
 //! a committed `BENCH_baseline.json`.
 //!
+//! `--figs` narrows the workload to a chosen stage set (surfaced in the
+//! artifact under `"figs"`), and `--scale-sweep` additionally runs one
+//! representative simulation at increasing network sizes and records a
+//! `"scale_curve"`: per-point `rss_per_node`, `events_per_s`, and
+//! `allocs_per_event`. `bench-diff` compares curves point-by-point and
+//! also fits a log-log slope to `rss_per_node` vs nodes — per-node memory
+//! should stay flat as the network grows, so a slope above
+//! [`MAX_RSS_SLOPE`] (or well above the baseline's) means total memory
+//! grows super-linearly and fails the diff even when every individual
+//! point is within threshold.
+//!
 //! Wall time and memory are machine-dependent: a committed baseline only
 //! gates CI with a generous threshold (the `ci.sh` run uses 4.0 — a 5×
 //! slowdown — to catch pathological regressions, not scheduler noise).
 
+use crate::eval_figs::{run_batch_on, section4_updates_for};
 use crate::perf;
+use crate::scale::Scale;
 use crate::{build_trace_ctx, run_figure_ctx, RunCtx};
+use cdnc_core::{MethodKind, Scheme, SimConfig};
 use cdnc_obs::{Json, Registry};
 
 /// Stages of the bench workload: the shared crawl, one cheap §4 figure,
@@ -26,6 +40,35 @@ pub const BENCH_FIGURES: [&str; 3] = ["fig17", "fig20", "fig24"];
 /// time exceeds the baseline's by more than this fraction.
 pub const DEFAULT_BENCH_THRESHOLD: f64 = 0.3;
 
+/// Largest tolerated log-log slope of `rss_per_node` against nodes. Flat
+/// per-node memory (linear total) has slope ≈ 0; a candidate whose fitted
+/// slope exceeds this — and the baseline's own slope by
+/// [`MAX_SLOPE_DELTA`] — regresses regardless of per-point thresholds.
+pub const MAX_RSS_SLOPE: f64 = 0.3;
+
+/// Slack added to the baseline's fitted slope before a candidate slope
+/// counts as a regression (absorbs fit noise on small sweeps).
+pub const MAX_SLOPE_DELTA: f64 = 0.15;
+
+/// Workload selection for [`run_bench_with`].
+#[derive(Debug, Clone, Default)]
+pub struct BenchOptions {
+    /// Stages to run (`"crawl"` or figure ids); `None` runs the default
+    /// workload (crawl + [`BENCH_FIGURES`]).
+    pub figs: Option<Vec<String>>,
+    /// Also run the scale sweep and emit a `"scale_curve"` section.
+    pub scale_sweep: bool,
+}
+
+/// Whether `id` names a stage `bench --figs` accepts.
+pub fn is_bench_stage(id: &str) -> bool {
+    id == "crawl"
+        || crate::TRACE_FIGURES.contains(&id)
+        || crate::EVAL_FIGURES.contains(&id)
+        || crate::HAT_FIGURES.contains(&id)
+        || crate::EXT_FIGURES.contains(&id)
+}
+
 /// A registry with every recording subsystem armed, so the bench exercises
 /// (and measures) the full observability overhead.
 fn bench_registry() -> Registry {
@@ -36,8 +79,15 @@ fn bench_registry() -> Registry {
 }
 
 /// One stage's row: identity, wall time, and throughput denominators.
+/// "Events" are the stage's real work units: scheduler events for
+/// simulation figures, poll records for the crawl (which has no scheduler
+/// — the old row reported 0 there).
 fn stage_entry(id: &str, wall_s: f64, reg: &Registry) -> Json {
-    let events = reg.snapshot().counter("sched_events_processed");
+    let snap = reg.snapshot();
+    let events = snap.counter("sched_events_processed")
+        + snap.counter("crawl_server_polls")
+        + snap.counter("crawl_provider_polls")
+        + snap.counter("crawl_user_polls");
     let spans = reg.tracer().store().spans.len() as u64;
     let samples = reg.series_snapshot().total_points;
     let per_s = |n: u64| if wall_s > 0.0 { n as f64 / wall_s } else { 0.0 };
@@ -53,29 +103,104 @@ fn stage_entry(id: &str, wall_s: f64, reg: &Registry) -> Json {
         .field("peak_rss_kb", perf::peak_rss_kb())
 }
 
-/// Runs the bench workload and returns the `BENCH_<label>.json` document.
+/// Network sizes for the scale sweep (≥ 4 points at every scale, so a
+/// slope is always fittable).
+fn sweep_sizes(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Smoke => vec![20, 40, 60, 80],
+        Scale::Default | Scale::Paper => vec![170, 340, 510, 680],
+    }
+}
+
+/// Runs one representative simulation (§4 unicast push) at each sweep
+/// size and returns the `"scale_curve"` array: per point, the node count
+/// plus `rss_per_node` (bytes), `events_per_s`, and `allocs_per_event`.
+///
+/// Memory per point prefers the tagged allocator's window peak-live
+/// (bracketed per point, so earlier points don't pollute later ones) and
+/// falls back to process `VmHWM` when the counting allocator is not
+/// installed. Allocation counts need the installed allocator too and
+/// report 0 without it.
+pub fn run_scale_sweep(ctx: RunCtx) -> Json {
+    let was_enabled = cdnc_obs::profile::is_enabled();
+    cdnc_obs::profile::set_enabled(true);
+    let mut points = Vec::new();
+    for nodes in sweep_sizes(ctx.scale) {
+        let reg = bench_registry();
+        let mut cfg =
+            SimConfig::section4(Scheme::Unicast(MethodKind::Push), section4_updates_for(ctx));
+        cfg.servers = nodes;
+        cfg.seed = ctx.seed(cfg.seed);
+        cdnc_obs::profile::reset_window_peaks();
+        let base = cdnc_obs::profile::snapshot();
+        let started = std::time::Instant::now();
+        run_batch_on(vec![cfg], &reg, &ctx.pool);
+        let wall_s = started.elapsed().as_secs_f64();
+        let window = cdnc_obs::profile::snapshot().window_since(&base);
+        let events = reg.snapshot().counter("sched_events_processed");
+        let peak_live = window.peak_live_bytes.max(0) as u64;
+        let mem_bytes = if cdnc_obs::profile::installed() && peak_live > 0 {
+            peak_live
+        } else {
+            perf::peak_rss_kb().unwrap_or(0).saturating_mul(1024).max(1)
+        };
+        let allocs = if cdnc_obs::profile::installed() { window.total_allocs } else { 0 };
+        points.push(
+            Json::obj()
+                .field("nodes", nodes as u64)
+                .field("wall_s", wall_s)
+                .field("events", events)
+                .field("events_per_s", if wall_s > 0.0 { events as f64 / wall_s } else { 0.0 })
+                .field("rss_per_node", mem_bytes as f64 / nodes as f64)
+                .field(
+                    "allocs_per_event",
+                    if events > 0 { allocs as f64 / events as f64 } else { 0.0 },
+                ),
+        );
+    }
+    cdnc_obs::profile::set_enabled(was_enabled);
+    Json::Arr(points)
+}
+
+/// Runs the default bench workload; see [`run_bench_with`].
 pub fn run_bench(ctx: RunCtx, label: &str) -> Json {
+    run_bench_with(ctx, label, &BenchOptions::default())
+}
+
+/// Runs the bench workload and returns the `BENCH_<label>.json` document.
+/// Unknown ids in `opts.figs` panic — the CLI validates with
+/// [`is_bench_stage`] first.
+pub fn run_bench_with(ctx: RunCtx, label: &str, opts: &BenchOptions) -> Json {
     let started = std::time::Instant::now();
+    let stage_ids: Vec<String> = match &opts.figs {
+        Some(figs) => figs.clone(),
+        None => std::iter::once("crawl".to_owned())
+            .chain(BENCH_FIGURES.iter().map(|s| (*s).to_owned()))
+            .collect(),
+    };
     let mut stages = Vec::new();
-
-    let reg = bench_registry();
-    let stage_started = std::time::Instant::now();
-    let _trace = build_trace_ctx(ctx, &reg);
-    stages.push(stage_entry("crawl", stage_started.elapsed().as_secs_f64(), &reg));
-
-    for id in BENCH_FIGURES {
+    for id in &stage_ids {
         let reg = bench_registry();
         let stage_started = std::time::Instant::now();
-        run_figure_ctx(id, ctx, None, &reg).expect("bench figure ids are known");
+        if id == "crawl" {
+            let _trace = build_trace_ctx(ctx, &reg);
+        } else {
+            run_figure_ctx(id, ctx, None, &reg)
+                .unwrap_or_else(|| panic!("unknown bench stage: {id}"));
+        }
         stages.push(stage_entry(id, stage_started.elapsed().as_secs_f64(), &reg));
     }
 
-    Json::obj()
+    let mut doc = Json::obj()
         .field("label", label)
         .field("scale", format!("{:?}", ctx.scale))
         .field("jobs", ctx.pool.jobs() as u64)
-        .field("figures", Json::Arr(stages))
-        .field("total_wall_s", started.elapsed().as_secs_f64())
+        .field("figs", Json::Arr(stage_ids.iter().map(|s| Json::from(s.as_str())).collect()))
+        .field("figures", Json::Arr(stages));
+    if opts.scale_sweep {
+        doc = doc.field("scale_curve", run_scale_sweep(ctx));
+    }
+    doc.field("total_wall_s", started.elapsed().as_secs_f64())
         .field("peak_rss_kb", perf::peak_rss_kb())
         .field("alloc_mb_estimate", perf::total_allocated_mb())
 }
@@ -99,11 +224,93 @@ fn stage_ids(doc: &Json) -> Vec<String> {
     }
 }
 
+/// One scale-curve point: `(nodes, rss_per_node, events_per_s)`.
+fn curve_points(doc: &Json) -> Vec<(f64, f64, f64)> {
+    let Some(Json::Arr(points)) = doc.get("scale_curve") else { return Vec::new() };
+    points
+        .iter()
+        .filter_map(|p| {
+            let f = |k: &str| p.get(k).and_then(Json::as_f64);
+            Some((f("nodes")?, f("rss_per_node")?, f("events_per_s").unwrap_or(0.0)))
+        })
+        .collect()
+}
+
+/// Least-squares slope of `ln(y)` against `ln(x)` — the growth exponent
+/// of `y ~ x^slope`. `None` with fewer than two positive points.
+pub fn loglog_slope(points: &[(f64, f64)]) -> Option<f64> {
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(x, y)| *x > 0.0 && *y > 0.0)
+        .map(|(x, y)| (x.ln(), y.ln()))
+        .collect();
+    if logs.len() < 2 {
+        return None;
+    }
+    let n = logs.len() as f64;
+    let (sx, sy): (f64, f64) = logs.iter().fold((0.0, 0.0), |(a, b), (x, y)| (a + x, b + y));
+    let (mx, my) = (sx / n, sy / n);
+    let sxx: f64 = logs.iter().map(|(x, _)| (x - mx) * (x - mx)).sum();
+    let sxy: f64 = logs.iter().map(|(x, y)| (x - mx) * (y - my)).sum();
+    (sxx > 0.0).then(|| sxy / sxx)
+}
+
+/// Curve-aware comparison: per-point `rss_per_node` / `events_per_s`
+/// thresholds plus the slope check (a candidate whose per-node memory
+/// grows like `nodes^s` with `s` beyond [`MAX_RSS_SLOPE`] and the
+/// baseline's own slope + [`MAX_SLOPE_DELTA`] fails even when every
+/// point is individually within threshold). Silent when the baseline has
+/// no curve — old baselines still diff.
+fn curve_diff(baseline: &Json, candidate: &Json, threshold: f64, out: &mut Vec<String>) {
+    let base = curve_points(baseline);
+    if base.is_empty() {
+        return;
+    }
+    let cand = curve_points(candidate);
+    if cand.is_empty() {
+        out.push("scale_curve: missing from candidate".to_owned());
+        return;
+    }
+    for &(nodes, base_rss, base_eps) in &base {
+        let Some(&(_, cand_rss, cand_eps)) = cand.iter().find(|(n, _, _)| *n == nodes) else {
+            out.push(format!("scale_curve@{nodes:.0}: missing from candidate"));
+            continue;
+        };
+        if cand_rss > base_rss * (1.0 + threshold) {
+            out.push(format!(
+                "scale_curve@{nodes:.0} rss_per_node: {cand_rss:.0}B vs baseline {base_rss:.0}B \
+                 (+{:.0}% > +{:.0}% allowed)",
+                (cand_rss / base_rss - 1.0) * 100.0,
+                threshold * 100.0
+            ));
+        }
+        if base_eps > 0.0 && cand_eps > 0.0 && cand_eps < base_eps / (1.0 + threshold) {
+            out.push(format!(
+                "scale_curve@{nodes:.0} events_per_s: {cand_eps:.0} vs baseline {base_eps:.0} \
+                 (-{:.0}% > -{:.0}% allowed)",
+                (1.0 - cand_eps / base_eps) * 100.0,
+                (1.0 - 1.0 / (1.0 + threshold)) * 100.0
+            ));
+        }
+    }
+    let rss = |c: &[(f64, f64, f64)]| c.iter().map(|&(n, r, _)| (n, r)).collect::<Vec<_>>();
+    if let Some(cand_slope) = loglog_slope(&rss(&cand)) {
+        let base_slope = loglog_slope(&rss(&base)).unwrap_or(0.0);
+        if cand_slope > MAX_RSS_SLOPE.max(base_slope + MAX_SLOPE_DELTA) {
+            out.push(format!(
+                "scale_curve slope: rss_per_node grows like nodes^{cand_slope:.2} \
+                 (baseline nodes^{base_slope:.2}) — super-linear memory growth"
+            ));
+        }
+    }
+}
+
 /// Compares a candidate bench document against a baseline. Returns one
 /// line per regression — a stage (or the total) whose wall time exceeds
 /// the baseline's by more than `threshold` (a fraction: 0.3 = 30% slower
-/// tolerated) — plus one line per stage missing from the candidate.
-/// Empty means the candidate holds the baseline's performance.
+/// tolerated), one line per stage missing from the candidate, plus the
+/// scale-curve comparisons of [`curve_diff`] when the baseline carries a
+/// curve. Empty means the candidate holds the baseline's performance.
 pub fn bench_diff(baseline: &Json, candidate: &Json, threshold: f64) -> Vec<String> {
     let mut regressions = Vec::new();
     let flag = |name: &str, base: f64, cand: f64, out: &mut Vec<String>| {
@@ -128,6 +335,7 @@ pub fn bench_diff(baseline: &Json, candidate: &Json, threshold: f64) -> Vec<Stri
     ) {
         flag("total", base, cand, &mut regressions);
     }
+    curve_diff(baseline, candidate, threshold, &mut regressions);
     regressions
 }
 
@@ -151,6 +359,28 @@ pub fn bench_table(doc: &Json) -> String {
                 f("samples"),
                 f("peak_rss_kb"),
             ));
+        }
+    }
+    if let Some(Json::Arr(points)) = doc.get("scale_curve") {
+        out.push_str(&format!(
+            "  {:<8} {:>8} {:>12} {:>14} {:>16}\n",
+            "nodes", "wall_s", "events/s", "rss/node (B)", "allocs/event"
+        ));
+        for p in points {
+            let f = |k: &str| p.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+            out.push_str(&format!(
+                "  {:<8.0} {:>8.3} {:>12.0} {:>14.0} {:>16.2}\n",
+                f("nodes"),
+                f("wall_s"),
+                f("events_per_s"),
+                f("rss_per_node"),
+                f("allocs_per_event"),
+            ));
+        }
+        if let Some(slope) =
+            loglog_slope(&curve_points(doc).iter().map(|&(n, r, _)| (n, r)).collect::<Vec<_>>())
+        {
+            out.push_str(&format!("  rss_per_node growth: nodes^{slope:.2}\n"));
         }
     }
     out
@@ -205,7 +435,97 @@ mod tests {
         for s in stages.iter().filter(|s| s.get("id").and_then(Json::as_str) != Some("crawl")) {
             assert!(s.get("samples").and_then(Json::as_f64).unwrap_or(0.0) > 0.0);
         }
+        // The crawl row reports its real work units (poll records), not 0.
+        let crawl = stages.iter().find(|s| s.get("id").and_then(Json::as_str) == Some("crawl"));
+        assert!(
+            crawl.unwrap().get("events").and_then(Json::as_f64).unwrap_or(0.0) > 0.0,
+            "crawl stage must report poll-record work units"
+        );
+        // The chosen stage set is surfaced in the artifact.
+        let Some(Json::Arr(figs)) = out.get("figs") else { panic!("figs") };
+        assert_eq!(figs.len(), 1 + BENCH_FIGURES.len());
         assert!(bench_diff(&out, &out, 0.0).is_empty(), "a doc never regresses against itself");
         assert!(bench_table(&out).contains("fig20"));
+    }
+
+    #[test]
+    fn figs_selection_narrows_the_workload() {
+        let opts = BenchOptions { figs: Some(vec!["fig17".to_owned()]), scale_sweep: false };
+        let out = run_bench_with(RunCtx::with_pool(Scale::Smoke, Pool::new(1)), "sel", &opts);
+        assert_eq!(stage_ids(&out), vec!["fig17"]);
+        let Some(Json::Arr(figs)) = out.get("figs") else { panic!("figs") };
+        assert_eq!(figs.len(), 1);
+        assert_eq!(figs[0].as_str(), Some("fig17"));
+        assert!(is_bench_stage("crawl") && is_bench_stage("fig24") && !is_bench_stage("fig99"));
+    }
+
+    #[test]
+    fn scale_sweep_emits_a_curve() {
+        let opts = BenchOptions { figs: Some(vec!["fig17".to_owned()]), scale_sweep: true };
+        let out = run_bench_with(RunCtx::with_pool(Scale::Smoke, Pool::new(1)), "sweep", &opts);
+        let Some(Json::Arr(points)) = out.get("scale_curve") else { panic!("scale_curve") };
+        assert!(points.len() >= 4, "sweep needs at least 4 scale points");
+        let mut last_nodes = 0.0;
+        for p in points {
+            let f = |k: &str| p.get(k).and_then(Json::as_f64).unwrap_or(-1.0);
+            assert!(f("nodes") > last_nodes, "sizes strictly increase");
+            last_nodes = f("nodes");
+            assert!(f("events") > 0.0);
+            assert!(f("events_per_s") > 0.0);
+            assert!(f("rss_per_node") > 0.0);
+            assert!(f("allocs_per_event") >= 0.0, "0 without the installed allocator");
+        }
+        assert!(bench_table(&out).contains("rss_per_node growth"));
+        assert!(bench_diff(&out, &out, 0.0).is_empty(), "curve never regresses against itself");
+    }
+
+    fn curve_doc(points: &[(u64, f64)]) -> Json {
+        let arr = points
+            .iter()
+            .map(|&(n, rss)| {
+                Json::obj()
+                    .field("nodes", n)
+                    .field("rss_per_node", rss)
+                    .field("events_per_s", 1000.0)
+            })
+            .collect();
+        Json::obj().field("figures", Json::Arr(Vec::new())).field("scale_curve", Json::Arr(arr))
+    }
+
+    #[test]
+    fn diff_fails_injected_super_linear_rss_curve() {
+        // Flat per-node memory (healthy: total memory linear in nodes)…
+        let base = curve_doc(&[(100, 1000.0), (200, 1000.0), (400, 1000.0), (800, 1000.0)]);
+        // …versus per-node memory doubling with size (total ~ nodes²).
+        let bad = curve_doc(&[(100, 1000.0), (200, 2000.0), (400, 4000.0), (800, 8000.0)]);
+        let regs = bench_diff(&base, &bad, 10.0);
+        // A huge per-point threshold lets every point through: only the
+        // slope check can catch the super-linear shape.
+        assert!(
+            regs.iter().any(|r| r.contains("super-linear")),
+            "slope check must flag nodes^1 rss_per_node growth: {regs:?}"
+        );
+        assert!(bench_diff(&base, &base, 0.0).is_empty());
+    }
+
+    #[test]
+    fn diff_flags_per_point_curve_regressions() {
+        let base = curve_doc(&[(100, 1000.0), (200, 1000.0), (400, 1000.0), (800, 1000.0)]);
+        let mut worse = curve_doc(&[(100, 1000.0), (200, 1600.0), (400, 1000.0), (800, 1000.0)]);
+        let regs = bench_diff(&base, &worse, 0.3);
+        assert!(regs.iter().any(|r| r.contains("scale_curve@200 rss_per_node")), "{regs:?}");
+        // A baseline with a curve demands one from the candidate.
+        worse = Json::obj().field("figures", Json::Arr(Vec::new()));
+        let regs = bench_diff(&base, &worse, 0.3);
+        assert!(regs.iter().any(|r| r.contains("scale_curve: missing")), "{regs:?}");
+    }
+
+    #[test]
+    fn loglog_slope_fits_known_exponents() {
+        let flat: Vec<(f64, f64)> = vec![(100.0, 5.0), (200.0, 5.0), (400.0, 5.0)];
+        assert!(loglog_slope(&flat).unwrap().abs() < 1e-9);
+        let linear: Vec<(f64, f64)> = vec![(100.0, 100.0), (200.0, 200.0), (400.0, 400.0)];
+        assert!((loglog_slope(&linear).unwrap() - 1.0).abs() < 1e-9);
+        assert!(loglog_slope(&[(100.0, 5.0)]).is_none(), "one point has no slope");
     }
 }

@@ -22,6 +22,8 @@ use std::path::{Path, PathBuf};
 struct FigureInputs {
     artifact: Option<Json>,
     series: Option<SeriesSnapshot>,
+    /// `experiments profile` output for this figure, parsed.
+    profile: Option<Json>,
     /// Flight-recorder dumps attributed to this figure, parsed.
     anomalies: Vec<Json>,
 }
@@ -55,6 +57,10 @@ fn collect_inputs(obs_dir: &Path) -> io::Result<BTreeMap<String, FigureInputs>> 
         if let Some(id) = name.strip_suffix(".series.json") {
             if let Some(snap) = parse_file(&path).and_then(|d| SeriesSnapshot::from_json(&d)) {
                 inputs.entry(id.to_owned()).or_default().series = Some(snap);
+            }
+        } else if let Some(id) = name.strip_suffix(".profile.json") {
+            if let Some(doc) = parse_file(&path) {
+                inputs.entry(id.to_owned()).or_default().profile = Some(doc);
             }
         } else if let Some(id) = name.strip_suffix(".json") {
             if id == "summary" || id.ends_with(".trace") || id.starts_with("BENCH_") {
@@ -192,6 +198,81 @@ fn svg_bars(rows: &[(String, f64)], unit: &str) -> String {
     }
     svg.push_str("</svg>");
     svg
+}
+
+/// The memory-profile section body for one figure: subsystem allocation
+/// breakdown (from the tagged allocator) plus the structural probes.
+fn profile_section(profile: &Json) -> String {
+    let mut body = String::new();
+    if let Some(Json::Obj(subsystems)) = profile.get("attribution") {
+        let rows: Vec<(String, f64)> = subsystems
+            .iter()
+            .map(|(name, stats)| {
+                let bytes = stats.get("bytes").and_then(Json::as_f64).unwrap_or(0.0);
+                (name.clone(), bytes / (1024.0 * 1024.0))
+            })
+            .collect();
+        body.push_str("<h3>Allocated bytes by subsystem</h3>");
+        body.push_str(&svg_bars(&rows, " MiB"));
+        body.push_str("<table><tr><th>subsystem</th><th>allocations</th><th>bytes</th></tr>");
+        for (name, stats) in subsystems {
+            let field = |k: &str| stats.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+            let _ = write!(
+                body,
+                "<tr><td>{}</td><td>{:.0}</td><td>{:.0}</td></tr>",
+                html_escape(name),
+                field("allocs"),
+                field("bytes"),
+            );
+        }
+        body.push_str("</table>");
+    }
+    if let Some(telemetry) = profile.get("allocator_telemetry") {
+        let f = |k: &str| telemetry.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+        let _ = write!(
+            body,
+            "<p class=\"meta\">window totals: {:.0} allocations, {:.1} MiB; {:.1}% of tagged \
+             bytes attributed to named subsystems</p>",
+            f("window_total_allocs"),
+            f("window_total_bytes") / (1024.0 * 1024.0),
+            100.0 * f("attributed_fraction"),
+        );
+    }
+    if let Some(probes) = profile.get("probes") {
+        body.push_str("<h3>Structural probes</h3><ul>");
+        for (key, label) in [
+            ("queue_depth_at_pop", "event-queue depth at pop"),
+            ("node_state_bytes", "per-node state size (bytes)"),
+            ("user_state_bytes", "per-user state size (bytes)"),
+        ] {
+            if let Some(h) = probes.get(key) {
+                let f = |k: &str| h.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+                let _ = write!(
+                    body,
+                    "<li>{label}: {:.0} samples, mean {:.1}, max {:.0}</li>",
+                    f("count"),
+                    f("mean"),
+                    f("max"),
+                );
+            }
+        }
+        if let Some(peak) =
+            probes.get("net").and_then(|n| n.get("inflight_peak_bytes")).and_then(Json::as_f64)
+        {
+            let _ = write!(body, "<li>peak in-flight network bytes: {:.0}</li>", peak);
+        }
+        body.push_str("</ul>");
+    }
+    if let Some(spikes) = profile.get("spikes").and_then(|s| s.get("count")).and_then(Json::as_f64)
+    {
+        if spikes > 0.0 {
+            let _ = write!(
+                body,
+                "<p class=\"warn\">{spikes:.0} memory spike(s) recorded by the interval probe</p>"
+            );
+        }
+    }
+    body
 }
 
 /// The adoption-lag histograms of an artifact as `(label, rows)` charts:
@@ -352,6 +433,10 @@ fn figure_page(id: &str, inputs: &FigureInputs) -> String {
             body.push_str("<h2>Phase timings</h2>");
             body.push_str(&phases);
         }
+    }
+    if let Some(profile) = &inputs.profile {
+        body.push_str("<h2>Memory profile</h2>");
+        body.push_str(&profile_section(profile));
     }
     body.push_str("<h2>Flight recorder</h2>");
     if inputs.anomalies.is_empty() {
@@ -531,6 +616,30 @@ mod tests {
             .field("max_adopt_lag_s", 99.0)
             .field("anomalies", Json::Arr(vec![Json::obj().field("kind", "slow_adoption")]));
         std::fs::write(obs.join(FLIGHTREC_SUBDIR).join("fig20_u3.json"), dump.to_pretty()).unwrap();
+        let profile = Json::obj()
+            .field(
+                "attribution",
+                Json::obj()
+                    .field("scheduler", Json::obj().field("allocs", 10u64).field("bytes", 4096u64)),
+            )
+            .field(
+                "allocator_telemetry",
+                Json::obj()
+                    .field("window_total_allocs", 12u64)
+                    .field("window_total_bytes", 5000u64)
+                    .field("attributed_fraction", 0.95),
+            )
+            .field(
+                "probes",
+                Json::obj()
+                    .field(
+                        "queue_depth_at_pop",
+                        Json::obj().field("count", 5u64).field("mean", 2.0).field("max", 4.0),
+                    )
+                    .field("net", Json::obj().field("inflight_peak_bytes", 2048u64)),
+            )
+            .field("spikes", Json::obj().field("count", 1u64));
+        std::fs::write(obs.join("fig20.profile.json"), profile.to_pretty()).unwrap();
 
         let written = generate_report(&obs, &out).unwrap();
         assert_eq!(written.len(), 2, "index + one figure page");
@@ -541,6 +650,9 @@ mod tests {
         assert!(fig.contains("<polyline"), "series chart rendered");
         assert!(fig.contains("sim_adopt_lag_s_push") || fig.contains("push — 4 adoptions"));
         assert!(fig.contains("slow_adoption"), "anomaly listed");
+        assert!(fig.contains("Memory profile"), "profile section rendered");
+        assert!(fig.contains("event-queue depth at pop"), "probe summary rendered");
+        assert!(fig.contains("memory spike(s)"), "spike warning rendered");
         assert!(!fig.contains("<script"), "report stays script-free");
         let _ = std::fs::remove_dir_all(&base);
     }

@@ -20,6 +20,7 @@ pub mod hat_figs;
 pub mod html_report;
 pub mod obs_out;
 pub mod perf;
+pub mod profile_out;
 pub mod report;
 pub mod scale;
 pub mod trace_figs;
@@ -108,6 +109,10 @@ pub fn run_figure_ctx(
                     &owned
                 }
             };
+            // Allocation attribution: the §3 analysis pipeline (episodes,
+            // TTL inference, tree tests) is the `analysis` bucket; the
+            // on-demand trace build above tags itself `trace`.
+            let _prof = cdnc_obs::profile::scope(cdnc_obs::profile::Subsystem::Analysis);
             match id {
                 "fig3" => trace_figs::fig3(t),
                 "fig4" => trace_figs::fig4(t),

@@ -11,7 +11,9 @@
 //! experiments verdict <trace.bin>                    # §3.6 verdict on a saved trace
 //! experiments obs-diff <dirA> <dirB>                 # compare runs, wall-clock ignored
 //! experiments report [--obs-dir <d>] [--out <d>]     # render artifacts as static HTML
+//! experiments profile <figure-id>      [--scale …] [--jobs <n>] [--spike-multiple <f>]
 //! experiments bench [--out <f>] [--label <name>]     # run the perf workload
+//!                   [--figs <id,…>] [--scale-sweep]  # narrow stages / emit scale curve
 //! experiments bench-diff <base> <cand> [--threshold <f>]  # fail on regressions
 //! experiments trace summary <t.json>                 # store-wide tracing statistics
 //! experiments trace critical-path <t.json>           # per-method critical paths
@@ -46,13 +48,16 @@
 //! `bench-diff` exits non-zero when a stage's wall time regresses past the
 //! threshold (default +30%).
 
-use cdnc_experiments::bench::{bench_diff, bench_table, run_bench, DEFAULT_BENCH_THRESHOLD};
+use cdnc_experiments::bench::{
+    bench_diff, bench_table, is_bench_stage, run_bench_with, BenchOptions, DEFAULT_BENCH_THRESHOLD,
+};
 use cdnc_experiments::html_report::generate_report;
 use cdnc_experiments::obs_out::{
     diff_artifact_dirs, summary_entry, timing_table, write_figure_artifact, write_figure_series,
     write_summary, ObsSettings,
 };
 use cdnc_experiments::perf::CountingAlloc;
+use cdnc_experiments::profile_out::{profile_table, write_profile_artifact};
 use cdnc_experiments::report::aggregate_replicates;
 use cdnc_experiments::trace_out::{
     critical_path_table, inspect_text, load_store, summary_text, write_figure_trace,
@@ -85,7 +90,10 @@ fn usage() -> ExitCode {
     eprintln!("                                                 ignoring wall-clock fields");
     eprintln!("       experiments report [--obs-dir <dir>] [--out <dir>]");
     eprintln!("                                                 render artifacts as static HTML");
+    eprintln!("       experiments profile <figure-id> [--scale …] [--jobs <n>]");
+    eprintln!("                          [--spike-multiple <f>]   per-subsystem memory profile");
     eprintln!("       experiments bench [--out <file>] [--label <name>] [--scale …] [--jobs <n>]");
+    eprintln!("                         [--figs <id,…>] [--scale-sweep]");
     eprintln!("                                                 run the performance workload");
     eprintln!("       experiments bench-diff <baseline.json> <candidate.json> [--threshold <f>]");
     eprintln!("                                                 fail on wall-time regressions");
@@ -132,6 +140,7 @@ fn main() -> ExitCode {
     let mut out: Option<PathBuf> = None;
     let mut label: Option<String> = None;
     let mut threshold = DEFAULT_BENCH_THRESHOLD;
+    let mut bench_opts = BenchOptions::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -232,6 +241,42 @@ fn main() -> ExitCode {
                 let Some(value) = args.get(i + 1) else { return usage() };
                 label = Some(value.clone());
                 i += 2;
+            }
+            "--spike-multiple" => {
+                let Some(value) = args.get(i + 1) else { return usage() };
+                let Ok(f) = value.parse::<f64>() else {
+                    eprintln!("--spike-multiple needs a factor, got: {value}");
+                    return usage();
+                };
+                if !f.is_finite() || f <= 1.0 {
+                    eprintln!("--spike-multiple must be a finite factor above 1, got: {value}");
+                    return usage();
+                }
+                obs.spike_multiple = f;
+                i += 2;
+            }
+            "--figs" => {
+                let Some(value) = args.get(i + 1) else { return usage() };
+                let figs: Vec<String> = value
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(String::from)
+                    .collect();
+                if figs.is_empty() {
+                    eprintln!("--figs needs a comma-separated stage list, got: {value}");
+                    return usage();
+                }
+                if let Some(bad) = figs.iter().find(|id| !is_bench_stage(id)) {
+                    eprintln!("--figs: unknown stage {bad} (stages: crawl or any figure id)");
+                    return usage();
+                }
+                bench_opts.figs = Some(figs);
+                i += 2;
+            }
+            "--scale-sweep" => {
+                bench_opts.scale_sweep = true;
+                i += 1;
             }
             "--threshold" => {
                 let Some(value) = args.get(i + 1) else { return usage() };
@@ -423,10 +468,57 @@ fn main() -> ExitCode {
                 }
             }
         }
+        "profile" => {
+            let Some(id) = positional.get(1) else {
+                eprintln!("profile needs a figure id");
+                return usage();
+            };
+            obs.enabled = true;
+            obs.profile = true;
+            let reg = obs.registry();
+            if !cdnc_obs::profile::installed() {
+                eprintln!(
+                    "warning: counting allocator not installed in this binary; \
+                     allocation attribution will be empty"
+                );
+            }
+            println!(
+                "profiling {id} at {scale:?} scale ({} worker(s), {seeds} seed(s))…",
+                ctx.pool.jobs()
+            );
+            // Bracket the run: enable tagged attribution, reset window
+            // peaks, snapshot a base, and diff against it afterwards so the
+            // artifact covers exactly this figure's work.
+            cdnc_obs::profile::set_enabled(true);
+            cdnc_obs::profile::reset_window_peaks();
+            let base = cdnc_obs::profile::snapshot();
+            let started = std::time::Instant::now();
+            let result = run_figure_replicated(id, ctx, seeds, &reg);
+            cdnc_obs::profile::set_enabled(false);
+            let wall_s = started.elapsed().as_secs_f64();
+            let window = cdnc_obs::profile::snapshot().window_since(&base);
+            let Some(report) = result else {
+                eprintln!("unknown figure id: {id}");
+                return usage();
+            };
+            print!("{report}");
+            println!("[{id}: {wall_s:.2}s on {} worker thread(s)]", ctx.pool.jobs());
+            println!("--- memory profile ---\n{}", profile_table(&window));
+            match write_profile_artifact(&obs.dir, id, scale, &window, &reg, wall_s) {
+                Ok(path) => {
+                    println!("profile artifact: {}", path.display());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("cannot write profile artifact for {id}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         "bench" => {
             let label = label.unwrap_or_else(|| "local".to_owned());
             println!("running bench workload at {scale:?} scale ({} worker(s))…", ctx.pool.jobs());
-            let doc = run_bench(ctx, &label);
+            let doc = run_bench_with(ctx, &label, &bench_opts);
             print!("{}", bench_table(&doc));
             let path = out.unwrap_or_else(|| PathBuf::from(format!("BENCH_{label}.json")));
             if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {

@@ -40,6 +40,13 @@ pub struct ObsSettings {
     pub series: bool,
     /// `--series-cadence <s>`: sampling cadence in simulated time.
     pub series_cadence_us: u64,
+    /// `profile` subcommand: arm the registry's profiling gate (structural
+    /// probes: queue depth at pop, per-kind network accounting, state-size
+    /// estimates, the memory-spike probe).
+    pub profile: bool,
+    /// `--spike-multiple <f>`: an interval allocating more than this
+    /// multiple of the running median triggers a `MemorySpike` span.
+    pub spike_multiple: f64,
 }
 
 impl ObsSettings {
@@ -54,6 +61,8 @@ impl ObsSettings {
             trace_threshold_s: DEFAULT_TRACE_THRESHOLD_S,
             series: false,
             series_cadence_us: cdnc_obs::DEFAULT_CADENCE_US,
+            profile: false,
+            spike_multiple: cdnc_obs::DEFAULT_SPIKE_MULTIPLE,
         }
     }
 
@@ -66,7 +75,7 @@ impl ObsSettings {
     /// tracer, and/or series sampler armed when requested) or the inert
     /// disabled registry.
     pub fn registry(&self) -> Registry {
-        if !self.enabled && !self.trace && !self.series {
+        if !self.enabled && !self.trace && !self.series && !self.profile {
             return Registry::disabled();
         }
         let reg = Registry::enabled();
@@ -78,6 +87,12 @@ impl ObsSettings {
         }
         if self.series {
             reg.enable_series(self.series_cadence_us);
+        }
+        if self.profile {
+            reg.enable_profiling(cdnc_obs::ProfileConfig {
+                spike_cadence_us: self.series_cadence_us,
+                spike_multiple: self.spike_multiple,
+            });
         }
         reg
     }
@@ -163,7 +178,7 @@ pub fn summary_entry(id: &str, wall_s: f64, jobs: usize, reg: &Registry) -> Json
 /// Artifact fields that legitimately differ between bit-identical runs:
 /// wall-clock measurements, memory footprints, and everything derived from
 /// them. Scrubbed before artifact comparison.
-pub const VOLATILE_KEYS: [&str; 7] = [
+pub const VOLATILE_KEYS: [&str; 9] = [
     "wall_s",
     "phases",
     "events_per_s",
@@ -171,6 +186,8 @@ pub const VOLATILE_KEYS: [&str; 7] = [
     "jobs",
     "peak_rss_kb",
     "alloc_mb_estimate",
+    "allocator_telemetry",
+    "spikes",
 ];
 
 /// Strips the [`VOLATILE_KEYS`] from an artifact document, recursively.

@@ -1,14 +1,22 @@
 //! Process-level performance probes for the bench harness and the
 //! consolidated run summary: peak resident set size (from the kernel's
-//! accounting) and a total-allocation estimate (from a counting global
-//! allocator the `experiments` binary installs).
+//! accounting) and a total-allocation estimate (from the tagged counting
+//! global allocator in `cdnc-obs` the `experiments` binary installs).
+//!
+//! The old standalone `CountingAlloc` grew into
+//! [`cdnc_obs::profile`](cdnc_obs::profile): the same always-on byte/count
+//! totals (one relaxed atomic add per allocation), plus opt-in
+//! per-subsystem attribution behind `profile::set_enabled`. This module
+//! keeps the process-level surface (`peak_rss_kb`, `total_allocated_*`)
+//! and re-exports the allocator type so binaries install one allocator for
+//! both jobs.
 //!
 //! Both numbers are wall-clock-class telemetry — they vary run to run and
 //! between machines — so every field derived from them is listed in
 //! [`crate::obs_out::VOLATILE_KEYS`] and ignored by `obs-diff`.
 
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use cdnc_obs::profile;
+pub use cdnc_obs::profile::ProfiledAlloc as CountingAlloc;
 
 /// Peak resident set size of this process in KiB, read from `VmHWM` in
 /// `/proc/self/status`. `None` where procfs is unavailable (non-Linux).
@@ -18,60 +26,16 @@ pub fn peak_rss_kb() -> Option<u64> {
     line.split_whitespace().nth(1)?.parse().ok()
 }
 
-static ALLOCATED: AtomicU64 = AtomicU64::new(0);
-static INSTALLED: AtomicU64 = AtomicU64::new(0);
-
-/// A counting wrapper around the system allocator: every successful
-/// allocation adds its size to a relaxed global counter. Install it with
-/// `#[global_allocator]` in a binary to make [`total_allocated_bytes`]
-/// meaningful there; the overhead is one relaxed atomic add per
-/// allocation.
-pub struct CountingAlloc;
-
-impl CountingAlloc {
-    /// Marks the counter live — called once from the binary so library
-    /// consumers can tell "no allocator installed" from "nothing counted".
-    pub fn mark_installed() {
-        INSTALLED.store(1, Ordering::Relaxed);
-    }
-}
-
-// SAFETY: delegates every operation to `System`, only adding relaxed
-// counter updates on success paths.
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        let p = System.alloc(layout);
-        if !p.is_null() {
-            ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
-        }
-        p
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout);
-    }
-
-    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        let p = System.alloc_zeroed(layout);
-        if !p.is_null() {
-            ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
-        }
-        p
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        let p = System.realloc(ptr, layout, new_size);
-        if !p.is_null() {
-            ALLOCATED.fetch_add(new_size.saturating_sub(layout.size()) as u64, Ordering::Relaxed);
-        }
-        p
-    }
-}
-
 /// Cumulative bytes allocated since process start, or `None` when
 /// [`CountingAlloc`] is not the global allocator of this process.
 pub fn total_allocated_bytes() -> Option<u64> {
-    (INSTALLED.load(Ordering::Relaxed) == 1).then(|| ALLOCATED.load(Ordering::Relaxed))
+    profile::total_allocated_bytes()
+}
+
+/// Cumulative allocation count since process start, or `None` when
+/// [`CountingAlloc`] is not the global allocator of this process.
+pub fn total_allocs() -> Option<u64> {
+    profile::total_allocs()
 }
 
 /// [`total_allocated_bytes`] in MiB, for summary fields.
@@ -96,5 +60,6 @@ mod tests {
         // report "not installed" rather than a misleading zero.
         assert_eq!(total_allocated_bytes(), None);
         assert_eq!(total_allocated_mb(), None);
+        assert_eq!(total_allocs(), None);
     }
 }

@@ -3,7 +3,7 @@
 use crate::fault::{FaultDecision, FaultPlane};
 use crate::latency::LatencyModel;
 use crate::node::{NetNode, NodeId};
-use crate::packet::Packet;
+use crate::packet::{Packet, PacketKind, PACKET_KINDS};
 use crate::traffic::TrafficStats;
 use crate::uplink::Uplink;
 use cdnc_geo::{GeoPoint, IspId, World};
@@ -70,6 +70,14 @@ pub struct Network {
     obs_fault_partitioned: cdnc_obs::Counter,
     obs_fault_duplicated: cdnc_obs::Counter,
     obs_fault_delayed: cdnc_obs::Counter,
+    /// Per-[`PacketKind`] accounting (indexed by `kind as usize`), armed
+    /// only when the registry has profiling enabled: cumulative packet and
+    /// byte counters plus live in-flight levels whose high-water marks show
+    /// the peak concurrent load each message class put on the network.
+    obs_kind_pkts: [cdnc_obs::Counter; PACKET_KINDS],
+    obs_kind_bytes: [cdnc_obs::Counter; PACKET_KINDS],
+    obs_inflight_pkts: [cdnc_obs::Gauge; PACKET_KINDS],
+    obs_inflight_bytes: cdnc_obs::Gauge,
 }
 
 impl Network {
@@ -91,6 +99,10 @@ impl Network {
             obs_fault_partitioned: cdnc_obs::Counter::default(),
             obs_fault_duplicated: cdnc_obs::Counter::default(),
             obs_fault_delayed: cdnc_obs::Counter::default(),
+            obs_kind_pkts: std::array::from_fn(|_| cdnc_obs::Counter::default()),
+            obs_kind_bytes: std::array::from_fn(|_| cdnc_obs::Counter::default()),
+            obs_inflight_pkts: std::array::from_fn(|_| cdnc_obs::Gauge::default()),
+            obs_inflight_bytes: cdnc_obs::Gauge::default(),
         }
     }
 
@@ -118,6 +130,13 @@ impl Network {
     /// If series sampling is enabled, the uplink backlog becomes a sampled
     /// series and the enqueue/byte counters become per-second rate series
     /// (packets/s and the uplink traffic rate in bytes/s).
+    ///
+    /// When the registry has **profiling** enabled
+    /// ([`cdnc_obs::Registry::enable_profiling`]) the network additionally
+    /// arms per-[`PacketKind`] structural probes: `net_pkts_<kind>` /
+    /// `net_bytes_<kind>` counters and `net_inflight_pkts_<kind>` /
+    /// `net_inflight_bytes` gauges tracking live (sent, not yet delivered)
+    /// messages — decremented by [`Network::mark_delivered`].
     pub fn set_obs(&mut self, registry: &cdnc_obs::Registry) {
         self.obs_enqueued = registry.counter("net_packets_enqueued");
         self.obs_backlog = registry.gauge("net_uplink_backlog_ms");
@@ -131,6 +150,17 @@ impl Network {
         registry.series_gauge("net_uplink_backlog_ms");
         registry.series_rate("net_packets_enqueued");
         registry.series_rate("net_uplink_bytes");
+        if registry.profiling_enabled() {
+            for kind in PacketKind::ALL {
+                let suffix = kind.metric_suffix();
+                self.obs_kind_pkts[kind as usize] = registry.counter(&format!("net_pkts_{suffix}"));
+                self.obs_kind_bytes[kind as usize] =
+                    registry.counter(&format!("net_bytes_{suffix}"));
+                self.obs_inflight_pkts[kind as usize] =
+                    registry.gauge(&format!("net_inflight_pkts_{suffix}"));
+            }
+            self.obs_inflight_bytes = registry.gauge("net_inflight_bytes");
+        }
     }
 
     /// Creates a network with one node per [`World`] node, in world order.
@@ -198,17 +228,35 @@ impl Network {
     ///
     /// Panics if either endpoint is out of range.
     pub fn send(&mut self, now: SimTime, packet: &Packet) -> SimTime {
+        let _prof = cdnc_obs::profile::scope(cdnc_obs::profile::Subsystem::Net);
         let distance = self.distance_km(packet.src, packet.dst);
         let crosses_isp = self.node(packet.src).isp() != self.node(packet.dst).isp();
         self.traffic.record_with_isp(packet, distance, crosses_isp);
         let queue_delay = self.uplinks[packet.src.index()].queueing_delay(now);
+        let bytes = (packet.size_kb * 1024.0) as u64;
         self.obs_enqueued.inc();
-        self.obs_bytes.add((packet.size_kb * 1024.0) as u64);
+        self.obs_bytes.add(bytes);
         self.obs_queue_delay.record(queue_delay.as_secs_f64());
         self.obs_backlog.set((queue_delay.as_secs_f64() * 1e3) as u64);
+        let k = packet.kind as usize;
+        self.obs_kind_pkts[k].inc();
+        self.obs_kind_bytes[k].add(bytes);
+        self.obs_inflight_pkts[k].add(1);
+        self.obs_inflight_bytes.add(bytes);
         let departed = self.uplinks[packet.src.index()].transmit(now, packet.size_kb);
         let (src, dst) = (&self.nodes[packet.src.index()], &self.nodes[packet.dst.index()]);
         departed + self.config.latency.delay(src, dst, &mut self.rng)
+    }
+
+    /// Marks one previously sent packet of `kind` / `size_kb` as delivered
+    /// (or dead), retiring it from the per-kind in-flight gauges armed by a
+    /// profiling-enabled [`Network::set_obs`]. The simulation calls this when
+    /// it processes the arrival event; [`Network::send_faulted`] calls it
+    /// itself for packets it drops in transit. Observation-only — a no-op
+    /// when profiling instruments are not armed.
+    pub fn mark_delivered(&mut self, kind: PacketKind, size_kb: f64) {
+        self.obs_inflight_pkts[kind as usize].sub(1);
+        self.obs_inflight_bytes.sub((size_kb * 1024.0) as u64);
     }
 
     /// Like [`Network::send`], but when `ctx` belongs to a live trace the
@@ -268,6 +316,9 @@ impl Network {
             FaultDecision::Drop { partitioned } => {
                 // Charge the sender: the packet left and died in transit.
                 let _ = self.send(now, packet);
+                // A dropped packet will never see an arrival event, so it is
+                // retired from the in-flight accounting here.
+                self.mark_delivered(packet.kind, packet.size_kb);
                 if partitioned {
                     self.obs_fault_partitioned.inc();
                 } else {
@@ -298,6 +349,10 @@ impl Network {
                 let mut out = vec![(arrival, hop)];
                 if let Some(lag) = duplicate_extra {
                     self.obs_fault_duplicated.inc();
+                    // The in-network copy is a second live message: count it
+                    // in-flight so each of the two arrivals retires one.
+                    self.obs_inflight_pkts[packet.kind as usize].add(1);
+                    self.obs_inflight_bytes.add((packet.size_kb * 1024.0) as u64);
                     let dup_arrival = arrival + lag;
                     let dup_hop = self.obs_tracer.hop(
                         ctx,
@@ -427,6 +482,74 @@ mod tests {
         assert!(series.get("net_uplink_bytes", cdnc_obs::SeriesKind::Rate).is_some());
         assert!(series.get("net_packets_enqueued", cdnc_obs::SeriesKind::Rate).is_some());
         assert!(series.get("net_uplink_backlog_ms", cdnc_obs::SeriesKind::Gauge).is_some());
+    }
+
+    #[test]
+    fn per_kind_accounting_requires_profiling_arming() {
+        let reg = cdnc_obs::Registry::enabled();
+        let (mut net, a, b) = two_node_net();
+        net.set_obs(&reg);
+        net.send(SimTime::ZERO, &Packet::update(a, b, 2.0));
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("net_pkts_update"), 0, "probes stay dark without profiling");
+        assert!(snap.gauges.iter().all(|(n, _)| n != "net_inflight_bytes"));
+    }
+
+    #[test]
+    fn per_kind_accounting_tracks_sends_and_deliveries() {
+        let reg = cdnc_obs::Registry::enabled();
+        reg.enable_profiling(cdnc_obs::ProfileConfig::default());
+        let (mut net, a, b) = two_node_net();
+        net.set_obs(&reg);
+        net.send(SimTime::ZERO, &Packet::update(a, b, 2.0));
+        net.send(SimTime::ZERO, &Packet::update(a, b, 2.0));
+        net.send(SimTime::ZERO, &Packet::poll(b, a));
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("net_pkts_update"), 2);
+        assert_eq!(snap.counter("net_bytes_update"), 2 * 2048);
+        assert_eq!(snap.counter("net_pkts_poll"), 1);
+        assert_eq!(snap.counter("net_bytes_poll"), 1024);
+        assert_eq!(snap.counter("net_pkts_ack"), 0);
+        let inflight = snap.gauges.iter().find(|(n, _)| n == "net_inflight_bytes").unwrap().1;
+        assert_eq!(inflight.value, 2 * 2048 + 1024);
+        // Deliver the poll and one update: levels fall, high water stays.
+        net.mark_delivered(PacketKind::Poll, crate::packet::LIGHT_PACKET_KB);
+        net.mark_delivered(PacketKind::Update, 2.0);
+        let snap = reg.snapshot();
+        let inflight = snap.gauges.iter().find(|(n, _)| n == "net_inflight_bytes").unwrap().1;
+        assert_eq!(inflight.value, 2048);
+        assert_eq!(inflight.high_water, 2 * 2048 + 1024);
+        let pkts = snap.gauges.iter().find(|(n, _)| n == "net_inflight_pkts_update").unwrap().1;
+        assert_eq!((pkts.value, pkts.high_water), (1, 2));
+    }
+
+    #[test]
+    fn dropped_and_duplicated_packets_balance_inflight() {
+        let reg = cdnc_obs::Registry::enabled();
+        reg.enable_profiling(cdnc_obs::ProfileConfig::default());
+        let (mut net, a, b) = two_node_net();
+        net.set_obs(&reg);
+        let cfg = crate::FaultConfig { loss_prob: 1.0, ..crate::FaultConfig::none() };
+        net.set_fault_plane(crate::FaultPlane::new(cfg, 1, 2));
+        let out =
+            net.send_faulted(SimTime::ZERO, &Packet::update(a, b, 2.0), cdnc_obs::TraceCtx::NONE);
+        assert!(out.is_empty());
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("net_pkts_update"), 1, "the drop still left the sender");
+        let inflight = snap.gauges.iter().find(|(n, _)| n == "net_inflight_bytes").unwrap().1;
+        assert_eq!(inflight.value, 0, "a dropped packet retires immediately");
+
+        let cfg = crate::FaultConfig { dup_prob: 1.0, ..crate::FaultConfig::none() };
+        net.set_fault_plane(crate::FaultPlane::new(cfg, 1, 2));
+        let out =
+            net.send_faulted(SimTime::ZERO, &Packet::update(a, b, 2.0), cdnc_obs::TraceCtx::NONE);
+        assert_eq!(out.len(), 2);
+        for _ in &out {
+            net.mark_delivered(PacketKind::Update, 2.0);
+        }
+        let snap = reg.snapshot();
+        let inflight = snap.gauges.iter().find(|(n, _)| n == "net_inflight_bytes").unwrap().1;
+        assert_eq!(inflight.value, 0, "both copies of a duplicate retire one in-flight slot");
     }
 
     #[test]

@@ -34,7 +34,39 @@ pub enum PacketKind {
     Ack,
 }
 
+/// Number of packet kinds (length of [`PacketKind::ALL`]).
+pub const PACKET_KINDS: usize = 9;
+
 impl PacketKind {
+    /// Every kind, in declaration order (`PacketKind as usize` indexes it).
+    pub const ALL: [PacketKind; PACKET_KINDS] = [
+        PacketKind::Update,
+        PacketKind::Poll,
+        PacketKind::PollUnchanged,
+        PacketKind::Invalidation,
+        PacketKind::MethodSwitch,
+        PacketKind::TreeMaintenance,
+        PacketKind::UserRequest,
+        PacketKind::UserResponse,
+        PacketKind::Ack,
+    ];
+
+    /// [`PacketKind::name`] with `-` folded to `_`: the stable metric-name
+    /// suffix for per-kind instruments.
+    pub fn metric_suffix(self) -> &'static str {
+        match self {
+            PacketKind::Update => "update",
+            PacketKind::Poll => "poll",
+            PacketKind::PollUnchanged => "poll_unchanged",
+            PacketKind::Invalidation => "invalidation",
+            PacketKind::MethodSwitch => "method_switch",
+            PacketKind::TreeMaintenance => "tree_maintenance",
+            PacketKind::UserRequest => "user_request",
+            PacketKind::UserResponse => "user_response",
+            PacketKind::Ack => "ack",
+        }
+    }
+
     /// `true` for messages that carry content (the paper's "update
     /// messages"); `false` for light messages.
     pub fn is_update(self) -> bool {

@@ -14,7 +14,11 @@
 //! - **convergence violations** — replicas still stale at the horizon even
 //!   though every injected fault ended a settle window earlier (recorded by
 //!   the simulator's convergence checker as `Lost` spans labelled
-//!   `convergence`).
+//!   `convergence`), and
+//! - **memory spikes** — intervals whose allocated bytes exceeded the
+//!   configured multiple of the running median (recorded by the profiling
+//!   probe as `memory_spike` control spans; surfaced as one traceless
+//!   report).
 //!
 //! The recorder is bounded: at most [`FlightRecorder::max_dumps`] reports
 //! are kept, worst (highest adoption lag) first, so a pathological run
@@ -49,6 +53,13 @@ pub enum Anomaly {
         /// How many replicas were still stale.
         count: usize,
     },
+    /// Allocation-rate spikes recorded by the memory probe (intervals whose
+    /// allocated bytes exceeded the configured multiple of the running
+    /// median; see `profile::MemProbe`).
+    MemorySpikes {
+        /// How many intervals spiked.
+        count: usize,
+    },
 }
 
 impl Anomaly {
@@ -59,6 +70,7 @@ impl Anomaly {
             Anomaly::OrphanedHops { .. } => "orphaned_hops",
             Anomaly::LostDeliveries { .. } => "lost_deliveries",
             Anomaly::ConvergenceViolations { .. } => "convergence_violations",
+            Anomaly::MemorySpikes { .. } => "memory_spikes",
         }
     }
 }
@@ -96,6 +108,7 @@ impl FlightReport {
                         Anomaly::OrphanedHops { count } => j.field("count", *count),
                         Anomaly::LostDeliveries { count } => j.field("count", *count),
                         Anomaly::ConvergenceViolations { count } => j.field("count", *count),
+                        Anomaly::MemorySpikes { count } => j.field("count", *count),
                     }
                 })
                 .collect(),
@@ -128,8 +141,12 @@ impl FlightReport {
             .field("spans", spans)
     }
 
-    /// Stable dump-file stem, e.g. `update_0007_trace3`.
+    /// Stable dump-file stem, e.g. `update_0007_trace3`
+    /// (`control_memory_spikes` for the traceless memory-spike report).
     pub fn file_stem(&self) -> String {
+        if self.trace == TraceId::NONE {
+            return "control_memory_spikes".to_owned();
+        }
         format!("update_{:04}_trace{}", self.update, self.trace.0)
     }
 }
@@ -202,6 +219,24 @@ impl FlightRecorder {
             b.max_lag_s.partial_cmp(&a.max_lag_s).unwrap_or(std::cmp::Ordering::Equal)
         });
         reports.truncate(self.max_dumps);
+        // Memory spikes are control-plane: they belong to no update's trace,
+        // so they surface as one extra report carrying every `memory_spike`
+        // span (appended after the truncation — one report, still bounded).
+        let spikes: Vec<SpanRecord> = store
+            .trace_spans(TraceId::NONE)
+            .filter(|s| s.kind == SpanKind::MemorySpike)
+            .cloned()
+            .collect();
+        if !spikes.is_empty() {
+            reports.push(FlightReport {
+                trace: TraceId::NONE,
+                update: 0,
+                scope: "control".to_owned(),
+                anomalies: vec![Anomaly::MemorySpikes { count: spikes.len() }],
+                max_lag_s: 0.0,
+                spans: spikes,
+            });
+        }
         reports
     }
 }
@@ -292,6 +327,28 @@ mod tests {
         let reports = FlightRecorder::new(1e9).scan(&mixed_store());
         assert!(reports.iter().all(|r| r.anomalies.iter().all(|a| a.tag() != "slow_adoption")));
         assert_eq!(reports.len(), 2);
+    }
+
+    #[test]
+    fn memory_spikes_surface_as_a_control_report() {
+        let t = tracer();
+        let healthy = t.publish(1, 0, 0, "s");
+        let h = t.hop(healthy, "update", 0, 1, 0, 500_000);
+        t.adopt(h, 1, 500_000);
+        t.control(SpanKind::MemorySpike, 0, 2_000_000, "memory-spike");
+        t.control(SpanKind::MemorySpike, 0, 5_000_000, "memory-spike");
+        // Other control spans must not ride along.
+        t.control(SpanKind::ModeSwitch, 3, 6_000_000, "to_invalidation");
+        let reports = FlightRecorder::new(60.0).scan(&t.store());
+        assert_eq!(reports.len(), 1, "healthy update dumps nothing; spikes do");
+        let r = &reports[0];
+        assert_eq!(r.trace, TraceId::NONE);
+        assert_eq!(r.anomalies, vec![Anomaly::MemorySpikes { count: 2 }]);
+        assert_eq!(r.anomalies[0].tag(), "memory_spikes");
+        assert_eq!(r.spans.len(), 2);
+        assert!(r.spans.iter().all(|s| s.kind == SpanKind::MemorySpike));
+        assert_eq!(r.file_stem(), "control_memory_spikes");
+        assert!(crate::json::parse(&r.to_json().to_pretty()).is_ok());
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod events;
 pub mod flight;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod registry;
 pub mod series;
 pub mod span;
@@ -52,7 +53,11 @@ pub use metrics::{
     bucket_floor, bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS,
     HISTOGRAM_MIN,
 };
-pub use registry::{GaugeSnapshot, MetricsSnapshot, Registry};
+pub use profile::{
+    MemProbe, ProfileSnapshot, ProfiledAlloc, SpikeDetector, SpikeRecord, Subsystem,
+    SubsystemStats, DEFAULT_SPIKE_MULTIPLE, SUBSYSTEMS,
+};
+pub use registry::{GaugeSnapshot, MetricsSnapshot, ProfileConfig, Registry};
 pub use series::{
     lttb, Sampler, SeriesEntry, SeriesKind, SeriesPoint, SeriesSnapshot, DEFAULT_CADENCE_US,
     SERIES_CAPACITY,

@@ -17,6 +17,7 @@
 use crate::events::{EventLog, EventRecord, Level};
 use crate::json::Json;
 use crate::metrics::{Counter, Gauge, GaugeCore, Histogram, HistogramCore, HistogramSnapshot};
+use crate::profile::MemProbe;
 use crate::series::{Sampler, SeriesCore, SeriesKind, SeriesSnapshot, SourceCell};
 use crate::span::{PhaseTiming, SpanGuard, SpanRecorder};
 use crate::trace::{Tracer, TracerCore};
@@ -33,6 +34,27 @@ struct Inner {
     events: Mutex<Option<Arc<EventLog>>>,
     tracer: Mutex<Option<Arc<TracerCore>>>,
     series: Mutex<Option<Arc<SeriesCore>>>,
+    profile: Mutex<Option<ProfileConfig>>,
+}
+
+/// Arming parameters for the profiling structural probes; see
+/// [`Registry::enable_profiling`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfileConfig {
+    /// Simulated-time interval between allocation-spike judgements, µs.
+    pub spike_cadence_us: u64,
+    /// An interval allocating more than this multiple of the running
+    /// median is a spike.
+    pub spike_multiple: f64,
+}
+
+impl Default for ProfileConfig {
+    fn default() -> Self {
+        ProfileConfig {
+            spike_cadence_us: crate::series::DEFAULT_CADENCE_US,
+            spike_multiple: crate::profile::DEFAULT_SPIKE_MULTIPLE,
+        }
+    }
 }
 
 fn intern<T: Default>(table: &Mutex<Vec<(String, Arc<T>)>>, name: &str) -> Arc<T> {
@@ -146,6 +168,52 @@ impl Registry {
             if slot.is_none() {
                 *slot = Some(Arc::new(SeriesCore::new(cadence_us)));
             }
+        }
+    }
+
+    /// Arms the profiling structural probes: the scheduler's queue-depth
+    /// log-histogram at pop time, per-`PacketKind` packet/byte accounting
+    /// in the network, per-node state-size estimation in the simulator,
+    /// and the allocation-spike probe ([`Registry::mem_probe`]). Like
+    /// events/tracing/series this is an opt-in gate mirrored by
+    /// [`Registry::shard`] — the probes record through ordinary interned
+    /// instruments, so `--jobs N` merges bit-identically.
+    ///
+    /// This does *not* flip the process-global allocator attribution
+    /// ([`crate::profile::set_enabled`]); binaries that installed
+    /// [`crate::profile::ProfiledAlloc`] switch that separately.
+    pub fn enable_profiling(&self, config: ProfileConfig) {
+        if let Some(inner) = &self.0 {
+            let mut slot = inner.profile.lock();
+            if slot.is_none() {
+                *slot = Some(config);
+            }
+        }
+    }
+
+    /// Whether profiling probes are armed.
+    pub fn profiling_enabled(&self) -> bool {
+        self.0.as_ref().is_some_and(|inner| inner.profile.lock().is_some())
+    }
+
+    /// The armed profiling configuration, if any.
+    pub fn profile_config(&self) -> Option<ProfileConfig> {
+        self.0.as_ref().and_then(|inner| *inner.profile.lock())
+    }
+
+    /// A fresh allocation-spike probe wired to this registry's
+    /// `profile_mem_spikes` counter and tracer (inert unless profiling is
+    /// armed). Each scheduler mints its own probe in `set_obs`, so probe
+    /// state stays per-simulation while the instruments merge as usual.
+    pub fn mem_probe(&self) -> MemProbe {
+        match self.profile_config() {
+            None => MemProbe::default(),
+            Some(cfg) => MemProbe::armed(
+                cfg.spike_cadence_us,
+                cfg.spike_multiple,
+                self.counter("profile_mem_spikes"),
+                self.tracer(),
+            ),
         }
     }
 
@@ -279,6 +347,9 @@ impl Registry {
         }
         if let Some(series) = inner.series.lock().as_ref() {
             shard.enable_series(series.cadence_us);
+        }
+        if let Some(profile) = *inner.profile.lock() {
+            shard.enable_profiling(profile);
         }
         shard
     }

@@ -187,6 +187,7 @@ impl SeriesCore {
     /// with rates averaged over the whole gap, keeping idle periods from
     /// flooding the buffers.
     fn sample(&self, now_us: u64) {
+        let _prof = crate::profile::scope(crate::profile::Subsystem::Series);
         let mut state = self.state.lock();
         let boundary = now_us - now_us % self.cadence_us;
         if state.sampled && boundary <= state.last_us {
@@ -221,6 +222,7 @@ impl SeriesCore {
         cell: SourceCell,
         points: &[SeriesPoint],
     ) {
+        let _prof = crate::profile::scope(crate::profile::Subsystem::Series);
         let mut state = self.state.lock();
         let idx = match state.sources.iter().position(|s| s.name == name && s.kind == kind) {
             Some(i) => i,

@@ -107,6 +107,9 @@ pub enum SpanKind {
     TreeRepair,
     /// An end-user observes the update at a replica.
     UserView,
+    /// An interval allocated far more memory than the running median
+    /// (control plane, no trace; recorded by the profiling probe).
+    MemorySpike,
 }
 
 impl SpanKind {
@@ -122,6 +125,7 @@ impl SpanKind {
             SpanKind::ModeSwitch => "mode_switch",
             SpanKind::TreeRepair => "tree_repair",
             SpanKind::UserView => "user_view",
+            SpanKind::MemorySpike => "memory_spike",
         }
     }
 
@@ -137,6 +141,7 @@ impl SpanKind {
             "mode_switch" => Some(SpanKind::ModeSwitch),
             "tree_repair" => Some(SpanKind::TreeRepair),
             "user_view" => Some(SpanKind::UserView),
+            "memory_spike" => Some(SpanKind::MemorySpike),
             _ => None,
         }
     }
@@ -158,7 +163,7 @@ impl SpanKind {
 /// The closed vocabulary of span labels the workspace records. Labels are
 /// `&'static str` so recording never allocates; the Chrome-trace importer
 /// maps parsed strings back through this table.
-pub const LABELS: [&str; 26] = [
+pub const LABELS: [&str; 27] = [
     "publish",
     "adopt",
     "superseded",
@@ -184,6 +189,7 @@ pub const LABELS: [&str; 26] = [
     "degrade",
     "abandoned",
     "convergence",
+    "memory-spike",
     "other",
 ];
 
@@ -273,6 +279,7 @@ impl Tracer {
         match &self.0 {
             None => TraceCtx::NONE,
             Some(core) => {
+                let _prof = crate::profile::scope(crate::profile::Subsystem::Trace);
                 let mut state = core.state.lock();
                 let id = SpanId(state.spans.len() as u32);
                 let record = make(id);
@@ -289,6 +296,7 @@ impl Tracer {
     /// from different sims sharing one registry stay separable.
     pub fn publish(&self, update: u32, node: u32, at_us: u64, scope: &str) -> TraceCtx {
         let Some(core) = &self.0 else { return TraceCtx::NONE };
+        let _prof = crate::profile::scope(crate::profile::Subsystem::Trace);
         let mut state = core.state.lock();
         let trace = TraceId(state.traces.len() as u32);
         let id = SpanId(state.spans.len() as u32);
@@ -441,6 +449,7 @@ impl Tracer {
     /// sequentially — the parallel-determinism contract for tracing.
     pub fn absorb(&self, other: &SpanStore) {
         let Some(core) = &self.0 else { return };
+        let _prof = crate::profile::scope(crate::profile::Subsystem::Trace);
         let mut state = core.state.lock();
         let trace_off = state.traces.len() as u32;
         let span_off = state.spans.len() as u32;
@@ -716,7 +725,7 @@ impl SpanStore {
 
     /// Aggregates the whole store.
     pub fn summary(&self) -> StoreSummary {
-        const KINDS: [SpanKind; 9] = [
+        const KINDS: [SpanKind; 10] = [
             SpanKind::Publish,
             SpanKind::Hop,
             SpanKind::Adopt,
@@ -726,6 +735,7 @@ impl SpanStore {
             SpanKind::ModeSwitch,
             SpanKind::TreeRepair,
             SpanKind::UserView,
+            SpanKind::MemorySpike,
         ];
         let mut counts = [0usize; KINDS.len()];
         let mut lags = Vec::new();
@@ -1022,6 +1032,7 @@ mod tests {
             SpanKind::ModeSwitch,
             SpanKind::TreeRepair,
             SpanKind::UserView,
+            SpanKind::MemorySpike,
         ] {
             assert_eq!(SpanKind::parse(k.as_str()), Some(k));
         }

@@ -6,7 +6,8 @@
 
 use crate::queue::EventQueue;
 use crate::time::{SimDuration, SimTime};
-use cdnc_obs::{Counter, Gauge, Registry, Sampler, Tracer};
+use cdnc_obs::profile::{self, Subsystem};
+use cdnc_obs::{Counter, Gauge, Histogram, MemProbe, Registry, Sampler, Tracer};
 
 /// Drives a simulation: owns the clock and the pending-event queue.
 ///
@@ -44,6 +45,11 @@ pub struct Scheduler<E> {
     obs_depth: Gauge,
     obs_tracer: Tracer,
     obs_sampler: Sampler,
+    /// Queue occupancy observed by each pop (profiling probe; inert
+    /// unless the registry armed profiling).
+    obs_pop_depth: Histogram,
+    /// Allocation-spike probe ticked with the clock (same gate).
+    obs_mem_probe: MemProbe,
 }
 
 impl<E> Default for Scheduler<E> {
@@ -64,6 +70,8 @@ impl<E> Scheduler<E> {
             obs_depth: Gauge::default(),
             obs_tracer: Tracer::default(),
             obs_sampler: Sampler::default(),
+            obs_pop_depth: Histogram::default(),
+            obs_mem_probe: MemProbe::default(),
         }
     }
 
@@ -77,6 +85,9 @@ impl<E> Scheduler<E> {
     /// `sched_events_processed` (rate = events/sec) become sampled series
     /// and the sampler is ticked with the clock; attaching marks a fresh
     /// sampling segment because this scheduler's clock starts at zero.
+    /// If profiling is armed, `sched_queue_depth_at_pop` (log-histogram of
+    /// queue occupancy at each pop) and the allocation-spike probe ride
+    /// along too.
     pub fn set_obs(&mut self, registry: &Registry) {
         self.obs_processed = registry.counter("sched_events_processed");
         self.obs_depth = registry.gauge("sched_queue_depth");
@@ -86,6 +97,12 @@ impl<E> Scheduler<E> {
         self.obs_sampler.begin_segment();
         registry.series_gauge("sched_queue_depth");
         registry.series_rate("sched_events_processed");
+        self.obs_pop_depth = if registry.profiling_enabled() {
+            registry.histogram("sched_queue_depth_at_pop")
+        } else {
+            Histogram::default()
+        };
+        self.obs_mem_probe = registry.mem_probe();
     }
 
     /// Creates a scheduler that silently stops yielding events past `horizon`
@@ -122,12 +139,14 @@ impl<E> Scheduler<E> {
     /// Panics if `at` is before the current clock — causality violation.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
         assert!(at >= self.now, "scheduled into the past: {} < {}", at, self.now);
+        let _prof = profile::scope(Subsystem::Scheduler);
         self.queue.push(at, event);
         self.obs_depth.set(self.queue.len() as u64);
     }
 
     /// Schedules `event` after the relative delay `delay`.
     pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        let _prof = profile::scope(Subsystem::Scheduler);
         self.queue.push(self.now + delay, event);
         self.obs_depth.set(self.queue.len() as u64);
     }
@@ -146,7 +165,15 @@ impl<E> Scheduler<E> {
                 return None;
             }
         }
-        let (t, e) = self.queue.pop()?;
+        // Occupancy the pop observes (only when it will succeed: one
+        // histogram sample per delivered event).
+        if !self.queue.is_empty() {
+            self.obs_pop_depth.record(self.queue.len() as f64);
+        }
+        let (t, e) = {
+            let _prof = profile::scope(Subsystem::Scheduler);
+            self.queue.pop()?
+        };
         debug_assert!(t >= self.now, "event queue yielded a past event");
         self.now = t;
         self.processed += 1;
@@ -154,6 +181,7 @@ impl<E> Scheduler<E> {
         self.obs_depth.set(self.queue.len() as u64);
         self.obs_tracer.tick(t.as_micros());
         self.obs_sampler.tick(t.as_micros());
+        self.obs_mem_probe.tick(t.as_micros());
         Some((t, e))
     }
 }
@@ -263,6 +291,46 @@ mod tests {
             s.schedule_in(SimDuration::from_secs(1), Ev::A);
         }
         assert_eq!(a.next().unwrap(), b.next().unwrap());
+    }
+
+    #[test]
+    fn pop_depth_histogram_matches_ground_truth() {
+        let reg = cdnc_obs::Registry::enabled();
+        reg.enable_profiling(cdnc_obs::ProfileConfig::default());
+        let mut s = Scheduler::new();
+        s.set_obs(&reg);
+        // Interleave schedules and pops, tracking the depth each pop sees.
+        let mut expected: Vec<u64> = Vec::new();
+        for i in 1..=4u64 {
+            s.schedule_in(SimDuration::from_secs(i), Ev::A);
+        }
+        expected.push(4);
+        s.next().unwrap();
+        s.schedule_in(SimDuration::from_secs(10), Ev::B);
+        while s.pending() > 0 {
+            expected.push(s.pending() as u64);
+            s.next().unwrap();
+        }
+        assert!(s.next().is_none(), "an empty queue must not record a sample");
+        let snap = reg.snapshot();
+        let h = snap.histogram("sched_queue_depth_at_pop").expect("armed probe records");
+        assert_eq!(h.count, expected.len() as u64);
+        assert_eq!(h.sum, expected.iter().sum::<u64>() as f64);
+        assert_eq!(h.min, *expected.iter().min().unwrap() as f64);
+        assert_eq!(h.max, *expected.iter().max().unwrap() as f64);
+    }
+
+    #[test]
+    fn pop_depth_histogram_requires_profiling_arming() {
+        let reg = cdnc_obs::Registry::enabled();
+        let mut s = Scheduler::new();
+        s.set_obs(&reg);
+        s.schedule_in(SimDuration::from_secs(1), Ev::A);
+        while s.next().is_some() {}
+        assert!(
+            reg.snapshot().histogram("sched_queue_depth_at_pop").is_none(),
+            "the probe is opt-in"
+        );
     }
 
     #[test]

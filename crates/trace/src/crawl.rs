@@ -122,6 +122,11 @@ pub fn crawl_with_obs(config: &CrawlConfig, obs: &Registry) -> Trace {
 /// metrics are bit-identical to the serial run (per-task counts are folded
 /// into `obs` in task-index order after each parallel section).
 pub fn crawl_with_obs_par(config: &CrawlConfig, obs: &Registry, pool: &Pool) -> Trace {
+    // Allocation attribution: trace synthesis (timelines, observations)
+    // lands in the `trace` bucket. Worker threads run untagged (their spawn
+    // cost is `other`), which is fine — the crawl's own big allocations
+    // happen on this thread when shard results are committed.
+    let _prof = cdnc_obs::profile::scope(cdnc_obs::profile::Subsystem::Trace);
     assert!(config.servers > 0, "need at least one server");
     assert!(config.users > 0, "need at least one user");
     assert!(config.days > 0, "need at least one day");

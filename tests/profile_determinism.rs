@@ -1,0 +1,191 @@
+//! The profiling contract, enforced end-to-end with the counting
+//! allocator actually installed in this test binary:
+//!
+//! - profiling is observation-only (a profiled run's report is
+//!   bit-identical to an unprofiled one),
+//! - the deterministic sections of the profile artifact (`attribution`,
+//!   `probes`) are identical for serial and `--jobs 2/4` runs once
+//!   volatile telemetry is scrubbed, and
+//! - the tagged allocator's counters obey their arithmetic contract
+//!   (saturation, signed live levels, scope nesting/re-entrancy) under
+//!   property-based inputs.
+
+use cdnc_experiments::obs_out::{scrub_volatile, ObsSettings};
+use cdnc_experiments::profile_out::profile_doc;
+use cdnc_experiments::{run_figure, run_figure_ctx, FigureReport, RunCtx, Scale};
+use cdnc_obs::profile::{self, ProfileCounters, ProfiledAlloc, Subsystem, SUBSYSTEMS};
+use cdnc_obs::Json;
+use cdnc_par::Pool;
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// The real thing: allocation attribution in this binary is fed by the
+/// installed allocator, not simulated counter calls.
+#[global_allocator]
+static ALLOC: ProfiledAlloc = ProfiledAlloc;
+
+/// Process-global attribution state (`set_enabled`, the window peaks)
+/// is shared across tests in this binary: serialize everything that
+/// enables it so windows never overlap.
+static GUARD: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    GUARD.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Runs fig20 under a profiling-armed registry with `jobs` workers,
+/// bracketing the run in an attribution window exactly as the
+/// `experiments profile` subcommand does.
+fn profiled_run(jobs: usize) -> (FigureReport, Json) {
+    let mut obs = ObsSettings::off();
+    obs.enabled = true;
+    obs.profile = true;
+    let reg = obs.registry();
+    let ctx = RunCtx::with_pool(Scale::Smoke, Pool::new(jobs));
+    profile::set_enabled(true);
+    profile::reset_window_peaks();
+    let base = profile::snapshot();
+    let report = run_figure_ctx("fig20", ctx, None, &reg).expect("known id");
+    profile::set_enabled(false);
+    let window = profile::snapshot().window_since(&base);
+    (report, profile_doc("fig20", Scale::Smoke, &window, &reg, 0.0))
+}
+
+#[test]
+fn profile_artifacts_are_jobs_invariant_and_observation_only() {
+    let _g = lock();
+    ProfiledAlloc::mark_installed();
+    let plain = run_figure("fig20", Scale::Smoke, None).expect("known id");
+
+    let (r1, d1) = profiled_run(1);
+    let (r2, d2) = profiled_run(2);
+    let (r4, d4) = profiled_run(4);
+
+    // Observation-only: profiling must not change a single result.
+    assert_eq!(plain, r1, "profiling must not change results");
+    assert_eq!(r1, r2, "worker count must not change results");
+    assert_eq!(r2, r4);
+
+    // The structural probes come from registry shards absorbed in task
+    // order: bit-identical for every worker count.
+    let probes = |d: &Json| d.get("probes").expect("probes section").to_pretty();
+    assert_eq!(probes(&d1), probes(&d2), "serial vs --jobs 2 probes");
+    assert_eq!(probes(&d2), probes(&d4), "--jobs 2 vs --jobs 4 probes");
+
+    // The attribution totals are fed by the process-global allocator:
+    // workload-dominated, but per-thread warm-up inside scopes adds a tiny
+    // jitter across worker counts. Hold every named bucket to 0.5%.
+    let bucket = |d: &Json, name: &str, key: &str| {
+        d.get("attribution")
+            .and_then(|a| a.get(name))
+            .and_then(|s| s.get(key))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0)
+    };
+    assert!(bucket(&d1, "sim_core", "bytes") > 0.0, "allocator must attribute for real");
+    for name in ["scheduler", "net", "sim_core", "trace", "series", "analysis"] {
+        for key in ["allocs", "bytes"] {
+            let (a, b, c) =
+                (bucket(&d1, name, key), bucket(&d2, name, key), bucket(&d4, name, key));
+            let close = |x: f64, y: f64| (x - y).abs() <= 0.005 * x.max(y).max(1.0);
+            assert!(close(a, b) && close(b, c), "{name}.{key} drifted: {a} / {b} / {c}");
+        }
+    }
+
+    // The volatile scrub keeps exactly the sections above and drops the
+    // telemetry — same contract `obs-diff` enforces on run artifacts.
+    let s1 = scrub_volatile(&d1);
+    assert!(s1.get("attribution").is_some());
+    assert!(s1.get("probes").is_some());
+    assert!(s1.get("allocator_telemetry").is_none(), "telemetry is volatile");
+    assert!(s1.get("spikes").is_none(), "spike counts are volatile");
+}
+
+#[test]
+fn scoped_allocations_attribute_to_the_scope_for_real() {
+    let _g = lock();
+    ProfiledAlloc::mark_installed();
+    profile::set_enabled(true);
+    let base = profile::snapshot();
+    let grabbed = {
+        let _net = profile::scope(Subsystem::Net);
+        // Re-entrancy: this Vec's allocation goes through ProfiledAlloc,
+        // which reads the thread's tag while the guard is alive.
+        vec![0u8; 64 * 1024]
+    };
+    profile::set_enabled(false);
+    let window = profile::snapshot().window_since(&base);
+    assert!(
+        window.subsystem(Subsystem::Net).bytes >= grabbed.capacity() as u64,
+        "a 64 KiB allocation under scope(Net) must be charged to net, got {:?}",
+        window.subsystem(Subsystem::Net)
+    );
+}
+
+proptest! {
+    #[test]
+    fn byte_totals_saturate_instead_of_wrapping(
+        sizes in proptest::collection::vec(0u64..=u64::MAX, 1..32)
+    ) {
+        let c = ProfileCounters::new();
+        c.set_enabled(true);
+        let mut expect = 0u64;
+        for &s in &sizes {
+            c.record_alloc(Subsystem::Net, s);
+            expect = expect.saturating_add(s);
+        }
+        let snap = c.snapshot();
+        prop_assert_eq!(snap.subsystem(Subsystem::Net).bytes, expect);
+        prop_assert_eq!(snap.total_bytes, expect);
+        prop_assert_eq!(snap.subsystem(Subsystem::Net).allocs, sizes.len() as u64);
+        prop_assert_eq!(snap.total_allocs, sizes.len() as u64);
+    }
+
+    #[test]
+    fn live_levels_track_any_alloc_free_interleaving(
+        ops in proptest::collection::vec((0u8..2, 0u64..(1u64 << 40)), 1..64)
+    ) {
+        let c = ProfileCounters::new();
+        c.set_enabled(true);
+        let (mut live, mut peak) = (0i64, 0i64);
+        for &(op, bytes) in &ops {
+            if op == 0 {
+                c.record_alloc(Subsystem::SimCore, bytes);
+                live += bytes as i64;
+                peak = peak.max(live);
+            } else {
+                // Frees may exceed allocations (pre-enable memory): the
+                // live level legitimately goes negative, never wraps.
+                c.record_dealloc(Subsystem::SimCore, bytes);
+                live -= bytes as i64;
+            }
+        }
+        let snap = c.snapshot();
+        prop_assert_eq!(snap.subsystem(Subsystem::SimCore).live_bytes, live);
+        prop_assert_eq!(snap.live_bytes, live);
+        prop_assert_eq!(snap.subsystem(Subsystem::SimCore).peak_live_bytes, peak);
+    }
+
+    #[test]
+    fn nested_scopes_always_restore_the_outer_tag(
+        tags in proptest::collection::vec(0usize..SUBSYSTEMS, 1..12)
+    ) {
+        let _g = lock();
+        profile::set_enabled(true);
+        fn descend(tags: &[usize]) {
+            let Some((&first, rest)) = tags.split_first() else { return };
+            let tag = Subsystem::ALL[first];
+            let before = profile::current();
+            {
+                let _s = profile::scope(tag);
+                assert_eq!(profile::current(), tag);
+                descend(rest);
+                assert_eq!(profile::current(), tag, "inner scopes must restore on drop");
+            }
+            assert_eq!(profile::current(), before);
+        }
+        descend(&tags);
+        profile::set_enabled(false);
+        prop_assert_eq!(profile::current(), Subsystem::Other);
+    }
+}
