@@ -86,6 +86,23 @@ cargo run -q -p cdnc-experiments --release -- report --obs-dir "$PROF_DIR" --out
 grep -q 'Memory profile' "$PROF_DIR/report/fig20.html"
 rm -rf "$PROF_DIR"
 
+echo "==> time profile smoke: flamegraph export + structural serial vs --jobs 4 diff"
+TP_DIR="$(mktemp -d)"
+cargo run -q -p cdnc-experiments --release -- timeprof fig17 --scale smoke --obs-dir "$TP_DIR/serial"
+cargo run -q -p cdnc-experiments --release -- timeprof fig17 --scale smoke --obs-dir "$TP_DIR/jobs4" --jobs 4
+test -s "$TP_DIR/serial/fig17.folded"
+test -s "$TP_DIR/jobs4/fig17.folded"
+# Frame paths, counts and handler counts are deterministic; obs-diff
+# scrubs the nanosecond telemetry and compares .folded stacks structurally.
+cargo run -q -p cdnc-experiments --release -- obs-diff "$TP_DIR/serial" "$TP_DIR/jobs4"
+cargo run -q -p cdnc-experiments --release -- report --obs-dir "$TP_DIR/serial" --out "$TP_DIR/report"
+grep -q 'Time profile' "$TP_DIR/report/fig17.html"
+grep -q 'Worker utilization' "$TP_DIR/report/fig17.html"
+rm -rf "$TP_DIR"
+
+echo "==> paired-run time-profiling determinism"
+cargo test -p cdnc-experiments --test timeprof_determinism --quiet
+
 echo "==> perf + memory-curve regression vs committed baseline"
 BENCH_DIR="$(mktemp -d)"
 cargo run -q -p cdnc-experiments --release -- bench --scale smoke --scale-sweep --label ci --out "$BENCH_DIR/BENCH_ci.json"

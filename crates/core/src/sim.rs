@@ -25,7 +25,9 @@ use crate::topology::Topology;
 use cdnc_geo::{IspId, WorldBuilder};
 use cdnc_net::{FaultPlane, Network, NodeId, Packet, PacketKind};
 use cdnc_obs::profile::{self, Subsystem};
-use cdnc_obs::{Counter, Gauge, Histogram, Level, Registry, SpanKind, TraceCtx, Tracer};
+use cdnc_obs::{
+    Counter, Gauge, HandlerTimer, Histogram, Level, Registry, SpanKind, TraceCtx, Tracer,
+};
 use cdnc_simcore::stats::OnlineStats;
 use cdnc_simcore::{stream_tag, Scheduler, SimDuration, SimRng, SimTime};
 use cdnc_trace::SnapshotId;
@@ -104,6 +106,39 @@ enum Event {
     /// Under a [`FaultPlan`]: the failure detector checks `node`'s upstream
     /// (with a generation, like poll timers, so re-wiring kills old chains).
     Probe(NodeId, u64),
+}
+
+/// Dispatch-timer labels, one per [`Event`] kind, indexed by
+/// [`Event::obs_idx`].
+const EVENT_TIMER_LABELS: [&str; 10] = [
+    "ev_publish",
+    "ev_poll_timer",
+    "ev_arrive",
+    "ev_user_visit",
+    "ev_fail",
+    "ev_recover",
+    "ev_fetch_timeout",
+    "ev_heartbeat",
+    "ev_retransmit",
+    "ev_probe",
+];
+
+impl Event {
+    /// This event's slot in [`EVENT_TIMER_LABELS`].
+    fn obs_idx(&self) -> usize {
+        match self {
+            Event::Publish(..) => 0,
+            Event::PollTimer(..) => 1,
+            Event::Arrive(..) => 2,
+            Event::UserVisit(..) => 3,
+            Event::Fail(..) => 4,
+            Event::Recover(..) => 5,
+            Event::FetchTimeout(..) => 6,
+            Event::Heartbeat(..) => 7,
+            Event::Retransmit(..) => 8,
+            Event::Probe(..) => 9,
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -342,6 +377,13 @@ struct SimObs {
     user_state_bytes: Histogram,
     /// Causal update tracer (inert unless enabled on the registry).
     tracer: Tracer,
+    /// Per-event-kind dispatch timers, indexed by [`Event::obs_idx`] —
+    /// wall-clock handler cost where the scheduler hands events to the
+    /// run loop (timeprof gate; inert unless armed).
+    ev_timers: [HandlerTimer; 10],
+    /// Per-message-kind dispatch timers for `on_arrive`, indexed by
+    /// [`SimObs::msg_timer_idx`] (same gate).
+    msg_timers: [HandlerTimer; 10],
 }
 
 impl SimObs {
@@ -443,11 +485,35 @@ impl SimObs {
                 Histogram::default()
             },
             tracer: registry.tracer(),
+            ev_timers: EVENT_TIMER_LABELS.map(|n| registry.handler_timer(n)),
+            msg_timers: [
+                "msg_update",
+                "msg_poll",
+                "msg_poll_unchanged",
+                "msg_invalidation",
+                "msg_method_switch",
+                "msg_tree_maintenance",
+                "msg_user_request",
+                "msg_user_response",
+                "msg_ack",
+                "msg_tracked",
+            ]
+            .map(|n| registry.handler_timer(n)),
         }
     }
 
     fn msg(&self, kind: PacketKind) -> &Counter {
         &self.msgs[kind as usize]
+    }
+
+    /// The dispatch-timer slot for an arriving message: its wire class,
+    /// except tracked envelopes get their own slot (their payload recurses
+    /// through `on_arrive` and is timed under its own kind).
+    fn msg_timer_idx(msg: &Msg) -> usize {
+        match msg {
+            Msg::Tracked { .. } => 9,
+            m => m.kind() as usize,
+        }
     }
 
     /// The instrument slot for `method`: its [`MethodKind::ALL`] position,
@@ -721,6 +787,10 @@ impl<'a> CdnSimulation<'a> {
 
     fn run(mut self) -> SimReport {
         while let Some((now, ev)) = self.sched.next() {
+            // Per-event-kind handler timing (observation-only wall clock;
+            // one branch when timeprof is off). The guard owns its cell,
+            // so the handlers below can borrow `self` mutably.
+            let _dispatch = self.obs.ev_timers[ev.obs_idx()].start();
             match ev {
                 Event::Publish(idx) => {
                     self.obs.ev_publish.inc();
@@ -1132,6 +1202,7 @@ impl<'a> CdnSimulation<'a> {
     }
 
     fn on_arrive(&mut self, now: SimTime, node: NodeId, msg: Msg) {
+        let _dispatch = self.obs.msg_timers[SimObs::msg_timer_idx(&msg)].start();
         match msg {
             Msg::Update { snap, modified_at, ctx } => {
                 self.on_update(now, node, snap, modified_at, ctx)

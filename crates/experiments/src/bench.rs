@@ -50,6 +50,19 @@ pub const MAX_RSS_SLOPE: f64 = 0.3;
 /// counts as a regression (absorbs fit noise on small sweeps).
 pub const MAX_SLOPE_DELTA: f64 = 0.15;
 
+/// Handler means below this many nanoseconds are timer-resolution noise
+/// and exempt from the per-kind dispatch-cost gate.
+pub const MIN_HANDLER_MEAN_NS: f64 = 50.0;
+
+/// Frame self-times below this many seconds are scheduling noise and
+/// exempt from the per-stage self-time gate.
+pub const MIN_SELF_TIME_S: f64 = 0.005;
+
+/// Largest tolerated many-paths / few-paths ratio in the span-overhead
+/// micro-benchmark. Interned O(1) span recording sits near 1; the old
+/// O(paths) linear scan sat near the path-count ratio (~64×).
+pub const MAX_SPAN_OVERHEAD_RATIO: f64 = 8.0;
+
 /// Workload selection for [`run_bench_with`].
 #[derive(Debug, Clone, Default)]
 pub struct BenchOptions {
@@ -75,13 +88,18 @@ fn bench_registry() -> Registry {
     let reg = Registry::enabled();
     reg.enable_tracing();
     reg.enable_series(cdnc_obs::DEFAULT_CADENCE_US);
+    reg.enable_timeprof();
     reg
 }
 
 /// One stage's row: identity, wall time, and throughput denominators.
 /// "Events" are the stage's real work units: scheduler events for
 /// simulation figures, poll records for the crawl (which has no scheduler
-/// — the old row reported 0 there).
+/// — the old row reported 0 there). With the time profiler armed (always,
+/// in [`bench_registry`]), the row also carries per-kind dispatch costs
+/// (`handlers`: count and mean nanoseconds per label) and per-frame
+/// self-times (`self_times`: seconds per span path), the tracked curves
+/// the [`bench_diff`] handler/self-time gates compare.
 fn stage_entry(id: &str, wall_s: f64, reg: &Registry) -> Json {
     let snap = reg.snapshot();
     let events = snap.counter("sched_events_processed")
@@ -91,7 +109,7 @@ fn stage_entry(id: &str, wall_s: f64, reg: &Registry) -> Json {
     let spans = reg.tracer().store().spans.len() as u64;
     let samples = reg.series_snapshot().total_points;
     let per_s = |n: u64| if wall_s > 0.0 { n as f64 / wall_s } else { 0.0 };
-    Json::obj()
+    let mut entry = Json::obj()
         .field("id", id)
         .field("wall_s", wall_s)
         .field("events", events)
@@ -100,7 +118,52 @@ fn stage_entry(id: &str, wall_s: f64, reg: &Registry) -> Json {
         .field("spans_per_s", per_s(spans))
         .field("samples", samples)
         .field("samples_per_s", per_s(samples))
-        .field("peak_rss_kb", perf::peak_rss_kb())
+        .field("peak_rss_kb", perf::peak_rss_kb());
+    if let Some(tp) = reg.timeprof_snapshot() {
+        let mut handlers = Json::obj();
+        for (label, h) in &tp.handlers {
+            let mean_ns = if h.count > 0 { 1e9 * h.sum / h.count as f64 } else { 0.0 };
+            handlers = handlers
+                .field(label, Json::obj().field("count", h.count).field("mean_ns", mean_ns));
+        }
+        let mut self_times = Json::obj();
+        for (path, t) in &tp.frames {
+            self_times = self_times.field(path, t.self_secs());
+        }
+        entry = entry.field("handlers", handlers).field("self_times", self_times);
+    }
+    entry
+}
+
+/// Span-recording overhead at two working-set sizes: mean nanoseconds per
+/// enter/exit cycle over a few distinct paths versus many. Interned O(1)
+/// recording keeps the ratio near 1 regardless of how many distinct spans
+/// a run has opened; a linear-scan regression shows up as a ratio near
+/// the path-count quotient and trips [`MAX_SPAN_OVERHEAD_RATIO`] in
+/// `bench-diff`.
+pub fn span_overhead() -> Json {
+    const SMALL: usize = 64;
+    const LARGE: usize = 4096;
+    const OPS: usize = 20_000;
+    let point = |paths: usize| {
+        let reg = Registry::enabled();
+        let names: Vec<String> = (0..paths).map(|i| format!("span_{i}")).collect();
+        for name in &names {
+            let _warm = reg.span(name);
+        }
+        let started = std::time::Instant::now();
+        for i in 0..OPS {
+            let _g = reg.span(&names[i % paths]);
+        }
+        started.elapsed().as_nanos() as f64 / OPS as f64
+    };
+    let (small, large) = (point(SMALL), point(LARGE));
+    Json::obj()
+        .field("paths_small", SMALL as u64)
+        .field("ns_per_op_small", small)
+        .field("paths_large", LARGE as u64)
+        .field("ns_per_op_large", large)
+        .field("ratio", large / small.max(1e-9))
 }
 
 /// Network sizes for the scale sweep (≥ 4 points at every scale, so a
@@ -200,18 +263,19 @@ pub fn run_bench_with(ctx: RunCtx, label: &str, opts: &BenchOptions) -> Json {
     if opts.scale_sweep {
         doc = doc.field("scale_curve", run_scale_sweep(ctx));
     }
+    doc = doc.field("span_overhead", span_overhead());
     doc.field("total_wall_s", started.elapsed().as_secs_f64())
         .field("peak_rss_kb", perf::peak_rss_kb())
         .field("alloc_mb_estimate", perf::total_allocated_mb())
 }
 
-fn stage_wall(doc: &Json, id: &str) -> Option<f64> {
+fn stage<'a>(doc: &'a Json, id: &str) -> Option<&'a Json> {
     let Some(Json::Arr(stages)) = doc.get("figures") else { return None };
-    stages
-        .iter()
-        .find(|s| s.get("id").and_then(Json::as_str) == Some(id))
-        .and_then(|s| s.get("wall_s"))
-        .and_then(Json::as_f64)
+    stages.iter().find(|s| s.get("id").and_then(Json::as_str) == Some(id))
+}
+
+fn stage_wall(doc: &Json, id: &str) -> Option<f64> {
+    stage(doc, id).and_then(|s| s.get("wall_s")).and_then(Json::as_f64)
 }
 
 fn stage_ids(doc: &Json) -> Vec<String> {
@@ -305,12 +369,69 @@ fn curve_diff(baseline: &Json, candidate: &Json, threshold: f64, out: &mut Vec<S
     }
 }
 
+/// Per-kind handler-cost and per-frame self-time comparison between two
+/// stage rows. Handler means below [`MIN_HANDLER_MEAN_NS`] and self-times
+/// below [`MIN_SELF_TIME_S`] in the baseline are noise floors and skipped;
+/// labels/paths missing from the candidate are skipped too (wall-clock
+/// sections are volatile, only shared curves compare). Silent when the
+/// baseline row carries no time-profile sections — old baselines still
+/// diff.
+fn time_diff(id: &str, base: &Json, cand: &Json, threshold: f64, out: &mut Vec<String>) {
+    if let Some(Json::Obj(handlers)) = base.get("handlers") {
+        for (label, stats) in handlers {
+            let base_mean = stats.get("mean_ns").and_then(Json::as_f64).unwrap_or(0.0);
+            if base_mean < MIN_HANDLER_MEAN_NS {
+                continue;
+            }
+            let cand_mean = cand
+                .get("handlers")
+                .and_then(|h| h.get(label))
+                .and_then(|s| s.get("mean_ns"))
+                .and_then(Json::as_f64);
+            if let Some(cand_mean) = cand_mean {
+                if cand_mean > base_mean * (1.0 + threshold) {
+                    out.push(format!(
+                        "{id} handler {label}: {cand_mean:.0}ns vs baseline {base_mean:.0}ns \
+                         (+{:.0}% > +{:.0}% allowed)",
+                        (cand_mean / base_mean - 1.0) * 100.0,
+                        threshold * 100.0
+                    ));
+                }
+            }
+        }
+    }
+    if let Some(Json::Obj(self_times)) = base.get("self_times") {
+        for (path, base_self) in self_times {
+            let base_self = base_self.as_f64().unwrap_or(0.0);
+            if base_self < MIN_SELF_TIME_S {
+                continue;
+            }
+            let cand_self = cand.get("self_times").and_then(|s| s.get(path)).and_then(Json::as_f64);
+            if let Some(cand_self) = cand_self {
+                if cand_self > base_self * (1.0 + threshold) {
+                    out.push(format!(
+                        "{id} self-time {path}: {cand_self:.3}s vs baseline {base_self:.3}s \
+                         (+{:.0}% > +{:.0}% allowed)",
+                        (cand_self / base_self - 1.0) * 100.0,
+                        threshold * 100.0
+                    ));
+                }
+            }
+        }
+    }
+}
+
 /// Compares a candidate bench document against a baseline. Returns one
 /// line per regression — a stage (or the total) whose wall time exceeds
 /// the baseline's by more than `threshold` (a fraction: 0.3 = 30% slower
-/// tolerated), one line per stage missing from the candidate, plus the
-/// scale-curve comparisons of [`curve_diff`] when the baseline carries a
-/// curve. Empty means the candidate holds the baseline's performance.
+/// tolerated), one line per stage missing from the candidate, per-kind
+/// handler costs and per-frame self-times past the same threshold (see
+/// [`time_diff`]), a span-overhead ratio beyond
+/// [`MAX_SPAN_OVERHEAD_RATIO`] (an absolute property of the candidate:
+/// span recording must not scale with the number of distinct paths), plus
+/// the scale-curve comparisons of [`curve_diff`] when the baseline
+/// carries a curve. Empty means the candidate holds the baseline's
+/// performance.
 pub fn bench_diff(baseline: &Json, candidate: &Json, threshold: f64) -> Vec<String> {
     let mut regressions = Vec::new();
     let flag = |name: &str, base: f64, cand: f64, out: &mut Vec<String>| {
@@ -327,6 +448,20 @@ pub fn bench_diff(baseline: &Json, candidate: &Json, threshold: f64) -> Vec<Stri
             (Some(base), Some(cand)) => flag(&id, base, cand, &mut regressions),
             (Some(_), None) => regressions.push(format!("{id}: missing from candidate")),
             _ => {}
+        }
+        if let (Some(base), Some(cand)) = (stage(baseline, &id), stage(candidate, &id)) {
+            time_diff(&id, base, cand, threshold, &mut regressions);
+        }
+    }
+    if let Some(ratio) =
+        candidate.get("span_overhead").and_then(|s| s.get("ratio")).and_then(Json::as_f64)
+    {
+        if ratio > MAX_SPAN_OVERHEAD_RATIO {
+            regressions.push(format!(
+                "span_overhead: recording cost grows {ratio:.1}× from 64 to 4096 distinct \
+                 paths (> {MAX_SPAN_OVERHEAD_RATIO:.0}× allowed) — span interning is no \
+                 longer O(1)"
+            ));
         }
     }
     if let (Some(base), Some(cand)) = (
@@ -382,6 +517,18 @@ pub fn bench_table(doc: &Json) -> String {
         {
             out.push_str(&format!("  rss_per_node growth: nodes^{slope:.2}\n"));
         }
+    }
+    if let Some(so) = doc.get("span_overhead") {
+        let f = |k: &str| so.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+        out.push_str(&format!(
+            "  span overhead: {:.0} ns/op @{:.0} paths, {:.0} ns/op @{:.0} paths \
+             (ratio {:.2})\n",
+            f("ns_per_op_small"),
+            f("paths_small"),
+            f("ns_per_op_large"),
+            f("paths_large"),
+            f("ratio"),
+        ));
     }
     out
 }
@@ -518,6 +665,84 @@ mod tests {
         worse = Json::obj().field("figures", Json::Arr(Vec::new()));
         let regs = bench_diff(&base, &worse, 0.3);
         assert!(regs.iter().any(|r| r.contains("scale_curve: missing")), "{regs:?}");
+    }
+
+    fn timed_doc(handler_mean_ns: f64, self_s: f64, ratio: f64) -> Json {
+        let stage = Json::obj()
+            .field("id", "fig17")
+            .field("wall_s", 1.0)
+            .field(
+                "handlers",
+                Json::obj()
+                    .field(
+                        "ev_arrive",
+                        Json::obj().field("count", 1000u64).field("mean_ns", handler_mean_ns),
+                    )
+                    .field("msg_ack", Json::obj().field("count", 10u64).field("mean_ns", 5.0)),
+            )
+            .field(
+                "self_times",
+                Json::obj().field("sim_events", self_s).field("sim_build", 0.0001),
+            );
+        Json::obj()
+            .field("figures", Json::Arr(vec![stage]))
+            .field("span_overhead", Json::obj().field("ratio", ratio))
+            .field("total_wall_s", 1.0)
+    }
+
+    #[test]
+    fn diff_fails_injected_handler_time_regression() {
+        let base = timed_doc(400.0, 0.5, 1.0);
+        assert!(bench_diff(&base, &base, 0.3).is_empty(), "a doc holds its own times");
+        // Handler dispatch cost doubled: the per-kind gate fires.
+        let slow_handler = timed_doc(800.0, 0.5, 1.0);
+        let regs = bench_diff(&base, &slow_handler, 0.3);
+        assert!(regs.iter().any(|r| r.contains("handler ev_arrive")), "{regs:?}");
+        // Frame self-time doubled: the self-time gate fires.
+        let slow_frame = timed_doc(400.0, 1.0, 1.0);
+        let regs = bench_diff(&base, &slow_frame, 0.3);
+        assert!(regs.iter().any(|r| r.contains("self-time sim_events")), "{regs:?}");
+        // Sub-floor baselines never gate: a stage whose handler mean
+        // (5 ns) and frame self-time (0.1 ms) sit below the noise floors
+        // may drift arbitrarily without tripping anything.
+        let floor_stage = |mean_ns: f64, self_s: f64| {
+            Json::obj()
+                .field("id", "figX")
+                .field("wall_s", 1.0)
+                .field(
+                    "handlers",
+                    Json::obj().field(
+                        "msg_ack",
+                        Json::obj().field("count", 10u64).field("mean_ns", mean_ns),
+                    ),
+                )
+                .field("self_times", Json::obj().field("sim_build", self_s))
+        };
+        let wrap =
+            |s: Json| Json::obj().field("figures", Json::Arr(vec![s])).field("total_wall_s", 1.0);
+        let regs =
+            bench_diff(&wrap(floor_stage(5.0, 0.0001)), &wrap(floor_stage(45.0, 0.004)), 0.0);
+        assert!(regs.is_empty(), "noise-floor labels and frames are exempt: {regs:?}");
+    }
+
+    #[test]
+    fn diff_fails_super_linear_span_overhead() {
+        let base = timed_doc(400.0, 0.5, 1.0);
+        let scan = timed_doc(400.0, 0.5, 60.0);
+        let regs = bench_diff(&base, &scan, 0.3);
+        assert!(regs.iter().any(|r| r.contains("span_overhead")), "{regs:?}");
+        assert!(regs.iter().any(|r| r.contains("no longer O(1)")), "{regs:?}");
+    }
+
+    #[test]
+    fn span_overhead_stays_flat_across_path_counts() {
+        let so = span_overhead();
+        let ratio = so.get("ratio").and_then(Json::as_f64).expect("ratio");
+        assert!(ratio > 0.0);
+        assert!(
+            ratio <= MAX_SPAN_OVERHEAD_RATIO,
+            "interned span recording must not scale with distinct-path count: ratio {ratio:.2}"
+        );
     }
 
     #[test]

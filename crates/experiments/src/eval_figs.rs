@@ -34,14 +34,23 @@ pub fn run_batch(configs: Vec<SimConfig>, obs: &Registry) -> Vec<SimReport> {
 /// `obs` are bit-identical for every worker count (pass
 /// [`Registry::disabled`] for uninstrumented runs).
 pub fn run_batch_on(configs: Vec<SimConfig>, obs: &Registry, pool: &Pool) -> Vec<SimReport> {
-    let shards = pool.map_slice(&configs, |_, cfg| {
+    let task = |_: usize, cfg: &SimConfig| {
         // Shard span paths must not inherit the spawning thread's open
         // spans (inline tasks would nest where worker threads don't).
         let _detached = cdnc_obs::detach_spans();
         let shard = obs.shard();
         let report = run_with_obs(cfg, &shard);
         (report, shard)
-    });
+    };
+    // The timed map costs `Instant` reads per chunk, so the unobserved
+    // path keeps using the plain map.
+    let shards = if obs.timeprof_enabled() {
+        let (shards, stats) = pool.map_slice_timed(&configs, task);
+        obs.record_worker_use(&crate::timeprof_out::worker_use(&stats));
+        shards
+    } else {
+        pool.map_slice(&configs, task)
+    };
     shards
         .into_iter()
         .map(|(report, shard)| {

@@ -24,6 +24,8 @@ struct FigureInputs {
     series: Option<SeriesSnapshot>,
     /// `experiments profile` output for this figure, parsed.
     profile: Option<Json>,
+    /// `experiments timeprof` output for this figure, parsed.
+    timeprof: Option<Json>,
     /// Flight-recorder dumps attributed to this figure, parsed.
     anomalies: Vec<Json>,
 }
@@ -61,6 +63,10 @@ fn collect_inputs(obs_dir: &Path) -> io::Result<BTreeMap<String, FigureInputs>> 
         } else if let Some(id) = name.strip_suffix(".profile.json") {
             if let Some(doc) = parse_file(&path) {
                 inputs.entry(id.to_owned()).or_default().profile = Some(doc);
+            }
+        } else if let Some(id) = name.strip_suffix(".timeprof.json") {
+            if let Some(doc) = parse_file(&path) {
+                inputs.entry(id.to_owned()).or_default().timeprof = Some(doc);
             }
         } else if let Some(id) = name.strip_suffix(".json") {
             if id == "summary" || id.ends_with(".trace") || id.starts_with("BENCH_") {
@@ -275,6 +281,204 @@ fn profile_section(profile: &Json) -> String {
     body
 }
 
+/// Flame-graph palette (cycled by frame depth, offset per sibling).
+const FLAME_COLORS: [&str; 5] = ["#c0504d", "#d07a3f", "#ddab3b", "#c7803a", "#b85c42"];
+
+/// A `<figure>.timeprof.json` frame-tree telemetry section as an inline
+/// SVG flame graph: one row per depth, frame width proportional to total
+/// time, children nested inside their parent's span, `<title>` hover text
+/// with exact totals. Script-free like every other chart.
+fn svg_flamegraph(frames: &[(String, f64, f64)]) -> String {
+    const W: f64 = 640.0;
+    const ROW: f64 = 19.0;
+    if frames.is_empty() {
+        return String::new();
+    }
+    let root_total: f64 =
+        frames.iter().filter(|(path, _, _)| !path.contains('/')).map(|(_, t, _)| *t).sum();
+    if root_total <= 0.0 {
+        return String::new();
+    }
+    let px = (W - 8.0) / root_total;
+    // Frames arrive in first-closed order (children before parents), so
+    // lay out shallow-to-deep: parents claim their span first, children
+    // pack left-to-right inside it.
+    let mut order: Vec<usize> = (0..frames.len()).collect();
+    order.sort_by_key(|&i| frames[i].0.matches('/').count());
+    let mut spans: BTreeMap<&str, (f64, f64)> = BTreeMap::new(); // path -> (x0, width)
+    let mut cursors: BTreeMap<&str, f64> = BTreeMap::new(); // parent path -> next child x
+    let mut root_cursor = 4.0;
+    let mut depth_max = 0usize;
+    let mut svg = String::new();
+    for (n, &i) in order.iter().enumerate() {
+        let (path, total_ns, self_ns) = &frames[i];
+        let depth = path.matches('/').count();
+        depth_max = depth_max.max(depth);
+        let width = (total_ns * px).max(0.5);
+        let x0 = match path.rsplit_once('/') {
+            Some((parent, _)) => {
+                let Some(&(px0, pw)) = spans.get(parent) else { continue };
+                let cursor = cursors.entry(parent).or_insert(px0);
+                let x0 = *cursor;
+                *cursor = (x0 + width).min(px0 + pw);
+                x0
+            }
+            None => {
+                let x0 = root_cursor;
+                root_cursor += width;
+                x0
+            }
+        };
+        spans.insert(path, (x0, width));
+        let y = 3.0 + ROW * depth as f64;
+        let label = path.rsplit('/').next().unwrap_or(path);
+        let _ = write!(
+            svg,
+            "<g><rect x=\"{x0:.1}\" y=\"{y:.1}\" width=\"{width:.1}\" height=\"{:.1}\" \
+             fill=\"{}\" stroke=\"#fcfcfc\" stroke-width=\"0.5\">\
+             <title>{} — total {:.4} s, self {:.4} s</title></rect>",
+            ROW - 3.0,
+            FLAME_COLORS[(depth + n) % FLAME_COLORS.len()],
+            html_escape(path),
+            total_ns / 1e9,
+            self_ns / 1e9,
+        );
+        if width >= 50.0 {
+            let _ = write!(
+                svg,
+                "<text x=\"{:.1}\" y=\"{:.1}\" font-size=\"11\" fill=\"#fff\">{}</text>",
+                x0 + 4.0,
+                y + ROW - 7.0,
+                html_escape(&label.chars().take((width / 7.0) as usize).collect::<String>()),
+            );
+        }
+        svg.push_str("</g>");
+    }
+    let h = ROW * (depth_max + 1) as f64 + 6.0;
+    format!(
+        "<svg viewBox=\"0 0 {W} {h}\" width=\"{W}\" height=\"{h}\" role=\"img\" \
+         aria-label=\"flame graph\">{svg}</svg>"
+    )
+}
+
+/// The time-profile section body for one figure: flame graph over the
+/// span-frame tree, per-kind dispatch-handler costs, and per-worker
+/// utilization.
+fn timeprof_section(timeprof: &Json) -> String {
+    let telemetry = timeprof.get("time_telemetry");
+    let mut body = String::new();
+    let frames: Vec<(String, f64, f64)> = match telemetry.and_then(|t| t.get("frames")) {
+        Some(Json::Arr(items)) => items
+            .iter()
+            .filter_map(|f| {
+                Some((
+                    f.get("path").and_then(Json::as_str)?.to_owned(),
+                    f.get("total_ns").and_then(Json::as_f64)?,
+                    f.get("self_ns").and_then(Json::as_f64)?,
+                ))
+            })
+            .collect(),
+        _ => Vec::new(),
+    };
+    if !frames.is_empty() {
+        body.push_str("<h3>Flame graph</h3>");
+        body.push_str(
+            "<p class=\"meta\">frame width ∝ total wall time; hover a frame for exact \
+             totals</p>",
+        );
+        body.push_str(&svg_flamegraph(&frames));
+    }
+    if let Some(Json::Obj(handlers)) = telemetry.and_then(|t| t.get("handlers")) {
+        if !handlers.is_empty() {
+            body.push_str(
+                "<h3>Dispatch handlers</h3><table><tr><th>handler</th><th>count</th>\
+                 <th>mean ns</th><th>total ms</th></tr>",
+            );
+            for (label, h) in handlers {
+                let f = |k: &str| h.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+                let _ = write!(
+                    body,
+                    "<tr><td>{}</td><td>{:.0}</td><td>{:.0}</td><td>{:.3}</td></tr>",
+                    html_escape(label),
+                    f("count"),
+                    1e9 * f("mean_s"),
+                    1e3 * f("sum_s"),
+                );
+            }
+            body.push_str("</table>");
+        }
+    }
+    if let Some(Json::Arr(workers)) = telemetry.and_then(|t| t.get("workers")) {
+        if !workers.is_empty() {
+            let rows: Vec<(String, f64)> = workers
+                .iter()
+                .filter_map(|w| {
+                    let id = w.get("worker").and_then(Json::as_f64)?;
+                    let busy = w.get("busy_ns").and_then(Json::as_f64)?;
+                    Some((format!("worker {id:.0} busy"), busy / 1e6))
+                })
+                .collect();
+            body.push_str("<h3>Worker utilization</h3>");
+            body.push_str(&svg_bars(&rows, " ms"));
+            body.push_str(
+                "<table><tr><th>worker</th><th>busy ms</th><th>steal ms</th><th>idle ms</th>\
+                 <th>join ms</th><th>chunks</th><th>tasks</th></tr>",
+            );
+            for w in workers {
+                let f = |k: &str| w.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+                let _ = write!(
+                    body,
+                    "<tr><td>{:.0}</td><td>{:.3}</td><td>{:.3}</td><td>{:.3}</td>\
+                     <td>{:.3}</td><td>{:.0}</td><td>{:.0}</td></tr>",
+                    f("worker"),
+                    f("busy_ns") / 1e6,
+                    f("steal_ns") / 1e6,
+                    f("idle_ns") / 1e6,
+                    f("join_wait_ns") / 1e6,
+                    f("chunks"),
+                    f("tasks"),
+                );
+            }
+            body.push_str("</table>");
+        }
+    }
+    body
+}
+
+/// The scheduler-pressure section from an artifact's metrics: the
+/// queue-depth high-water mark (always recorded) and the pop-depth
+/// histogram (present when the profiling gate armed it).
+fn scheduler_section(artifact: &Json) -> String {
+    let metrics = artifact.get("metrics");
+    let hwm = metrics
+        .and_then(|m| m.get("gauges"))
+        .and_then(|g| g.get("sched_queue_depth"))
+        .and_then(|g| g.get("high_water"))
+        .and_then(Json::as_f64);
+    let pop =
+        metrics.and_then(|m| m.get("histograms")).and_then(|h| h.get("sched_queue_depth_at_pop"));
+    if hwm.is_none() && pop.is_none() {
+        return String::new();
+    }
+    let mut body = String::from("<h2>Scheduler pressure</h2><ul>");
+    if let Some(hwm) = hwm {
+        let _ = write!(body, "<li>event-queue depth high-water mark: {hwm:.0}</li>");
+    }
+    if let Some(pop) = pop {
+        let f = |k: &str| pop.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+        let _ = write!(
+            body,
+            "<li>queue depth at pop: {:.0} samples, mean {:.1}, p99 {:.1}, max {:.0}</li>",
+            f("count"),
+            f("mean"),
+            f("p99"),
+            f("max"),
+        );
+    }
+    body.push_str("</ul>");
+    body
+}
+
 /// The adoption-lag histograms of an artifact as `(label, rows)` charts:
 /// one chart per `sim_adopt_lag_s_*` histogram with samples, one bar per
 /// occupied log-scale bucket.
@@ -433,10 +637,15 @@ fn figure_page(id: &str, inputs: &FigureInputs) -> String {
             body.push_str("<h2>Phase timings</h2>");
             body.push_str(&phases);
         }
+        body.push_str(&scheduler_section(artifact));
     }
     if let Some(profile) = &inputs.profile {
         body.push_str("<h2>Memory profile</h2>");
         body.push_str(&profile_section(profile));
+    }
+    if let Some(timeprof) = &inputs.timeprof {
+        body.push_str("<h2>Time profile</h2>");
+        body.push_str(&timeprof_section(timeprof));
     }
     body.push_str("<h2>Flight recorder</h2>");
     if inputs.anomalies.is_empty() {
@@ -640,6 +849,39 @@ mod tests {
             )
             .field("spikes", Json::obj().field("count", 1u64));
         std::fs::write(obs.join("fig20.profile.json"), profile.to_pretty()).unwrap();
+        let frame = |path: &str, total: f64, self_ns: f64| {
+            Json::obj().field("path", path).field("total_ns", total).field("self_ns", self_ns)
+        };
+        let timeprof = Json::obj().field(
+            "time_telemetry",
+            Json::obj()
+                .field(
+                    "frames",
+                    Json::Arr(vec![frame("fig20/sim_events", 7e8, 7e8), frame("fig20", 1e9, 3e8)]),
+                )
+                .field(
+                    "handlers",
+                    Json::obj().field(
+                        "ev_publish",
+                        Json::obj()
+                            .field("count", 42u64)
+                            .field("mean_s", 1e-6)
+                            .field("sum_s", 4.2e-5),
+                    ),
+                )
+                .field(
+                    "workers",
+                    Json::Arr(vec![Json::obj()
+                        .field("worker", 0u64)
+                        .field("busy_ns", 9e8)
+                        .field("steal_ns", 1e6)
+                        .field("idle_ns", 2e6)
+                        .field("join_wait_ns", 0.0)
+                        .field("chunks", 3u64)
+                        .field("tasks", 12u64)]),
+                ),
+        );
+        std::fs::write(obs.join("fig20.timeprof.json"), timeprof.to_pretty()).unwrap();
 
         let written = generate_report(&obs, &out).unwrap();
         assert_eq!(written.len(), 2, "index + one figure page");
@@ -653,8 +895,59 @@ mod tests {
         assert!(fig.contains("Memory profile"), "profile section rendered");
         assert!(fig.contains("event-queue depth at pop"), "probe summary rendered");
         assert!(fig.contains("memory spike(s)"), "spike warning rendered");
+        assert!(fig.contains("Time profile"), "timeprof section rendered");
+        assert!(fig.contains("Flame graph"), "flame graph rendered");
+        assert!(fig.contains("total 1.0000 s"), "root frame hover title rendered");
+        assert!(fig.contains("ev_publish"), "handler table rendered");
+        assert!(fig.contains("Worker utilization"), "worker section rendered");
         assert!(!fig.contains("<script"), "report stays script-free");
         let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn flamegraph_nests_children_inside_parents() {
+        let frames = vec![
+            ("run/step".to_owned(), 4e8, 4e8),
+            ("run/other".to_owned(), 2e8, 2e8),
+            ("run".to_owned(), 1e9, 4e8),
+        ];
+        let svg = svg_flamegraph(&frames);
+        assert_eq!(svg.matches("<rect").count(), 3);
+        assert!(svg.contains("run/step — total 0.4000 s"), "{svg}");
+        // The parent spans the full root width; both children start at the
+        // parent's left edge or to its right, never past its span.
+        assert!(!svg.contains("<script"));
+        assert!(svg_flamegraph(&[]).is_empty());
+    }
+
+    #[test]
+    fn scheduler_section_reads_gauge_and_histogram() {
+        let artifact = Json::obj().field(
+            "metrics",
+            Json::obj()
+                .field(
+                    "gauges",
+                    Json::obj().field(
+                        "sched_queue_depth",
+                        Json::obj().field("value", 0u64).field("high_water", 523u64),
+                    ),
+                )
+                .field(
+                    "histograms",
+                    Json::obj().field(
+                        "sched_queue_depth_at_pop",
+                        Json::obj()
+                            .field("count", 100u64)
+                            .field("mean", 12.5)
+                            .field("p99", 40.0)
+                            .field("max", 523.0),
+                    ),
+                ),
+        );
+        let body = scheduler_section(&artifact);
+        assert!(body.contains("high-water mark: 523"), "{body}");
+        assert!(body.contains("100 samples"), "{body}");
+        assert!(scheduler_section(&Json::obj()).is_empty());
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub mod perf;
 pub mod profile_out;
 pub mod report;
 pub mod scale;
+pub mod timeprof_out;
 pub mod trace_figs;
 pub mod trace_out;
 

@@ -12,6 +12,7 @@
 //! experiments obs-diff <dirA> <dirB>                 # compare runs, wall-clock ignored
 //! experiments report [--obs-dir <d>] [--out <d>]     # render artifacts as static HTML
 //! experiments profile <figure-id>      [--scale …] [--jobs <n>] [--spike-multiple <f>]
+//! experiments timeprof <figure-id>     [--scale …] [--jobs <n>]  # time profile + flamegraph
 //! experiments bench [--out <f>] [--label <name>]     # run the perf workload
 //!                   [--figs <id,…>] [--scale-sweep]  # narrow stages / emit scale curve
 //! experiments bench-diff <base> <cand> [--threshold <f>]  # fail on regressions
@@ -59,6 +60,7 @@ use cdnc_experiments::obs_out::{
 use cdnc_experiments::perf::CountingAlloc;
 use cdnc_experiments::profile_out::{profile_table, write_profile_artifact};
 use cdnc_experiments::report::aggregate_replicates;
+use cdnc_experiments::timeprof_out::{timeprof_table, write_timeprof_artifact};
 use cdnc_experiments::trace_out::{
     critical_path_table, inspect_text, load_store, summary_text, write_figure_trace,
     FLIGHTREC_SUBDIR,
@@ -92,6 +94,10 @@ fn usage() -> ExitCode {
     eprintln!("                                                 render artifacts as static HTML");
     eprintln!("       experiments profile <figure-id> [--scale …] [--jobs <n>]");
     eprintln!("                          [--spike-multiple <f>]   per-subsystem memory profile");
+    eprintln!("       experiments timeprof <figure-id> [--scale …] [--jobs <n>]");
+    eprintln!("                                                 hot-path time profile: frame");
+    eprintln!("                                                 tree, handler timing, worker");
+    eprintln!("                                                 use, flamegraph .folded");
     eprintln!("       experiments bench [--out <file>] [--label <name>] [--scale …] [--jobs <n>]");
     eprintln!("                         [--figs <id,…>] [--scale-sweep]");
     eprintln!("                                                 run the performance workload");
@@ -511,6 +517,41 @@ fn main() -> ExitCode {
                 }
                 Err(e) => {
                     eprintln!("cannot write profile artifact for {id}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "timeprof" => {
+            let Some(id) = positional.get(1) else {
+                eprintln!("timeprof needs a figure id");
+                return usage();
+            };
+            obs.enabled = true;
+            obs.timeprof = true;
+            let reg = obs.registry();
+            println!(
+                "time-profiling {id} at {scale:?} scale ({} worker(s), {seeds} seed(s))…",
+                ctx.pool.jobs()
+            );
+            let started = std::time::Instant::now();
+            let result = run_figure_replicated(id, ctx, seeds, &reg);
+            let wall_s = started.elapsed().as_secs_f64();
+            let Some(report) = result else {
+                eprintln!("unknown figure id: {id}");
+                return usage();
+            };
+            print!("{report}");
+            println!("[{id}: {wall_s:.2}s on {} worker thread(s)]", ctx.pool.jobs());
+            let snap = reg.timeprof_snapshot().expect("timeprof armed above");
+            println!("--- time profile ---\n{}", timeprof_table(&snap));
+            match write_timeprof_artifact(&obs.dir, id, scale, &reg, wall_s) {
+                Ok((json_path, folded_path)) => {
+                    println!("timeprof artifact: {}", json_path.display());
+                    println!("flamegraph stacks: {}", folded_path.display());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("cannot write timeprof artifact for {id}: {e}");
                     ExitCode::FAILURE
                 }
             }

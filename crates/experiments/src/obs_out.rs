@@ -47,6 +47,10 @@ pub struct ObsSettings {
     /// `--spike-multiple <f>`: an interval allocating more than this
     /// multiple of the running median triggers a `MemorySpike` span.
     pub spike_multiple: f64,
+    /// `timeprof` subcommand: arm the registry's time-profiling gate
+    /// (hierarchical span-frame attribution, per-kind dispatch timers,
+    /// worker utilization).
+    pub timeprof: bool,
 }
 
 impl ObsSettings {
@@ -63,6 +67,7 @@ impl ObsSettings {
             series_cadence_us: cdnc_obs::DEFAULT_CADENCE_US,
             profile: false,
             spike_multiple: cdnc_obs::DEFAULT_SPIKE_MULTIPLE,
+            timeprof: false,
         }
     }
 
@@ -75,7 +80,7 @@ impl ObsSettings {
     /// tracer, and/or series sampler armed when requested) or the inert
     /// disabled registry.
     pub fn registry(&self) -> Registry {
-        if !self.enabled && !self.trace && !self.series && !self.profile {
+        if !self.enabled && !self.trace && !self.series && !self.profile && !self.timeprof {
             return Registry::disabled();
         }
         let reg = Registry::enabled();
@@ -93,6 +98,9 @@ impl ObsSettings {
                 spike_cadence_us: self.series_cadence_us,
                 spike_multiple: self.spike_multiple,
             });
+        }
+        if self.timeprof {
+            reg.enable_timeprof();
         }
         reg
     }
@@ -162,23 +170,42 @@ pub fn timing_table(reg: &Registry) -> Option<String> {
 }
 
 /// One row of the consolidated `summary.json` written by `experiments all`.
+/// Scheduler pressure rides along: the queue-depth high-water mark always,
+/// and the pop-depth histogram's moments when the profiling gate armed it.
 pub fn summary_entry(id: &str, wall_s: f64, jobs: usize, reg: &Registry) -> Json {
     let snap = reg.snapshot();
     let events = snap.counter("sched_events_processed");
     let events_per_s = if wall_s > 0.0 { events as f64 / wall_s } else { 0.0 };
-    Json::obj()
+    let queue_hwm = snap
+        .gauges
+        .iter()
+        .find(|(name, _)| name == "sched_queue_depth")
+        .map_or(0, |(_, g)| g.high_water);
+    let mut entry = Json::obj()
         .field("figure", id)
         .field("wall_s", wall_s)
         .field("jobs", jobs as u64)
         .field("events", events)
         .field("events_per_s", events_per_s)
         .field("msgs_lost_to_failed", snap.counter("sim_msgs_lost_to_failed"))
+        .field("queue_depth_high_water", queue_hwm);
+    if let Some(h) = snap.histogram("sched_queue_depth_at_pop") {
+        let mean = if h.count > 0 { h.sum / h.count as f64 } else { 0.0 };
+        entry = entry.field(
+            "pop_depth",
+            Json::obj()
+                .field("count", h.count)
+                .field("mean", mean)
+                .field("max", if h.count > 0 { h.max } else { 0.0 }),
+        );
+    }
+    entry
 }
 
 /// Artifact fields that legitimately differ between bit-identical runs:
 /// wall-clock measurements, memory footprints, and everything derived from
 /// them. Scrubbed before artifact comparison.
-pub const VOLATILE_KEYS: [&str; 9] = [
+pub const VOLATILE_KEYS: [&str; 10] = [
     "wall_s",
     "phases",
     "events_per_s",
@@ -188,6 +215,7 @@ pub const VOLATILE_KEYS: [&str; 9] = [
     "alloc_mb_estimate",
     "allocator_telemetry",
     "spikes",
+    "time_telemetry",
 ];
 
 /// Strips the [`VOLATILE_KEYS`] from an artifact document, recursively.
@@ -279,10 +307,12 @@ pub fn diff_field_counts(a: &Json, b: &Json) -> Vec<(String, usize)> {
 
 /// Compares two artifact directories, ignoring wall-clock fields: `.json`
 /// documents are parsed and [`scrub_volatile`]bed before comparison (a
-/// mismatch reports the per-key count of differing fields), all other
-/// files (event `.jsonl`, `.trace.json` in simulated time) compared
-/// byte-for-byte. Returns one line per difference — empty means the runs
-/// produced identical observable output, the determinism contract `--jobs`
+/// mismatch reports the per-key count of differing fields), `.folded`
+/// flamegraph stacks are compared by their ordered stack paths (the
+/// self-nanosecond values are wall clock), all other files (event
+/// `.jsonl`, `.trace.json` in simulated time) compared byte-for-byte.
+/// Returns one line per difference — empty means the runs produced
+/// identical observable output, the determinism contract `--jobs`
 /// promises.
 pub fn diff_artifact_dirs(a: &Path, b: &Path) -> io::Result<Vec<String>> {
     let list = |dir: &Path| -> io::Result<BTreeSet<String>> {
@@ -319,6 +349,16 @@ pub fn diff_artifact_dirs(a: &Path, b: &Path) -> io::Result<Vec<String>> {
                                 format!("differing fields per key: {per_key}")
                             })
                         }
+                        _ => (body_a != body_b).then(|| "unparseable".to_owned()),
+                    }
+                } else if name.ends_with(".folded") {
+                    let stacks = |body: &[u8]| {
+                        cdnc_obs::parse_folded(&String::from_utf8_lossy(body)).map(|lines| {
+                            lines.into_iter().map(|(path, _)| path).collect::<Vec<_>>()
+                        })
+                    };
+                    match (stacks(&body_a), stacks(&body_b)) {
+                        (Some(sa), Some(sb)) => (sa != sb).then(|| "stack paths differ".to_owned()),
                         _ => (body_a != body_b).then(|| "unparseable".to_owned()),
                     }
                 } else {
@@ -398,6 +438,49 @@ mod tests {
         assert_eq!(e.get("events_per_s").and_then(Json::as_f64), Some(250.0));
         assert_eq!(e.get("jobs").and_then(Json::as_f64), Some(4.0));
         assert_eq!(e.get("msgs_lost_to_failed").and_then(Json::as_f64), Some(3.0));
+    }
+
+    #[test]
+    fn timeprof_flag_arms_gate_even_without_obs() {
+        let s = ObsSettings { timeprof: true, ..ObsSettings::off() };
+        let reg = s.registry();
+        assert!(reg.is_enabled());
+        assert!(reg.timeprof_enabled());
+        assert!(!ObsSettings::off().registry().timeprof_enabled());
+    }
+
+    #[test]
+    fn summary_entry_reports_scheduler_pressure() {
+        let reg = Registry::enabled();
+        let depth = reg.gauge("sched_queue_depth");
+        depth.add(12);
+        depth.sub(10);
+        let plain = summary_entry("figX", 1.0, 1, &reg);
+        assert_eq!(plain.get("queue_depth_high_water").and_then(Json::as_f64), Some(12.0));
+        assert!(plain.get("pop_depth").is_none(), "histogram absent when profiling is off");
+        reg.histogram("sched_queue_depth_at_pop").record(4.0);
+        let probed = summary_entry("figX", 1.0, 1, &reg);
+        let pop = probed.get("pop_depth").expect("histogram surfaced");
+        assert_eq!(pop.get("count").and_then(Json::as_f64), Some(1.0));
+    }
+
+    #[test]
+    fn dir_diff_compares_folded_stacks_structurally() {
+        let base = std::env::temp_dir().join(format!("cdnc-folded-diff-{}", std::process::id()));
+        let (da, db) = (base.join("a"), base.join("b"));
+        std::fs::create_dir_all(&da).unwrap();
+        std::fs::create_dir_all(&db).unwrap();
+        std::fs::write(da.join("fig17.folded"), "run;step 100\nrun 900\n").unwrap();
+        std::fs::write(db.join("fig17.folded"), "run;step 350\nrun 651\n").unwrap();
+        assert!(
+            diff_artifact_dirs(&da, &db).unwrap().is_empty(),
+            "self-time drift over identical stacks is ignored"
+        );
+        std::fs::write(db.join("fig17.folded"), "run;other 350\nrun 651\n").unwrap();
+        let diffs = diff_artifact_dirs(&da, &db).unwrap();
+        assert_eq!(diffs.len(), 1, "{diffs:?}");
+        assert!(diffs[0].contains("stack paths differ"), "{diffs:?}");
+        std::fs::remove_dir_all(&base).unwrap();
     }
 
     #[test]

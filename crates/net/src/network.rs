@@ -78,6 +78,9 @@ pub struct Network {
     obs_kind_bytes: [cdnc_obs::Counter; PACKET_KINDS],
     obs_inflight_pkts: [cdnc_obs::Gauge; PACKET_KINDS],
     obs_inflight_bytes: cdnc_obs::Gauge,
+    /// Per-kind wall-clock cost of the send path (`net_send_<kind>`),
+    /// armed by the registry's timeprof gate; inert otherwise.
+    obs_send_timers: [cdnc_obs::HandlerTimer; PACKET_KINDS],
 }
 
 impl Network {
@@ -103,6 +106,7 @@ impl Network {
             obs_kind_bytes: std::array::from_fn(|_| cdnc_obs::Counter::default()),
             obs_inflight_pkts: std::array::from_fn(|_| cdnc_obs::Gauge::default()),
             obs_inflight_bytes: cdnc_obs::Gauge::default(),
+            obs_send_timers: std::array::from_fn(|_| cdnc_obs::HandlerTimer::default()),
         }
     }
 
@@ -160,6 +164,12 @@ impl Network {
                     registry.gauge(&format!("net_inflight_pkts_{suffix}"));
             }
             self.obs_inflight_bytes = registry.gauge("net_inflight_bytes");
+        }
+        if registry.timeprof_enabled() {
+            for kind in PacketKind::ALL {
+                self.obs_send_timers[kind as usize] =
+                    registry.handler_timer(&format!("net_send_{}", kind.metric_suffix()));
+            }
         }
     }
 
@@ -229,6 +239,7 @@ impl Network {
     /// Panics if either endpoint is out of range.
     pub fn send(&mut self, now: SimTime, packet: &Packet) -> SimTime {
         let _prof = cdnc_obs::profile::scope(cdnc_obs::profile::Subsystem::Net);
+        let _dispatch = self.obs_send_timers[packet.kind as usize].start();
         let distance = self.distance_km(packet.src, packet.dst);
         let crosses_isp = self.node(packet.src).isp() != self.node(packet.dst).isp();
         self.traffic.record_with_isp(packet, distance, crosses_isp);

@@ -42,6 +42,7 @@ pub mod profile;
 pub mod registry;
 pub mod series;
 pub mod span;
+pub mod timeprof;
 pub mod trace;
 
 pub use artifact::{digest_str, write_event_log, RunArtifact};
@@ -62,7 +63,10 @@ pub use series::{
     lttb, Sampler, SeriesEntry, SeriesKind, SeriesPoint, SeriesSnapshot, DEFAULT_CADENCE_US,
     SERIES_CAPACITY,
 };
-pub use span::{detach_spans, DetachedSpans, PhaseTiming, SpanGuard};
+pub use span::{detach_spans, DetachedSpans, SpanGuard};
+pub use timeprof::{
+    parse_folded, to_folded, HandlerGuard, HandlerTimer, PhaseTiming, TimeProfSnapshot, WorkerUse,
+};
 pub use trace::{
     CriticalPath, PathStep, PropagationTree, SpanId, SpanKind, SpanRecord, SpanStore, StoreSummary,
     TraceCtx, TraceId, TraceMeta, Tracer,

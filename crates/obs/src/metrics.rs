@@ -140,6 +140,25 @@ pub fn bucket_floor(i: usize) -> f64 {
     HISTOGRAM_MIN * (i as f64).exp2()
 }
 
+/// Folds an owned snapshot into a live histogram core as if its stream had
+/// been recorded there: buckets and count add, sum accumulates, min/max
+/// extend. Shared by registry absorb and the timeprof handler merge.
+pub(crate) fn merge_into_core(dst: &HistogramCore, src: &HistogramSnapshot) {
+    for (d, s) in dst.buckets.iter().zip(src.buckets.iter()) {
+        d.fetch_add(*s, Relaxed);
+    }
+    dst.count.fetch_add(src.count, Relaxed);
+    let _ = dst
+        .sum_bits
+        .fetch_update(Relaxed, Relaxed, |b| Some((f64::from_bits(b) + src.sum).to_bits()));
+    let _ = dst.min_bits.fetch_update(Relaxed, Relaxed, |b| {
+        (src.min < f64::from_bits(b)).then(|| src.min.to_bits())
+    });
+    let _ = dst.max_bits.fetch_update(Relaxed, Relaxed, |b| {
+        (src.max > f64::from_bits(b)).then(|| src.max.to_bits())
+    });
+}
+
 /// A fixed-bucket log-scale histogram of non-negative values.
 #[derive(Debug, Clone, Default)]
 pub struct Histogram(pub(crate) Option<Arc<HistogramCore>>);

@@ -19,7 +19,8 @@ use crate::json::Json;
 use crate::metrics::{Counter, Gauge, GaugeCore, Histogram, HistogramCore, HistogramSnapshot};
 use crate::profile::MemProbe;
 use crate::series::{Sampler, SeriesCore, SeriesKind, SeriesSnapshot, SourceCell};
-use crate::span::{PhaseTiming, SpanGuard, SpanRecorder};
+use crate::span::SpanGuard;
+use crate::timeprof::{FrameTree, HandlerTimer, PhaseTiming, TimeProfCore, TimeProfSnapshot};
 use crate::trace::{Tracer, TracerCore};
 use parking_lot::Mutex;
 use std::sync::atomic::AtomicU64;
@@ -30,11 +31,12 @@ struct Inner {
     counters: Mutex<Vec<(String, Arc<AtomicU64>)>>,
     gauges: Mutex<Vec<(String, Arc<GaugeCore>)>>,
     histograms: Mutex<Vec<(String, Arc<HistogramCore>)>>,
-    spans: Arc<SpanRecorder>,
+    spans: Arc<FrameTree>,
     events: Mutex<Option<Arc<EventLog>>>,
     tracer: Mutex<Option<Arc<TracerCore>>>,
     series: Mutex<Option<Arc<SeriesCore>>>,
     profile: Mutex<Option<ProfileConfig>>,
+    timeprof: Mutex<Option<Arc<TimeProfCore>>>,
 }
 
 /// Arming parameters for the profiling structural probes; see
@@ -217,6 +219,63 @@ impl Registry {
         }
     }
 
+    /// Arms the hot-path time profiler: per-event-kind dispatch timers
+    /// ([`Registry::handler_timer`]) and per-worker utilization accounting
+    /// ([`Registry::record_worker_use`]) start recording, and
+    /// [`Registry::timeprof_snapshot`] returns `Some`. Like the other
+    /// opt-in gates this is mirrored by [`Registry::shard`] and merged in
+    /// task order by [`Registry::absorb`]: dispatch *counts* and frame
+    /// structure are bit-identical at any `--jobs`, while the nanosecond
+    /// moments and worker stats are volatile wall-clock telemetry.
+    pub fn enable_timeprof(&self) {
+        if let Some(inner) = &self.0 {
+            let mut slot = inner.timeprof.lock();
+            if slot.is_none() {
+                *slot = Some(Arc::new(TimeProfCore::default()));
+            }
+        }
+    }
+
+    /// Whether the time profiler is armed.
+    pub fn timeprof_enabled(&self) -> bool {
+        self.0.as_ref().is_some_and(|inner| inner.timeprof.lock().is_some())
+    }
+
+    /// The dispatch timer labelled `label` (inert unless timeprof is
+    /// armed). Handles are minted once per run — typically one per event
+    /// or message kind — and started on each dispatch.
+    pub fn handler_timer(&self, label: &str) -> HandlerTimer {
+        match self.timeprof_core() {
+            None => HandlerTimer::default(),
+            Some(core) => core.handlers.timer(label),
+        }
+    }
+
+    /// Accumulates one parallel map's per-worker utilization. No-op
+    /// unless timeprof is armed.
+    pub fn record_worker_use(&self, stats: &[crate::timeprof::WorkerUse]) {
+        if let Some(core) = self.timeprof_core() {
+            core.record_workers(stats);
+        }
+    }
+
+    /// A point-in-time copy of the time profiler's state (`None` when
+    /// disabled or timeprof not armed). Frames always come from the span
+    /// tree, which records whenever the registry is enabled.
+    pub fn timeprof_snapshot(&self) -> Option<TimeProfSnapshot> {
+        let inner = self.0.as_ref()?;
+        let core = inner.timeprof.lock().clone()?;
+        Some(TimeProfSnapshot {
+            frames: inner.spans.snapshot(),
+            handlers: core.handlers.snapshot(),
+            workers: core.workers_snapshot(),
+        })
+    }
+
+    fn timeprof_core(&self) -> Option<Arc<TimeProfCore>> {
+        self.0.as_ref().and_then(|inner| inner.timeprof.lock().clone())
+    }
+
     /// The attached sampler (inert when disabled or series not enabled).
     pub fn sampler(&self) -> Sampler {
         Sampler(self.0.as_ref().and_then(|inner| inner.series.lock().clone()))
@@ -351,6 +410,9 @@ impl Registry {
         if let Some(profile) = *inner.profile.lock() {
             shard.enable_profiling(profile);
         }
+        if inner.timeprof.lock().is_some() {
+            shard.enable_timeprof();
+        }
         shard
     }
 
@@ -384,26 +446,19 @@ impl Registry {
         }
         for (name, core) in other.histograms.lock().iter() {
             if let Some(mine) = self.histogram(name).0 {
-                for (m, t) in mine.buckets.iter().zip(core.buckets.iter()) {
-                    m.fetch_add(t.load(Relaxed), Relaxed);
-                }
-                mine.count.fetch_add(core.count.load(Relaxed), Relaxed);
-                let sum = f64::from_bits(core.sum_bits.load(Relaxed));
-                let _ = mine
-                    .sum_bits
-                    .fetch_update(Relaxed, Relaxed, |b| Some((f64::from_bits(b) + sum).to_bits()));
-                let min = f64::from_bits(core.min_bits.load(Relaxed));
-                let _ = mine.min_bits.fetch_update(Relaxed, Relaxed, |b| {
-                    (min < f64::from_bits(b)).then(|| min.to_bits())
-                });
-                let max = f64::from_bits(core.max_bits.load(Relaxed));
-                let _ = mine.max_bits.fetch_update(Relaxed, Relaxed, |b| {
-                    (max > f64::from_bits(b)).then(|| max.to_bits())
-                });
+                let snap = Histogram(Some(Arc::clone(core))).snapshot();
+                crate::metrics::merge_into_core(&mine, &snap);
             }
         }
         for (path, timing) in other.spans.snapshot() {
             inner.spans.absorb(&path, timing);
+        }
+        let shard_timeprof = other.timeprof.lock().clone();
+        if let Some(shard_timeprof) = shard_timeprof {
+            let mine = inner.timeprof.lock().clone();
+            if let Some(mine) = mine {
+                mine.absorb(&shard_timeprof);
+            }
         }
         let shard_log = other.events.lock().clone();
         if let Some(shard_log) = shard_log {
@@ -514,6 +569,7 @@ impl MetricsSnapshot {
                         .field("phase", path.as_str())
                         .field("count", t.count)
                         .field("total_s", t.total_secs())
+                        .field("self_s", t.self_secs())
                 })
                 .collect(),
         )
@@ -691,6 +747,38 @@ mod tests {
         on.absorb(&off); // disabled shard: no-op
         on.absorb(&on); // self-absorb: guarded no-op, not a double count
         assert_eq!(on.snapshot().counter("x"), 1);
+    }
+
+    #[test]
+    fn timeprof_gated_behind_enable_and_mirrored_by_shard() {
+        let reg = Registry::enabled();
+        assert!(!reg.timeprof_enabled(), "timeprof is opt-in even when enabled");
+        assert!(reg.timeprof_snapshot().is_none());
+        drop(reg.handler_timer("ev_publish").start()); // inert before arming
+        reg.enable_timeprof();
+        drop(reg.handler_timer("ev_publish").start());
+        let shard = reg.shard();
+        assert!(shard.timeprof_enabled(), "shard mirrors the arming");
+        drop(shard.handler_timer("ev_publish").start());
+        drop(shard.handler_timer("ev_probe").start());
+        shard.record_worker_use(&[crate::timeprof::WorkerUse {
+            worker: 0,
+            busy_ns: 10,
+            tasks: 2,
+            ..Default::default()
+        }]);
+        reg.absorb(&shard);
+        let snap = reg.timeprof_snapshot().expect("armed");
+        let labels: Vec<(&str, u64)> =
+            snap.handlers.iter().map(|(n, h)| (n.as_str(), h.count)).collect();
+        assert_eq!(labels, [("ev_probe", 1), ("ev_publish", 2)], "pre-arming start dropped");
+        assert_eq!(snap.workers.len(), 1);
+        assert_eq!(snap.workers[0].tasks, 2);
+
+        let off = Registry::disabled();
+        off.enable_timeprof();
+        assert!(!off.timeprof_enabled());
+        assert!(off.timeprof_snapshot().is_none());
     }
 
     #[test]

@@ -5,79 +5,24 @@
 //! spans on the same thread compose their names with `/`, so a `flush`
 //! opened under `build_tree` records as `build_tree/flush`.
 //!
+//! Recording is backed by the hierarchical frame tree in
+//! [`crate::timeprof`]: paths are interned to frame ids on first entry, so
+//! the hot enter/exit path performs no allocation and no scan over
+//! previously recorded paths, and each frame tracks self time (children
+//! attributed to parents) alongside its total.
+//!
 //! Timing is observation-only (wall clock, never fed back into simulation
 //! state), so instrumented and uninstrumented runs stay bit-identical.
 
-use parking_lot::Mutex;
-use std::cell::RefCell;
+use crate::timeprof::{self, FrameTree, StackEntry};
 use std::sync::Arc;
 use std::time::Instant;
-
-thread_local! {
-    /// The stack of open span paths on this thread.
-    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
-}
-
-/// Accumulated timings per span path.
-#[derive(Debug, Default)]
-pub(crate) struct SpanRecorder {
-    /// `path -> (invocations, total nanoseconds)`.
-    totals: Mutex<Vec<(String, PhaseTiming)>>,
-}
-
-/// Aggregate timing of one span path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct PhaseTiming {
-    /// Times the span was entered.
-    pub count: u64,
-    /// Total nanoseconds across all entries.
-    pub total_ns: u128,
-}
-
-impl PhaseTiming {
-    /// Total time in seconds.
-    pub fn total_secs(&self) -> f64 {
-        self.total_ns as f64 / 1e9
-    }
-}
-
-impl SpanRecorder {
-    fn record(&self, path: String, elapsed_ns: u128) {
-        let mut totals = self.totals.lock();
-        match totals.iter_mut().find(|(p, _)| *p == path) {
-            Some((_, t)) => {
-                t.count += 1;
-                t.total_ns += elapsed_ns;
-            }
-            None => totals.push((path, PhaseTiming { count: 1, total_ns: elapsed_ns })),
-        }
-    }
-
-    /// Folds a shard's aggregate for one path into this recorder, adding
-    /// both the entry count and the accumulated time. Absorbing shard
-    /// snapshots in task order keeps first-entered path order deterministic.
-    pub(crate) fn absorb(&self, path: &str, timing: PhaseTiming) {
-        let mut totals = self.totals.lock();
-        match totals.iter_mut().find(|(p, _)| p == path) {
-            Some((_, t)) => {
-                t.count += timing.count;
-                t.total_ns += timing.total_ns;
-            }
-            None => totals.push((path.to_owned(), timing)),
-        }
-    }
-
-    /// Paths and timings in first-entered order.
-    pub(crate) fn snapshot(&self) -> Vec<(String, PhaseTiming)> {
-        self.totals.lock().clone()
-    }
-}
 
 /// A detached span-nesting context; restores the previous one on drop.
 #[derive(Debug)]
 #[must_use = "dropping immediately re-attaches the previous span context"]
 pub struct DetachedSpans {
-    saved: Vec<String>,
+    saved: Vec<StackEntry>,
 }
 
 /// Detaches the current thread's span-nesting context until the guard
@@ -86,12 +31,12 @@ pub struct DetachedSpans {
 /// shard paths must not inherit the spawning thread's open spans, or
 /// inline (serial) task execution would nest where worker threads don't.
 pub fn detach_spans() -> DetachedSpans {
-    DetachedSpans { saved: SPAN_STACK.with(|s| std::mem::take(&mut *s.borrow_mut())) }
+    DetachedSpans { saved: timeprof::take_stack() }
 }
 
 impl Drop for DetachedSpans {
     fn drop(&mut self) {
-        SPAN_STACK.with(|s| *s.borrow_mut() = std::mem::take(&mut self.saved));
+        timeprof::restore_stack(std::mem::take(&mut self.saved));
     }
 }
 
@@ -104,8 +49,8 @@ pub struct SpanGuard {
 
 #[derive(Debug)]
 struct OpenSpan {
-    recorder: Arc<SpanRecorder>,
-    path: String,
+    tree: Arc<FrameTree>,
+    frame: u32,
     start: Instant,
 }
 
@@ -114,17 +59,9 @@ impl SpanGuard {
         SpanGuard { inner: None }
     }
 
-    pub(crate) fn enter(recorder: Arc<SpanRecorder>, name: &str) -> SpanGuard {
-        let path = SPAN_STACK.with(|stack| {
-            let mut stack = stack.borrow_mut();
-            let path = match stack.last() {
-                Some(parent) => format!("{parent}/{name}"),
-                None => name.to_owned(),
-            };
-            stack.push(path.clone());
-            path
-        });
-        SpanGuard { inner: Some(OpenSpan { recorder, path, start: Instant::now() }) }
+    pub(crate) fn enter(tree: Arc<FrameTree>, name: &str) -> SpanGuard {
+        let frame = tree.enter(name);
+        SpanGuard { inner: Some(OpenSpan { tree, frame, start: Instant::now() }) }
     }
 }
 
@@ -132,15 +69,7 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some(open) = self.inner.take() {
             let elapsed = open.start.elapsed().as_nanos();
-            SPAN_STACK.with(|stack| {
-                let mut stack = stack.borrow_mut();
-                // Drop order can be violated by mem::forget games; recover by
-                // popping to this span's frame rather than panicking.
-                if let Some(pos) = stack.iter().rposition(|p| *p == open.path) {
-                    stack.truncate(pos);
-                }
-            });
-            open.recorder.record(open.path, elapsed);
+            open.tree.exit(open.frame, elapsed);
         }
     }
 }
@@ -151,7 +80,7 @@ mod tests {
 
     #[test]
     fn nesting_composes_paths() {
-        let rec = Arc::new(SpanRecorder::default());
+        let rec = Arc::new(FrameTree::default());
         {
             let _outer = SpanGuard::enter(Arc::clone(&rec), "outer");
             for _ in 0..3 {
@@ -163,11 +92,12 @@ mod tests {
         assert_eq!(paths, ["outer/inner", "outer"]);
         assert_eq!(snap[0].1.count, 3);
         assert_eq!(snap[1].1.count, 1);
+        assert!(snap[1].1.self_ns <= snap[1].1.total_ns);
     }
 
     #[test]
     fn sibling_after_nested_is_top_level() {
-        let rec = Arc::new(SpanRecorder::default());
+        let rec = Arc::new(FrameTree::default());
         {
             let _a = SpanGuard::enter(Arc::clone(&rec), "a");
         }
@@ -180,7 +110,7 @@ mod tests {
 
     #[test]
     fn detaching_makes_spans_top_level_and_restores() {
-        let rec = Arc::new(SpanRecorder::default());
+        let rec = Arc::new(FrameTree::default());
         {
             let _outer = SpanGuard::enter(Arc::clone(&rec), "outer");
             {
@@ -197,6 +127,19 @@ mod tests {
     fn disabled_guard_is_inert() {
         let g = SpanGuard::disabled();
         drop(g);
-        SPAN_STACK.with(|stack| assert!(stack.borrow().is_empty()));
+        assert!(timeprof::stack_is_empty());
+    }
+
+    #[test]
+    fn forgotten_inner_guard_recovers() {
+        let rec = Arc::new(FrameTree::default());
+        {
+            let _outer = SpanGuard::enter(Arc::clone(&rec), "outer");
+            let inner = SpanGuard::enter(Arc::clone(&rec), "inner");
+            std::mem::forget(inner);
+        }
+        assert!(timeprof::stack_is_empty(), "outer's drop truncates the leaked frame");
+        let paths: Vec<String> = rec.snapshot().into_iter().map(|(p, _)| p).collect();
+        assert_eq!(paths, ["outer"], "the forgotten span never records");
     }
 }

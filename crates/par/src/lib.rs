@@ -36,6 +36,33 @@
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// One worker's utilization over a single [`Pool::map_timed`] call. All
+/// fields are wall clock: which worker claimed which chunk is racy, so
+/// these numbers are telemetry, never inputs to anything deterministic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStat {
+    /// Worker index (0-based submission order of the spawned threads).
+    pub worker: usize,
+    /// Nanoseconds spent inside task closures.
+    pub busy_ns: u128,
+    /// Nanoseconds spent claiming chunks from the shared queue.
+    pub steal_ns: u128,
+    /// Nanoseconds in the worker loop not spent busy or claiming.
+    pub idle_ns: u128,
+    /// Nanoseconds between this worker draining the queue and the
+    /// slowest worker doing so — the join-barrier wait.
+    pub join_wait_ns: u128,
+    /// Chunks claimed from the queue.
+    pub chunks: u64,
+    /// Tasks executed.
+    pub tasks: u64,
+}
+
+/// One worker's share of a timed map: its `(start, results)` chunks, its
+/// accounting, and the instant it drained the queue (for the join wait).
+type TimedPart<R> = (Vec<(usize, Vec<R>)>, WorkerStat, Instant);
 
 /// How many chunks each worker should get on average: small enough to
 /// amortise the atomic claim, large enough that uneven task costs still
@@ -168,6 +195,93 @@ impl Pool {
         slots.into_iter().map(|s| s.expect("every task index produced a result")).collect()
     }
 
+    /// Like [`Pool::map`], but also measures per-worker utilization
+    /// (busy / steal / idle nanoseconds and the join-barrier wait).
+    ///
+    /// Each worker returns its `(start, results)` chunks, its accounting,
+    /// and the instant it finished (for the join-wait computation).
+    ///
+    /// This is a separate entry point rather than a flag on `map` so the
+    /// unobserved hot path stays exactly as cheap as before: callers that
+    /// have not armed time profiling never pay for the `Instant` reads.
+    /// Results are in task order, identical to `map`; the stats are
+    /// observation-only wall clock.
+    pub fn map_timed<R, F>(&self, len: usize, f: F) -> (Vec<R>, Vec<WorkerStat>)
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let workers = self.jobs.min(len);
+        if workers <= 1 {
+            let start = Instant::now();
+            let out: Vec<R> = (0..len).map(f).collect();
+            let stat = WorkerStat {
+                worker: 0,
+                busy_ns: start.elapsed().as_nanos(),
+                chunks: 1,
+                tasks: len as u64,
+                ..WorkerStat::default()
+            };
+            return (out, vec![stat]);
+        }
+        let chunk = len.div_ceil(workers * CHUNKS_PER_WORKER).max(1);
+        let queue = IndexQueue::new(len, chunk);
+        let f = &f;
+        let queue = &queue;
+        let mut timed: Vec<TimedPart<R>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|worker| {
+                    scope.spawn(move || {
+                        let loop_start = Instant::now();
+                        let mut stat = WorkerStat { worker, ..WorkerStat::default() };
+                        let mut claimed = Vec::new();
+                        loop {
+                            let t_claim = Instant::now();
+                            let range = queue.take();
+                            stat.steal_ns += t_claim.elapsed().as_nanos();
+                            let Some(range) = range else { break };
+                            stat.chunks += 1;
+                            stat.tasks += range.len() as u64;
+                            let start = range.start;
+                            let t_busy = Instant::now();
+                            claimed.push((start, range.map(f).collect::<Vec<R>>()));
+                            stat.busy_ns += t_busy.elapsed().as_nanos();
+                        }
+                        let end = Instant::now();
+                        stat.idle_ns = (end - loop_start)
+                            .as_nanos()
+                            .saturating_sub(stat.busy_ns)
+                            .saturating_sub(stat.steal_ns);
+                        (claimed, stat, end)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(part) => part,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        });
+        let last_end = timed.iter().map(|(_, _, end)| *end).max().expect("workers > 1");
+        let mut stats = Vec::with_capacity(workers);
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(len);
+        slots.resize_with(len, || None);
+        for (part, mut stat, end) in timed.drain(..) {
+            stat.join_wait_ns = (last_end - end).as_nanos();
+            stats.push(stat);
+            for (start, results) in part {
+                for (offset, r) in results.into_iter().enumerate() {
+                    slots[start + offset] = Some(r);
+                }
+            }
+        }
+        let out =
+            slots.into_iter().map(|s| s.expect("every task index produced a result")).collect();
+        (out, stats)
+    }
+
     /// Maps `f` over `items`, passing each element with its index; results
     /// come back in item order (see [`Pool::map`]).
     pub fn map_slice<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
@@ -177,6 +291,17 @@ impl Pool {
         F: Fn(usize, &T) -> R + Sync,
     {
         self.map(items.len(), |i| f(i, &items[i]))
+    }
+
+    /// Like [`Pool::map_slice`], with the per-worker utilization of
+    /// [`Pool::map_timed`].
+    pub fn map_slice_timed<T, R, F>(&self, items: &[T], f: F) -> (Vec<R>, Vec<WorkerStat>)
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.map_timed(items.len(), |i| f(i, &items[i]))
     }
 }
 
@@ -252,6 +377,40 @@ mod tests {
     fn oversubscription_is_allowed() {
         // More workers than tasks: the pool clamps to the task count.
         assert_eq!(Pool::new(64).map(3, |i| i * 2), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn map_timed_matches_map_and_accounts_every_task() {
+        let serial: Vec<usize> = (0..257).map(|i| i * 31 % 97).collect();
+        for jobs in [1, 2, 4] {
+            let (out, stats) = Pool::new(jobs).map_timed(257, |i| i * 31 % 97);
+            assert_eq!(out, serial, "jobs={jobs}");
+            assert_eq!(stats.len(), jobs.min(257));
+            assert_eq!(stats.iter().map(|s| s.tasks).sum::<u64>(), 257, "jobs={jobs}");
+            assert!(stats.iter().map(|s| s.chunks).sum::<u64>() >= 1);
+            for (i, s) in stats.iter().enumerate() {
+                assert_eq!(s.worker, i);
+            }
+            assert!(
+                stats.iter().any(|s| s.join_wait_ns == 0),
+                "the slowest worker waits on nobody"
+            );
+        }
+    }
+
+    #[test]
+    fn map_timed_handles_empty_input() {
+        let (out, stats) = Pool::new(4).map_timed(0, |i| i);
+        assert!(out.is_empty());
+        assert_eq!(stats.len(), 1, "serial inline path reports one worker");
+        assert_eq!(stats[0].tasks, 0);
+    }
+
+    #[test]
+    fn map_slice_timed_passes_elements_in_order() {
+        let items: Vec<u32> = (0..100).collect();
+        let (out, _) = Pool::new(3).map_slice_timed(&items, |i, v| i as u32 + v);
+        assert_eq!(out, (0..100).map(|v| v * 2).collect::<Vec<u32>>());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 use crate::queue::EventQueue;
 use crate::time::{SimDuration, SimTime};
 use cdnc_obs::profile::{self, Subsystem};
-use cdnc_obs::{Counter, Gauge, Histogram, MemProbe, Registry, Sampler, Tracer};
+use cdnc_obs::{Counter, Gauge, HandlerTimer, Histogram, MemProbe, Registry, Sampler, Tracer};
 
 /// Drives a simulation: owns the clock and the pending-event queue.
 ///
@@ -50,6 +50,10 @@ pub struct Scheduler<E> {
     obs_pop_depth: Histogram,
     /// Allocation-spike probe ticked with the clock (same gate).
     obs_mem_probe: MemProbe,
+    /// Wall-clock cost of the pop + clock-advance step itself — the
+    /// scheduler's share of the dispatch path (timeprof gate; inert
+    /// unless the registry armed time profiling).
+    obs_pop_timer: HandlerTimer,
 }
 
 impl<E> Default for Scheduler<E> {
@@ -72,6 +76,7 @@ impl<E> Scheduler<E> {
             obs_sampler: Sampler::default(),
             obs_pop_depth: Histogram::default(),
             obs_mem_probe: MemProbe::default(),
+            obs_pop_timer: HandlerTimer::default(),
         }
     }
 
@@ -87,7 +92,9 @@ impl<E> Scheduler<E> {
     /// sampling segment because this scheduler's clock starts at zero.
     /// If profiling is armed, `sched_queue_depth_at_pop` (log-histogram of
     /// queue occupancy at each pop) and the allocation-spike probe ride
-    /// along too.
+    /// along too. If time profiling is armed, each pop's own wall-clock
+    /// cost folds into the `sched_pop` dispatch timer — the scheduler's
+    /// share of handing events to handlers.
     pub fn set_obs(&mut self, registry: &Registry) {
         self.obs_processed = registry.counter("sched_events_processed");
         self.obs_depth = registry.gauge("sched_queue_depth");
@@ -103,6 +110,7 @@ impl<E> Scheduler<E> {
             Histogram::default()
         };
         self.obs_mem_probe = registry.mem_probe();
+        self.obs_pop_timer = registry.handler_timer("sched_pop");
     }
 
     /// Creates a scheduler that silently stops yielding events past `horizon`
@@ -170,6 +178,7 @@ impl<E> Scheduler<E> {
         if !self.queue.is_empty() {
             self.obs_pop_depth.record(self.queue.len() as f64);
         }
+        let _dispatch = self.obs_pop_timer.start();
         let (t, e) = {
             let _prof = profile::scope(Subsystem::Scheduler);
             self.queue.pop()?
