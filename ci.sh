@@ -66,6 +66,23 @@ diff <(chaos_filter "$CHAOS_DIR/serial.txt") <(chaos_filter "$CHAOS_DIR/jobs4.tx
 cargo run -q -p cdnc-experiments --release -- obs-diff "$CHAOS_DIR/serial" "$CHAOS_DIR/jobs4"
 rm -rf "$CHAOS_DIR"
 
+echo "==> request-plane smoke: workload curves, serial vs --jobs 4 diff, report section"
+WL_DIR="$(mktemp -d)"
+cargo run -q -p cdnc-experiments --release -- ext_workload --scale smoke --obs --obs-dir "$WL_DIR/serial" > "$WL_DIR/serial.txt"
+cargo run -q -p cdnc-experiments --release -- ext_workload --scale smoke --obs --obs-dir "$WL_DIR/jobs4" --jobs 4 > "$WL_DIR/jobs4.txt"
+# The latency/staleness CDF curves landed next to the artifact.
+test -s "$WL_DIR/serial/ext_workload.workload.json"
+# Request arrivals, cache hits/misses, delayed-hit coalescing and origin
+# fetches are bit-identical across worker counts.
+wl_filter() {
+  grep -vF "$WL_DIR" "$1" | grep -vE 'worker thread\(s\)\]$|^  [A-Za-z0-9_/]+ +[0-9]+ +[0-9.]+s$|^  phase '
+}
+diff <(wl_filter "$WL_DIR/serial.txt") <(wl_filter "$WL_DIR/jobs4.txt")
+cargo run -q -p cdnc-experiments --release -- obs-diff "$WL_DIR/serial" "$WL_DIR/jobs4"
+cargo run -q -p cdnc-experiments --release -- report --obs-dir "$WL_DIR/serial" --out "$WL_DIR/report"
+grep -q 'Request plane' "$WL_DIR/report/ext_workload.html"
+rm -rf "$WL_DIR"
+
 echo "==> series emission + HTML report"
 SERIES_DIR="$(mktemp -d)"
 cargo run -q -p cdnc-experiments --release -- fig17 --scale smoke --obs --series --obs-dir "$SERIES_DIR"

@@ -219,6 +219,80 @@ impl FaultPlan {
     }
 }
 
+/// The request-plane plan: the workload the edges serve while the
+/// consistency plane propagates updates.
+///
+/// Attaching a plan (`SimConfig::workload = Some(..)`) arms the request
+/// plane inside the simulator:
+///
+/// * a **Zipf catalog** of `catalog_size` objects with publish/perish churn
+///   at `churn_rate_hz` (hot ranks turn over fastest; ranks re-normalise
+///   deterministically because the popularity ladder never moves);
+/// * **per-user Poisson request arrivals** at `request_rate_hz`, routed to
+///   the user's current edge server;
+/// * **per-edge LRU caches** of `cache_capacity` objects with delayed-hit
+///   coalescing — concurrent misses for one object share a single origin
+///   fetch of `object_kb` KB charged through the network substrate — and,
+///   with `mad_eviction`, a MAD-aware eviction variant;
+/// * a **serve path integrated with the consistency plane**: the hottest
+///   `live_fraction` of the catalog is live content whose cached copies
+///   carry the provider snapshot they were filled at; an edge refetches a
+///   copy it *believes* stale (its node adopted a newer snapshot, or holds
+///   an invalidation), and serves it otherwise — so TTL edges serve stale
+///   bytes they don't know about, which is exactly what the
+///   *staleness-served* metric measures.
+///
+/// With `workload: None` (the default) none of this machinery exists and
+/// the simulation is bit-identical to the pre-workload behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadPlan {
+    /// Number of objects (popularity ranks) in the catalog.
+    pub catalog_size: usize,
+    /// Zipf popularity exponent (0 = uniform; CDN demand ≈ 0.6–1.2).
+    pub zipf_s: f64,
+    /// Fraction of the catalog (hottest ranks) that is live content
+    /// versioned by the provider's update stream, in `[0, 1]`.
+    pub live_fraction: f64,
+    /// Per-user Poisson request rate, requests per second.
+    pub request_rate_hz: f64,
+    /// Catalog publish/perish churn rate, events per second (global).
+    pub churn_rate_hz: f64,
+    /// Per-edge cache capacity, objects.
+    pub cache_capacity: usize,
+    /// Object size, KB — the payload of every origin fetch.
+    pub object_kb: f64,
+    /// Selects the MAD-aware (delay-conscious) eviction variant.
+    pub mad_eviction: bool,
+}
+
+impl Default for WorkloadPlan {
+    fn default() -> Self {
+        WorkloadPlan {
+            catalog_size: 512,
+            zipf_s: 0.9,
+            live_fraction: 0.25,
+            request_rate_hz: 0.2,
+            churn_rate_hz: 0.5,
+            cache_capacity: 64,
+            object_kb: 20.0,
+            mad_eviction: false,
+        }
+    }
+}
+
+impl WorkloadPlan {
+    /// A plan swept over the `ext_workload` axes: catalog size and Zipf
+    /// skew, everything else at defaults.
+    pub fn with_catalog(catalog_size: usize, zipf_s: f64) -> Self {
+        WorkloadPlan { catalog_size, zipf_s, ..WorkloadPlan::default() }
+    }
+
+    /// Number of live (provider-versioned) catalog ranks.
+    pub fn live_slots(&self) -> usize {
+        ((self.catalog_size as f64 * self.live_fraction).round() as usize).min(self.catalog_size)
+    }
+}
+
 /// Full configuration of one CDN-consistency simulation run.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -259,6 +333,10 @@ pub struct SimConfig {
     /// `None` (the default) leaves every send and handler exactly as
     /// before — zero overhead when off.
     pub faults: Option<FaultPlan>,
+    /// Optional request-plane workload (Zipf catalog, per-edge LRU caches
+    /// with delayed hits, staleness-served accounting). `None` (the
+    /// default) is bit-identical to the pre-workload simulator.
+    pub workload: Option<WorkloadPlan>,
     /// Heterogeneity of end-user visit frequencies (§6's "varying visit
     /// frequencies" factor): each user's visit interval is `user_ttl`
     /// scaled by a log-uniform factor in `[1/(1+s), 1+s]`. 0 reproduces the
@@ -289,6 +367,7 @@ impl SimConfig {
             users_roam: false,
             failures: None,
             faults: None,
+            workload: None,
             visit_spread: 0.0,
             network: NetworkConfig::default(),
             seed: 0,

@@ -32,9 +32,9 @@ pub mod sim;
 pub mod topology;
 pub mod tree;
 
-pub use config::{FailureConfig, FaultPlan, Scheme, SimConfig};
+pub use config::{FailureConfig, FaultPlan, Scheme, SimConfig, WorkloadPlan};
 pub use method::{AdaptiveMode, MethodKind};
-pub use metrics::SimReport;
+pub use metrics::{SimReport, WorkloadStats};
 pub use policy::{recommend, CostObjective, Recommendation, Requirement, WorkloadProfile};
 pub use sim::{run, run_with_obs};
 pub use topology::Topology;

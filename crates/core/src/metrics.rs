@@ -10,6 +10,69 @@
 use cdnc_net::TrafficStats;
 use cdnc_simcore::stats::Cdf;
 
+/// Request-plane (workload) tallies and samples for one run.
+///
+/// All-zero/empty when the run had no workload plan, so `SimReport`
+/// equality still captures the `workload: None` bit-identity contract.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WorkloadStats {
+    /// User requests issued.
+    pub requests: u64,
+    /// Requests served straight from an edge cache.
+    pub hits: u64,
+    /// Requests coalesced behind an in-flight origin fetch.
+    pub delayed_hits: u64,
+    /// Requests that started an origin fetch (includes serve-time
+    /// revalidations of copies the edge believed stale).
+    pub misses: u64,
+    /// Cache entries evicted by capacity pressure.
+    pub evictions: u64,
+    /// Origin fetches issued (= `misses`; kept separate for the keyval
+    /// surface).
+    pub origin_fetches: u64,
+    /// Object bytes fetched from the origin, KB.
+    pub origin_kb: f64,
+    /// Catalog publish/perish churn events.
+    pub churn_events: u64,
+    /// Per-request user-perceived latency, seconds (hits are 0; delayed
+    /// hits and misses wait for their fill). Requests whose fill was still
+    /// in flight at the horizon are not sampled.
+    pub latency_s: Vec<f64>,
+    /// Staleness-served per live-object serve, seconds: how far behind the
+    /// provider head the served copy was at serve time (0 = head).
+    pub staleness_served_s: Vec<f64>,
+}
+
+impl WorkloadStats {
+    /// Cache hit rate over all requests (plain + delayed hits), in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            (self.hits + self.delayed_hits) as f64 / self.requests as f64
+        }
+    }
+
+    /// Percentile of the user-perceived latency distribution, seconds.
+    pub fn latency_percentile(&self, p: f64) -> Option<f64> {
+        Cdf::from_samples(self.latency_s.iter().copied()).percentile(p)
+    }
+
+    /// Mean staleness-served over live-object serves, seconds.
+    pub fn mean_staleness_served_s(&self) -> f64 {
+        if self.staleness_served_s.is_empty() {
+            0.0
+        } else {
+            self.staleness_served_s.iter().sum::<f64>() / self.staleness_served_s.len() as f64
+        }
+    }
+
+    /// Percentile of the staleness-served distribution, seconds.
+    pub fn staleness_percentile(&self, p: f64) -> Option<f64> {
+        Cdf::from_samples(self.staleness_served_s.iter().copied()).percentile(p)
+    }
+}
+
 /// The result of one simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
@@ -60,6 +123,8 @@ pub struct SimReport {
     /// despite the fault plan's pre-horizon settle fence (fault-plan runs
     /// only; should be 0 — reported for honesty).
     pub convergence_violations: u64,
+    /// Request-plane tallies (all-zero without a workload plan).
+    pub workload: WorkloadStats,
 }
 
 impl SimReport {
@@ -121,6 +186,7 @@ mod tests {
             failovers: 0,
             ttl_fallbacks: 0,
             convergence_violations: 0,
+            workload: WorkloadStats::default(),
         }
     }
 
@@ -131,6 +197,27 @@ mod tests {
         assert_eq!(r.mean_user_lag_s(), 3.0);
         assert_eq!(r.server_lag_percentile(50.0), Some(2.5));
         assert_eq!(r.inconsistency_observation_rate(), 0.05);
+    }
+
+    #[test]
+    fn workload_aggregates() {
+        let w = WorkloadStats {
+            requests: 10,
+            hits: 6,
+            delayed_hits: 2,
+            misses: 2,
+            latency_s: vec![0.0, 0.0, 0.5, 1.5],
+            staleness_served_s: vec![0.0, 4.0],
+            ..WorkloadStats::default()
+        };
+        assert_eq!(w.hit_rate(), 0.8);
+        assert_eq!(w.latency_percentile(100.0), Some(1.5));
+        assert_eq!(w.mean_staleness_served_s(), 2.0);
+        assert_eq!(w.staleness_percentile(50.0), Some(2.0));
+        let empty = WorkloadStats::default();
+        assert_eq!(empty.hit_rate(), 0.0);
+        assert_eq!(empty.latency_percentile(99.0), None);
+        assert_eq!(empty.mean_staleness_served_s(), 0.0);
     }
 
     #[test]

@@ -18,12 +18,12 @@
 //!   ancestors (the user's response waits for the fetch, which is why
 //!   Invalidation matches Push from the user's perspective, Fig. 14(b)).
 
-use crate::config::{FaultPlan, Scheme, SimConfig};
+use crate::config::{FaultPlan, Scheme, SimConfig, WorkloadPlan};
 use crate::method::{AdaptiveMode, MethodKind};
-use crate::metrics::SimReport;
+use crate::metrics::{SimReport, WorkloadStats};
 use crate::topology::Topology;
 use cdnc_geo::{IspId, WorldBuilder};
-use cdnc_net::{FaultPlane, Network, NodeId, Packet, PacketKind};
+use cdnc_net::{FaultPlane, Network, NodeId, Packet, PacketKind, PACKET_KINDS};
 use cdnc_obs::profile::{self, Subsystem};
 use cdnc_obs::{
     Counter, Gauge, HandlerTimer, Histogram, Level, Registry, SpanKind, TraceCtx, Tracer,
@@ -31,6 +31,7 @@ use cdnc_obs::{
 use cdnc_simcore::stats::OnlineStats;
 use cdnc_simcore::{stream_tag, Scheduler, SimDuration, SimRng, SimTime};
 use cdnc_trace::SnapshotId;
+use cdnc_workload::{Catalog, Lookup, LruCache, ObjectId};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Runs one simulation and returns its report.
@@ -106,11 +107,20 @@ enum Event {
     /// Under a [`FaultPlan`]: the failure detector checks `node`'s upstream
     /// (with a generation, like poll timers, so re-wiring kills old chains).
     Probe(NodeId, u64),
+    /// Under a [`WorkloadPlan`]: user `.0` requests an object from their
+    /// current server.
+    Request(u32),
+    /// Under a [`WorkloadPlan`]: an origin fetch lands at an edge — cache
+    /// the object (filled at provider snapshot `.2`) and release its
+    /// waiters.
+    Fill(NodeId, ObjectId, u32),
+    /// Under a [`WorkloadPlan`]: one catalog publish/perish churn event.
+    Churn,
 }
 
 /// Dispatch-timer labels, one per [`Event`] kind, indexed by
 /// [`Event::obs_idx`].
-const EVENT_TIMER_LABELS: [&str; 10] = [
+const EVENT_TIMER_LABELS: [&str; 13] = [
     "ev_publish",
     "ev_poll_timer",
     "ev_arrive",
@@ -121,6 +131,9 @@ const EVENT_TIMER_LABELS: [&str; 10] = [
     "ev_heartbeat",
     "ev_retransmit",
     "ev_probe",
+    "ev_request",
+    "ev_fill",
+    "ev_churn",
 ];
 
 impl Event {
@@ -137,6 +150,9 @@ impl Event {
             Event::Heartbeat(..) => 7,
             Event::Retransmit(..) => 8,
             Event::Probe(..) => 9,
+            Event::Request(..) => 10,
+            Event::Fill(..) => 11,
+            Event::Churn => 12,
         }
     }
 }
@@ -323,7 +339,7 @@ impl UserState {
 struct SimObs {
     registry: Registry,
     /// Messages sent, by class — indexed by `PacketKind as usize`.
-    msgs: [Counter; 9],
+    msgs: [Counter; PACKET_KINDS],
     /// Event-loop dispatches, by event kind.
     ev_publish: Counter,
     ev_poll_timer: Counter,
@@ -335,6 +351,9 @@ struct SimObs {
     ev_heartbeat: Counter,
     ev_retransmit: Counter,
     ev_probe: Counter,
+    ev_request: Counter,
+    ev_fill: Counter,
+    ev_churn: Counter,
     /// Algorithm 1 transitions (paper lines 7–8 and 12–13).
     switch_to_invalidation: Counter,
     switch_to_ttl: Counter,
@@ -346,7 +365,7 @@ struct SimObs {
     /// [`MethodKind::ALL`]; the last slot catches method-less nodes.
     adopt_lag: [Histogram; 6],
     /// Messages sent but not yet arrived, by class — indexed like `msgs`.
-    inflight: [Gauge; 9],
+    inflight: [Gauge; PACKET_KINDS],
     /// Server replicas currently holding content they know is stale
     /// (invalidation received, refresh not yet adopted).
     stale_replicas: Gauge,
@@ -370,6 +389,19 @@ struct SimObs {
     convergence_violations: Counter,
     /// Tracked deliveries currently awaiting an ack.
     pending_retransmits: Gauge,
+    /// Request-plane (workload) instruments — all dark without a
+    /// [`WorkloadPlan`].
+    wl_requests: Counter,
+    wl_hits: Counter,
+    wl_delayed_hits: Counter,
+    wl_misses: Counter,
+    wl_evictions: Counter,
+    wl_origin_fetches: Counter,
+    wl_churn_events: Counter,
+    /// User-perceived request latency and staleness-served distributions,
+    /// seconds (request-plane runs only).
+    wl_latency_s: Histogram,
+    wl_staleness_served_s: Histogram,
     /// Structural profiling probes, armed only when the registry has
     /// profiling enabled: per-node / per-user resident state-size estimates,
     /// one sample each at the end of the run.
@@ -380,7 +412,7 @@ struct SimObs {
     /// Per-event-kind dispatch timers, indexed by [`Event::obs_idx`] —
     /// wall-clock handler cost where the scheduler hands events to the
     /// run loop (timeprof gate; inert unless armed).
-    ev_timers: [HandlerTimer; 10],
+    ev_timers: [HandlerTimer; 13],
     /// Per-message-kind dispatch timers for `on_arrive`, indexed by
     /// [`SimObs::msg_timer_idx`] (same gate).
     msg_timers: [HandlerTimer; 10],
@@ -398,6 +430,7 @@ impl SimObs {
             "sim_msgs_user_request",
             "sim_msgs_user_response",
             "sim_msgs_ack",
+            "sim_msgs_origin_fetch",
         ];
         let adopt_names = [
             "sim_adopt_lag_s_push",
@@ -417,6 +450,7 @@ impl SimObs {
             "sim_inflight_user_request",
             "sim_inflight_user_response",
             "sim_inflight_ack",
+            "sim_inflight_origin_fetch",
         ];
         let pending_names = [
             "sim_pending_updates_push",
@@ -442,6 +476,8 @@ impl SimObs {
         registry.series_gauge("sim_pending_updates_users");
         registry.series_gauge("sim_mode_invalidation_nodes");
         registry.series_gauge("sim_pending_retransmits");
+        registry.series_rate("wl_requests");
+        registry.series_rate("wl_misses");
         SimObs {
             registry: registry.clone(),
             msgs: msg_names.map(|n| registry.counter(n)),
@@ -455,6 +491,9 @@ impl SimObs {
             ev_heartbeat: registry.counter("sim_ev_heartbeat"),
             ev_retransmit: registry.counter("sim_ev_retransmit"),
             ev_probe: registry.counter("sim_ev_probe"),
+            ev_request: registry.counter("sim_ev_request"),
+            ev_fill: registry.counter("sim_ev_fill"),
+            ev_churn: registry.counter("sim_ev_churn"),
             switch_to_invalidation: registry.counter("sim_switch_to_invalidation"),
             switch_to_ttl: registry.counter("sim_switch_to_ttl"),
             orphan_reattach: registry.counter("sim_orphan_reattach"),
@@ -474,6 +513,15 @@ impl SimObs {
             msgs_lost_to_failed: registry.counter("sim_msgs_lost_to_failed"),
             convergence_violations: registry.counter("sim_convergence_violations"),
             pending_retransmits: registry.gauge("sim_pending_retransmits"),
+            wl_requests: registry.counter("wl_requests"),
+            wl_hits: registry.counter("wl_hits"),
+            wl_delayed_hits: registry.counter("wl_delayed_hits"),
+            wl_misses: registry.counter("wl_misses"),
+            wl_evictions: registry.counter("wl_evictions"),
+            wl_origin_fetches: registry.counter("wl_origin_fetches"),
+            wl_churn_events: registry.counter("wl_churn_events"),
+            wl_latency_s: registry.histogram("wl_latency_s"),
+            wl_staleness_served_s: registry.histogram("wl_staleness_served_s"),
             node_state_bytes: if registry.profiling_enabled() {
                 registry.histogram("sim_node_state_bytes")
             } else {
@@ -594,6 +642,39 @@ impl ClusterState {
     }
 }
 
+/// Request-plane state, allocated only when a [`WorkloadPlan`] is
+/// attached. Its RNG is a dedicated stream (`seed ^ stream_tag::WORKLOAD`)
+/// and every event it schedules is gated on the plan, so `workload: None`
+/// runs stay bit-identical to the pre-workload simulator.
+#[derive(Debug)]
+struct WorkloadState {
+    plan: WorkloadPlan,
+    catalog: Catalog,
+    /// Per-node caches indexed like the network (the provider's slot is
+    /// never requested from; full-width indexing keeps lookups branch-free
+    /// and allocation deterministic).
+    caches: Vec<LruCache>,
+    rng: SimRng,
+    /// Provider-side publish instant per snapshot id (index =
+    /// `SnapshotId.0`; snapshot 0 pre-exists at t = 0).
+    pub_times: Vec<SimTime>,
+    stats: WorkloadStats,
+}
+
+impl WorkloadState {
+    /// Omniscient staleness-served, seconds, of a copy filled at provider
+    /// snapshot `snap` and served at `now` against provider head `head`:
+    /// zero when the copy is current, otherwise the time since the first
+    /// publish the copy misses.
+    fn staleness_served_s(&self, head: SnapshotId, snap: u32, now: SimTime) -> f64 {
+        if SnapshotId(snap) >= head {
+            0.0
+        } else {
+            now.since(self.pub_times[snap as usize + 1]).as_secs_f64()
+        }
+    }
+}
+
 /// Plain counters mirrored into the [`SimReport`] (the obs counters are
 /// observation-only and cannot feed results).
 #[derive(Debug, Default)]
@@ -625,6 +706,8 @@ struct CdnSimulation<'a> {
     /// HAT failover bookkeeping (`Some` only for hybrid runs with
     /// `hat_degradation`).
     clusters: Option<ClusterState>,
+    /// Request-plane machinery (`Some` iff `config.workload` is).
+    workload: Option<WorkloadState>,
     chaos: ChaosStats,
     obs: SimObs,
 }
@@ -766,6 +849,45 @@ impl<'a> CdnSimulation<'a> {
                 }
             }
         }
+        // Request plane: a dedicated stream (`seed ^ WORKLOAD`) and
+        // plan-gated scheduling, so `workload: None` runs keep the exact
+        // stream layout and event sequence of the pre-workload simulator.
+        let mut workload = None;
+        if let Some(plan) = &config.workload {
+            let mut wl_rng = SimRng::seed_from_u64(config.seed ^ stream_tag::WORKLOAD);
+            let catalog = Catalog::new(plan.catalog_size, plan.zipf_s, plan.live_slots());
+            let caches: Vec<LruCache> = (0..net.len())
+                .map(|_| LruCache::new(plan.cache_capacity, plan.mad_eviction))
+                .collect();
+            // Poisson arrivals: each user's first request, then the chain
+            // re-arms itself; ditto the catalog churn process.
+            if plan.request_rate_hz > 0.0 {
+                for u in 0..users.len() as u32 {
+                    let start =
+                        SimDuration::from_secs_f64(wl_rng.exponential(plan.request_rate_hz));
+                    sched.schedule_at(SimTime::ZERO + start, Event::Request(u));
+                }
+            }
+            if plan.churn_rate_hz > 0.0 {
+                let first = SimDuration::from_secs_f64(wl_rng.exponential(plan.churn_rate_hz));
+                sched.schedule_at(SimTime::ZERO + first, Event::Churn);
+            }
+            // The provider-side publish schedule, for omniscient staleness
+            // accounting (mirrors the Publish events armed above).
+            let mut pub_times = vec![SimTime::ZERO; config.updates.len()];
+            for (id, t) in config.updates.iter().skip(1) {
+                pub_times[id.0 as usize] =
+                    SimTime::ZERO + config.update_start + t.since(SimTime::ZERO);
+            }
+            workload = Some(WorkloadState {
+                plan: plan.clone(),
+                catalog,
+                caches,
+                rng: wl_rng,
+                pub_times,
+                stats: WorkloadStats::default(),
+            });
+        }
 
         CdnSimulation {
             config,
@@ -780,6 +902,7 @@ impl<'a> CdnSimulation<'a> {
             server_update_messages: 0,
             reliable,
             clusters,
+            workload,
             chaos: ChaosStats::default(),
             obs: SimObs::new(registry),
         }
@@ -847,6 +970,18 @@ impl<'a> CdnSimulation<'a> {
                 Event::Probe(node, gen) => {
                     self.obs.ev_probe.inc();
                     self.on_probe(now, node, gen);
+                }
+                Event::Request(u) => {
+                    self.obs.ev_request.inc();
+                    self.on_request(now, u);
+                }
+                Event::Fill(edge, id, snap) => {
+                    self.obs.ev_fill.inc();
+                    self.on_fill(now, edge, id, snap);
+                }
+                Event::Churn => {
+                    self.obs.ev_churn.inc();
+                    self.on_churn(now);
                 }
             }
         }
@@ -1199,6 +1334,118 @@ impl<'a> CdnSimulation<'a> {
             let token = self.nodes[node.index()].fetch_token;
             self.sched.schedule_at(now + failures.fetch_timeout, Event::FetchTimeout(node, token));
         }
+    }
+
+    // --- request plane (workload) ------------------------------------------
+
+    /// One workload request from user `u`, routed to their current server
+    /// (their home, or the last server a roaming visit landed on). A cache
+    /// hit serves at zero latency; a request for an object already being
+    /// fetched coalesces behind the in-flight fetch (a delayed hit); a miss
+    /// starts an origin fetch. A cached *live* object the edge believes
+    /// stale — its own consistency state moved past the copy's fill
+    /// snapshot, or an invalidation told it newer content exists — is
+    /// revalidated: dropped and refetched, counted as a miss.
+    fn on_request(&mut self, now: SimTime, u: u32) {
+        let Some(mut wl) = self.workload.take() else { return };
+        let edge = self.users[u as usize].last_server;
+        let id = wl.catalog.sample(&mut wl.rng);
+        wl.stats.requests += 1;
+        self.obs.wl_requests.inc();
+        let live = wl.catalog.is_live(id.slot);
+        let mut lookup = wl.caches[edge.index()].request(id, u, now);
+        if let Lookup::Hit { snap } = lookup {
+            let state = &self.nodes[edge.index()];
+            if live && (SnapshotId(snap) < state.content || state.is_stale()) {
+                wl.caches[edge.index()].invalidate(id);
+                lookup = wl.caches[edge.index()].request(id, u, now);
+                debug_assert_eq!(lookup, Lookup::Miss, "revalidation must refetch");
+            }
+        }
+        match lookup {
+            Lookup::Hit { snap } => {
+                wl.stats.hits += 1;
+                self.obs.wl_hits.inc();
+                wl.stats.latency_s.push(0.0);
+                self.obs.wl_latency_s.record(0.0);
+                if live {
+                    let head = self.nodes[self.topo.provider.index()].content;
+                    let staleness = wl.staleness_served_s(head, snap, now);
+                    wl.stats.staleness_served_s.push(staleness);
+                    self.obs.wl_staleness_served_s.record(staleness);
+                }
+            }
+            Lookup::Delayed => {
+                wl.stats.delayed_hits += 1;
+                self.obs.wl_delayed_hits.inc();
+            }
+            Lookup::Miss => {
+                wl.stats.misses += 1;
+                wl.stats.origin_fetches += 1;
+                self.obs.wl_misses.inc();
+                // The origin serves its head version as of fetch issue.
+                let snap = self.nodes[self.topo.provider.index()].content.0;
+                self.send_origin_fetch(now, edge, id, snap, wl.plan.object_kb);
+            }
+        }
+        let next = SimDuration::from_secs_f64(wl.rng.exponential(wl.plan.request_rate_hz));
+        self.sched.schedule_at(now + next, Event::Request(u));
+        self.workload = Some(wl);
+    }
+
+    /// Issues one origin fetch: an [`PacketKind::OriginFetch`] content
+    /// packet from the provider to `edge`, delivered as an [`Event::Fill`].
+    /// Origin fetches ride the plain network path even under a fault plane —
+    /// the request plane models delivery latency, not loss — so every
+    /// waiter queue is guaranteed a releasing fill (or the horizon).
+    fn send_origin_fetch(&mut self, now: SimTime, edge: NodeId, id: ObjectId, snap: u32, kb: f64) {
+        self.obs.wl_origin_fetches.inc();
+        self.obs.msg(PacketKind::OriginFetch).inc();
+        self.obs.inflight[PacketKind::OriginFetch as usize].add(1);
+        let packet = Packet::origin_fetch(self.topo.provider, edge, kb);
+        let (arrival, _hop) = self.net.send_traced(now, &packet, TraceCtx::NONE);
+        self.sched.schedule_at(arrival, Event::Fill(edge, id, snap));
+    }
+
+    /// An origin fetch lands at `edge`: cache the object and release every
+    /// waiter queued behind the fetch — the miss initiator plus its delayed
+    /// hits — exactly once, each sampling the user-perceived latency (and,
+    /// for live objects, the staleness of the copy they were served).
+    fn on_fill(&mut self, now: SimTime, edge: NodeId, id: ObjectId, snap: u32) {
+        let Some(mut wl) = self.workload.take() else { return };
+        // The fetch leaves the wire here (its delivery event is the fill).
+        self.obs.inflight[PacketKind::OriginFetch as usize].sub(1);
+        self.net.mark_delivered(PacketKind::OriginFetch, wl.plan.object_kb);
+        wl.stats.origin_kb += wl.plan.object_kb;
+        let (waiters, evicted) = wl.caches[edge.index()].fill(id, snap, now);
+        if evicted.is_some() {
+            wl.stats.evictions += 1;
+            self.obs.wl_evictions.inc();
+        }
+        let head = self.nodes[self.topo.provider.index()].content;
+        let live = wl.catalog.is_live(id.slot);
+        for w in waiters {
+            let latency = now.since(w.requested_at).as_secs_f64();
+            wl.stats.latency_s.push(latency);
+            self.obs.wl_latency_s.record(latency);
+            if live {
+                let staleness = wl.staleness_served_s(head, snap, now);
+                wl.stats.staleness_served_s.push(staleness);
+                self.obs.wl_staleness_served_s.record(staleness);
+            }
+        }
+        self.workload = Some(wl);
+    }
+
+    /// One catalog publish/perish churn event; the process re-arms itself.
+    fn on_churn(&mut self, now: SimTime) {
+        let Some(mut wl) = self.workload.take() else { return };
+        wl.catalog.churn(&mut wl.rng, now);
+        wl.stats.churn_events += 1;
+        self.obs.wl_churn_events.inc();
+        let next = SimDuration::from_secs_f64(wl.rng.exponential(wl.plan.churn_rate_hz));
+        self.sched.schedule_at(now + next, Event::Churn);
+        self.workload = Some(wl);
     }
 
     fn on_arrive(&mut self, now: SimTime, node: NodeId, msg: Msg) {
@@ -1897,6 +2144,7 @@ impl<'a> CdnSimulation<'a> {
             failovers: self.chaos.failovers,
             ttl_fallbacks: self.chaos.ttl_fallbacks,
             convergence_violations: self.chaos.convergence_violations,
+            workload: self.workload.map(|wl| wl.stats).unwrap_or_default(),
         }
     }
 }
@@ -2586,6 +2834,9 @@ mod tests {
             "sim_ev_heartbeat",
             "sim_ev_retransmit",
             "sim_ev_probe",
+            "sim_ev_request",
+            "sim_ev_fill",
+            "sim_ev_churn",
         ]
         .iter()
         .map(|n| snap.counter(n))
@@ -2656,6 +2907,148 @@ mod tests {
             snap.counter("sim_orphan_reattach") + snap.counter("sim_tree_rejoin") > 0,
             "tree repair never ran"
         );
+    }
+
+    mod workload {
+        use super::*;
+        use crate::metrics::WorkloadStats;
+
+        fn wcfg(scheme: Scheme) -> SimConfig {
+            let mut cfg = small(scheme);
+            cfg.workload = Some(WorkloadPlan::default());
+            cfg
+        }
+
+        #[test]
+        fn request_plane_serves_and_accounts() {
+            let report = run(&wcfg(Scheme::Unicast(MethodKind::Push)));
+            let w = &report.workload;
+            assert!(w.requests > 0, "users must issue requests");
+            assert_eq!(
+                w.hits + w.delayed_hits + w.misses,
+                w.requests,
+                "every request is exactly one of hit/delayed/miss"
+            );
+            assert_eq!(w.misses, w.origin_fetches, "each miss pays one origin fetch");
+            assert!(w.hits > 0, "Zipf head + LRU must produce hits");
+            assert!(w.misses > 0, "cold objects and churn must produce misses");
+            assert!(w.origin_kb > 0.0);
+            assert!(w.churn_events > 0, "the churn process must run");
+            assert!(!w.latency_s.is_empty());
+            assert!(w.latency_s.iter().all(|&l| l >= 0.0));
+            assert!(
+                w.latency_s.len() as u64 <= w.requests,
+                "at most one latency sample per request"
+            );
+            assert!(!w.staleness_served_s.is_empty(), "live-object serves must sample staleness");
+            assert!(w.staleness_served_s.iter().all(|&s| s >= 0.0));
+        }
+
+        #[test]
+        fn stats_stay_empty_without_a_plan() {
+            let report = run(&small(Scheme::Unicast(MethodKind::Push)));
+            assert_eq!(report.workload, WorkloadStats::default());
+        }
+
+        #[test]
+        fn request_plane_is_deterministic_and_seed_sensitive() {
+            let cfg = wcfg(Scheme::Unicast(MethodKind::Ttl));
+            let a = run(&cfg);
+            let b = run(&cfg);
+            assert_eq!(a, b, "same config must replay bit-identically");
+            let mut reseeded = cfg.clone();
+            reseeded.seed ^= 0xdead_beef;
+            assert_ne!(run(&reseeded).workload, a.workload);
+        }
+
+        #[test]
+        fn request_plane_is_observation_only() {
+            let cfg = wcfg(Scheme::Unicast(MethodKind::SelfAdaptive));
+            let plain = run(&cfg);
+            let reg = Registry::enabled();
+            reg.enable_series(1_000_000);
+            let observed = run_with_obs(&cfg, &reg);
+            assert_eq!(plain, observed, "instrumentation must not perturb the workload");
+        }
+
+        #[test]
+        fn hot_misses_coalesce_into_delayed_hits() {
+            let mut cfg = SimConfig::section4(Scheme::Unicast(MethodKind::Push), updates(30, 120));
+            cfg.servers = 4;
+            cfg.users_per_server = 4;
+            cfg.drain = SimDuration::from_secs(30);
+            cfg.workload = Some(WorkloadPlan {
+                request_rate_hz: 10.0,
+                catalog_size: 64,
+                cache_capacity: 8,
+                ..WorkloadPlan::default()
+            });
+            let w = run(&cfg).workload;
+            assert!(
+                w.delayed_hits > 0,
+                "concurrent misses for one object must coalesce (got {} misses, {} hits)",
+                w.misses,
+                w.hits
+            );
+            // Delayed hits wait for their fill: some latency samples are
+            // positive, and hits keep theirs at zero.
+            assert!(w.latency_s.iter().any(|&l| l > 0.0));
+            assert!(w.latency_s.iter().filter(|&&l| l == 0.0).count() as u64 >= w.hits);
+        }
+
+        #[test]
+        fn staleness_served_tracks_the_update_method() {
+            let ttl = run(&wcfg(Scheme::Unicast(MethodKind::Ttl))).workload;
+            let push = run(&wcfg(Scheme::Unicast(MethodKind::Push))).workload;
+            assert!(
+                ttl.mean_staleness_served_s() > push.mean_staleness_served_s(),
+                "TTL serves stale unknowingly: {} must exceed Push's {}",
+                ttl.mean_staleness_served_s(),
+                push.mean_staleness_served_s()
+            );
+        }
+
+        #[test]
+        fn workload_metrics_cover_the_request_plane() {
+            let cfg = wcfg(Scheme::Unicast(MethodKind::Push));
+            let reg = Registry::enabled();
+            let report = run_with_obs(&cfg, &reg);
+            let snap = reg.snapshot();
+            let w = &report.workload;
+            assert_eq!(snap.counter("wl_requests"), w.requests);
+            assert_eq!(snap.counter("wl_hits"), w.hits);
+            assert_eq!(snap.counter("wl_delayed_hits"), w.delayed_hits);
+            assert_eq!(snap.counter("wl_misses"), w.misses);
+            assert_eq!(snap.counter("wl_evictions"), w.evictions);
+            assert_eq!(snap.counter("wl_origin_fetches"), w.origin_fetches);
+            assert_eq!(snap.counter("wl_churn_events"), w.churn_events);
+            assert_eq!(snap.counter("sim_msgs_origin_fetch"), w.origin_fetches);
+            assert!(snap.counter("sim_ev_request") > 0);
+            assert!(snap.counter("sim_ev_fill") > 0);
+            assert!(snap.counter("sim_ev_churn") > 0);
+            let hist = snap.histogram("wl_latency_s").expect("latency histogram exists");
+            assert_eq!(hist.count as usize, w.latency_s.len());
+            // Event classification still covers every dispatch.
+            let by_kind: u64 = [
+                "sim_ev_publish",
+                "sim_ev_poll_timer",
+                "sim_ev_arrive",
+                "sim_ev_user_visit",
+                "sim_ev_fail",
+                "sim_ev_recover",
+                "sim_ev_fetch_timeout",
+                "sim_ev_heartbeat",
+                "sim_ev_retransmit",
+                "sim_ev_probe",
+                "sim_ev_request",
+                "sim_ev_fill",
+                "sim_ev_churn",
+            ]
+            .iter()
+            .map(|n| snap.counter(n))
+            .sum();
+            assert_eq!(by_kind, report.events);
+        }
     }
 
     #[test]

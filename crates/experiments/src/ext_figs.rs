@@ -12,17 +12,23 @@
 //!   under the deterministic fault plane (loss, duplication, reordering,
 //!   latency spikes, a scheduled ISP partition, a provider brownout), with
 //!   the reliable-delivery protocol and HAT graceful degradation active.
+//! * [`ext_workload`] — the request-plane extension: every method ×
+//!   infrastructure serving a Zipf-popularity catalog through per-edge LRU
+//!   caches with delayed-hit coalescing, swept over catalog size and Zipf
+//!   skew; reports cache hit rates, user-perceived latency, and
+//!   staleness-served, with full latency/staleness CDF curves.
 
 use crate::ctx::RunCtx;
 use crate::eval_figs::{run_batch_on, section4_updates_for};
 use crate::report::FigureReport;
 use cdnc_core::{
-    recommend, FailureConfig, FaultPlan, MethodKind, Requirement, Scheme, SimConfig,
+    recommend, FailureConfig, FaultPlan, MethodKind, Requirement, Scheme, SimConfig, WorkloadPlan,
     WorkloadProfile,
 };
 use cdnc_geo::IspId;
 use cdnc_net::{Brownout, IspPartition, NodeId, PacketKind};
 use cdnc_obs::Registry;
+use cdnc_simcore::stats::Cdf;
 use cdnc_simcore::{SimDuration, SimTime};
 use cdnc_trace::UpdateSequence;
 
@@ -153,6 +159,90 @@ pub fn ext_chaos(ctx: RunCtx, obs: &Registry) -> FigureReport {
                 format!("{}_{regime}_violations", r.scheme_label),
                 r.convergence_violations as f64,
             );
+        }
+    }
+    report
+}
+
+/// Number of `(x, cdf)` points recorded per [`ext_workload`] curve.
+const WORKLOAD_CDF_POINTS: usize = 33;
+
+/// Request-plane sweep: every method over unicast and tree
+/// infrastructures, plus HAT, serving user requests against a Zipf
+/// catalog through per-edge LRU caches with delayed-hit coalescing. The
+/// regimes sweep the catalog axes — a baseline catalog, a wide catalog at
+/// low skew (cache-hostile), and the same wide catalog at high skew
+/// (cache-friendly) — holding cache capacity fixed. Each cell reports the
+/// cache hit rate, delayed-hit count, user-perceived latency p99, and
+/// staleness-served (how far behind the provider head live content was
+/// served), plus full latency/staleness CDF curves for the artifact and
+/// the HTML report.
+pub fn ext_workload(ctx: RunCtx, obs: &Registry) -> FigureReport {
+    let mut report = FigureReport::new(
+        "ext_workload",
+        "EXT: request-plane latency and staleness-served per method × infrastructure",
+    );
+    let schemes = [
+        Scheme::Unicast(MethodKind::Push),
+        Scheme::Unicast(MethodKind::Invalidation),
+        Scheme::Unicast(MethodKind::Ttl),
+        Scheme::Multicast { method: MethodKind::Push, arity: 2 },
+        Scheme::Multicast { method: MethodKind::Invalidation, arity: 2 },
+        Scheme::Multicast { method: MethodKind::Ttl, arity: 2 },
+        Scheme::hat(),
+    ];
+    // (regime, catalog size, Zipf exponent): the sweep axes of the issue.
+    let regimes: [(&str, usize, f64); 3] =
+        [("base", 512, 0.9), ("wide", 2_048, 0.6), ("hot", 2_048, 1.2)];
+    let mut configs = Vec::new();
+    for &(_, catalog, zipf_s) in &regimes {
+        for scheme in schemes {
+            let mut cfg = SimConfig::section4(scheme, section4_updates_for(ctx));
+            cfg.servers = ctx.scale.section4_servers().min(120);
+            cfg.seed = ctx.seed(cfg.seed);
+            cfg.workload = Some(WorkloadPlan::with_catalog(catalog, zipf_s));
+            configs.push(cfg);
+        }
+    }
+    let reports = run_batch_on(configs, obs, &ctx.pool);
+    for (chunk, &(regime, _, _)) in reports.chunks(schemes.len()).zip(&regimes) {
+        for r in chunk {
+            let w = &r.workload;
+            let lat_p99 = w.latency_percentile(99.0).unwrap_or(0.0);
+            let stale_mean = w.mean_staleness_served_s();
+            report.row(format!(
+                "  [{regime:>4}] {:<22} hit={:>5.3} delayed={:>5} p99_lat={:>6.3}s stale_mean={:>7.3}s stale_p99={:>7.3}s",
+                r.scheme_label,
+                w.hit_rate(),
+                w.delayed_hits,
+                lat_p99,
+                stale_mean,
+                w.staleness_percentile(99.0).unwrap_or(0.0),
+            ));
+            report.keyval(format!("{}_{regime}_hit_rate", r.scheme_label), w.hit_rate());
+            report.keyval(format!("{}_{regime}_requests", r.scheme_label), w.requests as f64);
+            report
+                .keyval(format!("{}_{regime}_delayed_hits", r.scheme_label), w.delayed_hits as f64);
+            report.keyval(format!("{}_{regime}_lat_p99_s", r.scheme_label), lat_p99);
+            report.keyval(format!("{}_{regime}_stale_mean_s", r.scheme_label), stale_mean);
+            report.keyval(
+                format!("{}_{regime}_stale_p99_s", r.scheme_label),
+                w.staleness_percentile(99.0).unwrap_or(0.0),
+            );
+            report.keyval(format!("{}_{regime}_origin_kb", r.scheme_label), w.origin_kb);
+            for (metric, samples) in
+                [("latency", &w.latency_s), ("staleness", &w.staleness_served_s)]
+            {
+                if samples.is_empty() {
+                    continue;
+                }
+                let cdf = Cdf::from_samples(samples.iter().copied());
+                let hi = cdf.percentile(100.0).unwrap_or(0.0).max(1e-6);
+                report.curve(
+                    format!("{}_{regime}_{metric}_cdf", r.scheme_label),
+                    cdf.series(0.0, hi, WORKLOAD_CDF_POINTS),
+                );
+            }
         }
     }
     report
@@ -302,6 +392,41 @@ mod tests {
         );
         // Polling methods need no retransmissions — lost polls self-heal.
         assert_eq!(r.value("TTL_storm_retransmits"), Some(0.0));
+    }
+
+    #[test]
+    fn workload_extension_shapes() {
+        let r = ext_workload(RunCtx::new(Scale::Smoke), &Registry::disabled());
+        for scheme in
+            ["Push", "Invalidation", "TTL", "Push/Multicast", "Invalidation/Multicast", "HAT"]
+        {
+            for regime in ["base", "wide", "hot"] {
+                let hit = r.value(&format!("{scheme}_{regime}_hit_rate")).unwrap();
+                assert!((0.0..=1.0).contains(&hit), "{scheme} {regime} hit rate {hit}");
+                assert!(
+                    r.value(&format!("{scheme}_{regime}_requests")).unwrap() > 0.0,
+                    "{scheme} {regime} served no requests"
+                );
+            }
+            // Skew concentrates demand on the hot ranks: with the catalog
+            // held fixed, a steeper Zipf exponent must raise the hit rate.
+            assert!(
+                r.value(&format!("{scheme}_hot_hit_rate")).unwrap()
+                    > r.value(&format!("{scheme}_wide_hit_rate")).unwrap(),
+                "{scheme}: skew must raise the hit rate"
+            );
+        }
+        // TTL serves from possibly-expired copies between polls; Push keeps
+        // replicas at the head. Staleness-served must see the difference.
+        assert!(
+            r.value("TTL_base_stale_mean_s").unwrap() > r.value("Push_base_stale_mean_s").unwrap(),
+            "TTL must serve staler content than Push"
+        );
+        // Every cell left its latency distribution as a curve ending at 1.
+        let curve = r.curve_points("Push_base_latency_cdf").expect("latency curve recorded");
+        assert_eq!(curve.len(), WORKLOAD_CDF_POINTS);
+        assert_eq!(curve.last().unwrap().1, 1.0);
+        assert!(r.curve_points("TTL_base_staleness_cdf").is_some());
     }
 
     #[test]

@@ -26,6 +26,8 @@ struct FigureInputs {
     profile: Option<Json>,
     /// `experiments timeprof` output for this figure, parsed.
     timeprof: Option<Json>,
+    /// `<figure>.workload.json` request-plane curves, parsed.
+    workload: Option<Json>,
     /// Flight-recorder dumps attributed to this figure, parsed.
     anomalies: Vec<Json>,
 }
@@ -67,6 +69,10 @@ fn collect_inputs(obs_dir: &Path) -> io::Result<BTreeMap<String, FigureInputs>> 
         } else if let Some(id) = name.strip_suffix(".timeprof.json") {
             if let Some(doc) = parse_file(&path) {
                 inputs.entry(id.to_owned()).or_default().timeprof = Some(doc);
+            }
+        } else if let Some(id) = name.strip_suffix(".workload.json") {
+            if let Some(doc) = parse_file(&path) {
+                inputs.entry(id.to_owned()).or_default().workload = Some(doc);
             }
         } else if let Some(id) = name.strip_suffix(".json") {
             if id == "summary" || id.ends_with(".trace") || id.starts_with("BENCH_") {
@@ -169,6 +175,68 @@ fn svg_series(entry: &SeriesEntry) -> String {
     }
     svg.push_str("</svg>");
     svg
+}
+
+/// One `(x, y)` curve (a CDF) as an inline SVG line chart: x spans the
+/// data range, y spans `[0, 1]`.
+fn svg_curve(label: &str, points: &[(f64, f64)]) -> String {
+    const W: f64 = 640.0;
+    const H: f64 = 130.0;
+    const L: f64 = 64.0; // left gutter for fraction labels
+    const B: f64 = 18.0; // bottom gutter for the x axis
+    if points.is_empty() {
+        return String::new();
+    }
+    let x_max = points.iter().map(|&(x, _)| x).fold(0.0_f64, f64::max).max(1e-12);
+    let x = |v: f64| L + (v / x_max) * (W - L - 4.0);
+    let y = |v: f64| (H - B) - v.clamp(0.0, 1.0) * (H - B - 6.0);
+    let path: Vec<String> =
+        points.iter().map(|&(px, py)| format!("{:.1},{:.1}", x(px), y(py))).collect();
+    let mut svg = format!(
+        "<svg viewBox=\"0 0 {W} {H}\" width=\"{W}\" height=\"{H}\" role=\"img\" \
+         aria-label=\"{}\">",
+        html_escape(label)
+    );
+    let _ = write!(
+        svg,
+        "<text x=\"4\" y=\"12\" font-size=\"11\" fill=\"#666\">1.0</text>\
+         <text x=\"4\" y=\"{:.0}\" font-size=\"11\" fill=\"#666\">0.0</text>\
+         <text x=\"{:.0}\" y=\"{:.0}\" font-size=\"11\" fill=\"#666\" text-anchor=\"end\">\
+         {:.3} s</text>\
+         <polyline fill=\"none\" stroke=\"{}\" stroke-width=\"1.2\" points=\"{}\"/>",
+        H - B,
+        W - 6.0,
+        H - 4.0,
+        x_max,
+        SERIES_COLORS[0],
+        path.join(" ")
+    );
+    svg.push_str("</svg>");
+    svg
+}
+
+/// The request-plane section body for one figure: one CDF chart per curve
+/// recorded in `<figure>.workload.json` (user-perceived latency and
+/// staleness-served per scheme × regime).
+fn workload_section(workload: &Json) -> String {
+    let Some(Json::Arr(curves)) = workload.get("curves") else { return String::new() };
+    let mut body = String::new();
+    for curve in curves {
+        let Some(name) = curve.get("name").and_then(Json::as_str) else { continue };
+        let Some(Json::Arr(raw)) = curve.get("points") else { continue };
+        let points: Vec<(f64, f64)> = raw
+            .iter()
+            .filter_map(|pair| {
+                let Json::Arr(xy) = pair else { return None };
+                Some((xy.first().and_then(Json::as_f64)?, xy.get(1).and_then(Json::as_f64)?))
+            })
+            .collect();
+        if points.is_empty() {
+            continue;
+        }
+        let _ = write!(body, "<h3>{}</h3>{}", html_escape(name), svg_curve(name, &points));
+    }
+    body
 }
 
 /// Horizontal bar rows as inline SVG: one `(label, value)` per bar.
@@ -639,6 +707,16 @@ fn figure_page(id: &str, inputs: &FigureInputs) -> String {
         }
         body.push_str(&scheduler_section(artifact));
     }
+    if let Some(workload) = &inputs.workload {
+        let section = workload_section(workload);
+        if !section.is_empty() {
+            body.push_str(
+                "<h2>Request plane</h2><p class=\"meta\">user-perceived latency and \
+                 staleness-served distributions per scheme × catalog regime</p>",
+            );
+            body.push_str(&section);
+        }
+    }
     if let Some(profile) = &inputs.profile {
         body.push_str("<h2>Memory profile</h2>");
         body.push_str(&profile_section(profile));
@@ -882,6 +960,17 @@ mod tests {
                 ),
         );
         std::fs::write(obs.join("fig20.timeprof.json"), timeprof.to_pretty()).unwrap();
+        let workload = Json::obj().field("figure", "fig20").field(
+            "curves",
+            Json::Arr(vec![Json::obj().field("name", "Push_base_latency_cdf").field(
+                "points",
+                Json::Arr(vec![
+                    Json::Arr(vec![Json::from(0.0), Json::from(0.5)]),
+                    Json::Arr(vec![Json::from(0.2), Json::from(1.0)]),
+                ]),
+            )]),
+        );
+        std::fs::write(obs.join("fig20.workload.json"), workload.to_pretty()).unwrap();
 
         let written = generate_report(&obs, &out).unwrap();
         assert_eq!(written.len(), 2, "index + one figure page");
@@ -900,6 +989,8 @@ mod tests {
         assert!(fig.contains("total 1.0000 s"), "root frame hover title rendered");
         assert!(fig.contains("ev_publish"), "handler table rendered");
         assert!(fig.contains("Worker utilization"), "worker section rendered");
+        assert!(fig.contains("Request plane"), "request-plane section rendered");
+        assert!(fig.contains("Push_base_latency_cdf"), "workload CDF chart titled");
         assert!(!fig.contains("<script"), "report stays script-free");
         let _ = std::fs::remove_dir_all(&base);
     }
@@ -918,6 +1009,26 @@ mod tests {
         // parent's left edge or to its right, never past its span.
         assert!(!svg.contains("<script"));
         assert!(svg_flamegraph(&[]).is_empty());
+    }
+
+    #[test]
+    fn workload_section_skips_malformed_curves() {
+        let doc = Json::obj().field(
+            "curves",
+            Json::Arr(vec![
+                Json::obj().field("name", "ok").field(
+                    "points",
+                    Json::Arr(vec![Json::Arr(vec![Json::from(0.0), Json::from(1.0)])]),
+                ),
+                Json::obj().field("name", "empty").field("points", Json::Arr(vec![])),
+                Json::obj().field("points", Json::Arr(vec![])), // nameless
+            ]),
+        );
+        let body = workload_section(&doc);
+        assert_eq!(body.matches("<svg").count(), 1, "{body}");
+        assert!(body.contains("<h3>ok</h3>"));
+        assert!(!body.contains("empty"));
+        assert!(workload_section(&Json::obj()).is_empty());
     }
 
     #[test]

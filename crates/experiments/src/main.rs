@@ -55,7 +55,7 @@ use cdnc_experiments::bench::{
 use cdnc_experiments::html_report::generate_report;
 use cdnc_experiments::obs_out::{
     diff_artifact_dirs, summary_entry, timing_table, write_figure_artifact, write_figure_series,
-    write_summary, ObsSettings,
+    write_figure_workload, write_summary, ObsSettings,
 };
 use cdnc_experiments::perf::CountingAlloc;
 use cdnc_experiments::profile_out::{profile_table, write_profile_artifact};
@@ -358,6 +358,9 @@ fn main() -> ExitCode {
                         write_figure_artifact(&obs.dir, id, scale, &report, wall_s, &reg)
                     {
                         eprintln!("cannot write artifact for {id}: {e}");
+                    }
+                    if let Err(e) = write_figure_workload(&obs.dir, id, &report) {
+                        eprintln!("cannot write workload curves for {id}: {e}");
                     }
                 }
                 if obs.series {
@@ -695,6 +698,11 @@ fn main() -> ExitCode {
                         match write_figure_artifact(&obs.dir, id, scale, &report, wall_s, &reg) {
                             Ok(path) => println!("run artifact: {}", path.display()),
                             Err(e) => eprintln!("cannot write artifact for {id}: {e}"),
+                        }
+                        match write_figure_workload(&obs.dir, id, &report) {
+                            Ok(Some(path)) => println!("workload curves: {}", path.display()),
+                            Ok(None) => {}
+                            Err(e) => eprintln!("cannot write workload curves for {id}: {e}"),
                         }
                         if let Some(table) = timing_table(&reg) {
                             println!("--- phase timings ---\n{table}");

@@ -119,6 +119,36 @@ pub fn write_figure_series(dir: &Path, id: &str, reg: &Registry) -> io::Result<O
     Ok(Some(path))
 }
 
+/// Writes `<dir>/<figure-id>.workload.json` from one figure's report: the
+/// named `(x, y)` distribution curves (latency/staleness CDFs) the figure
+/// recorded. Purely derived from simulation output, so deterministic and
+/// safe to diff. Returns `None` when the report carries no curves.
+pub fn write_figure_workload(
+    dir: &Path,
+    id: &str,
+    report: &FigureReport,
+) -> io::Result<Option<PathBuf>> {
+    if report.curves.is_empty() {
+        return Ok(None);
+    }
+    std::fs::create_dir_all(dir)?;
+    let curves = report
+        .curves
+        .iter()
+        .map(|(name, points)| {
+            let pts = points
+                .iter()
+                .map(|&(x, y)| Json::Arr(vec![Json::from(x), Json::from(y)]))
+                .collect();
+            Json::obj().field("name", name.as_str()).field("points", Json::Arr(pts))
+        })
+        .collect();
+    let doc = Json::obj().field("figure", id).field("curves", Json::Arr(curves));
+    let path = dir.join(format!("{id}.workload.json"));
+    std::fs::write(&path, doc.to_pretty())?;
+    Ok(Some(path))
+}
+
 /// The figure's headline numbers as the artifact's `summary` object.
 pub fn figure_summary(report: &FigureReport, scale: Scale, wall_s: f64) -> Json {
     let keyvals =
@@ -172,6 +202,9 @@ pub fn timing_table(reg: &Registry) -> Option<String> {
 /// One row of the consolidated `summary.json` written by `experiments all`.
 /// Scheduler pressure rides along: the queue-depth high-water mark always,
 /// and the pop-depth histogram's moments when the profiling gate armed it.
+/// Figures that ran a request plane additionally get a `request_plane`
+/// object with the workload counters (requests, hit/delayed/miss split,
+/// evictions, origin fetches, churn events).
 pub fn summary_entry(id: &str, wall_s: f64, jobs: usize, reg: &Registry) -> Json {
     let snap = reg.snapshot();
     let events = snap.counter("sched_events_processed");
@@ -197,6 +230,19 @@ pub fn summary_entry(id: &str, wall_s: f64, jobs: usize, reg: &Registry) -> Json
                 .field("count", h.count)
                 .field("mean", mean)
                 .field("max", if h.count > 0 { h.max } else { 0.0 }),
+        );
+    }
+    if snap.counter("wl_requests") > 0 {
+        entry = entry.field(
+            "request_plane",
+            Json::obj()
+                .field("requests", snap.counter("wl_requests"))
+                .field("hits", snap.counter("wl_hits"))
+                .field("delayed_hits", snap.counter("wl_delayed_hits"))
+                .field("misses", snap.counter("wl_misses"))
+                .field("evictions", snap.counter("wl_evictions"))
+                .field("origin_fetches", snap.counter("wl_origin_fetches"))
+                .field("churn_events", snap.counter("wl_churn_events")),
         );
     }
     entry
@@ -438,6 +484,43 @@ mod tests {
         assert_eq!(e.get("events_per_s").and_then(Json::as_f64), Some(250.0));
         assert_eq!(e.get("jobs").and_then(Json::as_f64), Some(4.0));
         assert_eq!(e.get("msgs_lost_to_failed").and_then(Json::as_f64), Some(3.0));
+    }
+
+    #[test]
+    fn summary_entry_surfaces_the_request_plane() {
+        let reg = Registry::enabled();
+        let plain = summary_entry("figX", 1.0, 1, &reg);
+        assert!(plain.get("request_plane").is_none(), "absent without workload traffic");
+        reg.counter("wl_requests").add(10);
+        reg.counter("wl_hits").add(6);
+        reg.counter("wl_delayed_hits").add(1);
+        reg.counter("wl_misses").add(3);
+        reg.counter("wl_origin_fetches").add(3);
+        let e = summary_entry("figX", 1.0, 1, &reg);
+        let rp = e.get("request_plane").expect("request plane surfaced");
+        assert_eq!(rp.get("requests").and_then(Json::as_f64), Some(10.0));
+        assert_eq!(rp.get("hits").and_then(Json::as_f64), Some(6.0));
+        assert_eq!(rp.get("delayed_hits").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(rp.get("misses").and_then(Json::as_f64), Some(3.0));
+    }
+
+    #[test]
+    fn workload_file_written_only_with_curves() {
+        let dir = std::env::temp_dir().join(format!("cdnc-workload-out-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut report = FigureReport::new("figX", "test");
+        assert!(write_figure_workload(&dir, "figX", &report).unwrap().is_none());
+        report.curve("latency_cdf", vec![(0.0, 0.5), (1.0, 1.0)]);
+        let path = write_figure_workload(&dir, "figX", &report).unwrap().expect("curves present");
+        assert!(path.ends_with("figX.workload.json"));
+        let doc = json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(doc.get("figure").and_then(Json::as_str), Some("figX"));
+        let Some(Json::Arr(curves)) = doc.get("curves") else { panic!("curves array") };
+        assert_eq!(curves.len(), 1);
+        assert_eq!(curves[0].get("name").and_then(Json::as_str), Some("latency_cdf"));
+        let Some(Json::Arr(points)) = curves[0].get("points") else { panic!("points array") };
+        assert_eq!(points.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

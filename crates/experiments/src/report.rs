@@ -14,12 +14,17 @@ pub struct FigureReport {
     /// Headline numbers, for EXPERIMENTS.md and assertions:
     /// `(name, measured)`.
     pub keyvals: Vec<(String, f64)>,
+    /// Named `(x, y)` curves (e.g. latency/staleness CDFs) for figures
+    /// whose distributions matter, not just their moments. Written to
+    /// `<figure>.workload.json` by the artifact layer and rendered as
+    /// inline-SVG charts by the HTML report; empty for most figures.
+    pub curves: Vec<(String, Vec<(f64, f64)>)>,
 }
 
 impl FigureReport {
     /// Creates an empty report for a figure.
     pub fn new(id: &'static str, title: &'static str) -> Self {
-        FigureReport { id, title, rows: Vec::new(), keyvals: Vec::new() }
+        FigureReport { id, title, rows: Vec::new(), keyvals: Vec::new(), curves: Vec::new() }
     }
 
     /// Appends a formatted data row.
@@ -32,6 +37,16 @@ impl FigureReport {
         self.keyvals.push((name.into(), value));
     }
 
+    /// Records a named `(x, y)` curve.
+    pub fn curve(&mut self, name: impl Into<String>, points: Vec<(f64, f64)>) {
+        self.curves.push((name.into(), points));
+    }
+
+    /// Looks up a recorded curve by name.
+    pub fn curve_points(&self, name: &str) -> Option<&[(f64, f64)]> {
+        self.curves.iter().find(|(n, _)| n == name).map(|(_, p)| p.as_slice())
+    }
+
     /// Looks up a headline number by name.
     pub fn value(&self, name: &str) -> Option<f64> {
         self.keyvals.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
@@ -40,10 +55,10 @@ impl FigureReport {
 
 /// Folds replicate runs of one figure into a single report.
 ///
-/// The result keeps the first run's rows (the canonical replicate-0
-/// numbers, labelled as such) and replaces every keyval with the mean
-/// across replicates, adding a `<name>__spread` companion holding the
-/// half-range `(max − min) / 2`. A single run is returned unchanged.
+/// The result keeps the first run's rows and curves (the canonical
+/// replicate-0 numbers, labelled as such) and replaces every keyval with
+/// the mean across replicates, adding a `<name>__spread` companion holding
+/// the half-range `(max − min) / 2`. A single run is returned unchanged.
 ///
 /// Panics if `runs` is empty or the runs disagree on id or keyval layout
 /// (replicates of the same figure never do).
@@ -55,6 +70,7 @@ pub fn aggregate_replicates(runs: &[FigureReport]) -> FigureReport {
     let mut out = FigureReport::new(first.id, first.title);
     out.row(format!("  [aggregate of {} seed replicates; rows show replicate 0]", runs.len()));
     out.rows.extend(first.rows.iter().cloned());
+    out.curves.extend(first.curves.iter().cloned());
     for (i, (name, _)) in first.keyvals.iter().enumerate() {
         let mut min = f64::INFINITY;
         let mut max = f64::NEG_INFINITY;
@@ -113,6 +129,24 @@ mod tests {
         assert!(text.contains("fig0"));
         assert!(text.contains("a=1"));
         assert!(text.contains("metric: 2.5000"));
+    }
+
+    #[test]
+    fn curves_ride_along_and_survive_aggregation() {
+        let mut r0 = FigureReport::new("fig0", "test");
+        r0.keyval("metric", 1.0);
+        r0.curve("latency_cdf", vec![(0.0, 0.0), (1.0, 1.0)]);
+        let mut r1 = FigureReport::new("fig0", "test");
+        r1.keyval("metric", 3.0);
+        r1.curve("latency_cdf", vec![(0.0, 0.5), (1.0, 1.0)]);
+        let agg = aggregate_replicates(&[r0.clone(), r1]);
+        assert_eq!(agg.value("metric"), Some(2.0));
+        // Replicate 0's curves are the canonical ones.
+        assert_eq!(agg.curve_points("latency_cdf"), Some(&[(0.0, 0.0), (1.0, 1.0)][..]));
+        assert_eq!(agg.curve_points("absent"), None);
+        // The printed form stays curve-free: distributions go to the
+        // artifact, not the terminal.
+        assert!(!agg.to_string().contains("latency_cdf"));
     }
 
     #[test]

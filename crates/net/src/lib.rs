@@ -49,6 +49,6 @@ pub use fault::{Brownout, FaultConfig, FaultDecision, FaultPlane, IspPartition, 
 pub use latency::LatencyModel;
 pub use network::{Network, NetworkConfig};
 pub use node::{NetNode, NodeId};
-pub use packet::{Packet, PacketKind};
+pub use packet::{Packet, PacketKind, PACKET_KINDS};
 pub use traffic::TrafficStats;
 pub use uplink::Uplink;

@@ -32,10 +32,13 @@ pub enum PacketKind {
     UserResponse,
     /// Delivery acknowledgement for a tracked (reliable) message.
     Ack,
+    /// Origin fetch filling an edge cache miss (carries the object bytes;
+    /// request plane, cdnc-workload).
+    OriginFetch,
 }
 
 /// Number of packet kinds (length of [`PacketKind::ALL`]).
-pub const PACKET_KINDS: usize = 9;
+pub const PACKET_KINDS: usize = 10;
 
 impl PacketKind {
     /// Every kind, in declaration order (`PacketKind as usize` indexes it).
@@ -49,6 +52,7 @@ impl PacketKind {
         PacketKind::UserRequest,
         PacketKind::UserResponse,
         PacketKind::Ack,
+        PacketKind::OriginFetch,
     ];
 
     /// [`PacketKind::name`] with `-` folded to `_`: the stable metric-name
@@ -64,13 +68,14 @@ impl PacketKind {
             PacketKind::UserRequest => "user_request",
             PacketKind::UserResponse => "user_response",
             PacketKind::Ack => "ack",
+            PacketKind::OriginFetch => "origin_fetch",
         }
     }
 
     /// `true` for messages that carry content (the paper's "update
     /// messages"); `false` for light messages.
     pub fn is_update(self) -> bool {
-        matches!(self, PacketKind::Update | PacketKind::UserResponse)
+        matches!(self, PacketKind::Update | PacketKind::UserResponse | PacketKind::OriginFetch)
     }
 
     /// `true` for control-plane messages (the paper's "light messages").
@@ -91,6 +96,7 @@ impl PacketKind {
             PacketKind::UserRequest => "user-request",
             PacketKind::UserResponse => "user-response",
             PacketKind::Ack => "ack",
+            PacketKind::OriginFetch => "origin-fetch",
         }
     }
 }
@@ -154,6 +160,12 @@ impl Packet {
     pub fn ack(src: NodeId, dst: NodeId) -> Self {
         Packet::new(PacketKind::Ack, LIGHT_PACKET_KB, src, dst)
     }
+
+    /// An origin fetch of `size_kb` object bytes from origin `src` to edge
+    /// `dst`.
+    pub fn origin_fetch(src: NodeId, dst: NodeId, size_kb: f64) -> Self {
+        Packet::new(PacketKind::OriginFetch, size_kb, src, dst)
+    }
 }
 
 #[cfg(test)]
@@ -164,6 +176,7 @@ mod tests {
     fn classification_matches_paper() {
         assert!(PacketKind::Update.is_update());
         assert!(PacketKind::UserResponse.is_update());
+        assert!(PacketKind::OriginFetch.is_update(), "origin fills carry content");
         for light in [
             PacketKind::Poll,
             PacketKind::PollUnchanged,

@@ -163,7 +163,7 @@ impl SpanKind {
 /// The closed vocabulary of span labels the workspace records. Labels are
 /// `&'static str` so recording never allocates; the Chrome-trace importer
 /// maps parsed strings back through this table.
-pub const LABELS: [&str; 27] = [
+pub const LABELS: [&str; 28] = [
     "publish",
     "adopt",
     "superseded",
@@ -179,6 +179,7 @@ pub const LABELS: [&str; 27] = [
     "user-request",
     "user-response",
     "ack",
+    "origin-fetch",
     "to_invalidation",
     "to_ttl",
     "reattach",

@@ -44,6 +44,8 @@ pub mod stream_tag {
     pub const NETWORK: u64 = 0x4e45_5457;
     /// The fault plane's per-node decision streams ("FALT").
     pub const FAULT: u64 = 0x4641_4c54;
+    /// The request-plane workload (catalog, arrivals, caches) ("WORK").
+    pub const WORKLOAD: u64 = 0x574f_524b;
 }
 
 /// SplitMix64 step — used to derive statistically independent fork seeds.
@@ -243,6 +245,54 @@ impl SimRng {
             items.swap(i, j);
         }
     }
+
+    /// Bounded-Zipf draw: a rank in `[0, n)` with `P(rank = k) ∝ (k+1)^-s`.
+    ///
+    /// Rank 0 is the most popular. Uses Hörmann–Derflinger
+    /// rejection-inversion, so a draw costs O(1) expected time at any
+    /// catalog size — no precomputed harmonic table, which keeps the
+    /// sampler a pure function of the rng stream. `s = 0` degenerates to a
+    /// uniform draw over the ranks; `s ≈ 0.6–1.2` covers the skews
+    /// reported for CDN request popularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative or not finite.
+    pub fn zipf(&mut self, n: usize, s: f64) -> usize {
+        assert!(n > 0, "zipf() over an empty catalog");
+        assert!(s >= 0.0 && s.is_finite(), "bad zipf exponent: {s}");
+        if n == 1 {
+            return 0;
+        }
+        let nf = n as f64;
+        // H is an antiderivative of x^-s, H_inv its inverse; near s = 1 the
+        // closed forms degenerate to ln/exp.
+        let h = |x: f64| -> f64 {
+            if (s - 1.0).abs() < 1e-9 {
+                x.ln()
+            } else {
+                (x.powf(1.0 - s) - 1.0) / (1.0 - s)
+            }
+        };
+        let h_inv = |u: f64| -> f64 {
+            if (s - 1.0).abs() < 1e-9 {
+                u.exp()
+            } else {
+                (1.0 + u * (1.0 - s)).powf(1.0 / (1.0 - s))
+            }
+        };
+        let hx0 = h(0.5) - 1.0; // H(1/2) - f(1)
+        let span = h(nf + 0.5) - hx0;
+        let cutoff = 1.0 - h_inv(h(1.5) - 2f64.powf(-s));
+        loop {
+            let u = hx0 + self.uniform_f64() * span;
+            let x = h_inv(u);
+            let k = (x + 0.5).floor().clamp(1.0, nf);
+            if k - x <= cutoff || u >= h(k + 0.5) - (-s * k.ln()).exp() {
+                return k as usize - 1;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -381,6 +431,63 @@ mod tests {
         // And adjacent streams never collide.
         for i in 0..200 {
             assert_ne!(derive_seed(5, i), derive_seed(5, i + 1));
+        }
+    }
+
+    #[test]
+    fn zipf_shape_matches_the_power_law() {
+        // 40k draws at s = 1: rank frequencies must fall off like 1/(k+1).
+        // Check the first few rank ratios and that the most popular rank
+        // dominates the tail.
+        let mut r = SimRng::seed_from_u64(12);
+        let n = 50;
+        let mut counts = vec![0u64; n];
+        for _ in 0..40_000 {
+            counts[r.zipf(n, 1.0)] += 1;
+        }
+        let r01 = counts[0] as f64 / counts[1] as f64;
+        assert!((r01 - 2.0).abs() < 0.3, "rank0/rank1 ratio {r01} far from 2");
+        let r03 = counts[0] as f64 / counts[3] as f64;
+        assert!((r03 - 4.0).abs() < 0.8, "rank0/rank3 ratio {r03} far from 4");
+        assert!(counts[0] > counts[n - 1] * 10, "head must dominate the tail");
+        // s = 0 is uniform: extreme ranks appear at comparable rates.
+        let mut counts = [0u64; 10];
+        for _ in 0..40_000 {
+            counts[r.zipf(10, 0.0)] += 1;
+        }
+        let spread = *counts.iter().max().unwrap() as f64 / *counts.iter().min().unwrap() as f64;
+        assert!(spread < 1.25, "s=0 must be near-uniform, spread {spread}");
+    }
+
+    #[test]
+    fn zipf_single_rank_and_bounds() {
+        let mut r = SimRng::seed_from_u64(13);
+        assert_eq!(r.zipf(1, 1.2), 0);
+        for _ in 0..5_000 {
+            assert!(r.zipf(7, 0.8) < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bad zipf exponent")]
+    fn zipf_rejects_negative_exponent() {
+        SimRng::seed_from_u64(0).zipf(5, -0.5);
+    }
+
+    proptest::proptest! {
+        /// Seed stability: equal seeds reproduce the draw sequence exactly,
+        /// whatever the catalog size and skew — the contract that makes the
+        /// workload plane bit-identical across runs and worker counts.
+        #[test]
+        fn prop_zipf_is_seed_stable(seed in 0u64..1_000, n in 1usize..500,
+                                    s in 0.0f64..2.5, draws in 1usize..64) {
+            let mut a = SimRng::seed_from_u64(seed);
+            let mut b = SimRng::seed_from_u64(seed);
+            for _ in 0..draws {
+                let (x, y) = (a.zipf(n, s), b.zipf(n, s));
+                proptest::prop_assert_eq!(x, y);
+                proptest::prop_assert!(x < n);
+            }
         }
     }
 
