@@ -117,6 +117,26 @@ grep -q 'Time profile' "$TP_DIR/report/fig17.html"
 grep -q 'Worker utilization' "$TP_DIR/report/fig17.html"
 rm -rf "$TP_DIR"
 
+echo "==> determinism audit smoke: --jobs digest identity + perturbation self-test"
+DIG_DIR="$(mktemp -d)"
+cargo run -q -p cdnc-experiments --release -- fig14 --scale smoke --obs --digest --health --obs-dir "$DIG_DIR/serial"
+cargo run -q -p cdnc-experiments --release -- fig14 --scale smoke --obs --digest --obs-dir "$DIG_DIR/jobs4" --jobs 4
+# The chained digest is part of the artifact set: obs-diff compares the
+# .digest.json files bit-for-bit (health heartbeats are wall-clock and
+# skipped), so this fails if --jobs 4 perturbs the event order.
+cargo run -q -p cdnc-experiments --release -- obs-diff "$DIG_DIR/serial" "$DIG_DIR/jobs4"
+# End-to-end fault-localization self-test: inject a single-event
+# perturbation, bisect, and require the exact injected index back.
+cargo run -q -p cdnc-experiments --release -- fig14 --scale smoke --digest --digest-perturb 123 --obs-dir "$DIG_DIR/perturbed"
+if cargo run -q -p cdnc-experiments --release -- divergence "$DIG_DIR/serial/fig14.digest.json" "$DIG_DIR/perturbed/fig14.digest.json" > "$DIG_DIR/divergence.txt"; then
+  echo "divergence: a perturbed run compared identical"; exit 1
+fi
+grep -q 'first diverging event: global index 123 (segment 0' "$DIG_DIR/divergence.txt"
+# The heartbeat left a final finished heartbeat and watch renders it.
+test -s "$DIG_DIR/serial/fig14.health.json"
+cargo run -q -p cdnc-experiments --release -- watch "$DIG_DIR/serial" --once | grep -q 'done'
+rm -rf "$DIG_DIR"
+
 echo "==> paired-run time-profiling determinism"
 cargo test -p cdnc-experiments --test timeprof_determinism --quiet
 

@@ -26,7 +26,7 @@ use cdnc_geo::{IspId, WorldBuilder};
 use cdnc_net::{FaultPlane, Network, NodeId, Packet, PacketKind, PACKET_KINDS};
 use cdnc_obs::profile::{self, Subsystem};
 use cdnc_obs::{
-    Counter, Gauge, HandlerTimer, Histogram, Level, Registry, SpanKind, TraceCtx, Tracer,
+    Counter, Digest, Gauge, HandlerTimer, Histogram, Level, Registry, SpanKind, TraceCtx, Tracer,
 };
 use cdnc_simcore::stats::OnlineStats;
 use cdnc_simcore::{stream_tag, Scheduler, SimDuration, SimRng, SimTime};
@@ -212,6 +212,26 @@ impl Msg {
             Msg::Update { ctx, .. } | Msg::Invalidate(_, ctx) => *ctx,
             Msg::Tracked { inner, .. } => inner.trace_ctx(),
             _ => TraceCtx::NONE,
+        }
+    }
+
+    /// A structural payload tag for the determinism digest: the version or
+    /// identifier the message carries, independent of trace contexts (which
+    /// vary with observation settings) and of heap addresses.
+    fn digest_tag(&self) -> u64 {
+        match self {
+            Msg::Update { snap, .. } => u64::from(snap.0),
+            Msg::Invalidate(snap, _) => u64::from(snap.0),
+            Msg::Poll { from, have, .. } => (u64::from(from.0) << 32) | u64::from(have.0),
+            Msg::Unchanged => 0,
+            Msg::SwitchMode { from, to_invalidation } => {
+                (u64::from(from.0) << 1) | u64::from(*to_invalidation)
+            }
+            Msg::TreeJoin { from, invalidation_mode } => {
+                (u64::from(from.0) << 1) | u64::from(*invalidation_mode)
+            }
+            Msg::Tracked { id, inner, .. } => id.wrapping_mul(31).wrapping_add(inner.digest_tag()),
+            Msg::Ack { id } => *id,
         }
     }
 
@@ -416,6 +436,9 @@ struct SimObs {
     /// Per-message-kind dispatch timers for `on_arrive`, indexed by
     /// [`SimObs::msg_timer_idx`] (same gate).
     msg_timers: [HandlerTimer; 10],
+    /// Determinism audit chain (inert unless the registry armed it): one
+    /// fold per dispatched event, keyed on structural identity only.
+    digest: Digest,
 }
 
 impl SimObs {
@@ -547,6 +570,43 @@ impl SimObs {
                 "msg_tracked",
             ]
             .map(|n| registry.handler_timer(n)),
+            digest: registry.digest(),
+        }
+    }
+
+    /// Folds one dispatched event's structural identity into the
+    /// determinism digest: per-kind label, acting node, simulated time, and
+    /// the variant's payload tags. Only values that are themselves
+    /// deterministic functions of the configuration enter the chain —
+    /// never wall-clock readings or addresses — so for a fixed config the
+    /// chain is bit-identical across runs and job counts.
+    fn fold_event(&self, now: SimTime, ev: &Event) {
+        if !self.digest.is_enabled() {
+            return;
+        }
+        let t = now.as_micros();
+        let d = &self.digest;
+        match ev {
+            Event::Publish(idx) => d.fold("ev_publish", 0, t, &[u64::from(*idx)]),
+            Event::PollTimer(node, gen) => d.fold("ev_poll_timer", node.0, t, &[*gen]),
+            Event::Arrive(node, msg) => {
+                d.fold("ev_arrive", node.0, t, &[msg.kind() as u64, msg.digest_tag()]);
+            }
+            Event::UserVisit(u) => d.fold("ev_user_visit", *u, t, &[]),
+            Event::Fail(node) => d.fold("ev_fail", node.0, t, &[]),
+            Event::Recover(node) => d.fold("ev_recover", node.0, t, &[]),
+            Event::FetchTimeout(node, token) => d.fold("ev_fetch_timeout", node.0, t, &[*token]),
+            Event::Heartbeat(node, gen) => d.fold("ev_heartbeat", node.0, t, &[*gen]),
+            Event::Retransmit(id, attempt) => {
+                d.fold("ev_retransmit", 0, t, &[*id, u64::from(*attempt)]);
+            }
+            Event::Probe(node, gen) => d.fold("ev_probe", node.0, t, &[*gen]),
+            Event::Request(u) => d.fold("ev_request", *u, t, &[]),
+            Event::Fill(edge, id, snap) => {
+                let obj = (u64::from(id.slot) << 32) | u64::from(id.gen);
+                d.fold("ev_fill", edge.0, t, &[obj, u64::from(*snap)]);
+            }
+            Event::Churn => d.fold("ev_churn", 0, t, &[]),
         }
     }
 
@@ -914,6 +974,7 @@ impl<'a> CdnSimulation<'a> {
             // one branch when timeprof is off). The guard owns its cell,
             // so the handlers below can borrow `self` mutably.
             let _dispatch = self.obs.ev_timers[ev.obs_idx()].start();
+            self.obs.fold_event(now, &ev);
             match ev {
                 Event::Publish(idx) => {
                     self.obs.ev_publish.inc();

@@ -85,12 +85,15 @@ pub fn is_bench_stage(id: &str) -> bool {
 }
 
 /// A registry with every recording subsystem armed, so the bench exercises
-/// (and measures) the full observability overhead.
+/// (and measures) the full observability overhead. The determinism digest
+/// is included: its per-event fold is on the scheduler hot path, so a
+/// digest-cost regression shows up as stage wall time under `bench-diff`.
 fn bench_registry() -> Registry {
     let reg = Registry::enabled();
     reg.enable_tracing();
     reg.enable_series(cdnc_obs::DEFAULT_CADENCE_US);
     reg.enable_timeprof();
+    reg.enable_digest(cdnc_obs::DigestConfig::default());
     reg
 }
 

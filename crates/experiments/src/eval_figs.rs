@@ -34,6 +34,11 @@ pub fn run_batch(configs: Vec<SimConfig>, obs: &Registry) -> Vec<SimReport> {
 /// `obs` are bit-identical for every worker count (pass
 /// [`Registry::disabled`] for uninstrumented runs).
 pub fn run_batch_on(configs: Vec<SimConfig>, obs: &Registry, pool: &Pool) -> Vec<SimReport> {
+    // Run-health accounting: announce the batch up front so the heartbeat's
+    // ETA sees the full denominator, then tick one completion per absorbed
+    // task (shards share the parent's live health state, so per-event
+    // progress streams from the workers as they run).
+    obs.health().add_sims(configs.len() as u64);
     let task = |_: usize, cfg: &SimConfig| {
         // Shard span paths must not inherit the spawning thread's open
         // spans (inline tasks would nest where worker threads don't).
@@ -55,6 +60,7 @@ pub fn run_batch_on(configs: Vec<SimConfig>, obs: &Registry, pool: &Pool) -> Vec
         .into_iter()
         .map(|(report, shard)| {
             obs.absorb(&shard);
+            obs.health().sim_done();
             report
         })
         .collect()

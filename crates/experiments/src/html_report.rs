@@ -28,6 +28,10 @@ struct FigureInputs {
     timeprof: Option<Json>,
     /// `<figure>.workload.json` request-plane curves, parsed.
     workload: Option<Json>,
+    /// `<figure>.digest.json` determinism audit trail, parsed.
+    digest: Option<Json>,
+    /// `<figure>.health.json` final run-health heartbeat, parsed.
+    health: Option<Json>,
     /// Flight-recorder dumps attributed to this figure, parsed.
     anomalies: Vec<Json>,
 }
@@ -73,6 +77,14 @@ fn collect_inputs(obs_dir: &Path) -> io::Result<BTreeMap<String, FigureInputs>> 
         } else if let Some(id) = name.strip_suffix(".workload.json") {
             if let Some(doc) = parse_file(&path) {
                 inputs.entry(id.to_owned()).or_default().workload = Some(doc);
+            }
+        } else if let Some(id) = name.strip_suffix(".digest.json") {
+            if let Some(doc) = parse_file(&path) {
+                inputs.entry(id.to_owned()).or_default().digest = Some(doc);
+            }
+        } else if let Some(id) = name.strip_suffix(".health.json") {
+            if let Some(doc) = parse_file(&path) {
+                inputs.entry(id.to_owned()).or_default().health = Some(doc);
             }
         } else if let Some(id) = name.strip_suffix(".json") {
             if id == "summary" || id.ends_with(".trace") || id.starts_with("BENCH_") {
@@ -592,6 +604,60 @@ fn phase_chart(artifact: &Json) -> String {
     svg_bars(&rows, " s")
 }
 
+/// The determinism-audit and run-health section body: the run-level chain
+/// digest with its segment breakdown (from `<figure>.digest.json`) and the
+/// final heartbeat (from `<figure>.health.json`), with a warning when the
+/// run recorded stalls or never finished.
+fn digest_health_section(digest: Option<&Json>, health: Option<&Json>) -> String {
+    let mut body = String::new();
+    if let Some(digest) = digest {
+        let chain = digest.get("chain").and_then(Json::as_str).unwrap_or("?");
+        let events = digest.get("events").and_then(Json::as_f64).unwrap_or(0.0);
+        let every = digest.get("checkpoint_every").and_then(Json::as_f64).unwrap_or(0.0);
+        let segments = match digest.get("segments") {
+            Some(Json::Arr(items)) => items.len(),
+            _ => 0,
+        };
+        let _ = write!(
+            body,
+            "<p>chain digest <code>{}</code> over {events:.0} event(s) in {segments} \
+             segment(s), checkpoint every {every:.0}</p>",
+            html_escape(chain)
+        );
+        if let Some(perturb) = digest.get("perturb").and_then(Json::as_f64) {
+            let _ = write!(
+                body,
+                "<p class=\"warn\">perturbation injected at event index {perturb:.0} — this \
+                 run's chain is intentionally divergent</p>"
+            );
+        }
+    }
+    if let Some(health) = health {
+        let f = |k: &str| health.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+        let finished = matches!(health.get("finished"), Some(Json::Bool(true)));
+        let _ = write!(
+            body,
+            "<p>final heartbeat: {:.1} s wall, {:.0} events ({:.0}/s mean), {:.0}/{:.0} \
+             simulation(s) done, {:.0} MiB resident</p>",
+            f("wall_s"),
+            f("events"),
+            f("events_per_s"),
+            f("sims_done"),
+            f("sims_total"),
+            f("vm_rss_kb") / 1024.0,
+        );
+        let stalls = f("stalls");
+        if stalls > 0.0 {
+            let _ =
+                write!(body, "<p class=\"warn\">{stalls:.0} stall(s) flagged by the watchdog</p>");
+        }
+        if !finished {
+            body.push_str("<p class=\"warn\">run never wrote a final heartbeat (still running, or killed)</p>");
+        }
+    }
+    body
+}
+
 fn keyval_table(artifact: &Json) -> String {
     let Some(Json::Obj(keyvals)) = artifact.get("summary").and_then(|s| s.get("keyvals")) else {
         return String::new();
@@ -724,6 +790,10 @@ fn figure_page(id: &str, inputs: &FigureInputs) -> String {
     if let Some(timeprof) = &inputs.timeprof {
         body.push_str("<h2>Time profile</h2>");
         body.push_str(&timeprof_section(timeprof));
+    }
+    if inputs.digest.is_some() || inputs.health.is_some() {
+        body.push_str("<h2>Determinism &amp; run health</h2>");
+        body.push_str(&digest_health_section(inputs.digest.as_ref(), inputs.health.as_ref()));
     }
     body.push_str("<h2>Flight recorder</h2>");
     if inputs.anomalies.is_empty() {
@@ -971,6 +1041,26 @@ mod tests {
             )]),
         );
         std::fs::write(obs.join("fig20.workload.json"), workload.to_pretty()).unwrap();
+        let digest = Json::obj()
+            .field("figure", "fig20")
+            .field("scale", "smoke")
+            .field("checkpoint_every", 4096u64)
+            .field("perturb", Json::Null)
+            .field("events", 1234u64)
+            .field("chain", "0x1234abcd5678ef90")
+            .field("segments", Json::Arr(vec![Json::obj().field("events", 1234u64)]));
+        std::fs::write(obs.join("fig20.digest.json"), digest.to_pretty()).unwrap();
+        let health = Json::obj()
+            .field("figure", "fig20")
+            .field("wall_s", 2.5)
+            .field("events", 1234u64)
+            .field("events_per_s", 493.6)
+            .field("sims_done", 4u64)
+            .field("sims_total", 4u64)
+            .field("vm_rss_kb", 2048u64)
+            .field("stalls", 1u64)
+            .field("finished", true);
+        std::fs::write(obs.join("fig20.health.json"), health.to_pretty()).unwrap();
 
         let written = generate_report(&obs, &out).unwrap();
         assert_eq!(written.len(), 2, "index + one figure page");
@@ -991,6 +1081,13 @@ mod tests {
         assert!(fig.contains("Worker utilization"), "worker section rendered");
         assert!(fig.contains("Request plane"), "request-plane section rendered");
         assert!(fig.contains("Push_base_latency_cdf"), "workload CDF chart titled");
+        assert!(fig.contains("Determinism &amp; run health"), "digest/health section rendered");
+        assert!(fig.contains("0x1234abcd5678ef90"), "chain digest rendered");
+        assert!(fig.contains("1 stall(s)"), "stall warning rendered");
+        assert!(
+            !index.contains("fig20.digest") && !index.contains("fig20.health"),
+            "digest/health files must not register as separate figures"
+        );
         assert!(!fig.contains("<script"), "report stays script-free");
         let _ = std::fs::remove_dir_all(&base);
     }

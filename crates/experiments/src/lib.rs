@@ -14,6 +14,7 @@
 
 pub mod bench;
 pub mod ctx;
+pub mod divergence;
 pub mod eval_figs;
 pub mod ext_figs;
 pub mod hat_figs;
@@ -26,6 +27,7 @@ pub mod scale;
 pub mod timeprof_out;
 pub mod trace_figs;
 pub mod trace_out;
+pub mod watch;
 
 pub use ctx::RunCtx;
 pub use report::FigureReport;

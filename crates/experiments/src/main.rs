@@ -7,9 +7,13 @@
 //!                                      [--obs] [--obs-log <level>] [--obs-dir <dir>]
 //!                                      [--trace] [--trace-dir <dir>] [--trace-threshold <s>]
 //!                                      [--series] [--series-cadence <s>]
+//!                                      [--digest] [--digest-every <n>] [--digest-perturb <i>]
+//!                                      [--health] [--stall-after <s>]
 //! experiments crawl <out.bin>          [--scale …] [--jobs <n>]   # save a crawl trace
 //! experiments verdict <trace.bin>                    # §3.6 verdict on a saved trace
 //! experiments obs-diff <dirA> <dirB>                 # compare runs, wall-clock ignored
+//! experiments divergence <a.digest.json> <b.digest.json>  # bisect to first diverging event
+//! experiments watch <dir> [--once]                   # live run-health status table
 //! experiments report [--obs-dir <d>] [--out <d>]     # render artifacts as static HTML
 //! experiments profile <figure-id>      [--scale …] [--jobs <n>] [--spike-multiple <f>]
 //! experiments timeprof <figure-id>     [--scale …] [--jobs <n>]  # time profile + flamegraph
@@ -48,14 +52,26 @@
 //! fixed fully-instrumented workload into a `BENCH_<label>.json`, and
 //! `bench-diff` exits non-zero when a stage's wall time regresses past the
 //! threshold (default +30%).
+//!
+//! With `--digest`, every scheduled event folds into a chained 64-bit
+//! determinism digest with periodic checkpoints, written per figure to
+//! `<obs-dir>/<figure>.digest.json` (bit-identical for every `--jobs`
+//! count). `divergence` compares two such files and, when the chains
+//! disagree, binary-searches the checkpoints and re-runs both recorded
+//! scenarios with an event trap to print the exact first diverging event
+//! (exit 0 = identical, 1 = diverged, 2 = error). With `--health`, a
+//! heartbeat thread samples throughput, sim-time progress, ETA, and RSS
+//! into `<obs-dir>/<figure>.health.json` and a stall watchdog flags silent
+//! runs; `watch <dir>` tails those files as a live status table.
 
 use cdnc_experiments::bench::{
     bench_diff, bench_table, is_bench_stage, run_bench_with, BenchOptions, DEFAULT_BENCH_THRESHOLD,
 };
+use cdnc_experiments::divergence;
 use cdnc_experiments::html_report::generate_report;
 use cdnc_experiments::obs_out::{
-    diff_artifact_dirs, summary_entry, timing_table, write_figure_artifact, write_figure_series,
-    write_figure_workload, write_summary, ObsSettings,
+    diff_artifact_dirs, summary_entry, timing_table, write_figure_artifact, write_figure_digest,
+    write_figure_series, write_figure_workload, write_summary, ObsSettings,
 };
 use cdnc_experiments::perf::CountingAlloc;
 use cdnc_experiments::profile_out::{profile_table, write_profile_artifact};
@@ -65,6 +81,7 @@ use cdnc_experiments::trace_out::{
     critical_path_table, inspect_text, load_store, summary_text, write_figure_trace,
     FLIGHTREC_SUBDIR,
 };
+use cdnc_experiments::watch;
 use cdnc_experiments::{
     build_trace_ctx, run_figure_ctx, run_figure_replicated, FigureReport, RunCtx, Scale,
     EVAL_FIGURES, EXT_FIGURES, HAT_FIGURES, TRACE_FIGURES,
@@ -86,10 +103,21 @@ fn usage() -> ExitCode {
     eprintln!("                   [--obs] [--obs-log debug|info|warn] [--obs-dir <dir>]");
     eprintln!("                   [--trace] [--trace-dir <dir>] [--trace-threshold <seconds>]");
     eprintln!("                   [--series] [--series-cadence <seconds>]");
+    eprintln!("                   [--digest] [--digest-every <events>] [--digest-perturb <index>]");
+    eprintln!("                   [--health] [--stall-after <seconds>]");
     eprintln!("       experiments crawl <out.bin> [--scale …]   write a crawl trace to disk");
     eprintln!("       experiments verdict <trace.bin>           analyse a saved trace (§3.6)");
     eprintln!("       experiments obs-diff <dirA> <dirB>        compare two artifact dirs,");
     eprintln!("                                                 ignoring wall-clock fields");
+    eprintln!("                                                 (exit 0 = match, 1 = differ)");
+    eprintln!("       experiments divergence <a.digest.json> <b.digest.json>");
+    eprintln!("                                                 bisect two audit trails to the");
+    eprintln!("                                                 first diverging event (exit 0 =");
+    eprintln!(
+        "                                                 identical, 1 = diverged, 2 = error)"
+    );
+    eprintln!("       experiments watch <dir> [--once]          live run-health status table");
+    eprintln!("                                                 for *.health.json heartbeats");
     eprintln!("       experiments report [--obs-dir <dir>] [--out <dir>]");
     eprintln!("                                                 render artifacts as static HTML");
     eprintln!("       experiments profile <figure-id> [--scale …] [--jobs <n>]");
@@ -111,6 +139,36 @@ fn usage() -> ExitCode {
         eprintln!("  {id}");
     }
     ExitCode::FAILURE
+}
+
+/// Starts the run-health heartbeat for one figure when `--health` armed
+/// the registry: `<obs-dir>/<figure>.health.json`, refreshed twice a
+/// second, with the stall watchdog at `--stall-after`. No-op (`None`)
+/// otherwise.
+fn start_health(
+    obs: &ObsSettings,
+    id: &str,
+    reg: &cdnc_obs::Registry,
+) -> Option<cdnc_obs::HealthMonitor> {
+    cdnc_obs::HealthMonitor::start(
+        reg,
+        cdnc_obs::HealthMonitorConfig {
+            figure: id.to_owned(),
+            path: obs.dir.join(format!("{id}.health.json")),
+            interval: std::time::Duration::from_millis(cdnc_obs::DEFAULT_HEARTBEAT_MS),
+            stall_after: std::time::Duration::from_secs_f64(obs.stall_after_s),
+        },
+    )
+}
+
+/// Writes one figure's determinism digest (when `--digest` armed the
+/// registry) and prints where it went.
+fn emit_digest(obs: &ObsSettings, id: &str, scale: Scale, reg: &cdnc_obs::Registry) {
+    match write_figure_digest(&obs.dir, id, scale, reg) {
+        Ok(Some(path)) => println!("digest: {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("cannot write digest for {id}: {e}"),
+    }
 }
 
 /// Writes one figure's trace JSON and flight-recorder dumps, then prints
@@ -147,6 +205,7 @@ fn main() -> ExitCode {
     let mut label: Option<String> = None;
     let mut threshold = DEFAULT_BENCH_THRESHOLD;
     let mut bench_opts = BenchOptions::default();
+    let mut once = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -238,6 +297,56 @@ fn main() -> ExitCode {
                 obs.series_cadence_us = (secs * 1e6) as u64;
                 i += 2;
             }
+            "--digest" => {
+                obs.digest = true;
+                i += 1;
+            }
+            "--digest-every" => {
+                let Some(value) = args.get(i + 1) else { return usage() };
+                let Ok(n) = value.parse::<u64>() else {
+                    eprintln!("--digest-every needs an event count, got: {value}");
+                    return usage();
+                };
+                if n == 0 {
+                    eprintln!("--digest-every must be at least 1");
+                    return usage();
+                }
+                obs.digest = true;
+                obs.digest_every = n;
+                i += 2;
+            }
+            "--digest-perturb" => {
+                let Some(value) = args.get(i + 1) else { return usage() };
+                let Ok(n) = value.parse::<u64>() else {
+                    eprintln!("--digest-perturb needs an event index, got: {value}");
+                    return usage();
+                };
+                obs.digest = true;
+                obs.digest_perturb = Some(n);
+                i += 2;
+            }
+            "--health" => {
+                obs.health = true;
+                i += 1;
+            }
+            "--stall-after" => {
+                let Some(value) = args.get(i + 1) else { return usage() };
+                let Ok(secs) = value.parse::<f64>() else {
+                    eprintln!("--stall-after needs seconds, got: {value}");
+                    return usage();
+                };
+                if !secs.is_finite() || secs <= 0.0 {
+                    eprintln!("--stall-after must be positive, got: {value}");
+                    return usage();
+                }
+                obs.health = true;
+                obs.stall_after_s = secs;
+                i += 2;
+            }
+            "--once" => {
+                once = true;
+                i += 1;
+            }
             "--out" => {
                 let Some(value) = args.get(i + 1) else { return usage() };
                 out = Some(PathBuf::from(value));
@@ -300,6 +409,8 @@ fn main() -> ExitCode {
                     || (positional.first().is_some_and(|p| p == "obs-diff")
                         && positional.len() < 3)
                     || (positional.first().is_some_and(|p| p == "bench-diff")
+                        && positional.len() < 3)
+                    || (positional.first().is_some_and(|p| p == "divergence")
                         && positional.len() < 3) =>
             {
                 positional.push(other.to_owned());
@@ -341,6 +452,7 @@ fn main() -> ExitCode {
             }
             let mut run_one = |id: &str, use_trace: bool| {
                 let reg = obs.registry();
+                let health = start_health(&obs, id, &reg);
                 let fig_started = std::time::Instant::now();
                 let runs: Vec<FigureReport> = (0..seeds)
                     .map(|r| {
@@ -348,6 +460,9 @@ fn main() -> ExitCode {
                         run_figure_ctx(id, ctx.replicate(r), shared, &reg).expect("known id")
                     })
                     .collect();
+                if let Some(health) = health {
+                    health.stop();
+                }
                 let report = aggregate_replicates(&runs);
                 print!("{report}");
                 let wall_s = fig_started.elapsed().as_secs_f64();
@@ -367,6 +482,9 @@ fn main() -> ExitCode {
                     if let Err(e) = write_figure_series(&obs.dir, id, &reg) {
                         eprintln!("cannot write series for {id}: {e}");
                     }
+                }
+                if obs.digest {
+                    emit_digest(&obs, id, scale, &reg);
                 }
                 if obs.trace {
                     emit_trace(&obs, id, &reg);
@@ -459,6 +577,39 @@ fn main() -> ExitCode {
                 }
                 Err(e) => {
                     eprintln!("cannot diff {dir_a} vs {dir_b}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "divergence" => {
+            let (Some(path_a), Some(path_b)) = (positional.get(1), positional.get(2)) else {
+                eprintln!("divergence needs two .digest.json paths");
+                return usage();
+            };
+            match divergence::run(Path::new(path_a), Path::new(path_b), &obs) {
+                Ok(divergence::Outcome::Identical) => {
+                    println!("digest chains identical: {path_a} vs {path_b}");
+                    ExitCode::SUCCESS
+                }
+                Ok(divergence::Outcome::Diverged(loc)) => {
+                    print!("{}", loc.render());
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("cannot bisect {path_a} vs {path_b}: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        "watch" => {
+            let Some(dir) = positional.get(1) else {
+                eprintln!("watch needs a directory of *.health.json heartbeats");
+                return usage();
+            };
+            match watch::run(Path::new(dir), once) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("cannot watch {dir}: {e}");
                     ExitCode::FAILURE
                 }
             }
@@ -684,8 +835,13 @@ fn main() -> ExitCode {
         }
         id => {
             let reg = obs.registry();
+            let health = start_health(&obs, id, &reg);
             let started = std::time::Instant::now();
-            match run_figure_replicated(id, ctx, seeds, &reg) {
+            let result = run_figure_replicated(id, ctx, seeds, &reg);
+            if let Some(health) = health {
+                health.stop();
+            }
+            match result {
                 Some(report) => {
                     print!("{report}");
                     println!(
@@ -714,6 +870,9 @@ fn main() -> ExitCode {
                             Ok(None) => {}
                             Err(e) => eprintln!("cannot write series for {id}: {e}"),
                         }
+                    }
+                    if obs.digest {
+                        emit_digest(&obs, id, scale, &reg);
                     }
                     if obs.trace {
                         emit_trace(&obs, id, &reg);

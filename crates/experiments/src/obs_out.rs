@@ -4,7 +4,9 @@
 
 use crate::report::FigureReport;
 use crate::scale::Scale;
-use cdnc_obs::{digest_str, json, write_event_log, Json, Level, Registry, RunArtifact};
+use cdnc_obs::{
+    chain_hex, digest_str, json, write_event_log, DigestConfig, Json, Level, Registry, RunArtifact,
+};
 use std::collections::BTreeSet;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -51,6 +53,20 @@ pub struct ObsSettings {
     /// (hierarchical span-frame attribution, per-kind dispatch timers,
     /// worker utilization).
     pub timeprof: bool,
+    /// `--digest`: arm the determinism audit trail (chained event digests,
+    /// periodic checkpoints) and write `<figure>.digest.json`.
+    pub digest: bool,
+    /// `--digest-every <n>`: folds between digest checkpoints.
+    pub digest_every: u64,
+    /// `--digest-perturb <idx>`: flip one bit of the folded word at this
+    /// local fold index in every segment (divergence self-test).
+    pub digest_perturb: Option<u64>,
+    /// `--health`: arm the run-health counters and stream a live-updating
+    /// `<figure>.health.json` heartbeat while figures run.
+    pub health: bool,
+    /// `--stall-after <s>`: wall-clock event-counter silence before the
+    /// heartbeat's watchdog declares a stall.
+    pub stall_after_s: f64,
 }
 
 impl ObsSettings {
@@ -68,6 +84,11 @@ impl ObsSettings {
             profile: false,
             spike_multiple: cdnc_obs::DEFAULT_SPIKE_MULTIPLE,
             timeprof: false,
+            digest: false,
+            digest_every: cdnc_obs::DEFAULT_CHECKPOINT_EVERY,
+            digest_perturb: None,
+            health: false,
+            stall_after_s: cdnc_obs::DEFAULT_STALL_AFTER_MS as f64 / 1e3,
         }
     }
 
@@ -80,7 +101,14 @@ impl ObsSettings {
     /// tracer, and/or series sampler armed when requested) or the inert
     /// disabled registry.
     pub fn registry(&self) -> Registry {
-        if !self.enabled && !self.trace && !self.series && !self.profile && !self.timeprof {
+        if !self.enabled
+            && !self.trace
+            && !self.series
+            && !self.profile
+            && !self.timeprof
+            && !self.digest
+            && !self.health
+        {
             return Registry::disabled();
         }
         let reg = Registry::enabled();
@@ -102,8 +130,46 @@ impl ObsSettings {
         if self.timeprof {
             reg.enable_timeprof();
         }
+        if self.digest {
+            reg.enable_digest(DigestConfig {
+                checkpoint_every: self.digest_every,
+                perturb: self.digest_perturb,
+                trap: None,
+            });
+        }
+        if self.health {
+            reg.enable_health();
+        }
         reg
     }
+}
+
+/// Writes `<dir>/<figure-id>.digest.json` from one figure's registry: the
+/// determinism audit trail (run chain, per-segment chains, periodic
+/// checkpoints) plus the scenario identity (`figure`, `scale`,
+/// `checkpoint_every`, `perturb`) the `divergence` subcommand needs to
+/// re-run the recorded scenario. Returns `None` when the digest is not
+/// armed.
+pub fn write_figure_digest(
+    dir: &Path,
+    id: &str,
+    scale: Scale,
+    reg: &Registry,
+) -> io::Result<Option<PathBuf>> {
+    let Some(snap) = reg.digest_snapshot() else { return Ok(None) };
+    let config = reg.digest_config().unwrap_or_default();
+    std::fs::create_dir_all(dir)?;
+    let mut doc = Json::obj()
+        .field("figure", id)
+        .field("scale", scale.arg_name())
+        .field("checkpoint_every", config.checkpoint_every)
+        .field("perturb", config.perturb.map_or(Json::Null, Json::from));
+    if let (Json::Obj(dst), Json::Obj(src)) = (&mut doc, snap.to_json()) {
+        dst.extend(src);
+    }
+    let path = dir.join(format!("{id}.digest.json"));
+    std::fs::write(&path, doc.to_pretty())?;
+    Ok(Some(path))
 }
 
 /// Writes `<dir>/<figure-id>.series.json` from one figure's registry:
@@ -232,6 +298,24 @@ pub fn summary_entry(id: &str, wall_s: f64, jobs: usize, reg: &Registry) -> Json
                 .field("max", if h.count > 0 { h.max } else { 0.0 }),
         );
     }
+    if let Some(digest) = reg.digest_snapshot() {
+        entry = entry.field(
+            "digest",
+            Json::obj()
+                .field("chain", chain_hex(digest.chain))
+                .field("events", digest.events)
+                .field("segments", digest.segments.len() as u64),
+        );
+    }
+    if let Some(health) = reg.health_snapshot() {
+        entry = entry.field(
+            "health",
+            Json::obj()
+                .field("sims_done", health.sims_done)
+                .field("sims_total", health.sims_total)
+                .field("stalls", health.stalls),
+        );
+    }
     if snap.counter("wl_requests") > 0 {
         entry = entry.field(
             "request_plane",
@@ -251,7 +335,7 @@ pub fn summary_entry(id: &str, wall_s: f64, jobs: usize, reg: &Registry) -> Json
 /// Artifact fields that legitimately differ between bit-identical runs:
 /// wall-clock measurements, memory footprints, and everything derived from
 /// them. Scrubbed before artifact comparison.
-pub const VOLATILE_KEYS: [&str; 10] = [
+pub const VOLATILE_KEYS: [&str; 11] = [
     "wall_s",
     "phases",
     "events_per_s",
@@ -262,6 +346,9 @@ pub const VOLATILE_KEYS: [&str; 10] = [
     "allocator_telemetry",
     "spikes",
     "time_telemetry",
+    // Stall detection keys off wall-clock silence, so the count can differ
+    // between bit-identical runs on a loaded machine.
+    "stalls",
 ];
 
 /// Strips the [`VOLATILE_KEYS`] from an artifact document, recursively.
@@ -319,6 +406,42 @@ fn count_leaf_diffs(a: &Json, b: &Json) -> usize {
     }
 }
 
+/// Collects up to `limit` leaf-level differences between two documents as
+/// `path: a-value != b-value` lines (dotted object keys, `[i]` array
+/// indices, `<missing>` when one side lacks the subtree). Depth-first in
+/// key order, so the first line is the shallowest-leftmost difference.
+pub fn diff_leaf_paths(a: &Json, b: &Json, limit: usize) -> Vec<String> {
+    fn walk(a: Option<&Json>, b: Option<&Json>, path: &str, out: &mut Vec<String>, limit: usize) {
+        if out.len() >= limit {
+            return;
+        }
+        let render = |v: Option<&Json>| v.map_or("<missing>".to_owned(), Json::to_compact);
+        match (a, b) {
+            (Some(Json::Obj(fa)), Some(Json::Obj(fb))) => {
+                let keys: BTreeSet<&str> = fa.iter().chain(fb).map(|(k, _)| k.as_str()).collect();
+                for key in keys {
+                    let sub =
+                        if path.is_empty() { key.to_owned() } else { format!("{path}.{key}") };
+                    fn find<'j>(fields: &'j [(String, Json)], key: &str) -> Option<&'j Json> {
+                        fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+                    }
+                    walk(find(fa, key), find(fb, key), &sub, out, limit);
+                }
+            }
+            (Some(Json::Arr(ia)), Some(Json::Arr(ib))) => {
+                for i in 0..ia.len().max(ib.len()) {
+                    walk(ia.get(i), ib.get(i), &format!("{path}[{i}]"), out, limit);
+                }
+            }
+            _ if a == b => {}
+            _ => out.push(format!("{path}: {} != {}", render(a), render(b))),
+        }
+    }
+    let mut out = Vec::new();
+    walk(Some(a), Some(b), "", &mut out, limit);
+    out
+}
+
 /// Per-top-level-key counts of differing leaf fields between two documents
 /// (non-zero entries only, key order). Non-object roots fold under the
 /// pseudo-key `<root>`.
@@ -355,7 +478,8 @@ pub fn diff_field_counts(a: &Json, b: &Json) -> Vec<(String, usize)> {
 /// documents are parsed and [`scrub_volatile`]bed before comparison (a
 /// mismatch reports the per-key count of differing fields), `.folded`
 /// flamegraph stacks are compared by their ordered stack paths (the
-/// self-nanosecond values are wall clock), all other files (event
+/// self-nanosecond values are wall clock), `.health.json` heartbeats are
+/// skipped entirely (live wall-clock telemetry), all other files (event
 /// `.jsonl`, `.trace.json` in simulated time) compared byte-for-byte.
 /// Returns one line per difference — empty means the runs produced
 /// identical observable output, the determinism contract `--jobs`
@@ -374,6 +498,11 @@ pub fn diff_artifact_dirs(a: &Path, b: &Path) -> io::Result<Vec<String>> {
     let (names_a, names_b) = (list(a)?, list(b)?);
     let mut diffs = Vec::new();
     for name in names_a.union(&names_b) {
+        // Health heartbeats are wall-clock by nature (rates, ETA, RSS) and
+        // a run may be torn down mid-beat, so they never count as drift.
+        if name.ends_with(".health.json") || name.ends_with(".health.json.tmp") {
+            continue;
+        }
         match (names_a.contains(name), names_b.contains(name)) {
             (true, false) => diffs.push(format!("{name}: only in {}", a.display())),
             (false, true) => diffs.push(format!("{name}: only in {}", b.display())),
@@ -392,7 +521,11 @@ pub fn diff_artifact_dirs(a: &Path, b: &Path) -> io::Result<Vec<String>> {
                                     .map(|(key, n)| format!("{key}: {n}"))
                                     .collect::<Vec<_>>()
                                     .join(", ");
-                                format!("differing fields per key: {per_key}")
+                                let paths = diff_leaf_paths(&doc_a, &doc_b, 10);
+                                format!(
+                                    "differing fields per key: {per_key}\n    {}",
+                                    paths.join("\n    ")
+                                )
                             })
                         }
                         _ => (body_a != body_b).then(|| "unparseable".to_owned()),
@@ -646,6 +779,109 @@ mod tests {
         let xa = Json::obj().field("rows", Json::Arr(vec![Json::from(1u64), Json::from(2u64)]));
         let xb = Json::obj().field("rows", Json::Arr(vec![Json::from(1u64)]));
         assert_eq!(diff_field_counts(&xa, &xb), vec![("rows".to_owned(), 1)]);
+    }
+
+    #[test]
+    fn digest_flag_arms_audit_trail_and_writes_artifact() {
+        let s = ObsSettings {
+            digest: true,
+            digest_every: 16,
+            digest_perturb: Some(3),
+            ..ObsSettings::off()
+        };
+        let reg = s.registry();
+        assert!(reg.is_enabled());
+        assert!(reg.digest_enabled());
+        let config = reg.digest_config().expect("armed");
+        assert_eq!(config.checkpoint_every, 16);
+        assert_eq!(config.perturb, Some(3));
+        assert!(!ObsSettings::off().registry().digest_enabled());
+        reg.digest().fold("probe", 1, 10, &[7]);
+        let dir = std::env::temp_dir().join(format!("cdnc-digest-out-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(write_figure_digest(&dir, "figX", Scale::Smoke, &Registry::enabled())
+            .unwrap()
+            .is_none());
+        let path =
+            write_figure_digest(&dir, "figX", Scale::Smoke, &reg).unwrap().expect("digest armed");
+        let doc = json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(doc.get("figure").and_then(Json::as_str), Some("figX"));
+        assert_eq!(doc.get("scale").and_then(Json::as_str), Some("smoke"));
+        assert_eq!(doc.get("checkpoint_every").and_then(Json::as_f64), Some(16.0));
+        assert_eq!(doc.get("perturb").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(doc.get("events").and_then(Json::as_f64), Some(1.0));
+        let chain = doc.get("chain").and_then(Json::as_str).expect("hex chain");
+        assert!(cdnc_obs::parse_chain_hex(chain).is_some(), "chain parses: {chain}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn health_flag_arms_counters_and_summary_surfaces_them() {
+        let s = ObsSettings { health: true, ..ObsSettings::off() };
+        let reg = s.registry();
+        assert!(reg.health_enabled());
+        assert!(!ObsSettings::off().registry().health_enabled());
+        reg.health().add_sims(3);
+        reg.health().sim_done();
+        let e = summary_entry("figX", 1.0, 1, &reg);
+        let health = e.get("health").expect("health surfaced");
+        assert_eq!(health.get("sims_total").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(health.get("sims_done").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(health.get("stalls").and_then(Json::as_f64), Some(0.0));
+        assert!(
+            summary_entry("figX", 1.0, 1, &Registry::enabled()).get("health").is_none(),
+            "absent when health is not armed"
+        );
+    }
+
+    #[test]
+    fn summary_entry_carries_digest_chain() {
+        let reg = Registry::enabled();
+        assert!(summary_entry("figX", 1.0, 1, &reg).get("digest").is_none());
+        reg.enable_digest(cdnc_obs::DigestConfig::default());
+        reg.digest().fold("probe", 1, 10, &[]);
+        let e = summary_entry("figX", 1.0, 1, &reg);
+        let digest = e.get("digest").expect("digest surfaced");
+        assert_eq!(digest.get("events").and_then(Json::as_f64), Some(1.0));
+        let chain = digest.get("chain").and_then(Json::as_str).expect("hex chain");
+        assert!(cdnc_obs::parse_chain_hex(chain).is_some());
+    }
+
+    #[test]
+    fn dir_diff_skips_health_heartbeats_and_prints_paths() {
+        let base = std::env::temp_dir().join(format!("cdnc-health-diff-{}", std::process::id()));
+        let (da, db) = (base.join("a"), base.join("b"));
+        std::fs::create_dir_all(&da).unwrap();
+        std::fs::create_dir_all(&db).unwrap();
+        std::fs::write(da.join("fig3.health.json"), "{\"events\": 1}").unwrap();
+        std::fs::write(db.join("fig3.health.json"), "{\"events\": 2}").unwrap();
+        assert!(
+            diff_artifact_dirs(&da, &db).unwrap().is_empty(),
+            "health heartbeats are wall-clock and never count as drift"
+        );
+        let doc = |seed: u64| Json::obj().field("seed", seed).to_pretty();
+        std::fs::write(da.join("fig3.json"), doc(7)).unwrap();
+        std::fs::write(db.join("fig3.json"), doc(8)).unwrap();
+        let diffs = diff_artifact_dirs(&da, &db).unwrap();
+        assert_eq!(diffs.len(), 1, "{diffs:?}");
+        assert!(diffs[0].contains("seed: 7 != 8"), "paths with values: {diffs:?}");
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn leaf_paths_render_values_and_respect_the_cap() {
+        let a = Json::obj()
+            .field("seed", 7u64)
+            .field("metrics", Json::obj().field("x", 1u64).field("y", 2u64));
+        let b = Json::obj()
+            .field("seed", 8u64)
+            .field("metrics", Json::obj().field("x", 1u64).field("y", 3u64).field("z", 4u64));
+        let paths = diff_leaf_paths(&a, &b, 10);
+        assert_eq!(paths, ["metrics.y: 2 != 3", "metrics.z: <missing> != 4", "seed: 7 != 8"]);
+        assert_eq!(diff_leaf_paths(&a, &b, 1).len(), 1, "cap respected");
+        let xa = Json::obj().field("rows", Json::Arr(vec![Json::from(1u64), Json::from(2u64)]));
+        let xb = Json::obj().field("rows", Json::Arr(vec![Json::from(1u64)]));
+        assert_eq!(diff_leaf_paths(&xa, &xb, 10), ["rows[1]: 2 != <missing>"]);
     }
 
     #[test]

@@ -30,6 +30,17 @@ impl Scale {
         }
     }
 
+    /// The `--scale` argument spelling of this scale (inverse of
+    /// [`Scale::parse`]) — the form artifacts record so commands like
+    /// `divergence` can re-run a recorded scenario.
+    pub fn arg_name(self) -> &'static str {
+        match self {
+            Scale::Default => "default",
+            Scale::Smoke => "smoke",
+            Scale::Paper => "paper",
+        }
+    }
+
     /// The crawl configuration for the §3 measurement reproduction.
     pub fn crawl_config(self) -> CrawlConfig {
         match self {

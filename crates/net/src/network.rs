@@ -81,6 +81,9 @@ pub struct Network {
     /// Per-kind wall-clock cost of the send path (`net_send_<kind>`),
     /// armed by the registry's timeprof gate; inert otherwise.
     obs_send_timers: [cdnc_obs::HandlerTimer; PACKET_KINDS],
+    /// Determinism audit trail: every send folds the packet's structural
+    /// identity (digest gate; inert unless armed).
+    obs_digest: cdnc_obs::Digest,
 }
 
 impl Network {
@@ -107,6 +110,7 @@ impl Network {
             obs_inflight_pkts: std::array::from_fn(|_| cdnc_obs::Gauge::default()),
             obs_inflight_bytes: cdnc_obs::Gauge::default(),
             obs_send_timers: std::array::from_fn(|_| cdnc_obs::HandlerTimer::default()),
+            obs_digest: cdnc_obs::Digest::disabled(),
         }
     }
 
@@ -171,6 +175,7 @@ impl Network {
                     registry.handler_timer(&format!("net_send_{}", kind.metric_suffix()));
             }
         }
+        self.obs_digest = registry.digest();
     }
 
     /// Creates a network with one node per [`World`] node, in world order.
@@ -256,7 +261,16 @@ impl Network {
         self.obs_inflight_bytes.add(bytes);
         let departed = self.uplinks[packet.src.index()].transmit(now, packet.size_kb);
         let (src, dst) = (&self.nodes[packet.src.index()], &self.nodes[packet.dst.index()]);
-        departed + self.config.latency.delay(src, dst, &mut self.rng)
+        let arrival = departed + self.config.latency.delay(src, dst, &mut self.rng);
+        // Structural identity only: kind, endpoints, and the (deterministic)
+        // delivery instant — the delay comes from the seeded stream.
+        self.obs_digest.fold(
+            packet.kind.name(),
+            packet.src.0,
+            now.as_micros(),
+            &[packet.dst.0 as u64, arrival.as_micros()],
+        );
+        arrival
     }
 
     /// Marks one previously sent packet of `kind` / `size_kb` as delivered

@@ -60,6 +60,18 @@ pub enum Anomaly {
         /// How many intervals spiked.
         count: usize,
     },
+    /// Determinism-audit divergence points recorded by `divergence`
+    /// (`digest_divergence` control spans; see `digest`).
+    DigestDivergence {
+        /// How many divergence points were flagged.
+        count: usize,
+    },
+    /// Stall episodes recorded by the health watchdog (`stall` control
+    /// spans; see `health`).
+    Stall {
+        /// How many stall episodes occurred.
+        count: usize,
+    },
 }
 
 impl Anomaly {
@@ -71,6 +83,8 @@ impl Anomaly {
             Anomaly::LostDeliveries { .. } => "lost_deliveries",
             Anomaly::ConvergenceViolations { .. } => "convergence_violations",
             Anomaly::MemorySpikes { .. } => "memory_spikes",
+            Anomaly::DigestDivergence { .. } => "digest_divergence",
+            Anomaly::Stall { .. } => "stall",
         }
     }
 }
@@ -109,6 +123,8 @@ impl FlightReport {
                         Anomaly::LostDeliveries { count } => j.field("count", *count),
                         Anomaly::ConvergenceViolations { count } => j.field("count", *count),
                         Anomaly::MemorySpikes { count } => j.field("count", *count),
+                        Anomaly::DigestDivergence { count } => j.field("count", *count),
+                        Anomaly::Stall { count } => j.field("count", *count),
                     }
                 })
                 .collect(),
@@ -141,11 +157,13 @@ impl FlightReport {
             .field("spans", spans)
     }
 
-    /// Stable dump-file stem, e.g. `update_0007_trace3`
-    /// (`control_memory_spikes` for the traceless memory-spike report).
+    /// Stable dump-file stem, e.g. `update_0007_trace3`. Traceless
+    /// (control-plane) reports use `control_<anomaly tag>`, e.g.
+    /// `control_memory_spikes` or `control_stall`.
     pub fn file_stem(&self) -> String {
         if self.trace == TraceId::NONE {
-            return "control_memory_spikes".to_owned();
+            let tag = self.anomalies.first().map_or("unknown", Anomaly::tag);
+            return format!("control_{tag}");
         }
         format!("update_{:04}_trace{}", self.update, self.trace.0)
     }
@@ -219,25 +237,51 @@ impl FlightRecorder {
             b.max_lag_s.partial_cmp(&a.max_lag_s).unwrap_or(std::cmp::Ordering::Equal)
         });
         reports.truncate(self.max_dumps);
-        // Memory spikes are control-plane: they belong to no update's trace,
-        // so they surface as one extra report carrying every `memory_spike`
-        // span (appended after the truncation — one report, still bounded).
-        let spikes: Vec<SpanRecord> = store
-            .trace_spans(TraceId::NONE)
-            .filter(|s| s.kind == SpanKind::MemorySpike)
-            .cloned()
-            .collect();
-        if !spikes.is_empty() {
-            reports.push(FlightReport {
-                trace: TraceId::NONE,
-                update: 0,
-                scope: "control".to_owned(),
-                anomalies: vec![Anomaly::MemorySpikes { count: spikes.len() }],
-                max_lag_s: 0.0,
-                spans: spikes,
-            });
+        // Control-plane anomalies (memory spikes, digest divergences, stall
+        // episodes) belong to no update's trace: each kind surfaces as one
+        // extra report appended after the truncation — one report per kind,
+        // its span list bounded to the most recent `max_dumps` entries while
+        // `count` keeps the full tally.
+        for (kind, make) in [
+            (
+                SpanKind::MemorySpike,
+                (|count| Anomaly::MemorySpikes { count }) as fn(usize) -> Anomaly,
+            ),
+            (SpanKind::DigestDivergence, |count| Anomaly::DigestDivergence { count }),
+            (SpanKind::Stall, |count| Anomaly::Stall { count }),
+        ] {
+            if let Some(report) = self.control_report(store, kind, make) {
+                reports.push(report);
+            }
         }
         reports
+    }
+
+    /// The bounded control report for `kind`, or `None` when no such spans
+    /// were recorded.
+    fn control_report(
+        &self,
+        store: &SpanStore,
+        kind: SpanKind,
+        make: fn(usize) -> Anomaly,
+    ) -> Option<FlightReport> {
+        let mut spans: Vec<SpanRecord> =
+            store.trace_spans(TraceId::NONE).filter(|s| s.kind == kind).cloned().collect();
+        if spans.is_empty() {
+            return None;
+        }
+        let count = spans.len();
+        if count > self.max_dumps {
+            spans.drain(..count - self.max_dumps);
+        }
+        Some(FlightReport {
+            trace: TraceId::NONE,
+            update: 0,
+            scope: "control".to_owned(),
+            anomalies: vec![make(count)],
+            max_lag_s: 0.0,
+            spans,
+        })
     }
 }
 
@@ -349,6 +393,40 @@ mod tests {
         assert!(r.spans.iter().all(|s| s.kind == SpanKind::MemorySpike));
         assert_eq!(r.file_stem(), "control_memory_spikes");
         assert!(crate::json::parse(&r.to_json().to_pretty()).is_ok());
+    }
+
+    #[test]
+    fn digest_divergence_and_stalls_surface_as_control_reports() {
+        let t = tracer();
+        t.control(SpanKind::DigestDivergence, 4, 7_000_000, "digest-divergence");
+        t.control(SpanKind::Stall, 0, 1_000_000, "watchdog");
+        t.control(SpanKind::Stall, 0, 9_000_000, "watchdog");
+        let reports = FlightRecorder::new(60.0).scan(&t.store());
+        assert_eq!(reports.len(), 2, "one control report per anomaly kind");
+        let div = reports.iter().find(|r| r.file_stem() == "control_digest_divergence").unwrap();
+        assert_eq!(div.anomalies, vec![Anomaly::DigestDivergence { count: 1 }]);
+        assert_eq!(div.spans[0].node, 4);
+        let stall = reports.iter().find(|r| r.file_stem() == "control_stall").unwrap();
+        assert_eq!(stall.anomalies, vec![Anomaly::Stall { count: 2 }]);
+        assert!(stall.spans.iter().all(|s| s.kind == SpanKind::Stall));
+        assert!(crate::json::parse(&div.to_json().to_pretty()).is_ok());
+        assert!(crate::json::parse(&stall.to_json().to_pretty()).is_ok());
+    }
+
+    #[test]
+    fn control_reports_bound_span_retention_but_keep_the_count() {
+        let t = tracer();
+        for i in 0..10 {
+            t.control(SpanKind::Stall, 0, i * 1_000, "watchdog");
+        }
+        let mut rec = FlightRecorder::new(60.0);
+        rec.max_dumps = 3;
+        let reports = rec.scan(&t.store());
+        assert_eq!(reports.len(), 1);
+        let r = &reports[0];
+        assert_eq!(r.anomalies, vec![Anomaly::Stall { count: 10 }], "full tally survives");
+        assert_eq!(r.spans.len(), 3, "span list bounded");
+        assert_eq!(r.spans[0].begin_us, 7_000, "most recent entries retained");
     }
 
     #[test]

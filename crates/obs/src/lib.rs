@@ -16,6 +16,11 @@
 //! - **Time series** ([`Registry::enable_series`]): scheduler-driven
 //!   sim-time sampling of registered gauges/counters (and derived rates)
 //!   into fixed-capacity series with deterministic LTTB downsampling.
+//! - **Determinism audit trail** ([`Registry::enable_digest`]): a chained
+//!   64-bit digest over every fold point's structural identity, with
+//!   periodic checkpoints — the divergence-bisection substrate.
+//! - **Run health** ([`Registry::enable_health`]): wall-clock progress
+//!   counters, a heartbeat file writer, and a stall watchdog.
 //!
 //! # Zero overhead when off
 //!
@@ -34,8 +39,10 @@
 
 pub mod artifact;
 pub mod chrome;
+pub mod digest;
 pub mod events;
 pub mod flight;
+pub mod health;
 pub mod json;
 pub mod metrics;
 pub mod profile;
@@ -47,8 +54,16 @@ pub mod trace;
 
 pub use artifact::{digest_str, write_event_log, RunArtifact};
 pub use chrome::{from_chrome, parse_chrome, to_chrome};
+pub use digest::{
+    chain_hex, parse_chain_hex, Checkpoint, Digest, DigestConfig, DigestSnapshot, SegmentSnapshot,
+    TrapEntry, TrapWindow, DEFAULT_CHECKPOINT_EVERY,
+};
 pub use events::{EventRecord, Level};
 pub use flight::{Anomaly, FlightRecorder, FlightReport};
+pub use health::{
+    vm_rss_kb, Health, HealthMonitor, HealthMonitorConfig, HealthSnapshot, DEFAULT_HEARTBEAT_MS,
+    DEFAULT_STALL_AFTER_MS,
+};
 pub use json::{parse, Json};
 pub use metrics::{
     bucket_floor, bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS,

@@ -14,7 +14,9 @@
 //! to the same cell, wherever they happen. Callers grab handles once and
 //! update through them on hot paths; name lookup is the cold path.
 
+use crate::digest::{Digest, DigestConfig, DigestCore, DigestSnapshot};
 use crate::events::{EventLog, EventRecord, Level};
+use crate::health::{Health, HealthSnapshot, HealthState};
 use crate::json::Json;
 use crate::metrics::{Counter, Gauge, GaugeCore, Histogram, HistogramCore, HistogramSnapshot};
 use crate::profile::MemProbe;
@@ -37,6 +39,8 @@ struct Inner {
     series: Mutex<Option<Arc<SeriesCore>>>,
     profile: Mutex<Option<ProfileConfig>>,
     timeprof: Mutex<Option<Arc<TimeProfCore>>>,
+    digest: Mutex<Option<Arc<DigestCore>>>,
+    health: Mutex<Option<Arc<HealthState>>>,
 }
 
 /// Arming parameters for the profiling structural probes; see
@@ -276,6 +280,79 @@ impl Registry {
         self.0.as_ref().and_then(|inner| inner.timeprof.lock().clone())
     }
 
+    /// Arms the determinism audit trail: [`Registry::digest`] handles start
+    /// folding, [`Registry::digest_snapshot`] returns `Some`, and
+    /// [`Registry::shard`] arms shards with the same configuration — each
+    /// shard records its own segment chain, absorbed in task order, so the
+    /// run-level chain is bit-identical at any `--jobs`. Like the other
+    /// opt-in gates, idempotent: the first configuration wins.
+    pub fn enable_digest(&self, config: DigestConfig) {
+        if let Some(inner) = &self.0 {
+            let mut slot = inner.digest.lock();
+            if slot.is_none() {
+                *slot = Some(Arc::new(DigestCore::new(config)));
+            }
+        }
+    }
+
+    /// Whether the digest audit trail is armed.
+    pub fn digest_enabled(&self) -> bool {
+        self.0.as_ref().is_some_and(|inner| inner.digest.lock().is_some())
+    }
+
+    /// The armed digest configuration, if any.
+    pub fn digest_config(&self) -> Option<DigestConfig> {
+        self.digest_core().map(|core| core.config())
+    }
+
+    /// A fold handle on the audit trail (inert when disabled or digest not
+    /// armed). Fold points grab the handle once in their `set_obs` and fold
+    /// through it on the hot path.
+    pub fn digest(&self) -> Digest {
+        Digest::from_core(self.digest_core())
+    }
+
+    /// The run-level audit trail so far (`None` when disabled or digest not
+    /// armed). Non-destructive.
+    pub fn digest_snapshot(&self) -> Option<DigestSnapshot> {
+        Some(self.digest_core()?.snapshot())
+    }
+
+    fn digest_core(&self) -> Option<Arc<DigestCore>> {
+        self.0.as_ref().and_then(|inner| inner.digest.lock().clone())
+    }
+
+    /// Arms the run-health counters: [`Registry::health`] handles start
+    /// recording and [`Registry::health_snapshot`] returns `Some`. Health
+    /// is wall-clock telemetry — shards *share* the parent's state (live
+    /// aggregation across workers) and [`Registry::absorb`] has nothing to
+    /// fold, so arming it never perturbs determinism artifacts.
+    pub fn enable_health(&self) {
+        if let Some(inner) = &self.0 {
+            let mut slot = inner.health.lock();
+            if slot.is_none() {
+                *slot = Some(Arc::new(HealthState::default()));
+            }
+        }
+    }
+
+    /// Whether run-health counters are armed.
+    pub fn health_enabled(&self) -> bool {
+        self.0.as_ref().is_some_and(|inner| inner.health.lock().is_some())
+    }
+
+    /// A health handle (inert when disabled or health not armed).
+    pub fn health(&self) -> Health {
+        Health::from_state(self.0.as_ref().and_then(|inner| inner.health.lock().clone()))
+    }
+
+    /// A point-in-time reading of the health counters (`None` when disabled
+    /// or health not armed).
+    pub fn health_snapshot(&self) -> Option<HealthSnapshot> {
+        let state = self.0.as_ref().and_then(|inner| inner.health.lock().clone())?;
+        Some(HealthSnapshot::read(&state))
+    }
+
     /// The attached sampler (inert when disabled or series not enabled).
     pub fn sampler(&self) -> Sampler {
         Sampler(self.0.as_ref().and_then(|inner| inner.series.lock().clone()))
@@ -413,6 +490,16 @@ impl Registry {
         if inner.timeprof.lock().is_some() {
             shard.enable_timeprof();
         }
+        if let Some(digest) = inner.digest.lock().as_ref() {
+            // Fresh segment chain, same configuration.
+            shard.enable_digest(digest.config());
+        }
+        if let Some(health) = inner.health.lock().as_ref() {
+            // Shared state: health aggregates live across workers.
+            if let Some(shard_inner) = &shard.0 {
+                *shard_inner.health.lock() = Some(Arc::clone(health));
+            }
+        }
         shard
     }
 
@@ -471,6 +558,14 @@ impl Registry {
         if shard_tracer.is_enabled() {
             Tracer(inner.tracer.lock().clone()).absorb(&shard_tracer.store());
         }
+        let shard_digest = other.digest.lock().clone();
+        if let Some(shard_digest) = shard_digest {
+            let mine = inner.digest.lock().clone();
+            if let Some(mine) = mine {
+                mine.absorb(&shard_digest);
+            }
+        }
+        // Health needs no absorb: shards share the parent's state.
         let shard_series = other.series.lock().clone();
         if let Some(shard_series) = shard_series {
             let mine = inner.series.lock().clone();
@@ -779,6 +874,64 @@ mod tests {
         off.enable_timeprof();
         assert!(!off.timeprof_enabled());
         assert!(off.timeprof_snapshot().is_none());
+    }
+
+    #[test]
+    fn digest_gated_behind_enable_and_sharded_per_segment() {
+        use crate::digest::DigestConfig;
+        let reg = Registry::enabled();
+        assert!(!reg.digest_enabled(), "digest is opt-in even when enabled");
+        assert!(reg.digest_snapshot().is_none());
+        reg.digest().fold("ev", 0, 1, &[]); // inert before arming
+        reg.enable_digest(DigestConfig::default());
+        assert!(reg.digest_enabled());
+        assert_eq!(reg.digest_snapshot().unwrap().events, 0, "pre-arming fold dropped");
+
+        // Two shards, each one segment; absorb order decides segment order.
+        let s1 = reg.shard();
+        assert!(s1.digest_enabled(), "shard mirrors the arming");
+        s1.digest().fold("a", 1, 10, &[7]);
+        let s2 = reg.shard();
+        s2.digest().fold("b", 2, 20, &[8]);
+        reg.absorb(&s1);
+        reg.absorb(&s2);
+        let snap = reg.digest_snapshot().unwrap();
+        assert_eq!(snap.events, 2);
+        assert_eq!(snap.segments.len(), 2);
+
+        // A sequential registry absorbing identical shards in the same
+        // order produces the identical run chain.
+        let reg2 = Registry::enabled();
+        reg2.enable_digest(DigestConfig::default());
+        let t1 = reg2.shard();
+        t1.digest().fold("a", 1, 10, &[7]);
+        let t2 = reg2.shard();
+        t2.digest().fold("b", 2, 20, &[8]);
+        reg2.absorb(&t1);
+        reg2.absorb(&t2);
+        assert_eq!(reg2.digest_snapshot().unwrap().chain, snap.chain);
+
+        let off = Registry::disabled();
+        off.enable_digest(DigestConfig::default());
+        assert!(!off.digest_enabled());
+        assert!(off.digest_snapshot().is_none());
+    }
+
+    #[test]
+    fn health_shards_share_live_state() {
+        let reg = Registry::enabled();
+        assert!(!reg.health_enabled(), "health is opt-in even when enabled");
+        reg.health().tick(1); // inert before arming
+        reg.enable_health();
+        let shard = reg.shard();
+        assert!(shard.health_enabled());
+        shard.health().tick(42);
+        // Live before any absorb: shards write the parent's state directly.
+        let snap = reg.health_snapshot().unwrap();
+        assert_eq!(snap.events, 1);
+        assert_eq!(snap.sim_time_us, 42);
+        reg.absorb(&shard); // no double counting
+        assert_eq!(reg.health_snapshot().unwrap().events, 1);
     }
 
     #[test]

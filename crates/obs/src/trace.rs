@@ -110,6 +110,12 @@ pub enum SpanKind {
     /// An interval allocated far more memory than the running median
     /// (control plane, no trace; recorded by the profiling probe).
     MemorySpike,
+    /// The determinism audit trail diverged from a reference run at this
+    /// point (control plane, no trace; recorded by `divergence`).
+    DigestDivergence,
+    /// The stall watchdog saw no scheduler progress for its wall-clock
+    /// window (control plane, no trace; recorded by the health monitor).
+    Stall,
 }
 
 impl SpanKind {
@@ -126,6 +132,8 @@ impl SpanKind {
             SpanKind::TreeRepair => "tree_repair",
             SpanKind::UserView => "user_view",
             SpanKind::MemorySpike => "memory_spike",
+            SpanKind::DigestDivergence => "digest_divergence",
+            SpanKind::Stall => "stall",
         }
     }
 
@@ -142,6 +150,8 @@ impl SpanKind {
             "tree_repair" => Some(SpanKind::TreeRepair),
             "user_view" => Some(SpanKind::UserView),
             "memory_spike" => Some(SpanKind::MemorySpike),
+            "digest_divergence" => Some(SpanKind::DigestDivergence),
+            "stall" => Some(SpanKind::Stall),
             _ => None,
         }
     }
@@ -163,7 +173,7 @@ impl SpanKind {
 /// The closed vocabulary of span labels the workspace records. Labels are
 /// `&'static str` so recording never allocates; the Chrome-trace importer
 /// maps parsed strings back through this table.
-pub const LABELS: [&str; 28] = [
+pub const LABELS: [&str; 31] = [
     "publish",
     "adopt",
     "superseded",
@@ -191,6 +201,9 @@ pub const LABELS: [&str; 28] = [
     "abandoned",
     "convergence",
     "memory-spike",
+    "digest-divergence",
+    "stall",
+    "watchdog",
     "other",
 ];
 
@@ -726,7 +739,7 @@ impl SpanStore {
 
     /// Aggregates the whole store.
     pub fn summary(&self) -> StoreSummary {
-        const KINDS: [SpanKind; 10] = [
+        const KINDS: [SpanKind; 12] = [
             SpanKind::Publish,
             SpanKind::Hop,
             SpanKind::Adopt,
@@ -737,6 +750,8 @@ impl SpanStore {
             SpanKind::TreeRepair,
             SpanKind::UserView,
             SpanKind::MemorySpike,
+            SpanKind::DigestDivergence,
+            SpanKind::Stall,
         ];
         let mut counts = [0usize; KINDS.len()];
         let mut lags = Vec::new();
@@ -1034,6 +1049,8 @@ mod tests {
             SpanKind::TreeRepair,
             SpanKind::UserView,
             SpanKind::MemorySpike,
+            SpanKind::DigestDivergence,
+            SpanKind::Stall,
         ] {
             assert_eq!(SpanKind::parse(k.as_str()), Some(k));
         }

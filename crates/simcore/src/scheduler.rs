@@ -7,7 +7,9 @@
 use crate::queue::EventQueue;
 use crate::time::{SimDuration, SimTime};
 use cdnc_obs::profile::{self, Subsystem};
-use cdnc_obs::{Counter, Gauge, HandlerTimer, Histogram, MemProbe, Registry, Sampler, Tracer};
+use cdnc_obs::{
+    Counter, Digest, Gauge, HandlerTimer, Health, Histogram, MemProbe, Registry, Sampler, Tracer,
+};
 
 /// Drives a simulation: owns the clock and the pending-event queue.
 ///
@@ -54,6 +56,11 @@ pub struct Scheduler<E> {
     /// scheduler's share of the dispatch path (timeprof gate; inert
     /// unless the registry armed time profiling).
     obs_pop_timer: HandlerTimer,
+    /// Determinism audit trail: every pop folds its sim-time and the
+    /// post-pop queue depth (digest gate; inert unless armed).
+    obs_digest: Digest,
+    /// Run-health progress counter ticked with the clock (health gate).
+    obs_health: Health,
 }
 
 impl<E> Default for Scheduler<E> {
@@ -77,6 +84,8 @@ impl<E> Scheduler<E> {
             obs_pop_depth: Histogram::default(),
             obs_mem_probe: MemProbe::default(),
             obs_pop_timer: HandlerTimer::default(),
+            obs_digest: Digest::disabled(),
+            obs_health: Health::disabled(),
         }
     }
 
@@ -111,6 +120,11 @@ impl<E> Scheduler<E> {
         };
         self.obs_mem_probe = registry.mem_probe();
         self.obs_pop_timer = registry.handler_timer("sched_pop");
+        self.obs_digest = registry.digest();
+        self.obs_health = registry.health();
+        if let Some(h) = self.horizon {
+            self.obs_health.set_horizon(h.as_micros());
+        }
     }
 
     /// Creates a scheduler that silently stops yielding events past `horizon`
@@ -191,6 +205,10 @@ impl<E> Scheduler<E> {
         self.obs_tracer.tick(t.as_micros());
         self.obs_sampler.tick(t.as_micros());
         self.obs_mem_probe.tick(t.as_micros());
+        // Structural identity only: sim-time and post-pop backlog, both
+        // deterministic — never wall-clock readings.
+        self.obs_digest.fold("sched_pop", 0, t.as_micros(), &[self.queue.len() as u64]);
+        self.obs_health.tick(t.as_micros());
         Some((t, e))
     }
 }
@@ -350,5 +368,28 @@ mod tests {
         s.schedule_in(SimDuration::from_secs(2), Ev::B);
         let (t, _) = s.next().unwrap();
         assert_eq!(t, now + SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn digest_folds_each_pop_and_health_tracks_progress() {
+        let run = || {
+            let reg = cdnc_obs::Registry::enabled();
+            reg.enable_digest(cdnc_obs::DigestConfig::default());
+            reg.enable_health();
+            let mut s = Scheduler::with_horizon(SimTime::from_secs(60));
+            s.set_obs(&reg);
+            s.schedule_in(SimDuration::from_secs(1), Ev::A);
+            s.schedule_in(SimDuration::from_secs(2), Ev::B);
+            while s.next().is_some() {}
+            reg
+        };
+        let (a, b) = (run(), run());
+        let (da, db) = (a.digest_snapshot().unwrap(), b.digest_snapshot().unwrap());
+        assert_eq!(da.events, 2, "one fold per delivered event");
+        assert_eq!(da.chain, db.chain, "identical runs chain identically");
+        let h = a.health_snapshot().unwrap();
+        assert_eq!(h.events, 2);
+        assert_eq!(h.sim_time_us, SimTime::from_secs(2).as_micros());
+        assert_eq!(h.horizon_us, SimTime::from_secs(60).as_micros());
     }
 }
