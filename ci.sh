@@ -66,6 +66,36 @@ diff <(chaos_filter "$CHAOS_DIR/serial.txt") <(chaos_filter "$CHAOS_DIR/jobs4.tx
 cargo run -q -p cdnc-experiments --release -- obs-diff "$CHAOS_DIR/serial" "$CHAOS_DIR/jobs4"
 rm -rf "$CHAOS_DIR"
 
+echo "==> churn smoke: convergence, checkpoint/replay identity, serial vs --jobs 4 diff"
+CHURN_DIR="$(mktemp -d)"
+cargo run -q -p cdnc-experiments --release -- ext_churn --scale smoke --obs --obs-dir "$CHURN_DIR/serial" > "$CHURN_DIR/serial.txt"
+cargo run -q -p cdnc-experiments --release -- ext_churn --scale smoke --obs --obs-dir "$CHURN_DIR/jobs4" --jobs 4 > "$CHURN_DIR/jobs4.txt"
+# Every lifecycle cell — calm through the supernode-kill storm — must
+# satisfy the convergence invariant (zero present-but-stale replicas at
+# the horizon) despite leaves, crashes, and cold rejoins.
+if grep 'violations=' "$CHURN_DIR/serial.txt" | grep -qv 'violations= 0'; then
+  echo "ext_churn: convergence violations detected"; exit 1
+fi
+# Lifecycle scheduling, waiter handoff and failovers are bit-identical
+# across worker counts.
+churn_filter() {
+  grep -vF "$CHURN_DIR" "$1" | grep -vE 'worker thread\(s\)\]$|^  [A-Za-z0-9_/]+ +[0-9]+ +[0-9.]+s$|^  phase '
+}
+diff <(churn_filter "$CHURN_DIR/serial.txt") <(churn_filter "$CHURN_DIR/jobs4.txt")
+cargo run -q -p cdnc-experiments --release -- obs-diff "$CHURN_DIR/serial" "$CHURN_DIR/jobs4"
+# Checkpoint/restore self-test: pause the storm cell just before the
+# scheduled supernode-kill incident, replay it across the incident, and
+# require a bit-identical digest chain and end state vs an uninterrupted
+# run — for the full horizon and for an anomaly window.
+cargo run -q -p cdnc-experiments --release -- checkpoint "$CHURN_DIR/storm.ckpt" --scale smoke --flash --at 240
+cargo run -q -p cdnc-experiments --release -- replay "$CHURN_DIR/storm.ckpt" > "$CHURN_DIR/replay.txt"
+grep -q 'replay_chain_match=true' "$CHURN_DIR/replay.txt"
+grep -q 'replay_report_match=true' "$CHURN_DIR/replay.txt"
+cargo run -q -p cdnc-experiments --release -- replay "$CHURN_DIR/storm.ckpt" --until 420 > "$CHURN_DIR/replay_window.txt"
+grep -q 'replay_chain_match=true' "$CHURN_DIR/replay_window.txt"
+grep -q 'replay_report_match=true' "$CHURN_DIR/replay_window.txt"
+rm -rf "$CHURN_DIR"
+
 echo "==> request-plane smoke: workload curves, serial vs --jobs 4 diff, report section"
 WL_DIR="$(mktemp -d)"
 cargo run -q -p cdnc-experiments --release -- ext_workload --scale smoke --obs --obs-dir "$WL_DIR/serial" > "$WL_DIR/serial.txt"

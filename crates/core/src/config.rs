@@ -293,6 +293,121 @@ impl WorkloadPlan {
     }
 }
 
+/// How a churn event takes a node down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnKind {
+    /// Graceful departure: the node answers its waiting children, drains
+    /// reliable-delivery state, and leaves the structure cleanly. Its cache
+    /// survives the downtime (a planned maintenance window).
+    Leave,
+    /// Crash: the node vanishes mid-protocol and restarts cold — LRU cache
+    /// empty, consistency state reset to the initial version, invalidation
+    /// registrations lost. It reconverges through the survival protocol.
+    Crash,
+}
+
+/// What a scheduled churn event targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnTarget {
+    /// The `k`-th content server (0-based, wrapped into range).
+    Server(usize),
+    /// The `k`-th currently-elected supernode (wrapped into the supernode
+    /// list; falls back to `Server(k)` for schemes without supernodes).
+    Supernode(usize),
+}
+
+/// One scripted lifecycle event: take `target` down at `at` via `kind`,
+/// bring it back `downtime` later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledChurn {
+    /// When the node goes down (offset from t = 0).
+    pub at: SimDuration,
+    /// Which node.
+    pub target: ChurnTarget,
+    /// Graceful leave or crash.
+    pub kind: ChurnKind,
+    /// How long it stays gone before rejoining.
+    pub downtime: SimDuration,
+}
+
+/// The node lifecycle plan: deterministic membership churn — joins,
+/// graceful departures, and crash-restarts — layered over the running
+/// protocol.
+///
+/// Attaching a plan (`SimConfig::churn = Some(..)`) arms the lifecycle
+/// plane:
+///
+/// * each server independently runs `cycles_per_server × churn_fraction`
+///   expected **down/up cycles**, placed deterministically from the churn
+///   RNG stream across `[0, horizon − settle)`;
+/// * a cycle is **graceful** with probability `graceful_fraction` (the node
+///   hands its waiting children their answers, drains its retransmit state,
+///   and keeps its cache warm) and a **crash** otherwise (state loss: cold
+///   cache, initial content version, dropped invalidation registrations);
+/// * a departed supernode triggers the HAT failover immediately (graceful
+///   leave) or via the probe detector (crash), exactly like a fault-plane
+///   failure;
+/// * rejoining nodes re-admit through the structure (cluster re-attach or
+///   tree join), re-register, and re-synchronise with a conditional poll;
+/// * `scheduled` events fire verbatim on top of the stochastic cycles —
+///   the anomaly-replay hook (e.g. "kill supernode 0 at t = 300 s, flash
+///   restart 5 s later");
+/// * like the fault plane, everything is fenced `settle` before the
+///   horizon so the convergence invariant has a quiet tail to settle in.
+///
+/// With `churn: None` (the default) none of this machinery exists and the
+/// simulation is bit-identical to the pre-lifecycle behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnPlan {
+    /// Expected down/up cycles per participating server over the run.
+    pub cycles_per_server: f64,
+    /// Fraction of servers that churn at all, in `[0, 1]`.
+    pub churn_fraction: f64,
+    /// Mean downtime of a cycle, seconds (exponentially distributed,
+    /// clamped so the rejoin stays inside the fence).
+    pub mean_downtime_s: f64,
+    /// Probability a cycle is a graceful leave rather than a crash, in
+    /// `[0, 1]`.
+    pub graceful_fraction: f64,
+    /// Scripted events fired verbatim on top of the stochastic cycles.
+    pub scheduled: Vec<ScheduledChurn>,
+    /// Quiet tail before the horizon: no churn event (down or rejoin)
+    /// fires within `settle` of the end of the run.
+    pub settle: SimDuration,
+}
+
+impl Default for ChurnPlan {
+    fn default() -> Self {
+        ChurnPlan {
+            cycles_per_server: 1.0,
+            churn_fraction: 0.2,
+            mean_downtime_s: 60.0,
+            graceful_fraction: 0.5,
+            scheduled: Vec::new(),
+            settle: SimDuration::from_secs(240),
+        }
+    }
+}
+
+impl ChurnPlan {
+    /// A plan whose churn volume scales with `intensity` in `[0, 1]`:
+    /// `3 × intensity` expected cycles over `intensity` of the fleet, half
+    /// graceful. Intensity 0 arms the lifecycle machinery (and its
+    /// accounting) with zero stochastic churn.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `intensity` is outside `[0, 1]`.
+    pub fn at_intensity(intensity: f64) -> Self {
+        assert!((0.0..=1.0).contains(&intensity), "churn intensity {intensity} outside [0, 1]");
+        ChurnPlan {
+            cycles_per_server: 3.0 * intensity,
+            churn_fraction: intensity,
+            ..ChurnPlan::default()
+        }
+    }
+}
+
 /// Full configuration of one CDN-consistency simulation run.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -337,6 +452,10 @@ pub struct SimConfig {
     /// with delayed hits, staleness-served accounting). `None` (the
     /// default) is bit-identical to the pre-workload simulator.
     pub workload: Option<WorkloadPlan>,
+    /// Optional node lifecycle plan: joins, graceful departures, and
+    /// crash-restarts with state recovery. `None` (the default) is
+    /// bit-identical to the pre-lifecycle simulator.
+    pub churn: Option<ChurnPlan>,
     /// Heterogeneity of end-user visit frequencies (§6's "varying visit
     /// frequencies" factor): each user's visit interval is `user_ttl`
     /// scaled by a log-uniform factor in `[1/(1+s), 1+s]`. 0 reproduces the
@@ -368,6 +487,7 @@ impl SimConfig {
             failures: None,
             faults: None,
             workload: None,
+            churn: None,
             visit_spread: 0.0,
             network: NetworkConfig::default(),
             seed: 0,
@@ -428,6 +548,24 @@ mod tests {
             "horizon = start + last update + drain"
         );
         assert_eq!(cfg.users(), 850);
+    }
+
+    #[test]
+    fn churn_plan_scales_with_intensity() {
+        let quiet = ChurnPlan::at_intensity(0.0);
+        assert_eq!(quiet.cycles_per_server, 0.0);
+        assert_eq!(quiet.churn_fraction, 0.0);
+        let heavy = ChurnPlan::at_intensity(1.0);
+        assert_eq!(heavy.cycles_per_server, 3.0);
+        assert_eq!(heavy.churn_fraction, 1.0);
+        assert_eq!(heavy.graceful_fraction, 0.5);
+        assert!(heavy.scheduled.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn churn_intensity_out_of_range_rejected() {
+        let _ = ChurnPlan::at_intensity(1.5);
     }
 
     #[test]

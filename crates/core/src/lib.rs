@@ -32,10 +32,16 @@ pub mod sim;
 pub mod topology;
 pub mod tree;
 
-pub use config::{FailureConfig, FaultPlan, Scheme, SimConfig, WorkloadPlan};
+pub use config::{
+    ChurnKind, ChurnPlan, ChurnTarget, FailureConfig, FaultPlan, ScheduledChurn, Scheme, SimConfig,
+    WorkloadPlan,
+};
 pub use method::{AdaptiveMode, MethodKind};
 pub use metrics::{SimReport, WorkloadStats};
 pub use policy::{recommend, CostObjective, Recommendation, Requirement, WorkloadProfile};
-pub use sim::{run, run_with_obs};
+pub use sim::{
+    checkpoint, checkpoint_with_obs, resume, resume_until, resume_until_with_obs, resume_with_obs,
+    run, run_with_obs,
+};
 pub use topology::Topology;
 pub use tree::DistributionTree;

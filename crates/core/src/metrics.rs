@@ -34,6 +34,14 @@ pub struct WorkloadStats {
     pub origin_kb: f64,
     /// Catalog publish/perish churn events.
     pub churn_events: u64,
+    /// Delayed-hit waiters released as unanswered misses because their edge
+    /// departed (or crash-restarted) while the origin fetch was in flight
+    /// (lifecycle-churn runs only).
+    pub waiters_aborted: u64,
+    /// Origin-fetch payloads that landed at an edge whose in-flight entry
+    /// was gone — the edge departed mid-fetch; the payload is dropped but
+    /// its wire cost still counts (lifecycle-churn runs only).
+    pub orphan_fills: u64,
     /// Per-request user-perceived latency, seconds (hits are 0; delayed
     /// hits and misses wait for their fill). Requests whose fill was still
     /// in flight at the horizon are not sampled.
@@ -123,6 +131,19 @@ pub struct SimReport {
     /// despite the fault plan's pre-horizon settle fence (fault-plan runs
     /// only; should be 0 — reported for honesty).
     pub convergence_violations: u64,
+    /// Servers re-admitted after a departure (lifecycle-churn runs only).
+    pub node_joins: u64,
+    /// Graceful server departures (lifecycle-churn runs only).
+    pub node_leaves: u64,
+    /// Server crashes whose restart came back cold (lifecycle-churn runs
+    /// only).
+    pub crash_restarts: u64,
+    /// Tracked deliveries abandoned immediately because their destination
+    /// had *departed* — left the system, not merely failed — so backing
+    /// off against it would be wasted wire (subset of
+    /// `abandoned_deliveries`; lifecycle-churn runs under a fault plan
+    /// only).
+    pub abandoned_to_departed: u64,
     /// Request-plane tallies (all-zero without a workload plan).
     pub workload: WorkloadStats,
 }
@@ -186,6 +207,10 @@ mod tests {
             failovers: 0,
             ttl_fallbacks: 0,
             convergence_violations: 0,
+            node_joins: 0,
+            node_leaves: 0,
+            crash_restarts: 0,
+            abandoned_to_departed: 0,
             workload: WorkloadStats::default(),
         }
     }

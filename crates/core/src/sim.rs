@@ -18,7 +18,7 @@
 //!   ancestors (the user's response waits for the fetch, which is why
 //!   Invalidation matches Push from the user's perspective, Fig. 14(b)).
 
-use crate::config::{FaultPlan, Scheme, SimConfig, WorkloadPlan};
+use crate::config::{ChurnKind, ChurnTarget, FaultPlan, Scheme, SimConfig, WorkloadPlan};
 use crate::method::{AdaptiveMode, MethodKind};
 use crate::metrics::{SimReport, WorkloadStats};
 use crate::topology::Topology;
@@ -26,8 +26,10 @@ use cdnc_geo::{IspId, WorldBuilder};
 use cdnc_net::{FaultPlane, Network, NodeId, Packet, PacketKind, PACKET_KINDS};
 use cdnc_obs::profile::{self, Subsystem};
 use cdnc_obs::{
-    Counter, Digest, Gauge, HandlerTimer, Histogram, Level, Registry, SpanKind, TraceCtx, Tracer,
+    Checkpoint, Counter, Digest, Gauge, HandlerTimer, Histogram, Level, Registry, SpanKind,
+    TraceCtx, Tracer,
 };
+use cdnc_simcore::ckpt::{CkptError, CkptReader, CkptWriter};
 use cdnc_simcore::stats::OnlineStats;
 use cdnc_simcore::{stream_tag, Scheduler, SimDuration, SimRng, SimTime};
 use cdnc_trace::SnapshotId;
@@ -81,6 +83,91 @@ pub fn run_with_obs(config: &SimConfig, obs: &Registry) -> SimReport {
     sim.run()
 }
 
+/// Runs `config` until simulation time `at` (inclusive) and serializes the
+/// paused simulation into a versioned checkpoint artifact.
+///
+/// The artifact captures the complete dynamic state — scheduler queue, RNG
+/// streams, node/tree/cache state, and the determinism-digest segment — so
+/// [`resume`] on the same configuration continues the run exactly where it
+/// stopped: the resumed report (and, with an armed digest, the audit chain)
+/// is bit-identical to an uninterrupted [`run`].
+pub fn checkpoint(config: &SimConfig, at: SimTime) -> String {
+    checkpoint_with_obs(config, &Registry::disabled(), at)
+}
+
+/// [`checkpoint`] with instrumentation recording into `obs`.
+pub fn checkpoint_with_obs(config: &SimConfig, obs: &Registry, at: SimTime) -> String {
+    let _prof = profile::scope(Subsystem::SimCore);
+    let mut sim = {
+        let _build = obs.span("sim_build");
+        CdnSimulation::new(config, obs)
+    };
+    let _run = obs.span("sim_events");
+    sim.run_until(at);
+    sim.ckpt_write()
+}
+
+/// Restores a [`checkpoint`] artifact on `config` and runs it to completion.
+///
+/// Errors when the artifact is malformed or was taken under a structurally
+/// different configuration (node/user counts, subsystem presence).
+pub fn resume(config: &SimConfig, artifact: &str) -> Result<SimReport, CkptError> {
+    resume_with_obs(config, &Registry::disabled(), artifact)
+}
+
+/// [`resume`] with instrumentation recording into `obs`. When `obs` has a
+/// determinism digest armed, the restored run continues the saved chain.
+pub fn resume_with_obs(
+    config: &SimConfig,
+    obs: &Registry,
+    artifact: &str,
+) -> Result<SimReport, CkptError> {
+    let _prof = profile::scope(Subsystem::SimCore);
+    let mut sim = {
+        let _build = obs.span("sim_build");
+        CdnSimulation::new(config, obs)
+    };
+    sim.ckpt_read(artifact)?;
+    let _run = obs.span("sim_events");
+    Ok(sim.run())
+}
+
+/// Restores a [`checkpoint`] artifact on `config`, continues the run until
+/// simulation time `until` (inclusive), and re-serializes the paused state
+/// into a fresh checkpoint artifact.
+///
+/// This is the anomaly-replay primitive: restore just before a suspect
+/// window, step through it, and capture the state on the far side. The
+/// returned artifact is bit-identical to [`checkpoint`] taken at `until`
+/// on an uninterrupted run.
+pub fn resume_until(
+    config: &SimConfig,
+    artifact: &str,
+    until: SimTime,
+) -> Result<String, CkptError> {
+    resume_until_with_obs(config, &Registry::disabled(), artifact, until)
+}
+
+/// [`resume_until`] with instrumentation recording into `obs`. When `obs`
+/// has a determinism digest armed, the restored run continues the saved
+/// chain.
+pub fn resume_until_with_obs(
+    config: &SimConfig,
+    obs: &Registry,
+    artifact: &str,
+    until: SimTime,
+) -> Result<String, CkptError> {
+    let _prof = profile::scope(Subsystem::SimCore);
+    let mut sim = {
+        let _build = obs.span("sim_build");
+        CdnSimulation::new(config, obs)
+    };
+    sim.ckpt_read(artifact)?;
+    let _run = obs.span("sim_events");
+    sim.run_until(until);
+    Ok(sim.ckpt_write())
+}
+
 #[derive(Debug, Clone)]
 enum Event {
     /// The provider publishes update `idx` of the sequence.
@@ -116,11 +203,22 @@ enum Event {
     Fill(NodeId, ObjectId, u32),
     /// Under a [`WorkloadPlan`]: one catalog publish/perish churn event.
     Churn,
+    /// Under a [`ChurnPlan`](crate::ChurnPlan): a server departs gracefully —
+    /// it hands off its waiters and drains its protocol state before going
+    /// dark.
+    NodeLeave(NodeId),
+    /// Under a [`ChurnPlan`](crate::ChurnPlan): a server crashes — it goes
+    /// dark instantly and loses its consistency state and cache.
+    NodeCrash(NodeId),
+    /// Under a [`ChurnPlan`](crate::ChurnPlan): a departed server comes
+    /// back and bootstraps — tree admission, uplink registration, and a
+    /// resync from its parent.
+    NodeJoin(NodeId),
 }
 
 /// Dispatch-timer labels, one per [`Event`] kind, indexed by
 /// [`Event::obs_idx`].
-const EVENT_TIMER_LABELS: [&str; 13] = [
+const EVENT_TIMER_LABELS: [&str; 16] = [
     "ev_publish",
     "ev_poll_timer",
     "ev_arrive",
@@ -134,6 +232,9 @@ const EVENT_TIMER_LABELS: [&str; 13] = [
     "ev_request",
     "ev_fill",
     "ev_churn",
+    "ev_node_leave",
+    "ev_node_crash",
+    "ev_node_join",
 ];
 
 impl Event {
@@ -153,6 +254,9 @@ impl Event {
             Event::Request(..) => 10,
             Event::Fill(..) => 11,
             Event::Churn => 12,
+            Event::NodeLeave(..) => 13,
+            Event::NodeCrash(..) => 14,
+            Event::NodeJoin(..) => 15,
         }
     }
 }
@@ -242,6 +346,148 @@ impl Msg {
             Msg::Tracked { inner, .. } => inner.set_ctx(new),
             _ => {}
         }
+    }
+
+    /// Serializes this message (variant tag + payload). Trace contexts are
+    /// observation-only and are not stored — a restored message carries
+    /// [`TraceCtx::NONE`], which never affects handlers or the determinism
+    /// digest (whose tags are context-independent).
+    fn ckpt_write(&self, w: &mut CkptWriter) {
+        match self {
+            Msg::Update { snap, modified_at, .. } => {
+                w.u64("msg", 0);
+                w.u64("a", u64::from(snap.0));
+                w.time("b", *modified_at);
+            }
+            Msg::Invalidate(snap, _) => {
+                w.u64("msg", 1);
+                w.u64("a", u64::from(snap.0));
+            }
+            Msg::Poll { from, have, conditional } => {
+                w.u64("msg", 2);
+                w.u64("a", u64::from(from.0));
+                w.u64("b", u64::from(have.0));
+                w.bool("c", *conditional);
+            }
+            Msg::Unchanged => w.u64("msg", 3),
+            Msg::SwitchMode { from, to_invalidation } => {
+                w.u64("msg", 4);
+                w.u64("a", u64::from(from.0));
+                w.bool("b", *to_invalidation);
+            }
+            Msg::TreeJoin { from, invalidation_mode } => {
+                w.u64("msg", 5);
+                w.u64("a", u64::from(from.0));
+                w.bool("b", *invalidation_mode);
+            }
+            Msg::Tracked { id, from, inner } => {
+                w.u64("msg", 6);
+                w.u64("a", *id);
+                w.u64("b", u64::from(from.0));
+                inner.ckpt_write(w);
+            }
+            Msg::Ack { id } => {
+                w.u64("msg", 7);
+                w.u64("a", *id);
+            }
+        }
+    }
+
+    /// Restores a message written by [`Msg::ckpt_write`].
+    fn ckpt_read(r: &mut CkptReader) -> Result<Msg, CkptError> {
+        Ok(match r.u64("msg")? {
+            0 => Msg::Update {
+                snap: SnapshotId(r.u64("a")? as u32),
+                modified_at: r.time("b")?,
+                ctx: TraceCtx::NONE,
+            },
+            1 => Msg::Invalidate(SnapshotId(r.u64("a")? as u32), TraceCtx::NONE),
+            2 => Msg::Poll {
+                from: NodeId(r.u64("a")? as u32),
+                have: SnapshotId(r.u64("b")? as u32),
+                conditional: r.bool("c")?,
+            },
+            3 => Msg::Unchanged,
+            4 => {
+                Msg::SwitchMode { from: NodeId(r.u64("a")? as u32), to_invalidation: r.bool("b")? }
+            }
+            5 => {
+                Msg::TreeJoin { from: NodeId(r.u64("a")? as u32), invalidation_mode: r.bool("b")? }
+            }
+            6 => Msg::Tracked {
+                id: r.u64("a")?,
+                from: NodeId(r.u64("b")? as u32),
+                inner: Box::new(Msg::ckpt_read(r)?),
+            },
+            7 => Msg::Ack { id: r.u64("a")? },
+            t => return Err(CkptError(format!("unknown message tag {t}"))),
+        })
+    }
+}
+
+impl Event {
+    /// Serializes this event (its [`Event::obs_idx`] as the variant tag,
+    /// then the payload).
+    fn ckpt_write(&self, w: &mut CkptWriter) {
+        w.usize("ev", self.obs_idx());
+        match self {
+            Event::Publish(idx) => w.u64("a", u64::from(*idx)),
+            Event::PollTimer(node, gen)
+            | Event::FetchTimeout(node, gen)
+            | Event::Heartbeat(node, gen)
+            | Event::Probe(node, gen) => {
+                w.u64("a", u64::from(node.0));
+                w.u64("b", *gen);
+            }
+            Event::Arrive(node, msg) => {
+                w.u64("a", u64::from(node.0));
+                msg.ckpt_write(w);
+            }
+            Event::UserVisit(u) | Event::Request(u) => w.u64("a", u64::from(*u)),
+            Event::Fail(node)
+            | Event::Recover(node)
+            | Event::NodeLeave(node)
+            | Event::NodeCrash(node)
+            | Event::NodeJoin(node) => w.u64("a", u64::from(node.0)),
+            Event::Retransmit(id, attempt) => {
+                w.u64("a", *id);
+                w.u64("b", u64::from(*attempt));
+            }
+            Event::Fill(edge, id, snap) => {
+                w.u64("a", u64::from(edge.0));
+                w.u64("b", u64::from(id.slot));
+                w.u64("c", u64::from(id.gen));
+                w.u64("d", u64::from(*snap));
+            }
+            Event::Churn => {}
+        }
+    }
+
+    /// Restores an event written by [`Event::ckpt_write`].
+    fn ckpt_read(r: &mut CkptReader) -> Result<Event, CkptError> {
+        Ok(match r.usize("ev")? {
+            0 => Event::Publish(r.u64("a")? as u32),
+            1 => Event::PollTimer(NodeId(r.u64("a")? as u32), r.u64("b")?),
+            2 => Event::Arrive(NodeId(r.u64("a")? as u32), Msg::ckpt_read(r)?),
+            3 => Event::UserVisit(r.u64("a")? as u32),
+            4 => Event::Fail(NodeId(r.u64("a")? as u32)),
+            5 => Event::Recover(NodeId(r.u64("a")? as u32)),
+            6 => Event::FetchTimeout(NodeId(r.u64("a")? as u32), r.u64("b")?),
+            7 => Event::Heartbeat(NodeId(r.u64("a")? as u32), r.u64("b")?),
+            8 => Event::Retransmit(r.u64("a")?, r.u64("b")? as u32),
+            9 => Event::Probe(NodeId(r.u64("a")? as u32), r.u64("b")?),
+            10 => Event::Request(r.u64("a")? as u32),
+            11 => {
+                let edge = NodeId(r.u64("a")? as u32);
+                let id = ObjectId { slot: r.u64("b")? as u32, gen: r.u64("c")? as u32 };
+                Event::Fill(edge, id, r.u64("d")? as u32)
+            }
+            12 => Event::Churn,
+            13 => Event::NodeLeave(NodeId(r.u64("a")? as u32)),
+            14 => Event::NodeCrash(NodeId(r.u64("a")? as u32)),
+            15 => Event::NodeJoin(NodeId(r.u64("a")? as u32)),
+            t => return Err(CkptError(format!("unknown event tag {t}"))),
+        })
     }
 }
 
@@ -374,6 +620,9 @@ struct SimObs {
     ev_request: Counter,
     ev_fill: Counter,
     ev_churn: Counter,
+    ev_node_leave: Counter,
+    ev_node_crash: Counter,
+    ev_node_join: Counter,
     /// Algorithm 1 transitions (paper lines 7–8 and 12–13).
     switch_to_invalidation: Counter,
     switch_to_ttl: Counter,
@@ -407,6 +656,9 @@ struct SimObs {
     ttl_fallbacks: Counter,
     msgs_lost_to_failed: Counter,
     convergence_violations: Counter,
+    /// Tracked deliveries abandoned immediately because their destination
+    /// departed (lifecycle churn; subset of `rtx_abandoned`).
+    abandoned_to_departed: Counter,
     /// Tracked deliveries currently awaiting an ack.
     pending_retransmits: Gauge,
     /// Request-plane (workload) instruments — all dark without a
@@ -418,6 +670,11 @@ struct SimObs {
     wl_evictions: Counter,
     wl_origin_fetches: Counter,
     wl_churn_events: Counter,
+    /// Delayed-hit waiters released as misses because their edge departed
+    /// mid-fetch, and origin-fetch payloads dropped at a departed edge
+    /// (lifecycle-churn runs only).
+    wl_waiters_aborted: Counter,
+    wl_orphan_fills: Counter,
     /// User-perceived request latency and staleness-served distributions,
     /// seconds (request-plane runs only).
     wl_latency_s: Histogram,
@@ -432,7 +689,7 @@ struct SimObs {
     /// Per-event-kind dispatch timers, indexed by [`Event::obs_idx`] —
     /// wall-clock handler cost where the scheduler hands events to the
     /// run loop (timeprof gate; inert unless armed).
-    ev_timers: [HandlerTimer; 13],
+    ev_timers: [HandlerTimer; 16],
     /// Per-message-kind dispatch timers for `on_arrive`, indexed by
     /// [`SimObs::msg_timer_idx`] (same gate).
     msg_timers: [HandlerTimer; 10],
@@ -517,6 +774,9 @@ impl SimObs {
             ev_request: registry.counter("sim_ev_request"),
             ev_fill: registry.counter("sim_ev_fill"),
             ev_churn: registry.counter("sim_ev_churn"),
+            ev_node_leave: registry.counter("sim_ev_node_leave"),
+            ev_node_crash: registry.counter("sim_ev_node_crash"),
+            ev_node_join: registry.counter("sim_ev_node_join"),
             switch_to_invalidation: registry.counter("sim_switch_to_invalidation"),
             switch_to_ttl: registry.counter("sim_switch_to_ttl"),
             orphan_reattach: registry.counter("sim_orphan_reattach"),
@@ -535,6 +795,7 @@ impl SimObs {
             ttl_fallbacks: registry.counter("sim_ttl_fallbacks"),
             msgs_lost_to_failed: registry.counter("sim_msgs_lost_to_failed"),
             convergence_violations: registry.counter("sim_convergence_violations"),
+            abandoned_to_departed: registry.counter("sim_abandoned_to_departed"),
             pending_retransmits: registry.gauge("sim_pending_retransmits"),
             wl_requests: registry.counter("wl_requests"),
             wl_hits: registry.counter("wl_hits"),
@@ -543,6 +804,8 @@ impl SimObs {
             wl_evictions: registry.counter("wl_evictions"),
             wl_origin_fetches: registry.counter("wl_origin_fetches"),
             wl_churn_events: registry.counter("wl_churn_events"),
+            wl_waiters_aborted: registry.counter("wl_waiters_aborted"),
+            wl_orphan_fills: registry.counter("wl_orphan_fills"),
             wl_latency_s: registry.histogram("wl_latency_s"),
             wl_staleness_served_s: registry.histogram("wl_staleness_served_s"),
             node_state_bytes: if registry.profiling_enabled() {
@@ -607,6 +870,9 @@ impl SimObs {
                 d.fold("ev_fill", edge.0, t, &[obj, u64::from(*snap)]);
             }
             Event::Churn => d.fold("ev_churn", 0, t, &[]),
+            Event::NodeLeave(node) => d.fold("ev_node_leave", node.0, t, &[]),
+            Event::NodeCrash(node) => d.fold("ev_node_crash", node.0, t, &[]),
+            Event::NodeJoin(node) => d.fold("ev_node_join", node.0, t, &[]),
         }
     }
 
@@ -742,10 +1008,23 @@ struct ChaosStats {
     lost_to_failed: u64,
     retransmits: u64,
     abandoned: u64,
+    abandoned_to_departed: u64,
     dup_suppressed: u64,
     failovers: u64,
     ttl_fallbacks: u64,
     convergence_violations: u64,
+}
+
+/// Node-lifecycle bookkeeping, allocated only when a
+/// [`ChurnPlan`](crate::ChurnPlan) is attached.
+#[derive(Debug)]
+struct LifecycleState {
+    /// Why each node is currently down (`None` = up). A `NodeJoin` for a
+    /// node with no recorded departure is stale and ignored.
+    down_kind: Vec<Option<ChurnKind>>,
+    joins: u64,
+    leaves: u64,
+    crashes: u64,
 }
 
 struct CdnSimulation<'a> {
@@ -768,6 +1047,8 @@ struct CdnSimulation<'a> {
     clusters: Option<ClusterState>,
     /// Request-plane machinery (`Some` iff `config.workload` is).
     workload: Option<WorkloadState>,
+    /// Node-lifecycle machinery (`Some` iff `config.churn` is).
+    lifecycle: Option<LifecycleState>,
     chaos: ChaosStats,
     obs: SimObs,
 }
@@ -948,6 +1229,81 @@ impl<'a> CdnSimulation<'a> {
                 stats: WorkloadStats::default(),
             });
         }
+        // Node-lifecycle churn: a dedicated stream (`seed ^ CHURN`) and
+        // plan-gated scheduling, so `churn: None` runs stay bit-identical
+        // to the pre-lifecycle simulator. All departures are pre-expanded
+        // here (like failure injection) so the event sequence is a pure
+        // function of the configuration.
+        let mut lifecycle = None;
+        if let Some(plan) = &config.churn {
+            let mut churn_rng = SimRng::seed_from_u64(config.seed ^ stream_tag::CHURN);
+            // Fence every cycle `settle` before the horizon so the run has
+            // a quiet tail to reconverge in (mirrors the fault-plan fence).
+            let fence = SimTime::from_micros(
+                config.horizon().as_micros().saturating_sub(plan.settle.as_micros()),
+            );
+            let span_s = fence.since(SimTime::ZERO).as_secs_f64();
+            for &s in &topo.servers {
+                // Fork unconditionally so each server's sub-stream is
+                // independent of other servers' draws (stream-stable under
+                // plan parameter changes).
+                let mut r = churn_rng.fork();
+                if span_s <= 0.0 || r.uniform_f64() >= plan.churn_fraction {
+                    continue;
+                }
+                let expected = plan.cycles_per_server.max(0.0);
+                let mut cycles = expected.floor() as u64;
+                if r.uniform_f64() < expected.fract() {
+                    cycles += 1;
+                }
+                if cycles == 0 {
+                    continue;
+                }
+                let window_s = span_s / cycles as f64;
+                for c in 0..cycles {
+                    // Depart in the first half of the cycle's window so even
+                    // a long downtime draw fits before the next cycle.
+                    let offset_s = r.uniform_range(0.0, window_s * 0.5);
+                    let down_s = c as f64 * window_s + offset_s;
+                    let downtime_s = r
+                        .exponential(1.0 / plan.mean_downtime_s.max(1e-9))
+                        .clamp(1.0, (window_s - offset_s - 1.0).max(1.0));
+                    let graceful = r.uniform_f64() < plan.graceful_fraction;
+                    let down_at = SimTime::ZERO + SimDuration::from_secs_f64(down_s);
+                    let up_at = down_at + SimDuration::from_secs_f64(downtime_s);
+                    let depart = if graceful { Event::NodeLeave(s) } else { Event::NodeCrash(s) };
+                    sched.schedule_at(down_at, depart);
+                    sched.schedule_at(up_at, Event::NodeJoin(s));
+                }
+            }
+            // Deterministic scheduled events (e.g. a supernode kill) ride on
+            // top of the stochastic plan.
+            for ev in &plan.scheduled {
+                let node = match ev.target {
+                    ChurnTarget::Server(k) => topo.servers[k % topo.servers.len()],
+                    ChurnTarget::Supernode(k) => {
+                        if topo.supernodes.is_empty() {
+                            topo.servers[k % topo.servers.len()]
+                        } else {
+                            topo.supernodes[k % topo.supernodes.len()]
+                        }
+                    }
+                };
+                let down_at = SimTime::ZERO + ev.at;
+                let depart = match ev.kind {
+                    ChurnKind::Leave => Event::NodeLeave(node),
+                    ChurnKind::Crash => Event::NodeCrash(node),
+                };
+                sched.schedule_at(down_at, depart);
+                sched.schedule_at(down_at + ev.downtime, Event::NodeJoin(node));
+            }
+            lifecycle = Some(LifecycleState {
+                down_kind: vec![None; net.len()],
+                joins: 0,
+                leaves: 0,
+                crashes: 0,
+            });
+        }
 
         CdnSimulation {
             config,
@@ -963,13 +1319,32 @@ impl<'a> CdnSimulation<'a> {
             reliable,
             clusters,
             workload,
+            lifecycle,
             chaos: ChaosStats::default(),
             obs: SimObs::new(registry),
         }
     }
 
     fn run(mut self) -> SimReport {
-        while let Some((now, ev)) = self.sched.next() {
+        while self.step() {}
+        self.finish()
+    }
+
+    /// Runs scheduled events with time ≤ `at` (used by checkpointing to
+    /// stop mid-run without consuming the remaining queue).
+    fn run_until(&mut self, at: SimTime) {
+        while self.sched.peek_time().is_some_and(|t| t <= at) {
+            if !self.step() {
+                break;
+            }
+        }
+    }
+
+    /// Dispatches one scheduled event; `false` when the queue is drained
+    /// (or the horizon gate closed).
+    fn step(&mut self) -> bool {
+        let Some((now, ev)) = self.sched.next() else { return false };
+        {
             // Per-event-kind handler timing (observation-only wall clock;
             // one branch when timeprof is off). The guard owns its cell,
             // so the handlers below can borrow `self` mutably.
@@ -1044,8 +1419,25 @@ impl<'a> CdnSimulation<'a> {
                     self.obs.ev_churn.inc();
                     self.on_churn(now);
                 }
+                Event::NodeLeave(node) => {
+                    self.obs.ev_node_leave.inc();
+                    self.on_node_leave(now, node);
+                }
+                Event::NodeCrash(node) => {
+                    self.obs.ev_node_crash.inc();
+                    self.on_node_crash(now, node);
+                }
+                Event::NodeJoin(node) => {
+                    self.obs.ev_node_join.inc();
+                    self.on_node_join(now, node);
+                }
             }
         }
+        true
+    }
+
+    /// End-of-run accounting once the queue has drained.
+    fn finish(mut self) -> SimReport {
         // Structural profiling probe: per-node / per-user resident state
         // size at quiesce. The handles are dark unless the registry has
         // profiling enabled, so this is one branch per node otherwise.
@@ -1075,7 +1467,7 @@ impl<'a> CdnSimulation<'a> {
         let mut violations = 0u64;
         for &s in &self.topo.servers {
             let state = &self.nodes[s.index()];
-            if state.absent || state.content >= head {
+            if state.absent || self.net.is_departed(s) || state.content >= head {
                 continue;
             }
             violations += 1;
@@ -1192,6 +1584,26 @@ impl<'a> CdnSimulation<'a> {
         };
         if p.attempts != attempt {
             return; // a newer timer owns this delivery
+        }
+        if self.net.is_departed(p.dst) {
+            // The destination *departed* (left the system, not a transient
+            // failure window): backing off against it is wasted wire, so
+            // the delivery is abandoned immediately. A later rejoin
+            // reconverges through its bootstrap resync.
+            let p = rel.pending.remove(&id).expect("present");
+            self.obs.pending_retransmits.sub(1);
+            self.chaos.abandoned += 1;
+            self.chaos.abandoned_to_departed += 1;
+            self.obs.rtx_abandoned.inc();
+            self.obs.abandoned_to_departed.inc();
+            self.obs.tracer.child(
+                p.msg.trace_ctx(),
+                SpanKind::Lost,
+                p.dst.index() as u32,
+                now.as_micros(),
+                "departed",
+            );
+            return;
         }
         if p.attempts >= rel.plan.max_retransmits {
             // Give up: the delivery is abandoned (it may still converge
@@ -1478,6 +1890,16 @@ impl<'a> CdnSimulation<'a> {
         self.obs.inflight[PacketKind::OriginFetch as usize].sub(1);
         self.net.mark_delivered(PacketKind::OriginFetch, wl.plan.object_kb);
         wl.stats.origin_kb += wl.plan.object_kb;
+        if !wl.caches[edge.index()].is_fetching(id) {
+            // The edge departed (or crash-restarted cold) while this fetch
+            // was in flight; its waiters were already released as aborted
+            // misses, so the payload is dropped — but it still crossed the
+            // wire, hence the accounting above stays.
+            wl.stats.orphan_fills += 1;
+            self.obs.wl_orphan_fills.inc();
+            self.workload = Some(wl);
+            return;
+        }
         let (waiters, evicted) = wl.caches[edge.index()].fill(id, snap, now);
         if evicted.is_some() {
             wl.stats.evictions += 1;
@@ -2025,6 +2447,13 @@ impl<'a> CdnSimulation<'a> {
         // Open tracked deliveries FROM the failed node die with its
         // protocol state (deliveries TO it stay pending: retransmits keep
         // trying, and may land after it recovers).
+        self.drain_reliable_from(node);
+        self.repair_tree_around(now, node);
+    }
+
+    /// Drops every open tracked delivery originated by `node` (its
+    /// protocol state is gone with it).
+    fn drain_reliable_from(&mut self, node: NodeId) {
         if let Some(rel) = &mut self.reliable {
             let mut dropped = 0u64;
             rel.pending.retain(|_, p| {
@@ -2037,6 +2466,12 @@ impl<'a> CdnSimulation<'a> {
             });
             self.obs.pending_retransmits.sub(dropped);
         }
+    }
+
+    /// Removes `node` from the distribution tree (if it is a member) and
+    /// re-attaches its orphans, each re-attachment costing one structure-
+    /// maintenance message and a re-synchronising conditional poll.
+    fn repair_tree_around(&mut self, now: SimTime, node: NodeId) {
         let in_tree = self.tree.as_ref().is_some_and(|t| t.contains(node));
         if in_tree {
             let locations: Vec<cdnc_geo::GeoPoint> =
@@ -2080,9 +2515,22 @@ impl<'a> CdnSimulation<'a> {
         if !self.nodes[node.index()].absent {
             return;
         }
+        if self.lifecycle.as_ref().is_some_and(|lc| lc.down_kind[node.index()].is_some()) {
+            // The node *departed* under the lifecycle plan while this
+            // failure-injection recovery was pending; only its NodeJoin
+            // brings it back.
+            return;
+        }
         self.nodes[node.index()].absent = false;
         self.net.reset_uplink(node, now);
         self.nodes[node.index()].awaiting_probe = None;
+        self.readmit(now, node);
+    }
+
+    /// Re-admits a returning server into the consistency structure: HAT
+    /// cluster re-attachment (leadership may have moved while it was away),
+    /// or a distribution-tree rejoin, followed by a resync poll.
+    fn readmit(&mut self, now: SimTime, node: NodeId) {
         // Under HAT degradation, recovering cluster members (including a
         // demoted ex-supernode) re-attach to the cluster's *current*
         // supernode instead of joining the supernode tree — failover may
@@ -2148,6 +2596,178 @@ impl<'a> CdnSimulation<'a> {
         }
     }
 
+    // --- node lifecycle (churn plan) ---------------------------------------
+
+    /// A server departs gracefully: it first hands its waiters off (children
+    /// get its current content, queued users observe it), then goes dark,
+    /// drains its protocol state, and is removed from the update structure —
+    /// via supernode failover when it led a HAT cluster.
+    fn on_node_leave(&mut self, now: SimTime, node: NodeId) {
+        if self.nodes[node.index()].absent || self.net.is_departed(node) {
+            return;
+        }
+        let lc = self.lifecycle.as_mut().expect("churn events need a plan");
+        lc.leaves += 1;
+        lc.down_kind[node.index()] = Some(ChurnKind::Leave);
+        self.obs.tracer.control(SpanKind::NodeChurn, node.index() as u32, now.as_micros(), "leave");
+        self.obs.registry.event(Level::Info, "node_leave", || {
+            cdnc_obs::Json::obj()
+                .field("node", node.index())
+                .field("t_s", now.since(SimTime::ZERO).as_secs_f64())
+        });
+        // Graceful hand-off BEFORE going dark (an absent node sends
+        // nothing): waiting children get our content, waiting users
+        // observe it.
+        let content = self.nodes[node.index()].content;
+        let modified_at = self.nodes[node.index()].content_modified_at;
+        let ctx = self.nodes[node.index()].content_ctx;
+        let waiting_children = std::mem::take(&mut self.nodes[node.index()].waiting_children);
+        for child in waiting_children {
+            self.send(now, node, child, Msg::Update { snap: content, modified_at, ctx });
+        }
+        let waiting_users = std::mem::take(&mut self.nodes[node.index()].waiting_users);
+        for u in waiting_users {
+            self.observe(u, node, content, now);
+        }
+        self.nodes[node.index()].absent = true;
+        self.nodes[node.index()].fetch_pending = false;
+        self.nodes[node.index()].awaiting_probe = None;
+        self.nodes[node.index()].timer_gen += 1;
+        self.net.depart(node, now);
+        self.drain_reliable_from(node);
+        self.depart_structure(now, node, true);
+        self.abort_edge_fetches(node, false);
+    }
+
+    /// A server crashes: it goes dark instantly (no hand-off) and its
+    /// consistency state is lost — the eventual restart comes back with a
+    /// cold cache and no memory of versions, invalidations, or mode.
+    fn on_node_crash(&mut self, now: SimTime, node: NodeId) {
+        if self.nodes[node.index()].absent || self.net.is_departed(node) {
+            return;
+        }
+        let lc = self.lifecycle.as_mut().expect("churn events need a plan");
+        lc.crashes += 1;
+        lc.down_kind[node.index()] = Some(ChurnKind::Crash);
+        self.obs.tracer.control(SpanKind::NodeChurn, node.index() as u32, now.as_micros(), "crash");
+        self.obs.registry.event(Level::Warn, "node_crash", || {
+            cdnc_obs::Json::obj()
+                .field("node", node.index())
+                .field("t_s", now.since(SimTime::ZERO).as_secs_f64())
+        });
+        // No hand-off: queued children are dropped; queued users time out
+        // against the cached copy (like a plain failure).
+        self.nodes[node.index()].waiting_children.clear();
+        let snap = self.nodes[node.index()].content;
+        let orphaned_users = std::mem::take(&mut self.nodes[node.index()].waiting_users);
+        for u in orphaned_users {
+            self.observe(u, node, snap, now);
+        }
+        self.nodes[node.index()].absent = true;
+        self.nodes[node.index()].fetch_pending = false;
+        self.nodes[node.index()].awaiting_probe = None;
+        self.nodes[node.index()].timer_gen += 1;
+        self.net.depart(node, now);
+        self.drain_reliable_from(node);
+        // State loss: version, staleness knowledge, adaptive estimate, and
+        // downstream registrations all evaporate with the process.
+        if self.nodes[node.index()].known_stale.take().is_some() {
+            self.obs.stale_replicas.sub(1);
+        }
+        {
+            let state = &mut self.nodes[node.index()];
+            state.content = SnapshotId(0);
+            state.content_modified_at = SimTime::ZERO;
+            state.content_ctx = TraceCtx::NONE;
+            state.adaptive_interval_s = 0.0;
+            state.last_invalidated = SnapshotId(0);
+            state.inval_registry.clear();
+        }
+        if self.topo.method_of(node) == Some(MethodKind::SelfAdaptive)
+            && self.nodes[node.index()].mode == AdaptiveMode::Invalidation
+        {
+            self.obs.inval_mode_nodes.sub(1);
+            self.nodes[node.index()].mode = AdaptiveMode::Ttl;
+        }
+        self.depart_structure(now, node, false);
+        self.abort_edge_fetches(node, true);
+    }
+
+    /// A departed server returns: it re-enters the network, bootstraps into
+    /// the update structure (tree admission + uplink registration + resync
+    /// from its parent), and restarts its timer chains. After a crash the
+    /// node is cold — its resync fetches everything anew.
+    fn on_node_join(&mut self, now: SimTime, node: NodeId) {
+        let Some(kind) = self.lifecycle.as_mut().and_then(|lc| lc.down_kind[node.index()].take())
+        else {
+            return; // never departed (a duplicate or superseded join)
+        };
+        self.lifecycle.as_mut().expect("checked above").joins += 1;
+        self.obs.tracer.control(SpanKind::NodeChurn, node.index() as u32, now.as_micros(), "join");
+        self.obs.registry.event(Level::Info, "node_join", || {
+            cdnc_obs::Json::obj()
+                .field("node", node.index())
+                .field("cold", kind == ChurnKind::Crash)
+                .field("t_s", now.since(SimTime::ZERO).as_secs_f64())
+        });
+        self.nodes[node.index()].absent = false;
+        self.nodes[node.index()].awaiting_probe = None;
+        self.net.rejoin(node, now);
+        self.readmit(now, node);
+        // Restart the node's timer chains: polling (or the invalidation-
+        // mode heartbeat) and, under a fault plan, the probe detector.
+        self.nodes[node.index()].timer_gen += 1;
+        let gen = self.nodes[node.index()].timer_gen;
+        let inval_mode = self.expects_invalidations(node);
+        if self.topo.method_of(node).is_some_and(MethodKind::polls) && !inval_mode {
+            self.sched.schedule_at(now + self.config.server_ttl, Event::PollTimer(node, gen));
+        } else if inval_mode && (self.config.failures.is_some() || self.config.faults.is_some()) {
+            self.sched.schedule_at(now + self.config.server_ttl * 5, Event::Heartbeat(node, gen));
+        }
+        if let Some(rel) = &self.reliable {
+            let interval = rel.plan.probe_interval;
+            self.nodes[node.index()].probe_gen += 1;
+            let pgen = self.nodes[node.index()].probe_gen;
+            self.sched.schedule_at(now + interval, Event::Probe(node, pgen));
+        }
+    }
+
+    /// Removes a departed server from the update structure. A graceful
+    /// departure of a HAT cluster's supernode hands leadership off
+    /// proactively (failover); everything else — including a crashed
+    /// supernode, whose loss only the probe detector notices — is repaired
+    /// like a failure.
+    fn depart_structure(&mut self, now: SimTime, node: NodeId, graceful: bool) {
+        let led_cluster = self
+            .clusters
+            .as_ref()
+            .and_then(|cl| cl.cluster_of[node.index()].filter(|&c| cl.supernode[c] == node));
+        if graceful && self.reliable.is_some() {
+            if let Some(c) = led_cluster {
+                self.failover(now, c);
+                return;
+            }
+        }
+        self.repair_tree_around(now, node);
+    }
+
+    /// Releases every delayed-hit waiter queued behind `node`'s in-flight
+    /// origin fetches as an unanswered miss (the edge died mid-fetch); a
+    /// cold restart additionally drops the cached entries.
+    fn abort_edge_fetches(&mut self, node: NodeId, cold: bool) {
+        let Some(wl) = self.workload.as_mut() else { return };
+        let aborted = if cold {
+            wl.caches[node.index()].cold_restart()
+        } else {
+            wl.caches[node.index()].abort_inflight()
+        };
+        let n = aborted.len() as u64;
+        if n > 0 {
+            wl.stats.waiters_aborted += n;
+            self.obs.wl_waiters_aborted.add(n);
+        }
+    }
+
     fn observe(&mut self, u: u32, server: NodeId, snap: SnapshotId, now: SimTime) {
         // The view descends causally from the served content's provenance
         // (inert when that content predates tracing or tracing is off).
@@ -2172,6 +2792,475 @@ impl<'a> CdnSimulation<'a> {
         } else {
             user.seen_max = snap;
         }
+    }
+
+    /// Serializes the complete dynamic simulation state — scheduler clock
+    /// and pending queue, every RNG stream, per-node and per-user protocol
+    /// state, reliable-delivery ledger, cluster/tree/topology wiring,
+    /// request-plane caches, network backlogs, lifecycle bookkeeping, and
+    /// the determinism-digest segment — into a versioned text artifact.
+    ///
+    /// Static structure (node placement, latency model, plan parameters) is
+    /// *not* stored: restore reconstructs it from the same [`SimConfig`] and
+    /// overlays the dynamic state, so an artifact is only meaningful
+    /// together with its configuration.
+    fn ckpt_write(&self) -> String {
+        let mut w = CkptWriter::new("cdn-sim");
+        // Scheduler: clock, processed count, and the full pending queue in
+        // deterministic pop order.
+        let (now, processed, entries, next_seq) = self.sched.state();
+        w.time("sched_now", now);
+        w.u64("sched_processed", processed);
+        w.u64("sched_next_seq", next_seq);
+        w.usize("sched_entries", entries.len());
+        for (t, seq, ev) in entries {
+            w.time("ev_t", t);
+            w.u64("ev_seq", seq);
+            ev.ckpt_write(&mut w);
+        }
+        w.rng("sim_rng", &self.rng);
+        // Per-node protocol state (trace contexts are observation-only and
+        // restored as NONE).
+        w.usize("nodes", self.nodes.len());
+        for n in &self.nodes {
+            w.u64("n_content", u64::from(n.content.0));
+            w.u64("n_known_stale", n.known_stale.map_or(0, |s| u64::from(s.0) + 1));
+            w.bool("n_mode_inval", matches!(n.mode, AdaptiveMode::Invalidation));
+            w.bool("n_fetch_pending", n.fetch_pending);
+            w.u64("n_timer_gen", n.timer_gen);
+            w.u64("n_fetch_token", n.fetch_token);
+            w.bool("n_absent", n.absent);
+            w.time("n_modified_at", n.content_modified_at);
+            w.f64("n_adaptive_s", n.adaptive_interval_s);
+            w.usize("n_waiting_children", n.waiting_children.len());
+            for c in &n.waiting_children {
+                w.u64("n_wc", u64::from(c.0));
+            }
+            w.usize("n_waiting_users", n.waiting_users.len());
+            for &u in &n.waiting_users {
+                w.u64("n_wu", u64::from(u));
+            }
+            w.usize("n_inval_registry", n.inval_registry.len());
+            for c in &n.inval_registry {
+                w.u64("n_ir", u64::from(c.0));
+            }
+            w.u64("n_last_invalidated", u64::from(n.last_invalidated.0));
+            w.usize("n_pending_pubs", n.pending_pubs.len());
+            for (s, t) in &n.pending_pubs {
+                w.u64("n_pp_snap", u64::from(s.0));
+                w.time("n_pp_t", *t);
+            }
+            let (count, mean, m2, min, max) = n.lag.raw();
+            w.u64("n_lag_count", count);
+            w.f64("n_lag_mean", mean);
+            w.f64("n_lag_m2", m2);
+            w.f64("n_lag_min", min);
+            w.f64("n_lag_max", max);
+            w.bool("n_probe_wait", n.awaiting_probe.is_some());
+            w.time("n_probe_t", n.awaiting_probe.unwrap_or(SimTime::ZERO));
+            w.u64("n_probe_gen", n.probe_gen);
+        }
+        // Per-user state (home server and visit interval are derived from
+        // the configuration, not stored).
+        w.usize("users", self.users.len());
+        for u in &self.users {
+            w.u64("u_last_server", u64::from(u.last_server.0));
+            w.u64("u_seen_max", u64::from(u.seen_max.0));
+            w.usize("u_pending_pubs", u.pending_pubs.len());
+            for (s, t) in &u.pending_pubs {
+                w.u64("u_pp_snap", u64::from(s.0));
+                w.time("u_pp_t", *t);
+            }
+            let (count, mean, m2, min, max) = u.lag.raw();
+            w.u64("u_lag_count", count);
+            w.f64("u_lag_mean", mean);
+            w.f64("u_lag_m2", m2);
+            w.f64("u_lag_min", min);
+            w.f64("u_lag_max", max);
+            w.u64("u_inconsistent", u.inconsistent_obs);
+            w.u64("u_total", u.total_obs);
+        }
+        w.u64("provider_update_messages", self.provider_update_messages);
+        w.u64("server_update_messages", self.server_update_messages);
+        w.u64("chaos_lost", self.chaos.lost_to_failed);
+        w.u64("chaos_rtx", self.chaos.retransmits);
+        w.u64("chaos_abandoned", self.chaos.abandoned);
+        w.u64("chaos_abandoned_dep", self.chaos.abandoned_to_departed);
+        w.u64("chaos_dup", self.chaos.dup_suppressed);
+        w.u64("chaos_failovers", self.chaos.failovers);
+        w.u64("chaos_ttl_fallbacks", self.chaos.ttl_fallbacks);
+        w.u64("chaos_conv", self.chaos.convergence_violations);
+        // Reliable-delivery ledger (fault-plan runs only).
+        w.bool("reliable", self.reliable.is_some());
+        if let Some(rel) = &self.reliable {
+            w.u64("rel_next_id", rel.next_id);
+            w.usize("rel_pending", rel.pending.len());
+            for (id, p) in &rel.pending {
+                w.u64("rp_id", *id);
+                w.u64("rp_src", u64::from(p.src.0));
+                w.u64("rp_dst", u64::from(p.dst.0));
+                w.u64("rp_attempts", u64::from(p.attempts));
+                w.u64("rp_rto_us", p.rto.as_micros());
+                p.msg.ckpt_write(&mut w);
+            }
+            w.usize("rel_seen", rel.seen.len());
+            for set in &rel.seen {
+                w.usize("rs_len", set.len());
+                for id in set {
+                    w.u64("rs_id", *id);
+                }
+            }
+            w.rng("rel_jitter", &rel.jitter_rng);
+        }
+        // Cluster bookkeeping: only the supernode vector mutates (failover);
+        // membership is rebuilt from the checkpointed topology.
+        w.bool("clusters", self.clusters.is_some());
+        if let Some(cl) = &self.clusters {
+            w.usize("cl_supernodes", cl.supernode.len());
+            for sn in &cl.supernode {
+                w.u64("cl_sn", u64::from(sn.0));
+            }
+        }
+        self.topo.ckpt_write(&mut w);
+        w.bool("tree", self.tree.is_some());
+        if let Some(tree) = &self.tree {
+            tree.ckpt_write(&mut w);
+        }
+        // Request plane (publish times are derived from the configuration).
+        w.bool("workload", self.workload.is_some());
+        if let Some(wl) = &self.workload {
+            wl.catalog.ckpt_write(&mut w);
+            w.usize("wl_caches", wl.caches.len());
+            for c in &wl.caches {
+                c.ckpt_write(&mut w);
+            }
+            w.rng("wl_rng", &wl.rng);
+            w.u64("wl_requests", wl.stats.requests);
+            w.u64("wl_hits", wl.stats.hits);
+            w.u64("wl_delayed_hits", wl.stats.delayed_hits);
+            w.u64("wl_misses", wl.stats.misses);
+            w.u64("wl_evictions", wl.stats.evictions);
+            w.u64("wl_origin_fetches", wl.stats.origin_fetches);
+            w.f64("wl_origin_kb", wl.stats.origin_kb);
+            w.u64("wl_churn_events", wl.stats.churn_events);
+            w.u64("wl_waiters_aborted", wl.stats.waiters_aborted);
+            w.u64("wl_orphan_fills", wl.stats.orphan_fills);
+            w.usize("wl_latency", wl.stats.latency_s.len());
+            for &v in &wl.stats.latency_s {
+                w.f64("wl_lat", v);
+            }
+            w.usize("wl_staleness", wl.stats.staleness_served_s.len());
+            for &v in &wl.stats.staleness_served_s {
+                w.f64("wl_stale", v);
+            }
+        }
+        self.net.ckpt_write(&mut w);
+        // Lifecycle bookkeeping (churn-plan runs only).
+        w.bool("lifecycle", self.lifecycle.is_some());
+        if let Some(lc) = &self.lifecycle {
+            w.usize("lc_nodes", lc.down_kind.len());
+            for k in &lc.down_kind {
+                w.u64(
+                    "lc_down",
+                    match k {
+                        None => 0,
+                        Some(ChurnKind::Leave) => 1,
+                        Some(ChurnKind::Crash) => 2,
+                    },
+                );
+            }
+            w.u64("lc_joins", lc.joins);
+            w.u64("lc_leaves", lc.leaves);
+            w.u64("lc_crashes", lc.crashes);
+        }
+        // Determinism-digest segment, so a restored run continues the saved
+        // run's chain and the audit trail stays bit-identical.
+        match self.obs.registry.digest_local_state() {
+            Some((events, chain, stride, checkpoints)) => {
+                w.bool("digest", true);
+                w.u64("dg_events", events);
+                w.u64("dg_chain", chain);
+                w.u64("dg_stride", stride);
+                w.usize("dg_checkpoints", checkpoints.len());
+                for cp in &checkpoints {
+                    w.u64("dg_idx", cp.index);
+                    w.u64("dg_val", cp.chain);
+                }
+            }
+            None => w.bool("digest", false),
+        }
+        w.finish()
+    }
+
+    /// Restores state written by [`CdnSimulation::ckpt_write`] into this
+    /// freshly constructed simulation (same configuration).
+    ///
+    /// Errors when the artifact is malformed or disagrees with the
+    /// configuration about structure (node/user counts, subsystem
+    /// presence).
+    fn ckpt_read(&mut self, artifact: &str) -> Result<(), CkptError> {
+        let mut r = CkptReader::new(artifact, "cdn-sim")?;
+        let now = r.time("sched_now")?;
+        let processed = r.u64("sched_processed")?;
+        let next_seq = r.u64("sched_next_seq")?;
+        let n_entries = r.usize("sched_entries")?;
+        let mut entries = Vec::with_capacity(n_entries);
+        for _ in 0..n_entries {
+            let t = r.time("ev_t")?;
+            let seq = r.u64("ev_seq")?;
+            entries.push((t, seq, Event::ckpt_read(&mut r)?));
+        }
+        self.sched.restore_state(now, processed, entries, next_seq);
+        self.rng = r.rng("sim_rng")?;
+        let n = r.usize("nodes")?;
+        if n != self.nodes.len() {
+            return Err(CkptError(format!(
+                "simulation has {} nodes, checkpoint carries {n}",
+                self.nodes.len()
+            )));
+        }
+        for node in &mut self.nodes {
+            node.content = SnapshotId(r.u64("n_content")? as u32);
+            let stale = r.u64("n_known_stale")?;
+            node.known_stale = if stale == 0 { None } else { Some(SnapshotId((stale - 1) as u32)) };
+            node.mode = if r.bool("n_mode_inval")? {
+                AdaptiveMode::Invalidation
+            } else {
+                AdaptiveMode::Ttl
+            };
+            node.fetch_pending = r.bool("n_fetch_pending")?;
+            node.timer_gen = r.u64("n_timer_gen")?;
+            node.fetch_token = r.u64("n_fetch_token")?;
+            node.absent = r.bool("n_absent")?;
+            node.content_modified_at = r.time("n_modified_at")?;
+            node.adaptive_interval_s = r.f64("n_adaptive_s")?;
+            node.waiting_children.clear();
+            for _ in 0..r.usize("n_waiting_children")? {
+                node.waiting_children.push(NodeId(r.u64("n_wc")? as u32));
+            }
+            node.waiting_users.clear();
+            for _ in 0..r.usize("n_waiting_users")? {
+                node.waiting_users.push(r.u64("n_wu")? as u32);
+            }
+            node.inval_registry.clear();
+            for _ in 0..r.usize("n_inval_registry")? {
+                node.inval_registry.push(NodeId(r.u64("n_ir")? as u32));
+            }
+            node.last_invalidated = SnapshotId(r.u64("n_last_invalidated")? as u32);
+            node.pending_pubs.clear();
+            for _ in 0..r.usize("n_pending_pubs")? {
+                let snap = SnapshotId(r.u64("n_pp_snap")? as u32);
+                node.pending_pubs.push_back((snap, r.time("n_pp_t")?));
+            }
+            let count = r.u64("n_lag_count")?;
+            let mean = r.f64("n_lag_mean")?;
+            let m2 = r.f64("n_lag_m2")?;
+            let min = r.f64("n_lag_min")?;
+            let max = r.f64("n_lag_max")?;
+            node.lag = OnlineStats::from_raw(count, mean, m2, min, max);
+            node.content_ctx = TraceCtx::NONE;
+            let probe_wait = r.bool("n_probe_wait")?;
+            let probe_t = r.time("n_probe_t")?;
+            node.awaiting_probe = probe_wait.then_some(probe_t);
+            node.probe_gen = r.u64("n_probe_gen")?;
+        }
+        let n_users = r.usize("users")?;
+        if n_users != self.users.len() {
+            return Err(CkptError(format!(
+                "simulation has {} users, checkpoint carries {n_users}",
+                self.users.len()
+            )));
+        }
+        for user in &mut self.users {
+            user.last_server = NodeId(r.u64("u_last_server")? as u32);
+            user.seen_max = SnapshotId(r.u64("u_seen_max")? as u32);
+            user.pending_pubs.clear();
+            for _ in 0..r.usize("u_pending_pubs")? {
+                let snap = SnapshotId(r.u64("u_pp_snap")? as u32);
+                user.pending_pubs.push_back((snap, r.time("u_pp_t")?));
+            }
+            let count = r.u64("u_lag_count")?;
+            let mean = r.f64("u_lag_mean")?;
+            let m2 = r.f64("u_lag_m2")?;
+            let min = r.f64("u_lag_min")?;
+            let max = r.f64("u_lag_max")?;
+            user.lag = OnlineStats::from_raw(count, mean, m2, min, max);
+            user.inconsistent_obs = r.u64("u_inconsistent")?;
+            user.total_obs = r.u64("u_total")?;
+        }
+        self.provider_update_messages = r.u64("provider_update_messages")?;
+        self.server_update_messages = r.u64("server_update_messages")?;
+        self.chaos.lost_to_failed = r.u64("chaos_lost")?;
+        self.chaos.retransmits = r.u64("chaos_rtx")?;
+        self.chaos.abandoned = r.u64("chaos_abandoned")?;
+        self.chaos.abandoned_to_departed = r.u64("chaos_abandoned_dep")?;
+        self.chaos.dup_suppressed = r.u64("chaos_dup")?;
+        self.chaos.failovers = r.u64("chaos_failovers")?;
+        self.chaos.ttl_fallbacks = r.u64("chaos_ttl_fallbacks")?;
+        self.chaos.convergence_violations = r.u64("chaos_conv")?;
+        let has_reliable = r.bool("reliable")?;
+        match (&mut self.reliable, has_reliable) {
+            (Some(rel), true) => {
+                rel.next_id = r.u64("rel_next_id")?;
+                rel.pending.clear();
+                for _ in 0..r.usize("rel_pending")? {
+                    let id = r.u64("rp_id")?;
+                    let src = NodeId(r.u64("rp_src")? as u32);
+                    let dst = NodeId(r.u64("rp_dst")? as u32);
+                    let attempts = r.u64("rp_attempts")? as u32;
+                    let rto = SimDuration::from_micros(r.u64("rp_rto_us")?);
+                    let msg = Msg::ckpt_read(&mut r)?;
+                    rel.pending.insert(id, PendingDelivery { src, dst, msg, attempts, rto });
+                }
+                let n_seen = r.usize("rel_seen")?;
+                if n_seen != rel.seen.len() {
+                    return Err(CkptError(format!(
+                        "reliable ledger has {} nodes, checkpoint carries {n_seen}",
+                        rel.seen.len()
+                    )));
+                }
+                for set in &mut rel.seen {
+                    set.clear();
+                    for _ in 0..r.usize("rs_len")? {
+                        set.insert(r.u64("rs_id")?);
+                    }
+                }
+                rel.jitter_rng = r.rng("rel_jitter")?;
+            }
+            (None, false) => {}
+            (present, _) => {
+                return Err(CkptError(format!(
+                    "fault plan {} here but {} in the checkpoint",
+                    if present.is_some() { "attached" } else { "absent" },
+                    if has_reliable { "present" } else { "absent" },
+                )));
+            }
+        }
+        let has_clusters = r.bool("clusters")?;
+        match (&mut self.clusters, has_clusters) {
+            (Some(cl), true) => {
+                let n_sn = r.usize("cl_supernodes")?;
+                if n_sn != cl.supernode.len() {
+                    return Err(CkptError(format!(
+                        "cluster map has {} supernodes, checkpoint carries {n_sn}",
+                        cl.supernode.len()
+                    )));
+                }
+                for sn in &mut cl.supernode {
+                    *sn = NodeId(r.u64("cl_sn")? as u32);
+                }
+            }
+            (None, false) => {}
+            (present, _) => {
+                return Err(CkptError(format!(
+                    "cluster state {} here but {} in the checkpoint",
+                    if present.is_some() { "attached" } else { "absent" },
+                    if has_clusters { "present" } else { "absent" },
+                )));
+            }
+        }
+        self.topo.ckpt_read(&mut r)?;
+        let has_tree = r.bool("tree")?;
+        match (&mut self.tree, has_tree) {
+            (Some(tree), true) => tree.ckpt_read(&mut r)?,
+            (None, false) => {}
+            (present, _) => {
+                return Err(CkptError(format!(
+                    "distribution tree {} here but {} in the checkpoint",
+                    if present.is_some() { "attached" } else { "absent" },
+                    if has_tree { "present" } else { "absent" },
+                )));
+            }
+        }
+        let has_workload = r.bool("workload")?;
+        match (&mut self.workload, has_workload) {
+            (Some(wl), true) => {
+                wl.catalog.ckpt_read(&mut r)?;
+                let n_caches = r.usize("wl_caches")?;
+                if n_caches != wl.caches.len() {
+                    return Err(CkptError(format!(
+                        "workload has {} caches, checkpoint carries {n_caches}",
+                        wl.caches.len()
+                    )));
+                }
+                for c in &mut wl.caches {
+                    c.ckpt_read(&mut r)?;
+                }
+                wl.rng = r.rng("wl_rng")?;
+                wl.stats.requests = r.u64("wl_requests")?;
+                wl.stats.hits = r.u64("wl_hits")?;
+                wl.stats.delayed_hits = r.u64("wl_delayed_hits")?;
+                wl.stats.misses = r.u64("wl_misses")?;
+                wl.stats.evictions = r.u64("wl_evictions")?;
+                wl.stats.origin_fetches = r.u64("wl_origin_fetches")?;
+                wl.stats.origin_kb = r.f64("wl_origin_kb")?;
+                wl.stats.churn_events = r.u64("wl_churn_events")?;
+                wl.stats.waiters_aborted = r.u64("wl_waiters_aborted")?;
+                wl.stats.orphan_fills = r.u64("wl_orphan_fills")?;
+                wl.stats.latency_s.clear();
+                for _ in 0..r.usize("wl_latency")? {
+                    wl.stats.latency_s.push(r.f64("wl_lat")?);
+                }
+                wl.stats.staleness_served_s.clear();
+                for _ in 0..r.usize("wl_staleness")? {
+                    wl.stats.staleness_served_s.push(r.f64("wl_stale")?);
+                }
+            }
+            (None, false) => {}
+            (present, _) => {
+                return Err(CkptError(format!(
+                    "workload plan {} here but {} in the checkpoint",
+                    if present.is_some() { "attached" } else { "absent" },
+                    if has_workload { "present" } else { "absent" },
+                )));
+            }
+        }
+        self.net.ckpt_read(&mut r)?;
+        let has_lifecycle = r.bool("lifecycle")?;
+        match (&mut self.lifecycle, has_lifecycle) {
+            (Some(lc), true) => {
+                let n_lc = r.usize("lc_nodes")?;
+                if n_lc != lc.down_kind.len() {
+                    return Err(CkptError(format!(
+                        "lifecycle tracks {} nodes, checkpoint carries {n_lc}",
+                        lc.down_kind.len()
+                    )));
+                }
+                for k in &mut lc.down_kind {
+                    *k = match r.u64("lc_down")? {
+                        0 => None,
+                        1 => Some(ChurnKind::Leave),
+                        2 => Some(ChurnKind::Crash),
+                        t => return Err(CkptError(format!("unknown churn-kind tag {t}"))),
+                    };
+                }
+                lc.joins = r.u64("lc_joins")?;
+                lc.leaves = r.u64("lc_leaves")?;
+                lc.crashes = r.u64("lc_crashes")?;
+            }
+            (None, false) => {}
+            (present, _) => {
+                return Err(CkptError(format!(
+                    "churn plan {} here but {} in the checkpoint",
+                    if present.is_some() { "attached" } else { "absent" },
+                    if has_lifecycle { "present" } else { "absent" },
+                )));
+            }
+        }
+        if r.bool("digest")? {
+            let events = r.u64("dg_events")?;
+            let chain = r.u64("dg_chain")?;
+            let stride = r.u64("dg_stride")?;
+            let mut checkpoints = Vec::new();
+            for _ in 0..r.usize("dg_checkpoints")? {
+                let index = r.u64("dg_idx")?;
+                checkpoints.push(Checkpoint { index, chain: r.u64("dg_val")? });
+            }
+            // `false` just means this run's registry has no digest armed —
+            // the chain continuation is then irrelevant, not an error.
+            let _ = self.obs.registry.restore_digest_local(events, chain, stride, checkpoints);
+        }
+        r.done()
     }
 
     fn into_report(self) -> SimReport {
@@ -2205,6 +3294,10 @@ impl<'a> CdnSimulation<'a> {
             failovers: self.chaos.failovers,
             ttl_fallbacks: self.chaos.ttl_fallbacks,
             convergence_violations: self.chaos.convergence_violations,
+            node_joins: self.lifecycle.as_ref().map_or(0, |lc| lc.joins),
+            node_leaves: self.lifecycle.as_ref().map_or(0, |lc| lc.leaves),
+            crash_restarts: self.lifecycle.as_ref().map_or(0, |lc| lc.crashes),
+            abandoned_to_departed: self.chaos.abandoned_to_departed,
             workload: self.workload.map(|wl| wl.stats).unwrap_or_default(),
         }
     }
@@ -2745,6 +3838,204 @@ mod tests {
         }
     }
 
+    mod churn {
+        use super::*;
+        use crate::config::{ChurnPlan, ScheduledChurn};
+        use cdnc_obs::DigestConfig;
+
+        fn churny(scheme: Scheme, intensity: f64) -> SimConfig {
+            let mut cfg = small(scheme);
+            // Churn rides on the fault plane's survival protocol (acks,
+            // probes, convergence check); intensity 0 arms it cleanly.
+            cfg.faults = Some(FaultPlan::at_intensity(0.0));
+            cfg.churn = Some(ChurnPlan::at_intensity(intensity));
+            cfg
+        }
+
+        #[test]
+        fn churn_runs_are_deterministic_and_observation_only() {
+            let cfg = churny(Scheme::hat(), 0.8);
+            let plain = run(&cfg);
+            assert_eq!(plain, run(&cfg));
+            let reg = Registry::enabled();
+            reg.enable_tracing();
+            assert_eq!(plain, run_with_obs(&cfg, &reg), "instrumentation must be inert");
+            let mut reseeded = cfg.clone();
+            reseeded.seed = 99;
+            assert_ne!(plain, run(&reseeded));
+        }
+
+        #[test]
+        fn intensity_zero_arms_without_churning() {
+            let armed = run(&churny(Scheme::hat(), 0.0));
+            assert_eq!(armed.node_joins, 0);
+            assert_eq!(armed.node_leaves, 0);
+            assert_eq!(armed.crash_restarts, 0);
+            assert_eq!(armed.convergence_violations, 0);
+            // And the lifecycle machinery at zero volume is invisible: the
+            // report matches a `churn: None` run bit for bit.
+            let mut bare = churny(Scheme::hat(), 0.0);
+            bare.churn = None;
+            assert_eq!(armed, run(&bare));
+        }
+
+        #[test]
+        fn churn_converges_for_every_scheme() {
+            for scheme in [
+                Scheme::Unicast(MethodKind::Push),
+                Scheme::Unicast(MethodKind::Invalidation),
+                Scheme::Unicast(MethodKind::Ttl),
+                Scheme::Multicast { method: MethodKind::Push, arity: 2 },
+                Scheme::hat(),
+            ] {
+                let r = run(&churny(scheme, 0.8));
+                assert!(r.node_leaves + r.crash_restarts > 0, "{scheme} never churned");
+                assert_eq!(
+                    r.node_joins,
+                    r.node_leaves + r.crash_restarts,
+                    "{scheme} lost a rejoin"
+                );
+                assert_eq!(r.convergence_violations, 0, "{scheme} violated convergence");
+                assert_eq!(r.unresolved_lags, 0, "{scheme} lost updates");
+            }
+        }
+
+        #[test]
+        fn graceful_supernode_leave_fails_over_proactively() {
+            let mut cfg = churny(Scheme::hat(), 0.0);
+            cfg.servers = 48;
+            cfg.churn.as_mut().expect("set above").scheduled = vec![ScheduledChurn {
+                at: SimDuration::from_secs(120),
+                target: ChurnTarget::Supernode(0),
+                kind: ChurnKind::Leave,
+                downtime: SimDuration::from_secs(60),
+            }];
+            let r = run(&cfg);
+            assert_eq!(r.node_leaves, 1);
+            assert_eq!(r.node_joins, 1);
+            assert!(r.failovers > 0, "a departing cluster leader must hand off proactively");
+            assert_eq!(r.convergence_violations, 0);
+        }
+
+        #[test]
+        fn crashed_supernode_is_detected_and_the_cluster_recovers() {
+            // A crash gives no warning: only the probe detector notices the
+            // dead leader (the supernode-kill + flash-restart cell of the
+            // ext_churn sweep, in miniature).
+            let mut cfg = churny(Scheme::hat(), 0.0);
+            cfg.servers = 48;
+            cfg.churn.as_mut().expect("set above").scheduled = vec![ScheduledChurn {
+                at: SimDuration::from_secs(120),
+                target: ChurnTarget::Supernode(0),
+                kind: ChurnKind::Crash,
+                downtime: SimDuration::from_secs(90),
+            }];
+            let r = run(&cfg);
+            assert_eq!(r.crash_restarts, 1);
+            assert_eq!(r.node_joins, 1);
+            assert!(r.failovers > 0, "the probe detector must notice the dead supernode");
+            assert_eq!(r.convergence_violations, 0);
+        }
+
+        #[test]
+        fn graceful_and_crash_kinds_follow_the_plan() {
+            let mk = |graceful: f64| {
+                let mut cfg = small(Scheme::Unicast(MethodKind::Push));
+                cfg.faults = Some(FaultPlan::at_intensity(0.0));
+                cfg.churn =
+                    Some(ChurnPlan { graceful_fraction: graceful, ..ChurnPlan::at_intensity(0.8) });
+                run(&cfg)
+            };
+            let graceful = mk(1.0);
+            assert_eq!(graceful.crash_restarts, 0);
+            assert!(graceful.node_leaves > 0);
+            let crashy = mk(0.0);
+            assert_eq!(crashy.node_leaves, 0);
+            assert!(crashy.crash_restarts > 0);
+            assert_eq!(crashy.convergence_violations, 0, "cold restarts must reconverge");
+        }
+
+        #[test]
+        fn deliveries_to_departed_nodes_abandon_fast() {
+            let cfg = churny(Scheme::Unicast(MethodKind::Push), 1.0);
+            let reg = Registry::enabled();
+            let r = run_with_obs(&cfg, &reg);
+            assert!(r.abandoned_to_departed > 0, "pushes into departed servers must abandon");
+            assert!(r.abandoned_to_departed <= r.abandoned_deliveries);
+            let snap = reg.snapshot();
+            assert_eq!(snap.counter("sim_abandoned_to_departed"), r.abandoned_to_departed);
+            assert_eq!(snap.counter("sim_ev_node_leave"), r.node_leaves);
+            assert_eq!(snap.counter("sim_ev_node_crash"), r.crash_restarts);
+            assert_eq!(snap.counter("sim_ev_node_join"), r.node_joins);
+        }
+
+        #[test]
+        fn edge_death_mid_fetch_releases_waiters() {
+            // Big objects stretch origin fetches, so departures land while
+            // fills are in flight: waiters must come back as clean misses
+            // (counted) and the stray payloads as orphan fills, not hangs.
+            let mut cfg = churny(Scheme::Unicast(MethodKind::Ttl), 1.0);
+            cfg.workload = Some(WorkloadPlan {
+                request_rate_hz: 2.0,
+                object_kb: 2_000.0,
+                ..WorkloadPlan::default()
+            });
+            let reg = Registry::enabled();
+            let r = run_with_obs(&cfg, &reg);
+            let w = &r.workload;
+            assert!(w.waiters_aborted > 0, "churn under load must abort in-flight waiters");
+            let snap = reg.snapshot();
+            assert_eq!(snap.counter("wl_waiters_aborted"), w.waiters_aborted);
+            assert_eq!(snap.counter("wl_orphan_fills"), w.orphan_fills);
+            // Every request still resolves into exactly one serve class.
+            assert_eq!(w.requests, w.hits + w.delayed_hits + w.misses);
+        }
+
+        #[test]
+        fn checkpoint_resume_is_bit_identical() {
+            let mut cfg = churny(Scheme::hat(), 0.8);
+            cfg.workload = Some(WorkloadPlan::default());
+            let straight = run(&cfg);
+            for at_s in [0, 150, 300, 600] {
+                let art = checkpoint(&cfg, SimTime::from_secs(at_s));
+                let resumed = resume(&cfg, &art).expect("artifact restores");
+                assert_eq!(straight, resumed, "resume from t={at_s}s diverged");
+            }
+        }
+
+        #[test]
+        fn resumed_digest_chain_matches_straight_run() {
+            let cfg = churny(Scheme::hat(), 0.8);
+            let straight_reg = Registry::enabled();
+            straight_reg.enable_digest(DigestConfig::default());
+            let straight = run_with_obs(&cfg, &straight_reg);
+            let ckpt_reg = Registry::enabled();
+            ckpt_reg.enable_digest(DigestConfig::default());
+            let art = checkpoint_with_obs(&cfg, &ckpt_reg, SimTime::from_secs(300));
+            let resume_reg = Registry::enabled();
+            resume_reg.enable_digest(DigestConfig::default());
+            let resumed = resume_with_obs(&cfg, &resume_reg, &art).expect("artifact restores");
+            assert_eq!(straight, resumed);
+            let a = straight_reg.digest_snapshot().expect("digest armed");
+            let b = resume_reg.digest_snapshot().expect("digest armed");
+            assert_eq!(a.chain, b.chain, "audit chains must be bit-identical");
+            assert_eq!(a.events, b.events);
+        }
+
+        #[test]
+        fn resume_rejects_structural_mismatch() {
+            let cfg = churny(Scheme::hat(), 0.5);
+            let art = checkpoint(&cfg, SimTime::from_secs(100));
+            let mut bigger = cfg.clone();
+            bigger.servers += 8;
+            assert!(resume(&bigger, &art).is_err(), "node-count drift must be rejected");
+            let mut no_faults = cfg.clone();
+            no_faults.faults = None;
+            assert!(resume(&no_faults, &art).is_err(), "fault-plane drift must be rejected");
+            assert!(resume(&cfg, "garbage").is_err(), "malformed artifacts must be rejected");
+        }
+    }
+
     mod properties {
         use super::*;
         use proptest::prelude::*;
@@ -2898,6 +4189,9 @@ mod tests {
             "sim_ev_request",
             "sim_ev_fill",
             "sim_ev_churn",
+            "sim_ev_node_leave",
+            "sim_ev_node_crash",
+            "sim_ev_node_join",
         ]
         .iter()
         .map(|n| snap.counter(n))
@@ -3104,6 +4398,9 @@ mod tests {
                 "sim_ev_request",
                 "sim_ev_fill",
                 "sim_ev_churn",
+                "sim_ev_node_leave",
+                "sim_ev_node_crash",
+                "sim_ev_node_join",
             ]
             .iter()
             .map(|n| snap.counter(n))

@@ -10,6 +10,7 @@
 
 use cdnc_geo::GeoPoint;
 use cdnc_net::NodeId;
+use cdnc_simcore::ckpt::{CkptError, CkptReader, CkptWriter};
 use std::collections::HashMap;
 
 /// A rooted d-ary tree over a subset of network nodes.
@@ -237,6 +238,70 @@ impl DistributionTree {
         parent
     }
 
+    /// Serializes the tree structure into a checkpoint artifact. Parent
+    /// entries are written in ascending node order (the backing map is
+    /// unordered); child lists keep their live order, which repair and
+    /// substitution iterate, so a restored tree replays them identically.
+    pub fn ckpt_write(&self, w: &mut CkptWriter) {
+        w.u64("tree_root", self.root.0 as u64);
+        w.usize("tree_arity", self.arity);
+        let mut members: Vec<NodeId> = self.parent.keys().copied().collect();
+        members.sort_unstable();
+        w.usize("tree_members", members.len());
+        for m in &members {
+            w.u64("tree_node", m.0 as u64);
+            w.u64("tree_parent", self.parent[m].0 as u64);
+        }
+        let mut parents: Vec<NodeId> =
+            self.children.iter().filter(|(_, kids)| !kids.is_empty()).map(|(&p, _)| p).collect();
+        parents.sort_unstable();
+        w.usize("tree_branches", parents.len());
+        for p in &parents {
+            w.u64("tree_branch", p.0 as u64);
+            let kids = &self.children[p];
+            w.usize("tree_kids", kids.len());
+            for k in kids {
+                w.u64("tree_kid", k.0 as u64);
+            }
+        }
+    }
+
+    /// Restores structure written by [`DistributionTree::ckpt_write`],
+    /// replacing this tree's membership wholesale.
+    ///
+    /// Errors if the artifact's root or arity disagrees with this tree —
+    /// those are construction parameters, not dynamic state.
+    pub fn ckpt_read(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        let root = NodeId(r.u64("tree_root")? as u32);
+        let arity = r.usize("tree_arity")?;
+        if root != self.root || arity != self.arity {
+            return Err(CkptError(format!(
+                "tree is root {} arity {}, checkpoint carries root {root} arity {arity}",
+                self.root, self.arity
+            )));
+        }
+        let members = r.usize("tree_members")?;
+        let mut parent = HashMap::with_capacity(members);
+        for _ in 0..members {
+            let node = NodeId(r.u64("tree_node")? as u32);
+            parent.insert(node, NodeId(r.u64("tree_parent")? as u32));
+        }
+        let branches = r.usize("tree_branches")?;
+        let mut children: HashMap<NodeId, Vec<NodeId>> = HashMap::with_capacity(branches);
+        for _ in 0..branches {
+            let p = NodeId(r.u64("tree_branch")? as u32);
+            let kids = r.usize("tree_kids")?;
+            let mut list = Vec::with_capacity(kids);
+            for _ in 0..kids {
+                list.push(NodeId(r.u64("tree_kid")? as u32));
+            }
+            children.insert(p, list);
+        }
+        self.parent = parent;
+        self.children = children;
+        Ok(())
+    }
+
     /// All nodes in the subtree rooted at `node` (excluding `node` itself).
     fn subtree_of(&self, node: NodeId) -> Vec<NodeId> {
         let mut out = Vec::new();
@@ -445,6 +510,31 @@ mod tests {
     fn root_removal_rejected() {
         let (mut tree, locations) = world_tree(5, 2, 8);
         tree.remove_and_reattach(NodeId(0), move |id| locations[id.index()]);
+    }
+
+    #[test]
+    fn checkpoint_round_trip_preserves_repaired_structure() {
+        // Checkpoint after a repair, so the saved structure differs from
+        // anything the builder would produce.
+        let (mut tree, locations) = world_tree(60, 2, 14);
+        let internal = (1..=60u32)
+            .map(NodeId)
+            .find(|&n| !tree.children_of(n).is_empty())
+            .expect("some internal node exists");
+        let locs = locations.clone();
+        tree.remove_and_reattach(internal, move |id| locs[id.index()]);
+        let mut w = CkptWriter::new("test");
+        tree.ckpt_write(&mut w);
+        let text = w.finish();
+        let (mut restored, _) = world_tree(60, 2, 14);
+        let mut r = CkptReader::new(&text, "test").unwrap();
+        restored.ckpt_read(&mut r).unwrap();
+        r.done().unwrap();
+        assert_eq!(restored, tree, "restored tree is structurally identical");
+        // Wrong construction parameters are rejected.
+        let (mut quad, _) = world_tree(60, 4, 14);
+        let mut r = CkptReader::new(&text, "test").unwrap();
+        assert!(quad.ckpt_read(&mut r).is_err(), "arity mismatch rejected");
     }
 
     #[test]

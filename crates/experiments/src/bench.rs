@@ -33,10 +33,11 @@ use cdnc_obs::{Json, Registry};
 
 /// Stages of the bench workload: the shared crawl, one cheap §4 figure,
 /// the §4 figure with the largest simulation fan-out, a §5 HAT figure
-/// (tree topologies exercise different code paths), and the request-plane
+/// (tree topologies exercise different code paths), the request-plane
 /// extension (per-edge caches and the origin-fetch path are hot loops the
-/// other stages never touch).
-pub const BENCH_FIGURES: [&str; 4] = ["fig17", "fig20", "fig24", "ext_workload"];
+/// other stages never touch), and the node-lifecycle extension (churn
+/// events, waiter handoff, survival-protocol reconvergence).
+pub const BENCH_FIGURES: [&str; 5] = ["fig17", "fig20", "fig24", "ext_workload", "ext_churn"];
 
 /// Default `bench-diff` noise threshold: a stage regresses when its wall
 /// time exceeds the baseline's by more than this fraction.

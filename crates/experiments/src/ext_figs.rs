@@ -22,8 +22,8 @@ use crate::ctx::RunCtx;
 use crate::eval_figs::{run_batch_on, section4_updates_for};
 use crate::report::FigureReport;
 use cdnc_core::{
-    recommend, FailureConfig, FaultPlan, MethodKind, Requirement, Scheme, SimConfig, WorkloadPlan,
-    WorkloadProfile,
+    recommend, ChurnKind, ChurnPlan, ChurnTarget, FailureConfig, FaultPlan, MethodKind,
+    Requirement, ScheduledChurn, Scheme, SimConfig, WorkloadPlan, WorkloadProfile,
 };
 use cdnc_geo::IspId;
 use cdnc_net::{Brownout, IspPartition, NodeId, PacketKind};
@@ -153,6 +153,115 @@ pub fn ext_chaos(ctx: RunCtx, obs: &Registry) -> FigureReport {
             report.keyval(
                 format!("{}_{regime}_abandoned", r.scheme_label),
                 r.abandoned_deliveries as f64,
+            );
+            report.keyval(format!("{}_{regime}_failovers", r.scheme_label), r.failovers as f64);
+            report.keyval(
+                format!("{}_{regime}_violations", r.scheme_label),
+                r.convergence_violations as f64,
+            );
+        }
+    }
+    report
+}
+
+/// The schemes swept by [`ext_churn`].
+fn churn_schemes() -> [Scheme; 7] {
+    [
+        Scheme::Unicast(MethodKind::Push),
+        Scheme::Unicast(MethodKind::Invalidation),
+        Scheme::Unicast(MethodKind::Ttl),
+        Scheme::Multicast { method: MethodKind::Push, arity: 2 },
+        Scheme::Multicast { method: MethodKind::Invalidation, arity: 2 },
+        Scheme::Multicast { method: MethodKind::Ttl, arity: 2 },
+        Scheme::hat(),
+    ]
+}
+
+/// CLI keys for [`churn_schemes`], in the same order. These are the values
+/// `experiments checkpoint --scheme <key>` accepts and the spelling a
+/// replay artifact records.
+pub const CHURN_SCHEME_KEYS: [&str; 7] =
+    ["push", "invalidation", "ttl", "push-mcast", "invalidation-mcast", "ttl-mcast", "hat"];
+
+/// Resolves a [`CHURN_SCHEME_KEYS`] entry back to its scheme.
+pub fn churn_scheme(key: &str) -> Option<Scheme> {
+    let idx = CHURN_SCHEME_KEYS.iter().position(|k| *k == key)?;
+    Some(churn_schemes()[idx])
+}
+
+/// The configuration of one [`ext_churn`] cell. Shared with the
+/// `experiments checkpoint` / `replay` commands, so a replay artifact
+/// reproduces a sweep cell exactly.
+///
+/// Churn rides on the fault plane's survival protocol (acks, probes, the
+/// convergence check); the plane itself stays calm so the sweep isolates
+/// lifecycle effects. `flash` adds the supernode-kill + flash-restart
+/// incident: the leader of cluster 0 crashes cold mid-game and is back
+/// 45 s later, so the probe detector, failover, and the restarted node's
+/// cold resync all fire in one cell.
+pub fn churn_config(ctx: RunCtx, scheme: Scheme, intensity: f64, flash: bool) -> SimConfig {
+    let mut cfg = SimConfig::section4(scheme, section4_updates_for(ctx));
+    cfg.servers = ctx.scale.section4_servers().min(120);
+    cfg.seed = ctx.seed(cfg.seed);
+    cfg.faults = Some(FaultPlan::at_intensity(0.0));
+    let mut plan = ChurnPlan::at_intensity(intensity);
+    if flash {
+        plan.scheduled.push(ScheduledChurn {
+            at: SimDuration::from_secs(300),
+            target: ChurnTarget::Supernode(0),
+            kind: ChurnKind::Crash,
+            downtime: SimDuration::from_secs(45),
+        });
+    }
+    cfg.churn = Some(plan);
+    cfg
+}
+
+/// Node-lifecycle sweep: every method over unicast and tree
+/// infrastructures, plus HAT, under rising churn — servers leave
+/// gracefully (handing off their waiters) or crash (losing cache and
+/// consistency state) and rejoin cold, reconverging through the survival
+/// protocol. The storm regime adds the scheduled supernode-kill +
+/// flash-restart incident. Reports consistency, the lifecycle volume, the
+/// fast-abandon count, failovers, and the convergence-invariant verdict —
+/// which must be zero in every cell.
+pub fn ext_churn(ctx: RunCtx, obs: &Registry) -> FigureReport {
+    let mut report = FigureReport::new(
+        "ext_churn",
+        "EXT: consistency and recovery cost under node lifecycle churn",
+    );
+    // (regime, stochastic churn intensity, scheduled flash incident).
+    let regimes: [(&str, f64, bool); 3] =
+        [("calm", 0.0, false), ("mild", 0.3, false), ("storm", 0.8, true)];
+    let schemes = churn_schemes();
+    let mut configs = Vec::new();
+    for &(_, intensity, flash) in &regimes {
+        for scheme in schemes {
+            configs.push(churn_config(ctx, scheme, intensity, flash));
+        }
+    }
+    let reports = run_batch_on(configs, obs, &ctx.pool);
+    for (chunk, &(regime, _, _)) in reports.chunks(schemes.len()).zip(&regimes) {
+        for r in chunk {
+            let departures = r.node_leaves + r.crash_restarts;
+            report.row(format!(
+                "  [{regime:>5}] {:<22} lag={:>7.3}s leaves={:>3} crashes={:>3} joins={:>3} \
+                 abandoned_dep={:>3} failovers={:>2} violations={:>2}",
+                r.scheme_label,
+                r.mean_server_lag_s(),
+                r.node_leaves,
+                r.crash_restarts,
+                r.node_joins,
+                r.abandoned_to_departed,
+                r.failovers,
+                r.convergence_violations
+            ));
+            report.keyval(format!("{}_{regime}_lag_s", r.scheme_label), r.mean_server_lag_s());
+            report.keyval(format!("{}_{regime}_departures", r.scheme_label), departures as f64);
+            report.keyval(format!("{}_{regime}_joins", r.scheme_label), r.node_joins as f64);
+            report.keyval(
+                format!("{}_{regime}_abandoned_dep", r.scheme_label),
+                r.abandoned_to_departed as f64,
             );
             report.keyval(format!("{}_{regime}_failovers", r.scheme_label), r.failovers as f64);
             report.keyval(
@@ -392,6 +501,37 @@ mod tests {
         );
         // Polling methods need no retransmissions — lost polls self-heal.
         assert_eq!(r.value("TTL_storm_retransmits"), Some(0.0));
+    }
+
+    #[test]
+    fn churn_extension_shapes() {
+        let r = ext_churn(RunCtx::new(Scale::Smoke), &Registry::disabled());
+        for scheme in
+            ["Push", "Invalidation", "TTL", "Push/Multicast", "Invalidation/Multicast", "HAT"]
+        {
+            // The hard acceptance bar: zero convergence violations in every
+            // cell — every departed server reconverges before the horizon.
+            for regime in ["calm", "mild", "storm"] {
+                assert_eq!(
+                    r.value(&format!("{scheme}_{regime}_violations")),
+                    Some(0.0),
+                    "{scheme} {regime}"
+                );
+            }
+            // Calm arms the lifecycle machinery at zero volume.
+            assert_eq!(r.value(&format!("{scheme}_calm_departures")), Some(0.0), "{scheme}");
+            // The storm churns, and every departure is matched by a rejoin.
+            let departures = r.value(&format!("{scheme}_storm_departures")).unwrap();
+            assert!(departures > 0.0, "{scheme} never churned in the storm");
+            assert_eq!(
+                r.value(&format!("{scheme}_storm_joins")),
+                Some(departures),
+                "{scheme} lost a rejoin"
+            );
+        }
+        // The flash incident kills HAT's cluster-0 leader: the probe
+        // detector must notice and promote a member.
+        assert!(r.value("HAT_storm_failovers").unwrap() > 0.0, "flash-restart must fail over");
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub mod html_report;
 pub mod obs_out;
 pub mod perf;
 pub mod profile_out;
+pub mod replay;
 pub mod report;
 pub mod scale;
 pub mod timeprof_out;
@@ -44,8 +45,8 @@ pub const EVAL_FIGURES: [&str; 7] = ["fig14", "fig15", "fig16", "fig17", "fig18"
 /// §5 HAT figure ids.
 pub const HAT_FIGURES: [&str; 4] = ["fig22a", "fig22b", "fig23", "fig24"];
 /// Extension experiment ids (beyond the paper's figures).
-pub const EXT_FIGURES: [&str; 5] =
-    ["ext_failures", "ext_adaptive", "ext_policy", "ext_chaos", "ext_workload"];
+pub const EXT_FIGURES: [&str; 6] =
+    ["ext_failures", "ext_adaptive", "ext_policy", "ext_chaos", "ext_workload", "ext_churn"];
 
 /// Builds the measurement trace for a scale (shared by all §3 figures).
 pub fn build_trace(scale: Scale) -> Trace {
@@ -147,6 +148,7 @@ pub fn run_figure_ctx(
         "ext_policy" => ext_figs::ext_policy(ctx, obs),
         "ext_chaos" => ext_figs::ext_chaos(ctx, obs),
         "ext_workload" => ext_figs::ext_workload(ctx, obs),
+        "ext_churn" => ext_figs::ext_churn(ctx, obs),
         _ => return None,
     };
     Some(report)

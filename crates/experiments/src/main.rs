@@ -11,6 +11,9 @@
 //!                                      [--health] [--stall-after <s>]
 //! experiments crawl <out.bin>          [--scale …] [--jobs <n>]   # save a crawl trace
 //! experiments verdict <trace.bin>                    # §3.6 verdict on a saved trace
+//! experiments checkpoint <out.ckpt>    [--scheme <key>] [--intensity <f>]
+//!                                      [--flash] [--at <secs>] [--scale …]
+//! experiments replay <ckpt> [--until <secs>]         # restore + self-verify
 //! experiments obs-diff <dirA> <dirB>                 # compare runs, wall-clock ignored
 //! experiments divergence <a.digest.json> <b.digest.json>  # bisect to first diverging event
 //! experiments watch <dir> [--once]                   # live run-health status table
@@ -53,6 +56,17 @@
 //! `bench-diff` exits non-zero when a stage's wall time regresses past the
 //! threshold (default +30%).
 //!
+//! `checkpoint` runs one node-lifecycle sweep cell (an `ext_churn`
+//! scheme × churn-intensity configuration; `--flash` arms the scheduled
+//! supernode-kill incident) until sim time `--at` and serializes the
+//! paused simulator — scheduler queue, RNG streams, node/tree/cache
+//! state, digest segment — into a versioned artifact. `replay` restores
+//! the artifact (the header rebuilds the exact configuration, so no flags
+//! need to match), runs it forward — to the horizon, or only to
+//! `--until` for anomaly-window replay — and self-verifies against an
+//! uninterrupted run, printing greppable `replay_chain_match=` /
+//! `replay_report_match=` verdict lines (exit 0 = bit-identical).
+//!
 //! With `--digest`, every scheduled event folds into a chained 64-bit
 //! determinism digest with periodic checkpoints, written per figure to
 //! `<obs-dir>/<figure>.digest.json` (bit-identical for every `--jobs`
@@ -68,6 +82,7 @@ use cdnc_experiments::bench::{
     bench_diff, bench_table, is_bench_stage, run_bench_with, BenchOptions, DEFAULT_BENCH_THRESHOLD,
 };
 use cdnc_experiments::divergence;
+use cdnc_experiments::ext_figs::{churn_scheme, CHURN_SCHEME_KEYS};
 use cdnc_experiments::html_report::generate_report;
 use cdnc_experiments::obs_out::{
     diff_artifact_dirs, summary_entry, timing_table, write_figure_artifact, write_figure_digest,
@@ -75,6 +90,7 @@ use cdnc_experiments::obs_out::{
 };
 use cdnc_experiments::perf::CountingAlloc;
 use cdnc_experiments::profile_out::{profile_table, write_profile_artifact};
+use cdnc_experiments::replay::{self, ReplaySpec};
 use cdnc_experiments::report::aggregate_replicates;
 use cdnc_experiments::timeprof_out::{timeprof_table, write_timeprof_artifact};
 use cdnc_experiments::trace_out::{
@@ -107,6 +123,14 @@ fn usage() -> ExitCode {
     eprintln!("                   [--health] [--stall-after <seconds>]");
     eprintln!("       experiments crawl <out.bin> [--scale …]   write a crawl trace to disk");
     eprintln!("       experiments verdict <trace.bin>           analyse a saved trace (§3.6)");
+    eprintln!("       experiments checkpoint <out.ckpt> [--scheme <key>] [--intensity <f>]");
+    eprintln!("                              [--flash] [--at <secs>] [--scale …]");
+    eprintln!("                                                 pause a churn-cell run at a sim");
+    eprintln!("                                                 time and save its full state");
+    eprintln!("       experiments replay <ckpt> [--until <secs>]  restore a checkpoint, run it");
+    eprintln!("                                                 forward, and self-verify against");
+    eprintln!("                                                 an uninterrupted run (exit 0 =");
+    eprintln!("                                                 bit-identical)");
     eprintln!("       experiments obs-diff <dirA> <dirB>        compare two artifact dirs,");
     eprintln!("                                                 ignoring wall-clock fields");
     eprintln!("                                                 (exit 0 = match, 1 = differ)");
@@ -134,6 +158,7 @@ fn usage() -> ExitCode {
     eprintln!("       experiments trace summary <t.json>        tracing statistics for a run");
     eprintln!("       experiments trace critical-path <t.json>  per-method critical paths");
     eprintln!("       experiments trace inspect <update> <t.json>  one update's full tree");
+    eprintln!("scheme keys (checkpoint): {}", CHURN_SCHEME_KEYS.join(", "));
     eprintln!("figure ids:");
     for id in TRACE_FIGURES.iter().chain(&EVAL_FIGURES).chain(&HAT_FIGURES).chain(&EXT_FIGURES) {
         eprintln!("  {id}");
@@ -206,6 +231,11 @@ fn main() -> ExitCode {
     let mut threshold = DEFAULT_BENCH_THRESHOLD;
     let mut bench_opts = BenchOptions::default();
     let mut once = false;
+    let mut scheme_key = "hat".to_owned();
+    let mut intensity = 0.8f64;
+    let mut flash = false;
+    let mut at_s = 240.0f64;
+    let mut until_s: Option<f64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -346,6 +376,58 @@ fn main() -> ExitCode {
             "--once" => {
                 once = true;
                 i += 1;
+            }
+            "--scheme" => {
+                let Some(value) = args.get(i + 1) else { return usage() };
+                if churn_scheme(value).is_none() {
+                    eprintln!("unknown scheme: {value} (one of: {})", CHURN_SCHEME_KEYS.join(", "));
+                    return usage();
+                }
+                scheme_key = value.clone();
+                i += 2;
+            }
+            "--intensity" => {
+                let Some(value) = args.get(i + 1) else { return usage() };
+                let Ok(f) = value.parse::<f64>() else {
+                    eprintln!("--intensity needs a churn intensity in [0, 1], got: {value}");
+                    return usage();
+                };
+                if !f.is_finite() || !(0.0..=1.0).contains(&f) {
+                    eprintln!("--intensity must be in [0, 1], got: {value}");
+                    return usage();
+                }
+                intensity = f;
+                i += 2;
+            }
+            "--flash" => {
+                flash = true;
+                i += 1;
+            }
+            "--at" => {
+                let Some(value) = args.get(i + 1) else { return usage() };
+                let Ok(secs) = value.parse::<f64>() else {
+                    eprintln!("--at needs seconds of simulated time, got: {value}");
+                    return usage();
+                };
+                if !secs.is_finite() || secs < 0.0 {
+                    eprintln!("--at must be non-negative, got: {value}");
+                    return usage();
+                }
+                at_s = secs;
+                i += 2;
+            }
+            "--until" => {
+                let Some(value) = args.get(i + 1) else { return usage() };
+                let Ok(secs) = value.parse::<f64>() else {
+                    eprintln!("--until needs seconds of simulated time, got: {value}");
+                    return usage();
+                };
+                if !secs.is_finite() || secs < 0.0 {
+                    eprintln!("--until must be non-negative, got: {value}");
+                    return usage();
+                }
+                until_s = Some(secs);
+                i += 2;
             }
             "--out" => {
                 let Some(value) = args.get(i + 1) else { return usage() };
@@ -554,6 +636,81 @@ fn main() -> ExitCode {
                 }
                 Err(e) => {
                     eprintln!("cannot read {path}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "checkpoint" => {
+            let Some(path) = positional.get(1) else {
+                eprintln!("checkpoint needs an output path");
+                return usage();
+            };
+            let spec = ReplaySpec {
+                scheme_key,
+                intensity,
+                flash,
+                scale,
+                at: cdnc_simcore::SimTime::from_secs_f64(at_s),
+            };
+            println!(
+                "checkpointing {} (intensity {:.2}, flash {}) at t={:.0}s, {scale:?} scale…",
+                spec.scheme_key, spec.intensity, spec.flash, at_s
+            );
+            let reg = obs.registry();
+            let started = std::time::Instant::now();
+            let artifact = replay::take_checkpoint(&spec, &reg);
+            let lines = artifact.lines().count();
+            if let Err(e) = std::fs::write(path, &artifact) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "checkpoint: {path} ({lines} state fields, {:.2}s)",
+                started.elapsed().as_secs_f64()
+            );
+            ExitCode::SUCCESS
+        }
+        "replay" => {
+            let Some(path) = positional.get(1) else {
+                eprintln!("replay needs a checkpoint path");
+                return usage();
+            };
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let until = until_s.map(cdnc_simcore::SimTime::from_secs_f64);
+            match replay::replay(&text, until) {
+                Ok(v) => {
+                    let window = match until_s {
+                        Some(t) => format!("t={:.0}s..{t:.0}s", v.spec.at.as_secs_f64()),
+                        None => format!("t={:.0}s..horizon", v.spec.at.as_secs_f64()),
+                    };
+                    println!(
+                        "replayed {} (intensity {:.2}, flash {}, {:?} scale) over {window}: \
+                         {} event(s) folded",
+                        v.spec.scheme_key,
+                        v.spec.intensity,
+                        v.spec.flash,
+                        v.spec.scale,
+                        v.replay_events
+                    );
+                    println!("replay_chain={:016x}", v.replay_chain);
+                    println!("straight_chain={:016x}", v.straight_chain);
+                    println!("replay_chain_match={}", v.chain_match);
+                    println!("replay_report_match={}", v.report_match);
+                    if v.chain_match && v.report_match {
+                        ExitCode::SUCCESS
+                    } else {
+                        eprintln!("replay diverged from the uninterrupted run");
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(e) => {
+                    eprintln!("cannot replay {path}: {e}");
                     ExitCode::FAILURE
                 }
             }

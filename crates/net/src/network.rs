@@ -7,6 +7,7 @@ use crate::packet::{Packet, PacketKind, PACKET_KINDS};
 use crate::traffic::TrafficStats;
 use crate::uplink::Uplink;
 use cdnc_geo::{GeoPoint, IspId, World};
+use cdnc_simcore::ckpt::{CkptError, CkptReader, CkptWriter};
 use cdnc_simcore::{SimDuration, SimRng, SimTime};
 
 /// Static configuration of a [`Network`].
@@ -54,6 +55,11 @@ impl Default for NetworkConfig {
 pub struct Network {
     nodes: Vec<NetNode>,
     uplinks: Vec<Uplink>,
+    /// Long-term liveness: `true` for a node that has *departed* the system
+    /// (left or crashed and not yet rejoined). Stronger than a transient
+    /// absence window — a departed node's uplink backlog died with it and
+    /// senders may abandon tracked deliveries to it immediately.
+    departed: Vec<bool>,
     config: NetworkConfig,
     traffic: TrafficStats,
     rng: SimRng,
@@ -92,6 +98,7 @@ impl Network {
         Network {
             nodes: Vec::new(),
             uplinks: Vec::new(),
+            departed: Vec::new(),
             config,
             traffic: TrafficStats::new(),
             rng: SimRng::seed_from_u64(seed ^ cdnc_simcore::stream_tag::NETWORK),
@@ -192,6 +199,7 @@ impl Network {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(NetNode::new(id, location, isp));
         self.uplinks.push(Uplink::new(self.config.uplink_kb_per_s, self.config.processing));
+        self.departed.push(false);
         id
     }
 
@@ -420,6 +428,88 @@ impl Network {
     /// The sender-side backlog a packet from `node` would face at `now`.
     pub fn backlog(&self, node: NodeId, now: SimTime) -> SimDuration {
         self.uplinks[node.index()].queueing_delay(now)
+    }
+
+    /// Marks `node` as departed (graceful leave or crash) and tears its
+    /// uplink down — queued transmissions die with the node. Departed is a
+    /// *long-term* liveness state, distinct from a transient absence window:
+    /// senders may abandon tracked deliveries to a departed node immediately
+    /// instead of retransmitting into the void.
+    pub fn depart(&mut self, node: NodeId, now: SimTime) {
+        self.departed[node.index()] = true;
+        self.uplinks[node.index()].reset(now);
+    }
+
+    /// Clears the departed mark — a joining or restarting node starts with
+    /// an idle uplink (its pre-departure backlog is gone, not resumed).
+    pub fn rejoin(&mut self, node: NodeId, now: SimTime) {
+        self.departed[node.index()] = false;
+        self.uplinks[node.index()].reset(now);
+    }
+
+    /// `true` while `node` has departed and not yet rejoined.
+    pub fn is_departed(&self, node: NodeId) -> bool {
+        self.departed[node.index()]
+    }
+
+    /// Serializes the network's dynamic state — the latency-jitter rng, each
+    /// node's uplink backlog and departure mark, traffic accounting, and the
+    /// fault plane's fence and decision streams — into a checkpoint
+    /// artifact. Static structure (node attributes, latency model, uplink
+    /// bandwidths) is rebuilt from config by fresh construction.
+    pub fn ckpt_write(&self, w: &mut CkptWriter) {
+        w.rng("net_rng", &self.rng);
+        w.usize("net_nodes", self.nodes.len());
+        for (uplink, departed) in self.uplinks.iter().zip(&self.departed) {
+            let (busy_until, queued_packets, queued_kb) = uplink.dynamic_state();
+            w.time("net_uplink_busy_until", busy_until);
+            w.u64("net_uplink_queued_packets", queued_packets);
+            w.f64("net_uplink_queued_kb", queued_kb);
+            w.bool("net_node_departed", *departed);
+        }
+        self.traffic.ckpt_write(w);
+        w.bool("net_has_faults", self.faults.is_some());
+        if let Some(plane) = &self.faults {
+            plane.ckpt_write(w);
+        }
+    }
+
+    /// Restores dynamic state written by [`Network::ckpt_write`] into this
+    /// freshly constructed network (same topology, same config, same fault
+    /// plane presence).
+    ///
+    /// Errors if the artifact disagrees about the node count or fault-plane
+    /// presence.
+    pub fn ckpt_read(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        self.rng = r.rng("net_rng")?;
+        let n = r.usize("net_nodes")?;
+        if n != self.nodes.len() {
+            return Err(CkptError(format!(
+                "network has {} nodes, checkpoint carries {n}",
+                self.nodes.len()
+            )));
+        }
+        for i in 0..n {
+            let busy_until = r.time("net_uplink_busy_until")?;
+            let queued_packets = r.u64("net_uplink_queued_packets")?;
+            let queued_kb = r.f64("net_uplink_queued_kb")?;
+            self.uplinks[i].restore_dynamic(busy_until, queued_packets, queued_kb);
+            self.departed[i] = r.bool("net_node_departed")?;
+        }
+        self.traffic = TrafficStats::ckpt_read(r)?;
+        let has_faults = r.bool("net_has_faults")?;
+        match (&mut self.faults, has_faults) {
+            (Some(plane), true) => plane.ckpt_read(r)?,
+            (None, false) => {}
+            (present, _) => {
+                return Err(CkptError(format!(
+                    "fault plane {} here but {} in the checkpoint",
+                    if present.is_some() { "attached" } else { "absent" },
+                    if has_faults { "present" } else { "absent" },
+                )));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -747,6 +837,74 @@ mod tests {
         // After the window the same link delivers.
         let out = net.send_faulted(SimTime::from_secs(10), &Packet::update(a, b, 2.0), root);
         assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn depart_tears_down_the_uplink_and_rejoin_clears_the_mark() {
+        let (mut net, a, b) = two_node_net();
+        net.set_uplink(a, 1.0);
+        net.send(SimTime::ZERO, &Packet::update(a, b, 100.0)); // 100 s backlog
+        assert!(!net.is_departed(a));
+        net.depart(a, SimTime::from_secs(1));
+        assert!(net.is_departed(a));
+        assert_eq!(net.backlog(a, SimTime::from_secs(1)), SimDuration::ZERO);
+        net.rejoin(a, SimTime::from_secs(9));
+        assert!(!net.is_departed(a));
+        assert_eq!(net.backlog(a, SimTime::from_secs(9)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn checkpoint_round_trip_resumes_deliveries_exactly() {
+        let (mut net, a, b) = two_node_net();
+        net.set_fault_plane(crate::FaultPlane::new(crate::FaultConfig::at_intensity(0.5), 9, 2));
+        net.depart(b, SimTime::ZERO);
+        net.rejoin(b, SimTime::from_secs(1));
+        net.depart(a, SimTime::from_secs(2));
+        for i in 0..30 {
+            net.send_faulted(
+                SimTime::from_secs(i),
+                &Packet::update(a, b, 5.0),
+                cdnc_obs::TraceCtx::NONE,
+            );
+        }
+        let mut w = CkptWriter::new("test");
+        net.ckpt_write(&mut w);
+        let text = w.finish();
+        // Fresh construction with the same parameters, then restore.
+        let (mut restored, _, _) = two_node_net();
+        restored.set_fault_plane(crate::FaultPlane::new(
+            crate::FaultConfig::at_intensity(0.5),
+            9,
+            2,
+        ));
+        let mut r = CkptReader::new(&text, "test").unwrap();
+        restored.ckpt_read(&mut r).unwrap();
+        r.done().unwrap();
+        assert!(restored.is_departed(a) && !restored.is_departed(b));
+        assert_eq!(restored.traffic(), net.traffic());
+        for i in 30..60 {
+            let p = Packet::update(a, b, 5.0);
+            let t = SimTime::from_secs(i);
+            let expect = net.send_faulted(t, &p, cdnc_obs::TraceCtx::NONE);
+            let got = restored.send_faulted(t, &p, cdnc_obs::TraceCtx::NONE);
+            assert_eq!(
+                got.iter().map(|(at, _)| *at).collect::<Vec<_>>(),
+                expect.iter().map(|(at, _)| *at).collect::<Vec<_>>(),
+                "restored network diverged at send {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_rejects_mismatched_fault_presence() {
+        let (net, _, _) = two_node_net();
+        let mut w = CkptWriter::new("test");
+        net.ckpt_write(&mut w);
+        let text = w.finish();
+        let (mut restored, _, _) = two_node_net();
+        restored.set_fault_plane(crate::FaultPlane::new(crate::FaultConfig::none(), 1, 2));
+        let mut r = CkptReader::new(&text, "test").unwrap();
+        assert!(restored.ckpt_read(&mut r).is_err());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //!   message class.
 
 use crate::packet::{Packet, PacketKind};
+use cdnc_simcore::ckpt::{CkptError, CkptReader, CkptWriter};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -147,6 +148,46 @@ impl TrafficStats {
         self.by_kind.get(&kind.to_string()).copied().unwrap_or(0)
     }
 
+    /// Serializes the accumulator into a checkpoint artifact.
+    pub fn ckpt_write(&self, w: &mut CkptWriter) {
+        w.f64("traffic_km_kb", self.km_kb);
+        w.u64("traffic_update_messages", self.update_messages);
+        w.u64("traffic_light_messages", self.light_messages);
+        w.f64("traffic_update_km", self.update_km);
+        w.f64("traffic_light_km", self.light_km);
+        w.f64("traffic_update_kb", self.update_kb);
+        w.f64("traffic_light_kb", self.light_kb);
+        w.u64("traffic_inter_isp_messages", self.inter_isp_messages);
+        w.f64("traffic_inter_isp_km_kb", self.inter_isp_km_kb);
+        w.usize("traffic_kinds", self.by_kind.len());
+        for (kind, count) in &self.by_kind {
+            w.str("traffic_kind", kind);
+            w.u64("traffic_kind_count", *count);
+        }
+    }
+
+    /// Reads an accumulator back from a [`TrafficStats::ckpt_write`]
+    /// artifact.
+    pub fn ckpt_read(r: &mut CkptReader) -> Result<TrafficStats, CkptError> {
+        let mut t = TrafficStats {
+            km_kb: r.f64("traffic_km_kb")?,
+            update_messages: r.u64("traffic_update_messages")?,
+            light_messages: r.u64("traffic_light_messages")?,
+            update_km: r.f64("traffic_update_km")?,
+            light_km: r.f64("traffic_light_km")?,
+            update_kb: r.f64("traffic_update_kb")?,
+            light_kb: r.f64("traffic_light_kb")?,
+            inter_isp_messages: r.u64("traffic_inter_isp_messages")?,
+            inter_isp_km_kb: r.f64("traffic_inter_isp_km_kb")?,
+            by_kind: BTreeMap::new(),
+        };
+        for _ in 0..r.usize("traffic_kinds")? {
+            let kind = r.str("traffic_kind")?.to_string();
+            t.by_kind.insert(kind, r.u64("traffic_kind_count")?);
+        }
+        Ok(t)
+    }
+
     /// Merges another accumulator into this one.
     pub fn merge(&mut self, other: &TrafficStats) {
         self.km_kb += other.km_kb;
@@ -240,5 +281,21 @@ mod tests {
     #[should_panic(expected = "bad distance")]
     fn negative_distance_rejected() {
         TrafficStats::new().record(&update(1.0), -1.0);
+    }
+
+    #[test]
+    fn checkpoint_round_trip_is_exact() {
+        let mut t = TrafficStats::new();
+        t.record_with_isp(&update(2.5), 123.456, true);
+        t.record(&Packet::poll(NodeId(0), NodeId(1)), 7.0);
+        t.record(&Packet::invalidation(NodeId(1), NodeId(0)), 0.125);
+        let mut w = CkptWriter::new("test");
+        t.ckpt_write(&mut w);
+        let text = w.finish();
+        let mut r = CkptReader::new(&text, "test").unwrap();
+        let restored = TrafficStats::ckpt_read(&mut r).unwrap();
+        r.done().unwrap();
+        assert_eq!(restored, t);
+        assert_eq!(restored.km_kb().to_bits(), t.km_kb().to_bits());
     }
 }

@@ -86,6 +86,22 @@ impl Uplink {
     pub fn reset(&mut self, now: SimTime) {
         self.busy_until = now;
     }
+
+    /// The dynamic fields: `(busy_until, queued_packets, queued_kb)`.
+    ///
+    /// Bandwidth and processing are construction parameters rebuilt from
+    /// config on restore, so a checkpoint carries only these three.
+    pub fn dynamic_state(&self) -> (SimTime, u64, f64) {
+        (self.busy_until, self.queued_packets, self.queued_kb)
+    }
+
+    /// Overwrites the dynamic fields of a freshly constructed uplink with a
+    /// [`Uplink::dynamic_state`] snapshot.
+    pub fn restore_dynamic(&mut self, busy_until: SimTime, queued_packets: u64, queued_kb: f64) {
+        self.busy_until = busy_until;
+        self.queued_packets = queued_packets;
+        self.queued_kb = queued_kb;
+    }
 }
 
 #[cfg(test)]

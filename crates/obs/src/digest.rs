@@ -251,6 +251,33 @@ impl DigestCore {
         }
     }
 
+    /// Checkpoint view of the currently-recording local segment, as
+    /// `(events, chain, stride, checkpoints)` — everything a restored run
+    /// needs to keep folding where a saved run left off. Trap entries are
+    /// not part of the view: divergence traps are re-armed per run.
+    pub(crate) fn export_local(&self) -> (u64, u64, u64, Vec<Checkpoint>) {
+        let s = self.local.lock();
+        (s.events, s.chain, s.stride, s.checkpoints.clone())
+    }
+
+    /// Overwrites the local segment with state captured by
+    /// [`DigestCore::export_local`], so subsequent folds continue the saved
+    /// run's chain exactly.
+    pub(crate) fn restore_local(
+        &self,
+        events: u64,
+        chain: u64,
+        stride: u64,
+        checkpoints: Vec<Checkpoint>,
+    ) {
+        let mut s = self.local.lock();
+        s.events = events;
+        s.chain = chain;
+        s.stride = stride.max(1);
+        s.checkpoints = checkpoints;
+        s.trap.clear();
+    }
+
     /// Absorbs a shard's segment: assign it the next absorb-order index,
     /// snapshot its chain + checkpoints, and keep its trap entries when the
     /// trap targets that segment. Shards that folded nothing leave no

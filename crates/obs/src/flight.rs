@@ -72,6 +72,12 @@ pub enum Anomaly {
         /// How many stall episodes occurred.
         count: usize,
     },
+    /// Node lifecycle events recorded by the churn plane — joins, graceful
+    /// leaves, crash-restarts (`node_churn` control spans).
+    NodeChurn {
+        /// How many lifecycle events occurred.
+        count: usize,
+    },
 }
 
 impl Anomaly {
@@ -85,6 +91,7 @@ impl Anomaly {
             Anomaly::MemorySpikes { .. } => "memory_spikes",
             Anomaly::DigestDivergence { .. } => "digest_divergence",
             Anomaly::Stall { .. } => "stall",
+            Anomaly::NodeChurn { .. } => "node_churn",
         }
     }
 }
@@ -125,6 +132,7 @@ impl FlightReport {
                         Anomaly::MemorySpikes { count } => j.field("count", *count),
                         Anomaly::DigestDivergence { count } => j.field("count", *count),
                         Anomaly::Stall { count } => j.field("count", *count),
+                        Anomaly::NodeChurn { count } => j.field("count", *count),
                     }
                 })
                 .collect(),
@@ -249,6 +257,7 @@ impl FlightRecorder {
             ),
             (SpanKind::DigestDivergence, |count| Anomaly::DigestDivergence { count }),
             (SpanKind::Stall, |count| Anomaly::Stall { count }),
+            (SpanKind::NodeChurn, |count| Anomaly::NodeChurn { count }),
         ] {
             if let Some(report) = self.control_report(store, kind, make) {
                 reports.push(report);

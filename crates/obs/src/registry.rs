@@ -322,6 +322,34 @@ impl Registry {
         self.0.as_ref().and_then(|inner| inner.digest.lock().clone())
     }
 
+    /// Checkpoint view of the digest's currently-recording local segment as
+    /// `(events, chain, stride, checkpoints)`, or `None` when disabled or
+    /// digest not armed. Together with [`Registry::restore_digest_local`]
+    /// this lets a restored simulation continue the saved run's chain, so a
+    /// restore-then-run audit trail is bit-identical to the straight run.
+    pub fn digest_local_state(&self) -> Option<(u64, u64, u64, Vec<crate::digest::Checkpoint>)> {
+        Some(self.digest_core()?.export_local())
+    }
+
+    /// Overwrites the digest's local segment with state captured by
+    /// [`Registry::digest_local_state`]. Returns `false` (and does nothing)
+    /// when disabled or digest not armed.
+    pub fn restore_digest_local(
+        &self,
+        events: u64,
+        chain: u64,
+        stride: u64,
+        checkpoints: Vec<crate::digest::Checkpoint>,
+    ) -> bool {
+        match self.digest_core() {
+            Some(core) => {
+                core.restore_local(events, chain, stride, checkpoints);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Arms the run-health counters: [`Registry::health`] handles start
     /// recording and [`Registry::health_snapshot`] returns `Some`. Health
     /// is wall-clock telemetry — shards *share* the parent's state (live

@@ -116,6 +116,9 @@ pub enum SpanKind {
     /// The stall watchdog saw no scheduler progress for its wall-clock
     /// window (control plane, no trace; recorded by the health monitor).
     Stall,
+    /// A node lifecycle event — join, graceful leave, or crash-restart
+    /// (control plane, no trace; recorded by the churn plane).
+    NodeChurn,
 }
 
 impl SpanKind {
@@ -134,6 +137,7 @@ impl SpanKind {
             SpanKind::MemorySpike => "memory_spike",
             SpanKind::DigestDivergence => "digest_divergence",
             SpanKind::Stall => "stall",
+            SpanKind::NodeChurn => "node_churn",
         }
     }
 
@@ -152,6 +156,7 @@ impl SpanKind {
             "memory_spike" => Some(SpanKind::MemorySpike),
             "digest_divergence" => Some(SpanKind::DigestDivergence),
             "stall" => Some(SpanKind::Stall),
+            "node_churn" => Some(SpanKind::NodeChurn),
             _ => None,
         }
     }
@@ -739,7 +744,7 @@ impl SpanStore {
 
     /// Aggregates the whole store.
     pub fn summary(&self) -> StoreSummary {
-        const KINDS: [SpanKind; 12] = [
+        const KINDS: [SpanKind; 13] = [
             SpanKind::Publish,
             SpanKind::Hop,
             SpanKind::Adopt,
@@ -752,6 +757,7 @@ impl SpanStore {
             SpanKind::MemorySpike,
             SpanKind::DigestDivergence,
             SpanKind::Stall,
+            SpanKind::NodeChurn,
         ];
         let mut counts = [0usize; KINDS.len()];
         let mut lags = Vec::new();
@@ -1051,6 +1057,7 @@ mod tests {
             SpanKind::MemorySpike,
             SpanKind::DigestDivergence,
             SpanKind::Stall,
+            SpanKind::NodeChurn,
         ] {
             assert_eq!(SpanKind::parse(k.as_str()), Some(k));
         }

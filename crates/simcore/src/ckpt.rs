@@ -1,0 +1,321 @@
+//! A versioned, sequential checkpoint codec.
+//!
+//! Checkpoint artifacts are plain text: one `key=value` line per field,
+//! written and read back in the same fixed order. The reader is strict — it
+//! verifies every key as it goes, so a truncated, reordered, or
+//! wrong-version artifact fails loudly at the first mismatch instead of
+//! silently restoring garbage state.
+//!
+//! Values never lose precision: `f64` fields are stored as the hexadecimal
+//! IEEE-754 bit pattern (`f<16 hex digits>`), not as a decimal rendering, so
+//! a restored simulation is *bit-identical* to the one that was saved.
+//! Strings must be newline-free (simulation state only carries identifiers
+//! and labels, never free text).
+//!
+//! # Examples
+//!
+//! ```
+//! use cdnc_simcore::ckpt::{CkptReader, CkptWriter};
+//!
+//! let mut w = CkptWriter::new("demo");
+//! w.u64("count", 3);
+//! w.f64("rate", 0.25);
+//! let artifact = w.finish();
+//!
+//! let mut r = CkptReader::new(&artifact, "demo").unwrap();
+//! assert_eq!(r.u64("count").unwrap(), 3);
+//! assert_eq!(r.f64("rate").unwrap(), 0.25);
+//! r.done().unwrap();
+//! ```
+
+use crate::rng::SimRng;
+use crate::time::SimTime;
+
+/// Artifact format version; bumped on any incompatible layout change.
+pub const CKPT_VERSION: u32 = 1;
+
+/// A checkpoint decode failure: what was expected, what was found, where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CkptError(pub String);
+
+impl std::fmt::Display for CkptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "checkpoint decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+/// Sequential writer for one checkpoint artifact.
+#[derive(Debug)]
+pub struct CkptWriter {
+    out: String,
+}
+
+impl CkptWriter {
+    /// Starts an artifact: writes the version header and the artifact
+    /// `kind` tag (e.g. `"cdn-sim"`), which the reader verifies.
+    pub fn new(kind: &str) -> Self {
+        let mut w = CkptWriter { out: String::new() };
+        w.u64("ckpt_version", CKPT_VERSION as u64);
+        w.str("ckpt_kind", kind);
+        w
+    }
+
+    fn line(&mut self, key: &str, value: &str) {
+        debug_assert!(!key.contains(['=', '\n']), "bad checkpoint key {key:?}");
+        self.out.push_str(key);
+        self.out.push('=');
+        self.out.push_str(value);
+        self.out.push('\n');
+    }
+
+    /// Writes an unsigned integer field.
+    pub fn u64(&mut self, key: &str, value: u64) {
+        self.line(key, &value.to_string());
+    }
+
+    /// Writes a `usize` field (stored as `u64`).
+    pub fn usize(&mut self, key: &str, value: usize) {
+        self.u64(key, value as u64);
+    }
+
+    /// Writes a boolean field (`0` / `1`).
+    pub fn bool(&mut self, key: &str, value: bool) {
+        self.u64(key, value as u64);
+    }
+
+    /// Writes a float field as its exact IEEE-754 bit pattern.
+    pub fn f64(&mut self, key: &str, value: f64) {
+        self.line(key, &format!("f{:016x}", value.to_bits()));
+    }
+
+    /// Writes a simulated instant (stored in integer microseconds).
+    pub fn time(&mut self, key: &str, value: SimTime) {
+        self.u64(key, value.as_micros());
+    }
+
+    /// Writes a newline-free string field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` contains a newline — checkpoint state only carries
+    /// identifiers and labels, never free text.
+    pub fn str(&mut self, key: &str, value: &str) {
+        assert!(!value.contains('\n'), "checkpoint string value contains a newline");
+        self.line(key, value);
+    }
+
+    /// Writes a [`SimRng`] mid-stream snapshot as six fields under `key`
+    /// (`<key>_seed`, `<key>_forks`, `<key>_s0..s3`).
+    pub fn rng(&mut self, key: &str, rng: &SimRng) {
+        let (seed, forks, state) = rng.snapshot();
+        self.u64(&format!("{key}_seed"), seed);
+        self.u64(&format!("{key}_forks"), forks);
+        for (i, word) in state.iter().enumerate() {
+            self.u64(&format!("{key}_s{i}"), *word);
+        }
+    }
+
+    /// Finishes the artifact and returns its text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Strict sequential reader over a checkpoint artifact.
+#[derive(Debug)]
+pub struct CkptReader<'a> {
+    lines: std::str::Lines<'a>,
+    line_no: usize,
+}
+
+impl<'a> CkptReader<'a> {
+    /// Opens an artifact, verifying the version header and `kind` tag.
+    pub fn new(text: &'a str, kind: &str) -> Result<Self, CkptError> {
+        let mut r = CkptReader { lines: text.lines(), line_no: 0 };
+        let version = r.u64("ckpt_version")?;
+        if version != CKPT_VERSION as u64 {
+            return Err(CkptError(format!(
+                "unsupported checkpoint version {version} (this build reads {CKPT_VERSION})"
+            )));
+        }
+        let found = r.str("ckpt_kind")?;
+        if found != kind {
+            return Err(CkptError(format!("artifact kind {found:?}, expected {kind:?}")));
+        }
+        Ok(r)
+    }
+
+    fn value(&mut self, key: &str) -> Result<&'a str, CkptError> {
+        self.line_no += 1;
+        let line = self
+            .lines
+            .next()
+            .ok_or_else(|| CkptError(format!("unexpected end of artifact, wanted key {key:?}")))?;
+        let (found, value) = line
+            .split_once('=')
+            .ok_or_else(|| CkptError(format!("line {}: malformed line {line:?}", self.line_no)))?;
+        if found != key {
+            return Err(CkptError(format!(
+                "line {}: found key {found:?}, expected {key:?}",
+                self.line_no
+            )));
+        }
+        Ok(value)
+    }
+
+    /// Reads the next field as an unsigned integer, verifying its key.
+    pub fn u64(&mut self, key: &str) -> Result<u64, CkptError> {
+        let value = self.value(key)?;
+        value.parse().map_err(|_| CkptError(format!("line {}: bad u64 {value:?}", self.line_no)))
+    }
+
+    /// Reads the next field as a `usize`, verifying its key.
+    pub fn usize(&mut self, key: &str) -> Result<usize, CkptError> {
+        Ok(self.u64(key)? as usize)
+    }
+
+    /// Reads the next field as a boolean, verifying its key.
+    pub fn bool(&mut self, key: &str) -> Result<bool, CkptError> {
+        match self.u64(key)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(CkptError(format!("line {}: bad bool {other}", self.line_no))),
+        }
+    }
+
+    /// Reads the next field as an exact-bit float, verifying its key.
+    pub fn f64(&mut self, key: &str) -> Result<f64, CkptError> {
+        let value = self.value(key)?;
+        let bits = value
+            .strip_prefix('f')
+            .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+            .ok_or_else(|| CkptError(format!("line {}: bad f64 bits {value:?}", self.line_no)))?;
+        Ok(f64::from_bits(bits))
+    }
+
+    /// Reads the next field as a simulated instant, verifying its key.
+    pub fn time(&mut self, key: &str) -> Result<SimTime, CkptError> {
+        Ok(SimTime::from_micros(self.u64(key)?))
+    }
+
+    /// Reads the next field as a string, verifying its key.
+    pub fn str(&mut self, key: &str) -> Result<&'a str, CkptError> {
+        self.value(key)
+    }
+
+    /// Reads a [`SimRng`] snapshot written by [`CkptWriter::rng`]; the
+    /// rebuilt generator continues the saved draw and fork sequences
+    /// exactly.
+    pub fn rng(&mut self, key: &str) -> Result<SimRng, CkptError> {
+        let seed = self.u64(&format!("{key}_seed"))?;
+        let forks = self.u64(&format!("{key}_forks"))?;
+        let mut state = [0u64; 4];
+        for (i, word) in state.iter_mut().enumerate() {
+            *word = self.u64(&format!("{key}_s{i}"))?;
+        }
+        Ok(SimRng::from_snapshot(seed, forks, state))
+    }
+
+    /// Verifies the artifact is fully consumed — trailing state would mean
+    /// the reader and writer disagree about the layout.
+    pub fn done(&mut self) -> Result<(), CkptError> {
+        match self.lines.next() {
+            None => Ok(()),
+            Some(line) => Err(CkptError(format!("trailing artifact line {line:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trips_every_field_type() {
+        let mut w = CkptWriter::new("test");
+        w.u64("a", u64::MAX);
+        w.usize("b", 42);
+        w.bool("c", true);
+        w.f64("d", -0.1);
+        w.time("e", SimTime::from_secs(7));
+        w.str("f", "hybrid/8");
+        let text = w.finish();
+        let mut r = CkptReader::new(&text, "test").unwrap();
+        assert_eq!(r.u64("a").unwrap(), u64::MAX);
+        assert_eq!(r.usize("b").unwrap(), 42);
+        assert!(r.bool("c").unwrap());
+        assert_eq!(r.f64("d").unwrap(), -0.1);
+        assert_eq!(r.time("e").unwrap(), SimTime::from_secs(7));
+        assert_eq!(r.str("f").unwrap(), "hybrid/8");
+        r.done().unwrap();
+    }
+
+    #[test]
+    fn key_mismatch_is_an_error() {
+        let mut w = CkptWriter::new("test");
+        w.u64("expected", 1);
+        let text = w.finish();
+        let mut r = CkptReader::new(&text, "test").unwrap();
+        let err = r.u64("other").unwrap_err();
+        assert!(err.0.contains("expected"), "error names the wanted key: {err}");
+    }
+
+    #[test]
+    fn wrong_kind_and_version_are_rejected() {
+        let text = CkptWriter::new("alpha").finish();
+        assert!(CkptReader::new(&text, "beta").is_err());
+        let bad_version = text.replacen(&format!("={CKPT_VERSION}"), "=999", 1);
+        assert!(CkptReader::new(&bad_version, "alpha").is_err());
+    }
+
+    #[test]
+    fn truncation_and_trailing_state_are_errors() {
+        let mut w = CkptWriter::new("test");
+        w.u64("a", 1);
+        w.u64("b", 2);
+        let text = w.finish();
+        let mut r = CkptReader::new(&text, "test").unwrap();
+        r.u64("a").unwrap();
+        assert!(r.done().is_err(), "unread field must be reported");
+        let truncated: String = text.lines().take(3).map(|l| format!("{l}\n")).collect();
+        let mut r = CkptReader::new(&truncated, "test").unwrap();
+        r.u64("a").unwrap();
+        assert!(r.u64("b").is_err(), "missing field must be reported");
+    }
+
+    #[test]
+    fn rng_snapshot_round_trip_resumes_the_stream() {
+        let mut rng = SimRng::seed_from_u64(17);
+        for _ in 0..23 {
+            rng.uniform_f64();
+        }
+        rng.fork();
+        let mut w = CkptWriter::new("test");
+        w.rng("r", &rng);
+        let text = w.finish();
+        let mut r = CkptReader::new(&text, "test").unwrap();
+        let mut restored = r.rng("r").unwrap();
+        r.done().unwrap();
+        for _ in 0..32 {
+            assert_eq!(rng.uniform_f64().to_bits(), restored.uniform_f64().to_bits());
+        }
+        assert_eq!(rng.fork().uniform_f64().to_bits(), restored.fork().uniform_f64().to_bits());
+    }
+
+    proptest! {
+        /// Floats survive the bit-pattern encoding exactly, including
+        /// negative zero and subnormals.
+        #[test]
+        fn prop_f64_bits_round_trip(bits in 0u64..=u64::MAX) {
+            let value = f64::from_bits(bits);
+            let mut w = CkptWriter::new("test");
+            w.f64("x", value);
+            let text = w.finish();
+            let mut r = CkptReader::new(&text, "test").unwrap();
+            prop_assert_eq!(r.f64("x").unwrap().to_bits(), bits);
+        }
+    }
+}

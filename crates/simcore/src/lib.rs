@@ -32,6 +32,7 @@
 //! assert_eq!(t, SimTime::from_secs(5));
 //! ```
 
+pub mod ckpt;
 pub mod queue;
 pub mod rng;
 pub mod scheduler;

@@ -97,6 +97,34 @@ impl<E> EventQueue<E> {
     pub fn clear(&mut self) {
         self.heap.clear();
     }
+
+    /// Ordered view of every pending entry as `(time, seq, event)` in pop
+    /// order, plus the insertion counter. Feeding the triples (with cloned
+    /// events) back through [`EventQueue::from_entries`] reproduces this
+    /// queue exactly — including FIFO tie-breaking among equal timestamps —
+    /// which is what checkpoint/restore needs for bit-identical replay.
+    pub fn entries(&self) -> (Vec<(SimTime, u64, &E)>, u64) {
+        let mut out: Vec<_> = self.heap.iter().map(|e| (e.time, e.seq, &e.event)).collect();
+        out.sort_by_key(|&(time, seq, _)| (time, seq));
+        (out, self.next_seq)
+    }
+
+    /// Rebuilds a queue from entry triples captured by [`EventQueue::entries`].
+    /// Sequence numbers are reinstated verbatim so same-time events keep their
+    /// original pop order, and fresh pushes continue from `next_seq`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an entry's `seq` is not below `next_seq` — such a queue could
+    /// hand out a duplicate sequence number and break the FIFO invariant.
+    pub fn from_entries(entries: Vec<(SimTime, u64, E)>, next_seq: u64) -> Self {
+        let mut heap = BinaryHeap::with_capacity(entries.len());
+        for (time, seq, event) in entries {
+            assert!(seq < next_seq, "entry seq {seq} not below next_seq {next_seq}");
+            heap.push(Entry { time, seq, event });
+        }
+        EventQueue { heap, next_seq }
+    }
 }
 
 impl<E> std::fmt::Debug for EventQueue<E> {
@@ -158,6 +186,28 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn entries_round_trip_preserves_pop_order() {
+        let mut q = EventQueue::new();
+        for (secs, tag) in [(2u64, "b"), (1, "a"), (2, "c"), (1, "d")] {
+            q.push(SimTime::from_secs(secs), tag);
+        }
+        q.pop(); // consume "a" so restored seqs are non-contiguous
+        let (entries, next_seq) = q.entries();
+        assert_eq!(next_seq, 4);
+        let owned: Vec<_> = entries.into_iter().map(|(t, s, e)| (t, s, *e)).collect();
+        let mut restored = EventQueue::from_entries(owned, next_seq);
+        restored.push(SimTime::from_secs(2), "e");
+        let order: Vec<_> = std::iter::from_fn(|| restored.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, ["d", "b", "c", "e"], "tie order and fresh pushes survive");
+    }
+
+    #[test]
+    #[should_panic(expected = "not below next_seq")]
+    fn from_entries_rejects_stale_counter() {
+        EventQueue::from_entries(vec![(SimTime::ZERO, 5, ())], 3);
     }
 
     proptest! {

@@ -46,6 +46,9 @@ pub mod stream_tag {
     pub const FAULT: u64 = 0x4641_4c54;
     /// The request-plane workload (catalog, arrivals, caches) ("WORK").
     pub const WORKLOAD: u64 = 0x574f_524b;
+    /// The node-lifecycle churn plane (stochastic crash-restart cycles)
+    /// ("CHRN").
+    pub const CHURN: u64 = 0x4348_524e;
 }
 
 /// SplitMix64 step — used to derive statistically independent fork seeds.
@@ -121,6 +124,18 @@ impl SimRng {
     /// the `index` argument [`derive_stream`] needs to reproduce it.
     pub fn next_fork_index(&self) -> u64 {
         self.forks + 1
+    }
+
+    /// A mid-stream snapshot: `(seed, forks, generator state words)`.
+    /// Feeding it to [`SimRng::from_snapshot`] rebuilds a generator that
+    /// continues this one's draw *and* fork sequences exactly.
+    pub fn snapshot(&self) -> (u64, u64, [u64; 4]) {
+        (self.seed, self.forks, self.inner.state())
+    }
+
+    /// Rebuilds a generator from a [`SimRng::snapshot`].
+    pub fn from_snapshot(seed: u64, forks: u64, state: [u64; 4]) -> Self {
+        SimRng { inner: StdRng::from_state(state), seed, forks }
     }
 
     /// Uniform draw in `[0, 1)`.
@@ -489,6 +504,21 @@ mod tests {
                 proptest::prop_assert!(x < n);
             }
         }
+    }
+
+    #[test]
+    fn snapshot_resumes_draws_and_forks_exactly() {
+        let mut a = SimRng::seed_from_u64(21);
+        for _ in 0..37 {
+            a.uniform_f64();
+        }
+        a.fork();
+        let (seed, forks, state) = a.snapshot();
+        let mut b = SimRng::from_snapshot(seed, forks, state);
+        for _ in 0..64 {
+            assert_eq!(a.uniform_f64().to_bits(), b.uniform_f64().to_bits());
+        }
+        assert_eq!(a.fork().uniform_f64().to_bits(), b.fork().uniform_f64().to_bits());
     }
 
     #[test]

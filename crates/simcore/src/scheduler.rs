@@ -154,6 +154,39 @@ impl<E> Scheduler<E> {
         self.horizon
     }
 
+    /// The timestamp of the earliest pending event, if any (horizon-blind:
+    /// reports events beyond the horizon too, so callers can decide whether
+    /// the next [`Scheduler::next`] would deliver).
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Checkpoint view of the dynamic scheduler state: the clock, the
+    /// processed-event count, and every pending entry in pop order (see
+    /// [`EventQueue::entries`]). Instrumentation handles are not part of the
+    /// snapshot — they are rewired by [`Scheduler::set_obs`] on restore.
+    pub fn state(&self) -> (SimTime, u64, Vec<(SimTime, u64, &E)>, u64) {
+        let (entries, next_seq) = self.queue.entries();
+        (self.now, self.processed, entries, next_seq)
+    }
+
+    /// Overwrites the dynamic state with a snapshot captured by
+    /// [`Scheduler::state`]: clock, processed count, and the exact pending
+    /// queue including sequence numbers, so restored runs pop — and digest —
+    /// identically to the uninterrupted run.
+    pub fn restore_state(
+        &mut self,
+        now: SimTime,
+        processed: u64,
+        entries: Vec<(SimTime, u64, E)>,
+        next_seq: u64,
+    ) {
+        self.queue = EventQueue::from_entries(entries, next_seq);
+        self.now = now;
+        self.processed = processed;
+        self.obs_depth.set(self.queue.len() as u64);
+    }
+
     /// Schedules `event` at the absolute instant `at`.
     ///
     /// # Panics
@@ -368,6 +401,32 @@ mod tests {
         s.schedule_in(SimDuration::from_secs(2), Ev::B);
         let (t, _) = s.next().unwrap();
         assert_eq!(t, now + SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn restored_state_pops_identically() {
+        let mut straight = Scheduler::with_horizon(SimTime::from_secs(60));
+        let t = SimTime::from_secs(5);
+        for ev in ["a", "b", "c"] {
+            straight.schedule_at(t, ev);
+        }
+        straight.schedule_at(SimTime::from_secs(1), "early");
+        straight.next().unwrap();
+        // Capture mid-run, then drain both the original and the restored copy.
+        let (now, processed, entries, next_seq) = straight.state();
+        assert_eq!((now, processed), (SimTime::from_secs(1), 1));
+        let owned: Vec<_> = entries.iter().map(|&(t, s, e)| (t, s, *e)).collect();
+        let mut resumed = Scheduler::with_horizon(SimTime::from_secs(60));
+        resumed.restore_state(now, processed, owned, next_seq);
+        assert_eq!(resumed.now(), now);
+        assert_eq!(resumed.peek_time(), Some(t));
+        loop {
+            match (straight.next(), resumed.next()) {
+                (None, None) => break,
+                (a, b) => assert_eq!(a, b, "restored run diverged"),
+            }
+        }
+        assert_eq!(straight.processed(), resumed.processed());
     }
 
     #[test]

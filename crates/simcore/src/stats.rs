@@ -202,6 +202,20 @@ impl OnlineStats {
         (self.count > 0).then_some(self.max)
     }
 
+    /// The raw accumulator words `(count, mean, m2, min, max)` — exactly
+    /// what [`OnlineStats::from_raw`] needs to rebuild this accumulator
+    /// bit-for-bit. For checkpointing; the analysis accessors above are the
+    /// API for reading results.
+    pub fn raw(&self) -> (u64, f64, f64, f64, f64) {
+        (self.count, self.mean, self.m2, self.min, self.max)
+    }
+
+    /// Rebuilds an accumulator from [`OnlineStats::raw`] words. Subsequent
+    /// pushes continue the saved Welford recurrence exactly.
+    pub fn from_raw(count: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        OnlineStats { count, mean, m2, min, max }
+    }
+
     /// Merges another accumulator into this one (parallel reduction).
     pub fn merge(&mut self, other: &OnlineStats) {
         if other.count == 0 {

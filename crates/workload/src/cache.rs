@@ -15,6 +15,7 @@
 //! cost at the next miss.
 
 use crate::catalog::ObjectId;
+use cdnc_simcore::ckpt::{CkptError, CkptReader, CkptWriter};
 use cdnc_simcore::SimTime;
 use std::collections::BTreeMap;
 
@@ -184,6 +185,91 @@ impl LruCache {
         (fetch.waiters, evicted)
     }
 
+    /// `true` while a fetch for `id` is in flight — lets a caller detect an
+    /// orphaned fill (the fetch was aborted while the response travelled).
+    pub fn is_fetching(&self, id: ObjectId) -> bool {
+        self.inflight.contains_key(&id)
+    }
+
+    /// Aborts every in-flight fetch — the edge died mid-fetch. The queued
+    /// waiters are returned so the caller can release them as aborted
+    /// misses; any fill that later arrives for an aborted fetch is an
+    /// orphan the caller must drop (see [`LruCache::is_fetching`]).
+    pub fn abort_inflight(&mut self) -> Vec<Waiter> {
+        let inflight = std::mem::take(&mut self.inflight);
+        inflight.into_values().flat_map(|f| f.waiters).collect()
+    }
+
+    /// Cold restart after a crash: drops every cached object and aborts
+    /// every in-flight fetch, returning the orphaned waiters. The recency
+    /// clock keeps running, so post-restart ticks never collide with
+    /// pre-crash history.
+    pub fn cold_restart(&mut self) -> Vec<Waiter> {
+        self.entries.clear();
+        self.recency.clear();
+        self.abort_inflight()
+    }
+
+    /// Serializes the cache's dynamic state — recency clock, cached entries,
+    /// and in-flight fetches with their waiter queues — into a checkpoint
+    /// artifact. Capacity and the eviction variant are construction
+    /// parameters rebuilt from config.
+    pub fn ckpt_write(&self, w: &mut CkptWriter) {
+        w.u64("cache_tick", self.tick);
+        w.usize("cache_entries", self.entries.len());
+        for (id, entry) in &self.entries {
+            w.u64("cache_slot", id.slot as u64);
+            w.u64("cache_gen", id.gen as u64);
+            w.u64("cache_snap", entry.snap as u64);
+            w.u64("cache_entry_tick", entry.tick);
+            w.u64("cache_uses", entry.uses);
+        }
+        w.usize("cache_inflight", self.inflight.len());
+        for (id, fetch) in &self.inflight {
+            w.u64("cache_slot", id.slot as u64);
+            w.u64("cache_gen", id.gen as u64);
+            w.usize("cache_waiters", fetch.waiters.len());
+            for waiter in &fetch.waiters {
+                w.u64("cache_waiter_user", waiter.user as u64);
+                w.time("cache_waiter_at", waiter.requested_at);
+            }
+        }
+    }
+
+    /// Restores state written by [`LruCache::ckpt_write`] into this cache,
+    /// replacing whatever it held; the recency index is rebuilt from the
+    /// entries' ticks.
+    pub fn ckpt_read(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        self.tick = r.u64("cache_tick")?;
+        self.entries.clear();
+        self.recency.clear();
+        self.inflight.clear();
+        for _ in 0..r.usize("cache_entries")? {
+            let id =
+                ObjectId { slot: r.u64("cache_slot")? as u32, gen: r.u64("cache_gen")? as u32 };
+            let entry = Entry {
+                snap: r.u64("cache_snap")? as u32,
+                tick: r.u64("cache_entry_tick")?,
+                uses: r.u64("cache_uses")?,
+            };
+            self.recency.insert(entry.tick, id);
+            self.entries.insert(id, entry);
+        }
+        for _ in 0..r.usize("cache_inflight")? {
+            let id =
+                ObjectId { slot: r.u64("cache_slot")? as u32, gen: r.u64("cache_gen")? as u32 };
+            let mut waiters = Vec::new();
+            for _ in 0..r.usize("cache_waiters")? {
+                waiters.push(Waiter {
+                    user: r.u64("cache_waiter_user")? as u32,
+                    requested_at: r.time("cache_waiter_at")?,
+                });
+            }
+            self.inflight.insert(id, InFlight { waiters });
+        }
+        Ok(())
+    }
+
     /// Picks and removes the eviction victim; returns its id.
     fn evict(&mut self) -> ObjectId {
         let victim = if self.mad {
@@ -289,6 +375,63 @@ mod tests {
     #[should_panic(expected = "fill without an in-flight fetch")]
     fn fill_requires_a_fetch() {
         LruCache::new(1, false).fill(id(0), 0, SimTime::ZERO);
+    }
+
+    #[test]
+    fn abort_inflight_releases_waiters_and_orphans_fills() {
+        let mut cache = LruCache::new(4, false);
+        filled(&mut cache, 1);
+        assert_eq!(cache.request(id(9), 1, SimTime::from_secs(1)), Lookup::Miss);
+        assert_eq!(cache.request(id(9), 2, SimTime::from_secs(2)), Lookup::Delayed);
+        assert!(cache.is_fetching(id(9)));
+        let waiters = cache.abort_inflight();
+        assert_eq!(waiters.len(), 2, "initiator and delayed hit both released");
+        assert!(!cache.is_fetching(id(9)), "the fill that lands later is an orphan");
+        assert_eq!(cache.inflight(), 0);
+        assert_eq!(cache.len(), 1, "cached entries survive an inflight abort");
+        // A fresh request for the aborted object starts a new fetch.
+        assert_eq!(cache.request(id(9), 3, SimTime::from_secs(3)), Lookup::Miss);
+    }
+
+    #[test]
+    fn cold_restart_empties_everything_and_keeps_the_clock() {
+        let mut cache = LruCache::new(4, false);
+        filled(&mut cache, 1);
+        filled(&mut cache, 2);
+        assert_eq!(cache.request(id(7), 5, SimTime::from_secs(1)), Lookup::Miss);
+        let waiters = cache.cold_restart();
+        assert_eq!(waiters, vec![Waiter { user: 5, requested_at: SimTime::from_secs(1) }]);
+        assert!(cache.is_empty() && cache.inflight() == 0);
+        // Post-restart fills behave normally (monotonic recency clock).
+        filled(&mut cache, 3);
+        assert!(matches!(cache.request(id(3), 0, SimTime::ZERO), Lookup::Hit { .. }));
+    }
+
+    #[test]
+    fn checkpoint_round_trip_preserves_behaviour() {
+        let mut cache = LruCache::new(2, true);
+        filled(&mut cache, 1);
+        for _ in 0..3 {
+            cache.request(id(1), 0, SimTime::ZERO);
+        }
+        filled(&mut cache, 2);
+        assert_eq!(cache.request(id(8), 4, SimTime::from_secs(2)), Lookup::Miss);
+        assert_eq!(cache.request(id(8), 5, SimTime::from_secs(3)), Lookup::Delayed);
+        let mut w = CkptWriter::new("test");
+        cache.ckpt_write(&mut w);
+        let text = w.finish();
+        let mut restored = LruCache::new(2, true);
+        let mut r = CkptReader::new(&text, "test").unwrap();
+        restored.ckpt_read(&mut r).unwrap();
+        r.done().unwrap();
+        assert_eq!(restored.len(), cache.len());
+        assert_eq!(restored.inflight(), 1);
+        // The in-flight fetch still carries both waiters…
+        let (waiters, evicted) = restored.fill(id(8), 9, SimTime::from_secs(4));
+        let (expect_waiters, expect_evicted) = cache.fill(id(8), 9, SimTime::from_secs(4));
+        assert_eq!(waiters, expect_waiters);
+        // …and the MAD eviction decision sees identical uses/recency state.
+        assert_eq!(evicted, expect_evicted);
     }
 
     #[test]
